@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of Betty's hot kernels: REG construction,
+//! multilevel partitioning, micro-batch extraction, and the aggregator
+//! forward/backward passes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use rand_pcg::Pcg64Mcg;
+
+use betty_data::DatasetSpec;
+use betty_graph::{dependency_reg, sample_batch, shared_neighbor_graph, Batch};
+use betty_nn::{Aggregator, AggregatorSpec, Session};
+use betty_partition::{MultilevelPartitioner, OutputPartitioner, Partitioner, RegPartitioner};
+use betty_tensor::segment;
+
+fn bench_batch() -> (betty_data::Dataset, Batch) {
+    let ds = DatasetSpec::ogbn_arxiv()
+        .scaled(0.01)
+        .with_feature_dim(32)
+        .generate(1);
+    let mut rng = Pcg64Mcg::seed_from_u64(0);
+    let batch = sample_batch(&ds.graph, &ds.train_idx, &[10, 25], &mut rng);
+    (ds, batch)
+}
+
+fn reg_construction(c: &mut Criterion) {
+    let (_, batch) = bench_batch();
+    let last = batch.blocks().last().unwrap().clone();
+    c.bench_function("reg/last_layer_spgemm", |b| {
+        b.iter(|| shared_neighbor_graph(&last))
+    });
+    c.bench_function("reg/full_dependency", |b| {
+        b.iter(|| dependency_reg(&batch, 32))
+    });
+}
+
+fn partitioning(c: &mut Criterion) {
+    let (_, batch) = bench_batch();
+    let reg = dependency_reg(&batch, 32);
+    c.bench_function("partition/multilevel_k8", |b| {
+        b.iter(|| MultilevelPartitioner::new(0).partition(&reg, 8))
+    });
+    c.bench_function("partition/betty_end_to_end_k8", |b| {
+        b.iter(|| RegPartitioner::new(0).split_outputs(&batch, 8))
+    });
+}
+
+fn micro_batch_extraction(c: &mut Criterion) {
+    let (_, batch) = bench_batch();
+    let parts = RegPartitioner::new(0).split_outputs(&batch, 8);
+    c.bench_function("batch/restrict_one_of_8", |b| {
+        b.iter(|| batch.restrict(&parts[0]))
+    });
+}
+
+fn aggregators(c: &mut Criterion) {
+    let (ds, batch) = bench_batch();
+    let block = batch.blocks().last().unwrap().clone();
+    let idx: Vec<usize> = block.src_globals().iter().map(|&v| v as usize).collect();
+    let feats = segment::gather_rows(&ds.features, &idx);
+    let mut rng = Pcg64Mcg::seed_from_u64(3);
+    for spec in [
+        AggregatorSpec::Mean,
+        AggregatorSpec::Pool,
+        AggregatorSpec::Lstm,
+    ] {
+        let agg = Aggregator::new(spec, feats.cols(), &mut rng);
+        c.bench_function(&format!("aggregator/{}_fwd_bwd", spec.name()), |b| {
+            b.iter_batched(
+                Session::new,
+                |mut sess| {
+                    let x = sess.graph.leaf(feats.clone());
+                    let out = agg.forward(&mut sess, &block, x);
+                    let loss = sess.graph.sum(out);
+                    sess.graph.backward(loss);
+                    sess.graph.grad(x).map(|g| g.sum_all())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = reg_construction, partitioning, micro_batch_extraction, aggregators
+}
+criterion_main!(kernels);

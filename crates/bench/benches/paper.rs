@@ -1,0 +1,15 @@
+//! `cargo bench --bench paper` — regenerates every table and figure of the
+//! paper at quick scale (set `BETTY_PROFILE=full` for the full runs, or use
+//! the per-exhibit binaries in `src/bin/`).
+
+fn main() {
+    // Criterion-style benches measure kernels (see `kernels.rs`); this
+    // harness-free target exists so `cargo bench --workspace` reproduces
+    // the complete evaluation in one command.
+    let profile = match std::env::var("BETTY_PROFILE").as_deref() {
+        Ok("full") => betty_bench::Profile::Full,
+        _ => betty_bench::Profile::Quick,
+    };
+    // `cargo bench` passes flags like `--bench`; ignore them.
+    betty_bench::experiments::run_all(profile);
+}

@@ -1,0 +1,5 @@
+//! Regenerates every paper exhibit in order.
+fn main() {
+    let profile = betty_bench::Profile::from_env();
+    betty_bench::experiments::run_all(profile);
+}

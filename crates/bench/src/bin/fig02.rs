@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig02 exhibit. `BETTY_PROFILE=quick` shrinks it.
+fn main() {
+    let profile = betty_bench::Profile::from_env();
+    betty_bench::experiments::fig02::run(profile);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figures 14, 15 and 16 (one shared sweep).
+fn main() {
+    let profile = betty_bench::Profile::from_env();
+    betty_bench::experiments::fig14_15_16::run(profile);
+}

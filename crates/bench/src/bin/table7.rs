@@ -1,0 +1,5 @@
+//! Regenerates the paper's table7 exhibit. `BETTY_PROFILE=quick` shrinks it.
+fn main() {
+    let profile = betty_bench::Profile::from_env();
+    betty_bench::experiments::table7::run(profile);
+}

@@ -1,0 +1,186 @@
+//! Ablations of Betty's design choices (not a paper exhibit, but the
+//! design-space evidence DESIGN.md calls out):
+//!
+//! 1. **REG scope** — Algorithm 1's last-layer REG vs this repo's
+//!    full-dependency REG vs the baselines, measured by input redundancy.
+//! 2. **Refinement** — the multilevel cutter with and without KL passes.
+//! 3. **Memory-aware planning** — estimator-guided K selection vs
+//!    trial-and-error (how many aborted training attempts the estimator
+//!    saves).
+
+use betty::{Runner, StrategyKind, TrainError};
+use betty_partition::{
+    input_redundancy, MultilevelPartitioner, OutputPartitioner, RegPartitioner, RegScope,
+};
+
+use crate::presets::products_3layer;
+use crate::report::{secs, Table};
+use crate::Profile;
+
+/// Runs all four ablations.
+pub fn run(profile: Profile) {
+    reg_scope(profile);
+    hub_cap(profile);
+    refinement(profile);
+    memory_aware(profile);
+}
+
+/// How the full-dependency REG's hub cap affects redundancy: too small
+/// discards useful sharing signal, too large wastes time on ubiquitous
+/// nodes whose duplication no cut can avoid.
+fn hub_cap(profile: Profile) {
+    let (ds, mut config) = products_3layer(profile);
+    config.capacity_bytes = usize::MAX;
+    let mut runner = Runner::new(&ds, &config, 0);
+    let batch = runner.sample_full_batch(&ds);
+    let k = 8;
+    let mut table = Table::new(
+        "ablation_hub_cap",
+        "full-dependency REG hub cap sweep (K = 8)",
+        &["hub cap", "input nodes", "ratio", "partition ms"],
+    );
+    for cap in [4usize, 8, 16, 32, 64, 128] {
+        let strategy = RegPartitioner::new(0).with_hub_cap(cap);
+        let started = std::time::Instant::now();
+        let parts = strategy.split_outputs(&batch, k);
+        let elapsed = started.elapsed().as_secs_f64();
+        let micros: Vec<_> = parts
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| batch.restrict(p))
+            .collect();
+        let r = input_redundancy(&micros);
+        table.row(vec![
+            cap.to_string(),
+            r.total_input_nodes.to_string(),
+            format!("{:.3}", r.redundancy_ratio()),
+            format!("{:.1}", elapsed * 1e3),
+        ]);
+    }
+    table.finish();
+}
+
+fn reg_scope(profile: Profile) {
+    let (ds, mut config) = products_3layer(profile);
+    config.capacity_bytes = usize::MAX;
+    let mut runner = Runner::new(&ds, &config, 0);
+    let batch = runner.sample_full_batch(&ds);
+    let k = 8;
+    let mut table = Table::new(
+        "ablation_reg_scope",
+        "REG construction: last-layer (Algorithm 1) vs full-dependency",
+        &["variant", "input nodes", "redundant", "ratio"],
+    );
+    let variants: Vec<(String, Box<dyn OutputPartitioner>)> = vec![
+        (
+            "last-layer REG".into(),
+            Box::new(RegPartitioner::new(0).with_scope(RegScope::LastLayer)),
+        ),
+        (
+            "full-dependency REG".into(),
+            Box::new(RegPartitioner::new(0).with_scope(RegScope::FullDependency)),
+        ),
+    ];
+    for (name, strategy) in variants {
+        let parts = strategy.split_outputs(&batch, k);
+        let micros: Vec<_> = parts
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| batch.restrict(p))
+            .collect();
+        let r = input_redundancy(&micros);
+        table.row(vec![
+            name,
+            r.total_input_nodes.to_string(),
+            r.redundant_nodes().to_string(),
+            format!("{:.3}", r.redundancy_ratio()),
+        ]);
+    }
+    table.finish();
+}
+
+fn refinement(profile: Profile) {
+    let (ds, mut config) = products_3layer(profile);
+    config.capacity_bytes = usize::MAX;
+    let runner = Runner::new(&ds, &config, 0);
+    let mut sample_runner = Runner::new(&ds, &config, 0);
+    let batch = sample_runner.sample_full_batch(&ds);
+    drop(runner);
+    let k = 8;
+    let mut table = Table::new(
+        "ablation_refinement",
+        "multilevel cutter: KL refinement on vs off (full-dependency REG)",
+        &["refinement passes", "input nodes", "ratio"],
+    );
+    for passes in [0usize, 4] {
+        let cutter = MultilevelPartitioner::new(0).with_refinement_passes(passes);
+        let strategy = RegPartitioner::new(0).with_cutter(cutter);
+        let parts = strategy.split_outputs(&batch, k);
+        let micros: Vec<_> = parts
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| batch.restrict(p))
+            .collect();
+        let r = input_redundancy(&micros);
+        table.row(vec![
+            passes.to_string(),
+            r.total_input_nodes.to_string(),
+            format!("{:.3}", r.redundancy_ratio()),
+        ]);
+    }
+    table.finish();
+}
+
+fn memory_aware(profile: Profile) {
+    let (ds, mut config) = products_3layer(profile);
+    // A capacity that needs several partitions.
+    let mut probe = Runner::new(&ds, &config, 0);
+    let batch = probe.sample_full_batch(&ds);
+    let full = probe
+        .plan_fixed(&batch, StrategyKind::Betty, 1)
+        .max_estimated_peak();
+    config.capacity_bytes = (full as f64 * 0.45) as usize;
+
+    let mut table = Table::new(
+        "ablation_memory_aware",
+        "K selection: estimator-guided planning vs trial-and-error training",
+        &["method", "K found", "training attempts", "wasted OOM sec"],
+    );
+
+    // Estimator-guided: zero aborted training runs.
+    let mut planned = Runner::new(&ds, &config, 0);
+    let (_, k_planned) = planned
+        .train_epoch_auto(&ds, StrategyKind::Betty)
+        .expect("planning finds a fitting K");
+    table.row(vec![
+        "memory-aware (Betty)".into(),
+        k_planned.to_string(),
+        "1".into(),
+        secs(0.0),
+    ]);
+
+    // Trial-and-error: train at K = 1, 2, … until one fits, timing the
+    // aborted attempts.
+    let mut attempts = 0usize;
+    let mut wasted = 0.0f64;
+    let mut k_found = 0usize;
+    let mut trial = Runner::new(&ds, &config, 0);
+    for k in 1..=config.max_partitions {
+        attempts += 1;
+        let started = std::time::Instant::now();
+        match trial.train_epoch_betty(&ds, StrategyKind::Betty, k) {
+            Ok(_) => {
+                k_found = k;
+                break;
+            }
+            Err(TrainError::Oom(_)) => wasted += started.elapsed().as_secs_f64(),
+        }
+    }
+    table.row(vec![
+        "trial-and-error".into(),
+        k_found.to_string(),
+        attempts.to_string(),
+        secs(wasted),
+    ]);
+    table.finish();
+}

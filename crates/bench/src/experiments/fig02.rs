@@ -1,0 +1,101 @@
+//! Figure 2: the GNN memory-capacity wall.
+//!
+//! Four panels of full-batch peak-memory estimates on the products-like
+//! graph, each sweeping one axis (aggregator, depth, hidden size, fanout)
+//! against the scaled device capacity. Configurations whose peak exceeds
+//! the capacity are the paper's OOM cases — Fig. 10 rescues exactly these.
+
+use betty::{Runner, StrategyKind};
+use betty_nn::AggregatorSpec;
+
+use crate::presets::{bench_dataset, wall_capacity, wall_config};
+use crate::report::{mib, Table};
+use crate::Profile;
+
+/// A single sweep point: panel label, setting, config, and whether it
+/// runs on the wide-feature (100-dim, faithful to ogbn-products) dataset —
+/// panel (d)'s 1-layer LSTM footprint scales with the raw feature width.
+pub(crate) fn sweep(
+    profile: Profile,
+) -> Vec<(&'static str, String, betty::ExperimentConfig, bool)> {
+    let mut cases = Vec::new();
+    // (a) aggregators, 2-layer (10, 25), hidden 256.
+    for agg in [AggregatorSpec::Mean, AggregatorSpec::Pool, AggregatorSpec::Lstm] {
+        cases.push((
+            "a:aggregator",
+            agg.name().to_string(),
+            wall_config(vec![10, 25], 256, agg, profile),
+            false,
+        ));
+    }
+    // (b) depth 2–5, Mean, hidden 256, paper fanouts (10, 25, 30, 40, +40).
+    let deep = [10usize, 25, 30, 40, 40];
+    for layers in 2..=5 {
+        cases.push((
+            "b:layers",
+            format!("{layers}"),
+            wall_config(deep[..layers].to_vec(), 256, AggregatorSpec::Mean, profile),
+            false,
+        ));
+    }
+    // (c) hidden 64–256 (the Fig. 2c sweep), like (b) at 4 layers.
+    for hidden in [64usize, 128, 256] {
+        cases.push((
+            "c:hidden",
+            format!("{hidden}"),
+            wall_config(deep[..4].to_vec(), hidden, AggregatorSpec::Mean, profile),
+            false,
+        ));
+    }
+    // (d) fanout sweep, 1-layer LSTM, hidden 256.
+    for fanout in [10usize, 20, 100, 800] {
+        cases.push((
+            "d:fanout",
+            format!("{fanout}"),
+            wall_config(vec![fanout], 256, AggregatorSpec::Lstm, profile),
+            true,
+        ));
+    }
+    cases
+}
+
+/// The wide-feature variant used by panel (d): the paper's real 100-dim
+/// ogbn-products features and its ~25 mean degree, so the fanout sweep has
+/// neighborhood mass to expand into.
+pub(crate) fn wide_products(profile: Profile) -> betty_data::Dataset {
+    betty_data::DatasetSpec::ogbn_products()
+        .scaled(profile.scale(0.0018))
+        .with_edges_per_node(25)
+        .generate(2024)
+}
+
+/// Runs the exhibit.
+pub fn run(profile: Profile) {
+    let ds = bench_dataset("ogbn-products", profile);
+    let ds_wide = wide_products(profile);
+    let capacity = wall_capacity(profile);
+    let mut table = Table::new(
+        "fig02",
+        &format!(
+            "memory wall: full-batch peak vs {} MiB capacity (ogbn-products-like, {} nodes)",
+            mib(capacity),
+            ds.num_nodes()
+        ),
+        &["panel", "setting", "peak MiB", "fits?"],
+    );
+    for (panel, setting, config, wide) in sweep(profile) {
+        let data = if wide { &ds_wide } else { &ds };
+        let mut runner = Runner::new(data, &config, 0);
+        let batch = runner.sample_full_batch(data);
+        let peak = runner
+            .plan_fixed(&batch, StrategyKind::Betty, 1)
+            .max_estimated_peak();
+        table.row(vec![
+            panel.to_string(),
+            setting,
+            mib(peak),
+            if peak <= capacity { "yes".into() } else { "OOM".into() },
+        ]);
+    }
+    table.finish();
+}

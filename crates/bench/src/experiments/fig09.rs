@@ -1,0 +1,87 @@
+//! Figure 9: (a) the in-degree distribution of destination nodes — a power
+//! law whose clamped tail makes DGL's last in-degree bucket explode — and
+//! (b) the per-bucket node counts of two REG micro-batches, showing the
+//! tail bucket is where the imbalance lives.
+
+use betty::{ExperimentConfig, Runner, StrategyKind};
+use betty_device::gib;
+use betty_graph::degree;
+use betty_nn::AggregatorSpec;
+
+use crate::presets::bench_dataset;
+use crate::report::Table;
+use crate::Profile;
+
+const MAX_BUCKET: usize = 10;
+
+/// Runs the exhibit.
+pub fn run(profile: Profile) {
+    let ds = bench_dataset("ogbn-arxiv", profile);
+    let config = ExperimentConfig {
+        // Large fanout so true in-degrees (and the long tail) survive
+        // sampling.
+        fanouts: vec![usize::MAX],
+        hidden_dim: 32,
+        aggregator: AggregatorSpec::Mean,
+        dropout: 0.0,
+        capacity_bytes: gib(24),
+        ..ExperimentConfig::default()
+    };
+    let mut runner = Runner::new(&ds, &config, 0);
+    let batch = runner.sample_full_batch(&ds);
+    let top = batch.blocks().last().expect("non-empty batch");
+
+    // (a) full-batch destination in-degree histogram, clamped at 10.
+    let degs = degree::block_in_degrees(top);
+    let hist = degree::bucketed_histogram(&degs, MAX_BUCKET);
+    let slope = degree::log_log_slope(&degree::histogram(&degs));
+    let mut table_a = Table::new(
+        "fig09a",
+        &format!(
+            "destination in-degree buckets (log-log slope {:.2})",
+            slope.unwrap_or(f64::NAN)
+        ),
+        &["bucket (in-degree)", "nodes"],
+    );
+    for (d, &count) in hist.iter().enumerate() {
+        let label = if d == MAX_BUCKET {
+            format!(">={d}")
+        } else {
+            d.to_string()
+        };
+        table_a.row(vec![label, count.to_string()]);
+    }
+    table_a.finish();
+
+    // (b) the same buckets for two REG micro-batches.
+    let plan = runner.plan_fixed(&batch, StrategyKind::Betty, 2);
+    let mut table_b = Table::new(
+        "fig09b",
+        "per-bucket destination counts of two REG micro-batches",
+        &["bucket", "micro-batch 0", "micro-batch 1", "imbalance"],
+    );
+    let hists: Vec<Vec<usize>> = plan
+        .micro_batches
+        .iter()
+        .map(|mb| {
+            let block = mb.blocks().last().expect("non-empty");
+            degree::bucketed_histogram(&degree::block_in_degrees(block), MAX_BUCKET)
+        })
+        .collect();
+    for d in 0..=MAX_BUCKET {
+        let a = hists.first().and_then(|h| h.get(d)).copied().unwrap_or(0);
+        let b = hists.get(1).and_then(|h| h.get(d)).copied().unwrap_or(0);
+        let imb = if a.min(b) == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.0}%", (a.max(b) as f64 / a.min(b) as f64 - 1.0) * 100.0)
+        };
+        let label = if d == MAX_BUCKET {
+            format!(">={d}")
+        } else {
+            d.to_string()
+        };
+        table_b.row(vec![label, a.to_string(), b.to_string(), imb]);
+    }
+    table_b.finish();
+}

@@ -1,0 +1,61 @@
+//! Figure 11: reduction of max memory consumption vs the full batch, for
+//! range/random/Metis/Betty across datasets and micro-batch counts.
+
+use betty::{ExperimentConfig, Runner, StrategyKind};
+use betty_device::gib;
+use betty_nn::AggregatorSpec;
+
+use crate::presets::bench_datasets;
+use crate::report::{mib, pct, Table};
+use crate::Profile;
+
+/// Runs the exhibit.
+pub fn run(profile: Profile) {
+    let config = ExperimentConfig {
+        fanouts: vec![10, 25],
+        hidden_dim: 32,
+        aggregator: AggregatorSpec::Mean,
+        dropout: 0.0,
+        capacity_bytes: gib(24),
+        ..ExperimentConfig::default()
+    };
+    let ks: &[usize] = match profile {
+        Profile::Quick => &[4, 8],
+        Profile::Full => &[2, 4, 8, 16, 32],
+    };
+    let mut table = Table::new(
+        "fig11",
+        "measured max memory per strategy (reduction vs full batch)",
+        &["dataset", "K", "full MiB", "range", "random", "metis", "betty", "betty cut"],
+    );
+    for ds in bench_datasets(profile) {
+        let mut runner = Runner::new(&ds, &config, 0);
+        let batch = runner.sample_full_batch(&ds);
+        let full = runner
+            .train_micro_batches(&ds, std::slice::from_ref(&batch))
+            .expect("ample capacity")
+            .max_peak_bytes;
+        for &k in ks {
+            let mut peaks = Vec::new();
+            for strategy in StrategyKind::ALL {
+                let plan = runner.plan_fixed(&batch, strategy, k);
+                let stats = runner
+                    .train_micro_batches(&ds, &plan.micro_batches)
+                    .expect("ample capacity");
+                peaks.push(stats.max_peak_bytes);
+            }
+            let betty = peaks[3];
+            table.row(vec![
+                ds.name.clone(),
+                k.to_string(),
+                mib(full),
+                mib(peaks[0]),
+                mib(peaks[1]),
+                mib(peaks[2]),
+                mib(betty),
+                pct(1.0 - betty as f64 / full as f64),
+            ]);
+        }
+    }
+    table.finish();
+}

@@ -1,0 +1,91 @@
+//! Table 5: training accuracy parity — full-batch ("DGL") vs Betty
+//! micro-batch training, five datasets × {GraphSAGE, GAT}, mean ± std over
+//! seeds. (The paper also skips GAT on ogbn-products.)
+
+use betty::{ExperimentConfig, ModelKind, Runner, StrategyKind};
+use betty_device::gib;
+use betty_nn::AggregatorSpec;
+
+use crate::presets::bench_datasets;
+use crate::report::Table;
+use crate::Profile;
+
+fn mean_std(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len().max(1) as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+fn train_to_accuracy(
+    ds: &betty_data::Dataset,
+    config: &ExperimentConfig,
+    seed: u64,
+    epochs: usize,
+    k: usize,
+) -> f64 {
+    let mut runner = Runner::new(ds, config, seed);
+    for _ in 0..epochs {
+        runner
+            .train_epoch_betty(ds, StrategyKind::Betty, k)
+            .expect("24 GiB is ample at bench scale");
+    }
+    runner.evaluate(ds, &ds.test_idx) * 100.0
+}
+
+/// Runs the exhibit.
+pub fn run(profile: Profile) {
+    let seeds: &[u64] = match profile {
+        Profile::Quick => &[0],
+        Profile::Full => &[0, 1, 2],
+    };
+    let epochs = profile.epochs(40);
+    let mut table = Table::new(
+        "table5",
+        "test accuracy (%): full-batch vs Betty micro-batch (K = 4)",
+        &["dataset", "model", "full-batch", "betty"],
+    );
+    for ds in bench_datasets(profile) {
+        for model in [ModelKind::GraphSage, ModelKind::Gat] {
+            if model == ModelKind::Gat && ds.name.starts_with("ogbn-products") {
+                // GAT cannot use ogbn-products in the paper either.
+                table.row(vec![
+                    ds.name.clone(),
+                    "GAT".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+                continue;
+            }
+            let config = ExperimentConfig {
+                fanouts: vec![10, 25],
+                hidden_dim: 32,
+                aggregator: AggregatorSpec::Mean,
+                model,
+                num_heads: 4,
+                dropout: 0.0,
+                learning_rate: if model == ModelKind::Gat { 2e-2 } else { 1e-2 },
+                capacity_bytes: gib(24),
+                ..ExperimentConfig::default()
+            };
+            let (mut full, mut betty) = (Vec::new(), Vec::new());
+            for &seed in seeds {
+                full.push(train_to_accuracy(&ds, &config, seed, epochs, 1));
+                betty.push(train_to_accuracy(&ds, &config, seed, epochs, 4));
+            }
+            let (fm, fs) = mean_std(&full);
+            let (bm, bs) = mean_std(&betty);
+            table.row(vec![
+                ds.name.clone(),
+                match model {
+                    ModelKind::GraphSage => "SAGE".into(),
+                    ModelKind::Gat => "GAT".into(),
+                    other => format!("{other:?}"),
+                },
+                format!("{fm:.2} ± {fs:.2}"),
+                format!("{bm:.2} ± {bs:.2}"),
+            ]);
+        }
+    }
+    table.finish();
+}

@@ -1,0 +1,156 @@
+//! Minimal `--key value` argument parsing (no external dependency).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse or validation failure, printed to the user with usage help.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed `--key value` flags (plus bare `--flag` booleans).
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses flags from an argument iterator (program name and
+    /// subcommand already consumed).
+    ///
+    /// # Errors
+    ///
+    /// Rejects positional arguments and repeated keys.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, ArgError> {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument '{arg}'")));
+            };
+            if key.is_empty() {
+                return Err(ArgError("empty flag '--'".into()));
+            }
+            let is_value = iter
+                .peek()
+                .map(|next| !next.starts_with("--"))
+                .unwrap_or(false);
+            if is_value {
+                let value = iter.next().expect("peeked");
+                if out.values.insert(key.to_string(), value).is_some() {
+                    return Err(ArgError(format!("flag --{key} given twice")));
+                }
+            } else {
+                out.flags.push(key.to_string());
+            }
+        }
+        Ok(out)
+    }
+
+    /// String value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Whether a bare `--key` flag was given.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Required string value.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the flag is missing.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing required flag --{key}")))
+    }
+
+    /// Typed value with a default.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the value does not parse as `T`.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse '{raw}'"))),
+        }
+    }
+
+    /// Comma-separated list of `usize` (e.g. `--fanouts 10,25`).
+    ///
+    /// # Errors
+    ///
+    /// Errors when an element does not parse.
+    pub fn get_usize_list(&self, key: &str) -> Result<Option<Vec<usize>>, ArgError> {
+        let Some(raw) = self.get(key) else {
+            return Ok(None);
+        };
+        raw.split(',')
+            .map(|part| {
+                part.trim()
+                    .parse()
+                    .map_err(|_| ArgError(format!("--{key}: bad element '{part}'")))
+            })
+            .collect::<Result<Vec<usize>, _>>()
+            .map(Some)
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(parts.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = parse(&["--scale", "0.1", "--verbose", "--k", "8"]).unwrap();
+        assert_eq!(a.get("scale"), Some("0.1"));
+        assert!(a.has_flag("verbose"));
+        assert_eq!(a.get_or("k", 1usize).unwrap(), 8);
+        assert_eq!(a.get_or("missing", 3usize).unwrap(), 3);
+    }
+
+    #[test]
+    fn rejects_positional_and_duplicates() {
+        assert!(parse(&["oops"]).is_err());
+        assert!(parse(&["--k", "1", "--k", "2"]).is_err());
+    }
+
+    #[test]
+    fn lists_parse() {
+        let a = parse(&["--fanouts", "10,25, 30"]).unwrap();
+        assert_eq!(a.get_usize_list("fanouts").unwrap(), Some(vec![10, 25, 30]));
+        assert_eq!(a.get_usize_list("absent").unwrap(), None);
+        let bad = parse(&["--fanouts", "10,x"]).unwrap();
+        assert!(bad.get_usize_list("fanouts").is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = parse(&[]).unwrap();
+        assert!(a.require("data").unwrap_err().to_string().contains("--data"));
+    }
+
+    #[test]
+    fn bad_typed_value_reports_key() {
+        let a = parse(&["--k", "NaNs"]).unwrap();
+        assert!(a.get_or("k", 0usize).is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+
+use betty::{DeviceGroup, ExperimentConfig, ModelKind, Runner, StrategyKind};
+use betty_data::{load_dataset, save_dataset, Dataset, DatasetSpec};
+use betty_graph::degree;
+use betty_nn::AggregatorSpec;
+use betty_partition::input_redundancy;
+
+use crate::args::{ArgError, Args};
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+fn preset_by_name(name: &str) -> Result<DatasetSpec, ArgError> {
+    DatasetSpec::all()
+        .into_iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| ArgError(format!("unknown preset '{name}' (try: cora, pubmed, reddit, ogbn-arxiv, ogbn-products)")))
+}
+
+fn load(args: &Args) -> Result<Dataset, Box<dyn Error>> {
+    if let Some(path) = args.get("data") {
+        return Ok(load_dataset(path)?);
+    }
+    // Allow generating on the fly: --preset without --data.
+    if let Some(preset) = args.get("preset") {
+        let spec = preset_by_name(preset)?
+            .scaled(args.get_or("scale", 0.01f64)?)
+            .with_feature_dim(args.get_or("feature-dim", 32usize)?);
+        return Ok(spec.generate(args.get_or("seed", 0u64)?));
+    }
+    Err(Box::new(ArgError("provide --data <file> or --preset <name>".into())))
+}
+
+fn strategy(args: &Args) -> Result<StrategyKind, ArgError> {
+    match args.get("strategy").unwrap_or("betty") {
+        "betty" => Ok(StrategyKind::Betty),
+        "range" => Ok(StrategyKind::Range),
+        "random" => Ok(StrategyKind::Random),
+        "metis" => Ok(StrategyKind::Metis),
+        other => Err(ArgError(format!("unknown strategy '{other}'"))),
+    }
+}
+
+fn experiment_config(args: &Args) -> Result<ExperimentConfig, Box<dyn Error>> {
+    let aggregator = match args.get("aggregator").unwrap_or("mean") {
+        "mean" => AggregatorSpec::Mean,
+        "sum" => AggregatorSpec::Sum,
+        "pool" => AggregatorSpec::Pool,
+        "lstm" => AggregatorSpec::Lstm,
+        other => return Err(Box::new(ArgError(format!("unknown aggregator '{other}'")))),
+    };
+    let model = match args.get("model").unwrap_or("sage") {
+        "sage" => ModelKind::GraphSage,
+        "gat" => ModelKind::Gat,
+        "gcn" => ModelKind::Gcn,
+        "gin" => ModelKind::Gin,
+        other => return Err(Box::new(ArgError(format!("unknown model '{other}'")))),
+    };
+    let config = ExperimentConfig {
+        fanouts: args.get_usize_list("fanouts")?.unwrap_or(vec![10, 25]),
+        hidden_dim: args.get_or("hidden", 64usize)?,
+        aggregator,
+        model,
+        num_heads: args.get_or("heads", 4usize)?,
+        dropout: args.get_or("dropout", 0.1f32)?,
+        learning_rate: args.get_or("lr", 3e-3f32)?,
+        capacity_bytes: args.get_or("capacity-mib", 24 * 1024usize)? << 20,
+        ..ExperimentConfig::default()
+    };
+    config.validate().map_err(ArgError)?;
+    Ok(config)
+}
+
+fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1 << 20) as f64
+}
+
+/// `betty generate`.
+pub fn generate(args: &Args) -> CmdResult {
+    let preset = args.require("preset")?;
+    let out = args.require("out")?.to_string();
+    let spec = preset_by_name(preset)?
+        .scaled(args.get_or("scale", 0.01f64)?)
+        .with_feature_dim(args.get_or("feature-dim", 32usize)?);
+    let ds = spec.generate(args.get_or("seed", 0u64)?);
+    save_dataset(&ds, &out)?;
+    println!(
+        "wrote {} ({} nodes, {} edges, {} classes) to {out}",
+        ds.name,
+        ds.graph.num_nodes(),
+        ds.graph.num_edges(),
+        ds.num_classes
+    );
+    Ok(())
+}
+
+/// `betty info`.
+pub fn info(args: &Args) -> CmdResult {
+    let ds = load(args)?;
+    let in_degs = ds.graph.in_degrees();
+    let stats = degree::stats(&in_degs);
+    println!("dataset    {}", ds.name);
+    println!("nodes      {}", ds.graph.num_nodes());
+    println!("edges      {}", ds.graph.num_edges());
+    println!("features   {}", ds.feature_dim());
+    println!("classes    {}", ds.num_classes);
+    println!(
+        "splits     train {} / val {} / test {}",
+        ds.train_idx.len(),
+        ds.val_idx.len(),
+        ds.test_idx.len()
+    );
+    println!(
+        "in-degree  min {} / median {} / mean {:.1} / max {}",
+        stats.min, stats.median, stats.mean, stats.max
+    );
+    if let Some(slope) = degree::log_log_slope(&degree::histogram(&in_degs)) {
+        println!("power law  log-log slope {slope:.2}");
+    }
+    let cc = betty_graph::weakly_connected_components(&ds.graph);
+    println!(
+        "components {} (largest covers {:.1}% of nodes)",
+        cc.count(),
+        100.0 * cc.largest() as f64 / ds.graph.num_nodes().max(1) as f64
+    );
+    Ok(())
+}
+
+/// `betty partition`.
+pub fn partition(args: &Args) -> CmdResult {
+    let ds = load(args)?;
+    let config = experiment_config(args)?;
+    let k = args.get_or("k", 8usize)?;
+    let mut runner = Runner::new(&ds, &config, args.get_or("seed", 0u64)?);
+    let batch = runner.sample_full_batch(&ds);
+    if args.has_flag("compare") {
+        println!(
+            "{:<8} {:>12} {:>12} {:>14} {:>14}",
+            "strategy", "inputs", "redundancy", "est peak MiB", "partition ms"
+        );
+        for kind in StrategyKind::ALL {
+            let plan = runner.plan_fixed(&batch, kind, k);
+            let report = input_redundancy(&plan.micro_batches);
+            println!(
+                "{:<8} {:>12} {:>11.3}x {:>14.2} {:>14.1}",
+                kind.name(),
+                report.total_input_nodes,
+                report.redundancy_ratio(),
+                mib(plan.max_estimated_peak()),
+                plan.partition_sec * 1e3,
+            );
+        }
+        return Ok(());
+    }
+    let kind = strategy(args)?;
+    let plan = runner.plan_fixed(&batch, kind, k);
+    let report = input_redundancy(&plan.micro_batches);
+    println!(
+        "strategy {} split {} outputs into {} micro-batches ({:.1} ms partition, {:.1} ms extraction)",
+        kind,
+        batch.output_nodes().len(),
+        plan.micro_batches.len(),
+        plan.partition_sec * 1e3,
+        plan.extraction_sec * 1e3,
+    );
+    println!(
+        "input nodes {} (unique {}, redundancy {:.3}x)",
+        report.total_input_nodes,
+        report.unique_input_nodes,
+        report.redundancy_ratio()
+    );
+    println!("{:>4} {:>10} {:>12} {:>14}", "id", "outputs", "inputs", "est peak MiB");
+    for (i, (mb, est)) in plan.micro_batches.iter().zip(&plan.estimates).enumerate() {
+        println!(
+            "{i:>4} {:>10} {:>12} {:>14.2}",
+            mb.output_nodes().len(),
+            mb.input_nodes().len(),
+            mib(est.peak_bytes())
+        );
+    }
+    Ok(())
+}
+
+/// `betty train`.
+pub fn train(args: &Args) -> CmdResult {
+    let ds = load(args)?;
+    let config = experiment_config(args)?;
+    let kind = strategy(args)?;
+    let epochs = args.get_or("epochs", 20usize)?;
+    let devices = args.get_or("devices", 1usize)?;
+    let seed = args.get_or("seed", 0u64)?;
+    let k_arg = args.get("k").unwrap_or("auto").to_string();
+    if k_arg == "auto" && devices > 1 {
+        return Err(Box::new(ArgError(
+            "--devices requires an explicit --k (auto-K is single-device)".into(),
+        )));
+    }
+    let mut runner = Runner::new(&ds, &config, seed);
+    println!(
+        "training {} on {} ({} train nodes), strategy {kind}, capacity {:.0} MiB",
+        args.get("model").unwrap_or("sage"),
+        ds.name,
+        ds.train_idx.len(),
+        mib(config.capacity_bytes)
+    );
+    println!(
+        "{:>6} {:>10} {:>5} {:>12} {:>10}",
+        "epoch", "loss", "K", "peak MiB", "val acc"
+    );
+    for epoch in 0..epochs {
+        let (stats, k) = if k_arg == "auto" {
+            runner.train_epoch_auto(&ds, kind)?
+        } else {
+            let k: usize = k_arg
+                .parse()
+                .map_err(|_| ArgError(format!("--k: expected 'auto' or a number, got '{k_arg}'")))?;
+            if devices > 1 {
+                let group = DeviceGroup::new(devices);
+                let multi = runner.train_epoch_multi_device(&ds, kind, k, &group)?;
+                (multi.combined, k)
+            } else {
+                (runner.train_epoch_betty(&ds, kind, k)?, k)
+            }
+        };
+        let report = epoch == epochs - 1 || epoch % 5 == 0;
+        if report {
+            let val = runner.evaluate(&ds, &ds.val_idx);
+            println!(
+                "{epoch:>6} {:>10.4} {k:>5} {:>12.1} {:>9.1}%",
+                stats.loss,
+                mib(stats.max_peak_bytes),
+                val * 100.0
+            );
+        }
+    }
+    let test = runner.evaluate(&ds, &ds.test_idx);
+    println!("test accuracy: {:.2}%", test * 100.0);
+    if let Some(path) = args.get("checkpoint") {
+        betty_nn::save_checkpoint(runner.trainer().model(), path)?;
+        println!("checkpoint written to {path}");
+    }
+    Ok(())
+}
+
+/// `betty eval`.
+pub fn eval(args: &Args) -> CmdResult {
+    let ds = load(args)?;
+    let config = experiment_config(args)?;
+    let ckpt = args.require("checkpoint")?.to_string();
+    let mut runner = Runner::new(&ds, &config, args.get_or("seed", 0u64)?);
+    betty_nn::load_checkpoint(runner.trainer_mut().model_mut(), &ckpt)?;
+    let acc = betty::accuracy_full_graph(
+        runner.trainer().model(),
+        &ds,
+        &ds.test_idx,
+        args.get_or("chunk", 1024usize)?,
+    );
+    println!(
+        "exact full-graph test accuracy: {:.2}% ({} nodes)",
+        acc * 100.0,
+        ds.test_idx.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! `betty` — command-line interface for the Betty GNN training system.
+//!
+//! ```text
+//! betty generate  --preset ogbn-arxiv --scale 0.01 --out data.btd
+//! betty info      --data data.btd
+//! betty partition --data data.btd --k 8 --strategy betty
+//! betty train     --data data.btd --epochs 20 --k auto --capacity-mib 64
+//! betty eval      --data data.btd --checkpoint model.ckpt
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+betty — batch-level graph partitioning for GNN training (ASPLOS'23 reproduction)
+
+USAGE: betty <command> [--flag value]...
+
+COMMANDS:
+  generate   synthesize a dataset            --preset <name> [--scale F]
+             [--feature-dim D] [--seed N] --out <file>
+  info       describe a dataset              --data <file>
+  partition  split one batch, report quality --data <file> [--k N]
+             [--strategy betty|range|random|metis] [--fanouts 10,25]
+             [--compare  (run all four strategies side by side)]
+  train      train a GNN with Betty          --data <file> [--epochs N]
+             [--k auto|N] [--strategy S] [--model sage|gat|gcn|gin]
+             [--aggregator mean|sum|pool|lstm] [--fanouts 10,25]
+             [--hidden H] [--lr F] [--capacity-mib M] [--devices D]
+             [--checkpoint <out.ckpt>] [--seed N]
+  eval       exact full-graph accuracy       --data <file> --checkpoint
+             <file> [--model ...same shape flags as train]
+
+Presets: cora, pubmed, reddit, ogbn-arxiv, ogbn-products.
+";
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let parsed = match args::Args::parse(argv) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => commands::generate(&parsed),
+        "info" => commands::info(&parsed),
+        "partition" => commands::partition(&parsed),
+        "train" => commands::train(&parsed),
+        "eval" => commands::eval(&parsed),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("error: unknown command '{other}'\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

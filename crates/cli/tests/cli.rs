@@ -1,0 +1,132 @@
+//! End-to-end tests of the `betty` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn betty() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_betty"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("betty-cli-test-{name}-{}", std::process::id()))
+}
+
+#[test]
+fn no_command_prints_usage_and_fails() {
+    let out = betty().output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn help_succeeds() {
+    let out = betty().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("COMMANDS"));
+}
+
+#[test]
+fn unknown_strategy_is_reported() {
+    let out = betty()
+        .args([
+            "partition",
+            "--preset",
+            "cora",
+            "--scale",
+            "0.05",
+            "--strategy",
+            "zigzag",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown strategy"));
+}
+
+#[test]
+fn generate_info_partition_train_eval_pipeline() {
+    let data = tmp("pipeline.btd");
+    let ckpt = tmp("pipeline.ckpt");
+
+    let out = betty()
+        .args([
+            "generate",
+            "--preset",
+            "cora",
+            "--scale",
+            "0.1",
+            "--feature-dim",
+            "12",
+            "--out",
+        ])
+        .arg(&data)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = betty().arg("info").arg("--data").arg(&data).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("classes    7"), "{stdout}");
+
+    let out = betty()
+        .args(["partition", "--k", "3", "--fanouts", "4,6", "--data"])
+        .arg(&data)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("micro-batches"));
+
+    let out = betty()
+        .args([
+            "train", "--epochs", "4", "--k", "2", "--fanouts", "4,6", "--hidden", "12",
+            "--lr", "0.02", "--dropout", "0.0",
+        ])
+        .arg("--data")
+        .arg(&data)
+        .arg("--checkpoint")
+        .arg(&ckpt)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("test accuracy"));
+
+    let out = betty()
+        .args(["eval", "--fanouts", "4,6", "--hidden", "12"])
+        .arg("--data")
+        .arg(&data)
+        .arg("--checkpoint")
+        .arg(&ckpt)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("full-graph test accuracy"));
+
+    let _ = std::fs::remove_file(&data);
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn train_from_preset_without_file() {
+    let out = betty()
+        .args([
+            "train",
+            "--preset",
+            "pubmed",
+            "--scale",
+            "0.02",
+            "--feature-dim",
+            "8",
+            "--epochs",
+            "2",
+            "--k",
+            "2",
+            "--fanouts",
+            "3,5",
+            "--hidden",
+            "8",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}

@@ -1,0 +1,169 @@
+//! Device-memory accounting for one training step.
+//!
+//! The trainer executes real tensor math on the host while charging every
+//! tensor that would live on the accelerator to the simulated
+//! [`Device`]. The charge order reproduces the lifecycle the paper's
+//! estimator models (§4.4.3): static tensors first, then forward
+//! activations, then — as backprop begins — aggregator intermediates are
+//! released while gradients appear, so the recorded peak is
+//! `static + hidden + max(aggregator, gradients)`.
+
+use betty_device::{AllocationId, Device, MemoryCategory, OomError, BYTES_PER_VALUE};
+use betty_graph::Batch;
+
+/// Per-step sizes, all in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct StepSizes {
+    pub params: usize,
+    pub optimizer_states: usize,
+    pub blocks: usize,
+    pub input_features: usize,
+    pub labels: usize,
+}
+
+impl StepSizes {
+    pub(crate) fn for_batch(
+        batch: &Batch,
+        in_dim: usize,
+        param_values: usize,
+        opt_state_values: usize,
+    ) -> Self {
+        StepSizes {
+            params: param_values * BYTES_PER_VALUE,
+            optimizer_states: opt_state_values * BYTES_PER_VALUE,
+            blocks: batch
+                .blocks()
+                .iter()
+                .map(|b| b.storage_values() * BYTES_PER_VALUE)
+                .sum(),
+            input_features: batch.input_nodes().len() * in_dim * BYTES_PER_VALUE,
+            labels: batch.output_nodes().len() * BYTES_PER_VALUE,
+        }
+    }
+
+    /// Bytes that must cross the host→device link for this step (model
+    /// parameters stay resident; data does not).
+    pub(crate) fn transfer_bytes(&self) -> usize {
+        self.blocks + self.input_features + self.labels
+    }
+}
+
+/// Live allocations of one step, so the trainer can stage frees.
+pub(crate) struct StepCharges {
+    statics: Vec<AllocationId>,
+    hidden: Option<AllocationId>,
+    aggregator: Option<AllocationId>,
+    gradients: Option<AllocationId>,
+}
+
+impl StepCharges {
+    /// Charges the static tensors (params, optimizer state, blocks, input
+    /// features, labels).
+    pub(crate) fn charge_static(device: &mut Device, sizes: &StepSizes) -> Result<Self, OomError> {
+        let mut statics = Vec::with_capacity(5);
+        for (bytes, cat) in [
+            (sizes.params, MemoryCategory::Parameters),
+            (sizes.optimizer_states, MemoryCategory::OptimizerStates),
+            (sizes.blocks, MemoryCategory::Blocks),
+            (sizes.input_features, MemoryCategory::InputFeatures),
+            (sizes.labels, MemoryCategory::Labels),
+        ] {
+            statics.push(device.alloc(bytes, cat)?);
+        }
+        Ok(Self {
+            statics,
+            hidden: None,
+            aggregator: None,
+            gradients: None,
+        })
+    }
+
+    /// Charges forward activations: named hidden outputs plus everything
+    /// else on the tape (attributed to the aggregator).
+    pub(crate) fn charge_forward(
+        &mut self,
+        device: &mut Device,
+        hidden_bytes: usize,
+        aggregator_bytes: usize,
+    ) -> Result<(), OomError> {
+        self.hidden = Some(device.alloc(hidden_bytes, MemoryCategory::HiddenActivations)?);
+        self.aggregator =
+            Some(device.alloc(aggregator_bytes, MemoryCategory::AggregatorIntermediate)?);
+        Ok(())
+    }
+
+    /// Transitions to the backward phase: aggregator intermediates are
+    /// consumed while parameter gradients materialize.
+    pub(crate) fn charge_backward(
+        &mut self,
+        device: &mut Device,
+        grad_bytes: usize,
+    ) -> Result<(), OomError> {
+        if let Some(agg) = self.aggregator.take() {
+            device.free(agg);
+        }
+        self.gradients = Some(device.alloc(grad_bytes, MemoryCategory::Gradients)?);
+        Ok(())
+    }
+
+    /// Releases every remaining allocation of the step.
+    pub(crate) fn release(self, device: &mut Device) {
+        for id in self.statics {
+            device.free(id);
+        }
+        for id in [self.hidden, self.aggregator, self.gradients]
+            .into_iter()
+            .flatten()
+        {
+            device.free(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betty_graph::Block;
+
+    fn batch() -> Batch {
+        Batch::new(vec![Block::new(vec![0, 1], &[(2, 0), (3, 1), (4, 1)])])
+    }
+
+    #[test]
+    fn sizes_match_hand_count() {
+        let s = StepSizes::for_batch(&batch(), 8, 100, 200);
+        assert_eq!(s.params, 400);
+        assert_eq!(s.optimizer_states, 800);
+        assert_eq!(s.blocks, 3 * 3 * 4);
+        assert_eq!(s.input_features, 5 * 8 * 4);
+        assert_eq!(s.labels, 8);
+        assert_eq!(s.transfer_bytes(), 36 + 160 + 8);
+    }
+
+    #[test]
+    fn lifecycle_peak_is_static_plus_hidden_plus_max_transient() {
+        let mut dev = Device::unbounded();
+        let sizes = StepSizes::for_batch(&batch(), 8, 100, 200);
+        let static_total = sizes.params
+            + sizes.optimizer_states
+            + sizes.blocks
+            + sizes.input_features
+            + sizes.labels;
+        let mut charges = StepCharges::charge_static(&mut dev, &sizes).unwrap();
+        charges.charge_forward(&mut dev, 50, 300).unwrap();
+        charges.charge_backward(&mut dev, 120).unwrap();
+        // Aggregator (300) > gradients (120): forward dominates the peak.
+        assert_eq!(dev.peak_bytes(), static_total + 50 + 300);
+        charges.release(&mut dev);
+        assert_eq!(dev.current_bytes(), 0);
+    }
+
+    #[test]
+    fn oom_during_forward_propagates() {
+        let sizes = StepSizes::for_batch(&batch(), 8, 100, 200);
+        let mut dev = Device::new(sizes.transfer_bytes() + sizes.params + sizes.optimizer_states + 10);
+        let mut charges = StepCharges::charge_static(&mut dev, &sizes).unwrap();
+        assert!(charges.charge_forward(&mut dev, 50, 300).is_err());
+        charges.release(&mut dev);
+    }
+}

@@ -1,0 +1,132 @@
+use betty_device::gib;
+use betty_nn::AggregatorSpec;
+
+/// Which GNN architecture to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// GraphSAGE (the paper's primary model).
+    GraphSage,
+    /// Graph attention network (the paper's secondary model).
+    Gat,
+    /// Graph convolutional network (library extension; not evaluated in
+    /// the paper, useful as a lightweight baseline model).
+    Gcn,
+    /// Graph isomorphism network (library extension; sum aggregation with
+    /// a learnable ε and per-layer MLPs).
+    Gin,
+}
+
+/// Everything that defines one training experiment.
+///
+/// Mirrors the knobs the paper sweeps: aggregator, layer count (via
+/// `fanouts.len()`), hidden width, fanout degrees, and device capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Per-layer sampling fanouts, input-most layer first; the layer count
+    /// is `fanouts.len()`. Use `usize::MAX` for full neighborhood.
+    pub fanouts: Vec<usize>,
+    /// Hidden width of the GNN.
+    pub hidden_dim: usize,
+    /// Neighbor aggregator (GraphSAGE only; GAT uses attention).
+    pub aggregator: AggregatorSpec,
+    /// Architecture.
+    pub model: ModelKind,
+    /// Attention heads (GAT only).
+    pub num_heads: usize,
+    /// Dropout probability between layers.
+    pub dropout: f32,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Simulated accelerator capacity in bytes (the paper's RTX 6000 has
+    /// 24 GB).
+    pub capacity_bytes: usize,
+    /// Upper bound on micro-batch count for memory-aware re-partitioning.
+    pub max_partitions: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            fanouts: vec![10, 25],
+            hidden_dim: 64,
+            aggregator: AggregatorSpec::Mean,
+            model: ModelKind::GraphSage,
+            num_heads: 4,
+            dropout: 0.1,
+            learning_rate: 3e-3,
+            capacity_bytes: gib(24),
+            max_partitions: 512,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Number of GNN layers (= fanout entries).
+    pub fn num_layers(&self) -> usize {
+        self.fanouts.len()
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fanouts.is_empty() {
+            return Err("at least one layer fanout required".into());
+        }
+        if self.hidden_dim == 0 {
+            return Err("hidden_dim must be positive".into());
+        }
+        if self.model == ModelKind::Gat && !self.hidden_dim.is_multiple_of(self.num_heads) {
+            return Err(format!(
+                "hidden_dim {} not divisible by {} heads",
+                self.hidden_dim, self.num_heads
+            ));
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err("dropout must be in [0, 1)".into());
+        }
+        if self.learning_rate <= 0.0 {
+            return Err("learning rate must be positive".into());
+        }
+        if self.max_partitions == 0 {
+            return Err("max_partitions must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        ExperimentConfig::default().validate().unwrap();
+        assert_eq!(ExperimentConfig::default().num_layers(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_fields() {
+        let no_layers = ExperimentConfig {
+            fanouts: vec![],
+            ..ExperimentConfig::default()
+        };
+        assert!(no_layers.validate().is_err());
+
+        let bad_heads = ExperimentConfig {
+            model: ModelKind::Gat,
+            hidden_dim: 30,
+            num_heads: 4,
+            ..ExperimentConfig::default()
+        };
+        assert!(bad_heads.validate().is_err());
+
+        let bad_dropout = ExperimentConfig {
+            dropout: 1.0,
+            ..ExperimentConfig::default()
+        };
+        assert!(bad_dropout.validate().is_err());
+    }
+}

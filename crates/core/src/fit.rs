@@ -1,0 +1,200 @@
+//! High-level training loop with validation-based early stopping.
+
+use betty_data::Dataset;
+use betty_nn::LrSchedule;
+
+use crate::runner::{RunError, Runner};
+use crate::stats::EpochStats;
+use crate::strategy::StrategyKind;
+
+/// Configuration of [`fit`].
+pub struct FitConfig<'a> {
+    /// Partitioning strategy for every epoch.
+    pub strategy: StrategyKind,
+    /// Maximum epochs.
+    pub max_epochs: usize,
+    /// Stop after this many epochs without validation improvement
+    /// (`None` disables early stopping).
+    pub patience: Option<usize>,
+    /// Optional learning-rate schedule applied per epoch.
+    pub schedule: Option<&'a dyn LrSchedule>,
+    /// Base learning rate the schedule scales (ignored without a
+    /// schedule).
+    pub base_lr: f32,
+}
+
+impl Default for FitConfig<'_> {
+    fn default() -> Self {
+        Self {
+            strategy: StrategyKind::Betty,
+            max_epochs: 100,
+            patience: Some(10),
+            schedule: None,
+            base_lr: 3e-3,
+        }
+    }
+}
+
+impl std::fmt::Debug for FitConfig<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FitConfig")
+            .field("strategy", &self.strategy)
+            .field("max_epochs", &self.max_epochs)
+            .field("patience", &self.patience)
+            .field("has_schedule", &self.schedule.is_some())
+            .finish()
+    }
+}
+
+/// Result of a [`fit`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitReport {
+    /// Epochs actually trained.
+    pub epochs_run: usize,
+    /// Best validation accuracy observed.
+    pub best_val_accuracy: f64,
+    /// Epoch index of the best validation accuracy.
+    pub best_epoch: usize,
+    /// Whether early stopping triggered before `max_epochs`.
+    pub early_stopped: bool,
+    /// Per-epoch training stats.
+    pub history: Vec<EpochStats>,
+}
+
+/// Trains with memory-aware Betty partitioning until `max_epochs` or
+/// validation patience runs out; evaluates on `dataset.val_idx` each epoch.
+///
+/// Note: early stopping monitors accuracy only — the *returned* model is
+/// the final one (checkpoint the best epoch externally via
+/// [`betty_nn::save_checkpoint`] if needed).
+///
+/// # Errors
+///
+/// Propagates planning/training failures ([`RunError`]).
+pub fn fit(runner: &mut Runner, dataset: &Dataset, config: &FitConfig<'_>) -> Result<FitReport, RunError> {
+    let mut best_val = f64::NEG_INFINITY;
+    let mut best_epoch = 0usize;
+    let mut since_best = 0usize;
+    let mut history = Vec::new();
+    let mut early_stopped = false;
+    for epoch in 0..config.max_epochs {
+        if let Some(schedule) = config.schedule {
+            runner.set_learning_rate(schedule.lr_at(config.base_lr, epoch));
+        }
+        let (stats, _k) = runner.train_epoch_auto(dataset, config.strategy)?;
+        history.push(stats);
+        let val = runner.evaluate(dataset, &dataset.val_idx);
+        if val > best_val {
+            best_val = val;
+            best_epoch = epoch;
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if let Some(patience) = config.patience {
+                if since_best >= patience {
+                    early_stopped = true;
+                    break;
+                }
+            }
+        }
+    }
+    Ok(FitReport {
+        epochs_run: history.len(),
+        best_val_accuracy: best_val,
+        best_epoch,
+        early_stopped,
+        history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use betty_data::DatasetSpec;
+    use betty_device::gib;
+    use betty_nn::{AggregatorSpec, StepDecay};
+
+    fn dataset() -> Dataset {
+        DatasetSpec::cora()
+            .scaled(0.08)
+            .with_feature_dim(12)
+            .generate(3)
+    }
+
+    fn config() -> ExperimentConfig {
+        ExperimentConfig {
+            fanouts: vec![4, 6],
+            hidden_dim: 12,
+            aggregator: AggregatorSpec::Mean,
+            dropout: 0.0,
+            learning_rate: 1e-2,
+            capacity_bytes: gib(4),
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn fit_trains_and_reports() {
+        let ds = dataset();
+        let mut runner = Runner::new(&ds, &config(), 0);
+        let report = fit(
+            &mut runner,
+            &ds,
+            &FitConfig {
+                max_epochs: 8,
+                patience: None,
+                ..FitConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.epochs_run, 8);
+        assert!(!report.early_stopped);
+        assert!(report.best_val_accuracy > 0.0);
+        assert!(report.history.last().unwrap().loss < report.history[0].loss);
+    }
+
+    #[test]
+    fn early_stopping_triggers_with_zero_patience() {
+        // Patience 0: stop at the first epoch that fails to improve.
+        let ds = dataset();
+        let mut runner = Runner::new(&ds, &config(), 0);
+        let report = fit(
+            &mut runner,
+            &ds,
+            &FitConfig {
+                max_epochs: 50,
+                patience: Some(0),
+                ..FitConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(report.epochs_run < 50, "must stop early");
+        assert!(report.early_stopped);
+        assert!(report.best_epoch < report.epochs_run);
+    }
+
+    #[test]
+    fn schedule_is_applied() {
+        let ds = dataset();
+        let mut runner = Runner::new(&ds, &config(), 0);
+        let schedule = StepDecay {
+            step_epochs: 2,
+            gamma: 0.5,
+        };
+        let report = fit(
+            &mut runner,
+            &ds,
+            &FitConfig {
+                max_epochs: 4,
+                patience: None,
+                schedule: Some(&schedule),
+                base_lr: 1e-2,
+                ..FitConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.epochs_run, 4);
+        assert!(report.history.iter().all(|e| e.loss.is_finite()));
+    }
+}

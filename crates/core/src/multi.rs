@@ -1,0 +1,198 @@
+//! Simulated multi-accelerator training — the paper's stated future work
+//! ("we plan to extend Betty to multi-GPU training to speed up the
+//! training process", §7).
+//!
+//! Micro-batches are data-parallel by construction: each is self-contained
+//! and gradients sum across them. With `D` devices, the scheduler assigns
+//! micro-batches to devices (longest-processing-time-first over estimated
+//! work), every device accumulates its queue locally, and one ring
+//! all-reduce combines gradients before the optimizer step — which is
+//! *exactly* the gradient the single-device run computes, so convergence
+//! is untouched.
+//!
+//! Numerics execute for real on the shared model; the multi-device aspect
+//! is simulated by attributing each micro-batch's compute/transfer time and
+//! peak memory to its assigned device and taking the slowest device as the
+//! epoch's wall time.
+
+use crate::stats::{EpochStats, StepStats};
+
+/// Configuration of the simulated device group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceGroup {
+    /// Number of accelerators.
+    pub num_devices: usize,
+    /// Sustained all-reduce link bandwidth in bytes/second (NVLink-ish
+    /// default: 50 GB/s).
+    pub allreduce_bandwidth: f64,
+}
+
+impl DeviceGroup {
+    /// A group of `num_devices` with the default interconnect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_devices == 0`.
+    pub fn new(num_devices: usize) -> Self {
+        assert!(num_devices > 0, "at least one device required");
+        Self {
+            num_devices,
+            allreduce_bandwidth: 50.0e9,
+        }
+    }
+
+    /// Ring all-reduce time for `bytes` of gradients: each rank moves
+    /// `2 (D − 1) / D` of the payload.
+    pub fn allreduce_sec(&self, bytes: usize) -> f64 {
+        if self.num_devices == 1 {
+            return 0.0;
+        }
+        let d = self.num_devices as f64;
+        2.0 * (d - 1.0) / d * bytes as f64 / self.allreduce_bandwidth
+    }
+}
+
+/// Outcome of one multi-device epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiDeviceEpoch {
+    /// Aggregate over all micro-batches (losses, totals — device-agnostic).
+    pub combined: EpochStats,
+    /// Per-device aggregates (compute/transfer time, peak memory).
+    pub per_device: Vec<EpochStats>,
+    /// Which device each micro-batch ran on.
+    pub assignment: Vec<usize>,
+    /// Simulated gradient all-reduce seconds.
+    pub allreduce_sec: f64,
+}
+
+impl MultiDeviceEpoch {
+    /// Epoch wall-clock: the slowest device plus gradient synchronization.
+    pub fn wall_sec(&self) -> f64 {
+        self.per_device
+            .iter()
+            .map(EpochStats::total_sec)
+            .fold(0.0, f64::max)
+            + self.allreduce_sec
+    }
+
+    /// Speed-up versus running every micro-batch on one device.
+    pub fn speedup_vs_serial(&self) -> f64 {
+        let serial = self.combined.total_sec();
+        let wall = self.wall_sec();
+        if wall == 0.0 {
+            1.0
+        } else {
+            serial / wall
+        }
+    }
+
+    /// Largest per-device peak bytes (each device needs this much memory).
+    pub fn max_device_peak(&self) -> usize {
+        self.per_device
+            .iter()
+            .map(|d| d.max_peak_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Longest-processing-time-first assignment of jobs (by `work`) onto
+/// `num_devices` queues; returns a device index per job.
+///
+/// # Panics
+///
+/// Panics if `num_devices == 0`.
+pub fn lpt_assignment(work: &[f64], num_devices: usize) -> Vec<usize> {
+    assert!(num_devices > 0, "at least one device required");
+    let mut order: Vec<usize> = (0..work.len()).collect();
+    order.sort_by(|&a, &b| work[b].total_cmp(&work[a]));
+    let mut load = vec![0.0f64; num_devices];
+    let mut assignment = vec![0usize; work.len()];
+    for job in order {
+        let device = (0..num_devices)
+            .min_by(|&a, &b| load[a].total_cmp(&load[b]))
+            .expect("num_devices > 0");
+        assignment[job] = device;
+        load[device] += work[job];
+    }
+    assignment
+}
+
+/// Folds per-step stats into per-device epoch aggregates.
+pub(crate) fn fold_by_device(
+    steps: &[StepStats],
+    assignment: &[usize],
+    num_devices: usize,
+) -> Vec<EpochStats> {
+    let mut per_device = vec![EpochStats::default(); num_devices];
+    for (step, &device) in steps.iter().zip(assignment) {
+        per_device[device].absorb(step);
+    }
+    per_device
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpt_balances_loads() {
+        let work = [10.0, 9.0, 8.0, 1.0, 1.0, 1.0];
+        let assignment = lpt_assignment(&work, 3);
+        let mut loads = [0.0f64; 3];
+        for (job, &d) in assignment.iter().enumerate() {
+            loads[d] += work[job];
+        }
+        let max = loads.iter().cloned().fold(0.0, f64::max);
+        let min = loads.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min <= 1.0, "{loads:?}");
+    }
+
+    #[test]
+    fn lpt_single_device_takes_all() {
+        let assignment = lpt_assignment(&[3.0, 1.0], 1);
+        assert_eq!(assignment, vec![0, 0]);
+    }
+
+    #[test]
+    fn allreduce_cost_model() {
+        let one = DeviceGroup::new(1);
+        assert_eq!(one.allreduce_sec(1 << 20), 0.0);
+        let four = DeviceGroup::new(4);
+        let t = four.allreduce_sec(50_000_000_000); // 50 GB at 50 GB/s
+        assert!((t - 1.5).abs() < 1e-9, "2·3/4 of a second-sized payload");
+        let two = DeviceGroup::new(2);
+        assert!(two.allreduce_sec(1000) < four.allreduce_sec(1000) + 1e-12);
+    }
+
+    #[test]
+    fn wall_time_is_slowest_device_plus_sync() {
+        let mk = |sec: f64| {
+            let mut e = EpochStats::default();
+            e.absorb(&StepStats {
+                loss: 0.0,
+                compute_sec: sec,
+                transfer_sec: 0.0,
+                peak_bytes: 100,
+                input_nodes: 1,
+                total_src_nodes: 1,
+            });
+            e
+        };
+        let epoch = MultiDeviceEpoch {
+            combined: mk(3.0),
+            per_device: vec![mk(2.0), mk(1.0)],
+            assignment: vec![0, 1],
+            allreduce_sec: 0.5,
+        };
+        assert!((epoch.wall_sec() - 2.5).abs() < 1e-12);
+        assert!((epoch.speedup_vs_serial() - 3.0 / 2.5).abs() < 1e-12);
+        assert_eq!(epoch.max_device_peak(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_rejected() {
+        lpt_assignment(&[1.0], 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Memory-aware batch re-partitioning (paper §4.4.3).
+
+use std::fmt;
+
+use betty_device::{MemoryEstimate, MemoryEstimator};
+use betty_graph::{Batch, NodeId};
+use betty_partition::OutputPartitioner;
+
+/// The outcome of planning: `K` micro-batches and their memory estimates.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Number of partitions actually used.
+    pub k: usize,
+    /// Output-node groups, one per micro-batch (empty groups dropped).
+    pub parts: Vec<Vec<NodeId>>,
+    /// The materialized micro-batches, parallel to `parts`.
+    pub micro_batches: Vec<Batch>,
+    /// Per-micro-batch memory estimates, parallel to `parts`.
+    pub estimates: Vec<MemoryEstimate>,
+    /// Wall-clock seconds spent partitioning (REG build + cut).
+    pub partition_sec: f64,
+    /// Wall-clock seconds spent extracting micro-batch block stacks.
+    pub extraction_sec: f64,
+}
+
+impl Plan {
+    /// Peak estimated bytes over all micro-batches — what determines
+    /// whether the plan fits the device.
+    pub fn max_estimated_peak(&self) -> usize {
+        self.estimates
+            .iter()
+            .map(MemoryEstimate::peak_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total first-layer input nodes over all micro-batches (redundancy-
+    /// inflated; Table 6's "total number of the first layer input").
+    pub fn total_input_nodes(&self) -> usize {
+        self.micro_batches
+            .iter()
+            .map(|b| b.input_nodes().len())
+            .sum()
+    }
+}
+
+/// Planning failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// Even `max_partitions`-way splitting leaves a micro-batch that the
+    /// estimator says exceeds capacity.
+    CapacityUnreachable {
+        /// The partition-count limit that was reached.
+        max_partitions: usize,
+        /// Smallest max-micro-batch peak seen, in bytes.
+        best_peak: usize,
+        /// Device capacity, in bytes.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::CapacityUnreachable {
+                max_partitions,
+                best_peak,
+                capacity,
+            } => write!(
+                f,
+                "no K ≤ {max_partitions} fits: best peak {best_peak} bytes > capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Chooses the micro-batch count by estimating memory instead of
+/// trial-and-error training runs.
+///
+/// Starting from `initial_k`, the planner splits the batch, estimates every
+/// micro-batch (§4.4.3's "partition memory estimation"), and accepts the
+/// first `K` whose largest micro-batch fits the capacity; otherwise it
+/// retries with `K + 1` (the paper's re-partitioning loop).
+#[derive(Debug, Clone)]
+pub struct MemoryAwarePlanner {
+    estimator: MemoryEstimator,
+    capacity_bytes: usize,
+    max_partitions: usize,
+}
+
+impl MemoryAwarePlanner {
+    /// A planner for the given estimator and device capacity.
+    pub fn new(estimator: MemoryEstimator, capacity_bytes: usize, max_partitions: usize) -> Self {
+        assert!(max_partitions > 0, "max_partitions must be positive");
+        Self {
+            estimator,
+            capacity_bytes,
+            max_partitions,
+        }
+    }
+
+    /// The estimator in use.
+    pub fn estimator(&self) -> &MemoryEstimator {
+        &self.estimator
+    }
+
+    /// Splits `batch` into exactly `k` micro-batches without the capacity
+    /// loop (used when an experiment fixes the batch count).
+    pub fn plan_fixed(&self, batch: &Batch, strategy: &dyn OutputPartitioner, k: usize) -> Plan {
+        let started = std::time::Instant::now();
+        let parts: Vec<Vec<NodeId>> = strategy
+            .split_outputs(batch, k)
+            .into_iter()
+            .filter(|p| !p.is_empty())
+            .collect();
+        let partition_sec = started.elapsed().as_secs_f64();
+        let extract_started = std::time::Instant::now();
+        let micro_batches: Vec<Batch> = parts.iter().map(|p| batch.restrict(p)).collect();
+        let extraction_sec = extract_started.elapsed().as_secs_f64();
+        let estimates: Vec<MemoryEstimate> = micro_batches
+            .iter()
+            .map(|mb| self.estimator.estimate(mb))
+            .collect();
+        Plan {
+            k,
+            parts,
+            micro_batches,
+            estimates,
+            partition_sec,
+            extraction_sec,
+        }
+    }
+
+    /// The memory-aware re-partitioning loop: smallest `K ≥ initial_k`
+    /// whose largest estimated micro-batch fits capacity.
+    ///
+    /// The paper iterates `K → K + 1` (§4.4.3); since each probe costs a
+    /// full REG partitioning, this implementation probes geometrically and
+    /// then binary-searches the fitting boundary — the same minimal `K`
+    /// whenever feasibility is monotone in `K` (which holding the strategy
+    /// fixed it is, up to partitioner noise), in `O(log K)` probes.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::CapacityUnreachable`] if no `K ≤ max_partitions` fits.
+    pub fn plan(
+        &self,
+        batch: &Batch,
+        strategy: &dyn OutputPartitioner,
+        initial_k: usize,
+    ) -> Result<Plan, PlanError> {
+        let n_outputs = batch.output_nodes().len();
+        let k_limit = self.max_partitions.min(n_outputs.max(1));
+        let mut best_peak = usize::MAX;
+        let mut probe = |k: usize| -> (Plan, bool) {
+            let plan = self.plan_fixed(batch, strategy, k);
+            let peak = plan.max_estimated_peak();
+            best_peak = best_peak.min(peak);
+            let fits = peak <= self.capacity_bytes;
+            (plan, fits)
+        };
+
+        // Geometric ascent to the first fitting K (or the limit).
+        let mut lo = initial_k.max(1); // highest known-failing K + 1 semantics below
+        let mut k = lo;
+        let (mut plan, mut fits) = probe(k);
+        while !fits {
+            if k >= k_limit {
+                return Err(PlanError::CapacityUnreachable {
+                    max_partitions: self.max_partitions,
+                    best_peak,
+                    capacity: self.capacity_bytes,
+                });
+            }
+            lo = k + 1;
+            k = (k * 2).min(k_limit);
+            let next = probe(k);
+            plan = next.0;
+            fits = next.1;
+        }
+        // Binary search the smallest fitting K in [lo, k].
+        let mut hi = k;
+        let mut best_plan = plan;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let (mid_plan, mid_fits) = probe(mid);
+            if mid_fits {
+                best_plan = mid_plan;
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Ok(best_plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betty_device::{AggregatorKind, ModelShape};
+    use betty_graph::Block;
+    use betty_partition::RegPartitioner;
+
+    fn estimator() -> MemoryEstimator {
+        MemoryEstimator::new(ModelShape {
+            in_dim: 16,
+            hidden_dim: 8,
+            num_classes: 4,
+            num_layers: 1,
+            aggregator: AggregatorKind::Mean,
+            params_gnn: 100,
+            params_agg: 0,
+        })
+    }
+
+    fn batch() -> Batch {
+        // 8 outputs with chains of private + shared sources.
+        let mut edges = Vec::new();
+        for d in 0..8u32 {
+            for s in 0..6u32 {
+                edges.push((100 + (d / 2) * 10 + s, d)); // pairs share sources
+            }
+        }
+        Batch::new(vec![Block::new((0..8).collect(), &edges)])
+    }
+
+    #[test]
+    fn plan_fixed_covers_outputs() {
+        let planner = MemoryAwarePlanner::new(estimator(), usize::MAX, 64);
+        let plan = planner.plan_fixed(&batch(), &RegPartitioner::new(0), 4);
+        let mut outputs: Vec<NodeId> = plan.parts.iter().flatten().copied().collect();
+        outputs.sort_unstable();
+        assert_eq!(outputs, (0..8).collect::<Vec<_>>());
+        assert_eq!(plan.micro_batches.len(), plan.estimates.len());
+    }
+
+    #[test]
+    fn plan_loop_grows_k_until_fit() {
+        let planner_unbounded = MemoryAwarePlanner::new(estimator(), usize::MAX, 64);
+        let full = planner_unbounded.plan_fixed(&batch(), &RegPartitioner::new(0), 1);
+        let full_peak = full.max_estimated_peak();
+        // Capacity below the full-batch peak forces K > 1.
+        let planner = MemoryAwarePlanner::new(estimator(), full_peak - 1, 64);
+        let plan = planner
+            .plan(&batch(), &RegPartitioner::new(0), 1)
+            .expect("a split must fit");
+        assert!(plan.k > 1, "k = {}", plan.k);
+        assert!(plan.max_estimated_peak() < full_peak);
+    }
+
+    #[test]
+    fn impossible_capacity_errors() {
+        // Parameters alone exceed one byte of capacity: no K can fit.
+        let planner = MemoryAwarePlanner::new(estimator(), 1, 8);
+        let err = planner
+            .plan(&batch(), &RegPartitioner::new(0), 1)
+            .unwrap_err();
+        let PlanError::CapacityUnreachable {
+            max_partitions,
+            capacity,
+            ..
+        } = err;
+        assert_eq!(max_partitions, 8);
+        assert_eq!(capacity, 1);
+    }
+
+    #[test]
+    fn more_parts_than_outputs_stops_at_output_count() {
+        let planner = MemoryAwarePlanner::new(estimator(), 1, 1000);
+        // 8 outputs: the loop must not run past K = 8.
+        assert!(planner.plan(&batch(), &RegPartitioner::new(0), 1).is_err());
+    }
+
+    #[test]
+    fn total_input_nodes_counts_duplicates() {
+        let planner = MemoryAwarePlanner::new(estimator(), usize::MAX, 64);
+        let plan1 = planner.plan_fixed(&batch(), &RegPartitioner::new(0), 1);
+        let plan8 = planner.plan_fixed(&batch(), &RegPartitioner::new(0), 8);
+        assert!(plan8.total_input_nodes() >= plan1.total_input_nodes());
+    }
+}

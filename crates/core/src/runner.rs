@@ -1,0 +1,552 @@
+//! High-level experiment facade: dataset + config → epochs.
+
+use std::fmt;
+
+use rand::SeedableRng;
+use rand_pcg::Pcg64Mcg;
+
+use betty_data::Dataset;
+use betty_device::{Device, MemoryEstimator, ModelShape};
+use betty_graph::{sample_batch_in, Batch, CsrGraph, NodeId};
+use betty_nn::{Gat, Gcn, Gin, GnnModel, GraphSage};
+
+use crate::config::{ExperimentConfig, ModelKind};
+use crate::planner::{MemoryAwarePlanner, Plan, PlanError};
+use crate::stats::EpochStats;
+use crate::strategy::{build_strategy, StrategyKind};
+use crate::trainer::{TrainError, Trainer};
+use crate::{aggregator_kind, eval};
+
+/// Failure of a full planning-plus-training epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// No partition count satisfied the capacity constraint.
+    Plan(PlanError),
+    /// A step ran out of device memory.
+    Train(TrainError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Plan(e) => write!(f, "planning failed: {e}"),
+            RunError::Train(e) => write!(f, "training failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<PlanError> for RunError {
+    fn from(e: PlanError) -> Self {
+        RunError::Plan(e)
+    }
+}
+
+impl From<TrainError> for RunError {
+    fn from(e: TrainError) -> Self {
+        RunError::Train(e)
+    }
+}
+
+/// Ties a model, trainer, planner, and sampler together for one experiment.
+///
+/// Each `train_epoch_*` call re-samples the full training batch (per-epoch
+/// neighbor sampling, as DGL does), partitions it with the requested
+/// strategy, and trains. See the [crate docs](crate) for an example.
+pub struct Runner {
+    config: ExperimentConfig,
+    trainer: Trainer,
+    planner: MemoryAwarePlanner,
+    in_graph: CsrGraph,
+    sample_rng: Pcg64Mcg,
+    seed: u64,
+    cached_parts: Option<CachedParts>,
+}
+
+/// A reusable output-node assignment from a previous epoch's plan.
+///
+/// The output set is the training split — identical every epoch — so the
+/// grouping from one epoch's REG cut remains *valid* on the next epoch's
+/// re-sampled batch (only slightly stale as an optimum). Reusing it
+/// amortizes Betty's partitioning overhead (§7 future work).
+struct CachedParts {
+    strategy: StrategyKind,
+    k: usize,
+    parts: Vec<Vec<NodeId>>,
+    epochs_used: usize,
+}
+
+impl fmt::Debug for Runner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runner")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// Host bytes staging one epoch: raw features plus every micro-batch's
+/// block structure (3 values per edge).
+fn host_staging_bytes(dataset: &Dataset, micro_batches: &[Batch]) -> usize {
+    dataset.features.size_bytes()
+        + micro_batches
+            .iter()
+            .map(|mb| mb.total_edges() * 3 * betty_device::BYTES_PER_VALUE)
+            .sum::<usize>()
+}
+
+/// Calibrated per-node LSTM intermediate constant for *this* autograd
+/// implementation: each unrolled cell step tapes the gathered input (d),
+/// the concat (2d), fused gates twice (8d), four slices (4d), four
+/// activations (4d) and five state ops (5d) — 24 values per node per step.
+/// The paper's PyTorch constant is 18 and explicitly
+/// implementation-dependent (§4.4.3); Table 7 reports our estimation error
+/// under this constant.
+pub const LSTM_TAPE_CONSTANT: usize = 24;
+
+impl Runner {
+    /// Builds the model, device, estimator and planner for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config fails [`ExperimentConfig::validate`].
+    pub fn new(dataset: &Dataset, config: &ExperimentConfig, seed: u64) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid config: {e}"));
+        let mut model_rng = Pcg64Mcg::seed_from_u64(seed);
+        let model: Box<dyn GnnModel> = match config.model {
+            ModelKind::GraphSage => Box::new(GraphSage::new(
+                dataset.feature_dim(),
+                config.hidden_dim,
+                dataset.num_classes,
+                config.num_layers(),
+                config.aggregator,
+                config.dropout,
+                &mut model_rng,
+            )),
+            ModelKind::Gat => Box::new(Gat::new(
+                dataset.feature_dim(),
+                config.hidden_dim,
+                dataset.num_classes,
+                config.num_layers(),
+                config.num_heads,
+                config.dropout,
+                &mut model_rng,
+            )),
+            ModelKind::Gcn => Box::new(Gcn::new(
+                dataset.feature_dim(),
+                config.hidden_dim,
+                dataset.num_classes,
+                config.num_layers(),
+                config.dropout,
+                &mut model_rng,
+            )),
+            ModelKind::Gin => Box::new(Gin::new(
+                dataset.feature_dim(),
+                config.hidden_dim,
+                dataset.num_classes,
+                config.num_layers(),
+                config.dropout,
+                &mut model_rng,
+            )),
+        };
+        let estimator_aggregator = match config.model {
+            // GCN/GIN fused aggregations have the same footprint shape as
+            // fused Mean/Sum.
+            ModelKind::GraphSage | ModelKind::Gcn | ModelKind::Gin => {
+                aggregator_kind(config.aggregator)
+            }
+            ModelKind::Gat => betty_device::AggregatorKind::Attention {
+                heads: config.num_heads,
+            },
+        };
+        let shape = ModelShape {
+            in_dim: dataset.feature_dim(),
+            hidden_dim: config.hidden_dim,
+            num_classes: dataset.num_classes,
+            num_layers: config.num_layers(),
+            aggregator: estimator_aggregator,
+            params_gnn: model.gnn_param_count(),
+            params_agg: model.agg_param_count(),
+        };
+        let estimator = MemoryEstimator::new(shape).with_lstm_constant(LSTM_TAPE_CONSTANT);
+        let planner =
+            MemoryAwarePlanner::new(estimator, config.capacity_bytes, config.max_partitions);
+        let trainer = Trainer::new(
+            model,
+            config.learning_rate,
+            Device::new(config.capacity_bytes),
+            seed.wrapping_add(1),
+        );
+        Self {
+            config: config.clone(),
+            trainer,
+            planner,
+            in_graph: dataset.graph.reverse(),
+            sample_rng: Pcg64Mcg::seed_from_u64(seed.wrapping_add(2)),
+            seed,
+            cached_parts: None,
+        }
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// The underlying trainer (device, transfer model, model).
+    pub fn trainer(&self) -> &Trainer {
+        &self.trainer
+    }
+
+    /// Mutable trainer access (e.g. to restore a checkpoint into the
+    /// model).
+    pub fn trainer_mut(&mut self) -> &mut Trainer {
+        &mut self.trainer
+    }
+
+    /// The memory-aware planner (and its estimator).
+    pub fn planner(&self) -> &MemoryAwarePlanner {
+        &self.planner
+    }
+
+    /// Updates the learning rate mid-training (for LR schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.trainer.set_learning_rate(lr);
+    }
+
+    /// Samples the full training batch with the configured fanouts.
+    pub fn sample_full_batch(&mut self, dataset: &Dataset) -> Batch {
+        sample_batch_in(
+            &self.in_graph,
+            &dataset.train_idx,
+            &self.config.fanouts,
+            &mut self.sample_rng,
+        )
+    }
+
+    /// Samples a batch for an arbitrary seed set (e.g. mini-batch chunks).
+    pub fn sample_batch_for(&mut self, seeds: &[NodeId]) -> Batch {
+        sample_batch_in(
+            &self.in_graph,
+            seeds,
+            &self.config.fanouts,
+            &mut self.sample_rng,
+        )
+    }
+
+    /// Splits a batch into exactly `k` micro-batches using `strategy`.
+    pub fn plan_fixed(&self, batch: &Batch, strategy: StrategyKind, k: usize) -> Plan {
+        self.planner
+            .plan_fixed(batch, build_strategy(strategy, self.seed).as_ref(), k)
+    }
+
+    /// Memory-aware planning: smallest `K` fitting the configured capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError`] if no partition count fits.
+    pub fn plan_auto(&self, batch: &Batch, strategy: StrategyKind) -> Result<Plan, PlanError> {
+        self.planner
+            .plan(batch, build_strategy(strategy, self.seed).as_ref(), 1)
+    }
+
+    /// One epoch of micro-batch training with a fixed partition count.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Oom`] if a micro-batch exceeds capacity.
+    pub fn train_epoch_betty(
+        &mut self,
+        dataset: &Dataset,
+        strategy: StrategyKind,
+        k: usize,
+    ) -> Result<EpochStats, TrainError> {
+        let batch = self.sample_full_batch(dataset);
+        let plan = self.plan_fixed(&batch, strategy, k);
+        let mut stats = self
+            .trainer
+            .micro_batch_epoch(dataset, &plan.micro_batches)?;
+        stats.host_bytes = host_staging_bytes(dataset, &plan.micro_batches)
+            + batch.total_edges() * 3 * betty_device::BYTES_PER_VALUE;
+        Ok(stats)
+    }
+
+    /// One epoch with memory-aware partition-count selection; returns the
+    /// epoch stats and the chosen `K`.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError`] if planning or training fails.
+    pub fn train_epoch_auto(
+        &mut self,
+        dataset: &Dataset,
+        strategy: StrategyKind,
+    ) -> Result<(EpochStats, usize), RunError> {
+        let batch = self.sample_full_batch(dataset);
+        let plan = self.plan_auto(&batch, strategy)?;
+        let mut stats = self.trainer.micro_batch_epoch(dataset, &plan.micro_batches)?;
+        stats.host_bytes = host_staging_bytes(dataset, &plan.micro_batches)
+            + batch.total_edges() * 3 * betty_device::BYTES_PER_VALUE;
+        Ok((stats, plan.micro_batches.len()))
+    }
+
+    /// Trains one effective batch from pre-built micro-batches (gradient
+    /// accumulation + single optimizer step). Benches use this to measure
+    /// a specific plan's micro-batches directly.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Oom`] if a micro-batch exceeds capacity.
+    pub fn train_micro_batches(
+        &mut self,
+        dataset: &Dataset,
+        micro_batches: &[Batch],
+    ) -> Result<EpochStats, TrainError> {
+        let mut stats = self.trainer.micro_batch_epoch(dataset, micro_batches)?;
+        stats.host_bytes = host_staging_bytes(dataset, micro_batches);
+        Ok(stats)
+    }
+
+    /// Like [`Runner::train_epoch_betty`], but reuses the previous epoch's
+    /// output-node grouping for up to `refresh_every - 1` epochs before
+    /// re-partitioning — amortizing the REG construction + cut cost, which
+    /// is valid because the output set (the training split) is identical
+    /// across epochs. Returns the epoch stats and whether this epoch paid
+    /// for a fresh partitioning.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Oom`] if a micro-batch exceeds capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refresh_every == 0`.
+    pub fn train_epoch_betty_cached(
+        &mut self,
+        dataset: &Dataset,
+        strategy: StrategyKind,
+        k: usize,
+        refresh_every: usize,
+    ) -> Result<(EpochStats, bool), TrainError> {
+        assert!(refresh_every > 0, "refresh_every must be positive");
+        let batch = self.sample_full_batch(dataset);
+        let reusable = self.cached_parts.as_ref().is_some_and(|c| {
+            c.strategy == strategy && c.k == k && c.epochs_used < refresh_every
+        });
+        let fresh = !reusable;
+        if fresh {
+            let plan = self.plan_fixed(&batch, strategy, k);
+            self.cached_parts = Some(CachedParts {
+                strategy,
+                k,
+                parts: plan.parts.clone(),
+                epochs_used: 0,
+            });
+        }
+        let cache = self.cached_parts.as_mut().expect("just ensured");
+        cache.epochs_used += 1;
+        let micro_batches: Vec<Batch> = cache
+            .parts
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| batch.restrict(p))
+            .collect();
+        let mut stats = self.trainer.micro_batch_epoch(dataset, &micro_batches)?;
+        stats.host_bytes = host_staging_bytes(dataset, &micro_batches)
+            + batch.total_edges() * 3 * betty_device::BYTES_PER_VALUE;
+        Ok((stats, fresh))
+    }
+
+    /// One epoch of simulated data-parallel training on a device group
+    /// (the paper's multi-GPU future work, §7): micro-batches are
+    /// LPT-scheduled across devices by estimated work, gradients are
+    /// ring-all-reduced (numerically identical to single-device
+    /// accumulation), and the wall time is the slowest device plus the
+    /// synchronization cost.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Oom`] if a micro-batch exceeds capacity.
+    pub fn train_epoch_multi_device(
+        &mut self,
+        dataset: &Dataset,
+        strategy: StrategyKind,
+        k: usize,
+        group: &crate::multi::DeviceGroup,
+    ) -> Result<crate::multi::MultiDeviceEpoch, TrainError> {
+        let batch = self.sample_full_batch(dataset);
+        let plan = self.plan_fixed(&batch, strategy, k);
+        // Work proxy: total edges of each micro-batch's block stack.
+        let work: Vec<f64> = plan
+            .micro_batches
+            .iter()
+            .map(|mb| mb.total_edges() as f64)
+            .collect();
+        let assignment = crate::multi::lpt_assignment(&work, group.num_devices);
+        let (combined, steps) = self
+            .trainer
+            .micro_batch_epoch_with_steps(dataset, &plan.micro_batches)?;
+        let per_device = crate::multi::fold_by_device(&steps, &assignment, group.num_devices);
+        let grad_bytes =
+            self.trainer.model().total_param_count() * betty_device::BYTES_PER_VALUE;
+        Ok(crate::multi::MultiDeviceEpoch {
+            combined,
+            per_device,
+            assignment,
+            allreduce_sec: group.allreduce_sec(grad_bytes),
+        })
+    }
+
+    /// One epoch of classic mini-batch training over `num_batches` chunks
+    /// of the training set (the §3.3/Table 6 baseline).
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Oom`] if a mini-batch exceeds capacity.
+    pub fn train_epoch_mini(
+        &mut self,
+        dataset: &Dataset,
+        num_batches: usize,
+    ) -> Result<EpochStats, TrainError> {
+        // Split as evenly as possible into *exactly* num_batches chunks
+        // (plain `chunks(ceil(n/k))` can come up short, e.g. 9 nodes into
+        // 4 batches of 3 yields only 3 batches).
+        let num_batches = num_batches.max(1).min(dataset.train_idx.len().max(1));
+        let n = dataset.train_idx.len();
+        let base = n / num_batches;
+        let extra = n % num_batches;
+        let mut chunks: Vec<Vec<NodeId>> = Vec::with_capacity(num_batches);
+        let mut start = 0usize;
+        for i in 0..num_batches {
+            let len = base + usize::from(i < extra);
+            chunks.push(dataset.train_idx[start..start + len].to_vec());
+            start += len;
+        }
+        let batches: Vec<Batch> = chunks
+            .iter()
+            .map(|c| self.sample_batch_for(c))
+            .collect();
+        self.trainer.mini_batch_epoch(dataset, &batches)
+    }
+
+    /// Accuracy on `nodes` using the configured fanouts for inference.
+    pub fn evaluate(&mut self, dataset: &Dataset, nodes: &[NodeId]) -> f64 {
+        let fanouts = self.config.fanouts.clone();
+        eval::accuracy(
+            self.trainer.model(),
+            dataset,
+            nodes,
+            &fanouts,
+            &mut self.sample_rng,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betty_data::DatasetSpec;
+    use betty_device::gib;
+    use betty_nn::AggregatorSpec;
+
+    fn dataset() -> Dataset {
+        DatasetSpec::cora()
+            .scaled(0.05)
+            .with_feature_dim(12)
+            .generate(4)
+    }
+
+    fn config() -> ExperimentConfig {
+        ExperimentConfig {
+            fanouts: vec![4, 8],
+            hidden_dim: 16,
+            aggregator: AggregatorSpec::Mean,
+            capacity_bytes: gib(4),
+            dropout: 0.0,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn betty_epoch_runs_and_learns() {
+        let ds = dataset();
+        let mut runner = Runner::new(&ds, &config(), 0);
+        let mut first = None;
+        let mut last = None;
+        for _ in 0..8 {
+            let stats = runner
+                .train_epoch_betty(&ds, StrategyKind::Betty, 2)
+                .unwrap();
+            first.get_or_insert(stats.loss);
+            last = Some(stats.loss);
+        }
+        assert!(last.unwrap() < first.unwrap());
+    }
+
+    #[test]
+    fn auto_planning_picks_k_one_when_everything_fits() {
+        let ds = dataset();
+        let mut runner = Runner::new(&ds, &config(), 0);
+        let (_, k) = runner.train_epoch_auto(&ds, StrategyKind::Betty).unwrap();
+        assert_eq!(k, 1, "4 GiB fits the tiny batch whole");
+    }
+
+    #[test]
+    fn auto_planning_splits_under_pressure() {
+        let ds = dataset();
+        let mut runner = Runner::new(&ds, &config(), 0);
+        let batch = runner.sample_full_batch(&ds);
+        let full_peak = runner
+            .plan_fixed(&batch, StrategyKind::Betty, 1)
+            .max_estimated_peak();
+        let tight = ExperimentConfig {
+            capacity_bytes: full_peak - 1,
+            ..config()
+        };
+        let mut tight_runner = Runner::new(&ds, &tight, 0);
+        let (stats, k) = tight_runner
+            .train_epoch_auto(&ds, StrategyKind::Betty)
+            .unwrap();
+        assert!(k > 1);
+        assert!(stats.max_peak_bytes <= full_peak);
+    }
+
+    #[test]
+    fn gat_runner_trains() {
+        let ds = dataset();
+        let cfg = ExperimentConfig {
+            model: ModelKind::Gat,
+            hidden_dim: 16,
+            num_heads: 4,
+            ..config()
+        };
+        let mut runner = Runner::new(&ds, &cfg, 0);
+        let stats = runner
+            .train_epoch_betty(&ds, StrategyKind::Betty, 2)
+            .unwrap();
+        assert!(stats.loss.is_finite());
+    }
+
+    #[test]
+    fn evaluate_returns_probability() {
+        let ds = dataset();
+        let mut runner = Runner::new(&ds, &config(), 0);
+        let nodes: Vec<_> = ds.val_idx.iter().copied().take(20).collect();
+        let acc = runner.evaluate(&ds, &nodes);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn mini_batch_epoch_runs() {
+        let ds = dataset();
+        let mut runner = Runner::new(&ds, &config(), 0);
+        let stats = runner.train_epoch_mini(&ds, 4).unwrap();
+        assert_eq!(stats.num_steps, 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! Training statistics collected by the trainer.
+
+/// Measurements from executing one (micro-)batch step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepStats {
+    /// Loss contribution (already scaled to the effective batch).
+    pub loss: f64,
+    /// Wall-clock compute seconds (forward + backward on this host).
+    pub compute_sec: f64,
+    /// Simulated host→device transfer seconds.
+    pub transfer_sec: f64,
+    /// Peak device bytes during the step.
+    pub peak_bytes: usize,
+    /// First-layer input nodes loaded.
+    pub input_nodes: usize,
+    /// Source nodes summed over every layer (compute volume).
+    pub total_src_nodes: usize,
+}
+
+/// Aggregated measurements for one epoch (all micro-batches of all batches).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpochStats {
+    /// Mean training loss over the effective batch.
+    pub loss: f64,
+    /// Number of micro-batches (or mini-batches) executed.
+    pub num_steps: usize,
+    /// Total compute seconds.
+    pub compute_sec: f64,
+    /// Total simulated transfer seconds.
+    pub transfer_sec: f64,
+    /// Maximum per-step peak device bytes — the number the paper reports
+    /// as "max memory consumption".
+    pub max_peak_bytes: usize,
+    /// Total input nodes loaded (redundancy-inflated).
+    pub total_input_nodes: usize,
+    /// Total source nodes over all layers and steps.
+    pub total_src_nodes: usize,
+    /// Host (CPU) bytes staging the epoch: the raw feature matrix plus the
+    /// full batch's and micro-batches' block structures. Betty's
+    /// heterogeneous-memory story (§2.2): the device only ever holds one
+    /// micro-batch; everything else waits in host memory.
+    pub host_bytes: usize,
+}
+
+impl EpochStats {
+    /// Folds a step into the epoch aggregate.
+    pub fn absorb(&mut self, step: &StepStats) {
+        self.loss += step.loss;
+        self.num_steps += 1;
+        self.compute_sec += step.compute_sec;
+        self.transfer_sec += step.transfer_sec;
+        self.max_peak_bytes = self.max_peak_bytes.max(step.peak_bytes);
+        self.total_input_nodes += step.input_nodes;
+        self.total_src_nodes += step.total_src_nodes;
+    }
+
+    /// Epoch wall time: compute plus simulated transfer.
+    pub fn total_sec(&self) -> f64 {
+        self.compute_sec + self.transfer_sec
+    }
+
+    /// The paper's computation-efficiency metric (§6.4): total nodes in all
+    /// micro-batches divided by epoch time.
+    pub fn computation_efficiency(&self) -> f64 {
+        if self.total_sec() == 0.0 {
+            0.0
+        } else {
+            self.total_src_nodes as f64 / self.total_sec()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(peak: usize) -> StepStats {
+        StepStats {
+            loss: 0.5,
+            compute_sec: 1.0,
+            transfer_sec: 0.5,
+            peak_bytes: peak,
+            input_nodes: 10,
+            total_src_nodes: 30,
+        }
+    }
+
+    #[test]
+    fn absorb_accumulates_and_maxes() {
+        let mut e = EpochStats::default();
+        e.absorb(&step(100));
+        e.absorb(&step(70));
+        assert_eq!(e.num_steps, 2);
+        assert_eq!(e.max_peak_bytes, 100);
+        assert_eq!(e.total_input_nodes, 20);
+        assert!((e.loss - 1.0).abs() < 1e-12);
+        assert!((e.total_sec() - 3.0).abs() < 1e-12);
+        assert!((e.computation_efficiency() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_zero_time_is_zero() {
+        assert_eq!(EpochStats::default().computation_efficiency(), 0.0);
+    }
+}

@@ -1,0 +1,413 @@
+//! Micro-batch and mini-batch training execution (paper §4.2).
+
+use std::fmt;
+use std::time::Instant;
+
+use rand::SeedableRng;
+use rand_pcg::Pcg64Mcg;
+
+use betty_data::Dataset;
+use betty_device::{Device, OomError, TransferModel, BYTES_PER_VALUE};
+use betty_graph::Batch;
+use betty_nn::{zero_grads, Adam, GnnModel, Optimizer, Session};
+use betty_tensor::{segment, Reduction};
+
+use crate::accounting::{StepCharges, StepSizes};
+use crate::stats::{EpochStats, StepStats};
+
+/// Training failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// The simulated device ran out of memory mid-step — what Betty's
+    /// memory-aware planning exists to prevent.
+    Oom(OomError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Oom(e) => write!(f, "training step failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Oom(e) => Some(e),
+        }
+    }
+}
+
+impl From<OomError> for TrainError {
+    fn from(e: OomError) -> Self {
+        TrainError::Oom(e)
+    }
+}
+
+/// How a step's loss feeds the gradient.
+enum LossMode {
+    /// Sum-reduced loss scaled by `1/effective_batch` — summing gradients
+    /// over micro-batches then equals the full-batch mean gradient.
+    MicroBatch {
+        /// Total output nodes of the *effective* batch.
+        effective_batch: usize,
+    },
+    /// Mean-reduced per batch (classic mini-batch SGD).
+    MiniBatch,
+}
+
+/// Executes (micro-)batches on the autograd engine while charging every
+/// accelerator-resident tensor to the simulated [`Device`].
+pub struct Trainer {
+    model: Box<dyn GnnModel>,
+    optimizer: Adam,
+    device: Device,
+    transfer: TransferModel,
+    rng: Pcg64Mcg,
+}
+
+impl fmt::Debug for Trainer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Trainer")
+            .field("device_capacity", &self.device.capacity())
+            .field("params", &self.model.total_param_count())
+            .finish()
+    }
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(model: Box<dyn GnnModel>, learning_rate: f32, device: Device, seed: u64) -> Self {
+        Self {
+            model,
+            optimizer: Adam::new(learning_rate),
+            device,
+            transfer: TransferModel::pcie3(),
+            rng: Pcg64Mcg::seed_from_u64(seed),
+        }
+    }
+
+    /// The model being trained.
+    pub fn model(&self) -> &dyn GnnModel {
+        self.model.as_ref()
+    }
+
+    /// Mutable model access (e.g. for evaluation helpers).
+    pub fn model_mut(&mut self) -> &mut dyn GnnModel {
+        self.model.as_mut()
+    }
+
+    /// The simulated device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The transfer model, for bandwidth/latency inspection.
+    pub fn transfer(&self) -> &TransferModel {
+        &self.transfer
+    }
+
+    /// Updates the optimizer's learning rate (for
+    /// [`betty_nn::schedule`] schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.optimizer.set_lr(lr);
+    }
+
+    /// Trains one *effective batch* as a sequence of micro-batches with
+    /// gradient accumulation: a single optimizer update at the end
+    /// (Fig. 6's micro-batch workflow).
+    ///
+    /// Passing a single batch is exactly full-batch training.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Oom`] if any micro-batch exceeds device capacity; the
+    /// model is left unstepped in that case.
+    pub fn micro_batch_epoch(
+        &mut self,
+        dataset: &Dataset,
+        micro_batches: &[Batch],
+    ) -> Result<EpochStats, TrainError> {
+        self.micro_batch_epoch_with_steps(dataset, micro_batches)
+            .map(|(epoch, _)| epoch)
+    }
+
+    /// Like [`Trainer::micro_batch_epoch`], additionally returning the
+    /// per-micro-batch [`StepStats`] (in `micro_batches` order, skipping
+    /// empty ones) — what the multi-device scheduler folds per device.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Oom`] if any micro-batch exceeds device capacity.
+    pub fn micro_batch_epoch_with_steps(
+        &mut self,
+        dataset: &Dataset,
+        micro_batches: &[Batch],
+    ) -> Result<(EpochStats, Vec<StepStats>), TrainError> {
+        let effective_batch: usize = micro_batches
+            .iter()
+            .map(|b| b.output_nodes().len())
+            .sum();
+        let mut epoch = EpochStats::default();
+        let mut steps = Vec::with_capacity(micro_batches.len());
+        zero_grads(&mut self.model.params_mut());
+        for mb in micro_batches {
+            if mb.output_nodes().is_empty() {
+                continue;
+            }
+            let step = self.run_step(dataset, mb, &LossMode::MicroBatch { effective_batch })?;
+            epoch.absorb(&step);
+            steps.push(step);
+        }
+        self.optimizer.step(&mut self.model.params_mut());
+        Ok((epoch, steps))
+    }
+
+    /// Classic mini-batch training: an optimizer update after every batch
+    /// (the §3.3 baseline whose convergence differs from full batch).
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Oom`] if a batch exceeds device capacity.
+    pub fn mini_batch_epoch(
+        &mut self,
+        dataset: &Dataset,
+        batches: &[Batch],
+    ) -> Result<EpochStats, TrainError> {
+        let mut epoch = EpochStats::default();
+        for batch in batches {
+            if batch.output_nodes().is_empty() {
+                continue;
+            }
+            zero_grads(&mut self.model.params_mut());
+            let step = self.run_step(dataset, batch, &LossMode::MiniBatch)?;
+            self.optimizer.step(&mut self.model.params_mut());
+            epoch.absorb(&step);
+        }
+        // Report the mean of per-batch mean losses.
+        if epoch.num_steps > 0 {
+            epoch.loss /= epoch.num_steps as f64;
+        }
+        Ok(epoch)
+    }
+
+    /// Executes one batch forward/backward, charging the device.
+    fn run_step(
+        &mut self,
+        dataset: &Dataset,
+        batch: &Batch,
+        mode: &LossMode,
+    ) -> Result<StepStats, TrainError> {
+        let in_dim = dataset.feature_dim();
+        let param_values = self.model.total_param_count();
+        let opt_values = param_values * self.optimizer.state_values_per_param();
+        let sizes = StepSizes::for_batch(batch, in_dim, param_values, opt_values);
+
+        self.device.free_all();
+        self.device.reset_peak();
+        let mut charges = StepCharges::charge_static(&mut self.device, &sizes)?;
+        let transfer_sec = self.transfer.transfer(sizes.transfer_bytes());
+
+        // Host-side feature gather for the micro-batch's input nodes.
+        let input_idx: Vec<usize> = batch
+            .input_nodes()
+            .iter()
+            .map(|&v| v as usize)
+            .collect();
+        let input_feats = segment::gather_rows(&dataset.features, &input_idx);
+        let input_bytes = input_feats.size_bytes();
+        let targets = dataset.labels_of(batch.output_nodes());
+
+        // Forward.
+        let started = Instant::now();
+        let mut sess = Session::new();
+        let x = sess.graph.leaf(input_feats);
+        let logits = self
+            .model
+            .forward(&mut sess, batch.blocks(), x, true, &mut self.rng);
+        let loss_var = match mode {
+            LossMode::MicroBatch { effective_batch } => {
+                let sum = sess.graph.cross_entropy(logits, &targets, Reduction::Sum);
+                sess.graph.scale(sum, 1.0 / *effective_batch as f32)
+            }
+            LossMode::MiniBatch => sess.graph.cross_entropy(logits, &targets, Reduction::Mean),
+        };
+
+        // Charge forward activations: named per-layer outputs count as
+        // hidden, the rest of the tape as aggregator workspace.
+        let hidden_bytes: usize = batch
+            .blocks()
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let out_dim = if i + 1 == self.model.num_layers() {
+                    self.model.num_classes()
+                } else {
+                    self.model.hidden_dim()
+                };
+                b.num_dst() * out_dim * BYTES_PER_VALUE
+            })
+            .sum();
+        let tape_bytes = sess.activation_bytes();
+        let aggregator_bytes = tape_bytes
+            .saturating_sub(input_bytes)
+            .saturating_sub(hidden_bytes);
+        if let Err(e) = charges.charge_forward(&mut self.device, hidden_bytes, aggregator_bytes) {
+            charges.release(&mut self.device);
+            return Err(e.into());
+        }
+
+        // Backward.
+        if let Err(e) = charges.charge_backward(&mut self.device, sizes.params) {
+            charges.release(&mut self.device);
+            return Err(e.into());
+        }
+        sess.backward(loss_var, self.model.as_mut());
+        let compute_sec = started.elapsed().as_secs_f64();
+        let loss = sess.graph.value(loss_var).item() as f64;
+
+        let peak_bytes = self.device.peak_bytes();
+        charges.release(&mut self.device);
+        Ok(StepStats {
+            loss,
+            compute_sec,
+            transfer_sec,
+            peak_bytes,
+            input_nodes: batch.input_nodes().len(),
+            total_src_nodes: batch.total_src_nodes(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betty_data::DatasetSpec;
+    use betty_graph::sample_batch;
+    use betty_nn::{AggregatorSpec, GraphSage};
+    use betty_partition::{OutputPartitioner, RegPartitioner};
+
+    fn dataset() -> Dataset {
+        DatasetSpec::cora()
+            .scaled(0.05)
+            .with_feature_dim(12)
+            .generate(1)
+    }
+
+    fn model(ds: &Dataset, seed: u64) -> Box<dyn GnnModel> {
+        let mut rng = Pcg64Mcg::seed_from_u64(seed);
+        Box::new(GraphSage::new(
+            ds.feature_dim(),
+            16,
+            ds.num_classes,
+            2,
+            AggregatorSpec::Mean,
+            0.0,
+            &mut rng,
+        ))
+    }
+
+    fn full_batch(ds: &Dataset, seed: u64) -> Batch {
+        let mut rng = Pcg64Mcg::seed_from_u64(seed);
+        sample_batch(&ds.graph, &ds.train_idx, &[5, 10], &mut rng)
+    }
+
+    #[test]
+    fn full_batch_epoch_trains() {
+        let ds = dataset();
+        let batch = full_batch(&ds, 2);
+        let mut t = Trainer::new(model(&ds, 0), 0.01, Device::unbounded(), 3);
+        let first = t
+            .micro_batch_epoch(&ds, std::slice::from_ref(&batch))
+            .unwrap();
+        assert!(first.loss.is_finite());
+        assert!(first.max_peak_bytes > 0);
+        let mut last = first;
+        for _ in 0..10 {
+            last = t
+                .micro_batch_epoch(&ds, std::slice::from_ref(&batch))
+                .unwrap();
+        }
+        assert!(last.loss < first.loss, "{} -> {}", first.loss, last.loss);
+    }
+
+    #[test]
+    fn micro_batch_loss_sums_to_full_batch_loss() {
+        let ds = dataset();
+        let batch = full_batch(&ds, 2);
+        let parts = RegPartitioner::new(0).split_outputs(&batch, 4);
+        let micros: Vec<Batch> = parts
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| batch.restrict(p))
+            .collect();
+
+        let mut t_full = Trainer::new(model(&ds, 7), 0.01, Device::unbounded(), 3);
+        let full = t_full
+            .micro_batch_epoch(&ds, std::slice::from_ref(&batch))
+            .unwrap();
+        let mut t_micro = Trainer::new(model(&ds, 7), 0.01, Device::unbounded(), 3);
+        let micro = t_micro.micro_batch_epoch(&ds, &micros).unwrap();
+        // Same initial weights (same seed) → identical effective loss.
+        assert!(
+            (full.loss - micro.loss).abs() < 1e-4,
+            "full {} vs micro {}",
+            full.loss,
+            micro.loss
+        );
+    }
+
+    #[test]
+    fn micro_batching_reduces_peak_memory() {
+        let ds = dataset();
+        let batch = full_batch(&ds, 2);
+        let parts = RegPartitioner::new(0).split_outputs(&batch, 8);
+        let micros: Vec<Batch> = parts
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| batch.restrict(p))
+            .collect();
+        let mut t = Trainer::new(model(&ds, 0), 0.01, Device::unbounded(), 3);
+        let full = t
+            .micro_batch_epoch(&ds, std::slice::from_ref(&batch))
+            .unwrap();
+        let micro = t.micro_batch_epoch(&ds, &micros).unwrap();
+        assert!(
+            micro.max_peak_bytes < full.max_peak_bytes,
+            "micro {} vs full {}",
+            micro.max_peak_bytes,
+            full.max_peak_bytes
+        );
+    }
+
+    #[test]
+    fn oom_is_reported_not_panicked() {
+        let ds = dataset();
+        let batch = full_batch(&ds, 2);
+        let mut t = Trainer::new(model(&ds, 0), 0.01, Device::new(10_000), 3);
+        match t.micro_batch_epoch(&ds, std::slice::from_ref(&batch)) {
+            Err(TrainError::Oom(e)) => assert!(e.capacity == 10_000),
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mini_batch_epoch_steps_per_batch() {
+        let ds = dataset();
+        let mut rng = Pcg64Mcg::seed_from_u64(5);
+        let chunks: Vec<Vec<_>> = ds.train_idx.chunks(20).map(|c| c.to_vec()).collect();
+        let batches: Vec<Batch> = chunks
+            .iter()
+            .map(|c| sample_batch(&ds.graph, c, &[5, 10], &mut rng))
+            .collect();
+        let mut t = Trainer::new(model(&ds, 0), 0.01, Device::unbounded(), 3);
+        let stats = t.mini_batch_epoch(&ds, &batches).unwrap();
+        assert_eq!(stats.num_steps, batches.len());
+        assert!(stats.loss.is_finite());
+    }
+}

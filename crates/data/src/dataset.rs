@@ -1,0 +1,120 @@
+use betty_graph::{CsrGraph, NodeId};
+use betty_tensor::Tensor;
+
+/// A node-classification dataset: graph, features, labels, and splits.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name (preset name plus scale).
+    pub name: String,
+    /// The input graph; edges `u → v` mean `v` aggregates from `u`.
+    pub graph: CsrGraph,
+    /// Node features, `[num_nodes, feature_dim]`.
+    pub features: Tensor,
+    /// Class label per node.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Training node ids (the full-batch output set).
+    pub train_idx: Vec<NodeId>,
+    /// Validation node ids.
+    pub val_idx: Vec<NodeId>,
+    /// Test node ids.
+    pub test_idx: Vec<NodeId>,
+}
+
+impl Dataset {
+    /// Feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Labels of the given nodes, in order.
+    pub fn labels_of(&self, nodes: &[NodeId]) -> Vec<usize> {
+        nodes.iter().map(|&v| self.labels[v as usize]).collect()
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_nodes();
+        if self.features.rows() != n {
+            return Err(format!(
+                "{} feature rows for {n} nodes",
+                self.features.rows()
+            ));
+        }
+        if self.labels.len() != n {
+            return Err(format!("{} labels for {n} nodes", self.labels.len()));
+        }
+        if let Some(&bad) = self.labels.iter().find(|&&l| l >= self.num_classes) {
+            return Err(format!("label {bad} >= {} classes", self.num_classes));
+        }
+        let mut seen = vec![false; n];
+        for idx in [&self.train_idx, &self.val_idx, &self.test_idx] {
+            for &v in idx {
+                if v as usize >= n {
+                    return Err(format!("split node {v} out of bounds"));
+                }
+                if seen[v as usize] {
+                    return Err(format!("node {v} appears in two splits"));
+                }
+                seen[v as usize] = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset {
+            name: "tiny".into(),
+            graph: CsrGraph::from_edges(4, &[(0, 1), (2, 3)]),
+            features: Tensor::zeros(&[4, 2]),
+            labels: vec![0, 1, 0, 1],
+            num_classes: 2,
+            train_idx: vec![0, 1],
+            val_idx: vec![2],
+            test_idx: vec![3],
+        }
+    }
+
+    #[test]
+    fn valid_dataset_passes() {
+        tiny().validate().unwrap();
+        assert_eq!(tiny().feature_dim(), 2);
+        assert_eq!(tiny().labels_of(&[3, 0]), vec![1, 0]);
+    }
+
+    #[test]
+    fn overlapping_splits_rejected() {
+        let mut d = tiny();
+        d.val_idx = vec![0];
+        assert!(d.validate().unwrap_err().contains("two splits"));
+    }
+
+    #[test]
+    fn label_range_checked() {
+        let mut d = tiny();
+        d.labels[2] = 9;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn feature_rows_checked() {
+        let mut d = tiny();
+        d.features = Tensor::zeros(&[3, 2]);
+        assert!(d.validate().is_err());
+    }
+}

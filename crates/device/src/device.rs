@@ -1,0 +1,286 @@
+use std::collections::HashMap;
+use std::fmt;
+
+/// What a device allocation holds — the categories of the paper's memory
+/// breakdown (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemoryCategory {
+    /// GNN model weights (excluding the aggregator's own parameters).
+    Parameters,
+    /// Raw input-node feature rows staged for aggregation.
+    InputFeatures,
+    /// Output-node labels.
+    Labels,
+    /// Bipartite block structure (edge endpoints and weights).
+    Blocks,
+    /// Hidden-layer outputs and other forward activations.
+    HiddenActivations,
+    /// Aggregator-internal intermediate tensors (large for LSTM).
+    AggregatorIntermediate,
+    /// Parameter gradients.
+    Gradients,
+    /// Optimizer state (Adam: first and second moments).
+    OptimizerStates,
+}
+
+impl MemoryCategory {
+    /// All categories, in breakdown-report order.
+    pub const ALL: [MemoryCategory; 8] = [
+        MemoryCategory::Parameters,
+        MemoryCategory::InputFeatures,
+        MemoryCategory::Labels,
+        MemoryCategory::Blocks,
+        MemoryCategory::HiddenActivations,
+        MemoryCategory::AggregatorIntermediate,
+        MemoryCategory::Gradients,
+        MemoryCategory::OptimizerStates,
+    ];
+}
+
+impl fmt::Display for MemoryCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MemoryCategory::Parameters => "parameters",
+            MemoryCategory::InputFeatures => "input features",
+            MemoryCategory::Labels => "labels",
+            MemoryCategory::Blocks => "blocks",
+            MemoryCategory::HiddenActivations => "hidden activations",
+            MemoryCategory::AggregatorIntermediate => "aggregator intermediate",
+            MemoryCategory::Gradients => "gradients",
+            MemoryCategory::OptimizerStates => "optimizer states",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Handle to a live allocation on a [`Device`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocationId(u64);
+
+/// Returned when an allocation would exceed device capacity — the simulated
+/// equivalent of CUDA's out-of-memory error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OomError {
+    /// Bytes the failed allocation requested.
+    pub requested: usize,
+    /// Bytes in use at the time of the failure.
+    pub in_use: usize,
+    /// Device capacity.
+    pub capacity: usize,
+}
+
+impl fmt::Display for OomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of device memory: requested {} bytes with {} of {} in use",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+/// A capacity-limited allocation ledger simulating accelerator memory.
+///
+/// Tracks current and peak usage globally and per [`MemoryCategory`], so
+/// experiments can report both OOM behaviour (Figs. 2 & 10) and the memory
+/// breakdown (Fig. 3) of a training step.
+#[derive(Debug, Clone)]
+pub struct Device {
+    capacity: usize,
+    current: usize,
+    peak: usize,
+    next_id: u64,
+    live: HashMap<u64, (usize, MemoryCategory)>,
+    current_by_cat: HashMap<MemoryCategory, usize>,
+    peak_by_cat: HashMap<MemoryCategory, usize>,
+}
+
+impl Device {
+    /// A device with the given capacity in bytes.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            current: 0,
+            peak: 0,
+            next_id: 0,
+            live: HashMap::new(),
+            current_by_cat: HashMap::new(),
+            peak_by_cat: HashMap::new(),
+        }
+    }
+
+    /// A device that never OOMs (used to *measure* how much memory a
+    /// configuration would need).
+    pub fn unbounded() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Registers an allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] if the allocation would exceed capacity; the
+    /// ledger is unchanged in that case.
+    pub fn alloc(&mut self, bytes: usize, category: MemoryCategory) -> Result<AllocationId, OomError> {
+        if self.current.saturating_add(bytes) > self.capacity {
+            return Err(OomError {
+                requested: bytes,
+                in_use: self.current,
+                capacity: self.capacity,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live.insert(id, (bytes, category));
+        self.current += bytes;
+        self.peak = self.peak.max(self.current);
+        let cat = self.current_by_cat.entry(category).or_insert(0);
+        *cat += bytes;
+        let cat_now = *cat;
+        let peak_cat = self.peak_by_cat.entry(category).or_insert(0);
+        *peak_cat = (*peak_cat).max(cat_now);
+        Ok(AllocationId(id))
+    }
+
+    /// Releases an allocation; double-frees are ignored (freeing is
+    /// idempotent, matching C-DTOR-FAIL guidance that teardown never fails).
+    pub fn free(&mut self, id: AllocationId) {
+        if let Some((bytes, category)) = self.live.remove(&id.0) {
+            self.current -= bytes;
+            if let Some(c) = self.current_by_cat.get_mut(&category) {
+                *c -= bytes;
+            }
+        }
+    }
+
+    /// Frees every live allocation (end of a micro-batch step).
+    pub fn free_all(&mut self) {
+        self.current = 0;
+        self.live.clear();
+        self.current_by_cat.clear();
+    }
+
+    /// Bytes currently allocated.
+    pub fn current_bytes(&self) -> usize {
+        self.current
+    }
+
+    /// High-water mark since construction or the last
+    /// [`Device::reset_peak`].
+    pub fn peak_bytes(&self) -> usize {
+        self.peak
+    }
+
+    /// Resets peak tracking (global and per-category) to current usage.
+    pub fn reset_peak(&mut self) {
+        self.peak = self.current;
+        self.peak_by_cat = self.current_by_cat.clone();
+    }
+
+    /// Peak bytes per category since the last reset, in
+    /// [`MemoryCategory::ALL`] order.
+    pub fn peak_breakdown(&self) -> Vec<(MemoryCategory, usize)> {
+        MemoryCategory::ALL
+            .iter()
+            .map(|&c| (c, self.peak_by_cat.get(&c).copied().unwrap_or(0)))
+            .collect()
+    }
+
+    /// Current bytes in one category.
+    pub fn current_in(&self, category: MemoryCategory) -> usize {
+        self.current_by_cat.get(&category).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut d = Device::new(1000);
+        let a = d.alloc(400, MemoryCategory::Parameters).unwrap();
+        let b = d.alloc(500, MemoryCategory::InputFeatures).unwrap();
+        assert_eq!(d.current_bytes(), 900);
+        assert_eq!(d.peak_bytes(), 900);
+        d.free(a);
+        assert_eq!(d.current_bytes(), 500);
+        assert_eq!(d.peak_bytes(), 900, "peak survives frees");
+        d.free(b);
+        assert_eq!(d.current_bytes(), 0);
+    }
+
+    #[test]
+    fn oom_leaves_ledger_unchanged() {
+        let mut d = Device::new(100);
+        d.alloc(80, MemoryCategory::Blocks).unwrap();
+        let err = d.alloc(30, MemoryCategory::Blocks).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.in_use, 80);
+        assert_eq!(err.capacity, 100);
+        assert_eq!(d.current_bytes(), 80);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn double_free_is_ignored() {
+        let mut d = Device::new(100);
+        let a = d.alloc(50, MemoryCategory::Labels).unwrap();
+        d.free(a);
+        d.free(a);
+        assert_eq!(d.current_bytes(), 0);
+    }
+
+    #[test]
+    fn per_category_peaks() {
+        let mut d = Device::unbounded();
+        let a = d
+            .alloc(100, MemoryCategory::AggregatorIntermediate)
+            .unwrap();
+        d.free(a);
+        d.alloc(60, MemoryCategory::Gradients).unwrap();
+        let bd: std::collections::HashMap<_, _> = d.peak_breakdown().into_iter().collect();
+        assert_eq!(bd[&MemoryCategory::AggregatorIntermediate], 100);
+        assert_eq!(bd[&MemoryCategory::Gradients], 60);
+        assert_eq!(bd[&MemoryCategory::Labels], 0);
+        // Global peak is 100 (the categories never coexisted).
+        assert_eq!(d.peak_bytes(), 100);
+    }
+
+    #[test]
+    fn reset_peak_tracks_from_current() {
+        let mut d = Device::unbounded();
+        let a = d.alloc(100, MemoryCategory::Parameters).unwrap();
+        d.free(a);
+        d.reset_peak();
+        assert_eq!(d.peak_bytes(), 0);
+        d.alloc(10, MemoryCategory::Parameters).unwrap();
+        assert_eq!(d.peak_bytes(), 10);
+    }
+
+    #[test]
+    fn free_all_clears_everything() {
+        let mut d = Device::new(100);
+        d.alloc(40, MemoryCategory::Blocks).unwrap();
+        d.alloc(40, MemoryCategory::Labels).unwrap();
+        d.free_all();
+        assert_eq!(d.current_bytes(), 0);
+        assert_eq!(d.current_in(MemoryCategory::Blocks), 0);
+        // Capacity is available again.
+        assert!(d.alloc(100, MemoryCategory::Blocks).is_ok());
+    }
+
+    #[test]
+    fn exact_fit_succeeds() {
+        let mut d = Device::new(64);
+        assert!(d.alloc(64, MemoryCategory::Parameters).is_ok());
+        assert!(d.alloc(1, MemoryCategory::Parameters).is_err());
+    }
+}

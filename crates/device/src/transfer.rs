@@ -1,0 +1,124 @@
+/// Host→device transfer cost model.
+///
+/// Approximates a PCIe link as fixed per-transfer latency plus
+/// bytes/bandwidth — enough to reproduce the *shape* of the paper's data-
+/// movement results (Fig. 14): many small micro-batch uploads amortize the
+/// link worse than one large full-batch upload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferModel {
+    bandwidth_bytes_per_sec: f64,
+    latency_sec: f64,
+    total_bytes: u64,
+    total_time_sec: f64,
+    num_transfers: u64,
+}
+
+impl TransferModel {
+    /// A model with the given sustained bandwidth (bytes/s) and fixed
+    /// per-transfer latency (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bytes_per_sec` is not positive or `latency_sec`
+    /// is negative.
+    pub fn new(bandwidth_bytes_per_sec: f64, latency_sec: f64) -> Self {
+        assert!(bandwidth_bytes_per_sec > 0.0, "bandwidth must be positive");
+        assert!(latency_sec >= 0.0, "latency must be non-negative");
+        Self {
+            bandwidth_bytes_per_sec,
+            latency_sec,
+            total_bytes: 0,
+            total_time_sec: 0.0,
+            num_transfers: 0,
+        }
+    }
+
+    /// PCIe 3.0 x16-like defaults: ~12 GB/s effective, 10 µs per transfer.
+    pub fn pcie3() -> Self {
+        Self::new(12.0e9, 10.0e-6)
+    }
+
+    /// Time a single transfer of `bytes` would take, without recording it.
+    pub fn time_for(&self, bytes: usize) -> f64 {
+        self.latency_sec + bytes as f64 / self.bandwidth_bytes_per_sec
+    }
+
+    /// Records a transfer and returns its simulated duration in seconds.
+    pub fn transfer(&mut self, bytes: usize) -> f64 {
+        let t = self.time_for(bytes);
+        self.total_bytes += bytes as u64;
+        self.total_time_sec += t;
+        self.num_transfers += 1;
+        t
+    }
+
+    /// Total bytes moved so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total simulated transfer time so far, in seconds.
+    pub fn total_time_sec(&self) -> f64 {
+        self.total_time_sec
+    }
+
+    /// Number of recorded transfers.
+    pub fn num_transfers(&self) -> u64 {
+        self.num_transfers
+    }
+
+    /// Clears accumulated counters (per-epoch reporting).
+    pub fn reset(&mut self) {
+        self.total_bytes = 0;
+        self.total_time_sec = 0.0;
+        self.num_transfers = 0;
+    }
+}
+
+impl Default for TransferModel {
+    fn default() -> Self {
+        Self::pcie3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_is_latency_plus_bandwidth_term() {
+        let m = TransferModel::new(1e9, 1e-3);
+        let t = m.time_for(2_000_000_000);
+        assert!((t - 2.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulates() {
+        let mut m = TransferModel::new(1e6, 0.0);
+        m.transfer(500_000);
+        m.transfer(500_000);
+        assert_eq!(m.total_bytes(), 1_000_000);
+        assert_eq!(m.num_transfers(), 2);
+        assert!((m.total_time_sec() - 1.0).abs() < 1e-9);
+        m.reset();
+        assert_eq!(m.total_bytes(), 0);
+    }
+
+    #[test]
+    fn many_small_transfers_cost_more_than_one_big() {
+        let mut small = TransferModel::pcie3();
+        for _ in 0..1000 {
+            small.transfer(1_000);
+        }
+        let mut big = TransferModel::pcie3();
+        big.transfer(1_000_000);
+        assert!(small.total_time_sec() > big.total_time_sec());
+        assert_eq!(small.total_bytes(), big.total_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        TransferModel::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,274 @@
+use std::collections::HashMap;
+
+use crate::NodeId;
+
+/// One level of a multi-level bipartite batch (a DGL-`Block` equivalent).
+///
+/// A block is a bipartite graph from *source* nodes (feature providers) to
+/// *destination* nodes (aggregation targets). Following the DGL convention,
+/// the first `num_dst` source nodes **are** the destination nodes — a
+/// destination's own features are always available to the layer (needed by
+/// e.g. GraphSAGE's self-concatenation).
+///
+/// Edges are stored grouped by destination, giving O(1) access to each
+/// destination's in-edge list — the access pattern both aggregation and
+/// in-degree bucketing need.
+///
+/// All node identity bookkeeping (the paper's "index mapping" dictionaries,
+/// §5) lives here: `edge_src`/`edge_dst` are *local* indices, and
+/// [`Block::src_globals`]/[`Block::dst_globals`] map locals back to raw-graph
+/// ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Global ids of source nodes; the first `num_dst` equal the dst ids.
+    src_globals: Vec<NodeId>,
+    num_dst: usize,
+    /// Per-edge local source index, grouped by destination.
+    edge_src: Vec<u32>,
+    /// Per-edge local destination index, non-decreasing.
+    edge_dst: Vec<u32>,
+    /// CSR offsets over destinations into `edge_src`/`edge_dst`.
+    dst_indptr: Vec<usize>,
+}
+
+impl Block {
+    /// Builds a block from destination global ids and `(src, dst)` edges in
+    /// global ids.
+    ///
+    /// Source locals are assigned dst-first (in `dst_globals` order), then
+    /// in first-seen edge order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst_globals` contains duplicates or an edge's destination
+    /// is not in `dst_globals`.
+    pub fn new(dst_globals: Vec<NodeId>, edges: &[(NodeId, NodeId)]) -> Self {
+        let num_dst = dst_globals.len();
+        let mut local: HashMap<NodeId, u32> = HashMap::with_capacity(num_dst + edges.len());
+        for (i, &g) in dst_globals.iter().enumerate() {
+            let prev = local.insert(g, i as u32);
+            assert!(prev.is_none(), "duplicate destination node {g}");
+        }
+        let mut src_globals = dst_globals;
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); num_dst];
+        for &(s, d) in edges {
+            let d_local = *local
+                .get(&d)
+                .unwrap_or_else(|| panic!("edge destination {d} not in dst set"));
+            debug_assert!((d_local as usize) < num_dst);
+            let s_local = *local.entry(s).or_insert_with(|| {
+                src_globals.push(s);
+                (src_globals.len() - 1) as u32
+            });
+            buckets[d_local as usize].push(s_local);
+        }
+        let mut edge_src = Vec::with_capacity(edges.len());
+        let mut edge_dst = Vec::with_capacity(edges.len());
+        let mut dst_indptr = Vec::with_capacity(num_dst + 1);
+        dst_indptr.push(0);
+        for (d, bucket) in buckets.iter().enumerate() {
+            edge_src.extend_from_slice(bucket);
+            edge_dst.extend(std::iter::repeat_n(d as u32, bucket.len()));
+            dst_indptr.push(edge_src.len());
+        }
+        Self {
+            src_globals,
+            num_dst,
+            edge_src,
+            edge_dst,
+            dst_indptr,
+        }
+    }
+
+    /// Number of source nodes (destinations included).
+    pub fn num_src(&self) -> usize {
+        self.src_globals.len()
+    }
+
+    /// Number of destination nodes.
+    pub fn num_dst(&self) -> usize {
+        self.num_dst
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_src.len()
+    }
+
+    /// Global ids of all source nodes; the first [`Block::num_dst`] entries
+    /// are the destination nodes.
+    pub fn src_globals(&self) -> &[NodeId] {
+        &self.src_globals
+    }
+
+    /// Global ids of the destination nodes.
+    pub fn dst_globals(&self) -> &[NodeId] {
+        &self.src_globals[..self.num_dst]
+    }
+
+    /// Per-edge local source indices, grouped by destination.
+    pub fn edge_src_locals(&self) -> &[u32] {
+        &self.edge_src
+    }
+
+    /// Per-edge local destination indices (non-decreasing).
+    pub fn edge_dst_locals(&self) -> &[u32] {
+        &self.edge_dst
+    }
+
+    /// Local source indices of the in-edges of destination `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= num_dst`.
+    pub fn in_edges(&self, d: usize) -> &[u32] {
+        assert!(d < self.num_dst, "destination {d} out of bounds");
+        &self.edge_src[self.dst_indptr[d]..self.dst_indptr[d + 1]]
+    }
+
+    /// In-degree of destination `d`.
+    pub fn in_degree(&self, d: usize) -> usize {
+        self.in_edges(d).len()
+    }
+
+    /// Iterates edges as `(src_global, dst_global)`.
+    pub fn iter_global_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.edge_src
+            .iter()
+            .zip(self.edge_dst.iter())
+            .map(move |(&s, &d)| (self.src_globals[s as usize], self.src_globals[d as usize]))
+    }
+
+    /// Groups destinations by in-degree for bucketed aggregation, clamping
+    /// degrees above `max_bucket` into the final bucket (DGL's "in-degree
+    /// bucketing", the source of the paper's *bucketing explosion*, §4.4.2).
+    ///
+    /// Returns `max_bucket + 1` buckets; bucket `i < max_bucket` holds
+    /// destinations of in-degree exactly `i`, and bucket `max_bucket` holds
+    /// the long tail (`in-degree >= max_bucket`).
+    pub fn degree_buckets(&self, max_bucket: usize) -> Vec<Vec<u32>> {
+        let mut buckets = vec![Vec::new(); max_bucket + 1];
+        for d in 0..self.num_dst {
+            let deg = self.in_degree(d).min(max_bucket);
+            buckets[deg].push(d as u32);
+        }
+        buckets
+    }
+
+    /// Groups destinations by *exact* in-degree: map from degree to the
+    /// destinations with that degree (used by the LSTM aggregator, which
+    /// processes equal-length neighbor sequences together).
+    pub fn exact_degree_buckets(&self) -> Vec<(usize, Vec<u32>)> {
+        let mut map: HashMap<usize, Vec<u32>> = HashMap::new();
+        for d in 0..self.num_dst {
+            map.entry(self.in_degree(d)).or_default().push(d as u32);
+        }
+        let mut out: Vec<(usize, Vec<u32>)> = map.into_iter().collect();
+        out.sort_unstable_by_key(|(deg, _)| *deg);
+        out
+    }
+
+    /// The paper's block-size measure (§4.4.3 item 4): each edge is two node
+    /// ids plus a weight, i.e. `3 · |E|` stored values.
+    pub fn storage_values(&self) -> usize {
+        3 * self.num_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block() -> Block {
+        // dst = {8, 5}; edges into 8 from {4,5,7,11}, into 5 from {4,9}.
+        Block::new(
+            vec![8, 5],
+            &[(4, 8), (5, 8), (7, 8), (11, 8), (4, 5), (9, 5)],
+        )
+    }
+
+    #[test]
+    fn dst_first_src_ordering() {
+        let b = sample_block();
+        assert_eq!(b.num_dst(), 2);
+        assert_eq!(b.dst_globals(), &[8, 5]);
+        // dst nodes lead the src list, then first-seen order.
+        assert_eq!(b.src_globals(), &[8, 5, 4, 7, 11, 9]);
+        assert_eq!(b.num_src(), 6);
+        assert_eq!(b.num_edges(), 6);
+    }
+
+    #[test]
+    fn in_edges_grouped_by_dst() {
+        let b = sample_block();
+        // dst 0 is global 8: neighbors 4,5,7,11 → locals 2,1,3,4.
+        assert_eq!(b.in_edges(0), &[2, 1, 3, 4]);
+        assert_eq!(b.in_degree(0), 4);
+        assert_eq!(b.in_edges(1), &[2, 5]);
+        assert_eq!(b.in_degree(1), 2);
+    }
+
+    #[test]
+    fn edge_dst_locals_non_decreasing() {
+        let b = sample_block();
+        let d = b.edge_dst_locals();
+        assert!(d.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn iter_global_edges_roundtrip() {
+        let b = sample_block();
+        let mut edges: Vec<_> = b.iter_global_edges().collect();
+        edges.sort_unstable();
+        let mut expected = vec![(4, 8), (5, 8), (7, 8), (11, 8), (4, 5), (9, 5)];
+        expected.sort_unstable();
+        assert_eq!(edges, expected);
+    }
+
+    #[test]
+    fn degree_buckets_clamp_tail() {
+        let b = sample_block();
+        let buckets = b.degree_buckets(3);
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[2], vec![1]); // dst 1 has degree 2
+        assert_eq!(buckets[3], vec![0]); // dst 0 has degree 4, clamped
+    }
+
+    #[test]
+    fn exact_degree_buckets_sorted() {
+        let b = sample_block();
+        let buckets = b.exact_degree_buckets();
+        assert_eq!(buckets, vec![(2, vec![1]), (4, vec![0])]);
+    }
+
+    #[test]
+    fn isolated_destination_allowed() {
+        let b = Block::new(vec![1, 2], &[(3, 1)]);
+        assert_eq!(b.in_degree(1), 0);
+        assert_eq!(b.num_src(), 3);
+    }
+
+    #[test]
+    fn storage_values_is_three_per_edge() {
+        assert_eq!(sample_block().storage_values(), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in dst set")]
+    fn edge_to_unknown_dst_rejected() {
+        Block::new(vec![1], &[(2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate destination")]
+    fn duplicate_dst_rejected() {
+        Block::new(vec![1, 1], &[]);
+    }
+
+    #[test]
+    fn self_loop_uses_dst_local() {
+        let b = Block::new(vec![7], &[(7, 7)]);
+        assert_eq!(b.num_src(), 1);
+        assert_eq!(b.in_edges(0), &[0]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Degree-distribution statistics.
+//!
+//! Supports the paper's workload analysis: the in-degree histogram of
+//! destination nodes (Fig. 9a), the clamped bucketing view that exhibits the
+//! *bucketing explosion* (§4.4.2), and a log–log slope estimate for
+//! power-law tails.
+
+use crate::Block;
+
+/// Summary statistics of a degree sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (lower of the two middle values for even counts).
+    pub median: usize,
+}
+
+/// Computes summary statistics of a degree sequence.
+///
+/// # Panics
+///
+/// Panics if `degrees` is empty.
+pub fn stats(degrees: &[usize]) -> DegreeStats {
+    assert!(!degrees.is_empty(), "degree sequence must be non-empty");
+    let mut sorted = degrees.to_vec();
+    sorted.sort_unstable();
+    DegreeStats {
+        min: sorted[0],
+        max: *sorted.last().expect("non-empty"),
+        mean: sorted.iter().sum::<usize>() as f64 / sorted.len() as f64,
+        median: sorted[sorted.len() / 2],
+    }
+}
+
+/// Histogram of degrees: `hist[d]` = number of nodes with degree exactly
+/// `d`, up to the maximum observed degree.
+pub fn histogram(degrees: &[usize]) -> Vec<usize> {
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for &d in degrees {
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Clamped histogram reproducing in-degree bucketing: degrees `>=
+/// max_bucket` accumulate in the final bin (the long tail that makes the
+/// last bucket *explode* on power-law graphs).
+pub fn bucketed_histogram(degrees: &[usize], max_bucket: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; max_bucket + 1];
+    for &d in degrees {
+        hist[d.min(max_bucket)] += 1;
+    }
+    hist
+}
+
+/// In-degree sequence of a block's destinations.
+pub fn block_in_degrees(block: &Block) -> Vec<usize> {
+    (0..block.num_dst()).map(|d| block.in_degree(d)).collect()
+}
+
+/// Least-squares slope of `log(count)` vs `log(degree)` over non-empty
+/// histogram bins with degree ≥ 1 — roughly `-α` for a power-law `p(d) ∝
+/// d^{-α}`.
+///
+/// Returns `None` when fewer than two usable bins exist.
+pub fn log_log_slope(hist: &[usize]) -> Option<f64> {
+    let points: Vec<(f64, f64)> = hist
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, &c)| c > 0)
+        .map(|(d, &c)| ((d as f64).ln(), (c as f64).ln()))
+        .collect();
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    (denom.abs() > 1e-12).then(|| (n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn stats_basic() {
+        let s = stats(&[1, 5, 3, 3, 2]);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.median, 3);
+        assert!((s.mean - 2.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        assert_eq!(histogram(&[0, 2, 2, 3]), vec![1, 0, 2, 1]);
+        assert_eq!(histogram(&[]), vec![0]);
+    }
+
+    #[test]
+    fn bucketed_histogram_clamps_tail() {
+        // Degrees 0..=4 with clamp at 2: bins {0}, {1}, {2,3,4}.
+        assert_eq!(bucketed_histogram(&[0, 1, 2, 3, 4], 2), vec![1, 1, 3]);
+    }
+
+    #[test]
+    fn block_in_degrees_reads_block() {
+        let b = Block::new(vec![0, 1], &[(2, 0), (3, 0), (2, 1)]);
+        assert_eq!(block_in_degrees(&b), vec![2, 1]);
+    }
+
+    #[test]
+    fn log_log_slope_recovers_power_law() {
+        // count(d) = 1000 · d^{-2} exactly.
+        let hist: Vec<usize> = (0..50)
+            .map(|d| {
+                if d == 0 {
+                    0
+                } else {
+                    (1000.0 / (d as f64 * d as f64)).round() as usize
+                }
+            })
+            .collect();
+        let slope = log_log_slope(&hist).unwrap();
+        assert!(
+            (slope + 2.0).abs() < 0.25,
+            "expected slope ≈ -2, got {slope}"
+        );
+    }
+
+    #[test]
+    fn log_log_slope_degenerate() {
+        assert_eq!(log_log_slope(&[5]), None);
+        assert_eq!(log_log_slope(&[0, 3]), None);
+    }
+
+    #[test]
+    fn bucket_explosion_visible_on_star() {
+        // A hub of degree 50 among leaves: last bucket dominated by the hub
+        // side once clamped.
+        let edges: Vec<(NodeId, NodeId)> = (1..51).map(|u| (u as NodeId, 0)).collect();
+        let b = Block::new((0..51).collect(), &edges);
+        let degs = block_in_degrees(&b);
+        let hist = bucketed_histogram(&degs, 10);
+        assert_eq!(hist[10], 1); // only the hub lands in the tail bucket
+        assert_eq!(hist[0], 50);
+    }
+}

@@ -1,0 +1,321 @@
+//! Redundancy-Embedded Graph construction (paper §4.3.2, Algorithm 1).
+//!
+//! The REG over the output nodes of a block has an edge `{i, j}` weighted by
+//! the number of *shared sources* of destinations `i` and `j` — exactly the
+//! entries of `C = Aᵀ·A` restricted to output nodes with the diagonal
+//! removed. Splitting `i` and `j` into different micro-batches duplicates
+//! each shared source, so a minimum-weight cut of the REG minimizes
+//! redundancy.
+
+use std::collections::HashMap;
+
+use crate::{Block, CsrGraph};
+
+/// Builds the Redundancy-Embedded Graph of a block.
+///
+/// Nodes of the result are the block's destinations in *local* order
+/// (`0..num_dst`); an edge `i → j` (and its mirror `j → i`) carries weight
+/// `|sources(i) ∩ sources(j)|`. Self-loops (the diagonal of `Aᵀ·A`) are
+/// removed, matching Algorithm 1.
+///
+/// Implementation is Gustavson's row-wise SpGEMM over the source-to-
+/// destination incidence: for each source `k` with destination list `N(k)`,
+/// every ordered pair in `N(k) × N(k)` contributes 1 — accumulated sparsely
+/// per row. A source contributing to `d` destinations costs `d²` updates;
+/// destinations' in-degrees are fanout-bounded, keeping this tractable
+/// (the paper computes the same product via `dgl.adj_product_graph`).
+pub fn shared_neighbor_graph(block: &Block) -> CsrGraph {
+    let num_dst = block.num_dst();
+    // Invert the block: for each source local id, the list of destinations.
+    let mut by_src: HashMap<u32, Vec<u32>> = HashMap::new();
+    let src = block.edge_src_locals();
+    let dst = block.edge_dst_locals();
+    for (&s, &d) in src.iter().zip(dst.iter()) {
+        by_src.entry(s).or_default().push(d);
+    }
+    // Accumulate co-occurrence counts for i < j only (the graph is
+    // symmetric); mirror when materializing.
+    let mut counts: HashMap<(u32, u32), f32> = HashMap::new();
+    for dsts in by_src.values_mut() {
+        dsts.sort_unstable();
+        dsts.dedup();
+        for (a, &i) in dsts.iter().enumerate() {
+            for &j in &dsts[a + 1..] {
+                *counts.entry((i, j)).or_insert(0.0) += 1.0;
+            }
+        }
+    }
+    let edges = counts
+        .into_iter()
+        .flat_map(|((i, j), w)| [(i, j, w), (j, i, w)]);
+    CsrGraph::from_weighted_edges(num_dst, edges, true)
+}
+
+/// Builds the *full-dependency* Redundancy-Embedded Graph of a batch.
+///
+/// Where [`shared_neighbor_graph`] (the paper's Algorithm 1) weighs an
+/// output pair by shared sources *in the last layer only*, this variant
+/// weighs it by the number of distinct nodes — at **any** level of the
+/// multi-level bipartite — that both outputs transitively depend on. That
+/// is exactly the count of nodes duplicated when the pair is split, so
+/// min-cutting this graph minimizes true redundancy for deep batches.
+/// (The paper lists optimizing REG construction as future work; this is
+/// that extension, evaluated against Algorithm 1 in the ablation benches.)
+///
+/// `hub_cap` bounds the dependants-set size per node: a node needed by more
+/// than `hub_cap` outputs is duplicated into nearly every micro-batch no
+/// matter the cut, so its pair contributions are skipped. This keeps the
+/// pair enumeration `O(Σ min(|D|, cap)²)`.
+///
+/// Nodes of the result are the batch's output nodes in *local (dst) order*
+/// of the last block, matching [`shared_neighbor_graph`].
+pub fn dependency_reg(batch: &crate::Batch, hub_cap: usize) -> CsrGraph {
+    let outputs = batch.output_nodes();
+    let n_out = outputs.len();
+
+    // D(v) = sorted set of output locals depending on v, propagated from
+    // the output layer downward (the stacking invariant guarantees a dst's
+    // set is complete before it is read as a lower layer's destination).
+    let mut dep: HashMap<crate::NodeId, Vec<u32>> = HashMap::with_capacity(n_out * 2);
+    for (i, &o) in outputs.iter().enumerate() {
+        dep.insert(o, vec![i as u32]);
+    }
+    let mut counts: HashMap<(u32, u32), f32> = HashMap::new();
+    let mut count_pairs = |set: &[u32]| {
+        if set.len() < 2 || set.len() > hub_cap {
+            return;
+        }
+        for (a, &i) in set.iter().enumerate() {
+            for &j in &set[a + 1..] {
+                *counts.entry((i, j)).or_insert(0.0) += 1.0;
+            }
+        }
+    };
+    for block in batch.blocks().iter().rev() {
+        // Sources strictly below the dst prefix are *new* at this level;
+        // their sets accumulate from every edge into a needed destination.
+        let mut new_sets: HashMap<crate::NodeId, Vec<u32>> = HashMap::new();
+        for (s, d) in block.iter_global_edges() {
+            if s == d {
+                continue;
+            }
+            let Some(d_set) = dep.get(&d).cloned() else {
+                continue;
+            };
+            let entry = new_sets.entry(s).or_default();
+            entry.extend(d_set);
+        }
+        for (s, mut set) in new_sets {
+            set.sort_unstable();
+            set.dedup();
+            match dep.get_mut(&s) {
+                Some(existing) => {
+                    existing.extend(set);
+                    existing.sort_unstable();
+                    existing.dedup();
+                }
+                None => {
+                    dep.insert(s, set);
+                }
+            }
+        }
+    }
+    for set in dep.values() {
+        count_pairs(set);
+    }
+    let edges = counts
+        .into_iter()
+        .flat_map(|((i, j), w)| [(i, j, w), (j, i, w)]);
+    CsrGraph::from_weighted_edges(n_out, edges, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    /// Brute-force reference: count shared sources for every dst pair.
+    fn brute_force(block: &Block) -> Vec<Vec<f32>> {
+        let n = block.num_dst();
+        let mut m = vec![vec![0.0f32; n]; n];
+        #[allow(clippy::needless_range_loop)] // symmetric index pair
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let si: std::collections::HashSet<u32> =
+                    block.in_edges(i).iter().copied().collect();
+                m[i][j] = block
+                    .in_edges(j)
+                    .iter()
+                    .collect::<std::collections::HashSet<_>>()
+                    .iter()
+                    .filter(|s| si.contains(s))
+                    .count() as f32;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn matches_brute_force_on_paper_figure8() {
+        // Figure 8 input graph: dst {1, 8}; 1 aggregates {0,2,3,5,6,7},
+        // 8 aggregates {3,5,6,7,9,4}. Shared = {3,5,6,7} → weight 4.
+        let block = Block::new(
+            vec![1, 8],
+            &[
+                (0, 1),
+                (2, 1),
+                (3, 1),
+                (5, 1),
+                (6, 1),
+                (7, 1),
+                (3, 8),
+                (5, 8),
+                (6, 8),
+                (7, 8),
+                (9, 8),
+                (4, 8),
+            ],
+        );
+        let reg = shared_neighbor_graph(&block);
+        assert_eq!(reg.num_nodes(), 2);
+        assert_eq!(reg.neighbor_weights(0), Some(&[4.0f32][..]));
+        let bf = brute_force(&block);
+        assert_eq!(bf[0][1], 4.0);
+    }
+
+    #[test]
+    fn no_shared_sources_means_no_edges() {
+        let block = Block::new(vec![0, 1], &[(2, 0), (3, 1)]);
+        let reg = shared_neighbor_graph(&block);
+        assert_eq!(reg.num_edges(), 0);
+    }
+
+    #[test]
+    fn diagonal_removed() {
+        let block = Block::new(vec![0], &[(1, 0), (2, 0)]);
+        let reg = shared_neighbor_graph(&block);
+        // A single destination shares sources only with itself.
+        assert_eq!(reg.num_edges(), 0);
+        assert_eq!(reg.num_nodes(), 1);
+    }
+
+    #[test]
+    fn symmetric_with_mirrored_weights() {
+        let block = Block::new(vec![0, 1, 2], &[(5, 0), (5, 1), (5, 2), (6, 1), (6, 2)]);
+        let reg = shared_neighbor_graph(&block);
+        // 0-1 share {5}: w=1. 1-2 share {5,6}: w=2. 0-2 share {5}: w=1.
+        for (i, j, w) in [(0u32, 1u32, 1.0f32), (1, 2, 2.0), (0, 2, 1.0)] {
+            let pos = reg.neighbors(i).iter().position(|&v| v == j).unwrap();
+            assert_eq!(reg.neighbor_weights(i).unwrap()[pos], w, "edge {i}-{j}");
+            let pos = reg.neighbors(j).iter().position(|&v| v == i).unwrap();
+            assert_eq!(reg.neighbor_weights(j).unwrap()[pos], w, "edge {j}-{i}");
+        }
+    }
+
+    #[test]
+    fn parallel_block_edges_do_not_double_count() {
+        // Duplicate edge (5, 0) must count source 5 once.
+        let block = Block::new(vec![0, 1], &[(5, 0), (5, 0), (5, 1)]);
+        let reg = shared_neighbor_graph(&block);
+        assert_eq!(reg.neighbor_weights(0), Some(&[1.0f32][..]));
+    }
+
+    #[test]
+    fn dependency_reg_one_layer_matches_last_layer_reg_without_hubs() {
+        // For a single-layer batch with no source shared by > hub_cap
+        // outputs, the two constructions coincide (the dependency sets are
+        // exactly the last layer's shared-source sets).
+        let block = Block::new(
+            vec![0, 1, 2],
+            &[(5, 0), (5, 1), (6, 1), (6, 2), (7, 0), (7, 2)],
+        );
+        let batch = crate::Batch::new(vec![block.clone()]);
+        let last = shared_neighbor_graph(&block);
+        let full = dependency_reg(&batch, 64);
+        assert_eq!(last, full);
+    }
+
+    #[test]
+    fn dependency_reg_sees_second_level_sharing() {
+        // Outputs 0 and 1 share nothing at level 1, but their level-1
+        // sources both depend on node 99 at level 0.
+        let top = Block::new(vec![0, 1], &[(10, 0), (11, 1)]);
+        let bottom = Block::new(top.src_globals().to_vec(), &[(99, 10), (99, 11)]);
+        let batch = crate::Batch::new(vec![bottom, top.clone()]);
+        assert_eq!(shared_neighbor_graph(&top).num_edges(), 0);
+        let reg = dependency_reg(&batch, 64);
+        assert_eq!(reg.num_edges(), 2, "mirrored shared-99 edge");
+        assert_eq!(reg.neighbor_weights(0), Some(&[1.0f32][..]));
+    }
+
+    #[test]
+    fn dependency_reg_counts_intermediate_shared_nodes() {
+        // Node 10 is itself shared at level 1 *and* brings a shared level-0
+        // source 99: both count (both get duplicated on a split).
+        let top = Block::new(vec![0, 1], &[(10, 0), (10, 1)]);
+        let bottom = Block::new(top.src_globals().to_vec(), &[(99, 10)]);
+        let batch = crate::Batch::new(vec![bottom, top]);
+        let reg = dependency_reg(&batch, 64);
+        assert_eq!(reg.neighbor_weights(0), Some(&[2.0f32][..]));
+    }
+
+    #[test]
+    fn dependency_reg_hub_cap_drops_ubiquitous_nodes() {
+        // One source shared by all 5 outputs: capped out at hub_cap 4.
+        let edges: Vec<(NodeId, NodeId)> = (0..5).map(|d| (100, d)).collect();
+        let batch = crate::Batch::new(vec![Block::new((0..5).collect(), &edges)]);
+        let capped = dependency_reg(&batch, 4);
+        assert_eq!(capped.num_edges(), 0);
+        let uncapped = dependency_reg(&batch, 64);
+        assert_eq!(uncapped.num_edges(), 5 * 4);
+    }
+
+    #[test]
+    fn dependency_reg_output_sampled_as_neighbor() {
+        // Output 1 is itself a neighbor of output 0: splitting them
+        // duplicates node 1, so the pair must carry weight.
+        let block = Block::new(vec![0, 1], &[(1, 0)]);
+        let batch = crate::Batch::new(vec![block]);
+        let reg = dependency_reg(&batch, 64);
+        assert_eq!(reg.neighbor_weights(0), Some(&[1.0f32][..]));
+    }
+
+    #[test]
+    fn randomized_agreement_with_brute_force() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_pcg::Pcg64Mcg::seed_from_u64(99);
+        for trial in 0..10 {
+            let n_dst = rng.gen_range(2..8);
+            let n_src = rng.gen_range(1..12);
+            let mut edges = Vec::new();
+            for d in 0..n_dst {
+                let deg = rng.gen_range(0..5);
+                for _ in 0..deg {
+                    edges.push((100 + rng.gen_range(0..n_src) as NodeId, d as NodeId));
+                }
+            }
+            let block = Block::new((0..n_dst as NodeId).collect(), &edges);
+            let reg = shared_neighbor_graph(&block);
+            let bf = brute_force(&block);
+            #[allow(clippy::needless_range_loop)] // symmetric index pair
+            for i in 0..n_dst {
+                for j in 0..n_dst {
+                    if i == j {
+                        continue;
+                    }
+                    let w = reg
+                        .neighbors(i as u32)
+                        .iter()
+                        .position(|&v| v == j as u32)
+                        .map(|p| reg.neighbor_weights(i as u32).unwrap()[p])
+                        .unwrap_or(0.0);
+                    assert_eq!(w, bf[i][j], "trial {trial} pair ({i},{j})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,291 @@
+use betty_graph::Block;
+use betty_tensor::VarId;
+use rand::Rng;
+
+use crate::{Linear, LstmCell, Param, Session};
+
+/// Declarative choice of neighbor aggregator (what experiment configs name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregatorSpec {
+    /// Degree-normalized mean of neighbor features.
+    Mean,
+    /// Unnormalized sum.
+    Sum,
+    /// Max-pooling over a learned transform (GraphSAGE-pool).
+    Pool,
+    /// Sequence LSTM over neighbor features (GraphSAGE-LSTM).
+    Lstm,
+}
+
+impl AggregatorSpec {
+    /// Name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregatorSpec::Mean => "mean",
+            AggregatorSpec::Sum => "sum",
+            AggregatorSpec::Pool => "pool",
+            AggregatorSpec::Lstm => "lstm",
+        }
+    }
+}
+
+/// An instantiated neighbor aggregator, possibly holding parameters.
+///
+/// Given a [`Block`] and the source-node feature variable
+/// `[num_src, in_dim]`, produces the aggregated neighbor representation
+/// `[num_dst, in_dim]`. Destinations with no in-edges aggregate to zero.
+#[derive(Debug, Clone)]
+pub enum Aggregator {
+    /// Mean of neighbor features.
+    Mean,
+    /// Sum of neighbor features.
+    Sum,
+    /// `max(relu(W·x + b))` over neighbors.
+    Pool(Linear),
+    /// Final hidden state of an LSTM run over the neighbor sequence,
+    /// processed in exact in-degree buckets (equal-length sequences batch
+    /// together — the "in-degree bucketing" the paper analyzes in §4.4.2).
+    Lstm(LstmCell),
+}
+
+impl Aggregator {
+    /// Instantiates an aggregator for `in_dim`-wide features.
+    pub fn new(spec: AggregatorSpec, in_dim: usize, rng: &mut impl Rng) -> Self {
+        match spec {
+            AggregatorSpec::Mean => Aggregator::Mean,
+            AggregatorSpec::Sum => Aggregator::Sum,
+            AggregatorSpec::Pool => Aggregator::Pool(Linear::new(in_dim, in_dim, rng)),
+            AggregatorSpec::Lstm => Aggregator::Lstm(LstmCell::new(in_dim, in_dim, rng)),
+        }
+    }
+
+    /// The spec this aggregator was built from.
+    pub fn spec(&self) -> AggregatorSpec {
+        match self {
+            Aggregator::Mean => AggregatorSpec::Mean,
+            Aggregator::Sum => AggregatorSpec::Sum,
+            Aggregator::Pool(_) => AggregatorSpec::Pool,
+            Aggregator::Lstm(_) => AggregatorSpec::Lstm,
+        }
+    }
+
+    /// Aggregates neighbor features for every destination of `block`.
+    pub fn forward(&self, sess: &mut Session, block: &Block, src_feats: VarId) -> VarId {
+        let edge_src: Vec<usize> = block.edge_src_locals().iter().map(|&s| s as usize).collect();
+        let edge_dst: Vec<usize> = block.edge_dst_locals().iter().map(|&d| d as usize).collect();
+        let n_dst = block.num_dst();
+        match self {
+            // Mean/Sum use the fused kernel: no [E, D] message tensor is
+            // materialized (mirroring DGL's fused message passing, which is
+            // why these aggregators are the memory-cheap ones in Fig. 2).
+            Aggregator::Mean => {
+                sess.graph
+                    .fused_neighbor_mean(src_feats, &edge_src, &edge_dst, n_dst)
+            }
+            Aggregator::Sum => {
+                sess.graph
+                    .fused_neighbor_sum(src_feats, &edge_src, &edge_dst, n_dst)
+            }
+            Aggregator::Pool(fc) => {
+                let messages = sess.graph.gather_rows(src_feats, &edge_src);
+                let transformed = fc.forward(sess, messages);
+                let activated = sess.graph.relu(transformed);
+                sess.graph.segment_max(activated, &edge_dst, n_dst)
+            }
+            Aggregator::Lstm(cell) => lstm_aggregate(sess, cell, block, src_feats),
+        }
+    }
+
+    /// The aggregator's own parameters (empty for Mean/Sum).
+    pub fn params(&self) -> Vec<&Param> {
+        match self {
+            Aggregator::Mean | Aggregator::Sum => Vec::new(),
+            Aggregator::Pool(fc) => fc.params(),
+            Aggregator::Lstm(cell) => cell.params(),
+        }
+    }
+
+    /// Mutable parameter access.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        match self {
+            Aggregator::Mean | Aggregator::Sum => Vec::new(),
+            Aggregator::Pool(fc) => fc.params_mut(),
+            Aggregator::Lstm(cell) => cell.params_mut(),
+        }
+    }
+
+    /// Scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}
+
+/// LSTM aggregation with exact in-degree bucketing.
+///
+/// Destinations sharing an in-degree `L` form one bucket; their neighbor
+/// lists stack into `L` timesteps of a batched LSTM. The final hidden state
+/// of each bucket scatters back to its destinations' rows; buckets are
+/// summed (their destination sets are disjoint, so this is pure placement).
+fn lstm_aggregate(sess: &mut Session, cell: &LstmCell, block: &Block, src_feats: VarId) -> VarId {
+    let n_dst = block.num_dst();
+    let width = cell.hidden_dim();
+    let mut combined: Option<VarId> = None;
+    for (degree, nodes) in block.exact_degree_buckets() {
+        if degree == 0 {
+            continue; // isolated destinations aggregate to zero
+        }
+        // Timestep t gathers the t-th neighbor of every bucket member.
+        let (mut h, mut c) = cell.zero_state(sess, nodes.len());
+        for t in 0..degree {
+            let idx: Vec<usize> = nodes
+                .iter()
+                .map(|&d| block.in_edges(d as usize)[t] as usize)
+                .collect();
+            let x = sess.graph.gather_rows(src_feats, &idx);
+            let (nh, nc) = cell.step(sess, x, h, c);
+            h = nh;
+            c = nc;
+        }
+        let positions: Vec<usize> = nodes.iter().map(|&d| d as usize).collect();
+        let placed = sess.graph.scatter_rows(h, &positions, n_dst);
+        combined = Some(match combined {
+            Some(acc) => sess.graph.add(acc, placed),
+            None => placed,
+        });
+    }
+    combined.unwrap_or_else(|| sess.graph.leaf(betty_tensor::Tensor::zeros(&[n_dst, width])))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betty_tensor::Tensor;
+    use rand::SeedableRng;
+    use rand_pcg::Pcg64Mcg;
+
+    fn rng() -> Pcg64Mcg {
+        Pcg64Mcg::seed_from_u64(5)
+    }
+
+    /// dst {0,1}: 0 ← {2,3}, 1 ← {3}.
+    fn block() -> Block {
+        Block::new(vec![0, 1], &[(2, 0), (3, 0), (3, 1)])
+    }
+
+    fn feats(sess: &mut Session) -> VarId {
+        // src locals: [0, 1, 2, 3] → globals [0, 1, 2, 3].
+        sess.graph.leaf(
+            Tensor::from_vec(vec![0.0, 0.0, 0.0, 0.0, 2.0, 4.0, 6.0, 8.0], &[4, 2]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn mean_averages_neighbors() {
+        let mut sess = Session::new();
+        let x = feats(&mut sess);
+        let agg = Aggregator::new(AggregatorSpec::Mean, 2, &mut rng());
+        let out = agg.forward(&mut sess, &block(), x);
+        let v = sess.graph.value(out);
+        assert_eq!(v.shape(), &[2, 2]);
+        assert_eq!(v.row(0), &[4.0, 6.0]); // mean of (2,4) and (6,8)
+        assert_eq!(v.row(1), &[6.0, 8.0]);
+    }
+
+    #[test]
+    fn sum_adds_neighbors() {
+        let mut sess = Session::new();
+        let x = feats(&mut sess);
+        let agg = Aggregator::new(AggregatorSpec::Sum, 2, &mut rng());
+        let out = agg.forward(&mut sess, &block(), x);
+        assert_eq!(sess.graph.value(out).row(0), &[8.0, 12.0]);
+    }
+
+    #[test]
+    fn pool_is_monotone_in_neighbors() {
+        let mut sess = Session::new();
+        let x = feats(&mut sess);
+        let agg = Aggregator::new(AggregatorSpec::Pool, 2, &mut rng());
+        assert!(agg.num_params() > 0);
+        let out = agg.forward(&mut sess, &block(), x);
+        let v = sess.graph.value(out).clone();
+        assert_eq!(v.shape(), &[2, 2]);
+        // Pool output is elementwise max over per-neighbor transforms, and
+        // dst 0's neighbor set is a superset of dst 1's → row0 ≥ row1.
+        for cidx in 0..2 {
+            assert!(v.at2(0, cidx) >= v.at2(1, cidx) - 1e-6);
+        }
+    }
+
+    #[test]
+    fn lstm_shapes_and_grad_flow() {
+        let mut sess = Session::new();
+        let x = feats(&mut sess);
+        let mut agg = Aggregator::new(AggregatorSpec::Lstm, 2, &mut rng());
+        let out = agg.forward(&mut sess, &block(), x);
+        assert_eq!(sess.graph.value(out).shape(), &[2, 2]);
+        let loss = sess.graph.sum(out);
+        sess.graph.backward(loss);
+        // Input features and LSTM weights both receive gradient.
+        assert!(sess.graph.grad(x).unwrap().max_abs() > 0.0);
+        for p in agg.params_mut() {
+            let var = sess.bind(p);
+            assert!(sess.graph.grad(var).is_some(), "LSTM param missing grad");
+        }
+    }
+
+    #[test]
+    fn isolated_destination_aggregates_to_zero() {
+        let b = Block::new(vec![0, 1], &[(2, 0)]); // dst 1 isolated
+        for spec in [
+            AggregatorSpec::Mean,
+            AggregatorSpec::Sum,
+            AggregatorSpec::Pool,
+            AggregatorSpec::Lstm,
+        ] {
+            let mut sess = Session::new();
+            let x = sess.graph.leaf(Tensor::ones(&[3, 2]));
+            let agg = Aggregator::new(spec, 2, &mut rng());
+            let out = agg.forward(&mut sess, &b, x);
+            let v = sess.graph.value(out);
+            assert_eq!(v.row(1), &[0.0, 0.0], "{}: isolated dst", spec.name());
+        }
+    }
+
+    #[test]
+    fn lstm_empty_block_is_all_zero() {
+        let b = Block::new(vec![0, 1], &[]);
+        let mut sess = Session::new();
+        let x = sess.graph.leaf(Tensor::ones(&[2, 3]));
+        let agg = Aggregator::new(AggregatorSpec::Lstm, 3, &mut rng());
+        let out = agg.forward(&mut sess, &b, x);
+        assert_eq!(sess.graph.value(out).max_abs(), 0.0);
+    }
+
+    #[test]
+    fn spec_roundtrip() {
+        for spec in [
+            AggregatorSpec::Mean,
+            AggregatorSpec::Sum,
+            AggregatorSpec::Pool,
+            AggregatorSpec::Lstm,
+        ] {
+            assert_eq!(Aggregator::new(spec, 4, &mut rng()).spec(), spec);
+        }
+    }
+
+    #[test]
+    fn mean_gradcheck_through_block() {
+        let input = betty_tensor::randn(&[4, 2], &mut Pcg64Mcg::seed_from_u64(8));
+        let b = block();
+        let res = betty_tensor::check::check_gradient(&input, |g, x| {
+            let mut sess = Session::from_graph(std::mem::take(g));
+            let agg = Aggregator::Mean;
+            let out = agg.forward(&mut sess, &b, x);
+            let loss = sess.graph.tanh(out);
+            let loss = sess.graph.sum(loss);
+            *g = sess.into_graph();
+            loss
+        });
+        assert!(res.passes(1e-2), "{res:?}");
+    }
+}

@@ -1,0 +1,208 @@
+//! Model checkpointing: save/restore the parameter values of a
+//! [`GnnModel`].
+//!
+//! The format is positional — parameters are written in
+//! [`GnnModel::params`] order with their shapes — so a checkpoint can only
+//! be restored into a model of the identical architecture (shapes are
+//! verified). Little-endian binary:
+//!
+//! ```text
+//! magic "BTYCKPT1" | u32 param count | per param: u32 ndim, u32 dims…,
+//! f32 data…
+//! ```
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use betty_tensor::Tensor;
+
+use crate::GnnModel;
+
+const MAGIC: &[u8; 8] = b"BTYCKPT1";
+
+/// Errors from [`load_checkpoint`].
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a valid checkpoint, or its parameter shapes do not
+    /// match the target model.
+    Format(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Format(msg) => write!(f, "invalid checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes the model's parameter values to `path`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the file cannot be written.
+pub fn save_checkpoint(model: &dyn GnnModel, path: impl AsRef<Path>) -> io::Result<()> {
+    let params = model.params();
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(params.len() as u32);
+    for p in params {
+        let value = p.value();
+        buf.put_u32_le(value.ndim() as u32);
+        for &d in value.shape() {
+            buf.put_u32_le(d as u32);
+        }
+        for &x in value.data() {
+            buf.put_f32_le(x);
+        }
+    }
+    fs::write(path, &buf)
+}
+
+/// Restores parameter values from `path` into `model`.
+///
+/// Gradients are zeroed. The model is left unchanged if the checkpoint is
+/// invalid or mismatched.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] on filesystem problems;
+/// [`CheckpointError::Format`] when the file is malformed or a parameter
+/// count/shape differs from the model's.
+pub fn load_checkpoint(
+    model: &mut dyn GnnModel,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    let mut buf = Bytes::from(fs::read(path)?);
+    let need = |buf: &Bytes, bytes: usize, what: &str| -> Result<(), CheckpointError> {
+        if buf.remaining() < bytes {
+            return Err(CheckpointError::Format(format!("truncated at {what}")));
+        }
+        Ok(())
+    };
+    need(&buf, MAGIC.len() + 4, "header")?;
+    if &buf.split_to(MAGIC.len())[..] != MAGIC {
+        return Err(CheckpointError::Format("bad magic".into()));
+    }
+    let count = buf.get_u32_le() as usize;
+    let expected = model.params().len();
+    if count != expected {
+        return Err(CheckpointError::Format(format!(
+            "checkpoint has {count} parameters, model has {expected}"
+        )));
+    }
+    // Decode everything (validating against model shapes) before mutating.
+    let shapes: Vec<Vec<usize>> = model
+        .params()
+        .iter()
+        .map(|p| p.value().shape().to_vec())
+        .collect();
+    let mut values = Vec::with_capacity(count);
+    for (i, expected_shape) in shapes.iter().enumerate() {
+        need(&buf, 4, "ndim")?;
+        let ndim = buf.get_u32_le() as usize;
+        need(&buf, ndim * 4, "shape")?;
+        let shape: Vec<usize> = (0..ndim).map(|_| buf.get_u32_le() as usize).collect();
+        if &shape != expected_shape {
+            return Err(CheckpointError::Format(format!(
+                "parameter {i}: checkpoint shape {shape:?} != model shape {expected_shape:?}"
+            )));
+        }
+        let len: usize = shape.iter().product();
+        need(&buf, len * 4, "tensor data")?;
+        let data: Vec<f32> = (0..len).map(|_| buf.get_f32_le()).collect();
+        values.push(Tensor::from_vec(data, &shape).expect("validated shape"));
+    }
+    for (param, value) in model.params_mut().into_iter().zip(values) {
+        *param.value_mut() = value;
+        param.zero_grad();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AggregatorSpec, GraphSage};
+    use rand::SeedableRng;
+    use rand_pcg::Pcg64Mcg;
+
+    fn model(seed: u64) -> GraphSage {
+        GraphSage::new(4, 8, 3, 2, AggregatorSpec::Pool, 0.0, &mut Pcg64Mcg::seed_from_u64(seed))
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("betty-ckpt-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_restores_values() {
+        let source = model(1);
+        let mut target = model(2);
+        assert_ne!(
+            source.params()[0].value().data(),
+            target.params()[0].value().data()
+        );
+        let path = tmp("roundtrip");
+        save_checkpoint(&source, &path).unwrap();
+        load_checkpoint(&mut target, &path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        for (a, b) in source.params().iter().zip(target.params()) {
+            assert_eq!(a.value(), b.value());
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected_and_model_untouched() {
+        let source = model(1);
+        let mut other = GraphSage::new(
+            5, // different input width
+            8,
+            3,
+            2,
+            AggregatorSpec::Pool,
+            0.0,
+            &mut Pcg64Mcg::seed_from_u64(3),
+        );
+        let before: Vec<_> = other.params().iter().map(|p| p.value().clone()).collect();
+        let path = tmp("mismatch");
+        save_checkpoint(&source, &path).unwrap();
+        let err = load_checkpoint(&mut other, &path).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+        for (p, b) in other.params().iter().zip(&before) {
+            assert_eq!(p.value(), b, "model mutated on failed load");
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"junk").unwrap();
+        let mut m = model(1);
+        let err = load_checkpoint(&mut m, &path).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(err, CheckpointError::Format(_)));
+    }
+}

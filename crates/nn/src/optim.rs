@@ -1,0 +1,211 @@
+use betty_tensor::Tensor;
+
+use crate::Param;
+
+/// A first-order optimizer over a parameter list.
+///
+/// Optimizers are stateful (Adam keeps moments keyed by [`Param::id`]);
+/// call [`Optimizer::step`] after gradients have been accumulated and
+/// [`zero_grads`] before the next batch.
+pub trait Optimizer {
+    /// Applies one update using each parameter's accumulated gradient.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Scalar count of optimizer state values per model value (0 for SGD,
+    /// 2 for Adam) — what the memory estimator's item (8) charges.
+    fn state_values_per_param(&self) -> usize;
+
+    /// Updates the learning rate (used by [`crate::schedule`] schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Clears the accumulated gradient of every parameter.
+pub fn zero_grads(params: &mut [&mut Param]) {
+    for p in params.iter_mut() {
+        p.zero_grad();
+    }
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// SGD with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        for p in params.iter_mut() {
+            let grad = p.grad().clone();
+            let value = p.value_mut();
+            let vd = value.data_mut();
+            for (v, g) in vd.iter_mut().zip(grad.data()) {
+                *v -= self.lr * g;
+            }
+        }
+    }
+
+    fn state_values_per_param(&self) -> usize {
+        0
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    moments: std::collections::HashMap<u64, (Tensor, Tensor)>,
+}
+
+impl Adam {
+    /// Adam with learning rate `lr` and the standard β/ε defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            moments: std::collections::HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for p in params.iter_mut() {
+            let (m, v) = self
+                .moments
+                .entry(p.id())
+                .or_insert_with(|| (Tensor::zeros(p.value().shape()), Tensor::zeros(p.value().shape())));
+            let grad = p.grad().clone();
+            let md = m.data_mut();
+            let vd = v.data_mut();
+            let value = p.value_mut().data_mut();
+            for i in 0..grad.len() {
+                let g = grad.at(i);
+                md[i] = self.beta1 * md[i] + (1.0 - self.beta1) * g;
+                vd[i] = self.beta2 * vd[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = md[i] / bc1;
+                let v_hat = vd[i] / bc2;
+                value[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn state_values_per_param(&self) -> usize {
+        2
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_step(opt: &mut dyn Optimizer, p: &mut Param) {
+        // loss = x², grad = 2x.
+        let grad = betty_tensor::kernels::scale(p.value(), 2.0);
+        p.zero_grad();
+        p.accumulate_grad(&grad);
+        opt.step(&mut [p]);
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut p = Param::new(Tensor::from_slice(&[10.0, -10.0]));
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..50 {
+            quadratic_step(&mut opt, &mut p);
+        }
+        assert!(p.value().max_abs() < 0.01, "{:?}", p.value());
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut p = Param::new(Tensor::from_slice(&[5.0, -3.0]));
+        let mut opt = Adam::new(0.3);
+        for _ in 0..200 {
+            quadratic_step(&mut opt, &mut p);
+        }
+        assert!(p.value().max_abs() < 0.05, "{:?}", p.value());
+    }
+
+    #[test]
+    fn adam_state_is_per_param() {
+        let mut a = Param::new(Tensor::from_slice(&[1.0]));
+        let mut b = Param::new(Tensor::from_slice(&[1.0]));
+        let mut opt = Adam::new(0.1);
+        a.accumulate_grad(&Tensor::from_slice(&[1.0]));
+        b.accumulate_grad(&Tensor::from_slice(&[-1.0]));
+        opt.step(&mut [&mut a, &mut b]);
+        assert!(a.value().at(0) < 1.0);
+        assert!(b.value().at(0) > 1.0);
+        assert_eq!(opt.state_values_per_param(), 2);
+    }
+
+    #[test]
+    fn zero_grads_clears_all() {
+        let mut a = Param::new(Tensor::from_slice(&[1.0]));
+        let mut b = Param::new(Tensor::from_slice(&[2.0]));
+        a.accumulate_grad(&Tensor::from_slice(&[3.0]));
+        b.accumulate_grad(&Tensor::from_slice(&[4.0]));
+        zero_grads(&mut [&mut a, &mut b]);
+        assert_eq!(a.grad().max_abs(), 0.0);
+        assert_eq!(b.grad().max_abs(), 0.0);
+    }
+
+    #[test]
+    fn set_lr_changes_step_size() {
+        let mut p = Param::new(Tensor::from_slice(&[1.0]));
+        p.accumulate_grad(&Tensor::from_slice(&[1.0]));
+        let mut opt = Sgd::new(0.1);
+        opt.set_lr(0.5);
+        opt.step(&mut [&mut p]);
+        assert!((p.value().at(0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn sgd_matches_hand_update() {
+        let mut p = Param::new(Tensor::from_slice(&[1.0]));
+        p.accumulate_grad(&Tensor::from_slice(&[0.5]));
+        Sgd::new(0.2).step(&mut [&mut p]);
+        assert!((p.value().at(0) - 0.9).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,124 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use betty_tensor::Tensor;
+
+static NEXT_PARAM_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A trainable parameter: a value tensor plus an accumulated gradient.
+///
+/// Parameters persist across tape lifetimes. Each forward pass binds the
+/// value to a fresh tape leaf (see [`crate::Session`]); after backward, the
+/// leaf's gradient is *added* to [`Param::grad`] — accumulation across
+/// micro-batches is therefore the default, and an explicit
+/// [`Param::zero_grad`] starts the next batch.
+#[derive(Debug, Clone)]
+pub struct Param {
+    id: u64,
+    value: Tensor,
+    grad: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self {
+            id: NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed),
+            value,
+            grad,
+        }
+    }
+
+    /// Process-unique identity used by [`crate::Session`] to key bindings.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The parameter value.
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+
+    /// Mutable access to the value (used by optimizers).
+    pub fn value_mut(&mut self) -> &mut Tensor {
+        &mut self.value
+    }
+
+    /// The accumulated gradient.
+    pub fn grad(&self) -> &Tensor {
+        &self.grad
+    }
+
+    /// Adds `delta` into the accumulated gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn accumulate_grad(&mut self, delta: &Tensor) {
+        self.grad.add_assign(delta);
+    }
+
+    /// Scales the accumulated gradient (used to turn a sum over
+    /// micro-batches into a mean over the effective batch).
+    pub fn scale_grad(&mut self, factor: f32) {
+        self.grad.scale_assign(factor);
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Number of scalar values in the parameter.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty (never true for real layers).
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// Total scalar count across a parameter list.
+pub fn total_params(params: &[&Param]) -> usize {
+    params.iter().map(|p| p.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let a = Param::new(Tensor::zeros(&[2]));
+        let b = Param::new(Tensor::zeros(&[2]));
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn grad_accumulates_and_clears() {
+        let mut p = Param::new(Tensor::zeros(&[2]));
+        p.accumulate_grad(&Tensor::from_slice(&[1.0, 2.0]));
+        p.accumulate_grad(&Tensor::from_slice(&[0.5, 0.5]));
+        assert_eq!(p.grad().data(), &[1.5, 2.5]);
+        p.scale_grad(2.0);
+        assert_eq!(p.grad().data(), &[3.0, 5.0]);
+        p.zero_grad();
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn clone_keeps_id() {
+        // Cloning a Param (e.g. checkpointing) preserves identity.
+        let p = Param::new(Tensor::zeros(&[1]));
+        assert_eq!(p.clone().id(), p.id());
+    }
+
+    #[test]
+    fn total_params_sums_lengths() {
+        let a = Param::new(Tensor::zeros(&[2, 3]));
+        let b = Param::new(Tensor::zeros(&[4]));
+        assert_eq!(total_params(&[&a, &b]), 10);
+    }
+}

@@ -1,0 +1,169 @@
+//! Learning-rate schedules and gradient utilities.
+//!
+//! Convergence experiments (Figs. 4 & 13, Table 5) train with a fixed
+//! learning rate like the paper; these utilities cover the standard knobs
+//! a practitioner reaches for on harder runs.
+
+use crate::Param;
+
+/// A learning-rate schedule: maps an epoch index to a multiplier of the
+/// base learning rate.
+pub trait LrSchedule {
+    /// Multiplier applied to the base learning rate at `epoch` (0-based).
+    fn factor(&self, epoch: usize) -> f32;
+
+    /// Effective learning rate at `epoch`.
+    fn lr_at(&self, base_lr: f32, epoch: usize) -> f32 {
+        base_lr * self.factor(epoch)
+    }
+}
+
+/// Constant learning rate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConstantLr;
+
+impl LrSchedule for ConstantLr {
+    fn factor(&self, _epoch: usize) -> f32 {
+        1.0
+    }
+}
+
+/// Step decay: multiply by `gamma` every `step_epochs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDecay {
+    /// Epochs between decays.
+    pub step_epochs: usize,
+    /// Per-step multiplier (e.g. 0.5 halves the rate).
+    pub gamma: f32,
+}
+
+impl LrSchedule for StepDecay {
+    fn factor(&self, epoch: usize) -> f32 {
+        self.gamma.powi((epoch / self.step_epochs.max(1)) as i32)
+    }
+}
+
+/// Cosine annealing from 1.0 down to `min_factor` over `total_epochs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineAnnealing {
+    /// Epoch count of the full schedule.
+    pub total_epochs: usize,
+    /// Floor multiplier at the end of the schedule.
+    pub min_factor: f32,
+}
+
+impl LrSchedule for CosineAnnealing {
+    fn factor(&self, epoch: usize) -> f32 {
+        let t = (epoch as f32 / self.total_epochs.max(1) as f32).min(1.0);
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+        self.min_factor + (1.0 - self.min_factor) * cos
+    }
+}
+
+/// Linear warmup wrapped around another schedule: ramps 0 → 1 over
+/// `warmup_epochs`, then defers to `inner` (with the epoch offset removed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Warmup<S> {
+    /// Ramp length in epochs.
+    pub warmup_epochs: usize,
+    /// Schedule to follow after the ramp.
+    pub inner: S,
+}
+
+impl<S: LrSchedule> LrSchedule for Warmup<S> {
+    fn factor(&self, epoch: usize) -> f32 {
+        if epoch < self.warmup_epochs {
+            (epoch + 1) as f32 / self.warmup_epochs as f32
+        } else {
+            self.inner.factor(epoch - self.warmup_epochs)
+        }
+    }
+}
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+///
+/// Returns the pre-clipping norm.
+///
+/// # Panics
+///
+/// Panics if `max_norm` is not positive.
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let total_sq: f32 = params
+        .iter()
+        .map(|p| p.grad().data().iter().map(|g| g * g).sum::<f32>())
+        .sum();
+    let norm = total_sq.sqrt();
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        for p in params.iter_mut() {
+            p.scale_grad(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betty_tensor::Tensor;
+
+    #[test]
+    fn constant_is_one() {
+        assert_eq!(ConstantLr.factor(0), 1.0);
+        assert_eq!(ConstantLr.lr_at(0.01, 99), 0.01);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = StepDecay {
+            step_epochs: 10,
+            gamma: 0.5,
+        };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_is_monotone_to_floor() {
+        let s = CosineAnnealing {
+            total_epochs: 20,
+            min_factor: 0.1,
+        };
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+        let mut prev = 2.0f32;
+        for e in 0..=20 {
+            let f = s.factor(e);
+            assert!(f <= prev + 1e-6, "not monotone at {e}");
+            prev = f;
+        }
+        assert!((s.factor(20) - 0.1).abs() < 1e-6);
+        assert!((s.factor(100) - 0.1).abs() < 1e-6, "clamped past the end");
+    }
+
+    #[test]
+    fn warmup_ramps_then_defers() {
+        let s = Warmup {
+            warmup_epochs: 4,
+            inner: ConstantLr,
+        };
+        assert!((s.factor(0) - 0.25).abs() < 1e-6);
+        assert!((s.factor(3) - 1.0).abs() < 1e-6);
+        assert_eq!(s.factor(10), 1.0);
+    }
+
+    #[test]
+    fn clip_rescales_only_when_needed() {
+        let mut a = Param::new(Tensor::zeros(&[2]));
+        a.accumulate_grad(&Tensor::from_slice(&[3.0, 4.0])); // norm 5
+        let norm = clip_grad_norm(&mut [&mut a], 2.5);
+        assert!((norm - 5.0).abs() < 1e-6);
+        assert!((a.grad().norm() - 2.5).abs() < 1e-5);
+        // Already under the cap: untouched.
+        let norm2 = clip_grad_norm(&mut [&mut a], 10.0);
+        assert!((norm2 - 2.5).abs() < 1e-5);
+        assert!((a.grad().norm() - 2.5).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,103 @@
+use std::collections::HashMap;
+
+use betty_tensor::{Graph, VarId};
+
+use crate::models::GnnModel;
+use crate::Param;
+
+/// One forward/backward pass: a fresh autograd tape plus the bindings from
+/// persistent [`Param`]s to their tape leaves.
+///
+/// GNN forward passes are shaped by the sampled batch, so every
+/// (micro-)batch gets its own `Session`. Binding is idempotent within a
+/// session — a parameter used by several layers (or several times by an
+/// unrolled LSTM) maps to a single leaf, so its gradient contributions
+/// accumulate on the tape as they should.
+#[derive(Debug, Default)]
+pub struct Session {
+    /// The underlying autograd tape; layers build their ops on it directly.
+    pub graph: Graph,
+    bindings: HashMap<u64, VarId>,
+}
+
+impl Session {
+    /// Creates an empty session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing tape (no bindings yet) — lets generic tape
+    /// utilities such as [`betty_tensor::check::check_gradient`] drive
+    /// layer code.
+    pub fn from_graph(graph: Graph) -> Self {
+        Self {
+            graph,
+            bindings: HashMap::new(),
+        }
+    }
+
+    /// Consumes the session, returning the tape.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Returns the tape leaf bound to `param`, creating it on first use.
+    pub fn bind(&mut self, param: &Param) -> VarId {
+        if let Some(&v) = self.bindings.get(&param.id()) {
+            return v;
+        }
+        let v = self.graph.leaf(param.value().clone());
+        self.bindings.insert(param.id(), v);
+        v
+    }
+
+    /// Runs backward from `loss` and adds each bound parameter's tape
+    /// gradient into its persistent [`Param::grad`].
+    ///
+    /// Parameters that did not participate in `loss` are left untouched.
+    pub fn backward(&mut self, loss: VarId, model: &mut dyn GnnModel) {
+        self.graph.backward(loss);
+        for param in model.params_mut() {
+            if let Some(&var) = self.bindings.get(&param.id()) {
+                if let Some(grad) = self.graph.grad(var) {
+                    param.accumulate_grad(&grad.clone());
+                }
+            }
+        }
+    }
+
+    /// Total bytes of forward activations held by the tape — what the
+    /// device simulator charges as activation memory.
+    pub fn activation_bytes(&self) -> usize {
+        self.graph.activation_bytes()
+    }
+
+    /// Number of parameters bound so far.
+    pub fn num_bindings(&self) -> usize {
+        self.bindings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betty_tensor::Tensor;
+
+    #[test]
+    fn bind_is_idempotent() {
+        let mut s = Session::new();
+        let p = Param::new(Tensor::ones(&[2]));
+        let a = s.bind(&p);
+        let b = s.bind(&p);
+        assert_eq!(a, b);
+        assert_eq!(s.num_bindings(), 1);
+    }
+
+    #[test]
+    fn distinct_params_get_distinct_leaves() {
+        let mut s = Session::new();
+        let p = Param::new(Tensor::ones(&[2]));
+        let q = Param::new(Tensor::ones(&[2]));
+        assert_ne!(s.bind(&p), s.bind(&q));
+    }
+}

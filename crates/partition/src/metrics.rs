@@ -1,0 +1,84 @@
+//! Partition-quality metrics used across the evaluation (Fig. 16, Table 6).
+
+use std::collections::HashSet;
+
+use betty_graph::{Batch, NodeId};
+
+/// Input-node duplication across a set of micro-batches.
+///
+/// A micro-batch must carry *every* input (first-layer source) node its
+/// output nodes transitively depend on; nodes shared across micro-batches
+/// are loaded, transferred, and aggregated repeatedly — the redundancy
+/// Betty's REG partitioning minimizes (§4.3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedundancyReport {
+    /// Input nodes summed over micro-batches (counting duplicates).
+    pub total_input_nodes: usize,
+    /// Distinct input nodes across all micro-batches.
+    pub unique_input_nodes: usize,
+}
+
+impl RedundancyReport {
+    /// Duplicated input-node loads: `total - unique`.
+    pub fn redundant_nodes(&self) -> usize {
+        self.total_input_nodes - self.unique_input_nodes
+    }
+
+    /// Duplication factor `total / unique` (1.0 = no redundancy). Returns
+    /// 1.0 when there are no input nodes at all.
+    pub fn redundancy_ratio(&self) -> f64 {
+        if self.unique_input_nodes == 0 {
+            1.0
+        } else {
+            self.total_input_nodes as f64 / self.unique_input_nodes as f64
+        }
+    }
+}
+
+/// Measures input redundancy across micro-batches.
+pub fn input_redundancy(micro_batches: &[Batch]) -> RedundancyReport {
+    let mut total = 0usize;
+    let mut unique: HashSet<NodeId> = HashSet::new();
+    for mb in micro_batches {
+        let inputs = mb.input_nodes();
+        total += inputs.len();
+        unique.extend(inputs.iter().copied());
+    }
+    RedundancyReport {
+        total_input_nodes: total,
+        unique_input_nodes: unique.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betty_graph::Block;
+
+    #[test]
+    fn counts_duplicates() {
+        let a = Batch::new(vec![Block::new(vec![0], &[(10, 0), (11, 0)])]);
+        let b = Batch::new(vec![Block::new(vec![1], &[(10, 1), (12, 1)])]);
+        let report = input_redundancy(&[a, b]);
+        // Batch a inputs {0,10,11}; batch b inputs {1,10,12}.
+        assert_eq!(report.total_input_nodes, 6);
+        assert_eq!(report.unique_input_nodes, 5);
+        assert_eq!(report.redundant_nodes(), 1);
+        assert!((report.redundancy_ratio() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_batch_has_no_redundancy() {
+        let a = Batch::new(vec![Block::new(vec![0, 1], &[(5, 0), (5, 1)])]);
+        let report = input_redundancy(std::slice::from_ref(&a));
+        assert_eq!(report.redundant_nodes(), 0);
+        assert_eq!(report.redundancy_ratio(), 1.0);
+    }
+
+    #[test]
+    fn empty_input_is_degenerate_but_defined() {
+        let report = input_redundancy(&[]);
+        assert_eq!(report.redundancy_ratio(), 1.0);
+        assert_eq!(report.redundant_nodes(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! The paper's structure-oblivious baselines: range and random partitioning
+//! of the output-node id space (§6.1).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_pcg::Pcg64Mcg;
+
+use betty_graph::CsrGraph;
+
+use crate::{Partitioner, Partitioning};
+
+/// Splits the node id space into `k` contiguous, nearly equal-size ranges.
+///
+/// Matches the paper's *range partition*: "the space of output node IDs is
+/// evenly and sequentially partitioned". Node weights are ignored — the
+/// baseline balances node *counts*, exactly like the original.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RangePartitioner;
+
+impl RangePartitioner {
+    /// Creates a range partitioner.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Partitioner for RangePartitioner {
+    fn name(&self) -> &'static str {
+        "range"
+    }
+
+    fn partition_weighted(
+        &self,
+        graph: &CsrGraph,
+        node_weights: &[f64],
+        k: usize,
+    ) -> Partitioning {
+        assert!(k > 0, "k must be positive");
+        let n = graph.num_nodes();
+        assert_eq!(node_weights.len(), n, "one weight per node");
+        let assignment = (0..n)
+            .map(|i| ((i * k) / n.max(1)).min(k - 1) as u32)
+            .collect();
+        Partitioning::new(assignment, k)
+    }
+}
+
+/// Shuffles node ids uniformly, then splits into `k` equal-size parts.
+///
+/// Matches the paper's *random partition*: "the space of output node IDs is
+/// evenly and randomly partitioned". Deterministic for a given seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomPartitioner {
+    seed: u64,
+}
+
+impl RandomPartitioner {
+    /// Creates a random partitioner with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Partitioner for RandomPartitioner {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn partition_weighted(
+        &self,
+        graph: &CsrGraph,
+        node_weights: &[f64],
+        k: usize,
+    ) -> Partitioning {
+        assert!(k > 0, "k must be positive");
+        let n = graph.num_nodes();
+        assert_eq!(node_weights.len(), n, "one weight per node");
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = Pcg64Mcg::seed_from_u64(self.seed);
+        order.shuffle(&mut rng);
+        let mut assignment = vec![0u32; n];
+        for (rank, &node) in order.iter().enumerate() {
+            assignment[node] = ((rank * k) / n.max(1)).min(k - 1) as u32;
+        }
+        Partitioning::new(assignment, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes_only(n: usize) -> CsrGraph {
+        CsrGraph::from_edges(n, &[])
+    }
+
+    #[test]
+    fn range_is_contiguous_and_even() {
+        let g = nodes_only(10);
+        let p = RangePartitioner::new().partition(&g, 3);
+        let a = p.assignment();
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "contiguous labels");
+        let sizes = p.part_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| (3..=4).contains(&s)), "{sizes:?}");
+    }
+
+    #[test]
+    fn range_exact_division() {
+        let g = nodes_only(8);
+        let p = RangePartitioner::new().partition(&g, 4);
+        assert_eq!(p.part_sizes(), vec![2, 2, 2, 2]);
+        assert_eq!(p.part_of(0), 0);
+        assert_eq!(p.part_of(7), 3);
+    }
+
+    #[test]
+    fn random_is_even_and_seed_deterministic() {
+        let g = nodes_only(100);
+        let p1 = RandomPartitioner::new(5).partition(&g, 4);
+        let p2 = RandomPartitioner::new(5).partition(&g, 4);
+        assert_eq!(p1, p2);
+        assert!(p1.part_sizes().iter().all(|&s| s == 25));
+        let p3 = RandomPartitioner::new(6).partition(&g, 4);
+        assert_ne!(p1.assignment(), p3.assignment(), "different seed shuffles");
+    }
+
+    #[test]
+    fn more_parts_than_nodes_leaves_some_empty() {
+        let g = nodes_only(2);
+        let p = RangePartitioner::new().partition(&g, 4);
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn k_one_puts_everything_in_part_zero() {
+        let g = nodes_only(5);
+        for part in [
+            RangePartitioner::new().partition(&g, 1),
+            RandomPartitioner::new(0).partition(&g, 1),
+        ] {
+            assert_eq!(part.part_sizes(), vec![5]);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+use std::fmt;
+
+/// Error type for fallible tensor construction and reshaping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided buffer length does not match the product of the shape.
+    ShapeMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A shape with a zero-length dimension list was provided where a
+    /// non-scalar shape is required.
+    EmptyShape,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => write!(
+                f,
+                "shape requires {expected} elements but buffer has {actual}"
+            ),
+            TensorError::EmptyShape => write!(f, "shape must have at least one dimension"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

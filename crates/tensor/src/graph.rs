@@ -1,0 +1,1019 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] records every operation applied to its variables in execution
+//! order (the *tape*). [`Graph::backward`] walks the tape in reverse and
+//! accumulates gradients into every reachable leaf. Each op's adjoint is a
+//! boxed closure capturing the (reference-counted, hence cheap) tensors it
+//! needs.
+//!
+//! The engine is deliberately define-by-run: GNN forward passes are shaped by
+//! the sampled graph structure, so a new tape per micro-batch is the natural
+//! fit (and mirrors how PyTorch/DGL execute the original Betty).
+
+use crate::kernels;
+use crate::segment;
+use crate::Tensor;
+
+/// Handle to a variable stored on a [`Graph`] tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(usize);
+
+type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<Tensor>>;
+
+struct Node {
+    value: Tensor,
+    parents: Vec<VarId>,
+    /// `None` for leaves; otherwise maps the output gradient to one gradient
+    /// tensor per parent (in `parents` order).
+    backward: Option<BackwardFn>,
+}
+
+/// Loss reduction mode for [`Graph::cross_entropy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reduction {
+    /// Average the per-example losses.
+    #[default]
+    Mean,
+    /// Sum the per-example losses.
+    Sum,
+}
+
+/// A dynamic computation tape.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Tensor>>,
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of variables recorded on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total bytes held by all tape values (forward activations).
+    ///
+    /// The device simulator uses this to account for activation memory.
+    pub fn activation_bytes(&self) -> usize {
+        self.nodes.iter().map(|n| n.value.size_bytes()).sum()
+    }
+
+    fn push(&mut self, value: Tensor, parents: Vec<VarId>, backward: Option<BackwardFn>) -> VarId {
+        let id = VarId(self.nodes.len());
+        self.nodes.push(Node {
+            value,
+            parents,
+            backward,
+        });
+        id
+    }
+
+    /// Registers a leaf variable (input or parameter).
+    pub fn leaf(&mut self, value: Tensor) -> VarId {
+        self.push(value, vec![], None)
+    }
+
+    /// The forward value of a variable.
+    pub fn value(&self, v: VarId) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient of a variable after [`Graph::backward`], if it was
+    /// reached by the backward sweep.
+    pub fn grad(&self, v: VarId) -> Option<&Tensor> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    // ---- elementwise ----
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let value = kernels::add(self.value(a), self.value(b));
+        self.push(
+            value,
+            vec![a, b],
+            Some(Box::new(|g: &Tensor| vec![g.clone(), g.clone()])),
+        )
+    }
+
+    /// Elementwise difference `a - b`.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let value = kernels::sub(self.value(a), self.value(b));
+        self.push(
+            value,
+            vec![a, b],
+            Some(Box::new(|g: &Tensor| {
+                vec![g.clone(), kernels::scale(g, -1.0)]
+            })),
+        )
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        let av = self.value(a).clone();
+        let bv = self.value(b).clone();
+        let value = kernels::mul(&av, &bv);
+        self.push(
+            value,
+            vec![a, b],
+            Some(Box::new(move |g: &Tensor| {
+                vec![kernels::mul(g, &bv), kernels::mul(g, &av)]
+            })),
+        )
+    }
+
+    /// Scalar multiple `a * s`.
+    pub fn scale(&mut self, a: VarId, s: f32) -> VarId {
+        let value = kernels::scale(self.value(a), s);
+        self.push(
+            value,
+            vec![a],
+            Some(Box::new(move |g: &Tensor| vec![kernels::scale(g, s)])),
+        )
+    }
+
+    // ---- activations ----
+
+    fn unary(
+        &mut self,
+        a: VarId,
+        f: impl Fn(f32) -> f32,
+        dfdx_from_xy: impl Fn(f32, f32) -> f32 + 'static,
+    ) -> VarId {
+        let x = self.value(a).clone();
+        let y = kernels::map(&x, f);
+        let yc = y.clone();
+        self.push(
+            y,
+            vec![a],
+            Some(Box::new(move |g: &Tensor| {
+                let mut out = g.clone();
+                let od = out.data_mut();
+                for ((o, &xv), &yv) in od.iter_mut().zip(x.data()).zip(yc.data()) {
+                    *o *= dfdx_from_xy(xv, yv);
+                }
+                vec![out]
+            })),
+        )
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: VarId) -> VarId {
+        self.unary(a, |x| x.max(0.0), |x, _| if x > 0.0 { 1.0 } else { 0.0 })
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&mut self, a: VarId, alpha: f32) -> VarId {
+        self.unary(
+            a,
+            move |x| if x > 0.0 { x } else { alpha * x },
+            move |x, _| if x > 0.0 { 1.0 } else { alpha },
+        )
+    }
+
+    /// Exponential linear unit with scale `alpha`.
+    pub fn elu(&mut self, a: VarId, alpha: f32) -> VarId {
+        self.unary(
+            a,
+            move |x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) },
+            move |x, y| if x > 0.0 { 1.0 } else { y + alpha },
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: VarId) -> VarId {
+        self.unary(a, |x| 1.0 / (1.0 + (-x).exp()), |_, y| y * (1.0 - y))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: VarId) -> VarId {
+        self.unary(a, f32::tanh, |_, y| 1.0 - y * y)
+    }
+
+    /// Inverted-dropout with keep-probability `1 - p`, using the caller's
+    /// pre-drawn `mask` of zeros/ones (so training remains deterministic
+    /// under a seeded RNG).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` shape differs from `a` or `p >= 1.0`.
+    pub fn dropout_with_mask(&mut self, a: VarId, mask: &Tensor, p: f32) -> VarId {
+        assert!(p < 1.0, "dropout probability must be < 1.0");
+        assert_eq!(mask.shape(), self.value(a).shape(), "mask shape mismatch");
+        let scale = 1.0 / (1.0 - p);
+        let scaled_mask = kernels::scale(mask, scale);
+        let value = kernels::mul(self.value(a), &scaled_mask);
+        self.push(
+            value,
+            vec![a],
+            Some(Box::new(move |g: &Tensor| {
+                vec![kernels::mul(g, &scaled_mask)]
+            })),
+        )
+    }
+
+    // ---- linear algebra ----
+
+    /// Matrix product of rank-2 variables.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let av = self.value(a).clone();
+        let bv = self.value(b).clone();
+        let value = kernels::matmul(&av, &bv);
+        self.push(
+            value,
+            vec![a, b],
+            Some(Box::new(move |g: &Tensor| {
+                vec![kernels::matmul_a_bt(g, &bv), kernels::matmul_at_b(&av, g)]
+            })),
+        )
+    }
+
+    /// Adds a rank-1 bias to every row of a rank-2 variable.
+    pub fn add_bias(&mut self, a: VarId, bias: VarId) -> VarId {
+        let value = kernels::add_row_broadcast(self.value(a), self.value(bias));
+        self.push(
+            value,
+            vec![a, bias],
+            Some(Box::new(|g: &Tensor| vec![g.clone(), kernels::sum_rows(g)])),
+        )
+    }
+
+    /// Multiplies each row `r` of `[m, n]` variable `a` by the scalar in row
+    /// `r` of `[m, 1]` variable `s` (column broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not `[a.rows(), 1]`.
+    pub fn scale_rows_by(&mut self, a: VarId, s: VarId) -> VarId {
+        let av = self.value(a).clone();
+        let sv = self.value(s).clone();
+        assert_eq!(
+            sv.shape(),
+            &[av.rows(), 1],
+            "row scaler must be [rows, 1], got {:?}",
+            sv.shape()
+        );
+        let value = kernels::scale_rows(&av, sv.data());
+        self.push(
+            value,
+            vec![a, s],
+            Some(Box::new(move |g: &Tensor| {
+                let da = kernels::scale_rows(g, sv.data());
+                let cols = av.cols();
+                let mut ds = vec![0.0f32; av.rows()];
+                for (r, d) in ds.iter_mut().enumerate() {
+                    let grow = g.row(r);
+                    let arow = av.row(r);
+                    *d = (0..cols).map(|c| grow[c] * arow[c]).sum();
+                }
+                vec![
+                    da,
+                    Tensor::from_vec(ds, &[av.rows(), 1]).expect("scale_rows grad shape"),
+                ]
+            })),
+        )
+    }
+
+    /// Multiplies every element of `a` by the single-element variable `s`
+    /// (a *learnable* scalar, e.g. GIN's `1 + ε`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` does not hold exactly one element.
+    pub fn mul_scalar_var(&mut self, a: VarId, s: VarId) -> VarId {
+        let av = self.value(a).clone();
+        let sv = self.value(s).clone();
+        assert_eq!(sv.len(), 1, "scalar variable must hold one element");
+        let value = kernels::scale(&av, sv.item());
+        self.push(
+            value,
+            vec![a, s],
+            Some(Box::new(move |g: &Tensor| {
+                let da = kernels::scale(g, sv.item());
+                let ds = kernels::mul(g, &av).sum_all();
+                vec![da, Tensor::from_slice(&[ds])]
+            })),
+        )
+    }
+
+    // ---- shape ----
+
+    /// Horizontal concatenation of rank-2 variables sharing a row count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or row counts disagree.
+    pub fn concat_cols(&mut self, parts: &[VarId]) -> VarId {
+        assert!(!parts.is_empty(), "concat_cols requires at least one part");
+        let tensors: Vec<Tensor> = parts.iter().map(|&p| self.value(p).clone()).collect();
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        let value = kernels::concat_cols(&refs);
+        let widths: Vec<usize> = tensors.iter().map(|t| t.cols()).collect();
+        self.push(
+            value,
+            parts.to_vec(),
+            Some(Box::new(move |g: &Tensor| {
+                let mut grads = Vec::with_capacity(widths.len());
+                let mut offset = 0;
+                for &w in &widths {
+                    grads.push(kernels::slice_cols(g, offset, w));
+                    offset += w;
+                }
+                grads
+            })),
+        )
+    }
+
+    /// Vertical concatenation of rank-2 variables sharing a column count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or column counts disagree.
+    pub fn concat_rows(&mut self, parts: &[VarId]) -> VarId {
+        assert!(!parts.is_empty(), "concat_rows requires at least one part");
+        let tensors: Vec<Tensor> = parts.iter().map(|&p| self.value(p).clone()).collect();
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        let value = kernels::concat_rows(&refs);
+        let heights: Vec<usize> = tensors.iter().map(|t| t.rows()).collect();
+        let cols = tensors[0].cols();
+        self.push(
+            value,
+            parts.to_vec(),
+            Some(Box::new(move |g: &Tensor| {
+                let mut grads = Vec::with_capacity(heights.len());
+                let mut offset = 0;
+                for &h in &heights {
+                    let slice = g.data()[offset * cols..(offset + h) * cols].to_vec();
+                    grads.push(Tensor::from_vec(slice, &[h, cols]).expect("concat grad shape"));
+                    offset += h;
+                }
+                grads
+            })),
+        )
+    }
+
+    /// Extracts columns `[start, start+len)` of a rank-2 variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the column count.
+    pub fn slice_cols(&mut self, a: VarId, start: usize, len: usize) -> VarId {
+        let av = self.value(a);
+        let (rows, cols) = (av.rows(), av.cols());
+        let value = kernels::slice_cols(av, start, len);
+        self.push(
+            value,
+            vec![a],
+            Some(Box::new(move |g: &Tensor| {
+                let mut full = Tensor::zeros(&[rows, cols]);
+                let fd = full.data_mut();
+                for r in 0..rows {
+                    fd[r * cols + start..r * cols + start + len].copy_from_slice(g.row(r));
+                }
+                vec![full]
+            })),
+        )
+    }
+
+    // ---- reductions ----
+
+    /// Sum of all elements as a `[1]` tensor.
+    pub fn sum(&mut self, a: VarId) -> VarId {
+        let av = self.value(a).clone();
+        let value = Tensor::from_slice(&[av.sum_all()]);
+        self.push(
+            value,
+            vec![a],
+            Some(Box::new(move |g: &Tensor| {
+                vec![Tensor::full(av.shape(), g.item())]
+            })),
+        )
+    }
+
+    /// Mean of all elements as a `[1]` tensor.
+    pub fn mean(&mut self, a: VarId) -> VarId {
+        let n = self.value(a).len() as f32;
+        let s = self.sum(a);
+        self.scale(s, 1.0 / n)
+    }
+
+    // ---- graph aggregation primitives ----
+
+    /// Gathers rows of `src` at `indices` (edge-expansion of node features).
+    pub fn gather_rows(&mut self, src: VarId, indices: &[usize]) -> VarId {
+        let srcv = self.value(src).clone();
+        let idx = indices.to_vec();
+        let value = segment::gather_rows(&srcv, indices);
+        let src_rows = srcv.rows();
+        let cols = srcv.cols();
+        self.push(
+            value,
+            vec![src],
+            Some(Box::new(move |g: &Tensor| {
+                let mut out = Tensor::zeros(&[src_rows, cols]);
+                segment::scatter_add_rows(&mut out, g, &idx);
+                vec![out]
+            })),
+        )
+    }
+
+    /// Places row `r` of `values` into row `indices[r]` of a fresh
+    /// `[n_rows, cols]` output (rows not referenced stay zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` contains duplicates (the op would otherwise drop
+    /// gradient mass silently).
+    pub fn scatter_rows(&mut self, values: VarId, indices: &[usize], n_rows: usize) -> VarId {
+        let mut seen = vec![false; n_rows];
+        for &i in indices {
+            assert!(!seen[i], "scatter_rows requires unique indices, {i} repeats");
+            seen[i] = true;
+        }
+        let idx = indices.to_vec();
+        let value = segment::scatter_rows(self.value(values), indices, n_rows);
+        self.push(
+            value,
+            vec![values],
+            Some(Box::new(move |g: &Tensor| {
+                vec![segment::gather_rows(g, &idx)]
+            })),
+        )
+    }
+
+    /// Per-segment sum over rows of `values` keyed by `segment_ids`.
+    pub fn segment_sum(&mut self, values: VarId, segment_ids: &[usize], n_segments: usize) -> VarId {
+        let ids = segment_ids.to_vec();
+        let value = segment::segment_sum(self.value(values), segment_ids, n_segments);
+        self.push(
+            value,
+            vec![values],
+            Some(Box::new(move |g: &Tensor| {
+                vec![segment::gather_rows(g, &ids)]
+            })),
+        )
+    }
+
+    /// Per-segment mean over rows of `values` keyed by `segment_ids`.
+    pub fn segment_mean(
+        &mut self,
+        values: VarId,
+        segment_ids: &[usize],
+        n_segments: usize,
+    ) -> VarId {
+        let ids = segment_ids.to_vec();
+        let (value, counts) = segment::segment_mean(self.value(values), segment_ids, n_segments);
+        self.push(
+            value,
+            vec![values],
+            Some(Box::new(move |g: &Tensor| {
+                let mut grad = segment::gather_rows(g, &ids);
+                let cols = grad.cols();
+                let gd = grad.data_mut();
+                for (r, &s) in ids.iter().enumerate() {
+                    let inv = 1.0 / counts[s].max(1) as f32;
+                    for v in &mut gd[r * cols..(r + 1) * cols] {
+                        *v *= inv;
+                    }
+                }
+                vec![grad]
+            })),
+        )
+    }
+
+    /// Per-segment elementwise max over rows of `values`.
+    pub fn segment_max(&mut self, values: VarId, segment_ids: &[usize], n_segments: usize) -> VarId {
+        let vv = self.value(values).clone();
+        let (value, argmax) = segment::segment_max(&vv, segment_ids, n_segments);
+        let rows = vv.rows();
+        let cols = vv.cols();
+        self.push(
+            value,
+            vec![values],
+            Some(Box::new(move |g: &Tensor| {
+                let mut out = Tensor::zeros(&[rows, cols]);
+                let od = out.data_mut();
+                for s in 0..n_segments {
+                    for c in 0..cols {
+                        let winner = argmax[s * cols + c];
+                        if winner != usize::MAX {
+                            od[winner * cols + c] += g.at2(s, c);
+                        }
+                    }
+                }
+                vec![out]
+            })),
+        )
+    }
+
+    /// Fused neighbor-sum: for each segment (destination), sums the source
+    /// rows selected by `gather_ids` whose edge belongs to that segment —
+    /// without materializing the `[E, D]` message tensor. This is the
+    /// memory-efficient path GNN frameworks use for Sum/Mean aggregation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index slices disagree in length.
+    pub fn fused_neighbor_sum(
+        &mut self,
+        src: VarId,
+        gather_ids: &[usize],
+        segment_ids: &[usize],
+        n_segments: usize,
+    ) -> VarId {
+        let srcv = self.value(src).clone();
+        let value =
+            segment::fused_gather_segment_sum(&srcv, gather_ids, segment_ids, n_segments);
+        let g_ids = gather_ids.to_vec();
+        let s_ids = segment_ids.to_vec();
+        let n_src = srcv.rows();
+        self.push(
+            value,
+            vec![src],
+            Some(Box::new(move |g: &Tensor| {
+                vec![segment::fused_gather_segment_sum_backward(
+                    g, &g_ids, &s_ids, None, n_src,
+                )]
+            })),
+        )
+    }
+
+    /// Fused neighbor-mean: like [`Graph::fused_neighbor_sum`] but
+    /// normalized by each segment's in-degree (empty segments stay zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index slices disagree in length.
+    pub fn fused_neighbor_mean(
+        &mut self,
+        src: VarId,
+        gather_ids: &[usize],
+        segment_ids: &[usize],
+        n_segments: usize,
+    ) -> VarId {
+        let srcv = self.value(src).clone();
+        let mut counts = vec![0usize; n_segments];
+        for &s in segment_ids {
+            assert!(s < n_segments, "segment id {s} >= {n_segments}");
+            counts[s] += 1;
+        }
+        let inv: Vec<f32> = counts
+            .iter()
+            .map(|&c| if c == 0 { 0.0 } else { 1.0 / c as f32 })
+            .collect();
+        let mut value =
+            segment::fused_gather_segment_sum(&srcv, gather_ids, segment_ids, n_segments);
+        let cols = value.cols();
+        let vdata = value.data_mut();
+        for (s, &scale) in inv.iter().enumerate() {
+            for v in &mut vdata[s * cols..(s + 1) * cols] {
+                *v *= scale;
+            }
+        }
+        let g_ids = gather_ids.to_vec();
+        let s_ids = segment_ids.to_vec();
+        let n_src = srcv.rows();
+        self.push(
+            value,
+            vec![src],
+            Some(Box::new(move |g: &Tensor| {
+                vec![segment::fused_gather_segment_sum_backward(
+                    g,
+                    &g_ids,
+                    &s_ids,
+                    Some(&inv),
+                    n_src,
+                )]
+            })),
+        )
+    }
+
+    /// Weighted fused neighbor-sum: like [`Graph::fused_neighbor_sum`] but
+    /// each edge contributes `weights[e] · src[gather_ids[e]]` — the kernel
+    /// behind degree-normalized aggregations (GCN).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index/weight slices disagree in length.
+    pub fn fused_neighbor_weighted_sum(
+        &mut self,
+        src: VarId,
+        gather_ids: &[usize],
+        segment_ids: &[usize],
+        weights: &[f32],
+        n_segments: usize,
+    ) -> VarId {
+        let srcv = self.value(src).clone();
+        let value = segment::fused_gather_segment_weighted_sum(
+            &srcv,
+            gather_ids,
+            segment_ids,
+            weights,
+            n_segments,
+        );
+        let g_ids = gather_ids.to_vec();
+        let s_ids = segment_ids.to_vec();
+        let ws = weights.to_vec();
+        let n_src = srcv.rows();
+        self.push(
+            value,
+            vec![src],
+            Some(Box::new(move |g: &Tensor| {
+                vec![segment::fused_gather_segment_weighted_sum_backward(
+                    g, &g_ids, &s_ids, &ws, n_src,
+                )]
+            })),
+        )
+    }
+
+    /// Softmax within each segment (column-wise), used for attention weights.
+    pub fn segment_softmax(
+        &mut self,
+        values: VarId,
+        segment_ids: &[usize],
+        n_segments: usize,
+    ) -> VarId {
+        let ids = segment_ids.to_vec();
+        let value = segment::segment_softmax(self.value(values), segment_ids, n_segments);
+        let y = value.clone();
+        self.push(
+            value,
+            vec![values],
+            Some(Box::new(move |g: &Tensor| {
+                // dX = y ⊙ (g − Σ_seg (g ⊙ y)), per column within a segment.
+                let cols = y.cols();
+                let gy = kernels::mul(g, &y);
+                let sums = segment::segment_sum(&gy, &ids, n_segments);
+                let mut out = g.clone();
+                let od = out.data_mut();
+                for (r, &s) in ids.iter().enumerate() {
+                    for c in 0..cols {
+                        od[r * cols + c] =
+                            y.at2(r, c) * (od[r * cols + c] - sums.at2(s, c));
+                    }
+                }
+                vec![out]
+            })),
+        )
+    }
+
+    /// Row-wise log-softmax (numerically stable).
+    ///
+    /// Backward: `dX = dY − softmax(X) · rowsum(dY)`.
+    pub fn log_softmax_rows(&mut self, a: VarId) -> VarId {
+        let value = kernels::log_softmax_rows(self.value(a));
+        let y = value.clone();
+        self.push(
+            value,
+            vec![a],
+            Some(Box::new(move |g: &Tensor| {
+                let (rows, cols) = (y.rows(), y.cols());
+                let mut out = g.clone();
+                let od = out.data_mut();
+                for r in 0..rows {
+                    let row_sum: f32 = g.row(r).iter().sum();
+                    for c in 0..cols {
+                        od[r * cols + c] -= y.at2(r, c).exp() * row_sum;
+                    }
+                }
+                vec![out]
+            })),
+        )
+    }
+
+    // ---- losses ----
+
+    /// Fused softmax cross-entropy against integer class targets.
+    ///
+    /// Returns a `[1]` loss. With [`Reduction::Mean`] the gradient is
+    /// `(softmax - onehot) / N`; with [`Reduction::Sum`] it is unscaled —
+    /// the form needed for exact micro-batch gradient accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len() != logits.rows()` or a target is out of
+    /// class range.
+    pub fn cross_entropy(&mut self, logits: VarId, targets: &[usize], reduction: Reduction) -> VarId {
+        let lv = self.value(logits).clone();
+        let (n, classes) = (lv.rows(), lv.cols());
+        assert_eq!(targets.len(), n, "one target per logit row");
+        let log_probs = kernels::log_softmax_rows(&lv);
+        let mut total = 0.0f32;
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < classes, "target {t} out of range for {classes} classes");
+            total -= log_probs.at2(r, t);
+        }
+        let loss = match reduction {
+            Reduction::Mean => total / n.max(1) as f32,
+            Reduction::Sum => total,
+        };
+        let tg = targets.to_vec();
+        let value = Tensor::from_slice(&[loss]);
+        self.push(
+            value,
+            vec![logits],
+            Some(Box::new(move |g: &Tensor| {
+                let upstream = g.item();
+                let scale = match reduction {
+                    Reduction::Mean => upstream / n.max(1) as f32,
+                    Reduction::Sum => upstream,
+                };
+                let mut grad = kernels::map(&log_probs, f32::exp);
+                let gd = grad.data_mut();
+                for (r, &t) in tg.iter().enumerate() {
+                    gd[r * classes + t] -= 1.0;
+                }
+                for v in gd.iter_mut() {
+                    *v *= scale;
+                }
+                vec![grad]
+            })),
+        )
+    }
+
+    // ---- backward ----
+
+    /// Runs reverse-mode differentiation from `root` (typically the loss).
+    ///
+    /// Seeds the root gradient with ones and accumulates into every
+    /// reachable variable; query results with [`Graph::grad`]. Calling
+    /// `backward` again replaces previous gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not on this tape.
+    pub fn backward(&mut self, root: VarId) {
+        assert!(root.0 < self.nodes.len(), "root variable not on this tape");
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[root.0] = Some(Tensor::ones(self.nodes[root.0].value.shape()));
+        for i in (0..=root.0).rev() {
+            let Some(gout) = grads[i].clone() else {
+                continue;
+            };
+            let Some(backward) = &self.nodes[i].backward else {
+                continue;
+            };
+            let parent_grads = backward(&gout);
+            debug_assert_eq!(parent_grads.len(), self.nodes[i].parents.len());
+            for (p, pg) in self.nodes[i].parents.clone().into_iter().zip(parent_grads) {
+                debug_assert_eq!(
+                    pg.shape(),
+                    self.nodes[p.0].value.shape(),
+                    "gradient shape mismatch for parent {p:?} of node {i}"
+                );
+                match &mut grads[p.0] {
+                    Some(existing) => existing.add_assign(&pg),
+                    slot @ None => *slot = Some(pg),
+                }
+            }
+        }
+        self.grads = grads;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn add_mul_backward() {
+        let mut g = Graph::new();
+        let a = g.leaf(t(&[2.0, 3.0], &[2]));
+        let b = g.leaf(t(&[4.0, 5.0], &[2]));
+        let c = g.mul(a, b);
+        let d = g.add(c, a);
+        let loss = g.sum(d);
+        g.backward(loss);
+        // d = a*b + a → dL/da = b + 1, dL/db = a
+        assert_eq!(g.grad(a).unwrap().data(), &[5.0, 6.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_backward_shapes_and_values() {
+        let mut g = Graph::new();
+        let x = g.leaf(t(&[1.0, 2.0], &[1, 2]));
+        let w = g.leaf(t(&[3.0, 4.0, 5.0, 6.0], &[2, 2]));
+        let y = g.matmul(x, w);
+        let loss = g.sum(y);
+        g.backward(loss);
+        // dW = xᵀ · 1 = [[1,1],[2,2]]; dx = 1 · Wᵀ = [3+4, 5+6]
+        assert_eq!(g.grad(w).unwrap().data(), &[1.0, 1.0, 2.0, 2.0]);
+        assert_eq!(g.grad(x).unwrap().data(), &[7.0, 11.0]);
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        // a used twice: gradient must accumulate.
+        let mut g = Graph::new();
+        let a = g.leaf(t(&[1.5], &[1]));
+        let b = g.add(a, a);
+        let loss = g.sum(b);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn cross_entropy_mean_gradient_is_softmax_minus_onehot_over_n() {
+        let mut g = Graph::new();
+        let logits = g.leaf(t(&[0.0, 0.0, 1.0, 0.0], &[2, 2]));
+        let loss = g.cross_entropy(logits, &[0, 1], Reduction::Mean);
+        g.backward(loss);
+        let grad = g.grad(logits).unwrap();
+        // Row 0: softmax = [.5,.5], target 0 → ([.5-1, .5])/2
+        assert!((grad.at2(0, 0) + 0.25).abs() < 1e-6);
+        assert!((grad.at2(0, 1) - 0.25).abs() < 1e-6);
+        // Gradients sum to zero per row.
+        assert!((grad.at2(1, 0) + grad.at2(1, 1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sum_reduction_scales_like_n_times_mean() {
+        let logits_t = t(&[0.2, -0.3, 0.7, 0.1, 0.5, -0.2], &[2, 3]);
+        let targets = [2usize, 0];
+
+        let mut g1 = Graph::new();
+        let l1 = g1.leaf(logits_t.clone());
+        let loss1 = g1.cross_entropy(l1, &targets, Reduction::Mean);
+        g1.backward(loss1);
+
+        let mut g2 = Graph::new();
+        let l2 = g2.leaf(logits_t);
+        let loss2 = g2.cross_entropy(l2, &targets, Reduction::Sum);
+        g2.backward(loss2);
+
+        assert!(
+            (g1.value(loss1).item() * 2.0 - g2.value(loss2).item()).abs() < 1e-5,
+            "sum = n * mean"
+        );
+        let scaled = crate::kernels::scale(g2.grad(l2).unwrap(), 0.5);
+        assert!(g1.grad(l1).unwrap().approx_eq(&scaled, 1e-6));
+    }
+
+    #[test]
+    fn segment_ops_backward() {
+        let mut g = Graph::new();
+        let v = g.leaf(t(&[1.0, 2.0, 3.0], &[3, 1]));
+        let s = g.segment_mean(v, &[0, 0, 1], 2);
+        let loss = g.sum(s);
+        g.backward(loss);
+        // Mean over 2 rows → each contributes 1/2; singleton contributes 1.
+        assert_eq!(g.grad(v).unwrap().data(), &[0.5, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn fused_neighbor_ops_match_unfused() {
+        let src_t = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let gather = [0usize, 2, 2, 1];
+        let seg = [0usize, 0, 1, 1];
+
+        // Fused mean.
+        let mut gf = Graph::new();
+        let s1 = gf.leaf(src_t.clone());
+        let fused = gf.fused_neighbor_mean(s1, &gather, &seg, 3);
+        let l1 = gf.sum(fused);
+        gf.backward(l1);
+
+        // Unfused reference: gather → segment_mean.
+        let mut gu = Graph::new();
+        let s2 = gu.leaf(src_t.clone());
+        let msgs = gu.gather_rows(s2, &gather);
+        let mean = gu.segment_mean(msgs, &seg, 3);
+        let l2 = gu.sum(mean);
+        gu.backward(l2);
+
+        assert!(gf.value(fused).approx_eq(gu.value(mean), 1e-6));
+        assert!(gf
+            .grad(s1)
+            .unwrap()
+            .approx_eq(gu.grad(s2).unwrap(), 1e-6));
+        // The fused tape holds strictly fewer activation bytes.
+        assert!(gf.activation_bytes() < gu.activation_bytes());
+
+        // Fused sum agrees with gather → segment_sum too.
+        let mut gs = Graph::new();
+        let s3 = gs.leaf(src_t.clone());
+        let fsum = gs.fused_neighbor_sum(s3, &gather, &seg, 3);
+        let mut gr = Graph::new();
+        let s4 = gr.leaf(src_t);
+        let msgs = gr.gather_rows(s4, &gather);
+        let rsum = gr.segment_sum(msgs, &seg, 3);
+        assert!(gs.value(fsum).approx_eq(gr.value(rsum), 1e-6));
+        let ls = gs.sum(fsum);
+        gs.backward(ls);
+        let lr = gr.sum(rsum);
+        gr.backward(lr);
+        assert!(gs
+            .grad(s3)
+            .unwrap()
+            .approx_eq(gr.grad(s4).unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn fused_mean_empty_segment_is_zero() {
+        let mut g = Graph::new();
+        let s = g.leaf(t(&[1.0, 2.0], &[1, 2]));
+        let m = g.fused_neighbor_mean(s, &[0], &[2], 3);
+        assert_eq!(g.value(m).row(0), &[0.0, 0.0]);
+        assert_eq!(g.value(m).row(2), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn gather_backward_scatters() {
+        let mut g = Graph::new();
+        let src = g.leaf(t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let gathered = g.gather_rows(src, &[0, 0, 1]);
+        let loss = g.sum(gathered);
+        g.backward(loss);
+        assert_eq!(g.grad(src).unwrap().data(), &[2.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn scatter_rows_backward_gathers() {
+        let mut g = Graph::new();
+        let v = g.leaf(t(&[1.0, 2.0], &[2, 1]));
+        let s = g.scatter_rows(v, &[2, 0], 3);
+        assert_eq!(g.value(s).data(), &[2.0, 0.0, 1.0]);
+        let doubled = g.scale(s, 2.0);
+        let loss = g.sum(doubled);
+        g.backward(loss);
+        assert_eq!(g.grad(v).unwrap().data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique indices")]
+    fn scatter_rows_rejects_duplicates() {
+        let mut g = Graph::new();
+        let v = g.leaf(t(&[1.0, 2.0], &[2, 1]));
+        g.scatter_rows(v, &[0, 0], 2);
+    }
+
+    #[test]
+    fn slice_concat_roundtrip_gradient() {
+        let mut g = Graph::new();
+        let a = g.leaf(t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let left = g.slice_cols(a, 0, 1);
+        let right = g.slice_cols(a, 1, 1);
+        let back = g.concat_cols(&[left, right]);
+        let loss = g.sum(back);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn dropout_mask_zeroes_and_rescales() {
+        let mut g = Graph::new();
+        let a = g.leaf(t(&[1.0, 1.0, 1.0, 1.0], &[4]));
+        let mask = t(&[1.0, 0.0, 1.0, 0.0], &[4]);
+        let d = g.dropout_with_mask(a, &mask, 0.5);
+        assert_eq!(g.value(d).data(), &[2.0, 0.0, 2.0, 0.0]);
+        let loss = g.sum(d);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data(), &[2.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_twice_replaces_grads() {
+        let mut g = Graph::new();
+        let a = g.leaf(t(&[1.0], &[1]));
+        let b = g.scale(a, 3.0);
+        let loss = g.sum(b);
+        g.backward(loss);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data(), &[3.0]);
+    }
+
+    #[test]
+    fn unreached_vars_have_no_grad() {
+        let mut g = Graph::new();
+        let a = g.leaf(t(&[1.0], &[1]));
+        let b = g.leaf(t(&[1.0], &[1]));
+        let loss = g.sum(a);
+        g.backward(loss);
+        assert!(g.grad(b).is_none());
+    }
+}

@@ -1,0 +1,383 @@
+//! Non-differentiable dense kernels.
+//!
+//! These free functions implement the raw math used both directly (e.g. by
+//! optimizers and inference paths) and by the autograd [`crate::Graph`] ops.
+//! All kernels allocate their output; shape validation is by `assert!` with
+//! descriptive messages since a shape error is always a programming bug.
+
+use crate::Tensor;
+
+/// Elements-per-thread threshold above which matmul parallelizes.
+const PAR_FLOP_THRESHOLD: usize = 1 << 22;
+
+fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    // Row-major ikj loop order: streams through `b` rows, vectorizes well.
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Matrix product `a @ b` for rank-2 tensors.
+///
+/// Parallelizes over row blocks for large inputs.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree or either input is not rank 2.
+pub fn matmul(a: &Tensor, b: &Tensor, ) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (k2, n) = (b.rows(), b.cols());
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let flops = m * k * n;
+    let threads = available_threads();
+    if flops >= PAR_FLOP_THRESHOLD && threads > 1 && m > 1 {
+        let chunk = m.div_ceil(threads);
+        let adata = a.data();
+        let bdata = b.data();
+        std::thread::scope(|scope| {
+            for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
+                let rows = out_chunk.len() / n;
+                let a_chunk = &adata[t * chunk * k..t * chunk * k + rows * k];
+                scope.spawn(move || {
+                    matmul_into(a_chunk, bdata, out_chunk, rows, k, n);
+                });
+            }
+        });
+    } else {
+        matmul_into(a.data(), b.data(), &mut out, m, k, n);
+    }
+    Tensor::from_vec(out, &[m, n]).expect("matmul output shape")
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+}
+
+/// `aᵀ @ b` without materializing the transpose.
+///
+/// # Panics
+///
+/// Panics if `a.rows() != b.rows()`.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, ka) = (a.rows(), a.cols());
+    let (m2, n) = (b.rows(), b.cols());
+    assert_eq!(m, m2, "matmul_at_b outer dimension mismatch: {m} vs {m2}");
+    let mut out = vec![0.0f32; ka * n];
+    let adata = a.data();
+    let bdata = b.data();
+    for r in 0..m {
+        let arow = &adata[r * ka..(r + 1) * ka];
+        let brow = &bdata[r * n..(r + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[ka, n]).expect("matmul_at_b output shape")
+}
+
+/// `a @ bᵀ` without materializing the transpose.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, k2) = (b.rows(), b.cols());
+    assert_eq!(k, k2, "matmul_a_bt inner dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let adata = a.data();
+    let bdata = b.data();
+    for i in 0..m {
+        let arow = &adata[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bdata[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("matmul_a_bt output shape")
+}
+
+/// Elementwise binary map.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn zip_map(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "elementwise shape mismatch");
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(&x, &y)| f(x, y))
+        .collect();
+    Tensor::from_vec(data, a.shape()).expect("zip_map output shape")
+}
+
+/// Elementwise unary map.
+pub fn map(a: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    let data = a.data().iter().map(|&x| f(x)).collect();
+    Tensor::from_vec(data, a.shape()).expect("map output shape")
+}
+
+/// Elementwise sum.
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_map(a, b, |x, y| x + y)
+}
+
+/// Elementwise difference.
+pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_map(a, b, |x, y| x - y)
+}
+
+/// Elementwise (Hadamard) product.
+pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_map(a, b, |x, y| x * y)
+}
+
+/// Scalar multiple.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    map(a, |x| x * s)
+}
+
+/// Adds a length-`n` row vector to every row of an `[m, n]` matrix.
+///
+/// # Panics
+///
+/// Panics if `bias` is not rank 1 of length `a.cols()`.
+pub fn add_row_broadcast(a: &Tensor, bias: &Tensor) -> Tensor {
+    let (m, n) = (a.rows(), a.cols());
+    assert_eq!(
+        bias.shape(),
+        &[n],
+        "bias must be rank-1 of length {n}, got {:?}",
+        bias.shape()
+    );
+    let mut out = a.data().to_vec();
+    let b = bias.data();
+    for i in 0..m {
+        for j in 0..n {
+            out[i * n + j] += b[j];
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("broadcast output shape")
+}
+
+/// Column sums of a rank-2 tensor: `[m, n] -> [n]`.
+pub fn sum_rows(a: &Tensor) -> Tensor {
+    let (m, n) = (a.rows(), a.cols());
+    let mut out = vec![0.0f32; n];
+    for i in 0..m {
+        for (o, &v) in out.iter_mut().zip(a.row(i)) {
+            *o += v;
+        }
+    }
+    Tensor::from_vec(out, &[n]).expect("sum_rows output shape")
+}
+
+/// Multiplies each row `i` of `a` by `scalars[i]`.
+///
+/// # Panics
+///
+/// Panics if `scalars.len() != a.rows()`.
+pub fn scale_rows(a: &Tensor, scalars: &[f32]) -> Tensor {
+    let (m, n) = (a.rows(), a.cols());
+    assert_eq!(scalars.len(), m, "one scalar per row required");
+    let mut out = a.data().to_vec();
+    for i in 0..m {
+        for v in &mut out[i * n..(i + 1) * n] {
+            *v *= scalars[i];
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("scale_rows output shape")
+}
+
+/// Numerically-stable row-wise log-softmax.
+pub fn log_softmax_rows(a: &Tensor) -> Tensor {
+    let (m, n) = (a.rows(), a.cols());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let row = a.row(i);
+        let max = row.iter().fold(f32::NEG_INFINITY, |acc, &v| acc.max(v));
+        let log_z = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+        for (o, &v) in out[i * n..(i + 1) * n].iter_mut().zip(row) {
+            *o = v - log_z;
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("log_softmax output shape")
+}
+
+/// Row-wise softmax.
+pub fn softmax_rows(a: &Tensor) -> Tensor {
+    map(&log_softmax_rows(a), f32::exp)
+}
+
+/// Vertical concatenation of matrices sharing a column count.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty or the column counts disagree.
+pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat_rows requires at least one part");
+    let n = parts[0].cols();
+    let mut data = Vec::new();
+    let mut rows = 0;
+    for p in parts {
+        assert_eq!(p.cols(), n, "concat_rows column mismatch");
+        data.extend_from_slice(p.data());
+        rows += p.rows();
+    }
+    Tensor::from_vec(data, &[rows, n]).expect("concat output shape")
+}
+
+/// Horizontal concatenation of matrices sharing a row count.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty or the row counts disagree.
+pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat_cols requires at least one part");
+    let m = parts[0].rows();
+    let total_cols: usize = parts.iter().map(|p| p.cols()).sum();
+    let mut data = vec![0.0f32; m * total_cols];
+    let mut offset = 0;
+    for p in parts {
+        assert_eq!(p.rows(), m, "concat_cols row mismatch");
+        let c = p.cols();
+        for i in 0..m {
+            data[i * total_cols + offset..i * total_cols + offset + c].copy_from_slice(p.row(i));
+        }
+        offset += c;
+    }
+    Tensor::from_vec(data, &[m, total_cols]).expect("concat output shape")
+}
+
+/// Extracts columns `[start, start+len)` of a matrix.
+///
+/// # Panics
+///
+/// Panics if the column range is out of bounds.
+pub fn slice_cols(a: &Tensor, start: usize, len: usize) -> Tensor {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(start + len <= n, "column slice {start}..{} > {n}", start + len);
+    let mut data = vec![0.0f32; m * len];
+    for i in 0..m {
+        data[i * len..(i + 1) * len].copy_from_slice(&a.row(i)[start..start + len]);
+    }
+    Tensor::from_vec(data, &[m, len]).expect("slice output shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = t(&[1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let b = t(&[2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[2, 4]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[3, 4]);
+        assert_eq!(c.row(2), &[8.0, 10.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[1.0, -1.0, 0.5, 2.0, 0.0, 1.0], &[2, 3]);
+        let atb = matmul_at_b(&a, &b);
+        assert!(atb.approx_eq(&matmul(&a.transpose(), &b), 1e-6));
+        let abt = matmul_a_bt(&a, &b);
+        assert!(abt.approx_eq(&matmul(&a, &b.transpose()), 1e-6));
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial() {
+        // Large enough to trigger the threaded path.
+        let m = 257;
+        let k = 130;
+        let n = 129;
+        let a = Tensor::from_vec((0..m * k).map(|i| (i % 7) as f32 - 3.0).collect(), &[m, k]).unwrap();
+        let b = Tensor::from_vec((0..k * n).map(|i| (i % 5) as f32 - 2.0).collect(), &[k, n]).unwrap();
+        let big = matmul(&a, &b);
+        // Serial reference via the transposed kernel identity.
+        let serial = matmul_at_b(&a.transpose(), &b);
+        assert!(big.approx_eq(&serial, 1e-3));
+    }
+
+    #[test]
+    fn broadcast_and_sum_rows() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_slice(&[10.0, 20.0]);
+        let c = add_row_broadcast(&a, &b);
+        assert_eq!(c.data(), &[11.0, 22.0, 13.0, 24.0]);
+        assert_eq!(sum_rows(&a).data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn log_softmax_rows_is_normalized() {
+        let a = t(&[1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], &[2, 3]);
+        let ls = log_softmax_rows(&a);
+        for i in 0..2 {
+            let z: f32 = ls.row(i).iter().map(|&v| v.exp()).sum();
+            // f32 resolution near 1000 limits accuracy on the huge-logit row.
+            assert!((z - 1.0).abs() < 1e-3, "row {i} sums to {z}");
+        }
+        // Huge logits do not produce NaN.
+        assert!(ls.all_finite());
+    }
+
+    #[test]
+    fn concat_and_slice() {
+        let a = t(&[1.0, 2.0], &[1, 2]);
+        let b = t(&[3.0, 4.0], &[1, 2]);
+        let v = concat_rows(&[&a, &b]);
+        assert_eq!(v.shape(), &[2, 2]);
+        let h = concat_cols(&[&a, &b]);
+        assert_eq!(h.shape(), &[1, 4]);
+        assert_eq!(h.data(), &[1.0, 2.0, 3.0, 4.0]);
+        let s = slice_cols(&h, 1, 2);
+        assert_eq!(s.data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn scale_rows_multiplies_each_row() {
+        let a = t(&[1.0, 1.0, 2.0, 2.0], &[2, 2]);
+        let s = scale_rows(&a, &[2.0, 0.5]);
+        assert_eq!(s.data(), &[2.0, 2.0, 1.0, 1.0]);
+    }
+}

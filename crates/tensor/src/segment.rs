@@ -1,0 +1,389 @@
+//! Row gather/scatter and segment reductions.
+//!
+//! These are the irregular kernels that make graph aggregation expressible:
+//! an edge list `(src, dst)` turns into `gather_rows` over source features
+//! followed by a segment reduction keyed by destination id. Each kernel here
+//! has a well-defined adjoint used by the autograd layer.
+
+use crate::Tensor;
+
+/// Gathers rows of `src` at `indices` into a new `[indices.len(), D]` tensor.
+///
+/// # Panics
+///
+/// Panics if `src` is not rank 2 or any index is out of bounds.
+pub fn gather_rows(src: &Tensor, indices: &[usize]) -> Tensor {
+    let (rows, cols) = (src.rows(), src.cols());
+    let mut data = Vec::with_capacity(indices.len() * cols);
+    for &i in indices {
+        assert!(i < rows, "gather index {i} out of bounds for {rows} rows");
+        data.extend_from_slice(src.row(i));
+    }
+    Tensor::from_vec(data, &[indices.len(), cols]).expect("gather output shape")
+}
+
+/// Adds row `r` of `values` into row `indices[r]` of `out`.
+///
+/// The adjoint of [`gather_rows`]: scattering gradients back to the gathered
+/// source rows. Repeated indices accumulate.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or any index is out of bounds.
+pub fn scatter_add_rows(out: &mut Tensor, values: &Tensor, indices: &[usize]) {
+    let cols = out.cols();
+    assert_eq!(values.cols(), cols, "scatter column mismatch");
+    assert_eq!(values.rows(), indices.len(), "one index per value row");
+    let n = out.rows();
+    let vdata = values.data().to_vec();
+    let odata = out.data_mut();
+    for (r, &i) in indices.iter().enumerate() {
+        assert!(i < n, "scatter index {i} out of bounds for {n} rows");
+        for c in 0..cols {
+            odata[i * cols + c] += vdata[r * cols + c];
+        }
+    }
+}
+
+/// Places row `r` of `values` into row `indices[r]` of a fresh
+/// `[n_rows, D]` zero tensor (later writes overwrite earlier ones).
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds.
+pub fn scatter_rows(values: &Tensor, indices: &[usize], n_rows: usize) -> Tensor {
+    let cols = values.cols();
+    assert_eq!(values.rows(), indices.len(), "one index per value row");
+    let mut out = Tensor::zeros(&[n_rows, cols]);
+    let odata = out.data_mut();
+    for (r, &i) in indices.iter().enumerate() {
+        assert!(i < n_rows, "scatter index {i} out of bounds for {n_rows} rows");
+        odata[i * cols..(i + 1) * cols].copy_from_slice(values.row(r));
+    }
+    out
+}
+
+/// Sums rows of `values` into `n_segments` buckets keyed by `segment_ids`.
+///
+/// `values` is `[E, D]`, `segment_ids` has length `E`; output is
+/// `[n_segments, D]`. Segments with no member are zero.
+///
+/// # Panics
+///
+/// Panics if a segment id is `>= n_segments` or lengths disagree.
+pub fn segment_sum(values: &Tensor, segment_ids: &[usize], n_segments: usize) -> Tensor {
+    let cols = values.cols();
+    assert_eq!(values.rows(), segment_ids.len(), "one segment id per row");
+    let mut out = Tensor::zeros(&[n_segments, cols]);
+    let odata = out.data_mut();
+    for (r, &s) in segment_ids.iter().enumerate() {
+        assert!(s < n_segments, "segment id {s} >= {n_segments}");
+        let row = values.row(r);
+        for c in 0..cols {
+            odata[s * cols + c] += row[c];
+        }
+    }
+    out
+}
+
+/// Per-segment mean; empty segments produce zero rows.
+///
+/// Returns the mean tensor together with the per-segment counts (needed by
+/// the backward pass).
+pub fn segment_mean(
+    values: &Tensor,
+    segment_ids: &[usize],
+    n_segments: usize,
+) -> (Tensor, Vec<usize>) {
+    let mut counts = vec![0usize; n_segments];
+    for &s in segment_ids {
+        assert!(s < n_segments, "segment id {s} >= {n_segments}");
+        counts[s] += 1;
+    }
+    let mut out = segment_sum(values, segment_ids, n_segments);
+    let cols = out.cols();
+    let odata = out.data_mut();
+    for (s, &cnt) in counts.iter().enumerate() {
+        if cnt > 1 {
+            let inv = 1.0 / cnt as f32;
+            for v in &mut odata[s * cols..(s + 1) * cols] {
+                *v *= inv;
+            }
+        }
+    }
+    (out, counts)
+}
+
+/// Per-segment elementwise max.
+///
+/// Returns the max tensor (empty segments are zero) and, per output cell, the
+/// index of the winning input row (`usize::MAX` for empty segments) — the
+/// state the backward pass routes gradients through.
+pub fn segment_max(
+    values: &Tensor,
+    segment_ids: &[usize],
+    n_segments: usize,
+) -> (Tensor, Vec<usize>) {
+    let cols = values.cols();
+    assert_eq!(values.rows(), segment_ids.len(), "one segment id per row");
+    let mut out = vec![f32::NEG_INFINITY; n_segments * cols];
+    let mut argmax = vec![usize::MAX; n_segments * cols];
+    for (r, &s) in segment_ids.iter().enumerate() {
+        assert!(s < n_segments, "segment id {s} >= {n_segments}");
+        let row = values.row(r);
+        for c in 0..cols {
+            if row[c] > out[s * cols + c] {
+                out[s * cols + c] = row[c];
+                argmax[s * cols + c] = r;
+            }
+        }
+    }
+    for v in &mut out {
+        if *v == f32::NEG_INFINITY {
+            *v = 0.0;
+        }
+    }
+    (
+        Tensor::from_vec(out, &[n_segments, cols]).expect("segment_max output shape"),
+        argmax,
+    )
+}
+
+/// Fused gather + segment-sum: `out[seg_ids[e]] += src[gather_ids[e]]`
+/// without materializing the `[E, D]` message tensor (the moral equivalent
+/// of DGL's fused message-passing kernels).
+///
+/// # Panics
+///
+/// Panics if index slices disagree in length or contain out-of-bounds ids.
+pub fn fused_gather_segment_sum(
+    src: &Tensor,
+    gather_ids: &[usize],
+    segment_ids: &[usize],
+    n_segments: usize,
+) -> Tensor {
+    assert_eq!(gather_ids.len(), segment_ids.len(), "one segment per edge");
+    let (rows, cols) = (src.rows(), src.cols());
+    let mut out = Tensor::zeros(&[n_segments, cols]);
+    let odata = out.data_mut();
+    let sdata = src.data();
+    for (&g, &s) in gather_ids.iter().zip(segment_ids) {
+        assert!(g < rows, "gather index {g} out of bounds for {rows} rows");
+        assert!(s < n_segments, "segment id {s} >= {n_segments}");
+        let src_row = &sdata[g * cols..(g + 1) * cols];
+        for (o, &v) in odata[s * cols..(s + 1) * cols].iter_mut().zip(src_row) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Adjoint of [`fused_gather_segment_sum`] (optionally degree-normalized):
+/// scatters `grad[seg_ids[e]] * scale[seg_ids[e]]` back into the source
+/// rows, again with no `[E, D]` intermediate.
+///
+/// # Panics
+///
+/// Panics if slices disagree in length or ids are out of bounds.
+pub fn fused_gather_segment_sum_backward(
+    grad: &Tensor,
+    gather_ids: &[usize],
+    segment_ids: &[usize],
+    segment_scale: Option<&[f32]>,
+    n_src_rows: usize,
+) -> Tensor {
+    assert_eq!(gather_ids.len(), segment_ids.len(), "one segment per edge");
+    let cols = grad.cols();
+    let mut out = Tensor::zeros(&[n_src_rows, cols]);
+    let odata = out.data_mut();
+    let gdata = grad.data();
+    for (&g, &s) in gather_ids.iter().zip(segment_ids) {
+        assert!(g < n_src_rows, "gather index {g} out of bounds");
+        let scale = segment_scale.map_or(1.0, |sc| sc[s]);
+        let grad_row = &gdata[s * cols..(s + 1) * cols];
+        for (o, &v) in odata[g * cols..(g + 1) * cols].iter_mut().zip(grad_row) {
+            *o += v * scale;
+        }
+    }
+    out
+}
+
+/// Weighted fused gather + segment-sum:
+/// `out[seg_ids[e]] += weights[e] · src[gather_ids[e]]`, with no `[E, D]`
+/// intermediate (the kernel behind normalized aggregations such as GCN).
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree or ids are out of bounds.
+pub fn fused_gather_segment_weighted_sum(
+    src: &Tensor,
+    gather_ids: &[usize],
+    segment_ids: &[usize],
+    weights: &[f32],
+    n_segments: usize,
+) -> Tensor {
+    assert_eq!(gather_ids.len(), segment_ids.len(), "one segment per edge");
+    assert_eq!(gather_ids.len(), weights.len(), "one weight per edge");
+    let (rows, cols) = (src.rows(), src.cols());
+    let mut out = Tensor::zeros(&[n_segments, cols]);
+    let odata = out.data_mut();
+    let sdata = src.data();
+    for ((&g, &s), &w) in gather_ids.iter().zip(segment_ids).zip(weights) {
+        assert!(g < rows, "gather index {g} out of bounds for {rows} rows");
+        assert!(s < n_segments, "segment id {s} >= {n_segments}");
+        let src_row = &sdata[g * cols..(g + 1) * cols];
+        for (o, &v) in odata[s * cols..(s + 1) * cols].iter_mut().zip(src_row) {
+            *o += w * v;
+        }
+    }
+    out
+}
+
+/// Adjoint of [`fused_gather_segment_weighted_sum`]:
+/// `d_src[gather_ids[e]] += weights[e] · grad[seg_ids[e]]`.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree or ids are out of bounds.
+pub fn fused_gather_segment_weighted_sum_backward(
+    grad: &Tensor,
+    gather_ids: &[usize],
+    segment_ids: &[usize],
+    weights: &[f32],
+    n_src_rows: usize,
+) -> Tensor {
+    assert_eq!(gather_ids.len(), segment_ids.len(), "one segment per edge");
+    assert_eq!(gather_ids.len(), weights.len(), "one weight per edge");
+    let cols = grad.cols();
+    let mut out = Tensor::zeros(&[n_src_rows, cols]);
+    let odata = out.data_mut();
+    let gdata = grad.data();
+    for ((&g, &s), &w) in gather_ids.iter().zip(segment_ids).zip(weights) {
+        assert!(g < n_src_rows, "gather index {g} out of bounds");
+        let grad_row = &gdata[s * cols..(s + 1) * cols];
+        for (o, &v) in odata[g * cols..(g + 1) * cols].iter_mut().zip(grad_row) {
+            *o += w * v;
+        }
+    }
+    out
+}
+
+/// Numerically-stable softmax within each segment, applied column-wise.
+///
+/// For attention: `values` is `[E, H]` of per-edge scores, grouped by
+/// destination; each column of each segment is normalized independently.
+/// Rows in empty segments are untouched by definition (there are none).
+pub fn segment_softmax(values: &Tensor, segment_ids: &[usize], n_segments: usize) -> Tensor {
+    let cols = values.cols();
+    assert_eq!(values.rows(), segment_ids.len(), "one segment id per row");
+    // Pass 1: per-segment max.
+    let mut max = vec![f32::NEG_INFINITY; n_segments * cols];
+    for (r, &s) in segment_ids.iter().enumerate() {
+        assert!(s < n_segments, "segment id {s} >= {n_segments}");
+        let row = values.row(r);
+        for c in 0..cols {
+            if row[c] > max[s * cols + c] {
+                max[s * cols + c] = row[c];
+            }
+        }
+    }
+    // Pass 2: exp and per-segment sums.
+    let mut out = vec![0.0f32; values.len()];
+    let mut sums = vec![0.0f32; n_segments * cols];
+    for (r, &s) in segment_ids.iter().enumerate() {
+        let row = values.row(r);
+        for c in 0..cols {
+            let e = (row[c] - max[s * cols + c]).exp();
+            out[r * cols + c] = e;
+            sums[s * cols + c] += e;
+        }
+    }
+    // Pass 3: normalize.
+    for (r, &s) in segment_ids.iter().enumerate() {
+        for c in 0..cols {
+            out[r * cols + c] /= sums[s * cols + c];
+        }
+    }
+    Tensor::from_vec(out, values.shape()).expect("segment_softmax output shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn gather_then_scatter_is_degree_scaling() {
+        let src = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let g = gather_rows(&src, &[0, 1, 0]);
+        assert_eq!(g.shape(), &[3, 2]);
+        assert_eq!(g.row(2), &[1.0, 2.0]);
+        let mut out = Tensor::zeros(&[2, 2]);
+        scatter_add_rows(&mut out, &g, &[0, 1, 0]);
+        // Row 0 gathered twice -> scattered back doubled.
+        assert_eq!(out.row(0), &[2.0, 4.0]);
+        assert_eq!(out.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn scatter_rows_places_and_zeros() {
+        let v = t(&[1.0, 1.0, 2.0, 2.0], &[2, 2]);
+        let out = scatter_rows(&v, &[2, 0], 3);
+        assert_eq!(out.row(0), &[2.0, 2.0]);
+        assert_eq!(out.row(1), &[0.0, 0.0]);
+        assert_eq!(out.row(2), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn segment_sum_accumulates() {
+        let v = t(&[1.0, 10.0, 2.0, 20.0, 3.0, 30.0], &[3, 2]);
+        let s = segment_sum(&v, &[1, 1, 0], 3);
+        assert_eq!(s.row(0), &[3.0, 30.0]);
+        assert_eq!(s.row(1), &[3.0, 30.0]);
+        assert_eq!(s.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn segment_mean_divides_by_count() {
+        let v = t(&[2.0, 4.0, 6.0], &[3, 1]);
+        let (m, counts) = segment_mean(&v, &[0, 0, 1], 2);
+        assert_eq!(m.row(0), &[3.0]);
+        assert_eq!(m.row(1), &[6.0]);
+        assert_eq!(counts, vec![2, 1]);
+    }
+
+    #[test]
+    fn segment_max_tracks_argmax() {
+        let v = t(&[1.0, 5.0, 3.0, 2.0], &[4, 1]);
+        let (m, arg) = segment_max(&v, &[0, 0, 1, 1], 3);
+        assert_eq!(m.row(0), &[5.0]);
+        assert_eq!(m.row(1), &[3.0]);
+        assert_eq!(m.row(2), &[0.0]); // empty segment
+        assert_eq!(arg[0], 1);
+        assert_eq!(arg[1], 2);
+        assert_eq!(arg[2], usize::MAX);
+    }
+
+    #[test]
+    fn segment_softmax_sums_to_one_per_segment() {
+        let v = t(&[1.0, 2.0, 3.0, 100.0, 101.0], &[5, 1]);
+        let sm = segment_softmax(&v, &[0, 0, 0, 1, 1], 2);
+        let s0: f32 = (0..3).map(|r| sm.at2(r, 0)).sum();
+        let s1: f32 = (3..5).map(|r| sm.at2(r, 0)).sum();
+        assert!((s0 - 1.0).abs() < 1e-5);
+        assert!((s1 - 1.0).abs() < 1e-5);
+        assert!(sm.all_finite());
+        // Larger score gets larger weight.
+        assert!(sm.at2(2, 0) > sm.at2(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_bounds_checked() {
+        let src = t(&[1.0, 2.0], &[1, 2]);
+        gather_rows(&src, &[1]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests over the dense kernels and autograd engine.
+
+use betty_tensor::{check, kernels, segment, Graph, Tensor};
+use proptest::prelude::*;
+
+/// Strategy: a tensor with the given shape, values in [-4, 4].
+fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-4.0f32..4.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(data, &[rows, cols]).expect("sized data"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in arb_tensor(3, 4),
+        b in arb_tensor(4, 2),
+        c in arb_tensor(4, 2),
+    ) {
+        // A(B + C) == AB + AC
+        let lhs = kernels::matmul(&a, &kernels::add(&b, &c));
+        let rhs = kernels::add(&kernels::matmul(&a, &b), &kernels::matmul(&a, &c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3), "{lhs:?} vs {rhs:?}");
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in arb_tensor(5, 3)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transposed_matmul_variants_agree(a in arb_tensor(3, 5), b in arb_tensor(3, 4)) {
+        let atb = kernels::matmul_at_b(&a, &b);
+        let reference = kernels::matmul(&a.transpose(), &b);
+        prop_assert!(atb.approx_eq(&reference, 1e-3));
+        // x @ yᵀ with x = aᵀ (5×3), y = bᵀ (4×3): result is aᵀ·b (5×4).
+        let abt = kernels::matmul_a_bt(&a.transpose(), &b.transpose());
+        prop_assert!(abt.approx_eq(&kernels::matmul(&a.transpose(), &b), 1e-3));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in arb_tensor(4, 6)) {
+        let sm = kernels::softmax_rows(&a);
+        for r in 0..4 {
+            let s: f32 = sm.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4, "row {r} sums to {s}");
+            prop_assert!(sm.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn gather_scatter_adjoint_identity(
+        src in arb_tensor(6, 3),
+        idx in proptest::collection::vec(0usize..6, 1..12),
+        grad in arb_tensor(6, 3),
+    ) {
+        // <gather(src, idx), gather(grad_like)> consistency: the adjoint
+        // test  <A x, y> == <x, Aᵀ y>  with A = gather by idx.
+        let gathered = segment::gather_rows(&src, &idx);
+        let y = Tensor::ones(&[idx.len(), 3]);
+        let lhs: f32 = kernels::mul(&gathered, &y).sum_all();
+        let mut scattered = Tensor::zeros(&[6, 3]);
+        segment::scatter_add_rows(&mut scattered, &y, &idx);
+        let rhs: f32 = kernels::mul(&src, &scattered).sum_all();
+        prop_assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0));
+        let _ = grad; // reserved for extended adjoint checks
+    }
+
+    #[test]
+    fn fused_mean_matches_manual_composition(
+        src in arb_tensor(5, 2),
+        edges in proptest::collection::vec((0usize..5, 0usize..3), 1..15),
+    ) {
+        let gather_ids: Vec<usize> = edges.iter().map(|e| e.0).collect();
+        let seg_ids: Vec<usize> = edges.iter().map(|e| e.1).collect();
+        let mut g1 = Graph::new();
+        let x1 = g1.leaf(src.clone());
+        let fused = g1.fused_neighbor_mean(x1, &gather_ids, &seg_ids, 3);
+        let mut g2 = Graph::new();
+        let x2 = g2.leaf(src);
+        let msgs = g2.gather_rows(x2, &gather_ids);
+        let manual = g2.segment_mean(msgs, &seg_ids, 3);
+        prop_assert!(g1.value(fused).approx_eq(g2.value(manual), 1e-4));
+        let l1 = g1.sum(fused);
+        g1.backward(l1);
+        let l2 = g2.sum(manual);
+        g2.backward(l2);
+        prop_assert!(g1.grad(x1).unwrap().approx_eq(g2.grad(x2).unwrap(), 1e-4));
+    }
+
+    #[test]
+    fn autograd_sum_of_tanh_gradcheck(a in arb_tensor(2, 3)) {
+        let res = check::check_gradient(&a, |g, x| {
+            let t = g.tanh(x);
+            g.sum(t)
+        });
+        prop_assert!(res.passes(2e-2), "{res:?}");
+    }
+
+    #[test]
+    fn segment_sum_total_is_preserved(
+        vals in arb_tensor(7, 2),
+        seg in proptest::collection::vec(0usize..4, 7),
+    ) {
+        let summed = segment::segment_sum(&vals, &seg, 4);
+        prop_assert!(
+            (summed.sum_all() - vals.sum_all()).abs() < 1e-3,
+            "mass not conserved"
+        );
+    }
+
+    #[test]
+    fn reshape_preserves_sum(a in arb_tensor(4, 6)) {
+        let r = a.reshape(&[8, 3]).unwrap();
+        prop_assert_eq!(r.sum_all(), a.sum_all());
+        prop_assert_eq!(r.data(), a.data());
+    }
+
+    #[test]
+    fn scale_rows_matches_diagonal_matmul(a in arb_tensor(3, 4), s in proptest::collection::vec(-2.0f32..2.0, 3)) {
+        let scaled = kernels::scale_rows(&a, &s);
+        // Equivalent to D·A with D = diag(s).
+        let mut d = Tensor::zeros(&[3, 3]);
+        for (i, &si) in s.iter().enumerate() {
+            d.data_mut()[i * 3 + i] = si;
+        }
+        let reference = kernels::matmul(&d, &a);
+        prop_assert!(scaled.approx_eq(&reference, 1e-4));
+    }
+}

@@ -1,0 +1,60 @@
+//! Compares the four batch-partitioning strategies of the paper — range,
+//! random, Metis-like, and Betty's REG — on one sampled batch: input-node
+//! redundancy, estimated peak memory, and epoch time.
+//!
+//! ```sh
+//! cargo run --release --bin partition_compare
+//! ```
+
+use betty::{ExperimentConfig, Runner, StrategyKind};
+use betty_data::DatasetSpec;
+use betty_device::gib;
+use betty_nn::AggregatorSpec;
+use betty_partition::input_redundancy;
+
+fn main() {
+    let dataset = DatasetSpec::ogbn_arxiv()
+        .scaled(0.02)
+        .with_feature_dim(32)
+        .generate(4);
+    let config = ExperimentConfig {
+        fanouts: vec![10, 25],
+        hidden_dim: 32,
+        aggregator: AggregatorSpec::Mean,
+        capacity_bytes: gib(8),
+        dropout: 0.0,
+        ..ExperimentConfig::default()
+    };
+    let k = 8;
+    println!(
+        "dataset {}: {} train nodes, partitioned into K = {k} micro-batches\n",
+        dataset.name,
+        dataset.train_idx.len()
+    );
+    println!(
+        "{:<10} {:>14} {:>12} {:>14} {:>12}",
+        "strategy", "input nodes", "redundancy", "est peak MiB", "epoch sec"
+    );
+
+    for strategy in StrategyKind::ALL {
+        let mut runner = Runner::new(&dataset, &config, 0);
+        let batch = runner.sample_full_batch(&dataset);
+        let plan = runner.plan_fixed(&batch, strategy, k);
+        let report = input_redundancy(&plan.micro_batches);
+        let stats = runner
+            .train_micro_batches(&dataset, &plan.micro_batches)
+            .expect("8 GiB is ample");
+        println!(
+            "{:<10} {:>14} {:>11.3}x {:>14.1} {:>12.3}",
+            strategy.name(),
+            report.total_input_nodes,
+            report.redundancy_ratio(),
+            plan.max_estimated_peak() as f64 / (1 << 20) as f64,
+            stats.total_sec()
+        );
+    }
+    println!(
+        "\nBetty's REG partitioning minimizes duplicated input nodes, which \
+         shrinks both the peak memory and the per-epoch work (§6.4–6.5)."
+    );
+}

@@ -1,0 +1,54 @@
+//! Quickstart: train GraphSAGE on a Cora-like graph with Betty's
+//! micro-batch partitioning, then evaluate.
+//!
+//! ```sh
+//! cargo run --release --bin quickstart
+//! ```
+
+use betty::{ExperimentConfig, Runner, StrategyKind};
+use betty_data::DatasetSpec;
+use betty_device::gib;
+use betty_nn::AggregatorSpec;
+
+fn main() {
+    // A Cora-scale synthetic graph (see betty-data for why synthetic).
+    let dataset = DatasetSpec::cora().scaled(0.5).with_feature_dim(64).generate(7);
+    println!(
+        "dataset {}: {} nodes, {} edges, {} classes, {} train nodes",
+        dataset.name,
+        dataset.graph.num_nodes(),
+        dataset.graph.num_edges(),
+        dataset.num_classes,
+        dataset.train_idx.len()
+    );
+
+    let config = ExperimentConfig {
+        fanouts: vec![10, 25],
+        hidden_dim: 32,
+        aggregator: AggregatorSpec::Mean,
+        capacity_bytes: gib(2),
+        dropout: 0.1,
+        ..ExperimentConfig::default()
+    };
+    let mut runner = Runner::new(&dataset, &config, 0);
+
+    // Betty chooses K automatically from the memory estimate.
+    println!("\n{:>5} {:>10} {:>4} {:>12} {:>10}", "epoch", "loss", "K", "peak MiB", "val acc");
+    for epoch in 0..20 {
+        let (stats, k) = runner
+            .train_epoch_auto(&dataset, StrategyKind::Betty)
+            .expect("memory-aware planning fits the device");
+        if epoch % 4 == 0 || epoch == 19 {
+            let val = runner.evaluate(&dataset, &dataset.val_idx);
+            println!(
+                "{epoch:>5} {:>10.4} {k:>4} {:>12.1} {:>9.1}%",
+                stats.loss,
+                stats.max_peak_bytes as f64 / (1 << 20) as f64,
+                val * 100.0
+            );
+        }
+    }
+
+    let test = runner.evaluate(&dataset, &dataset.test_idx);
+    println!("\nfinal test accuracy: {:.1}%", test * 100.0);
+}

@@ -1,0 +1,168 @@
+//! End-to-end training: Betty micro-batch training reaches the same
+//! accuracy and follows the same convergence curve as full-batch training
+//! (the basis of Fig. 13 and Table 5).
+
+use betty::{ExperimentConfig, Runner, StrategyKind};
+use betty_data::{Dataset, DatasetSpec};
+use betty_device::gib;
+use betty_nn::AggregatorSpec;
+
+fn dataset() -> Dataset {
+    DatasetSpec::cora()
+        .scaled(0.15)
+        .with_feature_dim(24)
+        .generate(3)
+}
+
+fn config() -> ExperimentConfig {
+    ExperimentConfig {
+        fanouts: vec![5, 10],
+        hidden_dim: 24,
+        aggregator: AggregatorSpec::Mean,
+        dropout: 0.0,
+        learning_rate: 5e-3,
+        capacity_bytes: gib(8),
+        ..ExperimentConfig::default()
+    }
+}
+
+fn train_and_eval(k: usize, epochs: usize) -> (Vec<f64>, f64) {
+    let ds = dataset();
+    let mut runner = Runner::new(&ds, &config(), 42);
+    let mut losses = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        let stats = runner
+            .train_epoch_betty(&ds, StrategyKind::Betty, k)
+            .expect("capacity is ample");
+        losses.push(stats.loss);
+    }
+    let acc = runner.evaluate(&ds, &ds.test_idx);
+    (losses, acc)
+}
+
+#[test]
+fn betty_training_learns_the_task() {
+    let (losses, acc) = train_and_eval(4, 25);
+    assert!(
+        losses.last().unwrap() < &(losses[0] * 0.5),
+        "loss barely moved: {losses:?}"
+    );
+    // Planted communities with separable features: well above chance
+    // (1/7 ≈ 0.14) after a short run.
+    assert!(acc > 0.5, "test accuracy {acc}");
+}
+
+#[test]
+fn micro_batch_counts_converge_alike() {
+    // Fig. 13's claim: the convergence curve is independent of K.
+    let (full, acc_full) = train_and_eval(1, 15);
+    let (micro4, acc_4) = train_and_eval(4, 15);
+    let (micro8, acc_8) = train_and_eval(8, 15);
+    // Identical seeds → near-identical loss trajectories (sampling and
+    // init are shared; only the partition differs, and gradients are
+    // equivalent up to float association).
+    for (epoch, ((a, b), c)) in full.iter().zip(&micro4).zip(&micro8).enumerate() {
+        assert!(
+            (a - b).abs() < 0.05 * a.abs().max(0.1) && (a - c).abs() < 0.05 * a.abs().max(0.1),
+            "epoch {epoch}: losses diverged: full {a}, k4 {b}, k8 {c}"
+        );
+    }
+    let spread = (acc_full - acc_4).abs().max((acc_full - acc_8).abs());
+    assert!(spread < 0.08, "accuracy spread {spread}");
+}
+
+#[test]
+fn all_strategies_reach_similar_accuracy() {
+    // Table 5's implicit claim: the partitioner affects memory/time, not
+    // learning outcome.
+    let ds = dataset();
+    let mut accs = Vec::new();
+    for strategy in StrategyKind::ALL {
+        let mut runner = Runner::new(&ds, &config(), 42);
+        for _ in 0..12 {
+            runner.train_epoch_betty(&ds, strategy, 4).unwrap();
+        }
+        accs.push(runner.evaluate(&ds, &ds.test_idx));
+    }
+    let max = accs.iter().cloned().fold(0.0f64, f64::max);
+    let min = accs.iter().cloned().fold(1.0f64, f64::min);
+    assert!(min > 0.4, "worst strategy accuracy {min} ({accs:?})");
+    assert!(max - min < 0.15, "accuracy spread too wide: {accs:?}");
+}
+
+#[test]
+fn gcn_model_trains_with_betty() {
+    use betty::ModelKind;
+    let ds = dataset();
+    let cfg = ExperimentConfig {
+        model: ModelKind::Gcn,
+        ..config()
+    };
+    let mut runner = Runner::new(&ds, &cfg, 42);
+    let mut first = None;
+    let mut last = 0.0;
+    for _ in 0..12 {
+        let stats = runner
+            .train_epoch_betty(&ds, StrategyKind::Betty, 4)
+            .unwrap();
+        first.get_or_insert(stats.loss);
+        last = stats.loss;
+    }
+    assert!(last < first.unwrap() * 0.7, "GCN loss barely moved");
+    let acc = runner.evaluate(&ds, &ds.test_idx);
+    assert!(acc > 0.4, "GCN accuracy {acc}");
+}
+
+#[test]
+fn cached_partitioning_trains_like_fresh() {
+    let ds = dataset();
+    let mut fresh = Runner::new(&ds, &config(), 42);
+    let mut cached = Runner::new(&ds, &config(), 42);
+    let mut fresh_losses = Vec::new();
+    let mut cached_losses = Vec::new();
+    let mut paid = 0usize;
+    for _ in 0..6 {
+        fresh_losses.push(
+            fresh
+                .train_epoch_betty(&ds, StrategyKind::Betty, 4)
+                .unwrap()
+                .loss,
+        );
+        let (stats, was_fresh) = cached
+            .train_epoch_betty_cached(&ds, StrategyKind::Betty, 4, 5)
+            .unwrap();
+        cached_losses.push(stats.loss);
+        paid += was_fresh as usize;
+    }
+    // Partitioning paid for only on refresh epochs: epoch 0 and epoch 5.
+    assert_eq!(paid, 2);
+    // Same sampling stream, same gradients (partition identity is
+    // irrelevant to accumulated gradients) → identical losses.
+    for (a, b) in fresh_losses.iter().zip(&cached_losses) {
+        assert!((a - b).abs() < 1e-6, "fresh {a} vs cached {b}");
+    }
+}
+
+#[test]
+fn cached_partitioning_invalidates_on_config_change() {
+    let ds = dataset();
+    let mut runner = Runner::new(&ds, &config(), 1);
+    let (_, first) = runner
+        .train_epoch_betty_cached(&ds, StrategyKind::Betty, 4, 100)
+        .unwrap();
+    assert!(first);
+    let (_, reused) = runner
+        .train_epoch_betty_cached(&ds, StrategyKind::Betty, 4, 100)
+        .unwrap();
+    assert!(!reused);
+    // Different K → fresh partitioning.
+    let (_, changed_k) = runner
+        .train_epoch_betty_cached(&ds, StrategyKind::Betty, 8, 100)
+        .unwrap();
+    assert!(changed_k);
+    // Different strategy → fresh partitioning.
+    let (_, changed_strategy) = runner
+        .train_epoch_betty_cached(&ds, StrategyKind::Random, 8, 100)
+        .unwrap();
+    assert!(changed_strategy);
+}

@@ -1,0 +1,124 @@
+//! Estimator-vs-ledger agreement (the basis of Table 7) and OOM behaviour
+//! (the basis of Figs. 2 and 10).
+
+use betty::{ExperimentConfig, ModelKind, Runner, StrategyKind, TrainError};
+use betty_data::{Dataset, DatasetSpec};
+use betty_device::gib;
+use betty_nn::AggregatorSpec;
+
+fn dataset() -> Dataset {
+    DatasetSpec::ogbn_arxiv()
+        .scaled(0.003)
+        .with_feature_dim(16)
+        .generate(8)
+}
+
+fn config(aggregator: AggregatorSpec) -> ExperimentConfig {
+    ExperimentConfig {
+        fanouts: vec![5, 10],
+        hidden_dim: 16,
+        aggregator,
+        dropout: 0.0,
+        capacity_bytes: gib(8),
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Relative error between the planner's estimate and the device ledger's
+/// measured peak for each micro-batch.
+fn estimation_errors(aggregator: AggregatorSpec, k: usize) -> Vec<f64> {
+    let ds = dataset();
+    let mut runner = Runner::new(&ds, &config(aggregator), 0);
+    let batch = runner.sample_full_batch(&ds);
+    let plan = runner.plan_fixed(&batch, StrategyKind::Betty, k);
+    let mut errors = Vec::new();
+    for (mb, est) in plan.micro_batches.iter().zip(&plan.estimates) {
+        // Execute exactly this micro-batch and read the measured peak.
+        let mut solo = Runner::new(&ds, &config(aggregator), 0);
+        let stats = solo
+            .train_micro_batches(&ds, std::slice::from_ref(mb))
+            .expect("8 GiB fits the test batch");
+        let measured = stats.max_peak_bytes as f64;
+        let predicted = est.peak_bytes() as f64;
+        errors.push((predicted - measured).abs() / measured);
+    }
+    errors
+}
+
+#[test]
+fn mean_estimation_error_is_small() {
+    for err in estimation_errors(AggregatorSpec::Mean, 4) {
+        assert!(err < 0.15, "mean-aggregator estimation error {err}");
+    }
+}
+
+#[test]
+fn lstm_estimation_error_within_paper_band() {
+    // Table 7 reports < 8% for the LSTM aggregator; allow modest slack for
+    // our engine.
+    for err in estimation_errors(AggregatorSpec::Lstm, 4) {
+        assert!(err < 0.15, "lstm estimation error {err}");
+    }
+}
+
+#[test]
+fn pool_estimation_error_is_bounded() {
+    for err in estimation_errors(AggregatorSpec::Pool, 4) {
+        assert!(err < 0.20, "pool estimation error {err}");
+    }
+}
+
+#[test]
+fn tight_capacity_triggers_oom_and_betty_rescues_it() {
+    // Fig. 2 → Fig. 10 in miniature: full batch OOMs at a capacity that a
+    // memory-aware plan satisfies.
+    let ds = dataset();
+    let mut probe = Runner::new(&ds, &config(AggregatorSpec::Mean), 0);
+    let batch = probe.sample_full_batch(&ds);
+    let full_peak = probe
+        .plan_fixed(&batch, StrategyKind::Betty, 1)
+        .max_estimated_peak();
+    let quarter_peak = probe
+        .plan_fixed(&batch, StrategyKind::Betty, 4)
+        .max_estimated_peak();
+    assert!(quarter_peak < full_peak);
+
+    let tight = ExperimentConfig {
+        capacity_bytes: (full_peak + quarter_peak) / 2,
+        ..config(AggregatorSpec::Mean)
+    };
+    // Full-batch training OOMs…
+    let mut full_runner = Runner::new(&ds, &tight, 0);
+    match full_runner.train_epoch_betty(&ds, StrategyKind::Betty, 1) {
+        Err(TrainError::Oom(_)) => {}
+        other => panic!("expected OOM, got {other:?}"),
+    }
+    // …while the memory-aware loop finds a K that fits and trains.
+    let mut auto_runner = Runner::new(&ds, &tight, 0);
+    let (stats, k) = auto_runner
+        .train_epoch_auto(&ds, StrategyKind::Betty)
+        .expect("memory-aware planning must rescue");
+    assert!(k > 1);
+    assert!(stats.max_peak_bytes <= tight.capacity_bytes);
+}
+
+#[test]
+fn gat_runner_memory_accounting_works() {
+    let ds = dataset();
+    let cfg = ExperimentConfig {
+        model: ModelKind::Gat,
+        num_heads: 4,
+        hidden_dim: 16,
+        ..config(AggregatorSpec::Mean)
+    };
+    let mut runner = Runner::new(&ds, &cfg, 0);
+    let batch = runner.sample_full_batch(&ds);
+    let plan = runner.plan_fixed(&batch, StrategyKind::Betty, 2);
+    // The attention estimator must be in the right ballpark (within 2× of
+    // measured) so that planning with GAT is meaningful.
+    let stats = runner.train_micro_batches(&ds, &plan.micro_batches).unwrap();
+    let est = plan.max_estimated_peak() as f64;
+    let meas = stats.max_peak_bytes as f64;
+    let ratio = est / meas;
+    assert!((0.5..2.0).contains(&ratio), "estimate/measured ratio {ratio}");
+}

@@ -1,0 +1,106 @@
+//! Simulated multi-device training (paper §7 future work): scheduling and
+//! equivalence guarantees.
+
+use betty::{DeviceGroup, ExperimentConfig, Runner, StrategyKind};
+use betty_data::{Dataset, DatasetSpec};
+use betty_device::gib;
+use betty_nn::AggregatorSpec;
+
+fn dataset() -> Dataset {
+    DatasetSpec::cora()
+        .scaled(0.1)
+        .with_feature_dim(16)
+        .generate(6)
+}
+
+fn config() -> ExperimentConfig {
+    ExperimentConfig {
+        fanouts: vec![4, 8],
+        hidden_dim: 16,
+        aggregator: AggregatorSpec::Mean,
+        dropout: 0.0,
+        capacity_bytes: gib(8),
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn every_micro_batch_is_assigned_and_loss_matches_single_device() {
+    let ds = dataset();
+    let k = 8;
+    let mut single = Runner::new(&ds, &config(), 3);
+    let single_stats = single
+        .train_epoch_betty(&ds, StrategyKind::Betty, k)
+        .unwrap();
+
+    let mut multi = Runner::new(&ds, &config(), 3);
+    let epoch = multi
+        .train_epoch_multi_device(&ds, StrategyKind::Betty, k, &DeviceGroup::new(4))
+        .unwrap();
+    assert_eq!(epoch.assignment.len(), epoch.combined.num_steps);
+    assert!(epoch.assignment.iter().all(|&d| d < 4));
+    // Same seed, same plan, same math: identical epoch loss.
+    assert!(
+        (epoch.combined.loss - single_stats.loss).abs() < 1e-6,
+        "multi {} vs single {}",
+        epoch.combined.loss,
+        single_stats.loss
+    );
+}
+
+#[test]
+fn model_parameters_identical_to_single_device_after_epoch() {
+    // The all-reduce is simulated; the real accumulation is shared — so
+    // trained parameters must agree bit-for-bit between runs.
+    let ds = dataset();
+    let run = |devices: usize| -> f64 {
+        let mut runner = Runner::new(&ds, &config(), 9);
+        for _ in 0..3 {
+            runner
+                .train_epoch_multi_device(
+                    &ds,
+                    StrategyKind::Betty,
+                    6,
+                    &DeviceGroup::new(devices),
+                )
+                .unwrap();
+        }
+        runner.evaluate(&ds, &ds.test_idx)
+    };
+    let acc1 = run(1);
+    let acc4 = run(4);
+    assert_eq!(acc1, acc4, "device count must not affect learning");
+}
+
+#[test]
+fn wall_time_improves_with_devices() {
+    let ds = dataset();
+    let mut runner = Runner::new(&ds, &config(), 0);
+    let one = runner
+        .train_epoch_multi_device(&ds, StrategyKind::Betty, 8, &DeviceGroup::new(1))
+        .unwrap();
+    let four = runner
+        .train_epoch_multi_device(&ds, StrategyKind::Betty, 8, &DeviceGroup::new(4))
+        .unwrap();
+    // Wall times are measured, hence noisy; require a clear improvement.
+    assert!(
+        four.wall_sec() < one.wall_sec(),
+        "4 devices {} vs 1 device {}",
+        four.wall_sec(),
+        one.wall_sec()
+    );
+    assert!(four.speedup_vs_serial() > 1.0);
+    assert!((one.speedup_vs_serial() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn more_devices_than_micro_batches_is_fine() {
+    let ds = dataset();
+    let mut runner = Runner::new(&ds, &config(), 0);
+    let epoch = runner
+        .train_epoch_multi_device(&ds, StrategyKind::Betty, 2, &DeviceGroup::new(8))
+        .unwrap();
+    // Some devices idle; wall time is still the busiest device.
+    assert!(epoch.wall_sec() > 0.0);
+    assert_eq!(epoch.per_device.len(), 8);
+}
