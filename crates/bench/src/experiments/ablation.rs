@@ -8,7 +8,7 @@
 //!    trial-and-error (how many aborted training attempts the estimator
 //!    saves).
 
-use betty::{Runner, StrategyKind, TrainError};
+use betty::{Runner, StrategyKind};
 use betty_partition::{
     input_redundancy, MultilevelPartitioner, OutputPartitioner, RegPartitioner, RegScope,
 };
@@ -173,7 +173,7 @@ fn memory_aware(profile: Profile) {
                 k_found = k;
                 break;
             }
-            Err(TrainError::Oom(_)) => wasted += started.elapsed().as_secs_f64(),
+            Err(_) => wasted += started.elapsed().as_secs_f64(),
         }
     }
     table.row(vec![

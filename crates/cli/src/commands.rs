@@ -2,8 +2,9 @@
 
 use std::error::Error;
 
-use betty::{DeviceGroup, ExperimentConfig, ModelKind, Runner, StrategyKind};
+use betty::{DeviceGroup, ExperimentConfig, ModelKind, RecoveryLog, RetryPolicy, Runner, StrategyKind};
 use betty_data::{load_dataset, save_dataset, Dataset, DatasetSpec};
+use betty_device::FaultPlan;
 use betty_graph::degree;
 use betty_nn::AggregatorSpec;
 use betty_partition::input_redundancy;
@@ -67,10 +68,36 @@ fn experiment_config(args: &Args) -> Result<ExperimentConfig, Box<dyn Error>> {
         dropout: args.get_or("dropout", 0.1f32)?,
         learning_rate: args.get_or("lr", 3e-3f32)?,
         capacity_bytes: args.get_or("capacity-mib", 24 * 1024usize)? << 20,
+        fault_plan: fault_plan(args)?,
+        retry: RetryPolicy {
+            max_retries: args.get_or("retries", RetryPolicy::default().max_retries)?,
+            growth: args.get_or("retry-growth", RetryPolicy::default().growth)?,
+            headroom: args.get_or("retry-headroom", RetryPolicy::default().headroom)?,
+        },
         ..ExperimentConfig::default()
     };
     config.validate().map_err(ArgError)?;
     Ok(config)
+}
+
+/// Builds the fault-injection plan from `--fault-*` flags, or `None`
+/// when no fault flag was given.
+fn fault_plan(args: &Args) -> Result<Option<FaultPlan>, Box<dyn Error>> {
+    let given = ["fault-seed", "fault-alloc-rate", "fault-oom-steps", "fault-jitter", "fault-stall-rate", "fault-stall-sec"]
+        .iter()
+        .any(|key| args.get(key).is_some());
+    if !given {
+        return Ok(None);
+    }
+    let defaults = FaultPlan::default();
+    Ok(Some(FaultPlan {
+        seed: args.get_or("fault-seed", defaults.seed)?,
+        alloc_failure_rate: args.get_or("fault-alloc-rate", defaults.alloc_failure_rate)?,
+        oom_steps: args.get_usize_list("fault-oom-steps")?.unwrap_or_default(),
+        capacity_jitter: args.get_or("fault-jitter", defaults.capacity_jitter)?,
+        transfer_stall_rate: args.get_or("fault-stall-rate", defaults.transfer_stall_rate)?,
+        transfer_stall_sec: args.get_or("fault-stall-sec", defaults.transfer_stall_sec)?,
+    }))
 }
 
 fn mib(bytes: usize) -> f64 {
@@ -205,35 +232,56 @@ pub fn train(args: &Args) -> CmdResult {
         ds.train_idx.len(),
         mib(config.capacity_bytes)
     );
+    if config.fault_plan.is_some() {
+        println!(
+            "fault injection armed (seed {}), recovery budget {} retries",
+            config.fault_plan.as_ref().map_or(0, |p| p.seed),
+            config.retry.max_retries
+        );
+    }
     println!(
         "{:>6} {:>10} {:>5} {:>12} {:>10}",
         "epoch", "loss", "K", "peak MiB", "val acc"
     );
-    for epoch in 0..epochs {
-        let (stats, k) = if k_arg == "auto" {
-            runner.train_epoch_auto(&ds, kind)?
-        } else {
-            let k: usize = k_arg
-                .parse()
-                .map_err(|_| ArgError(format!("--k: expected 'auto' or a number, got '{k_arg}'")))?;
-            if devices > 1 {
-                let group = DeviceGroup::new(devices);
-                let multi = runner.train_epoch_multi_device(&ds, kind, k, &group)?;
-                (multi.combined, k)
+    let mut recovery = RecoveryLog::new();
+    let run = |runner: &mut Runner, recovery: &mut RecoveryLog| -> CmdResult {
+        for epoch in 0..epochs {
+            recovery.set_epoch(epoch);
+            let (stats, k) = if k_arg == "auto" {
+                runner.train_epoch_auto_recovering(&ds, kind, recovery)?
             } else {
-                (runner.train_epoch_betty(&ds, kind, k)?, k)
+                let k: usize = k_arg
+                    .parse()
+                    .map_err(|_| ArgError(format!("--k: expected 'auto' or a number, got '{k_arg}'")))?;
+                if devices > 1 {
+                    let group = DeviceGroup::new(devices);
+                    let multi = runner.train_epoch_multi_device(&ds, kind, k, &group)?;
+                    (multi.combined, k)
+                } else {
+                    (runner.train_epoch_betty(&ds, kind, k).map_err(betty::RunError::Train)?, k)
+                }
+            };
+            let report = epoch == epochs - 1 || epoch % 5 == 0;
+            if report {
+                let val = runner.evaluate(&ds, &ds.val_idx);
+                println!(
+                    "{epoch:>6} {:>10.4} {k:>5} {:>12.1} {:>9.1}%",
+                    stats.loss,
+                    mib(stats.max_peak_bytes),
+                    val * 100.0
+                );
             }
-        };
-        let report = epoch == epochs - 1 || epoch % 5 == 0;
-        if report {
-            let val = runner.evaluate(&ds, &ds.val_idx);
-            println!(
-                "{epoch:>6} {:>10.4} {k:>5} {:>12.1} {:>9.1}%",
-                stats.loss,
-                mib(stats.max_peak_bytes),
-                val * 100.0
-            );
         }
+        Ok(())
+    };
+    if let Err(e) = run(&mut runner, &mut recovery) {
+        if !recovery.is_empty() {
+            eprintln!("{}", recovery.summary());
+        }
+        return Err(e);
+    }
+    if !recovery.is_empty() {
+        println!("{}", recovery.summary());
     }
     let test = runner.evaluate(&ds, &ds.test_idx);
     println!("test accuracy: {:.2}%", test * 100.0);

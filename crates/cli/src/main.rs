@@ -30,10 +30,17 @@ COMMANDS:
              [--aggregator mean|sum|pool|lstm] [--fanouts 10,25]
              [--hidden H] [--lr F] [--capacity-mib M] [--devices D]
              [--checkpoint <out.ckpt>] [--seed N]
+             fault injection / recovery (with --k auto):
+             [--fault-seed N] [--fault-alloc-rate F] [--fault-oom-steps 3,17]
+             [--fault-jitter F] [--fault-stall-rate F] [--fault-stall-sec F]
+             [--retries N] [--retry-growth F] [--retry-headroom F]
   eval       exact full-graph accuracy       --data <file> --checkpoint
              <file> [--model ...same shape flags as train]
 
 Presets: cora, pubmed, reddit, ogbn-arxiv, ogbn-products.
+
+EXIT CODES: 0 success, 1 usage/IO error, 2 no partitioning fits the
+device, 3 OOM recovery retries exhausted, 4 unrecoverable OOM.
 ";
 
 fn main() -> ExitCode {
@@ -70,7 +77,29 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            exit_code_for(e.as_ref())
         }
     }
+}
+
+/// Maps failures onto distinct exit codes so scripts can tell apart:
+/// 1 usage/IO errors, 2 planning failure (no K fits), 3 recovery
+/// attempted but the retry budget ran out, 4 unrecoverable OOM (no
+/// retry was possible).
+fn exit_code_for(top: &(dyn std::error::Error + 'static)) -> ExitCode {
+    let mut cursor = Some(top);
+    while let Some(err) = cursor {
+        if let Some(run) = err.downcast_ref::<betty::RunError>() {
+            return match run {
+                betty::RunError::Plan(_) => ExitCode::from(2),
+                betty::RunError::RetryExhausted { .. } => ExitCode::from(3),
+                betty::RunError::Train(_) => ExitCode::from(4),
+            };
+        }
+        if err.downcast_ref::<betty::TrainError>().is_some() {
+            return ExitCode::from(4);
+        }
+        cursor = err.source();
+    }
+    ExitCode::FAILURE
 }

@@ -49,6 +49,7 @@ impl StepSizes {
 }
 
 /// Live allocations of one step, so the trainer can stage frees.
+#[derive(Debug)]
 pub(crate) struct StepCharges {
     statics: Vec<AllocationId>,
     hidden: Option<AllocationId>,
@@ -58,7 +59,9 @@ pub(crate) struct StepCharges {
 
 impl StepCharges {
     /// Charges the static tensors (params, optimizer state, blocks, input
-    /// features, labels).
+    /// features, labels). On failure every already-charged static is
+    /// rolled back — the ledger is left exactly as found, so recovery
+    /// can re-plan against a clean device.
     pub(crate) fn charge_static(device: &mut Device, sizes: &StepSizes) -> Result<Self, OomError> {
         let mut statics = Vec::with_capacity(5);
         for (bytes, cat) in [
@@ -68,7 +71,15 @@ impl StepCharges {
             (sizes.input_features, MemoryCategory::InputFeatures),
             (sizes.labels, MemoryCategory::Labels),
         ] {
-            statics.push(device.alloc(bytes, cat)?);
+            match device.alloc(bytes, cat) {
+                Ok(id) => statics.push(id),
+                Err(e) => {
+                    for id in statics {
+                        device.free(id);
+                    }
+                    return Err(e);
+                }
+            }
         }
         Ok(Self {
             statics,
@@ -156,6 +167,26 @@ mod tests {
         assert_eq!(dev.peak_bytes(), static_total + 50 + 300);
         charges.release(&mut dev);
         assert_eq!(dev.current_bytes(), 0);
+    }
+
+    #[test]
+    fn failed_static_charge_rolls_back_partial_allocations() {
+        let sizes = StepSizes::for_batch(&batch(), 8, 100, 200);
+        // Params + optimizer states fit; the blocks charge pushes past
+        // capacity mid-sequence.
+        let mut dev = Device::new(sizes.params + sizes.optimizer_states + 1);
+        let err = StepCharges::charge_static(&mut dev, &sizes).unwrap_err();
+        assert_eq!(err.requested, sizes.blocks);
+        assert_eq!(err.in_use, sizes.params + sizes.optimizer_states);
+        assert_eq!(
+            dev.current_bytes(),
+            0,
+            "partially charged statics must be rolled back"
+        );
+        // The rollback really freed capacity, not just the counter.
+        assert!(dev
+            .alloc(sizes.params + sizes.optimizer_states, MemoryCategory::Parameters)
+            .is_ok());
     }
 
     #[test]

@@ -1,5 +1,7 @@
-use betty_device::gib;
+use betty_device::{gib, FaultPlan};
 use betty_nn::AggregatorSpec;
+
+use crate::recovery::RetryPolicy;
 
 /// Which GNN architecture to train.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +44,13 @@ pub struct ExperimentConfig {
     pub capacity_bytes: usize,
     /// Upper bound on micro-batch count for memory-aware re-partitioning.
     pub max_partitions: usize,
+    /// Optional deterministic fault-injection schedule, armed onto the
+    /// trainer's device and transfer link at construction.
+    pub fault_plan: Option<FaultPlan>,
+    /// OOM recovery policy used by
+    /// [`Runner::train_epoch_auto_recovering`](crate::Runner::train_epoch_auto_recovering)
+    /// and [`fit`](crate::fit()).
+    pub retry: RetryPolicy,
 }
 
 impl Default for ExperimentConfig {
@@ -56,6 +65,8 @@ impl Default for ExperimentConfig {
             learning_rate: 3e-3,
             capacity_bytes: gib(24),
             max_partitions: 512,
+            fault_plan: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -93,6 +104,14 @@ impl ExperimentConfig {
         if self.max_partitions == 0 {
             return Err("max_partitions must be positive".into());
         }
+        if let Some(fault_plan) = &self.fault_plan {
+            fault_plan
+                .validate()
+                .map_err(|e| format!("fault plan: {e}"))?;
+        }
+        self.retry
+            .validate()
+            .map_err(|e| format!("retry policy: {e}"))?;
         Ok(())
     }
 }
@@ -128,5 +147,26 @@ mod tests {
             ..ExperimentConfig::default()
         };
         assert!(bad_dropout.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_fault_and_retry_knobs() {
+        let bad_rate = ExperimentConfig {
+            fault_plan: Some(FaultPlan {
+                alloc_failure_rate: 2.0,
+                ..FaultPlan::default()
+            }),
+            ..ExperimentConfig::default()
+        };
+        assert!(bad_rate.validate().unwrap_err().contains("fault plan"));
+
+        let bad_growth = ExperimentConfig {
+            retry: RetryPolicy {
+                growth: 0.0,
+                ..RetryPolicy::default()
+            },
+            ..ExperimentConfig::default()
+        };
+        assert!(bad_growth.validate().unwrap_err().contains("retry policy"));
     }
 }

@@ -3,6 +3,7 @@
 use betty_data::Dataset;
 use betty_nn::LrSchedule;
 
+use crate::recovery::RecoveryLog;
 use crate::runner::{RunError, Runner};
 use crate::stats::EpochStats;
 use crate::strategy::StrategyKind;
@@ -59,10 +60,21 @@ pub struct FitReport {
     pub early_stopped: bool,
     /// Per-epoch training stats.
     pub history: Vec<EpochStats>,
+    /// Injected faults and recovery actions observed across the run
+    /// (empty when nothing faulted).
+    pub recovery: RecoveryLog,
 }
 
 /// Trains with memory-aware Betty partitioning until `max_epochs` or
 /// validation patience runs out; evaluates on `dataset.val_idx` each epoch.
+///
+/// Each epoch runs with checkpointed OOM recovery
+/// ([`Runner::train_epoch_auto_recovering`]): mid-step OOMs — genuine or
+/// injected by the config's fault plan — roll the model, optimizer and
+/// RNG back to the epoch-start snapshot and retry with an escalated
+/// plan, up to the config's retry budget. The returned report's
+/// [`recovery`](FitReport::recovery) log records everything that
+/// happened.
 ///
 /// Note: early stopping monitors accuracy only — the *returned* model is
 /// the final one (checkpoint the best epoch externally via
@@ -70,8 +82,33 @@ pub struct FitReport {
 ///
 /// # Errors
 ///
-/// Propagates planning/training failures ([`RunError`]).
+/// Propagates planning/training failures ([`RunError`]), including
+/// [`RunError::RetryExhausted`] when recovery ran out of retries.
 pub fn fit(runner: &mut Runner, dataset: &Dataset, config: &FitConfig<'_>) -> Result<FitReport, RunError> {
+    let mut recovery = RecoveryLog::new();
+    fit_with_log(runner, dataset, config, &mut recovery).map(|mut report| {
+        report.recovery = recovery;
+        report
+    })
+}
+
+/// Like [`fit`], but recording faults and recovery actions into a
+/// caller-owned log — on failure the log survives with everything
+/// recorded up to the fatal error, so callers (e.g. the CLI) can print
+/// a recovery summary alongside the error.
+///
+/// The returned report's own [`recovery`](FitReport::recovery) field is
+/// left empty; `log` is the authoritative record.
+///
+/// # Errors
+///
+/// Propagates planning/training failures ([`RunError`]).
+pub fn fit_with_log(
+    runner: &mut Runner,
+    dataset: &Dataset,
+    config: &FitConfig<'_>,
+    log: &mut RecoveryLog,
+) -> Result<FitReport, RunError> {
     let mut best_val = f64::NEG_INFINITY;
     let mut best_epoch = 0usize;
     let mut since_best = 0usize;
@@ -81,7 +118,8 @@ pub fn fit(runner: &mut Runner, dataset: &Dataset, config: &FitConfig<'_>) -> Re
         if let Some(schedule) = config.schedule {
             runner.set_learning_rate(schedule.lr_at(config.base_lr, epoch));
         }
-        let (stats, _k) = runner.train_epoch_auto(dataset, config.strategy)?;
+        log.set_epoch(epoch);
+        let (stats, _k) = runner.train_epoch_auto_recovering(dataset, config.strategy, log)?;
         history.push(stats);
         let val = runner.evaluate(dataset, &dataset.val_idx);
         if val > best_val {
@@ -104,6 +142,7 @@ pub fn fit(runner: &mut Runner, dataset: &Dataset, config: &FitConfig<'_>) -> Re
         best_epoch,
         early_stopped,
         history,
+        recovery: RecoveryLog::new(),
     })
 }
 

@@ -50,6 +50,7 @@ mod eval;
 pub mod fit;
 pub mod multi;
 mod planner;
+mod recovery;
 mod runner;
 mod stats;
 mod strategy;
@@ -57,13 +58,14 @@ mod trainer;
 
 pub use config::{ExperimentConfig, ModelKind};
 pub use eval::{accuracy, accuracy_full_graph, predict, predict_full_graph};
-pub use fit::{fit, FitConfig, FitReport};
+pub use fit::{fit, fit_with_log, FitConfig, FitReport};
 pub use multi::{DeviceGroup, MultiDeviceEpoch};
 pub use planner::{MemoryAwarePlanner, Plan, PlanError};
+pub use recovery::{RecoveryEntry, RecoveryEvent, RecoveryLog, RetryPolicy};
 pub use runner::{RunError, Runner, LSTM_TAPE_CONSTANT};
 pub use stats::{EpochStats, StepStats};
 pub use strategy::{build_strategy, StrategyKind};
-pub use trainer::{TrainError, Trainer};
+pub use trainer::{StepPhase, TrainError, Trainer, TrainerSnapshot};
 
 use betty_device::AggregatorKind;
 use betty_nn::AggregatorSpec;

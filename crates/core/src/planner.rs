@@ -106,6 +106,11 @@ impl MemoryAwarePlanner {
         &self.estimator
     }
 
+    /// The device capacity planning normally targets.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
     /// Splits `batch` into exactly `k` micro-batches without the capacity
     /// loop (used when an experiment fixes the batch count).
     pub fn plan_fixed(&self, batch: &Batch, strategy: &dyn OutputPartitioner, k: usize) -> Plan {
@@ -151,6 +156,29 @@ impl MemoryAwarePlanner {
         strategy: &dyn OutputPartitioner,
         initial_k: usize,
     ) -> Result<Plan, PlanError> {
+        self.plan_with_capacity(batch, strategy, initial_k, self.capacity_bytes)
+    }
+
+    /// Like [`MemoryAwarePlanner::plan`], but against an explicit
+    /// capacity override instead of the planner's own budget.
+    ///
+    /// OOM recovery uses this for headroom backoff: after an estimator-
+    /// underpredicted OOM, re-planning against the full capacity could
+    /// reproduce the same failing plan, so each retry plans against a
+    /// fraction of the real capacity (see
+    /// [`RetryPolicy`](crate::RetryPolicy)).
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::CapacityUnreachable`] if no `K ≤ max_partitions`
+    /// fits `capacity_bytes`.
+    pub fn plan_with_capacity(
+        &self,
+        batch: &Batch,
+        strategy: &dyn OutputPartitioner,
+        initial_k: usize,
+        capacity_bytes: usize,
+    ) -> Result<Plan, PlanError> {
         let n_outputs = batch.output_nodes().len();
         let k_limit = self.max_partitions.min(n_outputs.max(1));
         let mut best_peak = usize::MAX;
@@ -158,12 +186,12 @@ impl MemoryAwarePlanner {
             let plan = self.plan_fixed(batch, strategy, k);
             let peak = plan.max_estimated_peak();
             best_peak = best_peak.min(peak);
-            let fits = peak <= self.capacity_bytes;
+            let fits = peak <= capacity_bytes;
             (plan, fits)
         };
 
         // Geometric ascent to the first fitting K (or the limit).
-        let mut lo = initial_k.max(1); // highest known-failing K + 1 semantics below
+        let mut lo = initial_k.max(1).min(k_limit); // highest known-failing K + 1 semantics below
         let mut k = lo;
         let (mut plan, mut fits) = probe(k);
         while !fits {
@@ -171,7 +199,7 @@ impl MemoryAwarePlanner {
                 return Err(PlanError::CapacityUnreachable {
                     max_partitions: self.max_partitions,
                     best_peak,
-                    capacity: self.capacity_bytes,
+                    capacity: capacity_bytes,
                 });
             }
             lo = k + 1;
@@ -272,6 +300,37 @@ mod tests {
         let planner = MemoryAwarePlanner::new(estimator(), 1, 1000);
         // 8 outputs: the loop must not run past K = 8.
         assert!(planner.plan(&batch(), &RegPartitioner::new(0), 1).is_err());
+    }
+
+    #[test]
+    fn capacity_override_forces_bigger_k_than_own_budget() {
+        let planner = MemoryAwarePlanner::new(estimator(), usize::MAX, 64);
+        let relaxed = planner
+            .plan(&batch(), &RegPartitioner::new(0), 1)
+            .unwrap();
+        assert_eq!(relaxed.k, 1, "unbounded budget keeps the batch whole");
+        let full_peak = relaxed.max_estimated_peak();
+        let tight = planner
+            .plan_with_capacity(&batch(), &RegPartitioner::new(0), 1, full_peak - 1)
+            .expect("a split must fit the override");
+        assert!(tight.k > 1);
+        assert!(tight.max_estimated_peak() < full_peak);
+        // The error reports the *effective* capacity, not the planner's.
+        let err = planner
+            .plan_with_capacity(&batch(), &RegPartitioner::new(0), 1, 1)
+            .unwrap_err();
+        let PlanError::CapacityUnreachable { capacity, .. } = err;
+        assert_eq!(capacity, 1);
+    }
+
+    #[test]
+    fn initial_k_beyond_output_count_is_clamped() {
+        let planner = MemoryAwarePlanner::new(estimator(), usize::MAX, 64);
+        // 8 outputs; escalation may ask for more partitions than outputs.
+        let plan = planner
+            .plan(&batch(), &RegPartitioner::new(0), 500)
+            .unwrap();
+        assert!(plan.micro_batches.len() <= 8);
     }
 
     #[test]

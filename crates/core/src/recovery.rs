@@ -1,0 +1,354 @@
+//! OOM recovery: retry policy, escalation arithmetic, and the log.
+//!
+//! The paper's memory-aware planner (§4.4.3) picks `K` from an *estimate*
+//! of each micro-batch's peak memory. Estimates can be wrong, and real
+//! allocators fail for reasons no estimator models (fragmentation,
+//! transient driver errors — the faults [`betty_device::FaultPlan`]
+//! injects). This module hardens the training loop against both: a
+//! mid-step OOM rolls the trainable state back to an epoch-start
+//! checkpoint and re-plans with an escalated partition count and a
+//! shrunken planning capacity, governed by [`RetryPolicy`]. Every
+//! injected fault and every recovery action is recorded in a
+//! [`RecoveryLog`] so runs remain auditable and reproducible.
+
+use std::fmt;
+
+use betty_device::{AllocFaultKind, FaultEvent};
+
+use crate::trainer::StepPhase;
+
+/// Governs how a failed epoch is retried and how the plan escalates
+/// between attempts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum recovery attempts per epoch before giving up. `0`
+    /// disables recovery entirely (the first OOM is fatal).
+    pub max_retries: usize,
+    /// Partition-count escalation factor: after a failure at `K` the
+    /// next attempt plans from `max(K + 1, ceil(K · growth))`.
+    pub growth: f64,
+    /// Fraction of capacity withheld from the planner per retry,
+    /// compounding: attempt `i` plans against
+    /// `capacity · (1 - headroom)^i`. Headroom absorbs estimator error —
+    /// if the estimate said the failed plan fit, planning against the
+    /// full capacity again could reproduce the same failure.
+    pub headroom: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            growth: 2.0,
+            headroom: 0.1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Checks the escalation knobs are in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.growth.is_finite() || self.growth < 1.0 {
+            return Err(format!("retry growth must be ≥ 1, got {}", self.growth));
+        }
+        if !(0.0..1.0).contains(&self.headroom) {
+            return Err(format!(
+                "retry headroom must be in [0, 1), got {}",
+                self.headroom
+            ));
+        }
+        Ok(())
+    }
+
+    /// Next partition count after a failure at `k`. Always strictly
+    /// increases so a retry never replays the identical plan.
+    pub fn escalate_k(&self, k: usize) -> usize {
+        ((k as f64 * self.growth).ceil() as usize).max(k + 1)
+    }
+
+    /// Planning capacity for `attempt` (0 = first try) given the real
+    /// device capacity.
+    pub fn planning_capacity(&self, capacity_bytes: usize, attempt: usize) -> usize {
+        let scale = (1.0 - self.headroom).powi(attempt as i32);
+        ((capacity_bytes as f64 * scale) as usize).max(1)
+    }
+}
+
+/// One recorded fault or recovery action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryEvent {
+    /// An injected fault observed by the device or transfer link.
+    Fault(FaultEvent),
+    /// A mid-step OOM triggered a checkpointed retry with an escalated
+    /// plan.
+    OomRetry {
+        /// 1-based recovery attempt number within the epoch.
+        attempt: usize,
+        /// Global step index that failed.
+        step: usize,
+        /// Phase of the step in which the OOM fired.
+        phase: StepPhase,
+        /// Whether the OOM was injected by a fault plan.
+        injected: bool,
+        /// Partition count of the failed plan.
+        failed_k: usize,
+        /// Partition count the next attempt starts from.
+        next_k: usize,
+        /// Capacity the next attempt plans against (after headroom
+        /// backoff).
+        planning_capacity: usize,
+    },
+    /// A previously failed epoch completed after retrying.
+    Recovered {
+        /// Recovery attempts that were consumed.
+        attempts: usize,
+        /// Partition count of the successful plan.
+        final_k: usize,
+    },
+    /// The retry budget ran out; the epoch failed for good.
+    Exhausted {
+        /// Recovery attempts that were consumed.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryEvent::Fault(FaultEvent::AllocFailure {
+                step,
+                requested,
+                kind,
+            }) => {
+                let kind = match kind {
+                    AllocFaultKind::Spurious => "spurious",
+                    AllocFaultKind::StepScheduled => "step-scheduled",
+                    AllocFaultKind::CapacityJitter => "capacity-jitter",
+                };
+                write!(
+                    f,
+                    "injected {kind} allocation failure at step {step} ({requested} bytes)"
+                )
+            }
+            RecoveryEvent::Fault(FaultEvent::TransferStall {
+                transfer_index,
+                stall_sec,
+            }) => write!(
+                f,
+                "injected {stall_sec:.3}s stall on transfer {transfer_index}"
+            ),
+            RecoveryEvent::OomRetry {
+                attempt,
+                step,
+                phase,
+                injected,
+                failed_k,
+                next_k,
+                planning_capacity,
+            } => write!(
+                f,
+                "retry {attempt}: {}OOM at step {step} ({phase}) with K={failed_k}; \
+                 escalating to K≥{next_k} against {planning_capacity} bytes",
+                if *injected { "injected " } else { "" }
+            ),
+            RecoveryEvent::Recovered { attempts, final_k } => {
+                write!(f, "recovered after {attempts} retries at K={final_k}")
+            }
+            RecoveryEvent::Exhausted { attempts } => {
+                write!(f, "retry budget exhausted after {attempts} attempts")
+            }
+        }
+    }
+}
+
+/// A [`RecoveryEvent`] stamped with the epoch it occurred in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryEntry {
+    /// Epoch the event occurred in (as set by [`RecoveryLog::set_epoch`]).
+    pub epoch: usize,
+    /// What happened.
+    pub event: RecoveryEvent,
+}
+
+/// Append-only record of every injected fault and recovery action of a
+/// run, surfaced through [`crate::FitReport`] and the bench report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoveryLog {
+    current_epoch: usize,
+    entries: Vec<RecoveryEntry>,
+}
+
+impl RecoveryLog {
+    /// An empty log starting at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the epoch stamped onto subsequently recorded events.
+    pub fn set_epoch(&mut self, epoch: usize) {
+        self.current_epoch = epoch;
+    }
+
+    /// Appends an event at the current epoch.
+    pub fn record(&mut self, event: RecoveryEvent) {
+        self.entries.push(RecoveryEntry {
+            epoch: self.current_epoch,
+            event,
+        });
+    }
+
+    /// Every recorded entry, in order.
+    pub fn entries(&self) -> &[RecoveryEntry] {
+        &self.entries
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of injected faults observed.
+    pub fn injected_faults(&self) -> usize {
+        self.count(|e| matches!(e, RecoveryEvent::Fault(_)))
+    }
+
+    /// Number of OOM-triggered retries.
+    pub fn oom_retries(&self) -> usize {
+        self.count(|e| matches!(e, RecoveryEvent::OomRetry { .. }))
+    }
+
+    /// Number of epochs that completed only after retrying.
+    pub fn recoveries(&self) -> usize {
+        self.count(|e| matches!(e, RecoveryEvent::Recovered { .. }))
+    }
+
+    /// Whether any epoch ran out of retries.
+    pub fn exhausted(&self) -> bool {
+        self.count(|e| matches!(e, RecoveryEvent::Exhausted { .. })) > 0
+    }
+
+    fn count(&self, pred: impl Fn(&RecoveryEvent) -> bool) -> usize {
+        self.entries.iter().filter(|e| pred(&e.event)).count()
+    }
+
+    /// Human-readable multi-line summary (counts, then one line per
+    /// entry) — what the CLI prints when a run fails.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "recovery log: {} injected faults, {} OOM retries, {} recoveries{}",
+            self.injected_faults(),
+            self.oom_retries(),
+            self.recoveries(),
+            if self.exhausted() {
+                ", retries EXHAUSTED"
+            } else {
+                ""
+            }
+        );
+        for entry in &self.entries {
+            out.push_str(&format!("\n  [epoch {}] {}", entry.epoch, entry.event));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_valid() {
+        RetryPolicy::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_knobs() {
+        let shrink = RetryPolicy {
+            growth: 0.5,
+            ..RetryPolicy::default()
+        };
+        assert!(shrink.validate().unwrap_err().contains("growth"));
+        let all_headroom = RetryPolicy {
+            headroom: 1.0,
+            ..RetryPolicy::default()
+        };
+        assert!(all_headroom.validate().unwrap_err().contains("headroom"));
+    }
+
+    #[test]
+    fn escalation_always_strictly_increases() {
+        let unit_growth = RetryPolicy {
+            growth: 1.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(unit_growth.escalate_k(1), 2);
+        assert_eq!(unit_growth.escalate_k(7), 8);
+        let double = RetryPolicy::default();
+        assert_eq!(double.escalate_k(1), 2);
+        assert_eq!(double.escalate_k(3), 6);
+    }
+
+    #[test]
+    fn planning_capacity_compounds_and_stays_positive() {
+        let p = RetryPolicy {
+            headroom: 0.5,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.planning_capacity(1000, 0), 1000);
+        assert_eq!(p.planning_capacity(1000, 1), 500);
+        assert_eq!(p.planning_capacity(1000, 2), 250);
+        assert_eq!(p.planning_capacity(0, 5), 1, "never hands the planner 0");
+    }
+
+    #[test]
+    fn log_counts_and_summarizes() {
+        let mut log = RecoveryLog::new();
+        assert!(log.is_empty());
+        log.record(RecoveryEvent::Fault(FaultEvent::AllocFailure {
+            step: 0,
+            requested: 64,
+            kind: AllocFaultKind::StepScheduled,
+        }));
+        log.record(RecoveryEvent::OomRetry {
+            attempt: 1,
+            step: 0,
+            phase: StepPhase::StaticCharge,
+            injected: true,
+            failed_k: 1,
+            next_k: 2,
+            planning_capacity: 900,
+        });
+        log.set_epoch(1);
+        log.record(RecoveryEvent::Recovered {
+            attempts: 1,
+            final_k: 2,
+        });
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.injected_faults(), 1);
+        assert_eq!(log.oom_retries(), 1);
+        assert_eq!(log.recoveries(), 1);
+        assert!(!log.exhausted());
+        assert_eq!(log.entries()[2].epoch, 1);
+        let summary = log.summary();
+        assert!(summary.contains("1 OOM retries"), "{summary}");
+        assert!(summary.contains("[epoch 0]"), "{summary}");
+        assert!(summary.contains("escalating to K≥2"), "{summary}");
+    }
+
+    #[test]
+    fn exhaustion_is_flagged() {
+        let mut log = RecoveryLog::new();
+        log.record(RecoveryEvent::Exhausted { attempts: 3 });
+        assert!(log.exhausted());
+        assert!(log.summary().contains("EXHAUSTED"));
+    }
+}

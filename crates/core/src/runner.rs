@@ -12,6 +12,7 @@ use betty_nn::{Gat, Gcn, Gin, GnnModel, GraphSage};
 
 use crate::config::{ExperimentConfig, ModelKind};
 use crate::planner::{MemoryAwarePlanner, Plan, PlanError};
+use crate::recovery::{RecoveryEvent, RecoveryLog};
 use crate::stats::EpochStats;
 use crate::strategy::{build_strategy, StrategyKind};
 use crate::trainer::{TrainError, Trainer};
@@ -22,8 +23,19 @@ use crate::{aggregator_kind, eval};
 pub enum RunError {
     /// No partition count satisfied the capacity constraint.
     Plan(PlanError),
-    /// A step ran out of device memory.
+    /// A step ran out of device memory and recovery was not attempted
+    /// (either the caller used a non-recovering entry point or the
+    /// retry budget is zero).
     Train(TrainError),
+    /// Recovery was attempted but every retry failed. The chain root
+    /// ([`std::error::Error::source`]) is the error from the *first*
+    /// failed attempt, preserving what originally went wrong.
+    RetryExhausted {
+        /// Recovery attempts that were consumed.
+        attempts: usize,
+        /// The first attempt's error (the original failure).
+        source: TrainError,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -31,11 +43,23 @@ impl fmt::Display for RunError {
         match self {
             RunError::Plan(e) => write!(f, "planning failed: {e}"),
             RunError::Train(e) => write!(f, "training failed: {e}"),
+            RunError::RetryExhausted { attempts, source } => write!(
+                f,
+                "training failed after {attempts} recovery attempts; original error: {source}"
+            ),
         }
     }
 }
 
-impl std::error::Error for RunError {}
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Plan(e) => Some(e),
+            RunError::Train(e) => Some(e),
+            RunError::RetryExhausted { source, .. } => Some(source),
+        }
+    }
+}
 
 impl From<PlanError> for RunError {
     fn from(e: PlanError) -> Self {
@@ -173,12 +197,15 @@ impl Runner {
         let estimator = MemoryEstimator::new(shape).with_lstm_constant(LSTM_TAPE_CONSTANT);
         let planner =
             MemoryAwarePlanner::new(estimator, config.capacity_bytes, config.max_partitions);
-        let trainer = Trainer::new(
+        let mut trainer = Trainer::new(
             model,
             config.learning_rate,
             Device::new(config.capacity_bytes),
             seed.wrapping_add(1),
         );
+        if let Some(fault_plan) = &config.fault_plan {
+            trainer.arm_faults(fault_plan);
+        }
         Self {
             config: config.clone(),
             trainer,
@@ -260,7 +287,7 @@ impl Runner {
     ///
     /// # Errors
     ///
-    /// [`TrainError::Oom`] if a micro-batch exceeds capacity.
+    /// [`TrainError::StepOom`] if a micro-batch exceeds capacity.
     pub fn train_epoch_betty(
         &mut self,
         dataset: &Dataset,
@@ -296,13 +323,135 @@ impl Runner {
         Ok((stats, plan.micro_batches.len()))
     }
 
+    /// Like [`Runner::train_epoch_auto`], but with checkpointed OOM
+    /// recovery.
+    ///
+    /// Before the first attempt the trainable state (parameters,
+    /// optimizer moments, dropout RNG) is snapshotted. If a step OOMs —
+    /// genuinely or via an armed [`betty_device::FaultPlan`] — the
+    /// device's charges are released, any partially accumulated
+    /// gradients are discarded with the restored snapshot, and planning
+    /// escalates: `K ← max(K + 1, ceil(K · growth))` against a capacity
+    /// shrunk by the compounding headroom fraction (see
+    /// [`RetryPolicy`](crate::RetryPolicy)). Up to
+    /// `config.retry.max_retries` retries are attempted before giving
+    /// up. Every injected fault and recovery action is appended to
+    /// `log`; the returned stats carry retry/fault counters.
+    ///
+    /// # Errors
+    ///
+    /// * [`RunError::Plan`] if the *first* plan fails (nothing to
+    ///   recover from);
+    /// * [`RunError::Train`] if the first attempt fails and the retry
+    ///   budget is zero (recovery disabled);
+    /// * [`RunError::RetryExhausted`] once retries run out, carrying
+    ///   the original failure as its
+    ///   [`source`](std::error::Error::source).
+    pub fn train_epoch_auto_recovering(
+        &mut self,
+        dataset: &Dataset,
+        strategy: StrategyKind,
+        log: &mut RecoveryLog,
+    ) -> Result<(EpochStats, usize), RunError> {
+        let policy = self.config.retry.clone();
+        let capacity = self.config.capacity_bytes;
+        let batch = self.sample_full_batch(dataset);
+        let snapshot = self.trainer.snapshot();
+        let strategy_impl = build_strategy(strategy, self.seed);
+        let mut injected_faults = 0usize;
+        let mut attempt = 0usize; // failed attempts so far
+        let mut initial_k = 1usize;
+        let mut original: Option<TrainError> = None;
+        loop {
+            let planning_capacity = policy.planning_capacity(capacity, attempt);
+            let plan = match self.planner.plan_with_capacity(
+                &batch,
+                strategy_impl.as_ref(),
+                initial_k,
+                planning_capacity,
+            ) {
+                Ok(plan) => plan,
+                // Escalation planned itself into a corner (headroom or
+                // K growth exceeded what max_partitions can satisfy):
+                // surface the original OOM, not the planning artifact.
+                Err(e) => match original {
+                    Some(source) => {
+                        log.record(RecoveryEvent::Exhausted { attempts: attempt });
+                        return Err(RunError::RetryExhausted {
+                            attempts: attempt,
+                            source,
+                        });
+                    }
+                    None => return Err(RunError::Plan(e)),
+                },
+            };
+            let k = plan.micro_batches.len();
+            match self.trainer.micro_batch_epoch(dataset, &plan.micro_batches) {
+                Ok(mut stats) => {
+                    for event in self.trainer.drain_fault_events() {
+                        injected_faults += 1;
+                        log.record(RecoveryEvent::Fault(event));
+                    }
+                    if attempt > 0 {
+                        log.record(RecoveryEvent::Recovered {
+                            attempts: attempt,
+                            final_k: k,
+                        });
+                    }
+                    stats.host_bytes = host_staging_bytes(dataset, &plan.micro_batches)
+                        + batch.total_edges() * 3 * betty_device::BYTES_PER_VALUE;
+                    stats.oom_retries = attempt;
+                    stats.injected_faults = injected_faults;
+                    return Ok((stats, k));
+                }
+                Err(err) => {
+                    self.trainer.release_device();
+                    for event in self.trainer.drain_fault_events() {
+                        injected_faults += 1;
+                        log.record(RecoveryEvent::Fault(event));
+                    }
+                    if attempt >= policy.max_retries {
+                        if attempt == 0 {
+                            // Recovery disabled: the plain training error.
+                            return Err(RunError::Train(err));
+                        }
+                        log.record(RecoveryEvent::Exhausted { attempts: attempt });
+                        return Err(RunError::RetryExhausted {
+                            attempts: attempt,
+                            source: original.unwrap_or(err),
+                        });
+                    }
+                    attempt += 1;
+                    let next_k = policy.escalate_k(k).min(self.config.max_partitions);
+                    let TrainError::StepOom {
+                        step,
+                        phase,
+                        ref source,
+                    } = err;
+                    log.record(RecoveryEvent::OomRetry {
+                        attempt,
+                        step,
+                        phase,
+                        injected: source.injected,
+                        failed_k: k,
+                        next_k,
+                        planning_capacity: policy.planning_capacity(capacity, attempt),
+                    });
+                    original.get_or_insert(err);
+                    self.trainer.restore(&snapshot);
+                    initial_k = next_k;
+                }
+            }
+        }
+    }
+
     /// Trains one effective batch from pre-built micro-batches (gradient
     /// accumulation + single optimizer step). Benches use this to measure
     /// a specific plan's micro-batches directly.
     ///
     /// # Errors
     ///
-    /// [`TrainError::Oom`] if a micro-batch exceeds capacity.
+    /// [`TrainError::StepOom`] if a micro-batch exceeds capacity.
     pub fn train_micro_batches(
         &mut self,
         dataset: &Dataset,
@@ -322,7 +471,7 @@ impl Runner {
     ///
     /// # Errors
     ///
-    /// [`TrainError::Oom`] if a micro-batch exceeds capacity.
+    /// [`TrainError::StepOom`] if a micro-batch exceeds capacity.
     ///
     /// # Panics
     ///
@@ -372,7 +521,7 @@ impl Runner {
     ///
     /// # Errors
     ///
-    /// [`TrainError::Oom`] if a micro-batch exceeds capacity.
+    /// [`TrainError::StepOom`] if a micro-batch exceeds capacity.
     pub fn train_epoch_multi_device(
         &mut self,
         dataset: &Dataset,
@@ -408,7 +557,7 @@ impl Runner {
     ///
     /// # Errors
     ///
-    /// [`TrainError::Oom`] if a mini-batch exceeds capacity.
+    /// [`TrainError::StepOom`] if a mini-batch exceeds capacity.
     pub fn train_epoch_mini(
         &mut self,
         dataset: &Dataset,
@@ -548,5 +697,125 @@ mod tests {
         let mut runner = Runner::new(&ds, &config(), 0);
         let stats = runner.train_epoch_mini(&ds, 4).unwrap();
         assert_eq!(stats.num_steps, 4);
+    }
+
+    #[test]
+    fn recovering_epoch_escalates_past_an_injected_oom() {
+        use crate::recovery::RecoveryLog;
+        use betty_device::FaultPlan;
+        let ds = dataset();
+        let cfg = ExperimentConfig {
+            fault_plan: Some(FaultPlan {
+                oom_steps: vec![0],
+                ..FaultPlan::default()
+            }),
+            ..config()
+        };
+        let mut runner = Runner::new(&ds, &cfg, 0);
+        let mut log = RecoveryLog::new();
+        let (stats, k) = runner
+            .train_epoch_auto_recovering(&ds, StrategyKind::Betty, &mut log)
+            .expect("recovery must rescue the injected OOM");
+        assert_eq!(stats.oom_retries, 1);
+        assert_eq!(stats.injected_faults, 1);
+        assert!(k >= 2, "escalation grows K, got {k}");
+        assert_eq!(log.oom_retries(), 1);
+        assert_eq!(log.injected_faults(), 1);
+        assert_eq!(log.recoveries(), 1);
+        assert!(!log.exhausted());
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_the_original_error_chain() {
+        use crate::recovery::{RecoveryLog, RetryPolicy};
+        use betty_device::{FaultPlan, OomError};
+        let ds = dataset();
+        let cfg = ExperimentConfig {
+            fault_plan: Some(FaultPlan {
+                alloc_failure_rate: 1.0, // every allocation fails
+                ..FaultPlan::default()
+            }),
+            retry: RetryPolicy {
+                max_retries: 2,
+                ..RetryPolicy::default()
+            },
+            ..config()
+        };
+        let mut runner = Runner::new(&ds, &cfg, 0);
+        let mut log = RecoveryLog::new();
+        let err = runner
+            .train_epoch_auto_recovering(&ds, StrategyKind::Betty, &mut log)
+            .unwrap_err();
+        let RunError::RetryExhausted { attempts, .. } = &err else {
+            panic!("expected RetryExhausted, got {err:?}");
+        };
+        assert_eq!(*attempts, 2);
+        assert!(log.exhausted());
+        // Walk the source() chain down to the original OomError.
+        let mut cause: &dyn std::error::Error = &err;
+        while let Some(next) = cause.source() {
+            cause = next;
+        }
+        let oom = cause
+            .downcast_ref::<OomError>()
+            .expect("chain must bottom out in the device OomError");
+        assert!(oom.injected);
+    }
+
+    #[test]
+    fn zero_retry_budget_reports_plain_train_error() {
+        use crate::recovery::{RecoveryLog, RetryPolicy};
+        use betty_device::FaultPlan;
+        let ds = dataset();
+        let cfg = ExperimentConfig {
+            fault_plan: Some(FaultPlan {
+                oom_steps: vec![0],
+                ..FaultPlan::default()
+            }),
+            retry: RetryPolicy {
+                max_retries: 0,
+                ..RetryPolicy::default()
+            },
+            ..config()
+        };
+        let mut runner = Runner::new(&ds, &cfg, 0);
+        let mut log = RecoveryLog::new();
+        let err = runner
+            .train_epoch_auto_recovering(&ds, StrategyKind::Betty, &mut log)
+            .unwrap_err();
+        assert!(
+            matches!(err, RunError::Train(_)),
+            "no retries attempted → plain Train error, got {err:?}"
+        );
+        assert_eq!(log.oom_retries(), 0);
+    }
+
+    #[test]
+    fn noop_fault_plan_is_byte_identical_to_no_plan() {
+        use crate::recovery::RecoveryLog;
+        use betty_device::FaultPlan;
+        let ds = dataset();
+        let clean_cfg = config();
+        let armed_cfg = ExperimentConfig {
+            // Non-zero seed, all rates zero: armed but inert.
+            fault_plan: Some(FaultPlan {
+                seed: 1234,
+                ..FaultPlan::default()
+            }),
+            ..config()
+        };
+        let mut clean = Runner::new(&ds, &clean_cfg, 0);
+        let mut armed = Runner::new(&ds, &armed_cfg, 0);
+        let mut log = RecoveryLog::new();
+        let (a, ka) = clean
+            .train_epoch_auto_recovering(&ds, StrategyKind::Betty, &mut log)
+            .unwrap();
+        let (b, kb) = armed
+            .train_epoch_auto_recovering(&ds, StrategyKind::Betty, &mut log)
+            .unwrap();
+        assert_eq!(ka, kb);
+        assert_eq!(a.max_peak_bytes, b.max_peak_bytes);
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+        assert!(log.is_empty());
     }
 }

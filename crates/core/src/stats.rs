@@ -40,6 +40,13 @@ pub struct EpochStats {
     /// heterogeneous-memory story (§2.2): the device only ever holds one
     /// micro-batch; everything else waits in host memory.
     pub host_bytes: usize,
+    /// Checkpointed recovery attempts consumed producing this epoch
+    /// (0 when the first attempt succeeded; only
+    /// [`crate::Runner::train_epoch_auto_recovering`] sets this).
+    pub oom_retries: usize,
+    /// Injected fault events observed during this epoch (0 without an
+    /// armed [`betty_device::FaultPlan`]).
+    pub injected_faults: usize,
 }
 
 impl EpochStats {

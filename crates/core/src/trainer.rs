@@ -7,26 +7,82 @@ use rand::SeedableRng;
 use rand_pcg::Pcg64Mcg;
 
 use betty_data::Dataset;
-use betty_device::{Device, OomError, TransferModel, BYTES_PER_VALUE};
+use betty_device::{Device, FaultEvent, FaultPlan, OomError, TransferModel, BYTES_PER_VALUE};
 use betty_graph::Batch;
-use betty_nn::{zero_grads, Adam, GnnModel, Optimizer, Session};
+use betty_nn::{zero_grads, Adam, GnnModel, Optimizer, Param, Session};
 use betty_tensor::{segment, Reduction};
 
 use crate::accounting::{StepCharges, StepSizes};
 use crate::stats::{EpochStats, StepStats};
 
+/// Which part of a training step was executing when a failure occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepPhase {
+    /// Charging static tensors (parameters, optimizer state, blocks,
+    /// input features, labels).
+    StaticCharge,
+    /// Charging forward activations (hidden outputs + aggregator
+    /// workspace).
+    Forward,
+    /// Charging backward gradients.
+    Backward,
+}
+
+impl fmt::Display for StepPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StepPhase::StaticCharge => "static charge",
+            StepPhase::Forward => "forward",
+            StepPhase::Backward => "backward",
+        })
+    }
+}
+
 /// Training failure.
+///
+/// Marked `#[non_exhaustive]`: variants may grow (e.g. numeric
+/// divergence). Downstream crates should prefer the [`TrainError::oom`]
+/// accessor or match with a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum TrainError {
     /// The simulated device ran out of memory mid-step — what Betty's
-    /// memory-aware planning exists to prevent.
-    Oom(OomError),
+    /// memory-aware planning exists to prevent. Carries where the step
+    /// failed so recovery can log and escalate precisely.
+    StepOom {
+        /// Global step index (monotone across the trainer's lifetime,
+        /// including failed and retried steps).
+        step: usize,
+        /// The phase in which the allocation failed.
+        phase: StepPhase,
+        /// The underlying device error.
+        source: OomError,
+    },
+}
+
+impl TrainError {
+    /// The underlying [`OomError`] for any OOM-class variant.
+    pub fn oom(&self) -> Option<&OomError> {
+        match self {
+            TrainError::StepOom { source, .. } => Some(source),
+        }
+    }
+
+    /// Whether the failure was injected by an armed
+    /// [`FaultPlan`] rather than a genuine capacity shortfall.
+    pub fn is_injected(&self) -> bool {
+        self.oom().is_some_and(|e| e.injected)
+    }
 }
 
 impl fmt::Display for TrainError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TrainError::Oom(e) => write!(f, "training step failed: {e}"),
+            TrainError::StepOom {
+                step,
+                phase,
+                source,
+            } => write!(f, "step {step} failed during {phase}: {source}"),
         }
     }
 }
@@ -34,14 +90,36 @@ impl fmt::Display for TrainError {
 impl std::error::Error for TrainError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            TrainError::Oom(e) => Some(e),
+            TrainError::StepOom { source, .. } => Some(source),
         }
     }
 }
 
-impl From<OomError> for TrainError {
-    fn from(e: OomError) -> Self {
-        TrainError::Oom(e)
+/// Lightweight in-memory checkpoint of everything training mutates:
+/// parameter values (and gradients), optimizer moments, and the dropout
+/// RNG. Restoring one onto the trainer it was taken from rewinds
+/// training exactly — a retried epoch is bit-identical to one that
+/// never failed.
+#[derive(Debug, Clone)]
+pub struct TrainerSnapshot {
+    params: Vec<Param>,
+    optimizer: Adam,
+    rng: Pcg64Mcg,
+}
+
+impl TrainerSnapshot {
+    /// Number of parameter tensors captured.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Host bytes held by the checkpoint (values + gradients), for
+    /// overhead reporting.
+    pub fn param_bytes(&self) -> usize {
+        self.params
+            .iter()
+            .map(|p| p.len() * 2 * BYTES_PER_VALUE)
+            .sum()
     }
 }
 
@@ -65,6 +143,7 @@ pub struct Trainer {
     device: Device,
     transfer: TransferModel,
     rng: Pcg64Mcg,
+    global_step: usize,
 }
 
 impl fmt::Debug for Trainer {
@@ -85,6 +164,7 @@ impl Trainer {
             device,
             transfer: TransferModel::pcie3(),
             rng: Pcg64Mcg::seed_from_u64(seed),
+            global_step: 0,
         }
     }
 
@@ -118,6 +198,75 @@ impl Trainer {
         self.optimizer.set_lr(lr);
     }
 
+    /// Global step index the next [`Trainer::micro_batch_epoch`] step
+    /// will use. Monotone across epochs and recovery retries — a failed
+    /// step consumes its index, so a [`FaultPlan::oom_steps`] entry
+    /// fires once per run, not once per retry.
+    pub fn global_step(&self) -> usize {
+        self.global_step
+    }
+
+    /// Captures an in-memory checkpoint of parameters, optimizer
+    /// moments, and the dropout RNG (see [`TrainerSnapshot`]).
+    pub fn snapshot(&self) -> TrainerSnapshot {
+        TrainerSnapshot {
+            params: self.model.params().into_iter().cloned().collect(),
+            optimizer: self.optimizer.clone(),
+            rng: self.rng.clone(),
+        }
+    }
+
+    /// Restores a snapshot previously taken from this trainer. The
+    /// cloned parameters keep their [`Param::id`]s, so the restored
+    /// optimizer moments stay correctly keyed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's parameter count differs from the
+    /// model's (i.e. the snapshot came from a different model).
+    pub fn restore(&mut self, snapshot: &TrainerSnapshot) {
+        let mut params = self.model.params_mut();
+        assert_eq!(
+            params.len(),
+            snapshot.params.len(),
+            "snapshot does not match this trainer's model"
+        );
+        for (dst, src) in params.iter_mut().zip(&snapshot.params) {
+            **dst = src.clone();
+        }
+        self.optimizer = snapshot.optimizer.clone();
+        self.rng = snapshot.rng.clone();
+    }
+
+    /// Arms deterministic fault injection on both the device (allocation
+    /// faults) and the transfer link (stalls). Replaces any previously
+    /// armed plan.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        self.device.arm_faults(plan.alloc_injector());
+        self.transfer.arm_faults(plan.transfer_injector());
+    }
+
+    /// Disarms fault injection on the device and the transfer link.
+    pub fn disarm_faults(&mut self) {
+        self.device.disarm_faults();
+        self.transfer.disarm_faults();
+    }
+
+    /// Drains injected-fault events from the device and the transfer
+    /// link (allocation events first), for the recovery log.
+    pub fn drain_fault_events(&mut self) -> Vec<FaultEvent> {
+        let mut events = self.device.drain_fault_events();
+        events.extend(self.transfer.drain_fault_events());
+        events
+    }
+
+    /// Releases every outstanding device charge — post-failure cleanup
+    /// before a recovery retry. The peak watermark is preserved so the
+    /// aborted step stays visible in memory reports.
+    pub fn release_device(&mut self) {
+        self.device.free_all();
+    }
+
     /// Trains one *effective batch* as a sequence of micro-batches with
     /// gradient accumulation: a single optimizer update at the end
     /// (Fig. 6's micro-batch workflow).
@@ -126,7 +275,7 @@ impl Trainer {
     ///
     /// # Errors
     ///
-    /// [`TrainError::Oom`] if any micro-batch exceeds device capacity; the
+    /// [`TrainError::StepOom`] if any micro-batch exceeds device capacity; the
     /// model is left unstepped in that case.
     pub fn micro_batch_epoch(
         &mut self,
@@ -143,7 +292,7 @@ impl Trainer {
     ///
     /// # Errors
     ///
-    /// [`TrainError::Oom`] if any micro-batch exceeds device capacity.
+    /// [`TrainError::StepOom`] if any micro-batch exceeds device capacity.
     pub fn micro_batch_epoch_with_steps(
         &mut self,
         dataset: &Dataset,
@@ -173,7 +322,7 @@ impl Trainer {
     ///
     /// # Errors
     ///
-    /// [`TrainError::Oom`] if a batch exceeds device capacity.
+    /// [`TrainError::StepOom`] if a batch exceeds device capacity.
     pub fn mini_batch_epoch(
         &mut self,
         dataset: &Dataset,
@@ -203,6 +352,10 @@ impl Trainer {
         batch: &Batch,
         mode: &LossMode,
     ) -> Result<StepStats, TrainError> {
+        let step = self.global_step;
+        self.global_step += 1;
+        let oom = |phase: StepPhase| move |source: OomError| TrainError::StepOom { step, phase, source };
+
         let in_dim = dataset.feature_dim();
         let param_values = self.model.total_param_count();
         let opt_values = param_values * self.optimizer.state_values_per_param();
@@ -210,7 +363,9 @@ impl Trainer {
 
         self.device.free_all();
         self.device.reset_peak();
-        let mut charges = StepCharges::charge_static(&mut self.device, &sizes)?;
+        self.device.begin_step(step);
+        let mut charges = StepCharges::charge_static(&mut self.device, &sizes)
+            .map_err(oom(StepPhase::StaticCharge))?;
         let transfer_sec = self.transfer.transfer(sizes.transfer_bytes());
 
         // Host-side feature gather for the micro-batch's input nodes.
@@ -259,13 +414,13 @@ impl Trainer {
             .saturating_sub(hidden_bytes);
         if let Err(e) = charges.charge_forward(&mut self.device, hidden_bytes, aggregator_bytes) {
             charges.release(&mut self.device);
-            return Err(e.into());
+            return Err(oom(StepPhase::Forward)(e));
         }
 
         // Backward.
         if let Err(e) = charges.charge_backward(&mut self.device, sizes.params) {
             charges.release(&mut self.device);
-            return Err(e.into());
+            return Err(oom(StepPhase::Backward)(e));
         }
         sess.backward(loss_var, self.model.as_mut());
         let compute_sec = started.elapsed().as_secs_f64();
@@ -391,9 +546,85 @@ mod tests {
         let batch = full_batch(&ds, 2);
         let mut t = Trainer::new(model(&ds, 0), 0.01, Device::new(10_000), 3);
         match t.micro_batch_epoch(&ds, std::slice::from_ref(&batch)) {
-            Err(TrainError::Oom(e)) => assert!(e.capacity == 10_000),
+            Err(TrainError::StepOom {
+                step,
+                phase,
+                source,
+            }) => {
+                assert_eq!(step, 0);
+                assert_eq!(phase, StepPhase::StaticCharge);
+                assert_eq!(source.capacity, 10_000);
+                assert!(!source.injected);
+            }
             other => panic!("expected OOM, got {other:?}"),
         }
+        // No partial charges linger after the failure.
+        assert_eq!(t.device().current_bytes(), 0);
+    }
+
+    #[test]
+    fn global_step_advances_even_across_failures() {
+        let ds = dataset();
+        let batch = full_batch(&ds, 2);
+        let mut t = Trainer::new(model(&ds, 0), 0.01, Device::new(10_000), 3);
+        assert_eq!(t.global_step(), 0);
+        assert!(t.micro_batch_epoch(&ds, std::slice::from_ref(&batch)).is_err());
+        assert_eq!(t.global_step(), 1, "a failed step still consumes its index");
+    }
+
+    #[test]
+    fn snapshot_restore_replays_bit_identically() {
+        let ds = dataset();
+        let batch = full_batch(&ds, 2);
+        // Dropout > 0 so the restored RNG actually matters.
+        let mut rng = Pcg64Mcg::seed_from_u64(11);
+        let m = Box::new(GraphSage::new(
+            ds.feature_dim(),
+            16,
+            ds.num_classes,
+            2,
+            AggregatorSpec::Mean,
+            0.3,
+            &mut rng,
+        ));
+        let mut t = Trainer::new(m, 0.01, Device::unbounded(), 3);
+        // Advance so the optimizer has non-trivial moments.
+        t.micro_batch_epoch(&ds, std::slice::from_ref(&batch)).unwrap();
+        let snap = t.snapshot();
+        assert!(snap.num_params() > 0);
+        assert!(snap.param_bytes() > 0);
+        let a = t
+            .micro_batch_epoch(&ds, std::slice::from_ref(&batch))
+            .unwrap();
+        t.restore(&snap);
+        let b = t
+            .micro_batch_epoch(&ds, std::slice::from_ref(&batch))
+            .unwrap();
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits(), "restore must rewind exactly");
+    }
+
+    #[test]
+    fn injected_fault_is_marked_and_drains_events() {
+        use betty_device::FaultPlan;
+        let ds = dataset();
+        let batch = full_batch(&ds, 2);
+        let mut t = Trainer::new(model(&ds, 0), 0.01, Device::new(usize::MAX / 2), 3);
+        t.arm_faults(&FaultPlan {
+            oom_steps: vec![0],
+            ..FaultPlan::default()
+        });
+        let err = t
+            .micro_batch_epoch(&ds, std::slice::from_ref(&batch))
+            .unwrap_err();
+        assert!(err.is_injected());
+        assert!(err.oom().is_some());
+        let events = t.drain_fault_events();
+        assert_eq!(events.len(), 1);
+        assert!(t.drain_fault_events().is_empty());
+        // The very next epoch (step 1) passes: capacity was never short.
+        t.micro_batch_epoch(&ds, std::slice::from_ref(&batch))
+            .unwrap();
+        t.disarm_faults();
     }
 
     #[test]

@@ -1,6 +1,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::fault::{AllocFaultInjector, FaultEvent};
+
 /// What a device allocation holds — the categories of the paper's memory
 /// breakdown (Fig. 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -67,14 +69,20 @@ pub struct OomError {
     pub in_use: usize,
     /// Device capacity.
     pub capacity: usize,
+    /// Whether an armed [`FaultPlan`](crate::FaultPlan) injected this
+    /// failure rather than the ledger genuinely running out of room.
+    pub injected: bool,
 }
 
 impl fmt::Display for OomError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "out of device memory: requested {} bytes with {} of {} in use",
-            self.requested, self.in_use, self.capacity
+            "out of device memory: requested {} bytes with {} of {} in use{}",
+            self.requested,
+            self.in_use,
+            self.capacity,
+            if self.injected { " (injected fault)" } else { "" }
         )
     }
 }
@@ -95,6 +103,7 @@ pub struct Device {
     live: HashMap<u64, (usize, MemoryCategory)>,
     current_by_cat: HashMap<MemoryCategory, usize>,
     peak_by_cat: HashMap<MemoryCategory, usize>,
+    faults: Option<AllocFaultInjector>,
 }
 
 impl Device {
@@ -108,6 +117,7 @@ impl Device {
             live: HashMap::new(),
             current_by_cat: HashMap::new(),
             peak_by_cat: HashMap::new(),
+            faults: None,
         }
     }
 
@@ -129,11 +139,22 @@ impl Device {
     /// Returns [`OomError`] if the allocation would exceed capacity; the
     /// ledger is unchanged in that case.
     pub fn alloc(&mut self, bytes: usize, category: MemoryCategory) -> Result<AllocationId, OomError> {
+        if let Some(faults) = self.faults.as_mut() {
+            if faults.check_alloc(bytes, self.current, self.capacity).is_some() {
+                return Err(OomError {
+                    requested: bytes,
+                    in_use: self.current,
+                    capacity: self.capacity,
+                    injected: true,
+                });
+            }
+        }
         if self.current.saturating_add(bytes) > self.capacity {
             return Err(OomError {
                 requested: bytes,
                 in_use: self.current,
                 capacity: self.capacity,
+                injected: false,
             });
         }
         let id = self.next_id;
@@ -196,6 +217,43 @@ impl Device {
     /// Current bytes in one category.
     pub fn current_in(&self, category: MemoryCategory) -> usize {
         self.current_by_cat.get(&category).copied().unwrap_or(0)
+    }
+
+    /// Arms fault injection: subsequent allocations consult `injector`
+    /// and may fail with [`OomError::injected`] set. Replaces any
+    /// previously armed injector.
+    pub fn arm_faults(&mut self, injector: AllocFaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// Disarms fault injection, returning the injector (with any
+    /// undrained events) if one was armed.
+    pub fn disarm_faults(&mut self) -> Option<AllocFaultInjector> {
+        self.faults.take()
+    }
+
+    /// Whether a fault injector is armed.
+    pub fn faults_armed(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Marks a step boundary for fault injection: re-arms scheduled
+    /// step faults and redraws capacity jitter. No-op when no injector
+    /// is armed.
+    pub fn begin_step(&mut self, step: usize) {
+        let capacity = self.capacity;
+        if let Some(faults) = self.faults.as_mut() {
+            faults.begin_step(step, capacity);
+        }
+    }
+
+    /// Removes and returns the fault events recorded since the last
+    /// drain. Empty when no injector is armed.
+    pub fn drain_fault_events(&mut self) -> Vec<FaultEvent> {
+        self.faults
+            .as_mut()
+            .map(AllocFaultInjector::drain_events)
+            .unwrap_or_default()
     }
 }
 
@@ -282,5 +340,46 @@ mod tests {
         let mut d = Device::new(64);
         assert!(d.alloc(64, MemoryCategory::Parameters).is_ok());
         assert!(d.alloc(1, MemoryCategory::Parameters).is_err());
+    }
+
+    #[test]
+    fn genuine_oom_is_not_marked_injected() {
+        let mut d = Device::new(100);
+        let err = d.alloc(200, MemoryCategory::Blocks).unwrap_err();
+        assert!(!err.injected);
+        assert!(!err.to_string().contains("injected"));
+    }
+
+    #[test]
+    fn armed_step_fault_injects_and_ledger_is_untouched() {
+        use crate::fault::FaultPlan;
+        let mut d = Device::new(1000);
+        let plan = FaultPlan {
+            oom_steps: vec![0],
+            ..FaultPlan::default()
+        };
+        d.arm_faults(plan.alloc_injector());
+        assert!(d.faults_armed());
+        d.begin_step(0);
+        let err = d.alloc(10, MemoryCategory::Blocks).unwrap_err();
+        assert!(err.injected);
+        assert!(err.to_string().contains("injected"));
+        assert_eq!(d.current_bytes(), 0, "injected failure allocates nothing");
+        // Second allocation of the step proceeds normally.
+        assert!(d.alloc(10, MemoryCategory::Blocks).is_ok());
+        let events = d.drain_fault_events();
+        assert_eq!(events.len(), 1);
+        assert!(d.drain_fault_events().is_empty());
+        let injector = d.disarm_faults();
+        assert!(injector.is_some());
+        assert!(!d.faults_armed());
+    }
+
+    #[test]
+    fn disarmed_device_never_injects() {
+        let mut d = Device::new(1000);
+        d.begin_step(0); // no-op without an injector
+        assert!(d.alloc(10, MemoryCategory::Blocks).is_ok());
+        assert!(d.drain_fault_events().is_empty());
     }
 }

@@ -1,0 +1,431 @@
+//! Deterministic fault injection for the simulated accelerator.
+//!
+//! Real GNN training jobs die to transient allocator failures, memory
+//! fragmentation, and link hiccups that a clean simulation never
+//! produces. [`FaultPlan`] describes a reproducible schedule of such
+//! faults; armed onto a [`Device`](crate::Device) /
+//! [`TransferModel`](crate::TransferModel) pair it injects:
+//!
+//! * **spurious allocation failures** — an allocation fails even though
+//!   capacity is available, at a configured probability per allocation;
+//! * **step-scheduled OOMs** — the first allocation of listed step
+//!   indices fails deterministically (for targeted regression tests);
+//! * **capacity jitter** — a per-step random slice of capacity is
+//!   withheld, so allocations near the limit fail early (fragmentation
+//!   stand-in);
+//! * **transfer stalls** — a transfer takes a configured extra delay at
+//!   a configured probability (link contention stand-in).
+//!
+//! All draws come from a [`Pcg64Mcg`] seeded from [`FaultPlan::seed`],
+//! so the same plan over the same workload injects the same faults in
+//! the same order on every run. Every injected fault is recorded as a
+//! [`FaultEvent`] that the training layer drains into its recovery log.
+
+use rand::{Rng, SeedableRng};
+use rand_pcg::Pcg64Mcg;
+
+use std::collections::BTreeSet;
+
+/// Seed-domain separators so the alloc and transfer streams are
+/// independent even though they come from one user-facing seed.
+const ALLOC_STREAM_SALT: u64 = 0xA110_C8ED_FA17_0001;
+const TRANSFER_STREAM_SALT: u64 = 0x7247_5FE2_FA17_0002;
+
+/// A declarative, seedable schedule of injected faults.
+///
+/// The plan itself is inert configuration (cheap to clone, compare, and
+/// log); [`FaultPlan::alloc_injector`] and
+/// [`FaultPlan::transfer_injector`] instantiate the stateful runtime
+/// injectors that devices arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all fault draws. Two runs with equal plans (including
+    /// this seed) and equal workloads observe identical fault sequences.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that any single allocation spuriously
+    /// fails despite available capacity.
+    pub alloc_failure_rate: f64,
+    /// Step indices whose first allocation deterministically fails
+    /// (independent of `alloc_failure_rate`).
+    pub oom_steps: Vec<usize>,
+    /// Fraction of device capacity in `[0, 1]` that may be withheld
+    /// each step: the withheld amount is drawn uniformly from
+    /// `[0, capacity_jitter * capacity]` at every step boundary.
+    pub capacity_jitter: f64,
+    /// Probability in `[0, 1]` that a transfer stalls.
+    pub transfer_stall_rate: f64,
+    /// Extra seconds a stalled transfer takes.
+    pub transfer_stall_sec: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            alloc_failure_rate: 0.0,
+            oom_steps: Vec::new(),
+            capacity_jitter: 0.0,
+            transfer_stall_rate: 0.0,
+            transfer_stall_sec: 0.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Checks rates and durations are in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("alloc_failure_rate", self.alloc_failure_rate),
+            ("capacity_jitter", self.capacity_jitter),
+            ("transfer_stall_rate", self.transfer_stall_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("{name} must be in [0, 1], got {rate}"));
+            }
+        }
+        if !self.transfer_stall_sec.is_finite() || self.transfer_stall_sec < 0.0 {
+            return Err(format!(
+                "transfer_stall_sec must be finite and non-negative, got {}",
+                self.transfer_stall_sec
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether the plan can never inject anything.
+    pub fn is_noop(&self) -> bool {
+        self.alloc_failure_rate == 0.0
+            && self.oom_steps.is_empty()
+            && self.capacity_jitter == 0.0
+            && self.transfer_stall_rate == 0.0
+    }
+
+    /// Builds the allocation-side injector for this plan.
+    pub fn alloc_injector(&self) -> AllocFaultInjector {
+        AllocFaultInjector {
+            rate: self.alloc_failure_rate,
+            jitter_fraction: self.capacity_jitter,
+            oom_steps: self.oom_steps.iter().copied().collect(),
+            rng: Pcg64Mcg::seed_from_u64(self.seed ^ ALLOC_STREAM_SALT),
+            step: 0,
+            step_fault_pending: false,
+            withheld: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Builds the transfer-side injector for this plan.
+    pub fn transfer_injector(&self) -> TransferFaultInjector {
+        TransferFaultInjector {
+            stall_rate: self.transfer_stall_rate,
+            stall_sec: self.transfer_stall_sec,
+            rng: Pcg64Mcg::seed_from_u64(self.seed ^ TRANSFER_STREAM_SALT),
+            transfers_seen: 0,
+            events: Vec::new(),
+        }
+    }
+}
+
+/// Why an injected allocation failure fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocFaultKind {
+    /// Random failure drawn against
+    /// [`FaultPlan::alloc_failure_rate`].
+    Spurious,
+    /// Deterministic failure from [`FaultPlan::oom_steps`].
+    StepScheduled,
+    /// Capacity withheld by jitter made the allocation not fit.
+    CapacityJitter,
+}
+
+/// One injected fault, as recorded for the recovery log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// An allocation was made to fail.
+    AllocFailure {
+        /// Step index active when the fault fired.
+        step: usize,
+        /// Bytes the allocation requested.
+        requested: usize,
+        /// Which mechanism fired.
+        kind: AllocFaultKind,
+    },
+    /// A transfer was stalled.
+    TransferStall {
+        /// Zero-based index of the transfer within this injector's life.
+        transfer_index: u64,
+        /// Extra seconds added.
+        stall_sec: f64,
+    },
+}
+
+/// Runtime state injecting allocation faults into a
+/// [`Device`](crate::Device).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocFaultInjector {
+    rate: f64,
+    jitter_fraction: f64,
+    oom_steps: BTreeSet<usize>,
+    rng: Pcg64Mcg,
+    step: usize,
+    step_fault_pending: bool,
+    withheld: usize,
+    events: Vec<FaultEvent>,
+}
+
+impl AllocFaultInjector {
+    /// Marks a step boundary: arms any scheduled step fault and redraws
+    /// the capacity withheld by jitter for this step.
+    pub(crate) fn begin_step(&mut self, step: usize, capacity: usize) {
+        self.step = step;
+        self.step_fault_pending = self.oom_steps.contains(&step);
+        self.withheld = if self.jitter_fraction > 0.0 {
+            let max_withheld = self.jitter_fraction * capacity as f64;
+            (self.rng.gen::<f64>() * max_withheld) as usize
+        } else {
+            0
+        };
+    }
+
+    /// Decides whether the allocation of `bytes` (with `current` in use
+    /// of `capacity`) should be made to fail; records the event if so.
+    pub(crate) fn check_alloc(
+        &mut self,
+        bytes: usize,
+        current: usize,
+        capacity: usize,
+    ) -> Option<AllocFaultKind> {
+        let kind = if self.step_fault_pending {
+            self.step_fault_pending = false;
+            Some(AllocFaultKind::StepScheduled)
+        } else if self.rate > 0.0 && self.rng.gen_bool(self.rate) {
+            Some(AllocFaultKind::Spurious)
+        } else if self.withheld > 0
+            && current.saturating_add(bytes) > capacity.saturating_sub(self.withheld)
+        {
+            Some(AllocFaultKind::CapacityJitter)
+        } else {
+            None
+        };
+        if let Some(kind) = kind {
+            self.events.push(FaultEvent::AllocFailure {
+                step: self.step,
+                requested: bytes,
+                kind,
+            });
+        }
+        kind
+    }
+
+    /// Removes and returns every event recorded since the last drain.
+    pub fn drain_events(&mut self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Number of events currently recorded (not yet drained).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// Runtime state injecting stalls into a
+/// [`TransferModel`](crate::TransferModel).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferFaultInjector {
+    stall_rate: f64,
+    stall_sec: f64,
+    rng: Pcg64Mcg,
+    transfers_seen: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl TransferFaultInjector {
+    /// Decides whether this transfer stalls; returns the extra seconds
+    /// and records the event if so.
+    pub(crate) fn check_transfer(&mut self) -> Option<f64> {
+        let index = self.transfers_seen;
+        self.transfers_seen += 1;
+        if self.stall_rate > 0.0 && self.rng.gen_bool(self.stall_rate) {
+            self.events.push(FaultEvent::TransferStall {
+                transfer_index: index,
+                stall_sec: self.stall_sec,
+            });
+            Some(self.stall_sec)
+        } else {
+            None
+        }
+    }
+
+    /// Removes and returns every event recorded since the last drain.
+    pub fn drain_events(&mut self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Number of events currently recorded (not yet drained).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            alloc_failure_rate: 0.3,
+            oom_steps: vec![2],
+            capacity_jitter: 0.5,
+            transfer_stall_rate: 0.25,
+            transfer_stall_sec: 1e-3,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_default_and_rejects_bad_rates() {
+        assert!(FaultPlan::default().validate().is_ok());
+        assert!(plan(1).validate().is_ok());
+        let bad = FaultPlan {
+            alloc_failure_rate: 1.5,
+            ..FaultPlan::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("alloc_failure_rate"));
+        let bad = FaultPlan {
+            transfer_stall_sec: f64::NAN,
+            ..FaultPlan::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn noop_detection() {
+        assert!(FaultPlan::default().is_noop());
+        assert!(!plan(0).is_noop());
+        let steps_only = FaultPlan {
+            oom_steps: vec![5],
+            ..FaultPlan::default()
+        };
+        assert!(!steps_only.is_noop());
+    }
+
+    #[test]
+    fn same_seed_injects_identical_sequences() {
+        let run = |seed: u64| {
+            let mut inj = plan(seed).alloc_injector();
+            let mut outcomes = Vec::new();
+            for step in 0..6 {
+                inj.begin_step(step, 1000);
+                for _ in 0..4 {
+                    outcomes.push(inj.check_alloc(200, 300, 1000));
+                }
+            }
+            (outcomes, inj.drain_events())
+        };
+        let (a_out, a_ev) = run(9);
+        let (b_out, b_ev) = run(9);
+        assert_eq!(a_out, b_out);
+        assert_eq!(a_ev, b_ev);
+        let (c_out, _) = run(10);
+        assert_ne!(a_out, c_out, "different seeds should diverge");
+    }
+
+    #[test]
+    fn step_scheduled_fault_fires_once_on_first_alloc() {
+        let p = FaultPlan {
+            oom_steps: vec![1],
+            ..FaultPlan::default()
+        };
+        let mut inj = p.alloc_injector();
+        inj.begin_step(0, 1000);
+        assert_eq!(inj.check_alloc(10, 0, 1000), None);
+        inj.begin_step(1, 1000);
+        assert_eq!(
+            inj.check_alloc(10, 0, 1000),
+            Some(AllocFaultKind::StepScheduled)
+        );
+        assert_eq!(inj.check_alloc(10, 0, 1000), None, "fires only once");
+        inj.begin_step(2, 1000);
+        assert_eq!(inj.check_alloc(10, 0, 1000), None);
+        let events = inj.drain_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0],
+            FaultEvent::AllocFailure {
+                step: 1,
+                requested: 10,
+                kind: AllocFaultKind::StepScheduled,
+            }
+        );
+        assert_eq!(inj.pending_events(), 0, "drain empties the queue");
+    }
+
+    #[test]
+    fn zero_rate_plan_never_draws_or_fires() {
+        let mut inj = FaultPlan::default().alloc_injector();
+        let pristine = inj.clone();
+        for step in 0..10 {
+            inj.begin_step(step, 100);
+            for _ in 0..8 {
+                assert_eq!(inj.check_alloc(50, 40, 100), None);
+            }
+        }
+        assert!(inj.drain_events().is_empty());
+        // No randomness consumed: generator state is untouched.
+        assert_eq!(inj.rng, pristine.rng);
+    }
+
+    #[test]
+    fn capacity_jitter_only_bites_near_the_limit() {
+        let p = FaultPlan {
+            capacity_jitter: 0.5,
+            seed: 3,
+            ..FaultPlan::default()
+        };
+        let mut inj = p.alloc_injector();
+        let mut jitter_faults = 0;
+        for step in 0..64 {
+            inj.begin_step(step, 1000);
+            // Tiny allocation far from the limit: never faulted.
+            assert_eq!(inj.check_alloc(10, 0, 1000), None);
+            // Allocation crossing into the withheld band may fault.
+            if inj.check_alloc(400, 550, 1000).is_some() {
+                jitter_faults += 1;
+            }
+        }
+        assert!(jitter_faults > 0, "expected some jitter faults in 64 steps");
+        assert!(jitter_faults < 64, "jitter must not fire every step");
+        assert!(inj
+            .drain_events()
+            .iter()
+            .all(|e| matches!(
+                e,
+                FaultEvent::AllocFailure {
+                    kind: AllocFaultKind::CapacityJitter,
+                    ..
+                }
+            )));
+    }
+
+    #[test]
+    fn transfer_stalls_are_seeded_and_recorded() {
+        let run = |seed: u64| {
+            let mut inj = plan(seed).transfer_injector();
+            let stalls: Vec<Option<f64>> =
+                (0..40).map(|_| inj.check_transfer()).collect();
+            (stalls, inj.drain_events())
+        };
+        let (a, a_ev) = run(4);
+        let (b, b_ev) = run(4);
+        assert_eq!(a, b);
+        assert_eq!(a_ev, b_ev);
+        let stalled = a.iter().flatten().count();
+        assert!(stalled > 0, "rate 0.25 over 40 transfers should stall some");
+        assert_eq!(a_ev.len(), stalled);
+        assert!(a.iter().flatten().all(|&s| s == 1e-3));
+    }
+}

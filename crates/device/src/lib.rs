@@ -34,10 +34,14 @@
 
 mod device;
 mod estimator;
+mod fault;
 mod transfer;
 
 pub use device::{AllocationId, Device, MemoryCategory, OomError};
 pub use estimator::{AggregatorKind, MemoryEstimate, MemoryEstimator, ModelShape};
+pub use fault::{
+    AllocFaultInjector, AllocFaultKind, FaultEvent, FaultPlan, TransferFaultInjector,
+};
 pub use transfer::TransferModel;
 
 /// Bytes per stored value (`f32` everywhere in this reproduction).

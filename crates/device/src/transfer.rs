@@ -1,3 +1,5 @@
+use crate::fault::{FaultEvent, TransferFaultInjector};
+
 /// Host→device transfer cost model.
 ///
 /// Approximates a PCIe link as fixed per-transfer latency plus
@@ -11,6 +13,8 @@ pub struct TransferModel {
     total_bytes: u64,
     total_time_sec: f64,
     num_transfers: u64,
+    total_stall_sec: f64,
+    faults: Option<TransferFaultInjector>,
 }
 
 impl TransferModel {
@@ -30,6 +34,8 @@ impl TransferModel {
             total_bytes: 0,
             total_time_sec: 0.0,
             num_transfers: 0,
+            total_stall_sec: 0.0,
+            faults: None,
         }
     }
 
@@ -43,9 +49,14 @@ impl TransferModel {
         self.latency_sec + bytes as f64 / self.bandwidth_bytes_per_sec
     }
 
-    /// Records a transfer and returns its simulated duration in seconds.
+    /// Records a transfer and returns its simulated duration in seconds,
+    /// including any injected stall.
     pub fn transfer(&mut self, bytes: usize) -> f64 {
-        let t = self.time_for(bytes);
+        let mut t = self.time_for(bytes);
+        if let Some(stall) = self.faults.as_mut().and_then(TransferFaultInjector::check_transfer) {
+            t += stall;
+            self.total_stall_sec += stall;
+        }
         self.total_bytes += bytes as u64;
         self.total_time_sec += t;
         self.num_transfers += 1;
@@ -67,11 +78,39 @@ impl TransferModel {
         self.num_transfers
     }
 
-    /// Clears accumulated counters (per-epoch reporting).
+    /// Simulated seconds spent in injected stalls so far.
+    pub fn total_stall_sec(&self) -> f64 {
+        self.total_stall_sec
+    }
+
+    /// Clears accumulated counters (per-epoch reporting). Armed fault
+    /// injectors keep their state: counters are reporting-side only.
     pub fn reset(&mut self) {
         self.total_bytes = 0;
         self.total_time_sec = 0.0;
         self.num_transfers = 0;
+        self.total_stall_sec = 0.0;
+    }
+
+    /// Arms stall injection: subsequent transfers consult `injector`.
+    /// Replaces any previously armed injector.
+    pub fn arm_faults(&mut self, injector: TransferFaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// Disarms stall injection, returning the injector (with any
+    /// undrained events) if one was armed.
+    pub fn disarm_faults(&mut self) -> Option<TransferFaultInjector> {
+        self.faults.take()
+    }
+
+    /// Removes and returns stall events recorded since the last drain.
+    /// Empty when no injector is armed.
+    pub fn drain_fault_events(&mut self) -> Vec<FaultEvent> {
+        self.faults
+            .as_mut()
+            .map(TransferFaultInjector::drain_events)
+            .unwrap_or_default()
     }
 }
 
@@ -120,5 +159,27 @@ mod tests {
     #[should_panic(expected = "bandwidth must be positive")]
     fn zero_bandwidth_rejected() {
         TransferModel::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn injected_stalls_add_time_and_are_reported() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan {
+            seed: 5,
+            transfer_stall_rate: 1.0,
+            transfer_stall_sec: 0.5,
+            ..FaultPlan::default()
+        };
+        let mut m = TransferModel::new(1e9, 0.0);
+        m.arm_faults(plan.transfer_injector());
+        let t = m.transfer(1_000);
+        assert!(t >= 0.5, "stall must lengthen the transfer, got {t}");
+        assert!((m.total_stall_sec() - 0.5).abs() < 1e-12);
+        assert_eq!(m.drain_fault_events().len(), 1);
+        m.reset();
+        assert_eq!(m.total_stall_sec(), 0.0);
+        assert!(m.disarm_faults().is_some());
+        let clean = m.transfer(1_000);
+        assert!(clean < 0.5, "disarmed transfers are stall-free");
     }
 }

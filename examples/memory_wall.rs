@@ -6,7 +6,7 @@
 //! cargo run --release --bin memory_wall
 //! ```
 
-use betty::{ExperimentConfig, Runner, StrategyKind, TrainError};
+use betty::{ExperimentConfig, Runner, StrategyKind};
 use betty_data::DatasetSpec;
 use betty_nn::AggregatorSpec;
 
@@ -53,8 +53,8 @@ fn main() {
 
     let mut naive = Runner::new(&dataset, &config, 0);
     match naive.train_epoch_betty(&dataset, StrategyKind::Betty, 1) {
-        Err(TrainError::Oom(e)) => {
-            println!("full-batch training: OOM ({e})");
+        Err(e) => {
+            println!("full-batch training: {e}");
         }
         Ok(_) => println!("full-batch training unexpectedly fit"),
     }

@@ -1,7 +1,7 @@
 //! Estimator-vs-ledger agreement (the basis of Table 7) and OOM behaviour
 //! (the basis of Figs. 2 and 10).
 
-use betty::{ExperimentConfig, ModelKind, Runner, StrategyKind, TrainError};
+use betty::{ExperimentConfig, ModelKind, Runner, StrategyKind};
 use betty_data::{Dataset, DatasetSpec};
 use betty_device::gib;
 use betty_nn::AggregatorSpec;
@@ -90,8 +90,8 @@ fn tight_capacity_triggers_oom_and_betty_rescues_it() {
     // Full-batch training OOMs…
     let mut full_runner = Runner::new(&ds, &tight, 0);
     match full_runner.train_epoch_betty(&ds, StrategyKind::Betty, 1) {
-        Err(TrainError::Oom(_)) => {}
-        other => panic!("expected OOM, got {other:?}"),
+        Err(e) => assert!(e.oom().is_some(), "expected OOM, got {e:?}"),
+        Ok(other) => panic!("expected OOM, got {other:?}"),
     }
     // …while the memory-aware loop finds a K that fits and trains.
     let mut auto_runner = Runner::new(&ds, &tight, 0);

@@ -1,0 +1,198 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the API surface the workspace's benches use — `Criterion`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros (both the plain and the
+//! named-field forms). Instead of statistical sampling it times a fixed
+//! number of iterations and prints the mean, which is enough to run the
+//! benches and eyeball relative cost without any plotting dependencies.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped. Accepted for API compatibility; this
+/// stand-in regenerates the input every iteration regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+/// Benchmark driver. Each `bench_function` call runs its closure once,
+/// which in turn times `sample_size` iterations of the routine.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: self.sample_size as u64,
+            total: Duration::ZERO,
+            timed_iters: 0,
+        };
+        f(&mut bencher);
+        let mean_ns = if bencher.timed_iters > 0 {
+            bencher.total.as_nanos() / bencher.timed_iters as u128
+        } else {
+            0
+        };
+        println!(
+            "bench {id:<40} {mean_ns:>12} ns/iter ({} iters)",
+            bencher.timed_iters
+        );
+        self
+    }
+}
+
+/// Times the routine passed by the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    /// Times `iters` runs of `routine` back to back.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.timed_iters += self.iters;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, O, S, R>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.timed_iters += 1;
+        }
+    }
+}
+
+/// Defines a benchmark group function. Supports both the positional form
+/// `criterion_group!(name, target, ...)` and the named-field form with
+/// `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_target(c: &mut Criterion) {
+        c.bench_function("trivial", |b| b.iter(|| 2 + 2));
+    }
+
+    criterion_group! {
+        name = group_named;
+        config = Criterion::default().sample_size(4);
+        targets = trivial_target
+    }
+
+    criterion_group!(group_plain, trivial_target);
+
+    #[test]
+    fn both_group_forms_run() {
+        group_named();
+        group_plain();
+    }
+
+    #[test]
+    fn sample_size_sets_iteration_count() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut calls = 0u64;
+        c.bench_function("counting", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| {
+                    runs += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 3);
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(7u32), 7);
+    }
+}

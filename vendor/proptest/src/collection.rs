@@ -1,0 +1,93 @@
+//! Collection strategies (`vec`) and the size specification they take.
+
+use std::ops::Range;
+
+use rand::Rng;
+use rand_pcg::Pcg64Mcg;
+
+use crate::strategy::Strategy;
+
+/// Number of elements to generate: either exact or a half-open range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length
+/// is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut Pcg64Mcg) -> Vec<S::Value> {
+        let len = if self.size.max_exclusive <= self.size.min + 1 {
+            self.size.min
+        } else {
+            rng.gen_range(self.size.min..self.size.max_exclusive)
+        };
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_size() {
+        let mut rng = Pcg64Mcg::seed_from_u64(0);
+        let v = vec(0usize..10, 6).new_value(&mut rng);
+        assert_eq!(v.len(), 6);
+        assert!(v.iter().all(|&x| x < 10));
+    }
+
+    #[test]
+    fn ranged_size() {
+        let mut rng = Pcg64Mcg::seed_from_u64(0);
+        let strat = vec(0usize..10, 3..9);
+        for _ in 0..50 {
+            let v = strat.new_value(&mut rng);
+            assert!((3..9).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn empty_range_degenerates_to_min() {
+        let mut rng = Pcg64Mcg::seed_from_u64(0);
+        let v = vec(0usize..10, 4..4).new_value(&mut rng);
+        assert_eq!(v.len(), 4);
+    }
+}

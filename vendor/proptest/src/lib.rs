@@ -1,0 +1,129 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and macros the workspace's
+//! property tests use, backed by plain seeded random sampling:
+//! range/tuple/`Just`/`collection::vec` strategies, `prop_map` /
+//! `prop_flat_map`, `ProptestConfig::with_cases`, and the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * no shrinking — a failing case reports its case index and panics;
+//! * cases are drawn from a generator seeded by a stable hash of the
+//!   test name, so runs are deterministic across processes;
+//! * `prop_assert*` are plain `assert*` passthroughs (they panic rather
+//!   than returning `Err`).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Each `fn name(binding in strategy, ...) { .. }`
+/// expands to a `#[test]`-able function that draws `cases` samples.
+#[macro_export]
+macro_rules! proptest {
+    (@body ($cfg:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::case_rng(
+                        stringify!($name),
+                        __case,
+                    );
+                    $(
+                        let $pat = $crate::strategy::Strategy::new_value(
+                            &($strat),
+                            &mut __rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @body ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Passthrough to `assert!` (upstream returns `Err`; we panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Passthrough to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Passthrough to `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (usize, usize)> {
+        (1usize..10).prop_flat_map(|n| (Just(n), 0..n))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(v in 5usize..25, f in -1.0f32..1.0) {
+            prop_assert!((5..25).contains(&v));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn flat_map_threads_dependency((n, k) in arb_pair()) {
+            prop_assert!(k < n);
+        }
+
+        #[test]
+        fn vec_strategy_sizes(
+            exact in crate::collection::vec(0usize..3, 7),
+            ranged in crate::collection::vec(0usize..3, 2..5),
+        ) {
+            prop_assert_eq!(exact.len(), 7);
+            prop_assert!((2..5).contains(&ranged.len()));
+        }
+
+        #[test]
+        fn map_applies(x in (0usize..4).prop_map(|v| v * 10)) {
+            prop_assert!(x % 10 == 0);
+            prop_assert!(x < 40);
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::RngCore;
+        let mut a = crate::test_runner::case_rng("t", 3);
+        let mut b = crate::test_runner::case_rng("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::case_rng("t", 4);
+        let _ = c.next_u64(); // different case: just must not panic
+    }
+}

@@ -1,0 +1,152 @@
+//! Value-generation strategies: the sampling core of the stand-in.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::{Rng, SampleUniform};
+use rand_pcg::Pcg64Mcg;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike upstream (which builds shrinkable value trees), a strategy here
+/// is just a sampler: `new_value` draws one value from the given
+/// generator.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut Pcg64Mcg) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F, O>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            source: self,
+            f,
+            _out: PhantomData,
+        }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F, S>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap {
+            source: self,
+            f,
+            _out: PhantomData,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F, O> {
+    source: S,
+    f: F,
+    _out: PhantomData<fn() -> O>,
+}
+
+impl<S, F, O> Strategy for Map<S, F, O>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut Pcg64Mcg) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F, T> {
+    source: S,
+    f: F,
+    _out: PhantomData<fn() -> T>,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F, T>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn new_value(&self, rng: &mut Pcg64Mcg) -> T::Value {
+        (self.f)(self.source.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut Pcg64Mcg) -> T {
+        self.0.clone()
+    }
+}
+
+/// Half-open ranges sample uniformly (integers unbiased, floats by
+/// scaling a unit sample).
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut Pcg64Mcg) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn new_value(&self, rng: &mut Pcg64Mcg) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tuple_of_ranges_samples_each_component() {
+        let mut rng = Pcg64Mcg::seed_from_u64(1);
+        let strat = (0u32..5, 10u32..20);
+        for _ in 0..100 {
+            let (a, b) = strat.new_value(&mut rng);
+            assert!(a < 5);
+            assert!((10..20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn just_clones() {
+        let mut rng = Pcg64Mcg::seed_from_u64(2);
+        let s = Just(vec![1, 2, 3]);
+        assert_eq!(s.new_value(&mut rng), vec![1, 2, 3]);
+        assert_eq!(s.new_value(&mut rng), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Test-run configuration and deterministic per-case generators.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use rand::SeedableRng;
+use rand_pcg::Pcg64Mcg;
+
+/// Subset of upstream's `ProptestConfig`: only `cases` is honored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Generator for one case of one property: seeded from a stable hash of
+/// the test name mixed with the case index, so every run of every process
+/// draws the same inputs (`DefaultHasher::new` uses fixed keys).
+pub fn case_rng(test_name: &str, case: u32) -> Pcg64Mcg {
+    let mut hasher = DefaultHasher::new();
+    test_name.hash(&mut hasher);
+    let name_hash = hasher.finish();
+    let mixed =
+        name_hash ^ (case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    Pcg64Mcg::seed_from_u64(mixed)
+}

@@ -1,0 +1,160 @@
+//! Slice sampling helpers (the used subset of `rand::seq`).
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates, from the end, matching
+    /// `rand 0.8`'s iteration order).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` if the slice is empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements in random order (the whole slice, in
+    /// random order, when `amount >= len`).
+    fn choose_multiple<'a, R: Rng + ?Sized>(
+        &'a self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'a, Self::Item>;
+}
+
+/// Iterator over elements picked by [`SliceRandom::choose_multiple`].
+#[derive(Debug)]
+pub struct SliceChooseIter<'a, T> {
+    slice: &'a [T],
+    indices: std::vec::IntoIter<usize>,
+}
+
+impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        self.indices.next().map(|i| &self.slice[i])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.indices.size_hint()
+    }
+}
+
+impl<'a, T> ExactSizeIterator for SliceChooseIter<'a, T> {}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = gen_index(rng, i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[gen_index(rng, self.len())])
+        }
+    }
+
+    fn choose_multiple<'a, R: Rng + ?Sized>(
+        &'a self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'a, T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index table: `amount` distinct
+        // positions, each uniform over the remainder.
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = i + gen_index(rng, self.len() - i);
+            indices.swap(i, j);
+        }
+        indices.truncate(amount);
+        SliceChooseIter {
+            slice: self,
+            indices: indices.into_iter(),
+        }
+    }
+}
+
+fn gen_index<R: RngCore + ?Sized>(rng: &mut R, bound: usize) -> usize {
+    rng.gen_range(0..bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+
+    // A tiny splitmix-style generator for the tests.
+    struct Mix(u64);
+    impl crate::RngCore for Mix {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+    impl SeedableRng for Mix {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Mix(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut rng = Mix::seed_from_u64(1);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_subset() {
+        let v: Vec<u32> = (0..20).collect();
+        let mut rng = Mix::seed_from_u64(2);
+        let picked: Vec<u32> = v.choose_multiple(&mut rng, 7).copied().collect();
+        assert_eq!(picked.len(), 7);
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 7, "duplicates in {picked:?}");
+    }
+
+    #[test]
+    fn choose_multiple_caps_at_len() {
+        let v = [1, 2, 3];
+        let mut rng = Mix::seed_from_u64(3);
+        assert_eq!(v.choose_multiple(&mut rng, 10).count(), 3);
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let v: [u8; 0] = [];
+        let mut rng = Mix::seed_from_u64(4);
+        assert!(v.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn shuffle_deterministic_per_seed() {
+        let mut a: Vec<u32> = (0..30).collect();
+        let mut b: Vec<u32> = (0..30).collect();
+        a.shuffle(&mut Mix::seed_from_u64(9));
+        b.shuffle(&mut Mix::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

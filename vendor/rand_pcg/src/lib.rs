@@ -1,0 +1,116 @@
+//! Offline stand-in for `rand_pcg`, implementing [`Pcg64Mcg`]
+//! (PCG XSL-RR 128/64 MCG) with the same state transition, output
+//! function, and seeding as the upstream crate — so explicit seeds
+//! reproduce the upstream sequences bit-for-bit.
+
+use rand::{RngCore, SeedableRng};
+
+const MULTIPLIER: u128 = 0x2360_ED05_1FC6_5DA4_4385_DF64_9FCC_F645;
+
+/// PCG 128-bit multiplicative congruential generator with XSL-RR output,
+/// aka `Mcg128Xsl64` — the workspace's only generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg64Mcg {
+    state: u128,
+}
+
+/// Alias matching the upstream type name.
+pub type Mcg128Xsl64 = Pcg64Mcg;
+
+impl Pcg64Mcg {
+    /// Constructs from a raw state; MCG state must be odd, so the low bit
+    /// is forced (as upstream does).
+    pub fn new(state: u128) -> Self {
+        Self { state: state | 1 }
+    }
+}
+
+impl SeedableRng for Pcg64Mcg {
+    type Seed = [u8; 16];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Pcg64Mcg::new(u128::from_le_bytes(seed))
+    }
+}
+
+#[inline]
+fn output_xsl_rr(state: u128) -> u64 {
+    let rot = (state >> 122) as u32;
+    let xsl = ((state >> 64) as u64) ^ (state as u64);
+    xsl.rotate_right(rot)
+}
+
+impl RngCore for Pcg64Mcg {
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(MULTIPLIER);
+        output_xsl_rr(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn reference_sequence_from_raw_state() {
+        // First outputs of Mcg128Xsl64 seeded with state 42 (computed from
+        // the PCG reference definition: advance then output XSL-RR).
+        let mut rng = Pcg64Mcg::new(42);
+        let first = rng.next_u64();
+        let mut again = Pcg64Mcg::new(42);
+        assert_eq!(first, again.next_u64(), "determinism");
+        // State transition is the 128-bit MCG multiply.
+        let mut manual = 42u128 | 1;
+        manual = manual.wrapping_mul(MULTIPLIER);
+        assert_eq!(first, output_xsl_rr(manual));
+    }
+
+    #[test]
+    fn seed_from_u64_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = Pcg64Mcg::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Pcg64Mcg::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Pcg64Mcg::seed_from_u64(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clone_preserves_stream() {
+        let mut rng = Pcg64Mcg::seed_from_u64(5);
+        rng.next_u64();
+        let mut snap = rng.clone();
+        assert_eq!(rng.next_u64(), snap.next_u64());
+        assert_eq!(rng, snap);
+    }
+
+    #[test]
+    fn drives_rand_frontend() {
+        let mut rng = Pcg64Mcg::seed_from_u64(11);
+        let v = rng.gen_range(0usize..100);
+        assert!(v < 100);
+        let f: f32 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut rng = Pcg64Mcg::seed_from_u64(2);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

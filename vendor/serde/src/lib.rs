@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace declares a `serde` dependency (with the `derive`
+//! feature) but never actually derives or calls into it — JSON output
+//! goes through the vendored `serde_json` value API directly. This crate
+//! exists so manifests resolve offline; the traits are name-compatible
+//! markers.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<T: ?Sized> Serialize for T {}

@@ -1,0 +1,321 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides the value-tree subset the workspace uses to emit experiment
+//! reports: [`Value`], [`Map`], the [`json!`] macro for object literals,
+//! and [`to_string_pretty`]. No serde derive integration — values are
+//! built explicitly. Keys serialize in sorted order (`Map` is a
+//! `BTreeMap`, unlike upstream's insertion-ordered map).
+
+use std::fmt;
+
+/// Object map type. Upstream preserves insertion order; this stand-in
+/// sorts keys, which is stable and good enough for report files.
+pub type Map<K, V> = std::collections::BTreeMap<K, V>;
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+/// Conversion into a [`Value`], by reference — what [`json!`] uses so
+/// object literals can cite fields of a borrowed `self`.
+pub trait ToJson {
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Value {
+        Value::String((*self).to_owned())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (*self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+macro_rules! impl_to_json_num {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+impl_to_json_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Builds a [`Value`] from an object literal or any [`ToJson`] expression.
+///
+/// Supports the forms the workspace uses:
+/// `json!({ "key": expr, ... })`, `json!([expr, ...])`, `json!(expr)`.
+#[macro_export]
+macro_rules! json {
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map: $crate::Map<::std::string::String, $crate::Value> =
+            $crate::Map::new();
+        $( map.insert($key.to_string(), $crate::ToJson::to_json(&$val)); )*
+        $crate::Value::Object(map)
+    }};
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::ToJson::to_json(&$val) ),* ])
+    };
+    (null) => {
+        $crate::Value::Null
+    };
+    ($other:expr) => {
+        $crate::ToJson::to_json(&$other)
+    };
+}
+
+/// Serialization error. This stand-in never actually fails, but keeps the
+/// upstream `Result` signature so call sites are source-compatible.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Pretty-prints with 2-space indentation, like upstream.
+pub fn to_string_pretty<T: ToJson>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json(), 0);
+    Ok(out)
+}
+
+/// Compact single-line serialization.
+pub fn to_string<T: ToJson>(value: &T) -> Result<String, Error> {
+    Ok(compact(&value.to_json()))
+}
+
+fn compact(v: &Value) -> String {
+    let mut out = String::new();
+    match v {
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&compact(item));
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(&mut out, k);
+                out.push(':');
+                out.push_str(&compact(val));
+            }
+            out.push('}');
+        }
+        scalar => write_value(&mut out, scalar, 0),
+    }
+    out
+}
+
+fn write_value(out: &mut String, v: &Value, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                indent(out, depth + 1);
+                write_value(out, item, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                indent(out, depth + 1);
+                write_string(out, k);
+                out.push_str(": ");
+                write_value(out, val, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; upstream errors here, we degrade to null.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_literal_macro() {
+        let id = String::from("exp1");
+        let rows = vec![Value::String("r".into())];
+        let doc = json!({
+            "id": id,
+            "title": "Title",
+            "rows": rows,
+        });
+        match &doc {
+            Value::Object(m) => {
+                assert_eq!(m["id"], Value::String("exp1".into()));
+                assert_eq!(m["title"], Value::String("Title".into()));
+                assert_eq!(
+                    m["rows"],
+                    Value::Array(vec![Value::String("r".into())])
+                );
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        // `id` was borrowed, not moved.
+        assert_eq!(id, "exp1");
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let doc = json!({ "b": 2usize, "a": "x\"y" });
+        let s = to_string_pretty(&doc).unwrap();
+        assert_eq!(s, "{\n  \"a\": \"x\\\"y\",\n  \"b\": 2\n}");
+    }
+
+    #[test]
+    fn numbers_render_integers_without_decimal() {
+        let mut s = String::new();
+        write_number(&mut s, 3.0);
+        assert_eq!(s, "3");
+        s.clear();
+        write_number(&mut s, 3.25);
+        assert_eq!(s, "3.25");
+        s.clear();
+        write_number(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn map_collects_from_iterator() {
+        let obj: Map<String, Value> = [("k".to_string(), Value::Null)]
+            .into_iter()
+            .collect();
+        assert_eq!(to_string(&Value::Object(obj)).unwrap(), "{\"k\":null}");
+    }
+
+    #[test]
+    fn array_and_scalar_macro_forms() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(true), Value::Bool(true));
+        assert_eq!(
+            json!([1usize, 2usize]),
+            Value::Array(vec![Value::Number(1.0), Value::Number(2.0)])
+        );
+    }
+}
