@@ -1,0 +1,149 @@
+//! Extension exhibit: the deterministic parallel batch-preparation
+//! pipeline.
+//!
+//! Three optimizations share the `betty-runtime` thread pool, and this
+//! exhibit measures each one end to end:
+//!
+//! 1. **Sharded REG construction** — the shared-neighbor / dependency REG
+//!    build (`betty-graph::spgemm`) shards destination rows across worker
+//!    threads with per-worker sparse accumulators; the merged CSR is
+//!    bit-identical for every thread count, so the serial-vs-parallel rows
+//!    below are pure wall-clock comparisons of the same output.
+//! 2. **Parallel micro-batch materialization** — all `K` restrictions of
+//!    the sampled batch run concurrently inside planning.
+//! 3. **Double-buffered transfer prefetch** — while micro-batch `i`
+//!    computes, micro-batch `i + 1`'s host→device transfer is staged (and
+//!    charged against the device budget), hiding link time behind compute.
+//!
+//! Speedup columns depend on real cores: on a single-core host the
+//! parallel REG rows hover near 1.0×, while the prefetch rows still show
+//! overlap because transfer time is simulated. The detected core count is
+//! reported with every row so CI artifacts are self-describing.
+
+use std::time::Instant;
+
+use betty::{ExperimentConfig, Runner, StrategyKind};
+use betty_graph::dependency_reg_with_threads;
+use betty_nn::AggregatorSpec;
+
+use crate::presets::bench_dataset;
+use crate::report::Table;
+use crate::Profile;
+
+/// Median wall seconds over `reps` runs of `f`.
+fn time_sec<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut times = Vec::with_capacity(reps);
+    let mut out = None;
+    for _ in 0..reps {
+        let started = Instant::now();
+        out = Some(f());
+        times.push(started.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], out.expect("reps >= 1"))
+}
+
+/// Runs the exhibit.
+pub fn run(profile: Profile) {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let reps = match profile {
+        Profile::Quick => 2,
+        Profile::Full => 3,
+    };
+
+    let mut table = Table::new(
+        "BENCH_pipeline",
+        "parallel batch-preparation pipeline (REG build + prefetched epochs)",
+        &["section", "setting", "time (s)", "baseline (s)", "speedup", "cores"],
+    );
+
+    // --- Sharded REG construction, serial vs forced thread counts. ---
+    let reg_ds = bench_dataset("reddit", profile);
+    let reg_config = ExperimentConfig {
+        fanouts: vec![10, 25],
+        hidden_dim: 32,
+        aggregator: AggregatorSpec::Mean,
+        dropout: 0.0,
+        ..ExperimentConfig::default()
+    };
+    let batch = Runner::new(&reg_ds, &reg_config, 0).sample_full_batch(&reg_ds);
+    let hub_cap = 32;
+    let (serial_sec, serial_reg) =
+        time_sec(reps, || dependency_reg_with_threads(&batch, hub_cap, 1));
+    for threads in [2usize, 4, 8] {
+        let (par_sec, par_reg) =
+            time_sec(reps, || dependency_reg_with_threads(&batch, hub_cap, threads));
+        assert_eq!(
+            serial_reg, par_reg,
+            "REG must be bit-identical at {threads} threads"
+        );
+        table.row(vec![
+            "REG build".to_string(),
+            format!("{threads} threads"),
+            format!("{par_sec:.4}"),
+            format!("{serial_sec:.4}"),
+            format!("{:.2}x", serial_sec / par_sec.max(1e-12)),
+            cores.to_string(),
+        ]);
+    }
+
+    // --- End-to-end epochs: prefetch on vs off at K ∈ {2, 4, 8}. ---
+    let ds = bench_dataset("ogbn-arxiv", profile);
+    let epochs = profile.epochs(4);
+    for k in [2usize, 4, 8] {
+        let mut timings = [0.0f64; 2]; // [off, on]
+        let mut losses = [0u64; 2];
+        let mut overlap = 0.0f64;
+        for (slot, prefetch) in [(0usize, false), (1usize, true)] {
+            let config = ExperimentConfig {
+                fanouts: vec![5, 10],
+                hidden_dim: 32,
+                aggregator: AggregatorSpec::Mean,
+                dropout: 0.0,
+                prefetch,
+                ..ExperimentConfig::default()
+            };
+            let mut runner = Runner::new(&ds, &config, 0);
+            let mut total = 0.0;
+            let mut last_loss = 0.0f64;
+            for _ in 0..epochs {
+                let stats = runner
+                    .train_epoch_betty(&ds, StrategyKind::Betty, k)
+                    .expect("default capacity fits the bench batch");
+                total += stats.total_sec();
+                last_loss = stats.loss;
+                if prefetch {
+                    overlap += stats.prefetch_overlap_sec;
+                }
+            }
+            timings[slot] = total;
+            losses[slot] = last_loss.to_bits();
+        }
+        assert_eq!(
+            losses[0], losses[1],
+            "prefetch must not change the training math at K={k}"
+        );
+        table.row(vec![
+            format!("epoch K={k}"),
+            "prefetch on".to_string(),
+            format!("{:.4}", timings[1]),
+            format!("{:.4}", timings[0]),
+            format!("{:.2}x", timings[0] / timings[1].max(1e-12)),
+            cores.to_string(),
+        ]);
+        println!(
+            "K={k}: {epochs} epochs, {:.4}s transfer time hidden behind compute",
+            overlap
+        );
+    }
+
+    table.finish();
+    println!(
+        "note: REG rows compare identical (bit-equal) outputs; their speedup \
+         tracks the physical core count ({cores} detected here). Prefetch rows \
+         overlap simulated transfer with measured compute, so they improve \
+         even on one core."
+    );
+}

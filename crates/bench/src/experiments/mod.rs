@@ -4,6 +4,7 @@
 pub mod ablation;
 pub mod ext_multi_gpu;
 pub mod ext_overhead;
+pub mod ext_pipeline;
 pub mod ext_recovery;
 pub mod fig02;
 pub mod fig03;
@@ -39,5 +40,6 @@ pub fn run_all(profile: Profile) {
     ablation::run(profile);
     ext_multi_gpu::run(profile);
     ext_overhead::run(profile);
+    ext_pipeline::run(profile);
     ext_recovery::run(profile);
 }

@@ -74,6 +74,7 @@ fn experiment_config(args: &Args) -> Result<ExperimentConfig, Box<dyn Error>> {
             growth: args.get_or("retry-growth", RetryPolicy::default().growth)?,
             headroom: args.get_or("retry-headroom", RetryPolicy::default().headroom)?,
         },
+        prefetch: !args.has_flag("no-prefetch"),
         ..ExperimentConfig::default()
     };
     config.validate().map_err(ArgError)?;

@@ -37,6 +37,15 @@ COMMANDS:
   eval       exact full-graph accuracy       --data <file> --checkpoint
              <file> [--model ...same shape flags as train]
 
+GLOBAL FLAGS (accepted by every command, after the command name):
+  --threads N    worker threads for parallel stages (REG build, micro-batch
+                 extraction, large matmuls); 1 is exactly serial. Defaults
+                 to the BETTY_THREADS env var, then the core count. Every
+                 thread count produces bit-identical results.
+  --no-prefetch  disable double-buffered transfer prefetch during training
+                 (prefetch is on by default; losses are identical either
+                 way, only timing and the device-memory schedule change)
+
 Presets: cora, pubmed, reddit, ogbn-arxiv, ogbn-products.
 
 EXIT CODES: 0 success, 1 usage/IO error, 2 no partitioning fits the
@@ -57,6 +66,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // --threads pins the worker-thread count for every parallel stage
+    // before any command runs; 0 (the default) keeps the BETTY_THREADS /
+    // core-count resolution.
+    match parsed.get_or("threads", 0usize) {
+        Ok(0) => {}
+        Ok(n) => betty_runtime::set_thread_override(Some(n)),
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
     let result = match command.as_str() {
         "generate" => commands::generate(&parsed),
         "info" => commands::info(&parsed),

@@ -51,6 +51,12 @@ pub struct ExperimentConfig {
     /// [`Runner::train_epoch_auto_recovering`](crate::Runner::train_epoch_auto_recovering)
     /// and [`fit`](crate::fit()).
     pub retry: RetryPolicy,
+    /// Double-buffered prefetch: stage micro-batch `i + 1`'s host→device
+    /// transfer while micro-batch `i` computes. The staging buffer is
+    /// charged against the device budget and accounted by the memory-aware
+    /// planner; losses are bit-identical either way (only timing and the
+    /// memory schedule change). The CLI exposes this as `--no-prefetch`.
+    pub prefetch: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -67,6 +73,7 @@ impl Default for ExperimentConfig {
             max_partitions: 512,
             fault_plan: None,
             retry: RetryPolicy::default(),
+            prefetch: true,
         }
     }
 }

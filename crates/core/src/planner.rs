@@ -88,6 +88,7 @@ pub struct MemoryAwarePlanner {
     estimator: MemoryEstimator,
     capacity_bytes: usize,
     max_partitions: usize,
+    prefetch_staging: bool,
 }
 
 impl MemoryAwarePlanner {
@@ -98,7 +99,21 @@ impl MemoryAwarePlanner {
             estimator,
             capacity_bytes,
             max_partitions,
+            prefetch_staging: false,
         }
+    }
+
+    /// Makes the planner account for double-buffered prefetch: every
+    /// micro-batch except the last additionally holds its successor's
+    /// transfer bytes (blocks + input features + labels) while it
+    /// executes, so each estimate's
+    /// [`prefetch_staging`](MemoryEstimate::prefetch_staging) term is
+    /// filled in and the capacity loop sizes `K` for the overlap buffer
+    /// too. Single-micro-batch plans never stage anything and are
+    /// unaffected.
+    pub fn with_prefetch_staging(mut self, enabled: bool) -> Self {
+        self.prefetch_staging = enabled;
+        self
     }
 
     /// The estimator in use.
@@ -122,12 +137,24 @@ impl MemoryAwarePlanner {
             .collect();
         let partition_sec = started.elapsed().as_secs_f64();
         let extract_started = std::time::Instant::now();
-        let micro_batches: Vec<Batch> = parts.iter().map(|p| batch.restrict(p)).collect();
+        // Each restriction reads the shared batch and writes its own
+        // micro-batch, so all K materialize concurrently; results come
+        // back in part order, identical to the serial loop.
+        let micro_batches: Vec<Batch> = betty_runtime::parallel_map(
+            parts.len(),
+            betty_runtime::configured_threads(),
+            |i| batch.restrict(&parts[i]),
+        );
         let extraction_sec = extract_started.elapsed().as_secs_f64();
-        let estimates: Vec<MemoryEstimate> = micro_batches
+        let mut estimates: Vec<MemoryEstimate> = micro_batches
             .iter()
             .map(|mb| self.estimator.estimate(mb))
             .collect();
+        if self.prefetch_staging {
+            for i in 0..estimates.len().saturating_sub(1) {
+                estimates[i].prefetch_staging = estimates[i + 1].transfer_bytes();
+            }
+        }
         Plan {
             k,
             parts,
@@ -331,6 +358,50 @@ mod tests {
             .plan(&batch(), &RegPartitioner::new(0), 500)
             .unwrap();
         assert!(plan.micro_batches.len() <= 8);
+    }
+
+    #[test]
+    fn prefetch_staging_charges_each_successors_transfer() {
+        let plain = MemoryAwarePlanner::new(estimator(), usize::MAX, 64);
+        let staged = plain.clone().with_prefetch_staging(true);
+        let strategy = RegPartitioner::new(0);
+        let base = plain.plan_fixed(&batch(), &strategy, 4);
+        let plan = staged.plan_fixed(&batch(), &strategy, 4);
+        let k = plan.estimates.len();
+        assert!(k >= 2);
+        for i in 0..k - 1 {
+            assert_eq!(
+                plan.estimates[i].prefetch_staging,
+                base.estimates[i + 1].transfer_bytes(),
+                "micro-batch {i} must hold its successor's transfer"
+            );
+            assert_eq!(
+                plan.estimates[i].peak_bytes(),
+                base.estimates[i].peak_bytes() + plan.estimates[i].prefetch_staging
+            );
+        }
+        // The last micro-batch stages nothing; K = 1 plans are untouched.
+        assert_eq!(plan.estimates[k - 1].prefetch_staging, 0);
+        let single = staged.plan_fixed(&batch(), &strategy, 1);
+        assert_eq!(single.estimates[0].prefetch_staging, 0);
+    }
+
+    #[test]
+    fn parallel_restrict_matches_serial_exactly() {
+        let planner = MemoryAwarePlanner::new(estimator(), usize::MAX, 64);
+        let strategy = RegPartitioner::new(0);
+        betty_runtime::set_thread_override(Some(1));
+        let serial = planner.plan_fixed(&batch(), &strategy, 4);
+        for threads in [2, 3, 8] {
+            betty_runtime::set_thread_override(Some(threads));
+            let parallel = planner.plan_fixed(&batch(), &strategy, 4);
+            assert_eq!(serial.parts, parallel.parts);
+            assert_eq!(
+                serial.micro_batches, parallel.micro_batches,
+                "{threads} threads must materialize identical micro-batches"
+            );
+        }
+        betty_runtime::set_thread_override(None);
     }
 
     #[test]

@@ -196,7 +196,8 @@ impl Runner {
         };
         let estimator = MemoryEstimator::new(shape).with_lstm_constant(LSTM_TAPE_CONSTANT);
         let planner =
-            MemoryAwarePlanner::new(estimator, config.capacity_bytes, config.max_partitions);
+            MemoryAwarePlanner::new(estimator, config.capacity_bytes, config.max_partitions)
+                .with_prefetch_staging(config.prefetch);
         let mut trainer = Trainer::new(
             model,
             config.learning_rate,
@@ -283,6 +284,24 @@ impl Runner {
             .plan(batch, build_strategy(strategy, self.seed).as_ref(), 1)
     }
 
+    /// Runs one gradient-accumulated epoch over pre-built micro-batches,
+    /// double-buffering host→device transfers when
+    /// [`ExperimentConfig::prefetch`] is on (the default). Both paths
+    /// produce bit-identical losses; prefetch only changes timing and the
+    /// device-memory schedule.
+    fn run_micro_batches(
+        &mut self,
+        dataset: &Dataset,
+        micro_batches: &[Batch],
+    ) -> Result<EpochStats, TrainError> {
+        if self.config.prefetch {
+            self.trainer
+                .micro_batch_epoch_prefetched(dataset, micro_batches)
+        } else {
+            self.trainer.micro_batch_epoch(dataset, micro_batches)
+        }
+    }
+
     /// One epoch of micro-batch training with a fixed partition count.
     ///
     /// # Errors
@@ -296,9 +315,7 @@ impl Runner {
     ) -> Result<EpochStats, TrainError> {
         let batch = self.sample_full_batch(dataset);
         let plan = self.plan_fixed(&batch, strategy, k);
-        let mut stats = self
-            .trainer
-            .micro_batch_epoch(dataset, &plan.micro_batches)?;
+        let mut stats = self.run_micro_batches(dataset, &plan.micro_batches)?;
         stats.host_bytes = host_staging_bytes(dataset, &plan.micro_batches)
             + batch.total_edges() * 3 * betty_device::BYTES_PER_VALUE;
         Ok(stats)
@@ -317,7 +334,7 @@ impl Runner {
     ) -> Result<(EpochStats, usize), RunError> {
         let batch = self.sample_full_batch(dataset);
         let plan = self.plan_auto(&batch, strategy)?;
-        let mut stats = self.trainer.micro_batch_epoch(dataset, &plan.micro_batches)?;
+        let mut stats = self.run_micro_batches(dataset, &plan.micro_batches)?;
         stats.host_bytes = host_staging_bytes(dataset, &plan.micro_batches)
             + batch.total_edges() * 3 * betty_device::BYTES_PER_VALUE;
         Ok((stats, plan.micro_batches.len()))
@@ -386,7 +403,7 @@ impl Runner {
                 },
             };
             let k = plan.micro_batches.len();
-            match self.trainer.micro_batch_epoch(dataset, &plan.micro_batches) {
+            match self.run_micro_batches(dataset, &plan.micro_batches) {
                 Ok(mut stats) => {
                     for event in self.trainer.drain_fault_events() {
                         injected_faults += 1;
@@ -457,7 +474,7 @@ impl Runner {
         dataset: &Dataset,
         micro_batches: &[Batch],
     ) -> Result<EpochStats, TrainError> {
-        let mut stats = self.trainer.micro_batch_epoch(dataset, micro_batches)?;
+        let mut stats = self.run_micro_batches(dataset, micro_batches)?;
         stats.host_bytes = host_staging_bytes(dataset, micro_batches);
         Ok(stats)
     }
@@ -500,13 +517,15 @@ impl Runner {
         }
         let cache = self.cached_parts.as_mut().expect("just ensured");
         cache.epochs_used += 1;
-        let micro_batches: Vec<Batch> = cache
-            .parts
-            .iter()
-            .filter(|p| !p.is_empty())
-            .map(|p| batch.restrict(p))
-            .collect();
-        let mut stats = self.trainer.micro_batch_epoch(dataset, &micro_batches)?;
+        // Restrict all K parts concurrently (same order-preserving helper
+        // the planner uses; results are identical to the serial loop).
+        let active: Vec<&Vec<NodeId>> = cache.parts.iter().filter(|p| !p.is_empty()).collect();
+        let micro_batches: Vec<Batch> = betty_runtime::parallel_map(
+            active.len(),
+            betty_runtime::configured_threads(),
+            |i| batch.restrict(active[i]),
+        );
+        let mut stats = self.run_micro_batches(dataset, &micro_batches)?;
         stats.host_bytes = host_staging_bytes(dataset, &micro_batches)
             + batch.total_edges() * 3 * betty_device::BYTES_PER_VALUE;
         Ok((stats, fresh))
@@ -788,6 +807,80 @@ mod tests {
             "no retries attempted → plain Train error, got {err:?}"
         );
         assert_eq!(log.oom_retries(), 0);
+    }
+
+    #[test]
+    fn prefetch_toggle_does_not_change_losses() {
+        let ds = dataset();
+        let on_cfg = config();
+        assert!(on_cfg.prefetch, "prefetch is the default");
+        let off_cfg = ExperimentConfig {
+            prefetch: false,
+            ..config()
+        };
+        let mut on = Runner::new(&ds, &on_cfg, 0);
+        let mut off = Runner::new(&ds, &off_cfg, 0);
+        for epoch in 0..3 {
+            let a = on.train_epoch_betty(&ds, StrategyKind::Betty, 3).unwrap();
+            let b = off.train_epoch_betty(&ds, StrategyKind::Betty, 3).unwrap();
+            assert_eq!(
+                a.loss.to_bits(),
+                b.loss.to_bits(),
+                "epoch {epoch}: prefetch must only change timing"
+            );
+            assert_eq!(b.prefetch_overlap_sec, 0.0);
+            assert!(a.transfer_sec <= b.transfer_sec + 1e-12);
+        }
+    }
+
+    #[test]
+    fn fault_mid_prefetched_epoch_leaves_ledger_drained() {
+        use betty_device::FaultPlan;
+        let ds = dataset();
+        let cfg = ExperimentConfig {
+            // Step 0 stages step 1's transfer; the fault then kills step 1,
+            // which must drop the staged charge along with everything else.
+            fault_plan: Some(FaultPlan {
+                oom_steps: vec![1],
+                ..FaultPlan::default()
+            }),
+            ..config()
+        };
+        assert!(cfg.prefetch);
+        let mut runner = Runner::new(&ds, &cfg, 0);
+        let err = runner
+            .train_epoch_betty(&ds, StrategyKind::Betty, 3)
+            .unwrap_err();
+        assert!(err.is_injected());
+        assert_eq!(
+            runner.trainer().device().current_bytes(),
+            0,
+            "failure in a prefetched epoch must leave no staged charge behind"
+        );
+        // The next epoch trains through cleanly on the drained device.
+        runner.train_epoch_betty(&ds, StrategyKind::Betty, 3).unwrap();
+    }
+
+    #[test]
+    fn recovering_epoch_with_prefetch_still_escalates_and_recovers() {
+        use crate::recovery::RecoveryLog;
+        use betty_device::FaultPlan;
+        let ds = dataset();
+        let cfg = ExperimentConfig {
+            fault_plan: Some(FaultPlan {
+                oom_steps: vec![0],
+                ..FaultPlan::default()
+            }),
+            ..config()
+        };
+        assert!(cfg.prefetch);
+        let mut runner = Runner::new(&ds, &cfg, 0);
+        let mut log = RecoveryLog::new();
+        let (stats, _k) = runner
+            .train_epoch_auto_recovering(&ds, StrategyKind::Betty, &mut log)
+            .expect("recovery must work with prefetch enabled");
+        assert_eq!(stats.oom_retries, 1);
+        assert_eq!(runner.trainer().device().current_bytes(), 0);
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub struct EpochStats {
     /// Injected fault events observed during this epoch (0 without an
     /// armed [`betty_device::FaultPlan`]).
     pub injected_faults: usize,
+    /// Simulated transfer seconds hidden behind compute by the
+    /// double-buffered prefetch executor (0 without prefetch). The epoch's
+    /// `transfer_sec` already excludes this, so
+    /// `transfer_sec + prefetch_overlap_sec` is what a prefetch-less run
+    /// would have paid on the link.
+    pub prefetch_overlap_sec: f64,
 }
 
 impl EpochStats {

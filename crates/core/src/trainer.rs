@@ -7,7 +7,10 @@ use rand::SeedableRng;
 use rand_pcg::Pcg64Mcg;
 
 use betty_data::Dataset;
-use betty_device::{Device, FaultEvent, FaultPlan, OomError, TransferModel, BYTES_PER_VALUE};
+use betty_device::{
+    AllocationId, Device, FaultEvent, FaultPlan, MemoryCategory, OomError, TransferModel,
+    BYTES_PER_VALUE,
+};
 use betty_graph::Batch;
 use betty_nn::{zero_grads, Adam, GnnModel, Optimizer, Param, Session};
 use betty_tensor::{segment, Reduction};
@@ -21,6 +24,9 @@ pub enum StepPhase {
     /// Charging static tensors (parameters, optimizer state, blocks,
     /// input features, labels).
     StaticCharge,
+    /// Staging the *next* micro-batch's host→device transfer (the
+    /// double-buffered prefetch allocation).
+    Prefetch,
     /// Charging forward activations (hidden outputs + aggregator
     /// workspace).
     Forward,
@@ -32,6 +38,7 @@ impl fmt::Display for StepPhase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
             StepPhase::StaticCharge => "static charge",
+            StepPhase::Prefetch => "prefetch staging",
             StepPhase::Forward => "forward",
             StepPhase::Backward => "backward",
         })
@@ -121,6 +128,19 @@ impl TrainerSnapshot {
             .map(|p| p.len() * 2 * BYTES_PER_VALUE)
             .sum()
     }
+}
+
+/// A prefetched host→device transfer staged for the *next* micro-batch:
+/// its bytes already occupy the device (under
+/// [`MemoryCategory::PrefetchStaging`]) and only `exposed_sec` of its link
+/// time remains on the critical path of the step that consumes it.
+#[derive(Debug, Clone, Copy)]
+struct StagedTransfer {
+    alloc: AllocationId,
+    /// Full simulated link seconds the staged transfer took.
+    raw_sec: f64,
+    /// The portion not hidden behind the staging step's compute.
+    exposed_sec: f64,
 }
 
 /// How a step's loss feeds the gradient.
@@ -317,6 +337,69 @@ impl Trainer {
         Ok((epoch, steps))
     }
 
+    /// Like [`Trainer::micro_batch_epoch`], but with double-buffered
+    /// prefetch: while micro-batch `i` computes, micro-batch `i + 1`'s
+    /// host→device transfer is staged on the device (charged under
+    /// [`MemoryCategory::PrefetchStaging`]), so only the transfer time
+    /// not covered by compute stays on the critical path. Losses, gradients,
+    /// and RNG consumption are bit-identical to the non-prefetched epoch —
+    /// only the timing and the device-memory schedule differ. The hidden
+    /// link time is reported in [`EpochStats::prefetch_overlap_sec`].
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::StepOom`] if any micro-batch (including its staging
+    /// buffer) exceeds device capacity; every charge, staged or not, is
+    /// released before returning.
+    pub fn micro_batch_epoch_prefetched(
+        &mut self,
+        dataset: &Dataset,
+        micro_batches: &[Batch],
+    ) -> Result<EpochStats, TrainError> {
+        self.micro_batch_epoch_prefetched_with_steps(dataset, micro_batches)
+            .map(|(epoch, _)| epoch)
+    }
+
+    /// Like [`Trainer::micro_batch_epoch_prefetched`], additionally
+    /// returning the per-micro-batch [`StepStats`] (in `micro_batches`
+    /// order, skipping empty ones).
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::StepOom`] if any micro-batch exceeds device capacity.
+    pub fn micro_batch_epoch_prefetched_with_steps(
+        &mut self,
+        dataset: &Dataset,
+        micro_batches: &[Batch],
+    ) -> Result<(EpochStats, Vec<StepStats>), TrainError> {
+        let effective_batch: usize = micro_batches
+            .iter()
+            .map(|b| b.output_nodes().len())
+            .sum();
+        let active: Vec<&Batch> = micro_batches
+            .iter()
+            .filter(|b| !b.output_nodes().is_empty())
+            .collect();
+        let mode = LossMode::MicroBatch { effective_batch };
+        let mut epoch = EpochStats::default();
+        let mut steps = Vec::with_capacity(active.len());
+        zero_grads(&mut self.model.params_mut());
+        let mut staged: Option<StagedTransfer> = None;
+        for (i, mb) in active.iter().enumerate() {
+            let stage_next = active.get(i + 1).copied();
+            let (step, staged_out) =
+                self.run_step_inner(dataset, mb, &mode, staged.take(), stage_next)?;
+            if let Some(s) = &staged_out {
+                epoch.prefetch_overlap_sec += s.raw_sec - s.exposed_sec;
+            }
+            staged = staged_out;
+            epoch.absorb(&step);
+            steps.push(step);
+        }
+        self.optimizer.step(&mut self.model.params_mut());
+        Ok((epoch, steps))
+    }
+
     /// Classic mini-batch training: an optimizer update after every batch
     /// (the §3.3 baseline whose convergence differs from full batch).
     ///
@@ -352,6 +435,28 @@ impl Trainer {
         batch: &Batch,
         mode: &LossMode,
     ) -> Result<StepStats, TrainError> {
+        self.run_step_inner(dataset, batch, mode, None, None)
+            .map(|(stats, _)| stats)
+    }
+
+    /// Executes one batch forward/backward, charging the device.
+    ///
+    /// `prefetch_in` is this batch's already-staged transfer: its bytes are
+    /// on the device and only the exposed fraction of its link time is
+    /// still owed. `stage_next` asks the step to stage the following
+    /// micro-batch's transfer while this one computes; the returned
+    /// [`StagedTransfer`] (if any) stays allocated across the step
+    /// boundary and must be fed to the next call as `prefetch_in`. On
+    /// error every charge — including any staging buffer — is released,
+    /// so the device ledger always reads zero after a failure.
+    fn run_step_inner(
+        &mut self,
+        dataset: &Dataset,
+        batch: &Batch,
+        mode: &LossMode,
+        prefetch_in: Option<StagedTransfer>,
+        stage_next: Option<&Batch>,
+    ) -> Result<(StepStats, Option<StagedTransfer>), TrainError> {
         let step = self.global_step;
         self.global_step += 1;
         let oom = |phase: StepPhase| move |source: OomError| TrainError::StepOom { step, phase, source };
@@ -361,12 +466,50 @@ impl Trainer {
         let opt_values = param_values * self.optimizer.state_values_per_param();
         let sizes = StepSizes::for_batch(batch, in_dim, param_values, opt_values);
 
+        // This batch's staged copy is re-charged below under the regular
+        // static categories, so the staging buffer is dropped first.
+        if let Some(p) = &prefetch_in {
+            self.device.free(p.alloc);
+        }
         self.device.free_all();
         self.device.reset_peak();
         self.device.begin_step(step);
         let mut charges = StepCharges::charge_static(&mut self.device, &sizes)
             .map_err(oom(StepPhase::StaticCharge))?;
-        let transfer_sec = self.transfer.transfer(sizes.transfer_bytes());
+        // Only the transfer time the previous step's compute did not cover
+        // is still owed when the batch was prefetched.
+        let transfer_sec = match &prefetch_in {
+            Some(p) => p.exposed_sec,
+            None => self.transfer.transfer(sizes.transfer_bytes()),
+        };
+        // Stage the next micro-batch's transfer while this one computes.
+        // Its bytes share the device with this step's working set for the
+        // whole step, so the charge lands before the forward pass —
+        // matching the planner's `prefetch_staging` term in the peak
+        // estimate (Eq. 5).
+        let mut staged_out = match stage_next {
+            Some(next) => {
+                let next_sizes = StepSizes::for_batch(next, in_dim, param_values, opt_values);
+                let staged_bytes = next_sizes.transfer_bytes();
+                let alloc = match self
+                    .device
+                    .alloc(staged_bytes, MemoryCategory::PrefetchStaging)
+                {
+                    Ok(id) => id,
+                    Err(e) => {
+                        charges.release(&mut self.device);
+                        return Err(oom(StepPhase::Prefetch)(e));
+                    }
+                };
+                let raw_sec = self.transfer.transfer(staged_bytes);
+                Some(StagedTransfer {
+                    alloc,
+                    raw_sec,
+                    exposed_sec: raw_sec,
+                })
+            }
+            None => None,
+        };
 
         // Host-side feature gather for the micro-batch's input nodes.
         let input_idx: Vec<usize> = batch
@@ -413,12 +556,18 @@ impl Trainer {
             .saturating_sub(input_bytes)
             .saturating_sub(hidden_bytes);
         if let Err(e) = charges.charge_forward(&mut self.device, hidden_bytes, aggregator_bytes) {
+            if let Some(s) = staged_out.take() {
+                self.device.free(s.alloc);
+            }
             charges.release(&mut self.device);
             return Err(oom(StepPhase::Forward)(e));
         }
 
         // Backward.
         if let Err(e) = charges.charge_backward(&mut self.device, sizes.params) {
+            if let Some(s) = staged_out.take() {
+                self.device.free(s.alloc);
+            }
             charges.release(&mut self.device);
             return Err(oom(StepPhase::Backward)(e));
         }
@@ -426,16 +575,26 @@ impl Trainer {
         let compute_sec = started.elapsed().as_secs_f64();
         let loss = sess.graph.value(loss_var).item() as f64;
 
+        // Whatever part of the staged transfer this step's compute covered
+        // is hidden; only the remainder reaches the next step's critical
+        // path.
+        if let Some(s) = staged_out.as_mut() {
+            s.exposed_sec = (s.raw_sec - compute_sec).max(0.0);
+        }
+
         let peak_bytes = self.device.peak_bytes();
         charges.release(&mut self.device);
-        Ok(StepStats {
-            loss,
-            compute_sec,
-            transfer_sec,
-            peak_bytes,
-            input_nodes: batch.input_nodes().len(),
-            total_src_nodes: batch.total_src_nodes(),
-        })
+        Ok((
+            StepStats {
+                loss,
+                compute_sec,
+                transfer_sec,
+                peak_bytes,
+                input_nodes: batch.input_nodes().len(),
+                total_src_nodes: batch.total_src_nodes(),
+            },
+            staged_out,
+        ))
     }
 }
 
@@ -625,6 +784,139 @@ mod tests {
         t.micro_batch_epoch(&ds, std::slice::from_ref(&batch))
             .unwrap();
         t.disarm_faults();
+    }
+
+    fn micros_of(batch: &Batch, k: usize) -> Vec<Batch> {
+        RegPartitioner::new(0)
+            .split_outputs(batch, k)
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| batch.restrict(p))
+            .collect()
+    }
+
+    #[test]
+    fn prefetched_epoch_losses_bit_identical_to_plain() {
+        let ds = dataset();
+        let batch = full_batch(&ds, 2);
+        let micros = micros_of(&batch, 4);
+        assert!(micros.len() >= 2, "need real double buffering");
+
+        // Dropout > 0 so RNG consumption must line up step for step.
+        let dropout_model = |seed: u64| -> Box<dyn GnnModel> {
+            let mut rng = Pcg64Mcg::seed_from_u64(seed);
+            Box::new(GraphSage::new(
+                ds.feature_dim(),
+                16,
+                ds.num_classes,
+                2,
+                AggregatorSpec::Mean,
+                0.3,
+                &mut rng,
+            ))
+        };
+        let mut plain = Trainer::new(dropout_model(7), 0.01, Device::unbounded(), 3);
+        let mut pre = Trainer::new(dropout_model(7), 0.01, Device::unbounded(), 3);
+        for epoch in 0..3 {
+            let a = plain.micro_batch_epoch(&ds, &micros).unwrap();
+            let b = pre.micro_batch_epoch_prefetched(&ds, &micros).unwrap();
+            assert_eq!(
+                a.loss.to_bits(),
+                b.loss.to_bits(),
+                "epoch {epoch}: prefetch must not change the math"
+            );
+            assert!(b.prefetch_overlap_sec >= 0.0);
+            // The link moved the same bytes either way: exposed + hidden
+            // transfer time matches the serial epoch's transfer time.
+            assert!(
+                (a.transfer_sec - (b.transfer_sec + b.prefetch_overlap_sec)).abs() < 1e-9,
+                "epoch {epoch}: {} vs {} + {}",
+                a.transfer_sec,
+                b.transfer_sec,
+                b.prefetch_overlap_sec
+            );
+        }
+        assert_eq!(pre.device().current_bytes(), 0, "no staging buffer lingers");
+    }
+
+    #[test]
+    fn prefetch_staging_raises_peak_and_is_recharged_next_step() {
+        let ds = dataset();
+        let batch = full_batch(&ds, 2);
+        let micros = micros_of(&batch, 4);
+        assert!(micros.len() >= 2);
+        let mut plain = Trainer::new(model(&ds, 0), 0.01, Device::unbounded(), 3);
+        let (_, plain_steps) = plain.micro_batch_epoch_with_steps(&ds, &micros).unwrap();
+        let mut pre = Trainer::new(model(&ds, 0), 0.01, Device::unbounded(), 3);
+        let (_, pre_steps) = pre
+            .micro_batch_epoch_prefetched_with_steps(&ds, &micros)
+            .unwrap();
+        // Every step that stages its successor pays for the staged bytes.
+        for i in 0..micros.len() - 1 {
+            let param_values = pre.model.total_param_count();
+            let opt_values = param_values * pre.optimizer.state_values_per_param();
+            let staged = StepSizes::for_batch(&micros[i + 1], ds.feature_dim(), param_values, opt_values)
+                .transfer_bytes();
+            assert_eq!(
+                pre_steps[i].peak_bytes,
+                plain_steps[i].peak_bytes + staged,
+                "step {i} peak must include its successor's staged transfer"
+            );
+        }
+        // The last step stages nothing.
+        let last = micros.len() - 1;
+        assert_eq!(pre_steps[last].peak_bytes, plain_steps[last].peak_bytes);
+    }
+
+    #[test]
+    fn oom_mid_prefetch_reports_prefetch_phase_and_drains_ledger() {
+        let ds = dataset();
+        let batch = full_batch(&ds, 2);
+        let micros = micros_of(&batch, 2);
+        assert!(micros.len() >= 2);
+        // Capacity that admits micro-batch 0's statics but not micro-batch
+        // 1's staging buffer on top of them: a genuine capacity OOM in the
+        // prefetch phase, before any forward work.
+        let probe = Trainer::new(model(&ds, 0), 0.01, Device::unbounded(), 3);
+        let param_values = probe.model.total_param_count();
+        let opt_values = param_values * probe.optimizer.state_values_per_param();
+        let sizes0 = StepSizes::for_batch(&micros[0], ds.feature_dim(), param_values, opt_values);
+        let statics0 = sizes0.params
+            + sizes0.optimizer_states
+            + sizes0.blocks
+            + sizes0.input_features
+            + sizes0.labels;
+        let staged1 = StepSizes::for_batch(&micros[1], ds.feature_dim(), param_values, opt_values)
+            .transfer_bytes();
+        let mut t = Trainer::new(model(&ds, 0), 0.01, Device::new(statics0 + staged1 - 1), 3);
+        match t.micro_batch_epoch_prefetched(&ds, &micros) {
+            Err(TrainError::StepOom { step, phase, source }) => {
+                assert_eq!(step, 0);
+                assert_eq!(phase, StepPhase::Prefetch);
+                assert_eq!(source.requested, staged1);
+                assert!(!source.injected);
+            }
+            other => panic!("expected prefetch-phase OOM, got {other:?}"),
+        }
+        assert_eq!(
+            t.device().current_bytes(),
+            0,
+            "an OOM mid-prefetch must drop the staged charge with the rest"
+        );
+
+        // With exactly enough room for statics + staging, the forward
+        // charge fails instead — while the staging buffer is live, so the
+        // error path must free it too.
+        let mut t2 = Trainer::new(model(&ds, 0), 0.01, Device::new(statics0 + staged1), 3);
+        match t2.micro_batch_epoch_prefetched(&ds, &micros) {
+            Err(TrainError::StepOom { phase, .. }) => assert_eq!(phase, StepPhase::Forward),
+            other => panic!("expected forward-phase OOM, got {other:?}"),
+        }
+        assert_eq!(
+            t2.device().current_bytes(),
+            0,
+            "a forward OOM with a live staging buffer must free it"
+        );
     }
 
     #[test]

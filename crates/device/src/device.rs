@@ -23,11 +23,16 @@ pub enum MemoryCategory {
     Gradients,
     /// Optimizer state (Adam: first and second moments).
     OptimizerStates,
+    /// Double-buffered prefetch: the *next* micro-batch's transfer data
+    /// (blocks, input features, labels) staged while the current one
+    /// computes. Held across the step boundary, then re-charged as the
+    /// static categories of the step that consumes it.
+    PrefetchStaging,
 }
 
 impl MemoryCategory {
     /// All categories, in breakdown-report order.
-    pub const ALL: [MemoryCategory; 8] = [
+    pub const ALL: [MemoryCategory; 9] = [
         MemoryCategory::Parameters,
         MemoryCategory::InputFeatures,
         MemoryCategory::Labels,
@@ -36,6 +41,7 @@ impl MemoryCategory {
         MemoryCategory::AggregatorIntermediate,
         MemoryCategory::Gradients,
         MemoryCategory::OptimizerStates,
+        MemoryCategory::PrefetchStaging,
     ];
 }
 
@@ -50,6 +56,7 @@ impl fmt::Display for MemoryCategory {
             MemoryCategory::AggregatorIntermediate => "aggregator intermediate",
             MemoryCategory::Gradients => "gradients",
             MemoryCategory::OptimizerStates => "optimizer states",
+            MemoryCategory::PrefetchStaging => "prefetch staging",
         };
         f.write_str(name)
     }

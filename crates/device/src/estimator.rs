@@ -107,6 +107,11 @@ pub struct MemoryEstimate {
     pub gradients: usize,
     /// (8) optimizer state (Adam: 2 × parameters).
     pub optimizer_states: usize,
+    /// (9) double-buffered prefetch staging: the *next* micro-batch's
+    /// transfer data held on-device while this one computes. Zero unless a
+    /// planner with prefetch accounting fills it in
+    /// ([`MemoryEstimator::estimate`] itself cannot know the neighbor).
+    pub prefetch_staging: usize,
 }
 
 impl MemoryEstimate {
@@ -118,6 +123,13 @@ impl MemoryEstimate {
             + self.blocks
             + self.hidden_outputs
             + self.optimizer_states
+            + self.prefetch_staging
+    }
+
+    /// Bytes that cross the host→device link for the estimated batch —
+    /// exactly what a neighboring step must reserve to prefetch it.
+    pub fn transfer_bytes(&self) -> usize {
+        self.blocks + self.input_features + self.labels
     }
 
     /// Peak = stable + max(aggregator intermediates, gradients): the two
@@ -219,6 +231,7 @@ impl MemoryEstimator {
             aggregator_intermediate: agg_values * BYTES_PER_VALUE,
             gradients: params * BYTES_PER_VALUE,
             optimizer_states: 2 * params * BYTES_PER_VALUE,
+            prefetch_staging: 0,
         }
     }
 

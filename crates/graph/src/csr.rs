@@ -62,6 +62,51 @@ impl CsrGraph {
         }
     }
 
+    /// Assembles a graph directly from pre-built CSR arrays.
+    ///
+    /// The fast path for kernels (e.g. the sharded REG SpGEMM) that already
+    /// produce row-ordered output: no triple materialization, no re-sort.
+    /// Callers must supply a valid CSR with neighbor lists sorted per row —
+    /// the same invariants [`CsrGraph::from_weighted_edges`] establishes —
+    /// so that structural equality with triple-built graphs holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are not a well-formed CSR (`indptr` not
+    /// monotone or not ending at `indices.len()`, an endpoint out of
+    /// bounds, an unsorted row, or a weight array of mismatched length).
+    pub fn from_csr_parts(
+        indptr: Vec<usize>,
+        indices: Vec<NodeId>,
+        weights: Option<Vec<f32>>,
+    ) -> Self {
+        assert!(!indptr.is_empty(), "indptr must have at least one entry");
+        let n = indptr.len() - 1;
+        assert_eq!(indptr[0], 0, "indptr must start at 0");
+        assert_eq!(
+            indptr[n],
+            indices.len(),
+            "indptr must end at the edge count"
+        );
+        for u in 0..n {
+            assert!(indptr[u] <= indptr[u + 1], "indptr must be monotone");
+            let row = &indices[indptr[u]..indptr[u + 1]];
+            assert!(row.windows(2).all(|w| w[0] <= w[1]), "row {u} unsorted");
+        }
+        assert!(
+            indices.iter().all(|&v| (v as usize) < n),
+            "edge endpoint out of bounds for {n} nodes"
+        );
+        if let Some(w) = &weights {
+            assert_eq!(w.len(), indices.len(), "weights length mismatch");
+        }
+        Self {
+            indptr,
+            indices,
+            weights,
+        }
+    }
+
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.indptr.len() - 1
@@ -265,5 +310,26 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn bounds_checked() {
         CsrGraph::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn csr_parts_equal_triple_built_graph() {
+        let g = CsrGraph::from_weighted_edges(
+            3,
+            [(0u32, 1u32, 2.0f32), (0, 2, 1.0), (2, 0, 3.0)],
+            true,
+        );
+        let parts = CsrGraph::from_csr_parts(
+            vec![0, 2, 2, 3],
+            vec![1, 2, 0],
+            Some(vec![2.0, 1.0, 3.0]),
+        );
+        assert_eq!(g, parts);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsorted")]
+    fn csr_parts_reject_unsorted_rows() {
+        CsrGraph::from_csr_parts(vec![0, 2], vec![1, 0], None);
     }
 }

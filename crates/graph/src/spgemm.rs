@@ -6,10 +6,106 @@
 //! removed. Splitting `i` and `j` into different micro-batches duplicates
 //! each shared source, so a minimum-weight cut of the REG minimizes
 //! redundancy.
+//!
+//! # Parallel construction
+//!
+//! Both constructions reduce to symmetric co-occurrence counting over a
+//! family of node sets (a block's per-source destination lists, or a
+//! batch's per-node dependant sets) and share one sharded Gustavson kernel,
+//! [`co_occurrence_csr`]: the set family is inverted into a CSR
+//! row-to-sets index once, destination rows are sharded across
+//! [`std::thread::scope`] workers (weighted by per-row work so power-law
+//! hubs don't serialize a shard), each worker accumulates its rows into a
+//! private dense sparse-accumulator, and shard outputs are concatenated in
+//! row order. Weights are exact small-integer counts, so per-row sums are
+//! order-independent and the resulting [`CsrGraph`] is **bit-identical for
+//! every thread count** — `BETTY_THREADS=1` reproduces the historical
+//! serial output byte for byte.
 
 use std::collections::HashMap;
 
 use crate::{Block, CsrGraph};
+
+/// Symmetric co-occurrence SpGEMM: for sets `S₁..Sₘ ⊆ 0..n`, returns the
+/// weighted graph with `w(i, j) = |{k : i ∈ Sₖ ∧ j ∈ Sₖ}|` for `i ≠ j`.
+///
+/// Each set must be sorted and duplicate-free; the result is independent
+/// of set order and of `threads` (see the module docs).
+fn co_occurrence_csr(n: usize, sets: &[&[u32]], threads: usize) -> CsrGraph {
+    // Invert: CSR from row id to the ids of the sets containing it.
+    let mut inv_ptr = vec![0usize; n + 1];
+    for set in sets {
+        for &i in *set {
+            inv_ptr[i as usize + 1] += 1;
+        }
+    }
+    for i in 0..n {
+        inv_ptr[i + 1] += inv_ptr[i];
+    }
+    let mut inv = vec![0u32; inv_ptr[n]];
+    let mut cursor = inv_ptr[..n].to_vec();
+    for (sid, set) in sets.iter().enumerate() {
+        for &i in *set {
+            inv[cursor[i as usize]] = sid as u32;
+            cursor[i as usize] += 1;
+        }
+    }
+    // Per-row Gustavson cost: every containing set is scanned in full.
+    let costs: Vec<usize> = (0..n)
+        .map(|i| {
+            inv[inv_ptr[i]..inv_ptr[i + 1]]
+                .iter()
+                .map(|&sid| sets[sid as usize].len())
+                .sum()
+        })
+        .collect();
+    let ranges = betty_runtime::shard_ranges_weighted(&costs, threads);
+    let shards = betty_runtime::map_ranges(ranges, threads, |_, range| {
+        // Dense sparse-accumulator, private to this worker.
+        let mut acc = vec![0.0f32; n];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut row_lens = Vec::with_capacity(range.len());
+        let mut indices = Vec::new();
+        let mut weights = Vec::new();
+        for i in range {
+            for &sid in &inv[inv_ptr[i]..inv_ptr[i + 1]] {
+                for &j in sets[sid as usize] {
+                    if j as usize == i {
+                        continue;
+                    }
+                    if acc[j as usize] == 0.0 {
+                        touched.push(j);
+                    }
+                    acc[j as usize] += 1.0;
+                }
+            }
+            touched.sort_unstable();
+            row_lens.push(touched.len());
+            for &j in &touched {
+                indices.push(j);
+                weights.push(acc[j as usize]);
+                acc[j as usize] = 0.0;
+            }
+            touched.clear();
+        }
+        (row_lens, indices, weights)
+    });
+    // Merge in row order: shard ranges are contiguous and ordered, so this
+    // is a straight concatenation.
+    let mut indptr = Vec::with_capacity(n + 1);
+    indptr.push(0usize);
+    let mut indices = Vec::new();
+    let mut weights = Vec::new();
+    for (row_lens, idx, w) in shards {
+        for len in row_lens {
+            indptr.push(indptr.last().unwrap() + len);
+        }
+        indices.extend(idx);
+        weights.extend(w);
+    }
+    debug_assert_eq!(indptr.len(), n + 1);
+    CsrGraph::from_csr_parts(indptr, indices, Some(weights))
+}
 
 /// Builds the Redundancy-Embedded Graph of a block.
 ///
@@ -21,34 +117,38 @@ use crate::{Block, CsrGraph};
 /// Implementation is Gustavson's row-wise SpGEMM over the source-to-
 /// destination incidence: for each source `k` with destination list `N(k)`,
 /// every ordered pair in `N(k) × N(k)` contributes 1 — accumulated sparsely
-/// per row. A source contributing to `d` destinations costs `d²` updates;
+/// per destination row, sharded across [`betty_runtime::configured_threads`]
+/// workers. A source contributing to `d` destinations costs `d²` updates;
 /// destinations' in-degrees are fanout-bounded, keeping this tractable
 /// (the paper computes the same product via `dgl.adj_product_graph`).
 pub fn shared_neighbor_graph(block: &Block) -> CsrGraph {
+    shared_neighbor_graph_with_threads(block, betty_runtime::configured_threads())
+}
+
+/// [`shared_neighbor_graph`] with an explicit worker count.
+///
+/// The output is bit-identical for every `threads` value; `1` runs entirely
+/// on the calling thread. Benchmarks and determinism tests use this to pin
+/// the worker count independently of `BETTY_THREADS`.
+pub fn shared_neighbor_graph_with_threads(block: &Block, threads: usize) -> CsrGraph {
     let num_dst = block.num_dst();
-    // Invert the block: for each source local id, the list of destinations.
-    let mut by_src: HashMap<u32, Vec<u32>> = HashMap::new();
+    // Invert the block once: for each source local id, its destinations.
+    let mut by_src: Vec<Vec<u32>> = vec![Vec::new(); block.num_src()];
     let src = block.edge_src_locals();
     let dst = block.edge_dst_locals();
     for (&s, &d) in src.iter().zip(dst.iter()) {
-        by_src.entry(s).or_default().push(d);
+        by_src[s as usize].push(d);
     }
-    // Accumulate co-occurrence counts for i < j only (the graph is
-    // symmetric); mirror when materializing.
-    let mut counts: HashMap<(u32, u32), f32> = HashMap::new();
-    for dsts in by_src.values_mut() {
+    for dsts in &mut by_src {
         dsts.sort_unstable();
         dsts.dedup();
-        for (a, &i) in dsts.iter().enumerate() {
-            for &j in &dsts[a + 1..] {
-                *counts.entry((i, j)).or_insert(0.0) += 1.0;
-            }
-        }
     }
-    let edges = counts
-        .into_iter()
-        .flat_map(|((i, j), w)| [(i, j, w), (j, i, w)]);
-    CsrGraph::from_weighted_edges(num_dst, edges, true)
+    let sets: Vec<&[u32]> = by_src
+        .iter()
+        .filter(|dsts| dsts.len() >= 2)
+        .map(|dsts| dsts.as_slice())
+        .collect();
+    co_occurrence_csr(num_dst, &sets, threads)
 }
 
 /// Builds the *full-dependency* Redundancy-Embedded Graph of a batch.
@@ -70,6 +170,19 @@ pub fn shared_neighbor_graph(block: &Block) -> CsrGraph {
 /// Nodes of the result are the batch's output nodes in *local (dst) order*
 /// of the last block, matching [`shared_neighbor_graph`].
 pub fn dependency_reg(batch: &crate::Batch, hub_cap: usize) -> CsrGraph {
+    dependency_reg_with_threads(batch, hub_cap, betty_runtime::configured_threads())
+}
+
+/// [`dependency_reg`] with an explicit worker count.
+///
+/// Dependency-set propagation is inherently sequential across layers and
+/// stays on the calling thread; the quadratic pair-counting stage runs on
+/// the sharded kernel. Output is bit-identical for every `threads` value.
+pub fn dependency_reg_with_threads(
+    batch: &crate::Batch,
+    hub_cap: usize,
+    threads: usize,
+) -> CsrGraph {
     let outputs = batch.output_nodes();
     let n_out = outputs.len();
 
@@ -80,53 +193,40 @@ pub fn dependency_reg(batch: &crate::Batch, hub_cap: usize) -> CsrGraph {
     for (i, &o) in outputs.iter().enumerate() {
         dep.insert(o, vec![i as u32]);
     }
-    let mut counts: HashMap<(u32, u32), f32> = HashMap::new();
-    let mut count_pairs = |set: &[u32]| {
-        if set.len() < 2 || set.len() > hub_cap {
-            return;
-        }
-        for (a, &i) in set.iter().enumerate() {
-            for &j in &set[a + 1..] {
-                *counts.entry((i, j)).or_insert(0.0) += 1.0;
-            }
-        }
-    };
     for block in batch.blocks().iter().rev() {
         // Sources strictly below the dst prefix are *new* at this level;
         // their sets accumulate from every edge into a needed destination.
-        let mut new_sets: HashMap<crate::NodeId, Vec<u32>> = HashMap::new();
+        // Destination sets are borrowed (not cloned per edge) and each
+        // source is sorted/deduped exactly once per level, after the full
+        // block scan — a source can also be one of this block's
+        // destinations, and its pre-level set must be what every edge read.
+        let mut gathered: HashMap<crate::NodeId, Vec<u32>> = HashMap::new();
         for (s, d) in block.iter_global_edges() {
             if s == d {
                 continue;
             }
-            let Some(d_set) = dep.get(&d).cloned() else {
+            let Some(d_set) = dep.get(&d) else {
                 continue;
             };
-            let entry = new_sets.entry(s).or_default();
-            entry.extend(d_set);
+            gathered.entry(s).or_default().extend_from_slice(d_set);
         }
-        for (s, mut set) in new_sets {
+        for (s, mut set) in gathered {
+            if let Some(existing) = dep.get(&s) {
+                set.extend_from_slice(existing);
+            }
             set.sort_unstable();
             set.dedup();
-            match dep.get_mut(&s) {
-                Some(existing) => {
-                    existing.extend(set);
-                    existing.sort_unstable();
-                    existing.dedup();
-                }
-                None => {
-                    dep.insert(s, set);
-                }
-            }
+            dep.insert(s, set);
         }
     }
-    for set in dep.values() {
-        count_pairs(set);
-    }
-    let edges = counts
-        .into_iter()
-        .flat_map(|((i, j), w)| [(i, j, w), (j, i, w)]);
-    CsrGraph::from_weighted_edges(n_out, edges, true)
+    let sets: Vec<&[u32]> = dep
+        .values()
+        .filter(|set| set.len() >= 2 && set.len() <= hub_cap)
+        .map(|set| set.as_slice())
+        .collect();
+    // Set order (HashMap iteration) is irrelevant: counts are exact
+    // integer sums and rows are emitted sorted.
+    co_occurrence_csr(n_out, &sets, threads)
 }
 
 #[cfg(test)]
@@ -156,6 +256,60 @@ mod tests {
             }
         }
         m
+    }
+
+    /// The pre-rewrite `dependency_reg`: per-edge set clones, repeated
+    /// sort/dedup merges, and `HashMap<(u32,u32), f32>` pair accumulation
+    /// materialized through `from_weighted_edges`. Kept as the semantic
+    /// reference the sharded kernel must reproduce exactly.
+    fn dependency_reg_reference(batch: &crate::Batch, hub_cap: usize) -> CsrGraph {
+        let outputs = batch.output_nodes();
+        let n_out = outputs.len();
+        let mut dep: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        for (i, &o) in outputs.iter().enumerate() {
+            dep.insert(o, vec![i as u32]);
+        }
+        for block in batch.blocks().iter().rev() {
+            let mut new_sets: HashMap<NodeId, Vec<u32>> = HashMap::new();
+            for (s, d) in block.iter_global_edges() {
+                if s == d {
+                    continue;
+                }
+                let Some(d_set) = dep.get(&d).cloned() else {
+                    continue;
+                };
+                new_sets.entry(s).or_default().extend(d_set);
+            }
+            for (s, mut set) in new_sets {
+                set.sort_unstable();
+                set.dedup();
+                match dep.get_mut(&s) {
+                    Some(existing) => {
+                        existing.extend(set);
+                        existing.sort_unstable();
+                        existing.dedup();
+                    }
+                    None => {
+                        dep.insert(s, set);
+                    }
+                }
+            }
+        }
+        let mut counts: HashMap<(u32, u32), f32> = HashMap::new();
+        for set in dep.values() {
+            if set.len() < 2 || set.len() > hub_cap {
+                continue;
+            }
+            for (a, &i) in set.iter().enumerate() {
+                for &j in &set[a + 1..] {
+                    *counts.entry((i, j)).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+        let edges = counts
+            .into_iter()
+            .flat_map(|((i, j), w)| [(i, j, w), (j, i, w)]);
+        CsrGraph::from_weighted_edges(n_out, edges, true)
     }
 
     #[test]
@@ -316,6 +470,74 @@ mod tests {
                     assert_eq!(w, bf[i][j], "trial {trial} pair ({i},{j})");
                 }
             }
+        }
+    }
+
+    /// Samples a hub-heavy two-layer batch: a few sources fan into most
+    /// outputs (power-law-ish), exercising the weighted sharding and the
+    /// once-per-source merge in `dependency_reg`.
+    fn hub_heavy_batch(seed: u64) -> crate::Batch {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_pcg::Pcg64Mcg::seed_from_u64(seed);
+        let n_out = 24u32;
+        let outputs: Vec<NodeId> = (0..n_out).collect();
+        let mut top_edges = Vec::new();
+        for d in 0..n_out {
+            // Hubs 100..103 hit almost every output; the long tail is
+            // sparse.
+            for hub in 100..104 {
+                if rng.gen_range(0..10) < 8 {
+                    top_edges.push((hub as NodeId, d));
+                }
+            }
+            for _ in 0..rng.gen_range(0..4) {
+                top_edges.push((200 + rng.gen_range(0..40) as NodeId, d));
+            }
+        }
+        let top = Block::new(outputs, &top_edges);
+        let mut bot_edges = Vec::new();
+        for &s in top.src_globals() {
+            for _ in 0..rng.gen_range(0..3) {
+                bot_edges.push((1000 + rng.gen_range(0..30) as NodeId, s));
+            }
+        }
+        let bottom = Block::new(top.src_globals().to_vec(), &bot_edges);
+        crate::Batch::new(vec![bottom, top])
+    }
+
+    #[test]
+    fn hub_heavy_dependency_reg_identical_to_reference() {
+        // Satellite regression: the borrowed-set, merge-once-per-source
+        // propagation plus the sharded kernel must reproduce the original
+        // clone-per-edge implementation exactly, hubs and all.
+        for seed in [3u64, 17, 40] {
+            let batch = hub_heavy_batch(seed);
+            for hub_cap in [4usize, 16, 64] {
+                let reference = dependency_reg_reference(&batch, hub_cap);
+                let rewritten = dependency_reg(&batch, hub_cap);
+                assert_eq!(reference, rewritten, "seed {seed} hub_cap {hub_cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn reg_bit_identical_across_thread_counts() {
+        let batch = hub_heavy_batch(7);
+        let block = &batch.blocks()[batch.blocks().len() - 1];
+        let serial = shared_neighbor_graph_with_threads(block, 1);
+        let serial_dep = dependency_reg_with_threads(&batch, 32, 1);
+        for threads in [2usize, 3, 8] {
+            assert_eq!(
+                serial,
+                shared_neighbor_graph_with_threads(block, threads),
+                "shared_neighbor_graph threads={threads}"
+            );
+            assert_eq!(
+                serial_dep,
+                dependency_reg_with_threads(&batch, 32, threads),
+                "dependency_reg threads={threads}"
+            );
         }
     }
 }

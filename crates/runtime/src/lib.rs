@@ -1,0 +1,281 @@
+//! Deterministic scoped-thread helpers shared by Betty's parallel kernels.
+//!
+//! Every parallel path in the workspace (the sharded SpGEMM behind REG
+//! construction, concurrent micro-batch materialization, and the dense
+//! matmul kernels) goes through this crate so that thread-count policy
+//! lives in exactly one place and every kernel obeys the same contract:
+//!
+//! **bit-identical output regardless of thread count.**
+//!
+//! The contract is enforced structurally, not by luck: work is split into
+//! contiguous shards, each worker writes only to its own shard-local
+//! buffer, and shard results are merged back in shard order on the calling
+//! thread. No atomics-ordered reductions, no first-come-first-served
+//! queues — the merge order is a pure function of the input size and the
+//! shard count, and per-element arithmetic inside a shard is the same
+//! loop the serial path runs.
+//!
+//! Thread-count resolution (highest priority first):
+//!
+//! 1. a process-wide override installed via [`set_thread_override`]
+//!    (the CLI's `--threads` flag),
+//! 2. the `BETTY_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`], capped at
+//!    [`MAX_DEFAULT_THREADS`].
+//!
+//! `BETTY_THREADS=1` (or `--threads 1`) runs every kernel on the calling
+//! thread with zero spawns — exactly the historical serial behaviour.
+
+#![deny(missing_docs)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on the automatically detected thread count.
+///
+/// Betty's kernels operate on batches that rarely profit from more than a
+/// handful of cores; past this point scoped-spawn overhead dominates.
+/// Explicit overrides (`--threads` / `BETTY_THREADS`) are *not* capped.
+pub const MAX_DEFAULT_THREADS: usize = 8;
+
+/// Process-wide thread override; `0` means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs (or clears, with `None`) a process-wide thread-count override.
+///
+/// Takes precedence over `BETTY_THREADS` and auto-detection. `Some(0)` is
+/// treated as `None`. Used by the CLI's `--threads` flag; tests may use it
+/// to pin determinism checks to a specific worker count.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Resolves the number of worker threads parallel kernels should use.
+///
+/// See the crate docs for the resolution order. Always returns at least 1.
+pub fn configured_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(raw) = std::env::var("BETTY_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_DEFAULT_THREADS)
+}
+
+/// Splits `0..n` into at most `shards` contiguous, near-equal ranges.
+///
+/// Deterministic in `(n, shards)`; empty ranges are never produced, so the
+/// returned vector has `min(shards, n)` entries (zero when `n == 0`).
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1).min(n);
+    let mut out = Vec::with_capacity(shards);
+    if n == 0 {
+        return out;
+    }
+    let base = n / shards;
+    let extra = n % shards;
+    let mut start = 0usize;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Splits `0..costs.len()` into at most `shards` contiguous ranges whose
+/// summed `costs` are as balanced as a greedy prefix walk can make them.
+///
+/// Used by kernels whose per-row work is skewed (e.g. power-law degree
+/// distributions in the REG SpGEMM): equal-index shards would leave most
+/// workers idle behind one hub-heavy shard. Deterministic in the inputs.
+pub fn shard_ranges_weighted(costs: &[usize], shards: usize) -> Vec<Range<usize>> {
+    let n = costs.len();
+    let shards = shards.max(1).min(n);
+    if n == 0 {
+        return Vec::new();
+    }
+    if shards == 1 {
+        // One shard covering every index (not an unrolled 0..n sequence).
+        return std::iter::once(0..n).collect();
+    }
+    let total: usize = costs.iter().sum();
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    let mut spent = 0usize;
+    for s in 0..shards {
+        if start == n {
+            break;
+        }
+        let remaining_shards = shards - s;
+        // Leave at least one row per remaining shard.
+        let hard_end = n - (remaining_shards - 1);
+        let target = (total - spent) / remaining_shards;
+        let mut end = start;
+        let mut acc = 0usize;
+        while end < hard_end && (end == start || acc + costs[end] <= target) {
+            acc += costs[end];
+            end += 1;
+        }
+        out.push(start..end);
+        spent += acc;
+        start = end;
+    }
+    if start < n {
+        // Fold any tail into the last range (can happen with zero costs).
+        let last = out.len() - 1;
+        out[last].end = n;
+    }
+    out
+}
+
+/// Runs `f(shard_index, range)` over the given contiguous ranges, on
+/// `threads` scoped workers, and returns the results **in shard order**.
+///
+/// With `threads <= 1` or a single range, everything runs inline on the
+/// calling thread — no spawns, byte-for-byte the serial execution.
+pub fn map_ranges<T, F>(ranges: Vec<Range<usize>>, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    if threads <= 1 || ranges.len() <= 1 {
+        return ranges
+            .into_iter()
+            .enumerate()
+            .map(|(s, r)| f(s, r))
+            .collect();
+    }
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(ranges.len());
+    slots.resize_with(ranges.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, (s, r)) in slots.iter_mut().zip(ranges.into_iter().enumerate()) {
+            let f = &f;
+            scope.spawn(move || {
+                *slot = Some(f(s, r));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("shard worker completed"))
+        .collect()
+}
+
+/// Shards `0..n` evenly across `threads` workers and maps each shard with
+/// `f(shard_index, range)`, returning results in shard order.
+///
+/// Convenience wrapper over [`shard_ranges`] + [`map_ranges`].
+pub fn map_shards<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    map_ranges(shard_ranges(n, threads), threads, f)
+}
+
+/// Computes `f(i)` for every `i in 0..n` on up to `threads` workers and
+/// returns the results **in index order**.
+///
+/// The index space is split into contiguous shards; each worker evaluates
+/// its shard left-to-right into a private buffer, and buffers are
+/// concatenated in shard order — so the output is the same `Vec` the
+/// serial loop `(0..n).map(f).collect()` produces, for any thread count.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    map_shards(n, threads, |_, range| range.map(&f).collect::<Vec<T>>())
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_cover_exactly_once() {
+        for n in [0usize, 1, 2, 7, 8, 9, 100] {
+            for shards in [1usize, 2, 3, 8, 200] {
+                let ranges = shard_ranges(n, shards);
+                let mut next = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(r.end > r.start, "empty shard for n={n} shards={shards}");
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                assert!(ranges.len() <= shards.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_shards_cover_exactly_once_and_balance_hubs() {
+        let costs = vec![1usize, 1, 1, 1, 100, 1, 1, 1];
+        let ranges = shard_ranges_weighted(&costs, 4);
+        let mut next = 0usize;
+        for r in &ranges {
+            assert_eq!(r.start, next);
+            assert!(r.end > r.start);
+            next = r.end;
+        }
+        assert_eq!(next, costs.len());
+        // The hub row (index 4) should sit alone-ish rather than dragging
+        // every following row into its shard.
+        let hub_shard = ranges.iter().find(|r| r.contains(&4)).unwrap();
+        assert!(hub_shard.len() <= 2, "hub shard too fat: {hub_shard:?}");
+    }
+
+    #[test]
+    fn weighted_shards_handle_all_zero_costs() {
+        let costs = vec![0usize; 5];
+        let ranges = shard_ranges_weighted(&costs, 3);
+        let covered: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 5);
+        assert_eq!(ranges.last().unwrap().end, 5);
+    }
+
+    #[test]
+    fn parallel_map_is_index_ordered_for_any_thread_count() {
+        let serial: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for threads in [1usize, 2, 3, 8, 64] {
+            let par = parallel_map(97, threads, |i| i * i);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_shards_preserves_shard_order() {
+        for threads in [1usize, 2, 5] {
+            let out = map_shards(10, threads, |s, r| (s, r.start, r.end));
+            for (i, (s, start, end)) in out.iter().enumerate() {
+                assert_eq!(i, *s);
+                assert!(start <= end);
+            }
+        }
+    }
+
+    #[test]
+    fn override_beats_env_and_detection() {
+        set_thread_override(Some(3));
+        assert_eq!(configured_threads(), 3);
+        set_thread_override(None);
+        assert!(configured_threads() >= 1);
+    }
+}

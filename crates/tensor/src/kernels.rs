@@ -29,18 +29,27 @@ fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usi
 
 /// Matrix product `a @ b` for rank-2 tensors.
 ///
-/// Parallelizes over row blocks for large inputs.
+/// Parallelizes over row blocks for large inputs, using
+/// [`betty_runtime::configured_threads`] workers.
 ///
 /// # Panics
 ///
 /// Panics if the inner dimensions disagree or either input is not rank 2.
-pub fn matmul(a: &Tensor, b: &Tensor, ) -> Tensor {
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_with_threads(a, b, betty_runtime::configured_threads())
+}
+
+/// [`matmul`] with an explicit worker count.
+///
+/// Each worker owns a contiguous block of output rows and runs the same
+/// inner loop as the serial path, so the result is bit-identical for every
+/// `threads` value (`1` = no spawns at all).
+pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (k2, n) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
     let flops = m * k * n;
-    let threads = available_threads();
     if flops >= PAR_FLOP_THRESHOLD && threads > 1 && m > 1 {
         let chunk = m.div_ceil(threads);
         let adata = a.data();
@@ -60,63 +69,123 @@ pub fn matmul(a: &Tensor, b: &Tensor, ) -> Tensor {
     Tensor::from_vec(out, &[m, n]).expect("matmul output shape")
 }
 
-fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get().min(8))
-        .unwrap_or(1)
+/// Accumulates `aᵀ @ b` into output rows `i_range`.
+///
+/// The `r` (shared outer dimension) loop stays outermost and ascending, so
+/// each output element sees additions in exactly the serial order no matter
+/// how the `i` range is sharded.
+fn matmul_at_b_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    ka: usize,
+    n: usize,
+    i_range: std::ops::Range<usize>,
+) {
+    for r in 0..m {
+        let arow = &a[r * ka..(r + 1) * ka];
+        let brow = &b[r * n..(r + 1) * n];
+        for (ii, o_chunk) in out.chunks_mut(n).enumerate().take(i_range.len()) {
+            let av = arow[i_range.start + ii];
+            if av == 0.0 {
+                continue;
+            }
+            for (o, &bv) in o_chunk.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
 }
 
 /// `aᵀ @ b` without materializing the transpose.
+///
+/// Parallelizes over blocks of output rows (columns of `a`) for large
+/// inputs, same FLOP threshold as [`matmul`].
 ///
 /// # Panics
 ///
 /// Panics if `a.rows() != b.rows()`.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_at_b_with_threads(a, b, betty_runtime::configured_threads())
+}
+
+/// [`matmul_at_b`] with an explicit worker count; bit-identical for every
+/// `threads` value.
+pub fn matmul_at_b_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
     let (m, ka) = (a.rows(), a.cols());
     let (m2, n) = (b.rows(), b.cols());
     assert_eq!(m, m2, "matmul_at_b outer dimension mismatch: {m} vs {m2}");
     let mut out = vec![0.0f32; ka * n];
     let adata = a.data();
     let bdata = b.data();
-    for r in 0..m {
-        let arow = &adata[r * ka..(r + 1) * ka];
-        let brow = &bdata[r * n..(r + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+    let flops = m * ka * n;
+    if flops >= PAR_FLOP_THRESHOLD && threads > 1 && ka > 1 {
+        let chunk = ka.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
+                let cols = out_chunk.len() / n;
+                scope.spawn(move || {
+                    matmul_at_b_into(adata, bdata, out_chunk, m, ka, n, t * chunk..t * chunk + cols);
+                });
             }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
-        }
+        });
+    } else {
+        matmul_at_b_into(adata, bdata, &mut out, m, ka, n, 0..ka);
     }
     Tensor::from_vec(out, &[ka, n]).expect("matmul_at_b output shape")
 }
 
-/// `a @ bᵀ` without materializing the transpose.
-///
-/// # Panics
-///
-/// Panics if `a.cols() != b.cols()`.
-pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
-    let (m, k) = (a.rows(), a.cols());
-    let (n, k2) = (b.rows(), b.cols());
-    assert_eq!(k, k2, "matmul_a_bt inner dimension mismatch: {k} vs {k2}");
-    let mut out = vec![0.0f32; m * n];
-    let adata = a.data();
-    let bdata = b.data();
-    for i in 0..m {
-        let arow = &adata[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
+/// Computes output rows `[i0, i0 + rows)` of `a @ bᵀ`; rows are fully
+/// independent, so sharding cannot change any result bit.
+fn matmul_a_bt_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize, i0: usize) {
+    for (ii, orow) in out.chunks_mut(n).enumerate() {
+        let i = i0 + ii;
+        let arow = &a[i * k..(i + 1) * k];
         for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &bdata[j * k..(j + 1) * k];
+            let brow = &b[j * k..(j + 1) * k];
             let mut acc = 0.0f32;
             for (&av, &bv) in arow.iter().zip(brow.iter()) {
                 acc += av * bv;
             }
             *o = acc;
         }
+    }
+}
+
+/// `a @ bᵀ` without materializing the transpose.
+///
+/// Parallelizes over blocks of output rows for large inputs, same FLOP
+/// threshold as [`matmul`].
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_a_bt_with_threads(a, b, betty_runtime::configured_threads())
+}
+
+/// [`matmul_a_bt`] with an explicit worker count; bit-identical for every
+/// `threads` value.
+pub fn matmul_a_bt_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, k2) = (b.rows(), b.cols());
+    assert_eq!(k, k2, "matmul_a_bt inner dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let adata = a.data();
+    let bdata = b.data();
+    let flops = m * k * n;
+    if flops >= PAR_FLOP_THRESHOLD && threads > 1 && m > 1 {
+        let chunk = m.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
+                scope.spawn(move || {
+                    matmul_a_bt_into(adata, bdata, out_chunk, k, n, t * chunk);
+                });
+            }
+        });
+    } else {
+        matmul_a_bt_into(adata, bdata, &mut out, k, n, 0);
     }
     Tensor::from_vec(out, &[m, n]).expect("matmul_a_bt output shape")
 }
@@ -337,6 +406,66 @@ mod tests {
         // Serial reference via the transposed kernel identity.
         let serial = matmul_at_b(&a.transpose(), &b);
         assert!(big.approx_eq(&serial, 1e-3));
+    }
+
+    /// A deterministic, mildly sparse matrix large enough to cross
+    /// `PAR_FLOP_THRESHOLD` when multiplied.
+    fn big(rows: usize, cols: usize, salt: u32) -> Tensor {
+        let data = (0..rows * cols)
+            .map(|i| {
+                let v = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+                if v.is_multiple_of(5) {
+                    0.0
+                } else {
+                    (v % 17) as f32 / 4.0 - 2.0
+                }
+            })
+            .collect();
+        Tensor::from_vec(data, &[rows, cols]).unwrap()
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.data().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn matmul_at_b_parallel_bit_identical_to_serial() {
+        let a = big(257, 130, 1);
+        let b = big(257, 129, 2);
+        assert!(a.rows() * a.cols() * b.cols() >= super::PAR_FLOP_THRESHOLD);
+        let serial = matmul_at_b_with_threads(&a, &b, 1);
+        for threads in [2usize, 3, 8] {
+            let par = matmul_at_b_with_threads(&a, &b, threads);
+            assert_eq!(bits(&serial), bits(&par), "threads={threads}");
+        }
+        assert!(serial.approx_eq(&matmul(&a.transpose(), &b), 1e-3));
+    }
+
+    #[test]
+    fn matmul_a_bt_parallel_bit_identical_to_serial() {
+        let a = big(257, 130, 3);
+        let b = big(129, 130, 4);
+        assert!(a.rows() * a.cols() * b.rows() >= super::PAR_FLOP_THRESHOLD);
+        let serial = matmul_a_bt_with_threads(&a, &b, 1);
+        for threads in [2usize, 3, 8] {
+            let par = matmul_a_bt_with_threads(&a, &b, threads);
+            assert_eq!(bits(&serial), bits(&par), "threads={threads}");
+        }
+        assert!(serial.approx_eq(&matmul(&a, &b.transpose()), 1e-3));
+    }
+
+    #[test]
+    fn matmul_parallel_bit_identical_to_serial() {
+        let a = big(257, 130, 5);
+        let b = big(130, 129, 6);
+        let serial = matmul_with_threads(&a, &b, 1);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                bits(&serial),
+                bits(&matmul_with_threads(&a, &b, threads)),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

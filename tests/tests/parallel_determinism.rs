@@ -1,0 +1,127 @@
+//! Property tests for the deterministic parallel pipeline: REG
+//! construction, micro-batch materialization, and the prefetch executor
+//! must produce byte-identical results regardless of thread count or
+//! transfer overlap.
+
+use betty::{ExperimentConfig, Runner, StrategyKind};
+use betty_data::{Dataset, DatasetSpec};
+use betty_device::gib;
+use betty_graph::{
+    dependency_reg_with_threads, sample_batch, shared_neighbor_graph_with_threads, CsrGraph,
+    NodeId,
+};
+use betty_nn::AggregatorSpec;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_pcg::Pcg64Mcg;
+
+/// Strategy: a random directed graph as (n, edges).
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (10usize..60).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..(n * 4));
+        (Just(n), edges)
+    })
+}
+
+fn dataset() -> Dataset {
+    DatasetSpec::cora()
+        .scaled(0.12)
+        .with_feature_dim(16)
+        .generate(5)
+}
+
+fn config(prefetch: bool) -> ExperimentConfig {
+    ExperimentConfig {
+        fanouts: vec![4, 8],
+        hidden_dim: 16,
+        aggregator: AggregatorSpec::Mean,
+        dropout: 0.3,
+        capacity_bytes: gib(8),
+        prefetch,
+        ..ExperimentConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn reg_build_is_byte_identical_across_thread_counts(
+        (n, edges) in arb_graph(),
+        seed in 0u64..1000,
+        hub_cap in 4usize..64,
+    ) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let seeds: Vec<NodeId> = (0..(n as NodeId).min(8)).collect();
+        let mut rng = Pcg64Mcg::seed_from_u64(seed);
+        let batch = sample_batch(&g, &seeds, &[5, 10], &mut rng);
+        let serial = dependency_reg_with_threads(&batch, hub_cap, 1);
+        for threads in [2usize, 8] {
+            let parallel = dependency_reg_with_threads(&batch, hub_cap, threads);
+            prop_assert_eq!(&serial, &parallel, "REG diverged at {} threads", threads);
+        }
+        // The per-block co-occurrence kernel must hold the same property on
+        // its own (it shards rows differently for small inputs).
+        let block = batch.blocks().last().unwrap();
+        let base = shared_neighbor_graph_with_threads(block, 1);
+        for threads in [2usize, 8] {
+            let parallel = shared_neighbor_graph_with_threads(block, threads);
+            prop_assert_eq!(&base, &parallel, "SNG diverged at {} threads", threads);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn prefetch_reproduces_plain_losses_bitwise(k in 2usize..6, seed in 0u64..500) {
+        // The prefetch executor only reorders *when* transfers are simulated,
+        // never what is computed: with a shared seed every epoch loss must
+        // match the plain executor bit for bit, dropout included.
+        let ds = dataset();
+        let mut losses: Vec<Vec<u64>> = Vec::new();
+        for prefetch in [false, true] {
+            let mut runner = Runner::new(&ds, &config(prefetch), seed);
+            losses.push(
+                (0..3)
+                    .map(|_| {
+                        runner
+                            .train_epoch_betty(&ds, StrategyKind::Betty, k)
+                            .expect("capacity is ample")
+                            .loss
+                            .to_bits()
+                    })
+                    .collect(),
+            );
+        }
+        prop_assert_eq!(&losses[0], &losses[1], "prefetch changed the math at k={}", k);
+    }
+}
+
+#[test]
+fn epoch_losses_invariant_under_thread_override() {
+    // End-to-end determinism across the thread-count axis: planning
+    // (parallel restrict), REG construction, and the kernels all route
+    // through the shared pool, so overriding its width must not move a
+    // single bit of the training trajectory.
+    let ds = dataset();
+    let run = |threads: usize| {
+        betty_runtime::set_thread_override(Some(threads));
+        let mut runner = Runner::new(&ds, &config(true), 9);
+        let losses: Vec<u64> = (0..3)
+            .map(|_| {
+                runner
+                    .train_epoch_betty(&ds, StrategyKind::Betty, 4)
+                    .expect("capacity is ample")
+                    .loss
+                    .to_bits()
+            })
+            .collect();
+        betty_runtime::set_thread_override(None);
+        losses
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(2), "2-thread run diverged from serial");
+    assert_eq!(serial, run(8), "8-thread run diverged from serial");
+}
