@@ -6,6 +6,7 @@ pub mod ext_multi_gpu;
 pub mod ext_overhead;
 pub mod ext_pipeline;
 pub mod ext_recovery;
+pub mod ext_trace;
 pub mod fig02;
 pub mod fig03;
 pub mod fig04;
@@ -42,4 +43,5 @@ pub fn run_all(profile: Profile) {
     ext_overhead::run(profile);
     ext_pipeline::run(profile);
     ext_recovery::run(profile);
+    ext_trace::run(profile);
 }

@@ -225,7 +225,12 @@ pub fn train(args: &Args) -> CmdResult {
             "--devices requires an explicit --k (auto-K is single-device)".into(),
         )));
     }
+    let trace_out = args.get("trace-out").map(str::to_string);
+    let trace_summary = args.has_flag("trace-summary");
     let mut runner = Runner::new(&ds, &config, seed);
+    if trace_out.is_some() || trace_summary {
+        runner.enable_tracing();
+    }
     println!(
         "training {} on {} ({} train nodes), strategy {kind}, capacity {:.0} MiB",
         args.get("model").unwrap_or("sage"),
@@ -275,7 +280,19 @@ pub fn train(args: &Args) -> CmdResult {
         }
         Ok(())
     };
-    if let Err(e) = run(&mut runner, &mut recovery) {
+    let result = run(&mut runner, &mut recovery);
+    // The trace is written even when training failed: a trace of the run
+    // that OOMed is exactly what the flags exist to capture.
+    if let Some(trace) = runner.take_trace() {
+        if let Some(path) = &trace_out {
+            trace.write_jsonl(path)?;
+            println!("trace written to {path} ({} events)", trace.len());
+        }
+        if trace_summary {
+            println!("{}", trace.summary());
+        }
+    }
+    if let Err(e) = result {
         if !recovery.is_empty() {
             eprintln!("{}", recovery.summary());
         }

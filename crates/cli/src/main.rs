@@ -34,6 +34,11 @@ COMMANDS:
              [--fault-seed N] [--fault-alloc-rate F] [--fault-oom-steps 3,17]
              [--fault-jitter F] [--fault-stall-rate F] [--fault-stall-sec F]
              [--retries N] [--retry-growth F] [--retry-headroom F]
+             observability:
+             [--trace-out <trace.jsonl>  (step spans, memory timeline,
+              estimator-drift records as JSON-lines)]
+             [--trace-summary  (print per-phase totals, the worst peak's
+              category breakdown, and the estimator-drift envelope)]
   eval       exact full-graph accuracy       --data <file> --checkpoint
              <file> [--model ...same shape flags as train]
 

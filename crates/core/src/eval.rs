@@ -13,6 +13,15 @@ use betty_tensor::segment;
 /// `fanouts` bounds neighborhood expansion per layer (one entry per model
 /// layer). Dropout is disabled.
 ///
+/// **Chunk-size caveat:** `rng` is drawn per chunk, so whenever a fanout
+/// actually truncates a neighborhood the sampled neighbor sets — and
+/// therefore individual predictions — can differ across `chunk_size`
+/// choices (the *distribution* is unchanged, only the draw order). With
+/// full fanouts (`usize::MAX` everywhere) no random draw happens and
+/// predictions are exactly chunk-size invariant. Use
+/// [`predict_full_graph`] when exact, sampling-free inference is
+/// required.
+///
 /// # Panics
 ///
 /// Panics if `fanouts.len()` differs from the model's layer count or
@@ -208,6 +217,32 @@ mod tests {
         assert_eq!(a, b);
         let acc = accuracy_full_graph(&model, &ds, &ds.test_idx, 64);
         assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn sampled_predict_chunk_size_invariant_under_full_fanout() {
+        // With full fanouts the sampler keeps every in-edge and consumes
+        // no randomness, so chunking must not change any prediction —
+        // the intended behaviour `predict`'s caveat pins down. (With
+        // truncating fanouts the per-chunk RNG draw order makes
+        // predictions legitimately chunk-size dependent.)
+        let ds = DatasetSpec::cora()
+            .scaled(0.05)
+            .with_feature_dim(8)
+            .generate(4);
+        let mut rng = Pcg64Mcg::seed_from_u64(3);
+        let model =
+            GraphSage::new(8, 8, ds.num_classes, 2, AggregatorSpec::Mean, 0.0, &mut rng);
+        let nodes: Vec<_> = ds.val_idx.iter().copied().take(30).collect();
+        let fanouts = [usize::MAX, usize::MAX];
+        let mut per_chunk_size = Vec::new();
+        for chunk_size in [1, 7, 30, 1000] {
+            let mut eval_rng = Pcg64Mcg::seed_from_u64(9);
+            per_chunk_size.push(predict(&model, &ds, &nodes, &fanouts, chunk_size, &mut eval_rng));
+        }
+        for other in &per_chunk_size[1..] {
+            assert_eq!(&per_chunk_size[0], other);
+        }
     }
 
     #[test]

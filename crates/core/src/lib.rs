@@ -67,6 +67,13 @@ pub use stats::{EpochStats, StepStats};
 pub use strategy::{build_strategy, StrategyKind};
 pub use trainer::{StepPhase, TrainError, Trainer, TrainerSnapshot};
 
+// Re-exported observability types (crate `betty-trace`), so trace
+// consumers — CLI, benches, tests — need no direct dependency.
+pub use betty_trace::{
+    validate_jsonl, DriftRecord, MemEvent, MemTimeline, PeakRecord, SpanKind, SpanRecord,
+    TraceRecorder,
+};
+
 use betty_device::AggregatorKind;
 use betty_nn::AggregatorSpec;
 

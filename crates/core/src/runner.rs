@@ -10,10 +10,12 @@ use betty_device::{Device, MemoryEstimator, ModelShape};
 use betty_graph::{sample_batch_in, Batch, CsrGraph, NodeId};
 use betty_nn::{Gat, Gcn, Gin, GnnModel, GraphSage};
 
+use betty_trace::{SpanKind, TraceRecorder};
+
 use crate::config::{ExperimentConfig, ModelKind};
 use crate::planner::{MemoryAwarePlanner, Plan, PlanError};
 use crate::recovery::{RecoveryEvent, RecoveryLog};
-use crate::stats::EpochStats;
+use crate::stats::{EpochStats, StepStats};
 use crate::strategy::{build_strategy, StrategyKind};
 use crate::trainer::{TrainError, Trainer};
 use crate::{aggregator_kind, eval};
@@ -86,6 +88,7 @@ pub struct Runner {
     sample_rng: Pcg64Mcg,
     seed: u64,
     cached_parts: Option<CachedParts>,
+    epochs_run: usize,
 }
 
 /// A reusable output-node assignment from a previous epoch's plan.
@@ -215,7 +218,100 @@ impl Runner {
             sample_rng: Pcg64Mcg::seed_from_u64(seed.wrapping_add(2)),
             seed,
             cached_parts: None,
+            epochs_run: 0,
         }
+    }
+
+    /// Starts trace recording on the underlying trainer (spans, device
+    /// memory timeline, estimator-drift records). Tracing never changes
+    /// the math — see [`Trainer::enable_tracing`].
+    pub fn enable_tracing(&mut self) {
+        self.trainer.enable_tracing();
+    }
+
+    /// Stops trace recording, returning everything captured since
+    /// [`Runner::enable_tracing`], if tracing was enabled.
+    pub fn take_trace(&mut self) -> Option<TraceRecorder> {
+        self.trainer.disable_tracing()
+    }
+
+    /// Stamps the recorder with this epoch's ordinal; every
+    /// `train_epoch_*` entry point calls this first so spans and drift
+    /// records carry monotone epoch ids.
+    fn begin_traced_epoch(&mut self) {
+        let epoch = self.epochs_run;
+        self.epochs_run += 1;
+        if let Some(tr) = self.trainer.trace_mut() {
+            tr.set_epoch(epoch);
+        }
+    }
+
+    /// [`Runner::sample_full_batch`] wrapped in a `sample` span when
+    /// tracing.
+    fn traced_sample_full_batch(&mut self, dataset: &Dataset) -> Batch {
+        if !self.trainer.tracing_enabled() {
+            return self.sample_full_batch(dataset);
+        }
+        let start_sec = self.trainer.trace_mut().map_or(0.0, |t| t.now_sec());
+        let wall = std::time::Instant::now();
+        let batch = self.sample_full_batch(dataset);
+        let dur = wall.elapsed().as_secs_f64();
+        if let Some(tr) = self.trainer.trace_mut() {
+            tr.record_span(SpanKind::Sample, None, start_sec, dur);
+        }
+        batch
+    }
+
+    /// Records `partition` and `plan` spans from the wall times the
+    /// planner already measured (`partition_sec` is the REG build + cut,
+    /// `extraction_sec` the micro-batch restriction + estimation).
+    fn record_plan_spans(&mut self, plan: &Plan) {
+        if let Some(tr) = self.trainer.trace_mut() {
+            let at = tr.now_sec();
+            let start = at - plan.extraction_sec - plan.partition_sec;
+            tr.record_span(SpanKind::Partition, None, start, plan.partition_sec);
+            tr.record_span(
+                SpanKind::Plan,
+                None,
+                start + plan.partition_sec,
+                plan.extraction_sec,
+            );
+        }
+    }
+
+    /// Fills [`EpochStats::estimated_peak_bytes`] /
+    /// [`EpochStats::estimator_drift`] from a plan's per-micro-batch
+    /// estimates and the measured step peaks, and — when tracing — emits
+    /// one [`betty_trace::DriftRecord`] per micro-batch. The planner
+    /// filters empty parts, so `plan.estimates` and the executed steps
+    /// align one to one.
+    fn annotate_drift(&mut self, stats: &mut EpochStats, steps: &[StepStats], plan: &Plan) {
+        debug_assert_eq!(steps.len(), plan.estimates.len());
+        // Steps consumed their global ids during the epoch; recover the
+        // first one from the trainer's monotone counter.
+        let base_step = self.trainer.global_step() - steps.len();
+        let mut max_estimated = 0usize;
+        let mut worst_ratio = 0.0f64;
+        for (i, (step, estimate)) in steps.iter().zip(&plan.estimates).enumerate() {
+            let estimated = estimate.peak_bytes();
+            max_estimated = max_estimated.max(estimated);
+            let ratio = step.peak_bytes as f64 / estimated.max(1) as f64;
+            worst_ratio = worst_ratio.max(ratio);
+            if let Some(tr) = self.trainer.trace_mut() {
+                tr.record_drift(base_step + i, estimated, step.peak_bytes);
+            }
+        }
+        stats.estimated_peak_bytes = max_estimated;
+        stats.estimator_drift = worst_ratio;
+    }
+
+    /// Runs a plan's micro-batches and annotates the stats with the
+    /// estimator-drift comparison.
+    fn run_planned(&mut self, dataset: &Dataset, plan: &Plan) -> Result<EpochStats, TrainError> {
+        let (mut stats, steps) =
+            self.run_micro_batches_with_steps(dataset, &plan.micro_batches)?;
+        self.annotate_drift(&mut stats, &steps, plan);
+        Ok(stats)
     }
 
     /// The experiment configuration.
@@ -294,11 +390,23 @@ impl Runner {
         dataset: &Dataset,
         micro_batches: &[Batch],
     ) -> Result<EpochStats, TrainError> {
+        self.run_micro_batches_with_steps(dataset, micro_batches)
+            .map(|(stats, _)| stats)
+    }
+
+    /// Like [`Runner::run_micro_batches`], keeping the per-step stats the
+    /// drift annotation compares against the plan's estimates.
+    fn run_micro_batches_with_steps(
+        &mut self,
+        dataset: &Dataset,
+        micro_batches: &[Batch],
+    ) -> Result<(EpochStats, Vec<StepStats>), TrainError> {
         if self.config.prefetch {
             self.trainer
-                .micro_batch_epoch_prefetched(dataset, micro_batches)
+                .micro_batch_epoch_prefetched_with_steps(dataset, micro_batches)
         } else {
-            self.trainer.micro_batch_epoch(dataset, micro_batches)
+            self.trainer
+                .micro_batch_epoch_with_steps(dataset, micro_batches)
         }
     }
 
@@ -313,9 +421,11 @@ impl Runner {
         strategy: StrategyKind,
         k: usize,
     ) -> Result<EpochStats, TrainError> {
-        let batch = self.sample_full_batch(dataset);
+        self.begin_traced_epoch();
+        let batch = self.traced_sample_full_batch(dataset);
         let plan = self.plan_fixed(&batch, strategy, k);
-        let mut stats = self.run_micro_batches(dataset, &plan.micro_batches)?;
+        self.record_plan_spans(&plan);
+        let mut stats = self.run_planned(dataset, &plan)?;
         stats.host_bytes = host_staging_bytes(dataset, &plan.micro_batches)
             + batch.total_edges() * 3 * betty_device::BYTES_PER_VALUE;
         Ok(stats)
@@ -332,9 +442,11 @@ impl Runner {
         dataset: &Dataset,
         strategy: StrategyKind,
     ) -> Result<(EpochStats, usize), RunError> {
-        let batch = self.sample_full_batch(dataset);
+        self.begin_traced_epoch();
+        let batch = self.traced_sample_full_batch(dataset);
         let plan = self.plan_auto(&batch, strategy)?;
-        let mut stats = self.run_micro_batches(dataset, &plan.micro_batches)?;
+        self.record_plan_spans(&plan);
+        let mut stats = self.run_planned(dataset, &plan)?;
         stats.host_bytes = host_staging_bytes(dataset, &plan.micro_batches)
             + batch.total_edges() * 3 * betty_device::BYTES_PER_VALUE;
         Ok((stats, plan.micro_batches.len()))
@@ -370,9 +482,10 @@ impl Runner {
         strategy: StrategyKind,
         log: &mut RecoveryLog,
     ) -> Result<(EpochStats, usize), RunError> {
+        self.begin_traced_epoch();
         let policy = self.config.retry.clone();
         let capacity = self.config.capacity_bytes;
-        let batch = self.sample_full_batch(dataset);
+        let batch = self.traced_sample_full_batch(dataset);
         let snapshot = self.trainer.snapshot();
         let strategy_impl = build_strategy(strategy, self.seed);
         let mut injected_faults = 0usize;
@@ -402,8 +515,9 @@ impl Runner {
                     None => return Err(RunError::Plan(e)),
                 },
             };
+            self.record_plan_spans(&plan);
             let k = plan.micro_batches.len();
-            match self.run_micro_batches(dataset, &plan.micro_batches) {
+            match self.run_planned(dataset, &plan) {
                 Ok(mut stats) => {
                     for event in self.trainer.drain_fault_events() {
                         injected_faults += 1;
@@ -474,6 +588,7 @@ impl Runner {
         dataset: &Dataset,
         micro_batches: &[Batch],
     ) -> Result<EpochStats, TrainError> {
+        self.begin_traced_epoch();
         let mut stats = self.run_micro_batches(dataset, micro_batches)?;
         stats.host_bytes = host_staging_bytes(dataset, micro_batches);
         Ok(stats)
@@ -501,19 +616,27 @@ impl Runner {
         refresh_every: usize,
     ) -> Result<(EpochStats, bool), TrainError> {
         assert!(refresh_every > 0, "refresh_every must be positive");
-        let batch = self.sample_full_batch(dataset);
+        self.begin_traced_epoch();
+        let batch = self.traced_sample_full_batch(dataset);
         let reusable = self.cached_parts.as_ref().is_some_and(|c| {
             c.strategy == strategy && c.k == k && c.epochs_used < refresh_every
         });
         let fresh = !reusable;
+        // Kept on fresh epochs: its estimates were computed for *this*
+        // batch, so the drift annotation is meaningful. On cached epochs
+        // the stale plan's estimates don't describe the re-sampled batch
+        // and the drift fields stay 0.
+        let mut fresh_plan = None;
         if fresh {
             let plan = self.plan_fixed(&batch, strategy, k);
+            self.record_plan_spans(&plan);
             self.cached_parts = Some(CachedParts {
                 strategy,
                 k,
                 parts: plan.parts.clone(),
                 epochs_used: 0,
             });
+            fresh_plan = Some(plan);
         }
         let cache = self.cached_parts.as_mut().expect("just ensured");
         cache.epochs_used += 1;
@@ -525,7 +648,10 @@ impl Runner {
             betty_runtime::configured_threads(),
             |i| batch.restrict(active[i]),
         );
-        let mut stats = self.run_micro_batches(dataset, &micro_batches)?;
+        let (mut stats, steps) = self.run_micro_batches_with_steps(dataset, &micro_batches)?;
+        if let Some(plan) = &fresh_plan {
+            self.annotate_drift(&mut stats, &steps, plan);
+        }
         stats.host_bytes = host_staging_bytes(dataset, &micro_batches)
             + batch.total_edges() * 3 * betty_device::BYTES_PER_VALUE;
         Ok((stats, fresh))
@@ -548,8 +674,10 @@ impl Runner {
         k: usize,
         group: &crate::multi::DeviceGroup,
     ) -> Result<crate::multi::MultiDeviceEpoch, TrainError> {
-        let batch = self.sample_full_batch(dataset);
+        self.begin_traced_epoch();
+        let batch = self.traced_sample_full_batch(dataset);
         let plan = self.plan_fixed(&batch, strategy, k);
+        self.record_plan_spans(&plan);
         // Work proxy: total edges of each micro-batch's block stack.
         let work: Vec<f64> = plan
             .micro_batches
@@ -557,17 +685,25 @@ impl Runner {
             .map(|mb| mb.total_edges() as f64)
             .collect();
         let assignment = crate::multi::lpt_assignment(&work, group.num_devices);
-        let (combined, steps) = self
+        let (mut combined, steps) = self
             .trainer
             .micro_batch_epoch_with_steps(dataset, &plan.micro_batches)?;
+        self.annotate_drift(&mut combined, &steps, &plan);
         let per_device = crate::multi::fold_by_device(&steps, &assignment, group.num_devices);
         let grad_bytes =
             self.trainer.model().total_param_count() * betty_device::BYTES_PER_VALUE;
+        let allreduce_sec = group.allreduce_sec(grad_bytes);
+        if let Some(tr) = self.trainer.trace_mut() {
+            // Simulated ring all-reduce: the span carries the modelled
+            // synchronization seconds.
+            let at = tr.now_sec();
+            tr.record_span(SpanKind::Allreduce, None, at, allreduce_sec);
+        }
         Ok(crate::multi::MultiDeviceEpoch {
             combined,
             per_device,
             assignment,
-            allreduce_sec: group.allreduce_sec(grad_bytes),
+            allreduce_sec,
         })
     }
 
@@ -582,6 +718,7 @@ impl Runner {
         dataset: &Dataset,
         num_batches: usize,
     ) -> Result<EpochStats, TrainError> {
+        self.begin_traced_epoch();
         // Split as evenly as possible into *exactly* num_batches chunks
         // (plain `chunks(ceil(n/k))` can come up short, e.g. 9 nodes into
         // 4 batches of 3 yields only 3 batches).

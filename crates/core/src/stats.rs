@@ -53,6 +53,18 @@ pub struct EpochStats {
     /// `transfer_sec + prefetch_overlap_sec` is what a prefetch-less run
     /// would have paid on the link.
     pub prefetch_overlap_sec: f64,
+    /// Largest analytical peak estimate (Eq. 5) over the epoch's
+    /// micro-batches, in bytes — the planner's prediction of
+    /// `max_peak_bytes`. 0 when the epoch ran without a plan (e.g.
+    /// [`crate::Runner::train_micro_batches`] with caller-supplied
+    /// batches).
+    pub estimated_peak_bytes: usize,
+    /// Worst per-micro-batch measured/estimated peak ratio — the
+    /// estimator-drift metric. `≤ 1.0` means every estimate was
+    /// admissible (safe overestimates); `> 1.0` means the estimator
+    /// under-predicted at least one step, the direction that can OOM a
+    /// plan that "fits". 0 when the epoch ran without a plan.
+    pub estimator_drift: f64,
 }
 
 impl EpochStats {

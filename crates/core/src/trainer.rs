@@ -14,6 +14,7 @@ use betty_device::{
 use betty_graph::Batch;
 use betty_nn::{zero_grads, Adam, GnnModel, Optimizer, Param, Session};
 use betty_tensor::{segment, Reduction};
+use betty_trace::{SpanKind, TraceRecorder};
 
 use crate::accounting::{StepCharges, StepSizes};
 use crate::stats::{EpochStats, StepStats};
@@ -164,6 +165,7 @@ pub struct Trainer {
     transfer: TransferModel,
     rng: Pcg64Mcg,
     global_step: usize,
+    trace: Option<TraceRecorder>,
 }
 
 impl fmt::Debug for Trainer {
@@ -185,7 +187,36 @@ impl Trainer {
             transfer: TransferModel::pcie3(),
             rng: Pcg64Mcg::seed_from_u64(seed),
             global_step: 0,
+            trace: None,
         }
+    }
+
+    /// Starts trace recording: step spans, the device-memory timeline,
+    /// and at-peak breakdowns are captured from here on. Tracing never
+    /// changes the math — losses, gradients, and RNG consumption are
+    /// bit-identical with tracing on or off (only extra bookkeeping runs,
+    /// and none at all while disabled).
+    pub fn enable_tracing(&mut self) {
+        self.device.enable_timeline();
+        self.trace = Some(TraceRecorder::new());
+    }
+
+    /// Stops trace recording, returning the recorder (with everything it
+    /// captured) if tracing was enabled.
+    pub fn disable_tracing(&mut self) -> Option<TraceRecorder> {
+        self.device.disable_timeline();
+        self.trace.take()
+    }
+
+    /// Whether trace recording is enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Mutable access to the active trace recorder, for callers that add
+    /// their own spans (sampling, partitioning, planning, allreduce).
+    pub fn trace_mut(&mut self) -> Option<&mut TraceRecorder> {
+        self.trace.as_mut()
     }
 
     /// The model being trained.
@@ -333,7 +364,12 @@ impl Trainer {
             epoch.absorb(&step);
             steps.push(step);
         }
-        self.optimizer.step(&mut self.model.params_mut());
+        // No gradient was computed when every micro-batch was empty;
+        // stepping Adam anyway would advance its timestep and push stale
+        // momentum into the parameters.
+        if !steps.is_empty() {
+            self.optimizer.step(&mut self.model.params_mut());
+        }
         Ok((epoch, steps))
     }
 
@@ -396,7 +432,11 @@ impl Trainer {
             epoch.absorb(&step);
             steps.push(step);
         }
-        self.optimizer.step(&mut self.model.params_mut());
+        // Same guard as the non-prefetched path: an all-empty epoch must
+        // not advance the optimizer.
+        if !steps.is_empty() {
+            self.optimizer.step(&mut self.model.params_mut());
+        }
         Ok((epoch, steps))
     }
 
@@ -482,6 +522,12 @@ impl Trainer {
             Some(p) => p.exposed_sec,
             None => self.transfer.transfer(sizes.transfer_bytes()),
         };
+        if let Some(tr) = self.trace.as_mut() {
+            // The transfer is simulated, so the span carries the modelled
+            // link seconds still owed on this step's critical path.
+            let at = tr.now_sec();
+            tr.record_span(SpanKind::Transfer, Some(step), at, transfer_sec);
+        }
         // Stage the next micro-batch's transfer while this one computes.
         // Its bytes share the device with this step's working set for the
         // whole step, so the charge lands before the forward pass —
@@ -535,6 +581,12 @@ impl Trainer {
             }
             LossMode::MiniBatch => sess.graph.cross_entropy(logits, &targets, Reduction::Mean),
         };
+        // Forward/backward boundary, read only when tracing so the
+        // untraced path does zero extra clock work.
+        let forward_sec = self
+            .trace
+            .as_ref()
+            .map(|_| started.elapsed().as_secs_f64());
 
         // Charge forward activations: named per-layer outputs count as
         // hidden, the rest of the tape as aggregator workspace.
@@ -583,7 +635,29 @@ impl Trainer {
         }
 
         let peak_bytes = self.device.peak_bytes();
+        if let Some(tr) = self.trace.as_mut() {
+            let end = tr.now_sec();
+            let fwd = forward_sec.unwrap_or(0.0);
+            let start = end - compute_sec;
+            tr.record_span(SpanKind::Forward, Some(step), start, fwd);
+            tr.record_span(SpanKind::Backward, Some(step), start + fwd, compute_sec - fwd);
+            // The at-peak snapshot survives frees, so it is still valid
+            // here, right before the step's charges are released.
+            let breakdown = self
+                .device
+                .peak_breakdown()
+                .into_iter()
+                .map(|(c, b)| (c.name(), b))
+                .collect();
+            tr.record_peak(step, peak_bytes, breakdown);
+        }
         charges.release(&mut self.device);
+        if self.trace.is_some() {
+            let events = self.device.drain_timeline_events();
+            if let Some(tr) = self.trace.as_mut() {
+                tr.record_mem_events(step, events);
+            }
+        }
         Ok((
             StepStats {
                 loss,
@@ -917,6 +991,80 @@ mod tests {
             0,
             "a forward OOM with a live staging buffer must free it"
         );
+    }
+
+    fn param_bits(t: &Trainer) -> Vec<u32> {
+        t.model()
+            .params()
+            .iter()
+            .flat_map(|p| p.value().data().iter().map(|v| v.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn all_empty_epoch_leaves_params_bit_identical() {
+        let ds = dataset();
+        let batch = full_batch(&ds, 2);
+        let mut t = Trainer::new(model(&ds, 0), 0.01, Device::unbounded(), 3);
+        // Train once so Adam holds non-zero moments — the bug applied
+        // stale momentum, which only shows once moments exist.
+        t.micro_batch_epoch(&ds, std::slice::from_ref(&batch)).unwrap();
+        let before = param_bits(&t);
+
+        // Zero micro-batches, and micro-batches whose output sets are all
+        // empty, both mean no gradient: the optimizer must not step.
+        let stats = t.micro_batch_epoch(&ds, &[]).unwrap();
+        assert_eq!(stats.num_steps, 0);
+        let empty = batch.restrict(&[]);
+        t.micro_batch_epoch(&ds, std::slice::from_ref(&empty)).unwrap();
+        t.micro_batch_epoch_prefetched(&ds, &[]).unwrap();
+        t.micro_batch_epoch_prefetched(&ds, std::slice::from_ref(&empty))
+            .unwrap();
+        assert_eq!(
+            before,
+            param_bits(&t),
+            "an all-empty epoch must leave parameters untouched"
+        );
+
+        // A real epoch afterwards still updates them.
+        t.micro_batch_epoch(&ds, std::slice::from_ref(&batch)).unwrap();
+        assert_ne!(before, param_bits(&t));
+    }
+
+    #[test]
+    fn tracing_is_bit_identical_and_records_all_phases() {
+        let ds = dataset();
+        let batch = full_batch(&ds, 2);
+        let micros = micros_of(&batch, 4);
+        let mut plain = Trainer::new(model(&ds, 7), 0.01, Device::unbounded(), 3);
+        let mut traced = Trainer::new(model(&ds, 7), 0.01, Device::unbounded(), 3);
+        traced.enable_tracing();
+        assert!(traced.tracing_enabled());
+        for _ in 0..2 {
+            let a = plain.micro_batch_epoch(&ds, &micros).unwrap();
+            let b = traced.micro_batch_epoch(&ds, &micros).unwrap();
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+            assert_eq!(a.num_steps, b.num_steps);
+            assert_eq!(a.max_peak_bytes, b.max_peak_bytes);
+            assert_eq!(a.transfer_sec.to_bits(), b.transfer_sec.to_bits());
+        }
+        let trace = traced.disable_tracing().expect("recorder comes back");
+        assert!(!traced.tracing_enabled());
+        let steps = 2 * micros.len();
+        let count_kind = |k: SpanKind| trace.spans().iter().filter(|s| s.kind == k).count();
+        assert_eq!(count_kind(SpanKind::Transfer), steps);
+        assert_eq!(count_kind(SpanKind::Forward), steps);
+        assert_eq!(count_kind(SpanKind::Backward), steps);
+        assert_eq!(trace.peaks().len(), steps);
+        assert!(!trace.mem_events().is_empty());
+        // Each step's peak snapshot decomposes its recorded peak exactly.
+        for p in trace.peaks() {
+            let sum: usize = p.breakdown.iter().map(|(_, b)| b).sum();
+            assert_eq!(sum, p.peak_bytes);
+        }
+        // Step ids are monotone within the trace.
+        let ids: Vec<usize> = trace.peaks().iter().map(|p| p.step).collect();
+        assert!(ids.windows(2).all(|w| w[1] == w[0] + 1));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use betty_trace::{MemEvent, MemTimeline};
+
 use crate::fault::{AllocFaultInjector, FaultEvent};
 
 /// What a device allocation holds — the categories of the paper's memory
@@ -43,11 +45,11 @@ impl MemoryCategory {
         MemoryCategory::OptimizerStates,
         MemoryCategory::PrefetchStaging,
     ];
-}
 
-impl fmt::Display for MemoryCategory {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
+    /// Stable lowercase name, also used as the `category` field of
+    /// timeline events ([`betty_trace::MemEvent`]).
+    pub const fn name(&self) -> &'static str {
+        match self {
             MemoryCategory::Parameters => "parameters",
             MemoryCategory::InputFeatures => "input features",
             MemoryCategory::Labels => "labels",
@@ -57,8 +59,13 @@ impl fmt::Display for MemoryCategory {
             MemoryCategory::Gradients => "gradients",
             MemoryCategory::OptimizerStates => "optimizer states",
             MemoryCategory::PrefetchStaging => "prefetch staging",
-        };
-        f.write_str(name)
+        }
+    }
+}
+
+impl fmt::Display for MemoryCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -110,7 +117,9 @@ pub struct Device {
     live: HashMap<u64, (usize, MemoryCategory)>,
     current_by_cat: HashMap<MemoryCategory, usize>,
     peak_by_cat: HashMap<MemoryCategory, usize>,
+    peak_snapshot: HashMap<MemoryCategory, usize>,
     faults: Option<AllocFaultInjector>,
+    timeline: Option<MemTimeline>,
 }
 
 impl Device {
@@ -124,7 +133,9 @@ impl Device {
             live: HashMap::new(),
             current_by_cat: HashMap::new(),
             peak_by_cat: HashMap::new(),
+            peak_snapshot: HashMap::new(),
             faults: None,
+            timeline: None,
         }
     }
 
@@ -168,12 +179,21 @@ impl Device {
         self.next_id += 1;
         self.live.insert(id, (bytes, category));
         self.current += bytes;
-        self.peak = self.peak.max(self.current);
         let cat = self.current_by_cat.entry(category).or_insert(0);
         *cat += bytes;
         let cat_now = *cat;
         let peak_cat = self.peak_by_cat.entry(category).or_insert(0);
         *peak_cat = (*peak_cat).max(cat_now);
+        // Category counters must be up to date before the global-peak
+        // check: the snapshot taken here is the breakdown *at the peak
+        // instant*, so its parts sum exactly to `peak`.
+        if self.current > self.peak {
+            self.peak = self.current;
+            self.peak_snapshot = self.current_by_cat.clone();
+        }
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.record(self.current, bytes as i64, category.name());
+        }
         Ok(AllocationId(id))
     }
 
@@ -185,11 +205,23 @@ impl Device {
             if let Some(c) = self.current_by_cat.get_mut(&category) {
                 *c -= bytes;
             }
+            if let Some(tl) = self.timeline.as_mut() {
+                tl.record(self.current, -(bytes as i64), category.name());
+            }
         }
     }
 
     /// Frees every live allocation (end of a micro-batch step).
     pub fn free_all(&mut self) {
+        // One aggregate timeline event for the bulk release: iterating
+        // `live` would emit events in HashMap order, which is
+        // nondeterministic.
+        if self.current > 0 {
+            let released = self.current as i64;
+            if let Some(tl) = self.timeline.as_mut() {
+                tl.record(0, -released, "free_all");
+            }
+        }
         self.current = 0;
         self.live.clear();
         self.current_by_cat.clear();
@@ -206,15 +238,32 @@ impl Device {
         self.peak
     }
 
-    /// Resets peak tracking (global and per-category) to current usage.
+    /// Resets peak tracking (global, per-category, and the at-peak
+    /// snapshot) to current usage.
     pub fn reset_peak(&mut self) {
         self.peak = self.current;
         self.peak_by_cat = self.current_by_cat.clone();
+        self.peak_snapshot = self.current_by_cat.clone();
     }
 
-    /// Peak bytes per category since the last reset, in
-    /// [`MemoryCategory::ALL`] order.
+    /// Bytes per category *at the instant the global peak was reached*,
+    /// in [`MemoryCategory::ALL`] order. Unlike
+    /// [`Device::independent_peaks`], the entries sum exactly to
+    /// [`Device::peak_bytes`], so the breakdown is a faithful Fig. 3-style
+    /// decomposition of the worst moment.
     pub fn peak_breakdown(&self) -> Vec<(MemoryCategory, usize)> {
+        MemoryCategory::ALL
+            .iter()
+            .map(|&c| (c, self.peak_snapshot.get(&c).copied().unwrap_or(0)))
+            .collect()
+    }
+
+    /// Each category's own high-water mark since the last reset, in
+    /// [`MemoryCategory::ALL`] order. The per-category maxima are reached
+    /// at *different* instants, so these can sum to more than the global
+    /// peak — use [`Device::peak_breakdown`] for a decomposition of the
+    /// peak itself.
+    pub fn independent_peaks(&self) -> Vec<(MemoryCategory, usize)> {
         MemoryCategory::ALL
             .iter()
             .map(|&c| (c, self.peak_by_cat.get(&c).copied().unwrap_or(0)))
@@ -260,6 +309,35 @@ impl Device {
         self.faults
             .as_mut()
             .map(AllocFaultInjector::drain_events)
+            .unwrap_or_default()
+    }
+
+    /// Starts recording a memory timeline: every subsequent
+    /// `alloc`/`free`/`free_all` appends a [`MemEvent`]. Replaces any
+    /// timeline already being recorded. When no timeline is enabled (the
+    /// default) the ledger does no tracing work at all.
+    pub fn enable_timeline(&mut self) {
+        self.timeline = Some(MemTimeline::new());
+    }
+
+    /// Stops timeline recording, returning the timeline (with any
+    /// undrained events) if one was enabled.
+    pub fn disable_timeline(&mut self) -> Option<MemTimeline> {
+        self.timeline.take()
+    }
+
+    /// Whether a memory timeline is being recorded.
+    pub fn timeline_enabled(&self) -> bool {
+        self.timeline.is_some()
+    }
+
+    /// Removes and returns the timeline events recorded since the last
+    /// drain. Empty when no timeline is enabled; sequence numbers keep
+    /// growing across drains.
+    pub fn drain_timeline_events(&mut self) -> Vec<MemEvent> {
+        self.timeline
+            .as_mut()
+            .map(MemTimeline::drain)
             .unwrap_or_default()
     }
 }
@@ -311,12 +389,78 @@ mod tests {
             .unwrap();
         d.free(a);
         d.alloc(60, MemoryCategory::Gradients).unwrap();
+        // Global peak is 100 (the categories never coexisted), and the
+        // breakdown shows what was live at that instant: only the
+        // aggregator allocation.
+        assert_eq!(d.peak_bytes(), 100);
         let bd: std::collections::HashMap<_, _> = d.peak_breakdown().into_iter().collect();
         assert_eq!(bd[&MemoryCategory::AggregatorIntermediate], 100);
-        assert_eq!(bd[&MemoryCategory::Gradients], 60);
+        assert_eq!(bd[&MemoryCategory::Gradients], 0);
         assert_eq!(bd[&MemoryCategory::Labels], 0);
-        // Global peak is 100 (the categories never coexisted).
+        // The independent per-category maxima keep the old semantics and
+        // may sum to more than the global peak.
+        let ind: std::collections::HashMap<_, _> = d.independent_peaks().into_iter().collect();
+        assert_eq!(ind[&MemoryCategory::AggregatorIntermediate], 100);
+        assert_eq!(ind[&MemoryCategory::Gradients], 60);
+    }
+
+    #[test]
+    fn peak_breakdown_sums_to_global_peak() {
+        let mut d = Device::unbounded();
+        let p = d.alloc(30, MemoryCategory::Parameters).unwrap();
+        d.alloc(50, MemoryCategory::Blocks).unwrap();
+        let g = d.alloc(20, MemoryCategory::Gradients).unwrap();
+        d.free(g);
+        d.free(p);
+        // Peak (100) happened with all three live.
         assert_eq!(d.peak_bytes(), 100);
+        let bd = d.peak_breakdown();
+        let sum: usize = bd.iter().map(|(_, b)| b).sum();
+        assert_eq!(sum, d.peak_bytes(), "snapshot decomposes the peak exactly");
+        let bd: std::collections::HashMap<_, _> = bd.into_iter().collect();
+        assert_eq!(bd[&MemoryCategory::Parameters], 30);
+        assert_eq!(bd[&MemoryCategory::Blocks], 50);
+        assert_eq!(bd[&MemoryCategory::Gradients], 20);
+        // reset_peak re-bases the snapshot on current usage (blocks only).
+        d.reset_peak();
+        assert_eq!(d.peak_bytes(), 50);
+        let bd: std::collections::HashMap<_, _> = d.peak_breakdown().into_iter().collect();
+        assert_eq!(bd[&MemoryCategory::Blocks], 50);
+        assert_eq!(bd[&MemoryCategory::Parameters], 0);
+    }
+
+    #[test]
+    fn timeline_records_allocs_frees_and_bulk_release() {
+        let mut d = Device::new(1000);
+        assert!(!d.timeline_enabled());
+        d.alloc(10, MemoryCategory::Parameters).unwrap(); // before enabling: untraced
+        d.enable_timeline();
+        assert!(d.timeline_enabled());
+        let a = d.alloc(100, MemoryCategory::Blocks).unwrap();
+        d.free(a);
+        d.alloc(40, MemoryCategory::Labels).unwrap();
+        d.free_all();
+        let events = d.drain_timeline_events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].delta_bytes, 100);
+        assert_eq!(events[0].total_bytes, 110);
+        assert_eq!(events[0].category, "blocks");
+        assert_eq!(events[1].delta_bytes, -100);
+        assert_eq!(events[2].category, "labels");
+        assert_eq!(events[3].category, "free_all");
+        assert_eq!(events[3].delta_bytes, -50, "one aggregate event for the bulk release");
+        assert_eq!(events[3].total_bytes, 0);
+        // Sequence numbers are monotonic and survive draining.
+        assert!(events.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+        assert!(d.drain_timeline_events().is_empty());
+        d.alloc(5, MemoryCategory::Labels).unwrap();
+        assert_eq!(d.drain_timeline_events()[0].seq, events[3].seq + 1);
+        let tl = d.disable_timeline();
+        assert!(tl.is_some());
+        assert!(!d.timeline_enabled());
+        // Disabled again: allocations no longer record.
+        d.alloc(5, MemoryCategory::Labels).unwrap();
+        assert!(d.drain_timeline_events().is_empty());
     }
 
     #[test]

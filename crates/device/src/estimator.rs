@@ -15,6 +15,10 @@ use betty_graph::Batch;
 
 use crate::BYTES_PER_VALUE;
 
+/// Values the loss head adds to the tape regardless of batch size: the
+/// scalar cross-entropy output and the micro-batch gradient rescale.
+const LOSS_TAPE_VALUES: usize = 2;
+
 /// Neighbor-aggregation flavour (Table 1 of the paper), plus attention for
 /// GAT models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -206,7 +210,14 @@ impl MemoryEstimator {
             .map(|(i, b)| b.num_dst() * s.layer_out_dim(i))
             .sum();
 
-        // (6) aggregator intermediates and per-layer workspace.
+        let params = s.params_gnn + s.params_agg;
+
+        // (6) aggregator intermediates and per-layer workspace, plus the
+        // tape contributions that exist once per step rather than per
+        // layer: the define-by-run graph binds a copy of every parameter
+        // as a leaf (so the tape holds params *in addition to* the
+        // resident copy of item (1)), and the loss head tapes the
+        // cross-entropy output and micro-batch rescale.
         let agg_values: usize = batch
             .blocks()
             .iter()
@@ -219,9 +230,9 @@ impl MemoryEstimator {
                     i + 1 == s.num_layers,
                 )
             })
-            .sum();
-
-        let params = s.params_gnn + s.params_agg;
+            .sum::<usize>()
+            + params
+            + LOSS_TAPE_VALUES;
         MemoryEstimate {
             parameters: params * BYTES_PER_VALUE,
             input_features: n_in * s.in_dim * BYTES_PER_VALUE,
@@ -253,9 +264,13 @@ impl MemoryEstimator {
         let n_dst = block.num_dst();
         let n_src = block.num_src();
         // SAGE wrapper workspace: h_dst gather + aggregated output (n·d
-        // each) and fc_self/fc_neigh/add/activation outputs (n·o each, one
-        // of which is the *named* hidden output counted in item (5)).
-        let sage_overhead = 2 * n_dst * d + 5 * n_dst * o;
+        // each) and the fc_self/fc_neigh matmul+bias pairs plus their sum
+        // (n·o each). Hidden layers additionally tape an activation
+        // output; the layer's *named* output (activation, or the raw sum
+        // on the last layer) is already counted in item (5), so it is
+        // excluded here either way.
+        let activation = if is_last_layer { 0 } else { n_dst * o };
+        let sage_overhead = 2 * n_dst * d + 4 * n_dst * o + activation;
         match self.shape.aggregator {
             // Mean/Sum run fused (no [E, d] message tensor): only the
             // layer workspace remains.
@@ -327,9 +342,11 @@ mod tests {
         assert_eq!(e.blocks, 3 * 3 * 4);
         // One layer, 2 dsts × 3 classes.
         assert_eq!(e.hidden_outputs, 2 * 3 * 4);
-        // Mean runs fused: workspace only, 2·n_dst·d + 5·n_dst·o
-        // = 2·2·8 + 5·2·3 = 62 values.
-        assert_eq!(e.aggregator_intermediate, 62 * 4);
+        // Mean runs fused: workspace only. The single layer is the last
+        // layer (no activation), so 2·n_dst·d + 4·n_dst·o = 2·2·8 + 4·2·3
+        // = 56 values, plus the taped parameter copies (120) and the
+        // 2-value loss head.
+        assert_eq!(e.aggregator_intermediate, (56 + 120 + 2) * 4);
         assert_eq!(e.gradients, 120 * 4);
         assert_eq!(e.optimizer_states, 240 * 4);
     }
@@ -339,16 +356,16 @@ mod tests {
         let est = MemoryEstimator::new(shape(AggregatorKind::Lstm));
         let e = est.estimate(&one_layer_batch());
         // Buckets: degree 2 × 1 node + degree 1 × 1 node = 3 node-steps.
-        // Eq. 5 term = 3 · d(8) · 18; plus 2 buckets · 2·n_dst·d = 64 and
-        // the 62-value SAGE workspace.
-        assert_eq!(e.aggregator_intermediate, (3 * 8 * 18 + 64 + 62) * 4);
+        // Eq. 5 term = 3 · d(8) · 18; plus 2 buckets · 2·n_dst·d = 64, the
+        // 56-value SAGE workspace, taped params (120), and the loss head.
+        assert_eq!(e.aggregator_intermediate, (3 * 8 * 18 + 64 + 56 + 122) * 4);
     }
 
     #[test]
     fn lstm_constant_is_tunable() {
         let est = MemoryEstimator::new(shape(AggregatorKind::Lstm)).with_lstm_constant(25);
         let e = est.estimate(&one_layer_batch());
-        assert_eq!(e.aggregator_intermediate, (3 * 8 * 25 + 64 + 62) * 4);
+        assert_eq!(e.aggregator_intermediate, (3 * 8 * 25 + 64 + 56 + 122) * 4);
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub use fault::{
 };
 pub use transfer::TransferModel;
 
+// Re-exported so ledger consumers can drain timelines without a direct
+// betty-trace dependency.
+pub use betty_trace::{MemEvent, MemTimeline};
+
 /// Bytes per stored value (`f32` everywhere in this reproduction).
 pub const BYTES_PER_VALUE: usize = 4;
 

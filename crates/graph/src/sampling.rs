@@ -52,19 +52,29 @@ pub fn sample_batch_in(
 ) -> Batch {
     assert!(!fanouts.is_empty(), "at least one layer fanout required");
     assert!(!seeds.is_empty(), "at least one seed node required");
-    let reverse = in_graph;
-    let graph = in_graph;
     let mut blocks: Vec<Block> = Vec::with_capacity(fanouts.len());
     let mut dst: Vec<NodeId> = seeds.to_vec();
-    for &fanout in fanouts.iter().rev() {
+    // Iteration is output-to-input, so `rev_idx` 0 is the topmost layer
+    // (whose destinations are the seeds) and the original fanout index
+    // names the layer in diagnostics.
+    for (rev_idx, &fanout) in fanouts.iter().rev().enumerate() {
+        let layer = fanouts.len() - 1 - rev_idx;
         let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
         for &v in &dst {
+            // Only the top layer's destinations are seeds; below that they
+            // are sampled sources, which can only be out of range if the
+            // graph itself is inconsistent.
             assert!(
-                (v as usize) < graph.num_nodes(),
-                "seed {v} out of bounds for {} nodes",
-                graph.num_nodes()
+                (v as usize) < in_graph.num_nodes(),
+                "layer {layer} destination node {v} out of bounds for {} nodes{}",
+                in_graph.num_nodes(),
+                if layer + 1 == fanouts.len() {
+                    " (bad seed)"
+                } else {
+                    ""
+                }
             );
-            let in_neighbors = reverse.neighbors(v);
+            let in_neighbors = in_graph.neighbors(v);
             if in_neighbors.len() <= fanout {
                 edges.extend(in_neighbors.iter().map(|&u| (u, v)));
             } else {
@@ -177,5 +187,12 @@ mod tests {
     #[should_panic(expected = "at least one seed")]
     fn empty_seeds_rejected() {
         sample_batch(&star(), &[], &[3], &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "layer 1 destination node 99 out of bounds for 10 nodes (bad seed)")]
+    fn out_of_range_seed_names_the_top_layer() {
+        // Two fanouts → the seed layer is layer 1 (the topmost).
+        sample_batch(&star(), &[99], &[3, 3], &mut rng());
     }
 }

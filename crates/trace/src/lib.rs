@@ -1,0 +1,794 @@
+//! **betty-trace** — the observability layer of the Betty workspace.
+//!
+//! Training introspection has three ingredients, all recorded here and
+//! exported as JSON-lines (one event object per line) plus a
+//! human-readable summary:
+//!
+//! 1. **Spans** ([`SpanRecord`]): timed phases of an epoch/step —
+//!    `sample → partition → plan → transfer → forward → backward →
+//!    allreduce` — tagged with monotonic epoch/step ids. Compute spans
+//!    carry wall-clock durations; transfer/allreduce spans carry the
+//!    simulated link seconds the cost models produce.
+//! 2. **Memory timeline** ([`MemEvent`], recorded by
+//!    `betty_device::Device` into a [`MemTimeline`]): every `alloc`/`free`
+//!    appends the running device total, the signed delta, and the
+//!    category, so the exact shape of a step's memory curve is
+//!    reconstructable. The per-category breakdown *at the global-peak
+//!    instant* is captured separately as a [`PeakRecord`].
+//! 3. **Estimator drift** ([`DriftRecord`]): per micro-batch, the
+//!    analytical peak estimate (Eq. 5) next to the ledger's measured
+//!    peak — the signal that tells OOM recovery whether the estimator
+//!    can be trusted or K-escalation must compensate.
+//!
+//! Everything is opt-in: the recorder lives behind an `Option` in the
+//! trainer and the timeline behind an `Option` in the device, so a run
+//! with tracing disabled executes the exact same instruction stream
+//! (losses are bit-identical tracing on or off; this is tested).
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Which phase of training a span covers, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Neighbor sampling of the epoch's full training batch.
+    Sample,
+    /// Batch-level graph partitioning (REG build + cut).
+    Partition,
+    /// Memory-aware planning (estimation + micro-batch extraction).
+    Plan,
+    /// Host→device transfer of one micro-batch (simulated seconds).
+    Transfer,
+    /// Forward pass of one micro-batch.
+    Forward,
+    /// Backward pass of one micro-batch.
+    Backward,
+    /// Gradient all-reduce across a simulated device group.
+    Allreduce,
+}
+
+impl SpanKind {
+    /// Every kind, in pipeline order.
+    pub const ALL: [SpanKind; 7] = [
+        SpanKind::Sample,
+        SpanKind::Partition,
+        SpanKind::Plan,
+        SpanKind::Transfer,
+        SpanKind::Forward,
+        SpanKind::Backward,
+        SpanKind::Allreduce,
+    ];
+
+    /// Stable lowercase name used in the JSONL `kind` field.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            SpanKind::Sample => "sample",
+            SpanKind::Partition => "partition",
+            SpanKind::Plan => "plan",
+            SpanKind::Transfer => "transfer",
+            SpanKind::Forward => "forward",
+            SpanKind::Backward => "backward",
+            SpanKind::Allreduce => "allreduce",
+        }
+    }
+}
+
+impl fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanRecord {
+    /// Phase this span covers.
+    pub kind: SpanKind,
+    /// Epoch the span belongs to.
+    pub epoch: usize,
+    /// Global step id for per-step spans; `None` for epoch-level spans
+    /// (sample/partition/plan/allreduce).
+    pub step: Option<usize>,
+    /// Seconds since the recorder was created when the span began.
+    pub start_sec: f64,
+    /// Span duration in seconds (wall-clock for compute spans, simulated
+    /// link time for transfer/allreduce spans).
+    pub dur_sec: f64,
+}
+
+/// One device-memory ledger event: an alloc (positive delta) or free
+/// (negative delta) and the running total right after it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemEvent {
+    /// Monotonic sequence number within the timeline.
+    pub seq: u64,
+    /// Seconds since the timeline was enabled.
+    pub at_sec: f64,
+    /// Bytes in use on the device after this event.
+    pub total_bytes: usize,
+    /// Signed size of the event (+alloc / −free); a bulk `free_all` is
+    /// one event with the whole released size.
+    pub delta_bytes: i64,
+    /// Stable category name (`betty_device::MemoryCategory::name`), or
+    /// `"free_all"` for a bulk release.
+    pub category: &'static str,
+}
+
+/// Append-only device-memory timeline, filled by
+/// `betty_device::Device` when its timeline is enabled.
+#[derive(Debug, Clone)]
+pub struct MemTimeline {
+    origin: Instant,
+    next_seq: u64,
+    events: Vec<MemEvent>,
+}
+
+impl Default for MemTimeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemTimeline {
+    /// An empty timeline whose clock starts now.
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+            next_seq: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends one ledger event, stamping the sequence number and clock.
+    pub fn record(&mut self, total_bytes: usize, delta_bytes: i64, category: &'static str) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(MemEvent {
+            seq,
+            at_sec: self.origin.elapsed().as_secs_f64(),
+            total_bytes,
+            delta_bytes,
+            category,
+        });
+    }
+
+    /// Events recorded so far.
+    pub fn events(&self) -> &[MemEvent] {
+        &self.events
+    }
+
+    /// Removes and returns the recorded events; sequence numbers keep
+    /// growing across drains.
+    pub fn drain(&mut self) -> Vec<MemEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are currently held.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Per-category breakdown captured at the instant a step's global peak
+/// was reached (so the parts always sum to exactly the peak).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeakRecord {
+    /// Epoch of the step.
+    pub epoch: usize,
+    /// Global step id.
+    pub step: usize,
+    /// The step's global peak, in bytes.
+    pub peak_bytes: usize,
+    /// Bytes per category at the peak instant (stable category names).
+    pub breakdown: Vec<(&'static str, usize)>,
+}
+
+/// One micro-batch's estimator-vs-ledger comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftRecord {
+    /// Epoch of the step.
+    pub epoch: usize,
+    /// Global step id.
+    pub step: usize,
+    /// The planner's estimated peak ([`peak_bytes`](DriftRecord::estimated_bytes)
+    /// of Eq. 5), in bytes.
+    pub estimated_bytes: usize,
+    /// The device ledger's measured step peak, in bytes.
+    pub measured_bytes: usize,
+}
+
+impl DriftRecord {
+    /// Measured over estimated: `1.0` is a perfect estimate, `< 1.0` a
+    /// safe overestimate, `> 1.0` an underestimate (the dangerous
+    /// direction — the plan may not actually fit).
+    pub fn ratio(&self) -> f64 {
+        self.measured_bytes as f64 / (self.estimated_bytes.max(1)) as f64
+    }
+
+    /// Whether the estimate was admissible (never below the measurement).
+    pub fn admissible(&self) -> bool {
+        self.estimated_bytes >= self.measured_bytes
+    }
+}
+
+/// The trace of one training run: spans, memory events, peak snapshots
+/// and drift records, all stamped with monotonic epoch/step ids.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    origin: Instant,
+    epoch: usize,
+    spans: Vec<SpanRecord>,
+    mem: Vec<(usize, MemEvent)>,
+    peaks: Vec<PeakRecord>,
+    drift: Vec<DriftRecord>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceRecorder {
+    /// An empty recorder whose clock starts now, at epoch 0.
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+            epoch: 0,
+            spans: Vec::new(),
+            mem: Vec::new(),
+            peaks: Vec::new(),
+            drift: Vec::new(),
+        }
+    }
+
+    /// Sets the epoch stamped onto subsequently recorded events.
+    pub fn set_epoch(&mut self, epoch: usize) {
+        self.epoch = epoch;
+    }
+
+    /// The epoch currently being stamped.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Seconds elapsed since the recorder was created — capture this
+    /// before timed work and pass it to [`TraceRecorder::record_span`].
+    pub fn now_sec(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+
+    /// Records a span at the current epoch.
+    pub fn record_span(&mut self, kind: SpanKind, step: Option<usize>, start_sec: f64, dur_sec: f64) {
+        self.spans.push(SpanRecord {
+            kind,
+            epoch: self.epoch,
+            step,
+            start_sec,
+            dur_sec,
+        });
+    }
+
+    /// Attributes drained device-timeline events to a step.
+    pub fn record_mem_events(&mut self, step: usize, events: Vec<MemEvent>) {
+        self.mem.extend(events.into_iter().map(|e| (step, e)));
+    }
+
+    /// Records a step's peak and its at-peak category breakdown.
+    pub fn record_peak(&mut self, step: usize, peak_bytes: usize, breakdown: Vec<(&'static str, usize)>) {
+        self.peaks.push(PeakRecord {
+            epoch: self.epoch,
+            step,
+            peak_bytes,
+            breakdown,
+        });
+    }
+
+    /// Records one micro-batch's estimated-vs-measured peak.
+    pub fn record_drift(&mut self, step: usize, estimated_bytes: usize, measured_bytes: usize) {
+        self.drift.push(DriftRecord {
+            epoch: self.epoch,
+            step,
+            estimated_bytes,
+            measured_bytes,
+        });
+    }
+
+    /// All recorded spans, in record order.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// All step-attributed memory events, in record order.
+    pub fn mem_events(&self) -> &[(usize, MemEvent)] {
+        &self.mem
+    }
+
+    /// All at-peak breakdown snapshots, in record order.
+    pub fn peaks(&self) -> &[PeakRecord] {
+        &self.peaks
+    }
+
+    /// All estimator-drift records, in record order.
+    pub fn drift_records(&self) -> &[DriftRecord] {
+        &self.drift
+    }
+
+    /// Worst (largest) measured/estimated ratio over every drift record;
+    /// `0.0` when nothing was recorded.
+    pub fn max_drift_ratio(&self) -> f64 {
+        self.drift.iter().map(DriftRecord::ratio).fold(0.0, f64::max)
+    }
+
+    /// Whether every recorded estimate was admissible (≥ measured).
+    pub fn all_admissible(&self) -> bool {
+        self.drift.iter().all(DriftRecord::admissible)
+    }
+
+    /// Total recorded events of every type.
+    pub fn len(&self) -> usize {
+        self.spans.len() + self.mem.len() + self.peaks.len() + self.drift.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes the whole trace as JSON-lines: one object per event,
+    /// `span` events first, then `mem`, `peak`, and `drift` events, each
+    /// in record order. Every line is a self-contained JSON object with a
+    /// `type` discriminator (see DESIGN.md "Observability" for the
+    /// schema).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{{\"type\":\"span\",\"kind\":\"{}\",\"epoch\":{},\"step\":{},\"start_sec\":{},\"dur_sec\":{}}}\n",
+                s.kind.name(),
+                s.epoch,
+                opt_usize(s.step),
+                jnum(s.start_sec),
+                jnum(s.dur_sec),
+            ));
+        }
+        for (step, e) in &self.mem {
+            out.push_str(&format!(
+                "{{\"type\":\"mem\",\"step\":{step},\"seq\":{},\"at_sec\":{},\"total_bytes\":{},\"delta_bytes\":{},\"category\":\"{}\"}}\n",
+                e.seq,
+                jnum(e.at_sec),
+                e.total_bytes,
+                e.delta_bytes,
+                e.category,
+            ));
+        }
+        for p in &self.peaks {
+            let breakdown: Vec<String> = p
+                .breakdown
+                .iter()
+                .map(|(name, bytes)| format!("\"{name}\":{bytes}"))
+                .collect();
+            out.push_str(&format!(
+                "{{\"type\":\"peak\",\"epoch\":{},\"step\":{},\"peak_bytes\":{},\"breakdown\":{{{}}}}}\n",
+                p.epoch,
+                p.step,
+                p.peak_bytes,
+                breakdown.join(","),
+            ));
+        }
+        for d in &self.drift {
+            out.push_str(&format!(
+                "{{\"type\":\"drift\",\"epoch\":{},\"step\":{},\"estimated_bytes\":{},\"measured_bytes\":{},\"ratio\":{}}}\n",
+                d.epoch,
+                d.step,
+                d.estimated_bytes,
+                d.measured_bytes,
+                jnum(d.ratio()),
+            ));
+        }
+        out
+    }
+
+    /// Writes [`TraceRecorder::to_jsonl`] to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_jsonl(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Human-readable multi-line summary: per-kind span counts and total
+    /// durations, memory-event count, the worst observed peak, and the
+    /// estimator-drift envelope.
+    pub fn summary(&self) -> String {
+        let mut out = String::from("trace summary:");
+        for kind in SpanKind::ALL {
+            let (count, total): (usize, f64) = self
+                .spans
+                .iter()
+                .filter(|s| s.kind == kind)
+                .fold((0, 0.0), |(c, t), s| (c + 1, t + s.dur_sec));
+            if count > 0 {
+                out.push_str(&format!(
+                    "\n  {:<9} {count:>6} spans  {total:>10.4}s total",
+                    kind.name()
+                ));
+            }
+        }
+        out.push_str(&format!("\n  memory    {:>6} ledger events", self.mem.len()));
+        if let Some(worst) = self.peaks.iter().max_by_key(|p| p.peak_bytes) {
+            out.push_str(&format!(
+                "\n  peak      {} bytes at epoch {} step {} (",
+                worst.peak_bytes, worst.epoch, worst.step
+            ));
+            let parts: Vec<String> = worst
+                .breakdown
+                .iter()
+                .filter(|(_, b)| *b > 0)
+                .map(|(n, b)| format!("{n} {b}"))
+                .collect();
+            out.push_str(&parts.join(", "));
+            out.push(')');
+        }
+        if !self.drift.is_empty() {
+            let worst = self
+                .drift
+                .iter()
+                .max_by(|a, b| a.ratio().total_cmp(&b.ratio()))
+                .expect("non-empty");
+            out.push_str(&format!(
+                "\n  drift     {} records, worst measured/estimated {:.4} at epoch {} step {} ({})",
+                self.drift.len(),
+                worst.ratio(),
+                worst.epoch,
+                worst.step,
+                if self.all_admissible() {
+                    "all estimates admissible"
+                } else {
+                    "UNDERESTIMATES present"
+                }
+            ));
+        }
+        out
+    }
+}
+
+/// Formats an optional step id as a JSON value (`null` when absent).
+fn opt_usize(v: Option<usize>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// Formats a float as a JSON number (non-finite values become `0`,
+/// which JSON cannot represent).
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Validates that `input` is well-formed JSON-lines: every non-empty line
+/// must parse as a standalone JSON value. Returns the number of lines
+/// validated.
+///
+/// This is a deliberately minimal structural parser (objects, arrays,
+/// strings with escapes, numbers, booleans, null) so schema checks work
+/// without a JSON dependency — CI's trace-smoke job and the integration
+/// tests both run exported traces through it.
+///
+/// # Errors
+///
+/// Returns `(line_number, message)` for the first malformed line
+/// (1-based).
+pub fn validate_jsonl(input: &str) -> Result<usize, (usize, String)> {
+    let mut lines = 0;
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut p = JsonParser {
+            bytes: line.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        p.value().map_err(|e| (i + 1, e))?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err((i + 1, format!("trailing bytes at offset {}", p.pos)));
+        }
+        lines += 1;
+    }
+    Ok(lines)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at offset {}",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected '{lit}' at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        while let Some(c) = self.peek() {
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => {
+                    // Any single escaped byte is fine for validation
+                    // purposes (\uXXXX consumes its hex digits below).
+                    match self.peek() {
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(h) if h.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => return Err("bad \\u escape".to_string()),
+                                }
+                            }
+                        }
+                        Some(_) => self.pos += 1,
+                        None => return Err("dangling escape".to_string()),
+                    }
+                }
+                _ => {}
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(format!("bad number at offset {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(format!("bad fraction at offset {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(format!("bad exponent at offset {start}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_round_trip_and_jsonl_schema() {
+        let mut t = TraceRecorder::new();
+        assert!(t.is_empty());
+        t.set_epoch(2);
+        t.record_span(SpanKind::Sample, None, 0.0, 0.25);
+        t.record_span(SpanKind::Forward, Some(7), 0.3, 0.1);
+        t.record_mem_events(
+            7,
+            vec![MemEvent {
+                seq: 0,
+                at_sec: 0.31,
+                total_bytes: 128,
+                delta_bytes: 128,
+                category: "blocks",
+            }],
+        );
+        t.record_peak(7, 128, vec![("blocks", 128), ("labels", 0)]);
+        t.record_drift(7, 150, 128);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.spans()[0].epoch, 2);
+        assert_eq!(t.spans()[1].step, Some(7));
+        assert!((t.max_drift_ratio() - 128.0 / 150.0).abs() < 1e-12);
+        assert!(t.all_admissible());
+
+        let jsonl = t.to_jsonl();
+        let lines = validate_jsonl(&jsonl).expect("exported trace must be valid JSONL");
+        assert_eq!(lines, 5);
+        assert!(jsonl.contains("\"type\":\"span\""));
+        assert!(jsonl.contains("\"kind\":\"sample\""));
+        assert!(jsonl.contains("\"step\":null"));
+        assert!(jsonl.contains("\"type\":\"mem\""));
+        assert!(jsonl.contains("\"type\":\"peak\""));
+        assert!(jsonl.contains("\"type\":\"drift\""));
+
+        let summary = t.summary();
+        assert!(summary.contains("sample"), "{summary}");
+        assert!(summary.contains("drift"), "{summary}");
+        assert!(summary.contains("all estimates admissible"), "{summary}");
+    }
+
+    #[test]
+    fn drift_ratio_flags_underestimates() {
+        let d = DriftRecord {
+            epoch: 0,
+            step: 0,
+            estimated_bytes: 100,
+            measured_bytes: 150,
+        };
+        assert!(!d.admissible());
+        assert!((d.ratio() - 1.5).abs() < 1e-12);
+        let mut t = TraceRecorder::new();
+        t.record_drift(0, 100, 150);
+        assert!(!t.all_admissible());
+        assert!(t.summary().contains("UNDERESTIMATES"));
+        // Zero estimate never divides by zero.
+        let z = DriftRecord {
+            epoch: 0,
+            step: 0,
+            estimated_bytes: 0,
+            measured_bytes: 5,
+        };
+        assert!(z.ratio().is_finite());
+    }
+
+    #[test]
+    fn timeline_sequences_and_drains() {
+        let mut tl = MemTimeline::new();
+        assert!(tl.is_empty());
+        tl.record(100, 100, "parameters");
+        tl.record(40, -60, "free_all");
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl.events()[0].seq, 0);
+        assert_eq!(tl.events()[1].delta_bytes, -60);
+        let drained = tl.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(tl.is_empty());
+        tl.record(0, -40, "free_all");
+        assert_eq!(tl.events()[0].seq, 2, "sequence survives draining");
+    }
+
+    #[test]
+    fn validator_accepts_good_and_rejects_bad() {
+        assert_eq!(
+            validate_jsonl("{\"a\":1}\n[1,2,3]\n\"x\\\"y\\u00e9\"\n-1.5e-3\ntrue\nnull\n").unwrap(),
+            6
+        );
+        assert_eq!(validate_jsonl("\n\n").unwrap(), 0);
+        assert!(validate_jsonl("{\"a\":}").is_err());
+        assert!(validate_jsonl("{\"a\":1,}").is_err());
+        assert!(validate_jsonl("[1,2").is_err());
+        assert!(validate_jsonl("\"unterminated").is_err());
+        assert!(validate_jsonl("1.").is_err());
+        assert!(validate_jsonl("{} extra").is_err());
+        let err = validate_jsonl("{\"ok\":1}\nnot json").unwrap_err();
+        assert_eq!(err.0, 2, "error names the offending line");
+    }
+
+    #[test]
+    fn span_kind_names_are_stable() {
+        assert_eq!(SpanKind::ALL.len(), 7);
+        for kind in SpanKind::ALL {
+            assert!(!kind.name().is_empty());
+            assert_eq!(kind.to_string(), kind.name());
+        }
+    }
+}
