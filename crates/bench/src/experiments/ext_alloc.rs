@@ -1,0 +1,233 @@
+//! Extension exhibit: allocator traffic of the zero-realloc hot path.
+//!
+//! The trainer keeps one autograd tape alive across micro-batches and
+//! recycles every value/gradient buffer through the tape's
+//! [`betty_tensor::BufferPool`], so a steady-state epoch (same-shaped
+//! micro-batches, cached partitioning) rebuilds its forward/backward pass
+//! without going back to the heap. This exhibit quantifies that claim and
+//! re-checks the correctness contract around it:
+//!
+//! 1. **Heap-allocation ratio** — identical steady-state epoch loops run
+//!    with the pool on and off (`--no-pool`), at 1 and 4 worker threads,
+//!    inside the counting global allocator the `ext_alloc` binary
+//!    installs. Pool-off must need ≥ 5× more allocation requests. When
+//!    the counting allocator is not installed (e.g. this exhibit invoked
+//!    from `cargo bench --bench paper`, whose process keeps the system
+//!    allocator), the ratio columns report `n/a` and only wall-clock and
+//!    pool counters are compared.
+//! 2. **Bit-identity** — per-epoch losses and final parameters must match
+//!    bit-for-bit across all four runs: pooled buffers are fully
+//!    overwritten before use and thread count never changes the math, so
+//!    pooling is pure mechanics. This is asserted, not just reported.
+//! 3. **Pool hit rate** — after a one-epoch warm-up, the measured epochs
+//!    must serve at least [`STEADY_STATE_HIT_RATE`] of buffer requests
+//!    from recycled storage. CI's alloc-smoke job re-checks this from the
+//!    JSON artifact (`BENCH_alloc.json`, also at the repo root).
+
+use std::time::Instant;
+
+use betty::{ExperimentConfig, Runner, StrategyKind};
+
+use crate::alloc_count;
+use crate::presets::bench_dataset;
+use crate::report::Table;
+use crate::Profile;
+
+/// Minimum fraction of workspace requests the warm pool must serve from
+/// recycled buffers during the measured (post-warm-up) epochs.
+pub const STEADY_STATE_HIT_RATE: f64 = 0.8;
+
+/// Minimum no-pool/pool heap-allocation ratio on the steady-state loop
+/// (only asserted when the counting allocator is installed).
+pub const MIN_ALLOC_RATIO: f64 = 5.0;
+
+struct RunResult {
+    loss_bits: Vec<u64>,
+    param_bits: Vec<u32>,
+    heap_allocs: u64,
+    steps: usize,
+    wall_sec: f64,
+    hits: u64,
+    misses: u64,
+    bytes_recycled: u64,
+}
+
+/// One steady-state measurement: sample and partition once (batch
+/// preparation is outside the pool's scope), warm up for one epoch so the
+/// pool's cold misses are paid, then run `epochs` training epochs over the
+/// same micro-batches under the allocation counter — the pure forward/
+/// backward/optimizer loop the pooled workspace targets.
+fn measure(
+    ds: &betty_data::Dataset,
+    pool: bool,
+    threads: usize,
+    epochs: usize,
+    k: usize,
+) -> RunResult {
+    betty_runtime::set_thread_override(Some(threads));
+    let config = ExperimentConfig {
+        fanouts: vec![5, 10],
+        hidden_dim: 32,
+        dropout: 0.0,
+        pool,
+        ..ExperimentConfig::default()
+    };
+    let mut runner = Runner::new(ds, &config, 0);
+    let batch = runner.sample_full_batch(ds);
+    let micros = runner.plan_fixed(&batch, StrategyKind::Betty, k).micro_batches;
+    runner
+        .train_micro_batches(ds, &micros)
+        .expect("default capacity fits the bench batch");
+
+    let mut loss_bits = Vec::with_capacity(epochs);
+    let mut steps = 0usize;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut bytes_recycled = 0u64;
+    let allocs_before = alloc_count::allocations();
+    let started = Instant::now();
+    for _ in 0..epochs {
+        let stats = runner
+            .train_micro_batches(ds, &micros)
+            .expect("default capacity fits the bench batch");
+        loss_bits.push(stats.loss.to_bits());
+        steps += stats.num_steps;
+        hits += stats.pool_hits;
+        misses += stats.pool_misses;
+        bytes_recycled += stats.pool_bytes_recycled;
+    }
+    let wall_sec = started.elapsed().as_secs_f64();
+    let heap_allocs = alloc_count::allocations() - allocs_before;
+    betty_runtime::set_thread_override(None);
+
+    let param_bits = runner
+        .trainer()
+        .model()
+        .params()
+        .iter()
+        .flat_map(|p| p.value().data().iter().map(|v| v.to_bits()))
+        .collect();
+    RunResult {
+        loss_bits,
+        param_bits,
+        heap_allocs,
+        steps,
+        wall_sec,
+        hits,
+        misses,
+        bytes_recycled,
+    }
+}
+
+/// Runs the exhibit.
+pub fn run(profile: Profile) {
+    let ds = bench_dataset("ogbn-arxiv", profile);
+    let epochs = profile.epochs(8);
+    let k = 4usize;
+    let counting = alloc_count::installed();
+    if !counting {
+        println!(
+            "ext_alloc: counting allocator not installed in this process; \
+             reporting wall-clock and pool counters only"
+        );
+    }
+
+    let mut table = Table::new(
+        "BENCH_alloc",
+        "heap-allocation traffic of the steady-state epoch loop (pool vs --no-pool)",
+        &[
+            "threads",
+            "pool",
+            "epochs",
+            "steps",
+            "heap allocs",
+            "allocs/step",
+            "wall (s)",
+            "hit rate",
+            "MiB recycled",
+            "alloc ratio",
+            "loss+params",
+        ],
+    );
+
+    for threads in [1usize, 4] {
+        let pooled = measure(&ds, true, threads, epochs, k);
+        let plain = measure(&ds, false, threads, epochs, k);
+
+        // The determinism contract: pooling and thread count change
+        // mechanics only, never a single bit of the math.
+        assert_eq!(
+            pooled.loss_bits, plain.loss_bits,
+            "threads={threads}: pooled losses must be bit-identical to --no-pool"
+        );
+        assert_eq!(
+            pooled.param_bits, plain.param_bits,
+            "threads={threads}: pooled parameters must be bit-identical to --no-pool"
+        );
+        assert_eq!(plain.hits, 0, "a disabled pool must never serve a buffer");
+
+        let total = pooled.hits + pooled.misses;
+        let hit_rate = if total == 0 {
+            0.0
+        } else {
+            pooled.hits as f64 / total as f64
+        };
+        assert!(
+            hit_rate >= STEADY_STATE_HIT_RATE,
+            "threads={threads}: steady-state hit rate {hit_rate:.3} below {STEADY_STATE_HIT_RATE}"
+        );
+
+        let ratio = if counting && pooled.heap_allocs > 0 {
+            Some(plain.heap_allocs as f64 / pooled.heap_allocs as f64)
+        } else {
+            None
+        };
+        if let Some(r) = ratio {
+            assert!(
+                r >= MIN_ALLOC_RATIO,
+                "threads={threads}: --no-pool made only {r:.2}x more heap allocations \
+                 ({} vs {}), expected >= {MIN_ALLOC_RATIO}x",
+                plain.heap_allocs,
+                pooled.heap_allocs
+            );
+        }
+
+        for (label, run, ratio_cell) in [
+            (
+                "on",
+                &pooled,
+                ratio.map_or("n/a".to_string(), |r| format!("{r:.1}x")),
+            ),
+            ("off", &plain, "1.0x (baseline)".to_string()),
+        ] {
+            let run_total = run.hits + run.misses;
+            let run_rate = if run_total == 0 {
+                0.0
+            } else {
+                run.hits as f64 / run_total as f64
+            };
+            table.row(vec![
+                threads.to_string(),
+                label.to_string(),
+                epochs.to_string(),
+                run.steps.to_string(),
+                if counting {
+                    run.heap_allocs.to_string()
+                } else {
+                    "n/a".to_string()
+                },
+                if counting && run.steps > 0 {
+                    format!("{:.0}", run.heap_allocs as f64 / run.steps as f64)
+                } else {
+                    "n/a".to_string()
+                },
+                crate::report::secs(run.wall_sec),
+                format!("{run_rate:.3}"),
+                crate::report::mib(run.bytes_recycled as usize),
+                ratio_cell,
+                "bit-identical".to_string(),
+            ]);
+        }
+    }
+    table.finish();
+}

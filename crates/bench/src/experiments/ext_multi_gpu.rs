@@ -21,7 +21,7 @@ pub fn run(profile: Profile) {
     config.fanouts = vec![10, 15];
     let k = 16;
     let mut table = Table::new(
-        "ext_multi_gpu",
+        "BENCH_multi_gpu",
         &format!("multi-device scaling, K = {k} micro-batches (LSTM SAGE)"),
         &["devices", "wall sec", "speedup", "sync ms", "busiest-dev steps"],
     );

@@ -22,7 +22,7 @@ pub fn run(profile: Profile) {
         Profile::Full => &[8, 32],
     };
     let mut table = Table::new(
-        "ext_overhead",
+        "BENCH_overhead",
         "partitioning overhead vs training time (ms)",
         &["K", "strategy", "partition", "extraction", "train epoch"],
     );
@@ -49,7 +49,7 @@ pub fn run(profile: Profile) {
     // cached-plan mode) and compare total wall time over an epoch budget.
     let epochs = profile.epochs(12);
     let mut t2 = Table::new(
-        "ext_overhead_amortized",
+        "BENCH_overhead_amortized",
         &format!("plan caching over {epochs} epochs (K = 8, Betty)"),
         &["mode", "partitionings paid", "total sec"],
     );

@@ -60,7 +60,7 @@ pub fn run(profile: Profile) {
     ];
 
     let mut table = Table::new(
-        "ext_recovery",
+        "BENCH_recovery",
         &format!("checkpointed OOM recovery over {epochs} epochs (cora, SAGE)"),
         &["scenario", "faults", "retries", "final K", "val acc"],
     );

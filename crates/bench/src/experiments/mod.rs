@@ -2,6 +2,7 @@
 //! table(s) and writes JSON rows under `experiments_out/`.
 
 pub mod ablation;
+pub mod ext_alloc;
 pub mod ext_multi_gpu;
 pub mod ext_overhead;
 pub mod ext_pipeline;
@@ -44,4 +45,5 @@ pub fn run_all(profile: Profile) {
     ext_pipeline::run(profile);
     ext_recovery::run(profile);
     ext_trace::run(profile);
+    ext_alloc::run(profile);
 }

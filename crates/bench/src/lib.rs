@@ -11,6 +11,7 @@
 //! differ from the paper while orderings, ratios, and crossovers are the
 //! reproduction targets.
 
+pub mod alloc_count;
 pub mod experiments;
 pub mod presets;
 pub mod report;

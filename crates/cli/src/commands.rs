@@ -75,6 +75,7 @@ fn experiment_config(args: &Args) -> Result<ExperimentConfig, Box<dyn Error>> {
             headroom: args.get_or("retry-headroom", RetryPolicy::default().headroom)?,
         },
         prefetch: !args.has_flag("no-prefetch"),
+        pool: !args.has_flag("no-pool"),
         ..ExperimentConfig::default()
     };
     config.validate().map_err(ArgError)?;

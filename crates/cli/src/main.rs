@@ -50,6 +50,11 @@ GLOBAL FLAGS (accepted by every command, after the command name):
   --no-prefetch  disable double-buffered transfer prefetch during training
                  (prefetch is on by default; losses are identical either
                  way, only timing and the device-memory schedule change)
+  --no-pool      disable the pooled tensor workspace: every micro-batch
+                 rebuilds its autograd tape from fresh heap allocations
+                 (pooling is on by default; losses and parameters are
+                 bit-identical either way — this is an escape hatch for
+                 allocator-level debugging and the alloc benchmarks)
 
 Presets: cora, pubmed, reddit, ogbn-arxiv, ogbn-products.
 

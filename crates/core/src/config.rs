@@ -57,6 +57,12 @@ pub struct ExperimentConfig {
     /// planner; losses are bit-identical either way (only timing and the
     /// memory schedule change). The CLI exposes this as `--no-prefetch`.
     pub prefetch: bool,
+    /// Pooled tensor workspace: the trainer reuses one autograd tape and
+    /// recycles its value/gradient buffers across micro-batches, so
+    /// steady-state epochs run with near-zero allocator traffic. Pooled
+    /// buffers are fully overwritten before use, so losses and parameters
+    /// are bit-identical either way. The CLI exposes this as `--no-pool`.
+    pub pool: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -74,6 +80,7 @@ impl Default for ExperimentConfig {
             fault_plan: None,
             retry: RetryPolicy::default(),
             prefetch: true,
+            pool: true,
         }
     }
 }

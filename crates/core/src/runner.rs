@@ -207,6 +207,7 @@ impl Runner {
             Device::new(config.capacity_bytes),
             seed.wrapping_add(1),
         );
+        trainer.set_pooling(config.pool);
         if let Some(fault_plan) = &config.fault_plan {
             trainer.arm_faults(fault_plan);
         }

@@ -65,6 +65,16 @@ pub struct EpochStats {
     /// under-predicted at least one step, the direction that can OOM a
     /// plan that "fits". 0 when the epoch ran without a plan.
     pub estimator_drift: f64,
+    /// Tensor-workspace buffers served from the trainer's pool during this
+    /// epoch (a hit avoids one heap allocation). 0 when pooling is off.
+    pub pool_hits: u64,
+    /// Workspace requests the pool had to satisfy with a fresh heap
+    /// allocation. In steady state (same-shaped micro-batches) this
+    /// approaches 0 and `pool_hits` dominates.
+    pub pool_misses: u64,
+    /// Bytes handed back out from recycled buffers instead of the heap
+    /// (`4 * elements` summed over every pool hit).
+    pub pool_bytes_recycled: u64,
 }
 
 impl EpochStats {

@@ -12,8 +12,8 @@ use betty_device::{
     BYTES_PER_VALUE,
 };
 use betty_graph::Batch;
-use betty_nn::{zero_grads, Adam, GnnModel, Optimizer, Param, Session};
-use betty_tensor::{segment, Reduction};
+use betty_nn::{Adam, GnnModel, Optimizer, Param, Session};
+use betty_tensor::{segment, PoolStats, Reduction};
 use betty_trace::{SpanKind, TraceRecorder};
 
 use crate::accounting::{StepCharges, StepSizes};
@@ -166,6 +166,11 @@ pub struct Trainer {
     rng: Pcg64Mcg,
     global_step: usize,
     trace: Option<TraceRecorder>,
+    /// Persistent autograd workspace: with pooling on, each step resets the
+    /// tape in place and rebuilds it from recycled buffers instead of
+    /// reallocating the whole forward/backward state.
+    session: Session,
+    pooling: bool,
 }
 
 impl fmt::Debug for Trainer {
@@ -188,7 +193,29 @@ impl Trainer {
             rng: Pcg64Mcg::seed_from_u64(seed),
             global_step: 0,
             trace: None,
+            session: Session::new(),
+            pooling: true,
         }
+    }
+
+    /// Turns the pooled tensor workspace on or off (`--no-pool` escape
+    /// hatch). Pooling changes allocator traffic only: losses, gradients,
+    /// parameters, and device accounting are bit-identical either way,
+    /// because every pooled buffer is fully overwritten before it is read.
+    pub fn set_pooling(&mut self, on: bool) {
+        self.pooling = on;
+        self.session.graph.set_pool_enabled(on);
+    }
+
+    /// Whether the pooled workspace is active.
+    pub fn pooling(&self) -> bool {
+        self.pooling
+    }
+
+    /// Cumulative workspace-pool counters (hits, misses, bytes recycled)
+    /// since this trainer was created.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.session.graph.pool_stats()
     }
 
     /// Starts trace recording: step spans, the device-memory timeline,
@@ -318,6 +345,32 @@ impl Trainer {
         self.device.free_all();
     }
 
+    /// Folds this epoch's workspace-pool activity (counter delta since
+    /// `before`) into the epoch stats and, when tracing, the trace stream.
+    fn finish_epoch_pool_stats(&mut self, epoch: &mut EpochStats, before: PoolStats) {
+        let delta = self.session.graph.pool_stats().delta_since(&before);
+        epoch.pool_hits = delta.hits;
+        epoch.pool_misses = delta.misses;
+        epoch.pool_bytes_recycled = delta.bytes_recycled;
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record_alloc(self.global_step, delta.hits, delta.misses, delta.bytes_recycled);
+        }
+    }
+
+    /// Returns the persistent tape to its empty state (recycling its
+    /// buffers when pooling, or rebuilding it fresh when not), releasing
+    /// every `Arc` clone it holds of parameter values. Must run before an
+    /// optimizer step: a live tape would force copy-on-write of each
+    /// parameter the step touches.
+    fn release_tape(&mut self) {
+        if self.pooling {
+            self.session.reset();
+        } else {
+            self.session = Session::new();
+            self.session.graph.set_pool_enabled(false);
+        }
+    }
+
     /// Trains one *effective batch* as a sequence of micro-batches with
     /// gradient accumulation: a single optimizer update at the end
     /// (Fig. 6's micro-batch workflow).
@@ -355,7 +408,8 @@ impl Trainer {
             .sum();
         let mut epoch = EpochStats::default();
         let mut steps = Vec::with_capacity(micro_batches.len());
-        zero_grads(&mut self.model.params_mut());
+        let pool_before = self.session.graph.pool_stats();
+        self.model.for_each_param_mut(&mut |p| p.zero_grad());
         for mb in micro_batches {
             if mb.output_nodes().is_empty() {
                 continue;
@@ -368,8 +422,10 @@ impl Trainer {
         // stepping Adam anyway would advance its timestep and push stale
         // momentum into the parameters.
         if !steps.is_empty() {
+            self.release_tape();
             self.optimizer.step(&mut self.model.params_mut());
         }
+        self.finish_epoch_pool_stats(&mut epoch, pool_before);
         Ok((epoch, steps))
     }
 
@@ -419,7 +475,8 @@ impl Trainer {
         let mode = LossMode::MicroBatch { effective_batch };
         let mut epoch = EpochStats::default();
         let mut steps = Vec::with_capacity(active.len());
-        zero_grads(&mut self.model.params_mut());
+        let pool_before = self.session.graph.pool_stats();
+        self.model.for_each_param_mut(&mut |p| p.zero_grad());
         let mut staged: Option<StagedTransfer> = None;
         for (i, mb) in active.iter().enumerate() {
             let stage_next = active.get(i + 1).copied();
@@ -435,8 +492,10 @@ impl Trainer {
         // Same guard as the non-prefetched path: an all-empty epoch must
         // not advance the optimizer.
         if !steps.is_empty() {
+            self.release_tape();
             self.optimizer.step(&mut self.model.params_mut());
         }
+        self.finish_epoch_pool_stats(&mut epoch, pool_before);
         Ok((epoch, steps))
     }
 
@@ -452,12 +511,14 @@ impl Trainer {
         batches: &[Batch],
     ) -> Result<EpochStats, TrainError> {
         let mut epoch = EpochStats::default();
+        let pool_before = self.session.graph.pool_stats();
         for batch in batches {
             if batch.output_nodes().is_empty() {
                 continue;
             }
-            zero_grads(&mut self.model.params_mut());
+            self.model.for_each_param_mut(&mut |p| p.zero_grad());
             let step = self.run_step(dataset, batch, &LossMode::MiniBatch)?;
+            self.release_tape();
             self.optimizer.step(&mut self.model.params_mut());
             epoch.absorb(&step);
         }
@@ -465,6 +526,7 @@ impl Trainer {
         if epoch.num_steps > 0 {
             epoch.loss /= epoch.num_steps as f64;
         }
+        self.finish_epoch_pool_stats(&mut epoch, pool_before);
         Ok(epoch)
     }
 
@@ -557,23 +619,39 @@ impl Trainer {
             None => None,
         };
 
-        // Host-side feature gather for the micro-batch's input nodes.
-        let input_idx: Vec<usize> = batch
-            .input_nodes()
-            .iter()
-            .map(|&v| v as usize)
-            .collect();
-        let input_feats = segment::gather_rows(&dataset.features, &input_idx);
+        // Reuse the persistent workspace: reset drains the previous step's
+        // tape into the buffer pool, so this step's identically-shaped
+        // tensors are served without touching the allocator. With pooling
+        // off, a fresh session reproduces the historical allocate-per-step
+        // behaviour exactly.
+        self.release_tape();
+
+        // Host-side feature gather for the micro-batch's input nodes,
+        // staged in a pooled scratch buffer (fully overwritten).
+        let mut input_idx = self.session.graph.take_indices();
+        input_idx.extend(batch.input_nodes().iter().map(|&v| v as usize));
+        let mut input_feats = self
+            .session
+            .graph
+            .take_scratch(&[input_idx.len(), dataset.features.cols()]);
+        segment::gather_rows_into(&dataset.features, &input_idx, input_feats.data_mut());
+        self.session.graph.recycle_indices(input_idx);
         let input_bytes = input_feats.size_bytes();
-        let targets = dataset.labels_of(batch.output_nodes());
+        let mut targets = self.session.graph.take_indices();
+        targets.extend(
+            batch
+                .output_nodes()
+                .iter()
+                .map(|&v| dataset.labels[v as usize]),
+        );
 
         // Forward.
         let started = Instant::now();
-        let mut sess = Session::new();
+        let sess = &mut self.session;
         let x = sess.graph.leaf(input_feats);
         let logits = self
             .model
-            .forward(&mut sess, batch.blocks(), x, true, &mut self.rng);
+            .forward(sess, batch.blocks(), x, true, &mut self.rng);
         let loss_var = match mode {
             LossMode::MicroBatch { effective_batch } => {
                 let sum = sess.graph.cross_entropy(logits, &targets, Reduction::Sum);
@@ -581,6 +659,7 @@ impl Trainer {
             }
             LossMode::MiniBatch => sess.graph.cross_entropy(logits, &targets, Reduction::Mean),
         };
+        sess.graph.recycle_indices(targets);
         // Forward/backward boundary, read only when tracing so the
         // untraced path does zero extra clock work.
         let forward_sec = self
@@ -1080,5 +1159,34 @@ mod tests {
         let stats = t.mini_batch_epoch(&ds, &batches).unwrap();
         assert_eq!(stats.num_steps, batches.len());
         assert!(stats.loss.is_finite());
+    }
+
+    #[test]
+    fn pool_toggle_is_bit_identical() {
+        let ds = dataset();
+        let batch = full_batch(&ds, 2);
+        let micros = micros_of(&batch, 4);
+        let mut pooled = Trainer::new(model(&ds, 7), 0.01, Device::unbounded(), 3);
+        let mut plain = Trainer::new(model(&ds, 7), 0.01, Device::unbounded(), 3);
+        plain.set_pooling(false);
+        assert!(pooled.pooling());
+        assert!(!plain.pooling());
+        for _ in 0..3 {
+            let a = pooled.micro_batch_epoch(&ds, &micros).unwrap();
+            let b = plain.micro_batch_epoch(&ds, &micros).unwrap();
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+            assert_eq!(a.max_peak_bytes, b.max_peak_bytes);
+            // Only the pooled trainer recycles buffers.
+            assert_eq!(b.pool_hits, 0);
+            assert_eq!(b.pool_bytes_recycled, 0);
+        }
+        assert_eq!(
+            param_bits(&pooled),
+            param_bits(&plain),
+            "pooling must not change a single parameter bit"
+        );
+        let stats = pooled.pool_stats();
+        assert!(stats.hits > 0, "steady state must reuse buffers: {stats:?}");
+        assert!(stats.bytes_recycled > 0);
     }
 }

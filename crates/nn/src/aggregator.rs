@@ -71,10 +71,12 @@ impl Aggregator {
 
     /// Aggregates neighbor features for every destination of `block`.
     pub fn forward(&self, sess: &mut Session, block: &Block, src_feats: VarId) -> VarId {
-        let edge_src: Vec<usize> = block.edge_src_locals().iter().map(|&s| s as usize).collect();
-        let edge_dst: Vec<usize> = block.edge_dst_locals().iter().map(|&d| d as usize).collect();
+        let mut edge_src = sess.graph.take_indices();
+        edge_src.extend(block.edge_src_locals().iter().map(|&s| s as usize));
+        let mut edge_dst = sess.graph.take_indices();
+        edge_dst.extend(block.edge_dst_locals().iter().map(|&d| d as usize));
         let n_dst = block.num_dst();
-        match self {
+        let out = match self {
             // Mean/Sum use the fused kernel: no [E, D] message tensor is
             // materialized (mirroring DGL's fused message passing, which is
             // why these aggregators are the memory-cheap ones in Fig. 2).
@@ -93,7 +95,10 @@ impl Aggregator {
                 sess.graph.segment_max(activated, &edge_dst, n_dst)
             }
             Aggregator::Lstm(cell) => lstm_aggregate(sess, cell, block, src_feats),
-        }
+        };
+        sess.graph.recycle_indices(edge_src);
+        sess.graph.recycle_indices(edge_dst);
+        out
     }
 
     /// The aggregator's own parameters (empty for Mean/Sum).
@@ -111,6 +116,15 @@ impl Aggregator {
             Aggregator::Mean | Aggregator::Sum => Vec::new(),
             Aggregator::Pool(fc) => fc.params_mut(),
             Aggregator::Lstm(cell) => cell.params_mut(),
+        }
+    }
+
+    /// Visits the aggregator's parameters without materializing a list.
+    pub fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match self {
+            Aggregator::Mean | Aggregator::Sum => {}
+            Aggregator::Pool(fc) => fc.for_each_param_mut(f),
+            Aggregator::Lstm(cell) => cell.for_each_param_mut(f),
         }
     }
 
@@ -137,17 +151,22 @@ fn lstm_aggregate(sess: &mut Session, cell: &LstmCell, block: &Block, src_feats:
         // Timestep t gathers the t-th neighbor of every bucket member.
         let (mut h, mut c) = cell.zero_state(sess, nodes.len());
         for t in 0..degree {
-            let idx: Vec<usize> = nodes
-                .iter()
-                .map(|&d| block.in_edges(d as usize)[t] as usize)
-                .collect();
+            let mut idx = sess.graph.take_indices();
+            idx.extend(
+                nodes
+                    .iter()
+                    .map(|&d| block.in_edges(d as usize)[t] as usize),
+            );
             let x = sess.graph.gather_rows(src_feats, &idx);
+            sess.graph.recycle_indices(idx);
             let (nh, nc) = cell.step(sess, x, h, c);
             h = nh;
             c = nc;
         }
-        let positions: Vec<usize> = nodes.iter().map(|&d| d as usize).collect();
+        let mut positions = sess.graph.take_indices();
+        positions.extend(nodes.iter().map(|&d| d as usize));
         let placed = sess.graph.scatter_rows(h, &positions, n_dst);
+        sess.graph.recycle_indices(positions);
         combined = Some(match combined {
             Some(acc) => sess.graph.add(acc, placed),
             None => placed,

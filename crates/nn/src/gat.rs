@@ -128,6 +128,13 @@ impl GatConv {
         p.push(&mut self.attn_r);
         p
     }
+
+    /// Visits the layer's parameters without materializing a list.
+    pub fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.fc.for_each_param_mut(f);
+        f(&mut self.attn_l);
+        f(&mut self.attn_r);
+    }
 }
 
 #[cfg(test)]

@@ -68,6 +68,11 @@ impl GcnConv {
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         self.linear.params_mut()
     }
+
+    /// Visits the layer's parameters without materializing a list.
+    pub fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.linear.for_each_param_mut(f);
+    }
 }
 
 #[cfg(test)]

@@ -74,6 +74,13 @@ impl GinConv {
         p.extend(self.fc2.params_mut());
         p
     }
+
+    /// Visits the layer's parameters without materializing a list.
+    pub fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.eps);
+        self.fc1.for_each_param_mut(f);
+        self.fc2.for_each_param_mut(f);
+    }
 }
 
 #[cfg(test)]

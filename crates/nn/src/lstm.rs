@@ -80,6 +80,12 @@ impl LstmCell {
         vec![&mut self.weight, &mut self.bias]
     }
 
+    /// Visits both parameters without materializing a parameter list.
+    pub fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
     /// Scalar parameter count.
     pub fn num_params(&self) -> usize {
         self.weight.len() + self.bias.len()

@@ -30,6 +30,16 @@ pub trait GnnModel {
     /// Mutable access to all trainable parameters.
     fn params_mut(&mut self) -> Vec<&mut Param>;
 
+    /// Visits every trainable parameter mutably, in [`GnnModel::params_mut`]
+    /// order, without materializing the parameter list — the training hot
+    /// path calls this every micro-batch, so built-in models override it
+    /// with an allocation-free walk.
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for p in self.params_mut() {
+            f(p);
+        }
+    }
+
     /// Number of GNN layers (= blocks consumed per forward).
     fn num_layers(&self) -> usize;
 
@@ -182,6 +192,12 @@ impl GnnModel for GraphSage {
         self.layers.iter_mut().flat_map(SageConv::params_mut).collect()
     }
 
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.for_each_param_mut(f);
+        }
+    }
+
     fn num_layers(&self) -> usize {
         self.layers.len()
     }
@@ -309,6 +325,12 @@ impl GnnModel for Gcn {
         self.layers.iter_mut().flat_map(GcnConv::params_mut).collect()
     }
 
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.for_each_param_mut(f);
+        }
+    }
+
     fn num_layers(&self) -> usize {
         self.layers.len()
     }
@@ -426,6 +448,12 @@ impl GnnModel for Gin {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.layers.iter_mut().flat_map(GinConv::params_mut).collect()
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.for_each_param_mut(f);
+        }
     }
 
     fn num_layers(&self) -> usize {
@@ -562,6 +590,12 @@ impl GnnModel for Gat {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.layers.iter_mut().flat_map(GatConv::params_mut).collect()
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.for_each_param_mut(f);
+        }
     }
 
     fn num_layers(&self) -> usize {

@@ -31,8 +31,7 @@ impl SageConv {
     pub fn forward(&self, sess: &mut Session, block: &Block, src_feats: VarId) -> VarId {
         // Destination self-features are the first num_dst source rows
         // (the Block construction guarantees this ordering).
-        let self_idx: Vec<usize> = (0..block.num_dst()).collect();
-        let h_dst = sess.graph.gather_rows(src_feats, &self_idx);
+        let h_dst = sess.graph.slice_rows(src_feats, block.num_dst());
         let h_neigh = self.aggregator.forward(sess, block, src_feats);
         let out_self = self.fc_self.forward(sess, h_dst);
         let out_neigh = self.fc_neigh.forward(sess, h_neigh);
@@ -70,6 +69,13 @@ impl SageConv {
         p.extend(self.fc_neigh.params_mut());
         p.extend(self.aggregator.params_mut());
         p
+    }
+
+    /// Visits all parameters without materializing a parameter list.
+    pub fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.fc_self.for_each_param_mut(f);
+        self.fc_neigh.for_each_param_mut(f);
+        self.aggregator.for_each_param_mut(f);
     }
 }
 

@@ -41,6 +41,15 @@ impl Session {
         self.graph
     }
 
+    /// Clears the tape and bindings for the next micro-batch while keeping
+    /// the tape's buffer pool warm: values and gradients from the finished
+    /// step are recycled instead of freed, so rebuilding a same-shaped
+    /// forward pass performs almost no heap allocation.
+    pub fn reset(&mut self) {
+        self.graph.reset();
+        self.bindings.clear();
+    }
+
     /// Returns the tape leaf bound to `param`, creating it on first use.
     pub fn bind(&mut self, param: &Param) -> VarId {
         if let Some(&v) = self.bindings.get(&param.id()) {
@@ -57,13 +66,14 @@ impl Session {
     /// Parameters that did not participate in `loss` are left untouched.
     pub fn backward(&mut self, loss: VarId, model: &mut dyn GnnModel) {
         self.graph.backward(loss);
-        for param in model.params_mut() {
-            if let Some(&var) = self.bindings.get(&param.id()) {
-                if let Some(grad) = self.graph.grad(var) {
-                    param.accumulate_grad(&grad.clone());
+        let Session { graph, bindings } = self;
+        model.for_each_param_mut(&mut |param| {
+            if let Some(&var) = bindings.get(&param.id()) {
+                if let Some(grad) = graph.grad(var) {
+                    param.accumulate_grad(grad);
                 }
             }
-        }
+        });
     }
 
     /// Total bytes of forward activations held by the tape — what the
@@ -99,5 +109,20 @@ mod tests {
         let p = Param::new(Tensor::ones(&[2]));
         let q = Param::new(Tensor::ones(&[2]));
         assert_ne!(s.bind(&p), s.bind(&q));
+    }
+
+    #[test]
+    fn reset_clears_bindings_and_recycles_tape() {
+        let mut s = Session::new();
+        let p = Param::new(Tensor::ones(&[2, 2]));
+        s.bind(&p);
+        assert_eq!(s.num_bindings(), 1);
+        s.reset();
+        assert_eq!(s.num_bindings(), 0);
+        assert_eq!(s.activation_bytes(), 0);
+        // The session stays usable after reset.
+        let v = s.bind(&p);
+        let w = s.graph.relu(v);
+        assert_eq!(s.graph.value(w).shape(), &[2, 2]);
     }
 }

@@ -9,8 +9,18 @@
 //! The engine is deliberately define-by-run: GNN forward passes are shaped by
 //! the sampled graph structure, so a new tape per micro-batch is the natural
 //! fit (and mirrors how PyTorch/DGL execute the original Betty).
+//!
+//! Unlike a naive tape, this one owns a [`BufferPool`]: forward values and
+//! backward gradients are drawn from size-class free lists, and
+//! [`Graph::reset`] drains the finished tape back into the pool instead of
+//! freeing it. Micro-batched training replays near-identical shapes every
+//! step, so after a warm-up step the tape is rebuilt with almost no heap
+//! allocation. Pooled and unpooled execution run the same kernels on the
+//! same bytes — every pooled buffer is fully written before it is read — so
+//! results are bit-identical either way.
 
 use crate::kernels;
+use crate::pool::{BufferPool, PoolStats};
 use crate::segment;
 use crate::Tensor;
 
@@ -18,14 +28,522 @@ use crate::Tensor;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VarId(usize);
 
-type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<Tensor>>;
+/// Parent list specialized for the common arities so recording an op does
+/// not allocate a `Vec` per node.
+enum Parents {
+    None,
+    One(VarId),
+    Two(VarId, VarId),
+    Many(Vec<VarId>),
+}
+
+impl Parents {
+    fn from_slice(ids: &[VarId]) -> Self {
+        match ids {
+            [] => Parents::None,
+            [a] => Parents::One(*a),
+            [a, b] => Parents::Two(*a, *b),
+            _ => Parents::Many(ids.to_vec()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Parents::None => 0,
+            Parents::One(_) => 1,
+            Parents::Two(..) => 2,
+            Parents::Many(v) => v.len(),
+        }
+    }
+
+    fn get(&self, i: usize) -> VarId {
+        match (self, i) {
+            (Parents::One(a), 0) => *a,
+            (Parents::Two(a, _), 0) => *a,
+            (Parents::Two(_, b), 1) => *b,
+            (Parents::Many(v), _) => v[i],
+            _ => panic!("parent index {i} out of range"),
+        }
+    }
+}
+
+/// Pointwise activation recorded by [`Op::Unary`]; `dfdx` computes the
+/// derivative from the op's input `x` and output `y` (whichever is cheaper
+/// for the particular function).
+#[derive(Clone, Copy)]
+enum UnaryKind {
+    Relu,
+    LeakyRelu(f32),
+    Elu(f32),
+    Sigmoid,
+    Tanh,
+}
+
+impl UnaryKind {
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            UnaryKind::Relu => x.max(0.0),
+            UnaryKind::LeakyRelu(alpha) => {
+                if x > 0.0 {
+                    x
+                } else {
+                    alpha * x
+                }
+            }
+            UnaryKind::Elu(alpha) => {
+                if x > 0.0 {
+                    x
+                } else {
+                    alpha * (x.exp() - 1.0)
+                }
+            }
+            UnaryKind::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            UnaryKind::Tanh => x.tanh(),
+        }
+    }
+
+    fn dfdx(self, x: f32, y: f32) -> f32 {
+        match self {
+            UnaryKind::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            UnaryKind::LeakyRelu(alpha) => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    alpha
+                }
+            }
+            UnaryKind::Elu(alpha) => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    y + alpha
+                }
+            }
+            UnaryKind::Sigmoid => y * (1.0 - y),
+            UnaryKind::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+/// The recorded operation of a non-leaf node.
+///
+/// Unlike a boxed closure, an `Op` is a plain enum: recording it performs no
+/// heap allocation beyond its payload, and every payload that does allocate
+/// (index lists, auxiliary tensors) is drawn from — and returned to — the
+/// tape's [`BufferPool`] so steady-state steps rebuild the tape without
+/// touching the allocator. Most adjoints need no payload at all: parent and
+/// output values are read back from the tape during the backward sweep.
+enum Op {
+    Add,
+    Sub,
+    Mul,
+    Scale(f32),
+    Unary(UnaryKind),
+    /// Payload: the dropout mask pre-scaled by `1/(1-p)`.
+    DropoutMask(Tensor),
+    Matmul,
+    AddBias,
+    ScaleRowsBy,
+    MulScalarVar,
+    ConcatCols,
+    ConcatRows,
+    SliceCols {
+        start: usize,
+        len: usize,
+    },
+    /// Prefix-rows view: the output is the first `rows()` rows of the parent.
+    SliceRows,
+    Sum,
+    GatherRows(Vec<usize>),
+    ScatterRows(Vec<usize>),
+    SegmentSum(Vec<usize>),
+    SegmentMean {
+        ids: Vec<usize>,
+        /// `[n_segments]`: `1 / max(count, 1)` per segment.
+        inv: Tensor,
+    },
+    SegmentMax {
+        /// Row index of each `(segment, column)` winner; `usize::MAX` marks
+        /// an empty segment.
+        argmax: Vec<usize>,
+    },
+    FusedSum {
+        gather_ids: Vec<usize>,
+        segment_ids: Vec<usize>,
+    },
+    FusedMean {
+        gather_ids: Vec<usize>,
+        segment_ids: Vec<usize>,
+        /// `[n_segments]`: `1 / count` per segment (0 for empty segments).
+        inv: Tensor,
+    },
+    FusedWeightedSum {
+        gather_ids: Vec<usize>,
+        segment_ids: Vec<usize>,
+        /// `[num_edges]` per-edge weights.
+        weights: Tensor,
+    },
+    SegmentSoftmax {
+        ids: Vec<usize>,
+        n_segments: usize,
+    },
+    LogSoftmaxRows,
+    CrossEntropy {
+        /// `[n, classes]` log-softmax of the logits, kept for the adjoint.
+        log_probs: Tensor,
+        targets: Vec<usize>,
+        reduction: Reduction,
+    },
+}
+
+impl Op {
+    /// Returns the op's pooled payloads to `pool` when the tape resets.
+    /// Payload tensors that still alias a node value are skipped by
+    /// [`BufferPool::give`] and simply dropped.
+    fn recycle_into(self, pool: &mut BufferPool) {
+        match self {
+            Op::DropoutMask(t) => pool.give(t),
+            Op::GatherRows(idx) | Op::ScatterRows(idx) | Op::SegmentSum(idx) => {
+                pool.give_indices(idx);
+            }
+            Op::SegmentMean { ids, inv } => {
+                pool.give_indices(ids);
+                pool.give(inv);
+            }
+            Op::SegmentMax { argmax } => pool.give_indices(argmax),
+            Op::FusedSum {
+                gather_ids,
+                segment_ids,
+            } => {
+                pool.give_indices(gather_ids);
+                pool.give_indices(segment_ids);
+            }
+            Op::FusedMean {
+                gather_ids,
+                segment_ids,
+                inv,
+            } => {
+                pool.give_indices(gather_ids);
+                pool.give_indices(segment_ids);
+                pool.give(inv);
+            }
+            Op::FusedWeightedSum {
+                gather_ids,
+                segment_ids,
+                weights,
+            } => {
+                pool.give_indices(gather_ids);
+                pool.give_indices(segment_ids);
+                pool.give(weights);
+            }
+            Op::SegmentSoftmax { ids, .. } => pool.give_indices(ids),
+            Op::CrossEntropy {
+                log_probs, targets, ..
+            } => {
+                pool.give(log_probs);
+                pool.give_indices(targets);
+            }
+            _ => {}
+        }
+    }
+
+    /// Adjoint: maps the output gradient `g` of node `i` to one gradient per
+    /// parent (in parent order), pushed into `out`. Gradients are drawn from
+    /// the pool so the backward sweep recycles them.
+    fn backward(
+        &self,
+        nodes: &[Node],
+        i: usize,
+        g: &Tensor,
+        pool: &mut BufferPool,
+        out: &mut Vec<Tensor>,
+    ) {
+        let parent = |j: usize| &nodes[nodes[i].parents.get(j).0].value;
+        let value = &nodes[i].value;
+        match self {
+            Op::Add => {
+                out.push(pooled_copy(pool, g));
+                out.push(pooled_copy(pool, g));
+            }
+            Op::Sub => {
+                out.push(pooled_copy(pool, g));
+                let mut db = pool.scratch(g.shape());
+                kernels::map_into(g, db.data_mut(), |x| -x);
+                out.push(db);
+            }
+            Op::Mul => {
+                let (av, bv) = (parent(0), parent(1));
+                let mut da = pool.scratch(g.shape());
+                kernels::zip_map_into(g, bv, da.data_mut(), |x, y| x * y);
+                out.push(da);
+                let mut db = pool.scratch(g.shape());
+                kernels::zip_map_into(g, av, db.data_mut(), |x, y| x * y);
+                out.push(db);
+            }
+            Op::Scale(s) => {
+                let s = *s;
+                let mut da = pool.scratch(g.shape());
+                kernels::map_into(g, da.data_mut(), |x| x * s);
+                out.push(da);
+            }
+            Op::Unary(kind) => {
+                let x = parent(0);
+                let mut o = pooled_copy(pool, g);
+                let od = o.data_mut();
+                for ((ov, &xv), &yv) in od.iter_mut().zip(x.data()).zip(value.data()) {
+                    *ov *= kind.dfdx(xv, yv);
+                }
+                out.push(o);
+            }
+            Op::DropoutMask(scaled_mask) => {
+                let mut da = pool.scratch(g.shape());
+                kernels::zip_map_into(g, scaled_mask, da.data_mut(), |x, y| x * y);
+                out.push(da);
+            }
+            Op::Matmul => {
+                let (av, bv) = (parent(0), parent(1));
+                let mut da = pool.scratch(av.shape());
+                kernels::matmul_a_bt_into(g, bv, da.data_mut());
+                out.push(da);
+                let mut db = pool.zeros(bv.shape());
+                kernels::matmul_at_b_into(av, g, db.data_mut());
+                out.push(db);
+            }
+            Op::AddBias => {
+                out.push(pooled_copy(pool, g));
+                let mut db = pool.scratch(&[g.cols()]);
+                kernels::sum_rows_into(g, db.data_mut());
+                out.push(db);
+            }
+            Op::ScaleRowsBy => {
+                let (av, sv) = (parent(0), parent(1));
+                let mut da = pool.scratch(g.shape());
+                kernels::scale_rows_into(g, sv.data(), da.data_mut());
+                out.push(da);
+                let (rows, cols) = (av.rows(), av.cols());
+                let mut ds = pool.scratch(&[rows, 1]);
+                for (r, d) in ds.data_mut().iter_mut().enumerate() {
+                    let grow = g.row(r);
+                    let arow = av.row(r);
+                    *d = (0..cols).map(|c| grow[c] * arow[c]).sum();
+                }
+                out.push(ds);
+            }
+            Op::MulScalarVar => {
+                let (av, sv) = (parent(0), parent(1));
+                let sval = sv.item();
+                let mut da = pool.scratch(g.shape());
+                kernels::map_into(g, da.data_mut(), |x| x * sval);
+                out.push(da);
+                let ds: f32 = g
+                    .data()
+                    .iter()
+                    .zip(av.data())
+                    .map(|(&x, &y)| x * y)
+                    .sum();
+                let mut dst = pool.scratch(&[1]);
+                dst.data_mut()[0] = ds;
+                out.push(dst);
+            }
+            Op::ConcatCols => {
+                let mut offset = 0;
+                for j in 0..nodes[i].parents.len() {
+                    let w = parent(j).cols();
+                    let mut part = pool.scratch(&[g.rows(), w]);
+                    kernels::slice_cols_into(g, offset, w, part.data_mut());
+                    out.push(part);
+                    offset += w;
+                }
+            }
+            Op::ConcatRows => {
+                let cols = g.cols();
+                let mut offset = 0;
+                for j in 0..nodes[i].parents.len() {
+                    let h = parent(j).rows();
+                    let mut part = pool.scratch(&[h, cols]);
+                    part.data_mut()
+                        .copy_from_slice(&g.data()[offset * cols..(offset + h) * cols]);
+                    out.push(part);
+                    offset += h;
+                }
+            }
+            Op::SliceCols { start, len } => {
+                let (rows, cols) = (parent(0).rows(), parent(0).cols());
+                let mut full = pool.zeros(&[rows, cols]);
+                let fd = full.data_mut();
+                for r in 0..rows {
+                    fd[r * cols + start..r * cols + start + len].copy_from_slice(g.row(r));
+                }
+                out.push(full);
+            }
+            Op::SliceRows => {
+                let (rows, cols) = (parent(0).rows(), parent(0).cols());
+                let head = g.rows() * cols;
+                let mut full = pool.zeros(&[rows, cols]);
+                full.data_mut()[..head].copy_from_slice(g.data());
+                out.push(full);
+            }
+            Op::Sum => {
+                out.push(pool.full(parent(0).shape(), g.item()));
+            }
+            Op::GatherRows(idx) => {
+                let src = parent(0);
+                let mut o = pool.zeros(&[src.rows(), src.cols()]);
+                segment::scatter_add_rows(&mut o, g, idx);
+                out.push(o);
+            }
+            Op::ScatterRows(idx) => {
+                let mut o = pool.scratch(&[idx.len(), g.cols()]);
+                segment::gather_rows_into(g, idx, o.data_mut());
+                out.push(o);
+            }
+            Op::SegmentSum(ids) => {
+                let mut o = pool.scratch(&[ids.len(), g.cols()]);
+                segment::gather_rows_into(g, ids, o.data_mut());
+                out.push(o);
+            }
+            Op::SegmentMean { ids, inv } => {
+                let cols = g.cols();
+                let mut grad = pool.scratch(&[ids.len(), cols]);
+                segment::gather_rows_into(g, ids, grad.data_mut());
+                let gd = grad.data_mut();
+                let inv = inv.data();
+                for (r, &s) in ids.iter().enumerate() {
+                    for v in &mut gd[r * cols..(r + 1) * cols] {
+                        *v *= inv[s];
+                    }
+                }
+                out.push(grad);
+            }
+            Op::SegmentMax { argmax } => {
+                let src = parent(0);
+                let (rows, cols) = (src.rows(), src.cols());
+                let n_segments = g.rows();
+                let mut o = pool.zeros(&[rows, cols]);
+                let od = o.data_mut();
+                for s in 0..n_segments {
+                    for c in 0..cols {
+                        let winner = argmax[s * cols + c];
+                        if winner != usize::MAX {
+                            od[winner * cols + c] += g.at2(s, c);
+                        }
+                    }
+                }
+                out.push(o);
+            }
+            Op::FusedSum {
+                gather_ids,
+                segment_ids,
+            } => {
+                let mut o = pool.zeros(&[parent(0).rows(), g.cols()]);
+                segment::fused_gather_segment_sum_backward_into(
+                    g,
+                    gather_ids,
+                    segment_ids,
+                    None,
+                    o.data_mut(),
+                );
+                out.push(o);
+            }
+            Op::FusedMean {
+                gather_ids,
+                segment_ids,
+                inv,
+            } => {
+                let mut o = pool.zeros(&[parent(0).rows(), g.cols()]);
+                segment::fused_gather_segment_sum_backward_into(
+                    g,
+                    gather_ids,
+                    segment_ids,
+                    Some(inv.data()),
+                    o.data_mut(),
+                );
+                out.push(o);
+            }
+            Op::FusedWeightedSum {
+                gather_ids,
+                segment_ids,
+                weights,
+            } => {
+                let mut o = pool.zeros(&[parent(0).rows(), g.cols()]);
+                segment::fused_gather_segment_weighted_sum_backward_into(
+                    g,
+                    gather_ids,
+                    segment_ids,
+                    &weights.data()[..gather_ids.len()],
+                    o.data_mut(),
+                );
+                out.push(o);
+            }
+            Op::SegmentSoftmax { ids, n_segments } => {
+                // dX = y ⊙ (g − Σ_seg (g ⊙ y)), per column within a segment.
+                let y = value;
+                let cols = y.cols();
+                let mut gy = pool.scratch(y.shape());
+                kernels::zip_map_into(g, y, gy.data_mut(), |x, yv| x * yv);
+                let mut sums = pool.zeros(&[*n_segments, cols]);
+                segment::segment_sum_into(&gy, ids, sums.data_mut());
+                let mut o = pooled_copy(pool, g);
+                let od = o.data_mut();
+                for (r, &s) in ids.iter().enumerate() {
+                    for c in 0..cols {
+                        od[r * cols + c] = y.at2(r, c) * (od[r * cols + c] - sums.at2(s, c));
+                    }
+                }
+                pool.give(gy);
+                pool.give(sums);
+                out.push(o);
+            }
+            Op::LogSoftmaxRows => {
+                let y = value;
+                let (rows, cols) = (y.rows(), y.cols());
+                let mut o = pooled_copy(pool, g);
+                let od = o.data_mut();
+                for r in 0..rows {
+                    let row_sum: f32 = g.row(r).iter().sum();
+                    for c in 0..cols {
+                        od[r * cols + c] -= y.at2(r, c).exp() * row_sum;
+                    }
+                }
+                out.push(o);
+            }
+            Op::CrossEntropy {
+                log_probs,
+                targets,
+                reduction,
+            } => {
+                let (n, classes) = (log_probs.rows(), log_probs.cols());
+                let upstream = g.item();
+                let scale = match reduction {
+                    Reduction::Mean => upstream / n.max(1) as f32,
+                    Reduction::Sum => upstream,
+                };
+                let mut grad = pool.scratch(log_probs.shape());
+                let gd = grad.data_mut();
+                kernels::map_into(log_probs, gd, f32::exp);
+                for (r, &t) in targets.iter().enumerate() {
+                    gd[r * classes + t] -= 1.0;
+                }
+                for v in gd.iter_mut() {
+                    *v *= scale;
+                }
+                out.push(grad);
+            }
+        }
+    }
+}
 
 struct Node {
     value: Tensor,
-    parents: Vec<VarId>,
-    /// `None` for leaves; otherwise maps the output gradient to one gradient
-    /// tensor per parent (in `parents` order).
-    backward: Option<BackwardFn>,
+    parents: Parents,
+    /// `None` for leaves; otherwise the recorded operation.
+    op: Option<Op>,
 }
 
 /// Loss reduction mode for [`Graph::cross_entropy`].
@@ -38,25 +556,40 @@ pub enum Reduction {
     Sum,
 }
 
-/// A dynamic computation tape.
+/// A dynamic computation tape backed by a [`BufferPool`].
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
     grads: Vec<Option<Tensor>>,
+    pool: BufferPool,
+    /// Reused per-node gradient staging for the backward sweep.
+    backward_scratch: Vec<Tensor>,
+    /// Incrementally maintained: bumped in `push`, zeroed in `reset`.
+    activation_bytes: usize,
 }
 
 impl std::fmt::Debug for Graph {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Graph")
             .field("nodes", &self.nodes.len())
+            .field("pool", &self.pool)
             .finish()
     }
 }
 
+/// Copies `g` into a pooled buffer. Used where an adjoint is the identity:
+/// handing out an `Arc` clone instead would tie the gradient's storage to
+/// the tape and defeat recycling.
+fn pooled_copy(pool: &mut BufferPool, g: &Tensor) -> Tensor {
+    let mut out = pool.scratch(g.shape());
+    out.data_mut().copy_from_slice(g.data());
+    out
+}
+
 impl Graph {
-    /// Creates an empty tape.
+    /// Creates an empty tape with an enabled buffer pool.
     pub fn new() -> Self {
         Self::default()
     }
@@ -74,23 +607,99 @@ impl Graph {
     /// Total bytes held by all tape values (forward activations).
     ///
     /// The device simulator uses this to account for activation memory.
+    /// Maintained incrementally; debug builds re-derive it from a full scan
+    /// to catch drift.
     pub fn activation_bytes(&self) -> usize {
-        self.nodes.iter().map(|n| n.value.size_bytes()).sum()
+        debug_assert_eq!(
+            self.activation_bytes,
+            self.nodes.iter().map(|n| n.value.size_bytes()).sum::<usize>(),
+            "incremental activation byte counter drifted from full recount"
+        );
+        self.activation_bytes
     }
 
-    fn push(&mut self, value: Tensor, parents: Vec<VarId>, backward: Option<BackwardFn>) -> VarId {
+    /// Clears the tape for reuse, retaining buffer capacity.
+    ///
+    /// Op payloads are dismantled first — auxiliary tensors they hold may
+    /// alias node values, which can only be recycled once uniquely owned.
+    /// Payload index lists, node values, and gradients then all drain into
+    /// the pool, so rebuilding a same-shaped tape performs (almost) no
+    /// allocation.
+    pub fn reset(&mut self) {
+        let Graph {
+            nodes, grads, pool, ..
+        } = self;
+        for node in nodes.iter_mut() {
+            if let Some(op) = node.op.take() {
+                op.recycle_into(pool);
+            }
+        }
+        for node in nodes.drain(..) {
+            pool.give(node.value);
+        }
+        for g in grads.drain(..).flatten() {
+            pool.give(g);
+        }
+        self.activation_bytes = 0;
+    }
+
+    /// Cumulative buffer-pool counters (hits, misses, bytes recycled).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Enables or disables buffer recycling (disabled pools are transparent:
+    /// identical kernels and values, fresh allocations).
+    pub fn set_pool_enabled(&mut self, enabled: bool) {
+        self.pool.set_enabled(enabled);
+    }
+
+    /// Whether buffer recycling is on.
+    pub fn pool_enabled(&self) -> bool {
+        self.pool.enabled()
+    }
+
+    /// Takes a pooled buffer with *unspecified contents* for use outside the
+    /// tape (e.g. staging gathered input features). The caller must
+    /// overwrite every element; hand it back with [`Graph::recycle`].
+    pub fn take_scratch(&mut self, shape: &[usize]) -> Tensor {
+        self.pool.scratch(shape)
+    }
+
+    /// Returns a tensor to this tape's pool for reuse.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.pool.give(t);
+    }
+
+    /// Takes an empty pooled index buffer (e.g. for staging gather indices
+    /// or targets); hand it back with [`Graph::recycle_indices`].
+    pub fn take_indices(&mut self) -> Vec<usize> {
+        self.pool.take_indices()
+    }
+
+    /// Returns an index buffer to this tape's pool for reuse.
+    pub fn recycle_indices(&mut self, v: Vec<usize>) {
+        self.pool.give_indices(v);
+    }
+
+    fn push(&mut self, value: Tensor, parents: Parents, op: Option<Op>) -> VarId {
+        self.activation_bytes += value.size_bytes();
         let id = VarId(self.nodes.len());
-        self.nodes.push(Node {
-            value,
-            parents,
-            backward,
-        });
+        self.nodes.push(Node { value, parents, op });
         id
+    }
+
+    /// Copies `ids` into a pooled index buffer (for op payloads that must
+    /// outlive the caller's slice).
+    fn pooled_indices(&mut self, ids: &[usize]) -> Vec<usize> {
+        let mut v = self.pool.take_indices();
+        v.extend_from_slice(ids);
+        v
     }
 
     /// Registers a leaf variable (input or parameter).
     pub fn leaf(&mut self, value: Tensor) -> VarId {
-        self.push(value, vec![], None)
+        self.push(value, Parents::None, None)
     }
 
     /// The forward value of a variable.
@@ -108,106 +717,83 @@ impl Graph {
 
     /// Elementwise sum.
     pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
-        let value = kernels::add(self.value(a), self.value(b));
-        self.push(
-            value,
-            vec![a, b],
-            Some(Box::new(|g: &Tensor| vec![g.clone(), g.clone()])),
-        )
+        let Graph { nodes, pool, .. } = self;
+        let mut value = pool.scratch(nodes[a.0].value.shape());
+        kernels::zip_map_into(
+            &nodes[a.0].value,
+            &nodes[b.0].value,
+            value.data_mut(),
+            |x, y| x + y,
+        );
+        self.push(value, Parents::Two(a, b), Some(Op::Add))
     }
 
     /// Elementwise difference `a - b`.
     pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
-        let value = kernels::sub(self.value(a), self.value(b));
-        self.push(
-            value,
-            vec![a, b],
-            Some(Box::new(|g: &Tensor| {
-                vec![g.clone(), kernels::scale(g, -1.0)]
-            })),
-        )
+        let Graph { nodes, pool, .. } = self;
+        let mut value = pool.scratch(nodes[a.0].value.shape());
+        kernels::zip_map_into(
+            &nodes[a.0].value,
+            &nodes[b.0].value,
+            value.data_mut(),
+            |x, y| x - y,
+        );
+        self.push(value, Parents::Two(a, b), Some(Op::Sub))
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
-        let av = self.value(a).clone();
-        let bv = self.value(b).clone();
-        let value = kernels::mul(&av, &bv);
-        self.push(
-            value,
-            vec![a, b],
-            Some(Box::new(move |g: &Tensor| {
-                vec![kernels::mul(g, &bv), kernels::mul(g, &av)]
-            })),
-        )
+        let Graph { nodes, pool, .. } = self;
+        let mut value = pool.scratch(nodes[a.0].value.shape());
+        kernels::zip_map_into(
+            &nodes[a.0].value,
+            &nodes[b.0].value,
+            value.data_mut(),
+            |x, y| x * y,
+        );
+        self.push(value, Parents::Two(a, b), Some(Op::Mul))
     }
 
     /// Scalar multiple `a * s`.
     pub fn scale(&mut self, a: VarId, s: f32) -> VarId {
-        let value = kernels::scale(self.value(a), s);
-        self.push(
-            value,
-            vec![a],
-            Some(Box::new(move |g: &Tensor| vec![kernels::scale(g, s)])),
-        )
+        let Graph { nodes, pool, .. } = self;
+        let mut value = pool.scratch(nodes[a.0].value.shape());
+        kernels::map_into(&nodes[a.0].value, value.data_mut(), |x| x * s);
+        self.push(value, Parents::One(a), Some(Op::Scale(s)))
     }
 
     // ---- activations ----
 
-    fn unary(
-        &mut self,
-        a: VarId,
-        f: impl Fn(f32) -> f32,
-        dfdx_from_xy: impl Fn(f32, f32) -> f32 + 'static,
-    ) -> VarId {
-        let x = self.value(a).clone();
-        let y = kernels::map(&x, f);
-        let yc = y.clone();
-        self.push(
-            y,
-            vec![a],
-            Some(Box::new(move |g: &Tensor| {
-                let mut out = g.clone();
-                let od = out.data_mut();
-                for ((o, &xv), &yv) in od.iter_mut().zip(x.data()).zip(yc.data()) {
-                    *o *= dfdx_from_xy(xv, yv);
-                }
-                vec![out]
-            })),
-        )
+    fn unary(&mut self, a: VarId, kind: UnaryKind) -> VarId {
+        let Graph { nodes, pool, .. } = self;
+        let mut y = pool.scratch(nodes[a.0].value.shape());
+        kernels::map_into(&nodes[a.0].value, y.data_mut(), |x| kind.apply(x));
+        self.push(y, Parents::One(a), Some(Op::Unary(kind)))
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: VarId) -> VarId {
-        self.unary(a, |x| x.max(0.0), |x, _| if x > 0.0 { 1.0 } else { 0.0 })
+        self.unary(a, UnaryKind::Relu)
     }
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&mut self, a: VarId, alpha: f32) -> VarId {
-        self.unary(
-            a,
-            move |x| if x > 0.0 { x } else { alpha * x },
-            move |x, _| if x > 0.0 { 1.0 } else { alpha },
-        )
+        self.unary(a, UnaryKind::LeakyRelu(alpha))
     }
 
     /// Exponential linear unit with scale `alpha`.
     pub fn elu(&mut self, a: VarId, alpha: f32) -> VarId {
-        self.unary(
-            a,
-            move |x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) },
-            move |x, y| if x > 0.0 { 1.0 } else { y + alpha },
-        )
+        self.unary(a, UnaryKind::Elu(alpha))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: VarId) -> VarId {
-        self.unary(a, |x| 1.0 / (1.0 + (-x).exp()), |_, y| y * (1.0 - y))
+        self.unary(a, UnaryKind::Sigmoid)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: VarId) -> VarId {
-        self.unary(a, f32::tanh, |_, y| 1.0 - y * y)
+        self.unary(a, UnaryKind::Tanh)
     }
 
     /// Inverted-dropout with keep-probability `1 - p`, using the caller's
@@ -221,41 +807,38 @@ impl Graph {
         assert!(p < 1.0, "dropout probability must be < 1.0");
         assert_eq!(mask.shape(), self.value(a).shape(), "mask shape mismatch");
         let scale = 1.0 / (1.0 - p);
-        let scaled_mask = kernels::scale(mask, scale);
-        let value = kernels::mul(self.value(a), &scaled_mask);
-        self.push(
-            value,
-            vec![a],
-            Some(Box::new(move |g: &Tensor| {
-                vec![kernels::mul(g, &scaled_mask)]
-            })),
-        )
+        let Graph { nodes, pool, .. } = self;
+        // Kept by the op payload and recycled at reset.
+        let mut scaled_mask = pool.scratch(mask.shape());
+        kernels::map_into(mask, scaled_mask.data_mut(), |x| x * scale);
+        let mut value = pool.scratch(scaled_mask.shape());
+        kernels::zip_map_into(&nodes[a.0].value, &scaled_mask, value.data_mut(), |x, y| {
+            x * y
+        });
+        self.push(value, Parents::One(a), Some(Op::DropoutMask(scaled_mask)))
     }
 
     // ---- linear algebra ----
 
     /// Matrix product of rank-2 variables.
     pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
-        let av = self.value(a).clone();
-        let bv = self.value(b).clone();
-        let value = kernels::matmul(&av, &bv);
-        self.push(
-            value,
-            vec![a, b],
-            Some(Box::new(move |g: &Tensor| {
-                vec![kernels::matmul_a_bt(g, &bv), kernels::matmul_at_b(&av, g)]
-            })),
-        )
+        let Graph { nodes, pool, .. } = self;
+        let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+        let mut value = pool.zeros(&[av.rows(), bv.cols()]);
+        kernels::matmul_into(av, bv, value.data_mut());
+        self.push(value, Parents::Two(a, b), Some(Op::Matmul))
     }
 
     /// Adds a rank-1 bias to every row of a rank-2 variable.
     pub fn add_bias(&mut self, a: VarId, bias: VarId) -> VarId {
-        let value = kernels::add_row_broadcast(self.value(a), self.value(bias));
-        self.push(
-            value,
-            vec![a, bias],
-            Some(Box::new(|g: &Tensor| vec![g.clone(), kernels::sum_rows(g)])),
-        )
+        let Graph { nodes, pool, .. } = self;
+        let mut value = pool.scratch(nodes[a.0].value.shape());
+        kernels::add_row_broadcast_into(
+            &nodes[a.0].value,
+            &nodes[bias.0].value,
+            value.data_mut(),
+        );
+        self.push(value, Parents::Two(a, bias), Some(Op::AddBias))
     }
 
     /// Multiplies each row `r` of `[m, n]` variable `a` by the scalar in row
@@ -265,33 +848,17 @@ impl Graph {
     ///
     /// Panics if `s` is not `[a.rows(), 1]`.
     pub fn scale_rows_by(&mut self, a: VarId, s: VarId) -> VarId {
-        let av = self.value(a).clone();
-        let sv = self.value(s).clone();
+        let Graph { nodes, pool, .. } = self;
+        let (av, sv) = (&nodes[a.0].value, &nodes[s.0].value);
         assert_eq!(
             sv.shape(),
             &[av.rows(), 1],
             "row scaler must be [rows, 1], got {:?}",
             sv.shape()
         );
-        let value = kernels::scale_rows(&av, sv.data());
-        self.push(
-            value,
-            vec![a, s],
-            Some(Box::new(move |g: &Tensor| {
-                let da = kernels::scale_rows(g, sv.data());
-                let cols = av.cols();
-                let mut ds = vec![0.0f32; av.rows()];
-                for (r, d) in ds.iter_mut().enumerate() {
-                    let grow = g.row(r);
-                    let arow = av.row(r);
-                    *d = (0..cols).map(|c| grow[c] * arow[c]).sum();
-                }
-                vec![
-                    da,
-                    Tensor::from_vec(ds, &[av.rows(), 1]).expect("scale_rows grad shape"),
-                ]
-            })),
-        )
+        let mut value = pool.scratch(av.shape());
+        kernels::scale_rows_into(av, sv.data(), value.data_mut());
+        self.push(value, Parents::Two(a, s), Some(Op::ScaleRowsBy))
     }
 
     /// Multiplies every element of `a` by the single-element variable `s`
@@ -301,19 +868,13 @@ impl Graph {
     ///
     /// Panics if `s` does not hold exactly one element.
     pub fn mul_scalar_var(&mut self, a: VarId, s: VarId) -> VarId {
-        let av = self.value(a).clone();
-        let sv = self.value(s).clone();
+        let Graph { nodes, pool, .. } = self;
+        let (av, sv) = (&nodes[a.0].value, &nodes[s.0].value);
         assert_eq!(sv.len(), 1, "scalar variable must hold one element");
-        let value = kernels::scale(&av, sv.item());
-        self.push(
-            value,
-            vec![a, s],
-            Some(Box::new(move |g: &Tensor| {
-                let da = kernels::scale(g, sv.item());
-                let ds = kernels::mul(g, &av).sum_all();
-                vec![da, Tensor::from_slice(&[ds])]
-            })),
-        )
+        let sval = sv.item();
+        let mut value = pool.scratch(av.shape());
+        kernels::map_into(av, value.data_mut(), |x| x * sval);
+        self.push(value, Parents::Two(a, s), Some(Op::MulScalarVar))
     }
 
     // ---- shape ----
@@ -325,23 +886,22 @@ impl Graph {
     /// Panics if `parts` is empty or row counts disagree.
     pub fn concat_cols(&mut self, parts: &[VarId]) -> VarId {
         assert!(!parts.is_empty(), "concat_cols requires at least one part");
-        let tensors: Vec<Tensor> = parts.iter().map(|&p| self.value(p).clone()).collect();
-        let refs: Vec<&Tensor> = tensors.iter().collect();
-        let value = kernels::concat_cols(&refs);
-        let widths: Vec<usize> = tensors.iter().map(|t| t.cols()).collect();
-        self.push(
-            value,
-            parts.to_vec(),
-            Some(Box::new(move |g: &Tensor| {
-                let mut grads = Vec::with_capacity(widths.len());
-                let mut offset = 0;
-                for &w in &widths {
-                    grads.push(kernels::slice_cols(g, offset, w));
-                    offset += w;
-                }
-                grads
-            })),
-        )
+        let Graph { nodes, pool, .. } = self;
+        let rows = nodes[parts[0].0].value.rows();
+        let total: usize = parts.iter().map(|&p| nodes[p.0].value.cols()).sum();
+        let mut value = pool.scratch(&[rows, total]);
+        let vd = value.data_mut();
+        let mut offset = 0;
+        for &p in parts {
+            let t = &nodes[p.0].value;
+            let w = t.cols();
+            assert_eq!(t.rows(), rows, "concat_cols row count mismatch");
+            for r in 0..rows {
+                vd[r * total + offset..r * total + offset + w].copy_from_slice(t.row(r));
+            }
+            offset += w;
+        }
+        self.push(value, Parents::from_slice(parts), Some(Op::ConcatCols))
     }
 
     /// Vertical concatenation of rank-2 variables sharing a column count.
@@ -351,25 +911,20 @@ impl Graph {
     /// Panics if `parts` is empty or column counts disagree.
     pub fn concat_rows(&mut self, parts: &[VarId]) -> VarId {
         assert!(!parts.is_empty(), "concat_rows requires at least one part");
-        let tensors: Vec<Tensor> = parts.iter().map(|&p| self.value(p).clone()).collect();
-        let refs: Vec<&Tensor> = tensors.iter().collect();
-        let value = kernels::concat_rows(&refs);
-        let heights: Vec<usize> = tensors.iter().map(|t| t.rows()).collect();
-        let cols = tensors[0].cols();
-        self.push(
-            value,
-            parts.to_vec(),
-            Some(Box::new(move |g: &Tensor| {
-                let mut grads = Vec::with_capacity(heights.len());
-                let mut offset = 0;
-                for &h in &heights {
-                    let slice = g.data()[offset * cols..(offset + h) * cols].to_vec();
-                    grads.push(Tensor::from_vec(slice, &[h, cols]).expect("concat grad shape"));
-                    offset += h;
-                }
-                grads
-            })),
-        )
+        let Graph { nodes, pool, .. } = self;
+        let cols = nodes[parts[0].0].value.cols();
+        let total: usize = parts.iter().map(|&p| nodes[p.0].value.rows()).sum();
+        let mut value = pool.scratch(&[total, cols]);
+        let vd = value.data_mut();
+        let mut offset = 0;
+        for &p in parts {
+            let t = &nodes[p.0].value;
+            assert_eq!(t.cols(), cols, "concat_rows column count mismatch");
+            let h = t.rows();
+            vd[offset * cols..(offset + h) * cols].copy_from_slice(t.data());
+            offset += h;
+        }
+        self.push(value, Parents::from_slice(parts), Some(Op::ConcatRows))
     }
 
     /// Extracts columns `[start, start+len)` of a rank-2 variable.
@@ -378,36 +933,40 @@ impl Graph {
     ///
     /// Panics if the range exceeds the column count.
     pub fn slice_cols(&mut self, a: VarId, start: usize, len: usize) -> VarId {
-        let av = self.value(a);
-        let (rows, cols) = (av.rows(), av.cols());
-        let value = kernels::slice_cols(av, start, len);
-        self.push(
-            value,
-            vec![a],
-            Some(Box::new(move |g: &Tensor| {
-                let mut full = Tensor::zeros(&[rows, cols]);
-                let fd = full.data_mut();
-                for r in 0..rows {
-                    fd[r * cols + start..r * cols + start + len].copy_from_slice(g.row(r));
-                }
-                vec![full]
-            })),
-        )
+        let Graph { nodes, pool, .. } = self;
+        let av = &nodes[a.0].value;
+        let rows = av.rows();
+        let mut value = pool.scratch(&[rows, len]);
+        kernels::slice_cols_into(av, start, len, value.data_mut());
+        self.push(value, Parents::One(a), Some(Op::SliceCols { start, len }))
+    }
+
+    /// Takes the first `len` rows of a rank-2 variable (one contiguous
+    /// copy — e.g. a block's destination self-features, which lead the
+    /// source rows by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the row count.
+    pub fn slice_rows(&mut self, a: VarId, len: usize) -> VarId {
+        let Graph { nodes, pool, .. } = self;
+        let av = &nodes[a.0].value;
+        let cols = av.cols();
+        assert!(len <= av.rows(), "slice_rows past the end");
+        let mut value = pool.scratch(&[len, cols]);
+        value.data_mut().copy_from_slice(&av.data()[..len * cols]);
+        self.push(value, Parents::One(a), Some(Op::SliceRows))
     }
 
     // ---- reductions ----
 
     /// Sum of all elements as a `[1]` tensor.
     pub fn sum(&mut self, a: VarId) -> VarId {
-        let av = self.value(a).clone();
-        let value = Tensor::from_slice(&[av.sum_all()]);
-        self.push(
-            value,
-            vec![a],
-            Some(Box::new(move |g: &Tensor| {
-                vec![Tensor::full(av.shape(), g.item())]
-            })),
-        )
+        let Graph { nodes, pool, .. } = self;
+        let total = nodes[a.0].value.sum_all();
+        let mut value = pool.scratch(&[1]);
+        value.data_mut()[0] = total;
+        self.push(value, Parents::One(a), Some(Op::Sum))
     }
 
     /// Mean of all elements as a `[1]` tensor.
@@ -421,20 +980,12 @@ impl Graph {
 
     /// Gathers rows of `src` at `indices` (edge-expansion of node features).
     pub fn gather_rows(&mut self, src: VarId, indices: &[usize]) -> VarId {
-        let srcv = self.value(src).clone();
-        let idx = indices.to_vec();
-        let value = segment::gather_rows(&srcv, indices);
-        let src_rows = srcv.rows();
-        let cols = srcv.cols();
-        self.push(
-            value,
-            vec![src],
-            Some(Box::new(move |g: &Tensor| {
-                let mut out = Tensor::zeros(&[src_rows, cols]);
-                segment::scatter_add_rows(&mut out, g, &idx);
-                vec![out]
-            })),
-        )
+        let idx = self.pooled_indices(indices);
+        let Graph { nodes, pool, .. } = self;
+        let srcv = &nodes[src.0].value;
+        let mut value = pool.scratch(&[idx.len(), srcv.cols()]);
+        segment::gather_rows_into(srcv, &idx, value.data_mut());
+        self.push(value, Parents::One(src), Some(Op::GatherRows(idx)))
     }
 
     /// Places row `r` of `values` into row `indices[r]` of a fresh
@@ -450,28 +1001,22 @@ impl Graph {
             assert!(!seen[i], "scatter_rows requires unique indices, {i} repeats");
             seen[i] = true;
         }
-        let idx = indices.to_vec();
-        let value = segment::scatter_rows(self.value(values), indices, n_rows);
-        self.push(
-            value,
-            vec![values],
-            Some(Box::new(move |g: &Tensor| {
-                vec![segment::gather_rows(g, &idx)]
-            })),
-        )
+        let idx = self.pooled_indices(indices);
+        let Graph { nodes, pool, .. } = self;
+        let cols = nodes[values.0].value.cols();
+        let mut value = pool.zeros(&[n_rows, cols]);
+        segment::scatter_rows_into(&nodes[values.0].value, &idx, value.data_mut());
+        self.push(value, Parents::One(values), Some(Op::ScatterRows(idx)))
     }
 
     /// Per-segment sum over rows of `values` keyed by `segment_ids`.
     pub fn segment_sum(&mut self, values: VarId, segment_ids: &[usize], n_segments: usize) -> VarId {
-        let ids = segment_ids.to_vec();
-        let value = segment::segment_sum(self.value(values), segment_ids, n_segments);
-        self.push(
-            value,
-            vec![values],
-            Some(Box::new(move |g: &Tensor| {
-                vec![segment::gather_rows(g, &ids)]
-            })),
-        )
+        let ids = self.pooled_indices(segment_ids);
+        let Graph { nodes, pool, .. } = self;
+        let cols = nodes[values.0].value.cols();
+        let mut value = pool.zeros(&[n_segments, cols]);
+        segment::segment_sum_into(&nodes[values.0].value, &ids, value.data_mut());
+        self.push(value, Parents::One(values), Some(Op::SegmentSum(ids)))
     }
 
     /// Per-segment mean over rows of `values` keyed by `segment_ids`.
@@ -481,48 +1026,54 @@ impl Graph {
         segment_ids: &[usize],
         n_segments: usize,
     ) -> VarId {
-        let ids = segment_ids.to_vec();
-        let (value, counts) = segment::segment_mean(self.value(values), segment_ids, n_segments);
+        let ids = self.pooled_indices(segment_ids);
+        let mut counts = self.pool.take_indices();
+        counts.resize(n_segments, 0);
+        for &s in &ids {
+            assert!(s < n_segments, "segment id {s} >= {n_segments}");
+            counts[s] += 1;
+        }
+        let Graph { nodes, pool, .. } = self;
+        let cols = nodes[values.0].value.cols();
+        let mut value = pool.zeros(&[n_segments, cols]);
+        segment::segment_sum_into(&nodes[values.0].value, &ids, value.data_mut());
+        // One spare slot keeps the payload shape non-empty when there are
+        // no segments; every element is written either way.
+        let mut inv = pool.scratch(&[n_segments.max(1)]);
+        let invd = inv.data_mut();
+        invd[0] = 1.0;
+        for (s, &cnt) in counts.iter().enumerate() {
+            invd[s] = 1.0 / cnt.max(1) as f32;
+        }
+        let vd = value.data_mut();
+        for (s, &cnt) in counts.iter().enumerate() {
+            if cnt > 1 {
+                let scale = 1.0 / cnt as f32;
+                for v in &mut vd[s * cols..(s + 1) * cols] {
+                    *v *= scale;
+                }
+            }
+        }
+        pool.give_indices(counts);
         self.push(
             value,
-            vec![values],
-            Some(Box::new(move |g: &Tensor| {
-                let mut grad = segment::gather_rows(g, &ids);
-                let cols = grad.cols();
-                let gd = grad.data_mut();
-                for (r, &s) in ids.iter().enumerate() {
-                    let inv = 1.0 / counts[s].max(1) as f32;
-                    for v in &mut gd[r * cols..(r + 1) * cols] {
-                        *v *= inv;
-                    }
-                }
-                vec![grad]
-            })),
+            Parents::One(values),
+            Some(Op::SegmentMean { ids, inv }),
         )
     }
 
     /// Per-segment elementwise max over rows of `values`.
     pub fn segment_max(&mut self, values: VarId, segment_ids: &[usize], n_segments: usize) -> VarId {
-        let vv = self.value(values).clone();
-        let (value, argmax) = segment::segment_max(&vv, segment_ids, n_segments);
-        let rows = vv.rows();
+        let mut argmax = self.pool.take_indices();
+        let Graph { nodes, pool, .. } = self;
+        let vv = &nodes[values.0].value;
         let cols = vv.cols();
+        let mut value = pool.scratch(&[n_segments, cols]);
+        segment::segment_max_into_reusing(vv, segment_ids, value.data_mut(), &mut argmax);
         self.push(
             value,
-            vec![values],
-            Some(Box::new(move |g: &Tensor| {
-                let mut out = Tensor::zeros(&[rows, cols]);
-                let od = out.data_mut();
-                for s in 0..n_segments {
-                    for c in 0..cols {
-                        let winner = argmax[s * cols + c];
-                        if winner != usize::MAX {
-                            od[winner * cols + c] += g.at2(s, c);
-                        }
-                    }
-                }
-                vec![out]
-            })),
+            Parents::One(values),
+            Some(Op::SegmentMax { argmax }),
         )
     }
 
@@ -541,20 +1092,19 @@ impl Graph {
         segment_ids: &[usize],
         n_segments: usize,
     ) -> VarId {
-        let srcv = self.value(src).clone();
-        let value =
-            segment::fused_gather_segment_sum(&srcv, gather_ids, segment_ids, n_segments);
-        let g_ids = gather_ids.to_vec();
-        let s_ids = segment_ids.to_vec();
-        let n_src = srcv.rows();
+        let g_ids = self.pooled_indices(gather_ids);
+        let s_ids = self.pooled_indices(segment_ids);
+        let Graph { nodes, pool, .. } = self;
+        let srcv = &nodes[src.0].value;
+        let mut value = pool.zeros(&[n_segments, srcv.cols()]);
+        segment::fused_gather_segment_sum_into(srcv, &g_ids, &s_ids, value.data_mut());
         self.push(
             value,
-            vec![src],
-            Some(Box::new(move |g: &Tensor| {
-                vec![segment::fused_gather_segment_sum_backward(
-                    g, &g_ids, &s_ids, None, n_src,
-                )]
-            })),
+            Parents::One(src),
+            Some(Op::FusedSum {
+                gather_ids: g_ids,
+                segment_ids: s_ids,
+            }),
         )
     }
 
@@ -571,40 +1121,43 @@ impl Graph {
         segment_ids: &[usize],
         n_segments: usize,
     ) -> VarId {
-        let srcv = self.value(src).clone();
-        let mut counts = vec![0usize; n_segments];
-        for &s in segment_ids {
+        let g_ids = self.pooled_indices(gather_ids);
+        let s_ids = self.pooled_indices(segment_ids);
+        let mut counts = self.pool.take_indices();
+        counts.resize(n_segments, 0);
+        for &s in &s_ids {
             assert!(s < n_segments, "segment id {s} >= {n_segments}");
             counts[s] += 1;
         }
-        let inv: Vec<f32> = counts
-            .iter()
-            .map(|&c| if c == 0 { 0.0 } else { 1.0 / c as f32 })
-            .collect();
-        let mut value =
-            segment::fused_gather_segment_sum(&srcv, gather_ids, segment_ids, n_segments);
-        let cols = value.cols();
-        let vdata = value.data_mut();
-        for (s, &scale) in inv.iter().enumerate() {
-            for v in &mut vdata[s * cols..(s + 1) * cols] {
-                *v *= scale;
+        let Graph { nodes, pool, .. } = self;
+        // See `segment_mean` for the spare-slot convention.
+        let mut inv = pool.scratch(&[n_segments.max(1)]);
+        let invd = inv.data_mut();
+        invd[0] = 0.0;
+        for (s, &cnt) in counts.iter().enumerate() {
+            invd[s] = if cnt == 0 { 0.0 } else { 1.0 / cnt as f32 };
+        }
+        pool.give_indices(counts);
+        let srcv = &nodes[src.0].value;
+        let cols = srcv.cols();
+        let mut value = pool.zeros(&[n_segments, cols]);
+        segment::fused_gather_segment_sum_into(srcv, &g_ids, &s_ids, value.data_mut());
+        {
+            let vdata = value.data_mut();
+            for (s, &scale) in inv.data().iter().take(n_segments).enumerate() {
+                for v in &mut vdata[s * cols..(s + 1) * cols] {
+                    *v *= scale;
+                }
             }
         }
-        let g_ids = gather_ids.to_vec();
-        let s_ids = segment_ids.to_vec();
-        let n_src = srcv.rows();
         self.push(
             value,
-            vec![src],
-            Some(Box::new(move |g: &Tensor| {
-                vec![segment::fused_gather_segment_sum_backward(
-                    g,
-                    &g_ids,
-                    &s_ids,
-                    Some(&inv),
-                    n_src,
-                )]
-            })),
+            Parents::One(src),
+            Some(Op::FusedMean {
+                gather_ids: g_ids,
+                segment_ids: s_ids,
+                inv,
+            }),
         )
     }
 
@@ -623,26 +1176,30 @@ impl Graph {
         weights: &[f32],
         n_segments: usize,
     ) -> VarId {
-        let srcv = self.value(src).clone();
-        let value = segment::fused_gather_segment_weighted_sum(
-            &srcv,
-            gather_ids,
-            segment_ids,
-            weights,
-            n_segments,
+        let g_ids = self.pooled_indices(gather_ids);
+        let s_ids = self.pooled_indices(segment_ids);
+        let Graph { nodes, pool, .. } = self;
+        let mut ws = pool.scratch(&[weights.len().max(1)]);
+        ws.data_mut()[0] = 0.0;
+        ws.data_mut()[..weights.len()].copy_from_slice(weights);
+        let srcv = &nodes[src.0].value;
+        let cols = srcv.cols();
+        let mut value = pool.zeros(&[n_segments, cols]);
+        segment::fused_gather_segment_weighted_sum_into(
+            srcv,
+            &g_ids,
+            &s_ids,
+            &ws.data()[..weights.len()],
+            value.data_mut(),
         );
-        let g_ids = gather_ids.to_vec();
-        let s_ids = segment_ids.to_vec();
-        let ws = weights.to_vec();
-        let n_src = srcv.rows();
         self.push(
             value,
-            vec![src],
-            Some(Box::new(move |g: &Tensor| {
-                vec![segment::fused_gather_segment_weighted_sum_backward(
-                    g, &g_ids, &s_ids, &ws, n_src,
-                )]
-            })),
+            Parents::One(src),
+            Some(Op::FusedWeightedSum {
+                gather_ids: g_ids,
+                segment_ids: s_ids,
+                weights: ws,
+            }),
         )
     }
 
@@ -653,27 +1210,15 @@ impl Graph {
         segment_ids: &[usize],
         n_segments: usize,
     ) -> VarId {
-        let ids = segment_ids.to_vec();
-        let value = segment::segment_softmax(self.value(values), segment_ids, n_segments);
-        let y = value.clone();
+        let ids = self.pooled_indices(segment_ids);
+        let Graph { nodes, pool, .. } = self;
+        let vv = &nodes[values.0].value;
+        let mut value = pool.scratch(vv.shape());
+        segment::segment_softmax_into(vv, &ids, n_segments, value.data_mut());
         self.push(
             value,
-            vec![values],
-            Some(Box::new(move |g: &Tensor| {
-                // dX = y ⊙ (g − Σ_seg (g ⊙ y)), per column within a segment.
-                let cols = y.cols();
-                let gy = kernels::mul(g, &y);
-                let sums = segment::segment_sum(&gy, &ids, n_segments);
-                let mut out = g.clone();
-                let od = out.data_mut();
-                for (r, &s) in ids.iter().enumerate() {
-                    for c in 0..cols {
-                        od[r * cols + c] =
-                            y.at2(r, c) * (od[r * cols + c] - sums.at2(s, c));
-                    }
-                }
-                vec![out]
-            })),
+            Parents::One(values),
+            Some(Op::SegmentSoftmax { ids, n_segments }),
         )
     }
 
@@ -681,24 +1226,11 @@ impl Graph {
     ///
     /// Backward: `dX = dY − softmax(X) · rowsum(dY)`.
     pub fn log_softmax_rows(&mut self, a: VarId) -> VarId {
-        let value = kernels::log_softmax_rows(self.value(a));
-        let y = value.clone();
-        self.push(
-            value,
-            vec![a],
-            Some(Box::new(move |g: &Tensor| {
-                let (rows, cols) = (y.rows(), y.cols());
-                let mut out = g.clone();
-                let od = out.data_mut();
-                for r in 0..rows {
-                    let row_sum: f32 = g.row(r).iter().sum();
-                    for c in 0..cols {
-                        od[r * cols + c] -= y.at2(r, c).exp() * row_sum;
-                    }
-                }
-                vec![out]
-            })),
-        )
+        let Graph { nodes, pool, .. } = self;
+        let av = &nodes[a.0].value;
+        let mut value = pool.scratch(av.shape());
+        kernels::log_softmax_rows_into(av, value.data_mut());
+        self.push(value, Parents::One(a), Some(Op::LogSoftmaxRows))
     }
 
     // ---- losses ----
@@ -714,12 +1246,15 @@ impl Graph {
     /// Panics if `targets.len() != logits.rows()` or a target is out of
     /// class range.
     pub fn cross_entropy(&mut self, logits: VarId, targets: &[usize], reduction: Reduction) -> VarId {
-        let lv = self.value(logits).clone();
+        let tg = self.pooled_indices(targets);
+        let Graph { nodes, pool, .. } = self;
+        let lv = &nodes[logits.0].value;
         let (n, classes) = (lv.rows(), lv.cols());
-        assert_eq!(targets.len(), n, "one target per logit row");
-        let log_probs = kernels::log_softmax_rows(&lv);
+        assert_eq!(tg.len(), n, "one target per logit row");
+        let mut log_probs = pool.scratch(lv.shape());
+        kernels::log_softmax_rows_into(lv, log_probs.data_mut());
         let mut total = 0.0f32;
-        for (r, &t) in targets.iter().enumerate() {
+        for (r, &t) in tg.iter().enumerate() {
             assert!(t < classes, "target {t} out of range for {classes} classes");
             total -= log_probs.at2(r, t);
         }
@@ -727,27 +1262,16 @@ impl Graph {
             Reduction::Mean => total / n.max(1) as f32,
             Reduction::Sum => total,
         };
-        let tg = targets.to_vec();
-        let value = Tensor::from_slice(&[loss]);
+        let mut value = pool.scratch(&[1]);
+        value.data_mut()[0] = loss;
         self.push(
             value,
-            vec![logits],
-            Some(Box::new(move |g: &Tensor| {
-                let upstream = g.item();
-                let scale = match reduction {
-                    Reduction::Mean => upstream / n.max(1) as f32,
-                    Reduction::Sum => upstream,
-                };
-                let mut grad = kernels::map(&log_probs, f32::exp);
-                let gd = grad.data_mut();
-                for (r, &t) in tg.iter().enumerate() {
-                    gd[r * classes + t] -= 1.0;
-                }
-                for v in gd.iter_mut() {
-                    *v *= scale;
-                }
-                vec![grad]
-            })),
+            Parents::One(logits),
+            Some(Op::CrossEntropy {
+                log_probs,
+                targets: tg,
+                reduction,
+            }),
         )
     }
 
@@ -757,37 +1281,56 @@ impl Graph {
     ///
     /// Seeds the root gradient with ones and accumulates into every
     /// reachable variable; query results with [`Graph::grad`]. Calling
-    /// `backward` again replaces previous gradients.
+    /// `backward` again replaces previous gradients. Gradient buffers come
+    /// from (and return to) the tape's pool.
     ///
     /// # Panics
     ///
     /// Panics if `root` is not on this tape.
     pub fn backward(&mut self, root: VarId) {
         assert!(root.0 < self.nodes.len(), "root variable not on this tape");
-        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
-        grads[root.0] = Some(Tensor::ones(self.nodes[root.0].value.shape()));
+        let Graph {
+            nodes,
+            grads,
+            pool,
+            backward_scratch: scratch,
+            ..
+        } = self;
+        for g in grads.drain(..).flatten() {
+            pool.give(g);
+        }
+        grads.resize(nodes.len(), None);
+        grads[root.0] = Some(pool.full(nodes[root.0].value.shape(), 1.0));
         for i in (0..=root.0).rev() {
-            let Some(gout) = grads[i].clone() else {
+            let Some(op) = &nodes[i].op else {
                 continue;
             };
-            let Some(backward) = &self.nodes[i].backward else {
+            // Parents always precede their child on the tape, so splitting
+            // at `i` lets us read this node's gradient while accumulating
+            // into earlier slots.
+            let (earlier, rest) = grads.split_at_mut(i);
+            let Some(gout) = rest[0].as_ref() else {
                 continue;
             };
-            let parent_grads = backward(&gout);
-            debug_assert_eq!(parent_grads.len(), self.nodes[i].parents.len());
-            for (p, pg) in self.nodes[i].parents.clone().into_iter().zip(parent_grads) {
+            op.backward(nodes, i, gout, pool, scratch);
+            let parents = &nodes[i].parents;
+            debug_assert_eq!(scratch.len(), parents.len(), "one gradient per parent");
+            for (idx, pg) in scratch.drain(..).enumerate() {
+                let p = parents.get(idx);
                 debug_assert_eq!(
                     pg.shape(),
-                    self.nodes[p.0].value.shape(),
+                    nodes[p.0].value.shape(),
                     "gradient shape mismatch for parent {p:?} of node {i}"
                 );
-                match &mut grads[p.0] {
-                    Some(existing) => existing.add_assign(&pg),
+                match &mut earlier[p.0] {
+                    Some(existing) => {
+                        existing.add_assign(&pg);
+                        pool.give(pg);
+                    }
                     slot @ None => *slot = Some(pg),
                 }
             }
         }
-        self.grads = grads;
     }
 }
 
@@ -1015,5 +1558,86 @@ mod tests {
         let loss = g.sum(a);
         g.backward(loss);
         assert!(g.grad(b).is_none());
+    }
+
+    /// One small training-ish step: forward, loss, backward.
+    fn run_step(g: &mut Graph) -> (f32, Vec<u32>) {
+        let x = g.leaf(t(&[0.3, -0.7, 1.1, 0.4, -0.2, 0.9], &[3, 2]));
+        let w = g.leaf(t(&[0.5, -1.0, 0.25, 2.0], &[2, 2]));
+        let b = g.leaf(t(&[0.1, -0.1], &[2]));
+        let h = g.matmul(x, w);
+        let hb = g.add_bias(h, b);
+        let act = g.relu(hb);
+        let agg = g.fused_neighbor_mean(act, &[0, 1, 2, 2], &[0, 0, 1, 1], 2);
+        let loss = g.cross_entropy(agg, &[0, 1], Reduction::Sum);
+        g.backward(loss);
+        let loss_val = g.value(loss).item();
+        let wg: Vec<u32> = g.grad(w).unwrap().data().iter().map(|v| v.to_bits()).collect();
+        (loss_val, wg)
+    }
+
+    #[test]
+    fn reset_recycles_buffers_and_preserves_bits() {
+        let mut g = Graph::new();
+        let (loss1, wg1) = run_step(&mut g);
+        let misses_after_first = g.pool_stats().misses;
+        assert!(misses_after_first > 0, "first step must populate the pool");
+
+        g.reset();
+        assert!(g.is_empty());
+        assert_eq!(g.activation_bytes(), 0);
+
+        let (loss2, wg2) = run_step(&mut g);
+        // Identical shapes: the second step must be served from the pool.
+        assert_eq!(
+            g.pool_stats().misses,
+            misses_after_first,
+            "steady-state step should not miss the pool"
+        );
+        assert!(g.pool_stats().hits > 0);
+        // And recycling must not perturb a single bit.
+        assert_eq!(loss1.to_bits(), loss2.to_bits());
+        assert_eq!(wg1, wg2);
+    }
+
+    #[test]
+    fn pooled_and_unpooled_are_bit_identical() {
+        let mut pooled = Graph::new();
+        // Warm the pool so the second pooled step runs on recycled buffers.
+        run_step(&mut pooled);
+        pooled.reset();
+        let (loss_p, wg_p) = run_step(&mut pooled);
+
+        let mut plain = Graph::new();
+        plain.set_pool_enabled(false);
+        let (loss_u, wg_u) = run_step(&mut plain);
+
+        assert_eq!(loss_p.to_bits(), loss_u.to_bits());
+        assert_eq!(wg_p, wg_u);
+    }
+
+    #[test]
+    fn activation_bytes_tracks_incrementally() {
+        let mut g = Graph::new();
+        assert_eq!(g.activation_bytes(), 0);
+        let a = g.leaf(t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        assert_eq!(g.activation_bytes(), 16);
+        let b = g.relu(a);
+        assert_eq!(g.activation_bytes(), 32);
+        let _ = g.sum(b);
+        assert_eq!(g.activation_bytes(), 36);
+        g.reset();
+        assert_eq!(g.activation_bytes(), 0);
+    }
+
+    #[test]
+    fn take_scratch_and_recycle_roundtrip() {
+        let mut g = Graph::new();
+        let mut s = g.take_scratch(&[4, 3]);
+        s.fill(1.0);
+        g.recycle(s);
+        let s2 = g.take_scratch(&[3, 4]);
+        assert_eq!(s2.len(), 12);
+        assert_eq!(g.pool_stats().hits, 1);
     }
 }

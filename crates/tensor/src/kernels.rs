@@ -2,15 +2,19 @@
 //!
 //! These free functions implement the raw math used both directly (e.g. by
 //! optimizers and inference paths) and by the autograd [`crate::Graph`] ops.
-//! All kernels allocate their output; shape validation is by `assert!` with
-//! descriptive messages since a shape error is always a programming bug.
+//! Every kernel comes in two flavours: an allocating form returning a fresh
+//! [`Tensor`], and an `_into` form writing into a caller-provided slice so
+//! the hot path can reuse pooled buffers (see [`crate::BufferPool`]). Both
+//! flavours run the identical inner loops, so their results are bit
+//! identical. Shape validation is by `assert!` with descriptive messages
+//! since a shape error is always a programming bug.
 
 use crate::Tensor;
 
 /// Elements-per-thread threshold above which matmul parallelizes.
 const PAR_FLOP_THRESHOLD: usize = 1 << 22;
 
-fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     // Row-major ikj loop order: streams through `b` rows, vectorizes well.
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
@@ -45,10 +49,29 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 /// inner loop as the serial path, so the result is bit-identical for every
 /// `threads` value (`1` = no spawns at all).
 pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    let (m, n) = (a.rows(), b.cols());
+    let mut out = vec![0.0f32; m * n];
+    matmul_into_with_threads(a, b, &mut out, threads);
+    Tensor::from_vec(out, &[m, n]).expect("matmul output shape")
+}
+
+/// [`matmul`] writing into `out`, which must be zero-filled `[m*n]` (the
+/// kernel accumulates).
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree or `out.len() != m*n`.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    matmul_into_with_threads(a, b, out, betty_runtime::configured_threads());
+}
+
+/// [`matmul_into`] with an explicit worker count; bit-identical for every
+/// `threads` value.
+pub fn matmul_into_with_threads(a: &Tensor, b: &Tensor, out: &mut [f32], threads: usize) {
     let (m, k) = (a.rows(), a.cols());
     let (k2, n) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
-    let mut out = vec![0.0f32; m * n];
+    assert_eq!(out.len(), m * n, "matmul output length mismatch");
     let flops = m * k * n;
     if flops >= PAR_FLOP_THRESHOLD && threads > 1 && m > 1 {
         let chunk = m.div_ceil(threads);
@@ -59,14 +82,13 @@ pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
                 let rows = out_chunk.len() / n;
                 let a_chunk = &adata[t * chunk * k..t * chunk * k + rows * k];
                 scope.spawn(move || {
-                    matmul_into(a_chunk, bdata, out_chunk, rows, k, n);
+                    matmul_block(a_chunk, bdata, out_chunk, rows, k, n);
                 });
             }
         });
     } else {
-        matmul_into(a.data(), b.data(), &mut out, m, k, n);
+        matmul_block(a.data(), b.data(), out, m, k, n);
     }
-    Tensor::from_vec(out, &[m, n]).expect("matmul output shape")
 }
 
 /// Accumulates `aᵀ @ b` into output rows `i_range`.
@@ -74,7 +96,7 @@ pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
 /// The `r` (shared outer dimension) loop stays outermost and ascending, so
 /// each output element sees additions in exactly the serial order no matter
 /// how the `i` range is sharded.
-fn matmul_at_b_into(
+fn matmul_at_b_block(
     a: &[f32],
     b: &[f32],
     out: &mut [f32],
@@ -113,10 +135,29 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
 /// [`matmul_at_b`] with an explicit worker count; bit-identical for every
 /// `threads` value.
 pub fn matmul_at_b_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    let (ka, n) = (a.cols(), b.cols());
+    let mut out = vec![0.0f32; ka * n];
+    matmul_at_b_into_with_threads(a, b, &mut out, threads);
+    Tensor::from_vec(out, &[ka, n]).expect("matmul_at_b output shape")
+}
+
+/// [`matmul_at_b`] writing into `out`, which must be zero-filled
+/// `[a.cols()*b.cols()]` (the kernel accumulates).
+///
+/// # Panics
+///
+/// Panics if `a.rows() != b.rows()` or `out` has the wrong length.
+pub fn matmul_at_b_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    matmul_at_b_into_with_threads(a, b, out, betty_runtime::configured_threads());
+}
+
+/// [`matmul_at_b_into`] with an explicit worker count; bit-identical for
+/// every `threads` value.
+pub fn matmul_at_b_into_with_threads(a: &Tensor, b: &Tensor, out: &mut [f32], threads: usize) {
     let (m, ka) = (a.rows(), a.cols());
     let (m2, n) = (b.rows(), b.cols());
     assert_eq!(m, m2, "matmul_at_b outer dimension mismatch: {m} vs {m2}");
-    let mut out = vec![0.0f32; ka * n];
+    assert_eq!(out.len(), ka * n, "matmul_at_b output length mismatch");
     let adata = a.data();
     let bdata = b.data();
     let flops = m * ka * n;
@@ -126,19 +167,18 @@ pub fn matmul_at_b_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tenso
             for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
                 let cols = out_chunk.len() / n;
                 scope.spawn(move || {
-                    matmul_at_b_into(adata, bdata, out_chunk, m, ka, n, t * chunk..t * chunk + cols);
+                    matmul_at_b_block(adata, bdata, out_chunk, m, ka, n, t * chunk..t * chunk + cols);
                 });
             }
         });
     } else {
-        matmul_at_b_into(adata, bdata, &mut out, m, ka, n, 0..ka);
+        matmul_at_b_block(adata, bdata, out, m, ka, n, 0..ka);
     }
-    Tensor::from_vec(out, &[ka, n]).expect("matmul_at_b output shape")
 }
 
 /// Computes output rows `[i0, i0 + rows)` of `a @ bᵀ`; rows are fully
 /// independent, so sharding cannot change any result bit.
-fn matmul_a_bt_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize, i0: usize) {
+fn matmul_a_bt_block(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize, i0: usize) {
     for (ii, orow) in out.chunks_mut(n).enumerate() {
         let i = i0 + ii;
         let arow = &a[i * k..(i + 1) * k];
@@ -168,10 +208,29 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
 /// [`matmul_a_bt`] with an explicit worker count; bit-identical for every
 /// `threads` value.
 pub fn matmul_a_bt_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    let (m, n) = (a.rows(), b.rows());
+    let mut out = vec![0.0f32; m * n];
+    matmul_a_bt_into_with_threads(a, b, &mut out, threads);
+    Tensor::from_vec(out, &[m, n]).expect("matmul_a_bt output shape")
+}
+
+/// [`matmul_a_bt`] writing into `out` of length `a.rows()*b.rows()`. The
+/// kernel overwrites every element, so `out` may hold arbitrary data.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()` or `out` has the wrong length.
+pub fn matmul_a_bt_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    matmul_a_bt_into_with_threads(a, b, out, betty_runtime::configured_threads());
+}
+
+/// [`matmul_a_bt_into`] with an explicit worker count; bit-identical for
+/// every `threads` value.
+pub fn matmul_a_bt_into_with_threads(a: &Tensor, b: &Tensor, out: &mut [f32], threads: usize) {
     let (m, k) = (a.rows(), a.cols());
     let (n, k2) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul_a_bt inner dimension mismatch: {k} vs {k2}");
-    let mut out = vec![0.0f32; m * n];
+    assert_eq!(out.len(), m * n, "matmul_a_bt output length mismatch");
     let adata = a.data();
     let bdata = b.data();
     let flops = m * k * n;
@@ -180,14 +239,13 @@ pub fn matmul_a_bt_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tenso
         std::thread::scope(|scope| {
             for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
                 scope.spawn(move || {
-                    matmul_a_bt_into(adata, bdata, out_chunk, k, n, t * chunk);
+                    matmul_a_bt_block(adata, bdata, out_chunk, k, n, t * chunk);
                 });
             }
         });
     } else {
-        matmul_a_bt_into(adata, bdata, &mut out, k, n, 0);
+        matmul_a_bt_block(adata, bdata, out, k, n, 0);
     }
-    Tensor::from_vec(out, &[m, n]).expect("matmul_a_bt output shape")
 }
 
 /// Elementwise binary map.
@@ -206,10 +264,35 @@ pub fn zip_map(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
     Tensor::from_vec(data, a.shape()).expect("zip_map output shape")
 }
 
+/// [`zip_map`] writing into `out` (fully overwritten).
+///
+/// # Panics
+///
+/// Panics if shapes differ or `out.len() != a.len()`.
+pub fn zip_map_into(a: &Tensor, b: &Tensor, out: &mut [f32], f: impl Fn(f32, f32) -> f32) {
+    assert_eq!(a.shape(), b.shape(), "elementwise shape mismatch");
+    assert_eq!(out.len(), a.len(), "zip_map output length mismatch");
+    for ((o, &x), &y) in out.iter_mut().zip(a.data()).zip(b.data()) {
+        *o = f(x, y);
+    }
+}
+
 /// Elementwise unary map.
 pub fn map(a: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
     let data = a.data().iter().map(|&x| f(x)).collect();
     Tensor::from_vec(data, a.shape()).expect("map output shape")
+}
+
+/// [`map`] writing into `out` (fully overwritten).
+///
+/// # Panics
+///
+/// Panics if `out.len() != a.len()`.
+pub fn map_into(a: &Tensor, out: &mut [f32], f: impl Fn(f32) -> f32) {
+    assert_eq!(out.len(), a.len(), "map output length mismatch");
+    for (o, &x) in out.iter_mut().zip(a.data()) {
+        *o = f(x);
+    }
 }
 
 /// Elementwise sum.
@@ -239,32 +322,57 @@ pub fn scale(a: &Tensor, s: f32) -> Tensor {
 /// Panics if `bias` is not rank 1 of length `a.cols()`.
 pub fn add_row_broadcast(a: &Tensor, bias: &Tensor) -> Tensor {
     let (m, n) = (a.rows(), a.cols());
+    let mut out = vec![0.0f32; m * n];
+    add_row_broadcast_into(a, bias, &mut out);
+    Tensor::from_vec(out, &[m, n]).expect("broadcast output shape")
+}
+
+/// [`add_row_broadcast`] writing into `out` (fully overwritten).
+///
+/// # Panics
+///
+/// Panics if `bias` is not rank 1 of length `a.cols()` or `out` has the
+/// wrong length.
+pub fn add_row_broadcast_into(a: &Tensor, bias: &Tensor, out: &mut [f32]) {
+    let (m, n) = (a.rows(), a.cols());
     assert_eq!(
         bias.shape(),
         &[n],
         "bias must be rank-1 of length {n}, got {:?}",
         bias.shape()
     );
-    let mut out = a.data().to_vec();
+    assert_eq!(out.len(), m * n, "broadcast output length mismatch");
+    out.copy_from_slice(a.data());
     let b = bias.data();
-    for i in 0..m {
-        for j in 0..n {
-            out[i * n + j] += b[j];
+    for orow in out.chunks_mut(n) {
+        for (o, &bv) in orow.iter_mut().zip(b) {
+            *o += bv;
         }
     }
-    Tensor::from_vec(out, &[m, n]).expect("broadcast output shape")
 }
 
 /// Column sums of a rank-2 tensor: `[m, n] -> [n]`.
 pub fn sum_rows(a: &Tensor) -> Tensor {
+    let mut out = vec![0.0f32; a.cols()];
+    sum_rows_into(a, &mut out);
+    Tensor::from_vec(out, &[a.cols()]).expect("sum_rows output shape")
+}
+
+/// [`sum_rows`] writing into `out` (zeroed by the kernel first, so `out`
+/// may hold arbitrary data).
+///
+/// # Panics
+///
+/// Panics if `out.len() != a.cols()`.
+pub fn sum_rows_into(a: &Tensor, out: &mut [f32]) {
     let (m, n) = (a.rows(), a.cols());
-    let mut out = vec![0.0f32; n];
+    assert_eq!(out.len(), n, "sum_rows output length mismatch");
+    out.fill(0.0);
     for i in 0..m {
         for (o, &v) in out.iter_mut().zip(a.row(i)) {
             *o += v;
         }
     }
-    Tensor::from_vec(out, &[n]).expect("sum_rows output shape")
 }
 
 /// Multiplies each row `i` of `a` by `scalars[i]`.
@@ -274,20 +382,43 @@ pub fn sum_rows(a: &Tensor) -> Tensor {
 /// Panics if `scalars.len() != a.rows()`.
 pub fn scale_rows(a: &Tensor, scalars: &[f32]) -> Tensor {
     let (m, n) = (a.rows(), a.cols());
+    let mut out = vec![0.0f32; m * n];
+    scale_rows_into(a, scalars, &mut out);
+    Tensor::from_vec(out, &[m, n]).expect("scale_rows output shape")
+}
+
+/// [`scale_rows`] writing into `out` (fully overwritten).
+///
+/// # Panics
+///
+/// Panics if `scalars.len() != a.rows()` or `out` has the wrong length.
+pub fn scale_rows_into(a: &Tensor, scalars: &[f32], out: &mut [f32]) {
+    let (m, n) = (a.rows(), a.cols());
     assert_eq!(scalars.len(), m, "one scalar per row required");
-    let mut out = a.data().to_vec();
-    for i in 0..m {
-        for v in &mut out[i * n..(i + 1) * n] {
-            *v *= scalars[i];
+    assert_eq!(out.len(), m * n, "scale_rows output length mismatch");
+    for ((orow, arow), &s) in out.chunks_mut(n).zip(a.data().chunks(n)).zip(scalars) {
+        for (o, &v) in orow.iter_mut().zip(arow) {
+            *o = v * s;
         }
     }
-    Tensor::from_vec(out, &[m, n]).expect("scale_rows output shape")
 }
 
 /// Numerically-stable row-wise log-softmax.
 pub fn log_softmax_rows(a: &Tensor) -> Tensor {
     let (m, n) = (a.rows(), a.cols());
     let mut out = vec![0.0f32; m * n];
+    log_softmax_rows_into(a, &mut out);
+    Tensor::from_vec(out, &[m, n]).expect("log_softmax output shape")
+}
+
+/// [`log_softmax_rows`] writing into `out` (fully overwritten).
+///
+/// # Panics
+///
+/// Panics if `out.len() != a.len()`.
+pub fn log_softmax_rows_into(a: &Tensor, out: &mut [f32]) {
+    let (m, n) = (a.rows(), a.cols());
+    assert_eq!(out.len(), m * n, "log_softmax output length mismatch");
     for i in 0..m {
         let row = a.row(i);
         let max = row.iter().fold(f32::NEG_INFINITY, |acc, &v| acc.max(v));
@@ -296,7 +427,6 @@ pub fn log_softmax_rows(a: &Tensor) -> Tensor {
             *o = v - log_z;
         }
     }
-    Tensor::from_vec(out, &[m, n]).expect("log_softmax output shape")
 }
 
 /// Row-wise softmax.
@@ -312,14 +442,29 @@ pub fn softmax_rows(a: &Tensor) -> Tensor {
 pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
     assert!(!parts.is_empty(), "concat_rows requires at least one part");
     let n = parts[0].cols();
-    let mut data = Vec::new();
-    let mut rows = 0;
+    let rows: usize = parts.iter().map(|p| p.rows()).sum();
+    let mut data = vec![0.0f32; rows * n];
+    concat_rows_into(parts, &mut data);
+    Tensor::from_vec(data, &[rows, n]).expect("concat output shape")
+}
+
+/// [`concat_rows`] writing into `out` (fully overwritten).
+///
+/// # Panics
+///
+/// Panics if `parts` is empty, column counts disagree, or `out` has the
+/// wrong length.
+pub fn concat_rows_into(parts: &[&Tensor], out: &mut [f32]) {
+    assert!(!parts.is_empty(), "concat_rows requires at least one part");
+    let n = parts[0].cols();
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    assert_eq!(out.len(), total, "concat_rows output length mismatch");
+    let mut offset = 0;
     for p in parts {
         assert_eq!(p.cols(), n, "concat_rows column mismatch");
-        data.extend_from_slice(p.data());
-        rows += p.rows();
+        out[offset..offset + p.len()].copy_from_slice(p.data());
+        offset += p.len();
     }
-    Tensor::from_vec(data, &[rows, n]).expect("concat output shape")
 }
 
 /// Horizontal concatenation of matrices sharing a row count.
@@ -332,16 +477,30 @@ pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
     let m = parts[0].rows();
     let total_cols: usize = parts.iter().map(|p| p.cols()).sum();
     let mut data = vec![0.0f32; m * total_cols];
+    concat_cols_into(parts, &mut data);
+    Tensor::from_vec(data, &[m, total_cols]).expect("concat output shape")
+}
+
+/// [`concat_cols`] writing into `out` (fully overwritten).
+///
+/// # Panics
+///
+/// Panics if `parts` is empty, row counts disagree, or `out` has the wrong
+/// length.
+pub fn concat_cols_into(parts: &[&Tensor], out: &mut [f32]) {
+    assert!(!parts.is_empty(), "concat_cols requires at least one part");
+    let m = parts[0].rows();
+    let total_cols: usize = parts.iter().map(|p| p.cols()).sum();
+    assert_eq!(out.len(), m * total_cols, "concat_cols output length mismatch");
     let mut offset = 0;
     for p in parts {
         assert_eq!(p.rows(), m, "concat_cols row mismatch");
         let c = p.cols();
         for i in 0..m {
-            data[i * total_cols + offset..i * total_cols + offset + c].copy_from_slice(p.row(i));
+            out[i * total_cols + offset..i * total_cols + offset + c].copy_from_slice(p.row(i));
         }
         offset += c;
     }
-    Tensor::from_vec(data, &[m, total_cols]).expect("concat output shape")
 }
 
 /// Extracts columns `[start, start+len)` of a matrix.
@@ -350,13 +509,25 @@ pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
 ///
 /// Panics if the column range is out of bounds.
 pub fn slice_cols(a: &Tensor, start: usize, len: usize) -> Tensor {
+    let m = a.rows();
+    let mut data = vec![0.0f32; m * len];
+    slice_cols_into(a, start, len, &mut data);
+    Tensor::from_vec(data, &[m, len]).expect("slice output shape")
+}
+
+/// [`slice_cols`] writing into `out` (fully overwritten).
+///
+/// # Panics
+///
+/// Panics if the column range is out of bounds or `out` has the wrong
+/// length.
+pub fn slice_cols_into(a: &Tensor, start: usize, len: usize, out: &mut [f32]) {
     let (m, n) = (a.rows(), a.cols());
     assert!(start + len <= n, "column slice {start}..{} > {n}", start + len);
-    let mut data = vec![0.0f32; m * len];
+    assert_eq!(out.len(), m * len, "slice output length mismatch");
     for i in 0..m {
-        data[i * len..(i + 1) * len].copy_from_slice(&a.row(i)[start..start + len]);
+        out[i * len..(i + 1) * len].copy_from_slice(&a.row(i)[start..start + len]);
     }
-    Tensor::from_vec(data, &[m, len]).expect("slice output shape")
 }
 
 #[cfg(test)]
@@ -508,5 +679,111 @@ mod tests {
         let a = t(&[1.0, 1.0, 2.0, 2.0], &[2, 2]);
         let s = scale_rows(&a, &[2.0, 0.5]);
         assert_eq!(s.data(), &[2.0, 2.0, 1.0, 1.0]);
+    }
+
+    // ---- bitwise regressions: block-copy kernels vs. the per-element
+    // index loops they replaced ----
+
+    #[test]
+    fn row_copy_kernels_bitwise_match_index_loop_reference() {
+        let a = big(13, 7, 11);
+        let b = big(9, 7, 12);
+        let c = big(13, 5, 13);
+
+        // concat_rows reference: element-by-element.
+        let fast = concat_rows(&[&a, &b]);
+        let mut reference = vec![0.0f32; fast.len()];
+        for (r, v) in reference.iter_mut().enumerate() {
+            let (i, j) = (r / 7, r % 7);
+            *v = if i < 13 { a.at2(i, j) } else { b.at2(i - 13, j) };
+        }
+        assert_eq!(bits(&fast), reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+
+        // concat_cols reference.
+        let fast = concat_cols(&[&a, &c]);
+        let mut reference = vec![0.0f32; fast.len()];
+        for i in 0..13 {
+            for j in 0..12 {
+                reference[i * 12 + j] = if j < 7 { a.at2(i, j) } else { c.at2(i, j - 7) };
+            }
+        }
+        assert_eq!(bits(&fast), reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+
+        // slice_cols reference.
+        let fast = slice_cols(&a, 2, 4);
+        let mut reference = vec![0.0f32; 13 * 4];
+        for i in 0..13 {
+            for j in 0..4 {
+                reference[i * 4 + j] = a.at2(i, 2 + j);
+            }
+        }
+        assert_eq!(bits(&fast), reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn broadcast_and_scale_rows_bitwise_match_index_loop_reference() {
+        let a = big(17, 9, 21);
+        let bias = Tensor::from_vec((0..9).map(|i| i as f32 * 0.37 - 1.1).collect(), &[9]).unwrap();
+        let fast = add_row_broadcast(&a, &bias);
+        let mut reference = a.data().to_vec();
+        for i in 0..17 {
+            for j in 0..9 {
+                reference[i * 9 + j] += bias.at(j);
+            }
+        }
+        assert_eq!(bits(&fast), reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+
+        let scalars: Vec<f32> = (0..17).map(|i| i as f32 * 0.21 - 1.6).collect();
+        let fast = scale_rows(&a, &scalars);
+        let mut reference = a.data().to_vec();
+        for (i, &s) in scalars.iter().enumerate() {
+            for v in &mut reference[i * 9..(i + 1) * 9] {
+                *v *= s;
+            }
+        }
+        assert_eq!(bits(&fast), reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_variants_bitwise_match_allocating_variants() {
+        let a = big(19, 11, 31);
+        let b = big(11, 13, 32);
+        let mut out = vec![0.0f32; 19 * 13];
+        matmul_into(&a, &b, &mut out);
+        assert_eq!(
+            bits(&matmul(&a, &b)),
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        let c = big(19, 13, 33);
+        let mut out = vec![0.0f32; 11 * 13];
+        matmul_at_b_into(&a, &c, &mut out);
+        assert_eq!(
+            bits(&matmul_at_b(&a, &c)),
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        // a_bt fully overwrites, so a dirty output buffer must not matter.
+        let d = big(7, 11, 34);
+        let mut out = vec![f32::NAN; 19 * 7];
+        matmul_a_bt_into(&a, &d, &mut out);
+        assert_eq!(
+            bits(&matmul_a_bt(&a, &d)),
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        let mut out = vec![f32::NAN; a.len()];
+        log_softmax_rows_into(&a, &mut out);
+        assert_eq!(
+            bits(&log_softmax_rows(&a)),
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        let mut out = vec![f32::NAN; 11];
+        sum_rows_into(&a, &mut out);
+        assert_eq!(
+            bits(&sum_rows(&a)),
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 }

@@ -31,6 +31,7 @@
 
 mod error;
 mod graph;
+mod pool;
 mod tensor;
 
 pub mod check;
@@ -40,6 +41,7 @@ pub mod segment;
 
 pub use error::TensorError;
 pub use graph::{Graph, Reduction, VarId};
+pub use pool::{BufferPool, PoolStats};
 pub use init::{glorot_uniform, kaiming_uniform, randn, uniform};
 pub use tensor::Tensor;
 

@@ -13,13 +13,28 @@ use crate::Tensor;
 ///
 /// Panics if `src` is not rank 2 or any index is out of bounds.
 pub fn gather_rows(src: &Tensor, indices: &[usize]) -> Tensor {
-    let (rows, cols) = (src.rows(), src.cols());
-    let mut data = Vec::with_capacity(indices.len() * cols);
-    for &i in indices {
-        assert!(i < rows, "gather index {i} out of bounds for {rows} rows");
-        data.extend_from_slice(src.row(i));
-    }
+    let cols = src.cols();
+    let mut data = vec![0.0f32; indices.len() * cols];
+    gather_rows_into(src, indices, &mut data);
     Tensor::from_vec(data, &[indices.len(), cols]).expect("gather output shape")
+}
+
+/// [`gather_rows`] writing into `out` (fully overwritten, row by row with
+/// `copy_from_slice`).
+///
+/// # Panics
+///
+/// Panics if an index is out of bounds or `out` has the wrong length.
+pub fn gather_rows_into(src: &Tensor, indices: &[usize], out: &mut [f32]) {
+    let (rows, cols) = (src.rows(), src.cols());
+    assert_eq!(out.len(), indices.len() * cols, "gather output length mismatch");
+    if cols == 0 {
+        return;
+    }
+    for (orow, &i) in out.chunks_mut(cols).zip(indices) {
+        assert!(i < rows, "gather index {i} out of bounds for {rows} rows");
+        orow.copy_from_slice(src.row(i));
+    }
 }
 
 /// Adds row `r` of `values` into row `indices[r]` of `out`.
@@ -35,12 +50,15 @@ pub fn scatter_add_rows(out: &mut Tensor, values: &Tensor, indices: &[usize]) {
     assert_eq!(values.cols(), cols, "scatter column mismatch");
     assert_eq!(values.rows(), indices.len(), "one index per value row");
     let n = out.rows();
-    let vdata = values.data().to_vec();
+    if cols == 0 {
+        return;
+    }
+    let vdata = values.data();
     let odata = out.data_mut();
-    for (r, &i) in indices.iter().enumerate() {
+    for (vrow, &i) in vdata.chunks(cols).zip(indices) {
         assert!(i < n, "scatter index {i} out of bounds for {n} rows");
-        for c in 0..cols {
-            odata[i * cols + c] += vdata[r * cols + c];
+        for (o, &v) in odata[i * cols..(i + 1) * cols].iter_mut().zip(vrow) {
+            *o += v;
         }
     }
 }
@@ -53,14 +71,26 @@ pub fn scatter_add_rows(out: &mut Tensor, values: &Tensor, indices: &[usize]) {
 /// Panics if any index is out of bounds.
 pub fn scatter_rows(values: &Tensor, indices: &[usize], n_rows: usize) -> Tensor {
     let cols = values.cols();
-    assert_eq!(values.rows(), indices.len(), "one index per value row");
     let mut out = Tensor::zeros(&[n_rows, cols]);
-    let odata = out.data_mut();
+    scatter_rows_into(values, indices, out.data_mut());
+    out
+}
+
+/// [`scatter_rows`] writing into `out`, which must be zero-filled
+/// `[n_rows * cols]` (rows not referenced are left untouched).
+///
+/// # Panics
+///
+/// Panics if an index is out of bounds or lengths disagree.
+pub fn scatter_rows_into(values: &Tensor, indices: &[usize], out: &mut [f32]) {
+    let cols = values.cols();
+    assert_eq!(values.rows(), indices.len(), "one index per value row");
+    assert_eq!(out.len() % cols.max(1), 0, "scatter output length mismatch");
+    let n_rows = out.len().checked_div(cols).unwrap_or(0);
     for (r, &i) in indices.iter().enumerate() {
         assert!(i < n_rows, "scatter index {i} out of bounds for {n_rows} rows");
-        odata[i * cols..(i + 1) * cols].copy_from_slice(values.row(r));
+        out[i * cols..(i + 1) * cols].copy_from_slice(values.row(r));
     }
-    out
 }
 
 /// Sums rows of `values` into `n_segments` buckets keyed by `segment_ids`.
@@ -72,18 +102,31 @@ pub fn scatter_rows(values: &Tensor, indices: &[usize], n_rows: usize) -> Tensor
 ///
 /// Panics if a segment id is `>= n_segments` or lengths disagree.
 pub fn segment_sum(values: &Tensor, segment_ids: &[usize], n_segments: usize) -> Tensor {
+    let mut out = Tensor::zeros(&[n_segments, values.cols()]);
+    segment_sum_into(values, segment_ids, out.data_mut());
+    out
+}
+
+/// [`segment_sum`] accumulating into `out`, which must be zero-filled
+/// `[n_segments * cols]`.
+///
+/// # Panics
+///
+/// Panics if a segment id is out of bounds or lengths disagree.
+pub fn segment_sum_into(values: &Tensor, segment_ids: &[usize], out: &mut [f32]) {
     let cols = values.cols();
     assert_eq!(values.rows(), segment_ids.len(), "one segment id per row");
-    let mut out = Tensor::zeros(&[n_segments, cols]);
-    let odata = out.data_mut();
-    for (r, &s) in segment_ids.iter().enumerate() {
+    if cols == 0 {
+        return;
+    }
+    let n_segments = out.len() / cols;
+    assert_eq!(out.len(), n_segments * cols, "segment_sum output length mismatch");
+    for (vrow, &s) in values.data().chunks(cols).zip(segment_ids) {
         assert!(s < n_segments, "segment id {s} >= {n_segments}");
-        let row = values.row(r);
-        for c in 0..cols {
-            odata[s * cols + c] += row[c];
+        for (o, &v) in out[s * cols..(s + 1) * cols].iter_mut().zip(vrow) {
+            *o += v;
         }
     }
-    out
 }
 
 /// Per-segment mean; empty segments produce zero rows.
@@ -95,23 +138,35 @@ pub fn segment_mean(
     segment_ids: &[usize],
     n_segments: usize,
 ) -> (Tensor, Vec<usize>) {
+    let mut out = Tensor::zeros(&[n_segments, values.cols()]);
+    let counts = segment_mean_into(values, segment_ids, out.data_mut());
+    (out, counts)
+}
+
+/// [`segment_mean`] accumulating into `out`, which must be zero-filled
+/// `[n_segments * cols]`; returns the per-segment counts.
+///
+/// # Panics
+///
+/// Panics if a segment id is out of bounds or lengths disagree.
+pub fn segment_mean_into(values: &Tensor, segment_ids: &[usize], out: &mut [f32]) -> Vec<usize> {
+    let cols = values.cols();
+    let n_segments = out.len().checked_div(cols).unwrap_or(0);
     let mut counts = vec![0usize; n_segments];
     for &s in segment_ids {
         assert!(s < n_segments, "segment id {s} >= {n_segments}");
         counts[s] += 1;
     }
-    let mut out = segment_sum(values, segment_ids, n_segments);
-    let cols = out.cols();
-    let odata = out.data_mut();
+    segment_sum_into(values, segment_ids, out);
     for (s, &cnt) in counts.iter().enumerate() {
         if cnt > 1 {
             let inv = 1.0 / cnt as f32;
-            for v in &mut odata[s * cols..(s + 1) * cols] {
+            for v in &mut out[s * cols..(s + 1) * cols] {
                 *v *= inv;
             }
         }
     }
-    (out, counts)
+    counts
 }
 
 /// Per-segment elementwise max.
@@ -125,9 +180,42 @@ pub fn segment_max(
     n_segments: usize,
 ) -> (Tensor, Vec<usize>) {
     let cols = values.cols();
+    let mut out = Tensor::zeros(&[n_segments, cols]);
+    let argmax = segment_max_into(values, segment_ids, out.data_mut());
+    (out, argmax)
+}
+
+/// [`segment_max`] writing into `out` (fully overwritten — the kernel
+/// seeds every cell with `-∞` first); returns the per-cell argmax.
+///
+/// # Panics
+///
+/// Panics if a segment id is out of bounds or lengths disagree.
+pub fn segment_max_into(values: &Tensor, segment_ids: &[usize], out: &mut [f32]) -> Vec<usize> {
+    let mut argmax = Vec::new();
+    segment_max_into_reusing(values, segment_ids, out, &mut argmax);
+    argmax
+}
+
+/// [`segment_max_into`] writing the argmax into a caller-provided buffer
+/// (cleared and refilled), so a recycled buffer makes the op allocation-free.
+///
+/// # Panics
+///
+/// Panics if a segment id is out of bounds or lengths disagree.
+pub fn segment_max_into_reusing(
+    values: &Tensor,
+    segment_ids: &[usize],
+    out: &mut [f32],
+    argmax: &mut Vec<usize>,
+) {
+    let cols = values.cols();
     assert_eq!(values.rows(), segment_ids.len(), "one segment id per row");
-    let mut out = vec![f32::NEG_INFINITY; n_segments * cols];
-    let mut argmax = vec![usize::MAX; n_segments * cols];
+    let n_segments = out.len().checked_div(cols).unwrap_or(0);
+    assert_eq!(out.len(), n_segments * cols, "segment_max output length mismatch");
+    out.fill(f32::NEG_INFINITY);
+    argmax.clear();
+    argmax.resize(n_segments * cols, usize::MAX);
     for (r, &s) in segment_ids.iter().enumerate() {
         assert!(s < n_segments, "segment id {s} >= {n_segments}");
         let row = values.row(r);
@@ -138,15 +226,11 @@ pub fn segment_max(
             }
         }
     }
-    for v in &mut out {
+    for v in out.iter_mut() {
         if *v == f32::NEG_INFINITY {
             *v = 0.0;
         }
     }
-    (
-        Tensor::from_vec(out, &[n_segments, cols]).expect("segment_max output shape"),
-        argmax,
-    )
 }
 
 /// Fused gather + segment-sum: `out[seg_ids[e]] += src[gather_ids[e]]`
@@ -162,20 +246,39 @@ pub fn fused_gather_segment_sum(
     segment_ids: &[usize],
     n_segments: usize,
 ) -> Tensor {
+    let mut out = Tensor::zeros(&[n_segments, src.cols()]);
+    fused_gather_segment_sum_into(src, gather_ids, segment_ids, out.data_mut());
+    out
+}
+
+/// [`fused_gather_segment_sum`] accumulating into `out`, which must be
+/// zero-filled `[n_segments * cols]`.
+///
+/// # Panics
+///
+/// Panics if index slices disagree in length or contain out-of-bounds ids.
+pub fn fused_gather_segment_sum_into(
+    src: &Tensor,
+    gather_ids: &[usize],
+    segment_ids: &[usize],
+    out: &mut [f32],
+) {
     assert_eq!(gather_ids.len(), segment_ids.len(), "one segment per edge");
     let (rows, cols) = (src.rows(), src.cols());
-    let mut out = Tensor::zeros(&[n_segments, cols]);
-    let odata = out.data_mut();
+    if cols == 0 {
+        return;
+    }
+    let n_segments = out.len() / cols;
+    assert_eq!(out.len(), n_segments * cols, "fused sum output length mismatch");
     let sdata = src.data();
     for (&g, &s) in gather_ids.iter().zip(segment_ids) {
         assert!(g < rows, "gather index {g} out of bounds for {rows} rows");
         assert!(s < n_segments, "segment id {s} >= {n_segments}");
         let src_row = &sdata[g * cols..(g + 1) * cols];
-        for (o, &v) in odata[s * cols..(s + 1) * cols].iter_mut().zip(src_row) {
+        for (o, &v) in out[s * cols..(s + 1) * cols].iter_mut().zip(src_row) {
             *o += v;
         }
     }
-    out
 }
 
 /// Adjoint of [`fused_gather_segment_sum`] (optionally degree-normalized):
@@ -192,20 +295,40 @@ pub fn fused_gather_segment_sum_backward(
     segment_scale: Option<&[f32]>,
     n_src_rows: usize,
 ) -> Tensor {
+    let mut out = Tensor::zeros(&[n_src_rows, grad.cols()]);
+    fused_gather_segment_sum_backward_into(grad, gather_ids, segment_ids, segment_scale, out.data_mut());
+    out
+}
+
+/// [`fused_gather_segment_sum_backward`] accumulating into `out`, which
+/// must be zero-filled `[n_src_rows * cols]`.
+///
+/// # Panics
+///
+/// Panics if slices disagree in length or ids are out of bounds.
+pub fn fused_gather_segment_sum_backward_into(
+    grad: &Tensor,
+    gather_ids: &[usize],
+    segment_ids: &[usize],
+    segment_scale: Option<&[f32]>,
+    out: &mut [f32],
+) {
     assert_eq!(gather_ids.len(), segment_ids.len(), "one segment per edge");
     let cols = grad.cols();
-    let mut out = Tensor::zeros(&[n_src_rows, cols]);
-    let odata = out.data_mut();
+    if cols == 0 {
+        return;
+    }
+    let n_src_rows = out.len() / cols;
+    assert_eq!(out.len(), n_src_rows * cols, "fused backward output length mismatch");
     let gdata = grad.data();
     for (&g, &s) in gather_ids.iter().zip(segment_ids) {
         assert!(g < n_src_rows, "gather index {g} out of bounds");
         let scale = segment_scale.map_or(1.0, |sc| sc[s]);
         let grad_row = &gdata[s * cols..(s + 1) * cols];
-        for (o, &v) in odata[g * cols..(g + 1) * cols].iter_mut().zip(grad_row) {
+        for (o, &v) in out[g * cols..(g + 1) * cols].iter_mut().zip(grad_row) {
             *o += v * scale;
         }
     }
-    out
 }
 
 /// Weighted fused gather + segment-sum:
@@ -222,21 +345,41 @@ pub fn fused_gather_segment_weighted_sum(
     weights: &[f32],
     n_segments: usize,
 ) -> Tensor {
+    let mut out = Tensor::zeros(&[n_segments, src.cols()]);
+    fused_gather_segment_weighted_sum_into(src, gather_ids, segment_ids, weights, out.data_mut());
+    out
+}
+
+/// [`fused_gather_segment_weighted_sum`] accumulating into `out`, which
+/// must be zero-filled `[n_segments * cols]`.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree or ids are out of bounds.
+pub fn fused_gather_segment_weighted_sum_into(
+    src: &Tensor,
+    gather_ids: &[usize],
+    segment_ids: &[usize],
+    weights: &[f32],
+    out: &mut [f32],
+) {
     assert_eq!(gather_ids.len(), segment_ids.len(), "one segment per edge");
     assert_eq!(gather_ids.len(), weights.len(), "one weight per edge");
     let (rows, cols) = (src.rows(), src.cols());
-    let mut out = Tensor::zeros(&[n_segments, cols]);
-    let odata = out.data_mut();
+    if cols == 0 {
+        return;
+    }
+    let n_segments = out.len() / cols;
+    assert_eq!(out.len(), n_segments * cols, "weighted sum output length mismatch");
     let sdata = src.data();
     for ((&g, &s), &w) in gather_ids.iter().zip(segment_ids).zip(weights) {
         assert!(g < rows, "gather index {g} out of bounds for {rows} rows");
         assert!(s < n_segments, "segment id {s} >= {n_segments}");
         let src_row = &sdata[g * cols..(g + 1) * cols];
-        for (o, &v) in odata[s * cols..(s + 1) * cols].iter_mut().zip(src_row) {
+        for (o, &v) in out[s * cols..(s + 1) * cols].iter_mut().zip(src_row) {
             *o += w * v;
         }
     }
-    out
 }
 
 /// Adjoint of [`fused_gather_segment_weighted_sum`]:
@@ -252,20 +395,40 @@ pub fn fused_gather_segment_weighted_sum_backward(
     weights: &[f32],
     n_src_rows: usize,
 ) -> Tensor {
+    let mut out = Tensor::zeros(&[n_src_rows, grad.cols()]);
+    fused_gather_segment_weighted_sum_backward_into(grad, gather_ids, segment_ids, weights, out.data_mut());
+    out
+}
+
+/// [`fused_gather_segment_weighted_sum_backward`] accumulating into `out`,
+/// which must be zero-filled `[n_src_rows * cols]`.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree or ids are out of bounds.
+pub fn fused_gather_segment_weighted_sum_backward_into(
+    grad: &Tensor,
+    gather_ids: &[usize],
+    segment_ids: &[usize],
+    weights: &[f32],
+    out: &mut [f32],
+) {
     assert_eq!(gather_ids.len(), segment_ids.len(), "one segment per edge");
     assert_eq!(gather_ids.len(), weights.len(), "one weight per edge");
     let cols = grad.cols();
-    let mut out = Tensor::zeros(&[n_src_rows, cols]);
-    let odata = out.data_mut();
+    if cols == 0 {
+        return;
+    }
+    let n_src_rows = out.len() / cols;
+    assert_eq!(out.len(), n_src_rows * cols, "weighted backward output length mismatch");
     let gdata = grad.data();
     for ((&g, &s), &w) in gather_ids.iter().zip(segment_ids).zip(weights) {
         assert!(g < n_src_rows, "gather index {g} out of bounds");
         let grad_row = &gdata[s * cols..(s + 1) * cols];
-        for (o, &v) in odata[g * cols..(g + 1) * cols].iter_mut().zip(grad_row) {
+        for (o, &v) in out[g * cols..(g + 1) * cols].iter_mut().zip(grad_row) {
             *o += w * v;
         }
     }
-    out
 }
 
 /// Numerically-stable softmax within each segment, applied column-wise.
@@ -274,8 +437,26 @@ pub fn fused_gather_segment_weighted_sum_backward(
 /// destination; each column of each segment is normalized independently.
 /// Rows in empty segments are untouched by definition (there are none).
 pub fn segment_softmax(values: &Tensor, segment_ids: &[usize], n_segments: usize) -> Tensor {
+    let mut out = Tensor::zeros(values.shape());
+    segment_softmax_into(values, segment_ids, n_segments, out.data_mut());
+    out
+}
+
+/// [`segment_softmax`] writing into `out`, which must have `values.len()`
+/// elements and is fully overwritten (contents on entry are irrelevant).
+///
+/// # Panics
+///
+/// Panics if lengths disagree or ids exceed `n_segments`.
+pub fn segment_softmax_into(
+    values: &Tensor,
+    segment_ids: &[usize],
+    n_segments: usize,
+    out: &mut [f32],
+) {
     let cols = values.cols();
     assert_eq!(values.rows(), segment_ids.len(), "one segment id per row");
+    assert_eq!(out.len(), values.len(), "segment_softmax output length mismatch");
     // Pass 1: per-segment max.
     let mut max = vec![f32::NEG_INFINITY; n_segments * cols];
     for (r, &s) in segment_ids.iter().enumerate() {
@@ -288,7 +469,6 @@ pub fn segment_softmax(values: &Tensor, segment_ids: &[usize], n_segments: usize
         }
     }
     // Pass 2: exp and per-segment sums.
-    let mut out = vec![0.0f32; values.len()];
     let mut sums = vec![0.0f32; n_segments * cols];
     for (r, &s) in segment_ids.iter().enumerate() {
         let row = values.row(r);
@@ -304,7 +484,6 @@ pub fn segment_softmax(values: &Tensor, segment_ids: &[usize], n_segments: usize
             out[r * cols + c] /= sums[s * cols + c];
         }
     }
-    Tensor::from_vec(out, values.shape()).expect("segment_softmax output shape")
 }
 
 #[cfg(test)]
@@ -385,5 +564,102 @@ mod tests {
     fn gather_bounds_checked() {
         let src = t(&[1.0, 2.0], &[1, 2]);
         gather_rows(&src, &[1]);
+    }
+
+    /// Irrational-ish values so any reordering or rounding difference
+    /// between the block-copy kernels and the old per-element index loops
+    /// would show up at the bit level.
+    fn salted(rows: usize, cols: usize, salt: f32) -> Tensor {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i as f32) * 0.731 + salt).sin() * 3.77)
+            .collect();
+        Tensor::from_vec(data, &[rows, cols]).expect("salted tensor")
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.data().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn row_copy_kernels_bitwise_match_index_loop_reference() {
+        let src = salted(11, 6, 0.13);
+        let indices = [3usize, 0, 7, 7, 10, 2];
+
+        // gather_rows: block copy vs element-at-a-time reference.
+        let got = gather_rows(&src, &indices);
+        let mut want = vec![0.0f32; indices.len() * 6];
+        for (r, &i) in indices.iter().enumerate() {
+            for c in 0..6 {
+                want[r * 6 + c] = src.at2(i, c);
+            }
+        }
+        assert_eq!(bits(&got), want.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+
+        // scatter_rows: later writes win, untouched rows stay zero.
+        let values = salted(4, 6, 1.9);
+        let sc_idx = [2usize, 5, 2, 0];
+        let got = scatter_rows(&values, &sc_idx, 8);
+        let mut want = [0.0f32; 8 * 6];
+        for (r, &i) in sc_idx.iter().enumerate() {
+            for c in 0..6 {
+                want[i * 6 + c] = values.at2(r, c);
+            }
+        }
+        assert_eq!(bits(&got), want.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+
+        // scatter_add_rows: repeated indices accumulate in row order.
+        let mut got = Tensor::zeros(&[8, 6]);
+        scatter_add_rows(&mut got, &values, &sc_idx);
+        let mut want = [0.0f32; 8 * 6];
+        for (r, &i) in sc_idx.iter().enumerate() {
+            for c in 0..6 {
+                want[i * 6 + c] += values.at2(r, c);
+            }
+        }
+        assert_eq!(bits(&got), want.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_variants_bitwise_match_allocating_variants() {
+        let src = salted(9, 5, 0.41);
+        let g_ids = [0usize, 3, 3, 8, 1, 5];
+        let s_ids = [2usize, 0, 2, 1, 1, 0];
+        let w: Vec<f32> = (0..6).map(|i| 0.5 + 0.1 * i as f32).collect();
+
+        let sum = fused_gather_segment_sum(&src, &g_ids, &s_ids, 4);
+        let mut out = vec![0.0f32; 4 * 5];
+        fused_gather_segment_sum_into(&src, &g_ids, &s_ids, &mut out);
+        assert_eq!(sum.data(), &out[..]);
+
+        let wsum = fused_gather_segment_weighted_sum(&src, &g_ids, &s_ids, &w, 4);
+        out.fill(0.0);
+        fused_gather_segment_weighted_sum_into(&src, &g_ids, &s_ids, &w, &mut out);
+        assert_eq!(wsum.data(), &out[..]);
+
+        let grad = salted(4, 5, 2.2);
+        let scale = [0.5f32, 0.25, 1.0, 2.0];
+        let bwd = fused_gather_segment_sum_backward(&grad, &g_ids, &s_ids, Some(&scale), 9);
+        let mut bout = vec![0.0f32; 9 * 5];
+        fused_gather_segment_sum_backward_into(&grad, &g_ids, &s_ids, Some(&scale), &mut bout);
+        assert_eq!(bwd.data(), &bout[..]);
+
+        let wbwd = fused_gather_segment_weighted_sum_backward(&grad, &g_ids, &s_ids, &w, 9);
+        bout.fill(0.0);
+        fused_gather_segment_weighted_sum_backward_into(&grad, &g_ids, &s_ids, &w, &mut bout);
+        assert_eq!(wbwd.data(), &bout[..]);
+
+        // segment_softmax_into fully overwrites: seed with NaN poison.
+        let scores = salted(6, 3, 0.07);
+        let sm = segment_softmax(&scores, &s_ids, 3);
+        let mut sout = vec![f32::NAN; 6 * 3];
+        segment_softmax_into(&scores, &s_ids, 3, &mut sout);
+        assert_eq!(bits(&sm), sout.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+
+        // segment_max_into seeds with -inf itself: dirty out is fine.
+        let (mx, arg) = segment_max(&scores, &s_ids, 3);
+        let mut mout = vec![f32::NAN; 3 * 3];
+        let arg2 = segment_max_into(&scores, &s_ids, &mut mout);
+        assert_eq!(mx.data(), &mout[..]);
+        assert_eq!(arg, arg2);
     }
 }

@@ -16,7 +16,57 @@ use crate::{Result, TensorError};
 #[derive(Clone)]
 pub struct Tensor {
     data: Arc<Vec<f32>>,
-    shape: Vec<usize>,
+    shape: Shape,
+}
+
+/// Ranks stored without heap allocation. The GNN stack never exceeds
+/// rank 2, so 4 gives generous headroom.
+const MAX_INLINE_DIMS: usize = 4;
+
+/// Tensor shape storage: small ranks live in a fixed inline array so
+/// `Tensor::clone` — pervasive in autograd closure captures — performs no
+/// heap allocation; higher ranks fall back to a heap vector.
+#[derive(Clone)]
+enum Shape {
+    Inline {
+        len: u8,
+        dims: [usize; MAX_INLINE_DIMS],
+    },
+    Heap(Vec<usize>),
+}
+
+impl Shape {
+    fn from_slice(dims: &[usize]) -> Self {
+        if dims.len() <= MAX_INLINE_DIMS {
+            let mut inline = [0usize; MAX_INLINE_DIMS];
+            inline[..dims.len()].copy_from_slice(dims);
+            Shape::Inline {
+                len: dims.len() as u8,
+                dims: inline,
+            }
+        } else {
+            Shape::Heap(dims.to_vec())
+        }
+    }
+
+    fn as_slice(&self) -> &[usize] {
+        match self {
+            Shape::Inline { len, dims } => &dims[..*len as usize],
+            Shape::Heap(v) => v,
+        }
+    }
+}
+
+impl PartialEq for Shape {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
 }
 
 impl Tensor {
@@ -40,7 +90,7 @@ impl Tensor {
         }
         Ok(Self {
             data: Arc::new(data),
-            shape: shape.to_vec(),
+            shape: Shape::from_slice(shape),
         })
     }
 
@@ -54,7 +104,7 @@ impl Tensor {
         let len = shape.iter().product();
         Self {
             data: Arc::new(vec![0.0; len]),
-            shape: shape.to_vec(),
+            shape: Shape::from_slice(shape),
         }
     }
 
@@ -68,7 +118,7 @@ impl Tensor {
         let len = shape.iter().product();
         Self {
             data: Arc::new(vec![value; len]),
-            shape: shape.to_vec(),
+            shape: Shape::from_slice(shape),
         }
     }
 
@@ -81,13 +131,13 @@ impl Tensor {
     pub fn from_slice(values: &[f32]) -> Self {
         Self {
             data: Arc::new(values.to_vec()),
-            shape: vec![values.len()],
+            shape: Shape::from_slice(&[values.len()]),
         }
     }
 
     /// The shape of the tensor.
     pub fn shape(&self) -> &[usize] {
-        &self.shape
+        self.shape.as_slice()
     }
 
     /// Total number of elements.
@@ -102,7 +152,7 @@ impl Tensor {
 
     /// Number of dimensions.
     pub fn ndim(&self) -> usize {
-        self.shape.len()
+        self.shape.as_slice().len()
     }
 
     /// Number of rows, interpreting the tensor as a matrix.
@@ -112,7 +162,7 @@ impl Tensor {
     /// Panics if the tensor is not rank 2.
     pub fn rows(&self) -> usize {
         assert_eq!(self.ndim(), 2, "rows() requires a rank-2 tensor");
-        self.shape[0]
+        self.shape.as_slice()[0]
     }
 
     /// Number of columns, interpreting the tensor as a matrix.
@@ -122,7 +172,7 @@ impl Tensor {
     /// Panics if the tensor is not rank 2.
     pub fn cols(&self) -> usize {
         assert_eq!(self.ndim(), 2, "cols() requires a rank-2 tensor");
-        self.shape[1]
+        self.shape.as_slice()[1]
     }
 
     /// Read-only view of the underlying buffer (row-major).
@@ -133,6 +183,26 @@ impl Tensor {
     /// Mutable view of the underlying buffer; clones the storage if shared.
     pub fn data_mut(&mut self) -> &mut [f32] {
         Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// Crate-internal: the backing buffer, but only if this tensor is its
+    /// sole owner. Used by the buffer pool to decide whether a released
+    /// tensor can be recycled without copy-on-write hazards.
+    pub(crate) fn unique_buffer_mut(&mut self) -> Option<&mut Vec<f32>> {
+        Arc::get_mut(&mut self.data)
+    }
+
+    /// Crate-internal: rewrite the shape in place without touching the
+    /// data buffer (allocation-free for ranks up to [`MAX_INLINE_DIMS`]).
+    /// The caller must keep `shape.iter().product()` equal to the buffer
+    /// length.
+    pub(crate) fn set_shape_in_place(&mut self, shape: &[usize]) {
+        debug_assert_eq!(
+            shape.iter().product::<usize>(),
+            self.data.len(),
+            "in-place reshape must preserve element count"
+        );
+        self.shape = Shape::from_slice(shape);
     }
 
     /// Size of the tensor contents in bytes (excluding metadata).
@@ -158,7 +228,7 @@ impl Tensor {
         }
         Ok(Self {
             data: Arc::clone(&self.data),
-            shape: shape.to_vec(),
+            shape: Shape::from_slice(shape),
         })
     }
 
@@ -218,7 +288,7 @@ impl Tensor {
         }
         Self {
             data: Arc::new(out),
-            shape: vec![c, r],
+            shape: Shape::from_slice(&[c, r]),
         }
     }
 

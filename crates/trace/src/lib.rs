@@ -218,6 +218,38 @@ impl DriftRecord {
     }
 }
 
+/// One epoch's tensor-workspace pool counters: how many buffer requests
+/// the trainer's [`betty_tensor::BufferPool`] served from recycled
+/// storage (hits) versus fresh heap allocations (misses), and how many
+/// bytes the hits recycled. A warm steady state shows misses pinned at 0
+/// while hits and recycled bytes grow every epoch.
+///
+/// [`betty_tensor::BufferPool`]: https://docs.rs/betty-tensor
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocRecord {
+    /// Global step id current when the epoch finished.
+    pub step: usize,
+    /// Pool requests served from recycled buffers this epoch.
+    pub hits: u64,
+    /// Pool requests that fell through to the heap this epoch.
+    pub misses: u64,
+    /// Bytes served from recycled buffers this epoch.
+    pub bytes_recycled: u64,
+}
+
+impl AllocRecord {
+    /// Fraction of requests served from the pool; `0.0` when nothing was
+    /// requested.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// The trace of one training run: spans, memory events, peak snapshots
 /// and drift records, all stamped with monotonic epoch/step ids.
 #[derive(Debug, Clone)]
@@ -228,6 +260,7 @@ pub struct TraceRecorder {
     mem: Vec<(usize, MemEvent)>,
     peaks: Vec<PeakRecord>,
     drift: Vec<DriftRecord>,
+    allocs: Vec<(usize, AllocRecord)>,
 }
 
 impl Default for TraceRecorder {
@@ -246,6 +279,7 @@ impl TraceRecorder {
             mem: Vec::new(),
             peaks: Vec::new(),
             drift: Vec::new(),
+            allocs: Vec::new(),
         }
     }
 
@@ -301,6 +335,20 @@ impl TraceRecorder {
         });
     }
 
+    /// Records one epoch's tensor-workspace pool counters at the current
+    /// epoch, keyed by the global step id the epoch ended on.
+    pub fn record_alloc(&mut self, step: usize, hits: u64, misses: u64, bytes_recycled: u64) {
+        self.allocs.push((
+            self.epoch,
+            AllocRecord {
+                step,
+                hits,
+                misses,
+                bytes_recycled,
+            },
+        ));
+    }
+
     /// All recorded spans, in record order.
     pub fn spans(&self) -> &[SpanRecord] {
         &self.spans
@@ -321,6 +369,12 @@ impl TraceRecorder {
         &self.drift
     }
 
+    /// All per-epoch pool-counter records as `(epoch, record)` pairs, in
+    /// record order.
+    pub fn alloc_records(&self) -> &[(usize, AllocRecord)] {
+        &self.allocs
+    }
+
     /// Worst (largest) measured/estimated ratio over every drift record;
     /// `0.0` when nothing was recorded.
     pub fn max_drift_ratio(&self) -> f64 {
@@ -334,7 +388,7 @@ impl TraceRecorder {
 
     /// Total recorded events of every type.
     pub fn len(&self) -> usize {
-        self.spans.len() + self.mem.len() + self.peaks.len() + self.drift.len()
+        self.spans.len() + self.mem.len() + self.peaks.len() + self.drift.len() + self.allocs.len()
     }
 
     /// Whether nothing has been recorded.
@@ -343,10 +397,10 @@ impl TraceRecorder {
     }
 
     /// Serializes the whole trace as JSON-lines: one object per event,
-    /// `span` events first, then `mem`, `peak`, and `drift` events, each
-    /// in record order. Every line is a self-contained JSON object with a
-    /// `type` discriminator (see DESIGN.md "Observability" for the
-    /// schema).
+    /// `span` events first, then `mem`, `peak`, `drift`, and `alloc`
+    /// events, each in record order. Every line is a self-contained JSON
+    /// object with a `type` discriminator (see DESIGN.md "Observability"
+    /// for the schema).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for s in &self.spans {
@@ -391,6 +445,16 @@ impl TraceRecorder {
                 d.estimated_bytes,
                 d.measured_bytes,
                 jnum(d.ratio()),
+            ));
+        }
+        for (epoch, a) in &self.allocs {
+            out.push_str(&format!(
+                "{{\"type\":\"alloc\",\"epoch\":{epoch},\"step\":{},\"hits\":{},\"misses\":{},\"bytes_recycled\":{},\"hit_rate\":{}}}\n",
+                a.step,
+                a.hits,
+                a.misses,
+                a.bytes_recycled,
+                jnum(a.hit_rate()),
             ));
         }
         out
@@ -455,6 +519,25 @@ impl TraceRecorder {
                 } else {
                     "UNDERESTIMATES present"
                 }
+            ));
+        }
+        if !self.allocs.is_empty() {
+            let (hits, misses, bytes): (u64, u64, u64) = self
+                .allocs
+                .iter()
+                .fold((0, 0, 0), |(h, m, b), (_, a)| {
+                    (h + a.hits, m + a.misses, b + a.bytes_recycled)
+                });
+            let total = hits + misses;
+            let rate = if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            };
+            out.push_str(&format!(
+                "\n  alloc     {} epochs, pool {hits} hits / {misses} misses ({:.1}% hit rate), {bytes} bytes recycled",
+                self.allocs.len(),
+                rate * 100.0,
             ));
         }
         out
@@ -704,7 +787,8 @@ mod tests {
         );
         t.record_peak(7, 128, vec![("blocks", 128), ("labels", 0)]);
         t.record_drift(7, 150, 128);
-        assert_eq!(t.len(), 5);
+        t.record_alloc(7, 30, 10, 4096);
+        assert_eq!(t.len(), 6);
         assert_eq!(t.spans()[0].epoch, 2);
         assert_eq!(t.spans()[1].step, Some(7));
         assert!((t.max_drift_ratio() - 128.0 / 150.0).abs() < 1e-12);
@@ -712,18 +796,39 @@ mod tests {
 
         let jsonl = t.to_jsonl();
         let lines = validate_jsonl(&jsonl).expect("exported trace must be valid JSONL");
-        assert_eq!(lines, 5);
+        assert_eq!(lines, 6);
         assert!(jsonl.contains("\"type\":\"span\""));
         assert!(jsonl.contains("\"kind\":\"sample\""));
         assert!(jsonl.contains("\"step\":null"));
         assert!(jsonl.contains("\"type\":\"mem\""));
         assert!(jsonl.contains("\"type\":\"peak\""));
         assert!(jsonl.contains("\"type\":\"drift\""));
+        assert!(jsonl.contains("\"type\":\"alloc\""));
+        assert!(jsonl.contains("\"bytes_recycled\":4096"));
 
         let summary = t.summary();
         assert!(summary.contains("sample"), "{summary}");
         assert!(summary.contains("drift"), "{summary}");
         assert!(summary.contains("all estimates admissible"), "{summary}");
+        assert!(summary.contains("bytes recycled"), "{summary}");
+    }
+
+    #[test]
+    fn alloc_records_track_epoch_and_hit_rate() {
+        let mut t = TraceRecorder::new();
+        t.set_epoch(3);
+        t.record_alloc(12, 90, 10, 1 << 20);
+        let (epoch, rec) = t.alloc_records()[0];
+        assert_eq!(epoch, 3);
+        assert_eq!(rec.step, 12);
+        assert!((rec.hit_rate() - 0.9).abs() < 1e-12);
+        let empty = AllocRecord {
+            step: 0,
+            hits: 0,
+            misses: 0,
+            bytes_recycled: 0,
+        };
+        assert_eq!(empty.hit_rate(), 0.0);
     }
 
     #[test]
