@@ -57,12 +57,24 @@ pub fn run(profile: Profile) {
                 ..FaultPlan::default()
             }),
         ),
+        // A poisoned loss is not a capacity problem: the numeric sentinel
+        // rolls the epoch back to its snapshot and replays it at the same
+        // K, and the injection (keyed to the consumed global step) does
+        // not re-fire — so the run completes at the fault-free accuracy.
+        (
+            "NaN loss at step 1",
+            AggregatorSpec::Mean,
+            Some(FaultPlan {
+                nan_loss_steps: vec![1],
+                ..FaultPlan::default()
+            }),
+        ),
     ];
 
     let mut table = Table::new(
         "BENCH_recovery",
         &format!("checkpointed OOM recovery over {epochs} epochs (cora, SAGE)"),
-        &["scenario", "faults", "retries", "final K", "val acc"],
+        &["scenario", "faults", "retries", "rollbacks", "final K", "val acc"],
     );
     for (name, aggregator, fault_plan) in scenarios {
         let mut config = wall_config(vec![10, 25], 32, aggregator, profile);
@@ -91,6 +103,7 @@ pub fn run(profile: Profile) {
             name.to_string(),
             log.injected_faults().to_string(),
             log.oom_retries().to_string(),
+            log.anomaly_rollbacks().to_string(),
             if failed {
                 "—".to_string()
             } else {

@@ -2,7 +2,10 @@
 
 use std::error::Error;
 
-use betty::{DeviceGroup, ExperimentConfig, ModelKind, RecoveryLog, RetryPolicy, Runner, StrategyKind};
+use betty::{
+    latest_checkpoint, load_checkpoint_state, CheckpointPlan, DeviceGroup, ExperimentConfig,
+    ModelKind, RecoveryLog, RetryPolicy, Runner, StrategyKind,
+};
 use betty_data::{load_dataset, save_dataset, Dataset, DatasetSpec};
 use betty_device::FaultPlan;
 use betty_graph::degree;
@@ -73,9 +76,12 @@ fn experiment_config(args: &Args) -> Result<ExperimentConfig, Box<dyn Error>> {
             max_retries: args.get_or("retries", RetryPolicy::default().max_retries)?,
             growth: args.get_or("retry-growth", RetryPolicy::default().growth)?,
             headroom: args.get_or("retry-headroom", RetryPolicy::default().headroom)?,
+            max_anomaly_retries: args
+                .get_or("anomaly-retries", RetryPolicy::default().max_anomaly_retries)?,
         },
         prefetch: !args.has_flag("no-prefetch"),
         pool: !args.has_flag("no-pool"),
+        sentinel: !args.has_flag("no-sentinel"),
         ..ExperimentConfig::default()
     };
     config.validate().map_err(ArgError)?;
@@ -85,9 +91,17 @@ fn experiment_config(args: &Args) -> Result<ExperimentConfig, Box<dyn Error>> {
 /// Builds the fault-injection plan from `--fault-*` flags, or `None`
 /// when no fault flag was given.
 fn fault_plan(args: &Args) -> Result<Option<FaultPlan>, Box<dyn Error>> {
-    let given = ["fault-seed", "fault-alloc-rate", "fault-oom-steps", "fault-jitter", "fault-stall-rate", "fault-stall-sec"]
-        .iter()
-        .any(|key| args.get(key).is_some());
+    let given = [
+        "fault-seed",
+        "fault-alloc-rate",
+        "fault-oom-steps",
+        "fault-jitter",
+        "fault-stall-rate",
+        "fault-stall-sec",
+        "fault-nan-steps",
+    ]
+    .iter()
+    .any(|key| args.get(key).is_some());
     if !given {
         return Ok(None);
     }
@@ -99,6 +113,7 @@ fn fault_plan(args: &Args) -> Result<Option<FaultPlan>, Box<dyn Error>> {
         capacity_jitter: args.get_or("fault-jitter", defaults.capacity_jitter)?,
         transfer_stall_rate: args.get_or("fault-stall-rate", defaults.transfer_stall_rate)?,
         transfer_stall_sec: args.get_or("fault-stall-sec", defaults.transfer_stall_sec)?,
+        nan_loss_steps: args.get_usize_list("fault-nan-steps")?.unwrap_or_default(),
     }))
 }
 
@@ -228,9 +243,52 @@ pub fn train(args: &Args) -> CmdResult {
     }
     let trace_out = args.get("trace-out").map(str::to_string);
     let trace_summary = args.has_flag("trace-summary");
+    let ckpt_plan = match args.get("checkpoint-dir") {
+        Some(dir) => {
+            let plan = CheckpointPlan::new(dir, args.get_or("checkpoint-every", 1usize)?);
+            plan.validate().map_err(ArgError)?;
+            Some(plan)
+        }
+        None if args.get("checkpoint-every").is_some() => {
+            return Err(Box::new(ArgError(
+                "--checkpoint-every requires --checkpoint-dir".into(),
+            )));
+        }
+        None if args.has_flag("resume") => {
+            return Err(Box::new(ArgError("--resume requires --checkpoint-dir".into())));
+        }
+        None => None,
+    };
     let mut runner = Runner::new(&ds, &config, seed);
     if trace_out.is_some() || trace_summary {
         runner.enable_tracing();
+    }
+    // Resume replaces every piece of the freshly built session — params,
+    // Adam moments, both RNG streams, counters, even the base seed — so
+    // the continued run is bit-identical to one that was never killed.
+    let mut start_epoch = 0usize;
+    if args.has_flag("resume") {
+        let plan = ckpt_plan.as_ref().expect("checked above");
+        let Some((_, path)) = latest_checkpoint(&plan.dir)? else {
+            return Err(Box::new(ArgError(format!(
+                "--resume: no checkpoint found in {}",
+                plan.dir.display()
+            ))));
+        };
+        let state = load_checkpoint_state(&path)?;
+        runner.import_session(&state)?;
+        start_epoch = runner.epochs_run();
+        if start_epoch >= epochs {
+            println!(
+                "resumed from {} — all {epochs} epochs already trained",
+                path.display()
+            );
+        } else {
+            println!(
+                "resumed from {} ({start_epoch} epochs done, continuing at epoch {start_epoch})",
+                path.display()
+            );
+        }
     }
     println!(
         "training {} on {} ({} train nodes), strategy {kind}, capacity {:.0} MiB",
@@ -252,7 +310,7 @@ pub fn train(args: &Args) -> CmdResult {
     );
     let mut recovery = RecoveryLog::new();
     let run = |runner: &mut Runner, recovery: &mut RecoveryLog| -> CmdResult {
-        for epoch in 0..epochs {
+        for epoch in start_epoch..epochs {
             recovery.set_epoch(epoch);
             let (stats, k) = if k_arg == "auto" {
                 runner.train_epoch_auto_recovering(&ds, kind, recovery)?
@@ -277,6 +335,14 @@ pub fn train(args: &Args) -> CmdResult {
                     mib(stats.max_peak_bytes),
                     val * 100.0
                 );
+            }
+            // Saved after the (optional) evaluation so the sampler RNG
+            // in the checkpoint already reflects what evaluation drew;
+            // resuming then replays the uninterrupted stream exactly.
+            if let Some(plan) = &ckpt_plan {
+                if plan.due_after(epoch, epochs) {
+                    plan.save(&runner.export_session(), epoch)?;
+                }
             }
         }
         Ok(())

@@ -30,10 +30,23 @@ COMMANDS:
              [--aggregator mean|sum|pool|lstm] [--fanouts 10,25]
              [--hidden H] [--lr F] [--capacity-mib M] [--devices D]
              [--checkpoint <out.ckpt>] [--seed N]
+             durability / resume:
+             [--checkpoint-dir <dir>  (write a durable, CRC-checksummed
+              session checkpoint after each epoch; atomic, kill-safe)]
+             [--checkpoint-every N  (checkpoint cadence in epochs; the
+              final epoch is always saved)]
+             [--resume  (continue from the newest checkpoint in
+              --checkpoint-dir; losses are bit-identical to a run that
+              was never interrupted)]
              fault injection / recovery (with --k auto):
              [--fault-seed N] [--fault-alloc-rate F] [--fault-oom-steps 3,17]
-             [--fault-jitter F] [--fault-stall-rate F] [--fault-stall-sec F]
+             [--fault-nan-steps 4,9  (poison the loss at these steps to
+              exercise the numeric-anomaly sentinel)]
              [--retries N] [--retry-growth F] [--retry-headroom F]
+             [--fault-jitter F] [--fault-stall-rate F] [--fault-stall-sec F]
+             [--anomaly-retries N  (epoch rollbacks allowed on NaN/Inf
+              loss or gradients before aborting; default 1)]
+             [--no-sentinel  (disable NaN/Inf detection and rollback)]
              observability:
              [--trace-out <trace.jsonl>  (step spans, memory timeline,
               estimator-drift records as JSON-lines)]
@@ -59,7 +72,8 @@ GLOBAL FLAGS (accepted by every command, after the command name):
 Presets: cora, pubmed, reddit, ogbn-arxiv, ogbn-products.
 
 EXIT CODES: 0 success, 1 usage/IO error, 2 no partitioning fits the
-device, 3 OOM recovery retries exhausted, 4 unrecoverable OOM.
+device, 3 OOM recovery retries exhausted, 4 unrecoverable OOM,
+5 numeric anomaly persisted past the rollback budget.
 ";
 
 fn main() -> ExitCode {
@@ -114,9 +128,10 @@ fn main() -> ExitCode {
 }
 
 /// Maps failures onto distinct exit codes so scripts can tell apart:
-/// 1 usage/IO errors, 2 planning failure (no K fits), 3 recovery
-/// attempted but the retry budget ran out, 4 unrecoverable OOM (no
-/// retry was possible).
+/// 1 usage/IO errors (including unreadable/corrupt checkpoints),
+/// 2 planning failure (no K fits), 3 recovery attempted but the retry
+/// budget ran out, 4 unrecoverable OOM (no retry was possible),
+/// 5 a numeric anomaly survived its rollback budget.
 fn exit_code_for(top: &(dyn std::error::Error + 'static)) -> ExitCode {
     let mut cursor = Some(top);
     while let Some(err) = cursor {
@@ -125,6 +140,8 @@ fn exit_code_for(top: &(dyn std::error::Error + 'static)) -> ExitCode {
                 betty::RunError::Plan(_) => ExitCode::from(2),
                 betty::RunError::RetryExhausted { .. } => ExitCode::from(3),
                 betty::RunError::Train(_) => ExitCode::from(4),
+                betty::RunError::Anomaly { .. } => ExitCode::from(5),
+                betty::RunError::Checkpoint(_) => ExitCode::FAILURE,
             };
         }
         if err.downcast_ref::<betty::TrainError>().is_some() {

@@ -106,6 +106,163 @@ fn generate_info_partition_train_eval_pipeline() {
     let _ = std::fs::remove_file(&ckpt);
 }
 
+/// Shared shape flags for the durability tests; every invocation must
+/// agree on these or the config-fingerprint check rejects the resume.
+const SHAPE: &[&str] = &[
+    "--preset", "cora", "--scale", "0.1", "--feature-dim", "12", "--fanouts", "4,6",
+    "--hidden", "12", "--lr", "0.02", "--dropout", "0.0", "--k", "2",
+];
+
+#[test]
+fn sigkill_then_resume_matches_uninterrupted_run() {
+    let dir_a = tmp("resume-baseline");
+    let dir_b = tmp("resume-killed");
+    let model_a = tmp("resume-a.ckpt");
+    let model_b = tmp("resume-b.ckpt");
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let epochs = ["--epochs", "20"];
+
+    // Uninterrupted baseline.
+    let out = betty()
+        .arg("train")
+        .args(SHAPE)
+        .args(epochs)
+        .arg("--checkpoint-dir")
+        .arg(&dir_a)
+        .arg("--checkpoint")
+        .arg(&model_a)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let baseline = String::from_utf8_lossy(&out.stdout).to_string();
+
+    // Same run, SIGKILLed once a few epochs' checkpoints exist.
+    let mut child = betty()
+        .arg("train")
+        .args(SHAPE)
+        .args(epochs)
+        .arg("--checkpoint-dir")
+        .arg(&dir_b)
+        .arg("--checkpoint")
+        .arg(&model_b)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let marker = dir_b.join("ckpt-000002.btc");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    while !marker.exists() && std::time::Instant::now() < deadline {
+        if child.try_wait().unwrap().is_some() {
+            break; // finished before we could kill it — resume still must agree
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(marker.exists(), "no checkpoint appeared before the deadline");
+    let _ = child.kill(); // SIGKILL on unix
+    let _ = child.wait();
+
+    // Resume from the newest surviving checkpoint and finish the run.
+    let out = betty()
+        .arg("train")
+        .args(SHAPE)
+        .args(epochs)
+        .arg("--checkpoint-dir")
+        .arg(&dir_b)
+        .arg("--checkpoint")
+        .arg(&model_b)
+        .arg("--resume")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let resumed = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(resumed.contains("resumed from"), "{resumed}");
+
+    // The final reported epoch line (loss, K, peak, val acc) must match
+    // the uninterrupted run exactly — the losses are bit-identical, so
+    // even the formatted digits agree.
+    let final_line = |s: &str| {
+        s.lines()
+            .find(|l| l.split_whitespace().next() == Some("19"))
+            .map(str::to_string)
+    };
+    let base_line = final_line(&baseline).expect("baseline reported epoch 19");
+    assert_eq!(final_line(&resumed).as_ref(), Some(&base_line), "\n{baseline}\nvs\n{resumed}");
+
+    // And the exported model checkpoints are byte-for-byte identical.
+    let bytes_a = std::fs::read(&model_a).unwrap();
+    let bytes_b = std::fs::read(&model_b).unwrap();
+    assert_eq!(bytes_a, bytes_b, "resumed model differs from baseline");
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let _ = std::fs::remove_file(&model_a);
+    let _ = std::fs::remove_file(&model_b);
+}
+
+#[test]
+fn resume_without_checkpoint_dir_is_a_usage_error() {
+    let out = betty()
+        .arg("train")
+        .args(SHAPE)
+        .args(["--epochs", "1", "--resume"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--resume requires --checkpoint-dir"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn injected_nan_is_rolled_back_and_the_run_completes() {
+    let out = betty()
+        .arg("train")
+        .args(SHAPE[..SHAPE.len() - 2].iter()) // drop "--k 2": recovery needs auto-K
+        .args(["--epochs", "3", "--k", "auto", "--fault-nan-steps", "1"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("anomaly rollbacks"), "{stdout}");
+    assert!(stdout.contains("test accuracy"), "{stdout}");
+    // Every reported per-epoch loss is finite — the poisoned step was
+    // rolled back, not trained through.
+    let losses: Vec<f64> = stdout
+        .lines()
+        .filter(|l| l.split_whitespace().next().is_some_and(|w| w.parse::<usize>().is_ok()))
+        .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+        .collect();
+    assert!(!losses.is_empty(), "{stdout}");
+    assert!(losses.iter().all(|l| l.is_finite()), "{stdout}");
+}
+
+#[test]
+fn exhausted_anomaly_budget_exits_5() {
+    let out = betty()
+        .arg("train")
+        .args(SHAPE[..SHAPE.len() - 2].iter())
+        .args([
+            "--epochs", "3", "--k", "auto", "--fault-nan-steps", "1", "--anomaly-retries", "0",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("anomaly"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
 #[test]
 fn train_from_preset_without_file() {
     let out = betty()

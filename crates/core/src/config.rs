@@ -63,6 +63,11 @@ pub struct ExperimentConfig {
     /// buffers are fully overwritten before use, so losses and parameters
     /// are bit-identical either way. The CLI exposes this as `--no-pool`.
     pub pool: bool,
+    /// Numeric-anomaly sentinel: after every micro-batch backward pass the
+    /// trainer checks the loss and all parameter gradients for NaN/Inf and
+    /// fails the step before the optimizer can consume poisoned values.
+    /// The CLI exposes this as `--no-sentinel`.
+    pub sentinel: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -81,6 +86,7 @@ impl Default for ExperimentConfig {
             retry: RetryPolicy::default(),
             prefetch: true,
             pool: true,
+            sentinel: true,
         }
     }
 }
@@ -127,6 +133,39 @@ impl ExperimentConfig {
             .validate()
             .map_err(|e| format!("retry policy: {e}"))?;
         Ok(())
+    }
+
+    /// Stable 64-bit fingerprint of the fields that determine the trained
+    /// function: architecture, widths, fanouts, dropout, learning rate,
+    /// capacity, and partition bound. Stored in checkpoints so `--resume`
+    /// can reject a checkpoint produced under a different experiment.
+    /// Fault injection and retry knobs are deliberately excluded — they
+    /// perturb *how* a run executes, not *what* it computes, and a run
+    /// resumed without the fault plan that killed it must still load.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a, hand-rolled so the value is stable across Rust releases
+        // (std's DefaultHasher makes no such promise).
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for &fanout in &self.fanouts {
+            eat(&(fanout as u64).to_le_bytes());
+        }
+        eat(&(self.hidden_dim as u64).to_le_bytes());
+        eat(format!("{:?}", self.aggregator).as_bytes());
+        eat(format!("{:?}", self.model).as_bytes());
+        eat(&(self.num_heads as u64).to_le_bytes());
+        eat(&self.dropout.to_bits().to_le_bytes());
+        eat(&self.learning_rate.to_bits().to_le_bytes());
+        eat(&(self.capacity_bytes as u64).to_le_bytes());
+        eat(&(self.max_partitions as u64).to_le_bytes());
+        h
     }
 }
 
@@ -182,5 +221,38 @@ mod tests {
             ..ExperimentConfig::default()
         };
         assert!(bad_growth.validate().unwrap_err().contains("retry policy"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_model_knobs_not_fault_knobs() {
+        let base = ExperimentConfig::default();
+        assert_eq!(base.fingerprint(), ExperimentConfig::default().fingerprint());
+
+        let wider = ExperimentConfig {
+            hidden_dim: 128,
+            ..ExperimentConfig::default()
+        };
+        assert_ne!(base.fingerprint(), wider.fingerprint());
+
+        let other_model = ExperimentConfig {
+            model: ModelKind::Gcn,
+            ..ExperimentConfig::default()
+        };
+        assert_ne!(base.fingerprint(), other_model.fingerprint());
+
+        // Fault/retry/execution knobs must not change the fingerprint: a
+        // run resumed without its fault plan still has to load.
+        let perturbed = ExperimentConfig {
+            fault_plan: Some(FaultPlan::default()),
+            retry: RetryPolicy {
+                max_retries: 9,
+                ..RetryPolicy::default()
+            },
+            prefetch: false,
+            pool: false,
+            sentinel: false,
+            ..ExperimentConfig::default()
+        };
+        assert_eq!(base.fingerprint(), perturbed.fingerprint());
     }
 }

@@ -1,8 +1,11 @@
 //! High-level training loop with validation-based early stopping.
 
 use betty_data::Dataset;
-use betty_nn::LrSchedule;
+use betty_nn::{LrSchedule, TrainState};
 
+use crate::durable::{
+    CheckpointPlan, CTR_BEST_EPOCH, CTR_NEXT_EPOCH, CTR_SINCE_BEST, FLT_BEST_VAL,
+};
 use crate::recovery::RecoveryLog;
 use crate::runner::{RunError, Runner};
 use crate::stats::EpochStats;
@@ -22,6 +25,15 @@ pub struct FitConfig<'a> {
     /// Base learning rate the schedule scales (ignored without a
     /// schedule).
     pub base_lr: f32,
+    /// Optional durable checkpointing: a full session state is written
+    /// atomically after every `every`-th epoch (and the last), so a
+    /// killed run can resume bit-identically.
+    pub checkpoint: Option<CheckpointPlan>,
+    /// Optional session state to resume from (see
+    /// [`crate::durable::load_checkpoint_state`]). Training continues at
+    /// the checkpoint's next epoch with its loss history, early-stopping
+    /// state, RNG streams, and step counters restored.
+    pub resume: Option<TrainState>,
 }
 
 impl Default for FitConfig<'_> {
@@ -32,6 +44,8 @@ impl Default for FitConfig<'_> {
             patience: Some(10),
             schedule: None,
             base_lr: 3e-3,
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -43,6 +57,8 @@ impl std::fmt::Debug for FitConfig<'_> {
             .field("max_epochs", &self.max_epochs)
             .field("patience", &self.patience)
             .field("has_schedule", &self.schedule.is_some())
+            .field("checkpoint", &self.checkpoint)
+            .field("resuming", &self.resume.is_some())
             .finish()
     }
 }
@@ -50,7 +66,8 @@ impl std::fmt::Debug for FitConfig<'_> {
 /// Result of a [`fit`] run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FitReport {
-    /// Epochs actually trained.
+    /// Epochs actually trained *by this call* (a resumed run counts only
+    /// the epochs after the checkpoint).
     pub epochs_run: usize,
     /// Best validation accuracy observed.
     pub best_val_accuracy: f64,
@@ -58,8 +75,13 @@ pub struct FitReport {
     pub best_epoch: usize,
     /// Whether early stopping triggered before `max_epochs`.
     pub early_stopped: bool,
-    /// Per-epoch training stats.
+    /// Per-epoch training stats (this call's epochs only).
     pub history: Vec<EpochStats>,
+    /// Per-epoch training losses across the *whole* session, including
+    /// epochs trained before a resume — the series durable checkpoints
+    /// carry, so an interrupted-and-resumed run can be compared
+    /// loss-for-loss against an uninterrupted one.
+    pub loss_history: Vec<f64>,
     /// Injected faults and recovery actions observed across the run
     /// (empty when nothing faulted).
     pub recovery: RecoveryLog,
@@ -109,17 +131,36 @@ pub fn fit_with_log(
     config: &FitConfig<'_>,
     log: &mut RecoveryLog,
 ) -> Result<FitReport, RunError> {
+    if let Some(plan) = &config.checkpoint {
+        plan.validate().map_err(RunError::Checkpoint)?;
+    }
     let mut best_val = f64::NEG_INFINITY;
     let mut best_epoch = 0usize;
     let mut since_best = 0usize;
+    let mut start_epoch = 0usize;
+    let mut loss_history: Vec<f64> = Vec::new();
+    if let Some(state) = &config.resume {
+        runner.import_session(state)?;
+        let ctr = |i: usize| state.counters.get(i).copied().unwrap_or(0) as usize;
+        start_epoch = ctr(CTR_NEXT_EPOCH);
+        best_epoch = ctr(CTR_BEST_EPOCH);
+        since_best = ctr(CTR_SINCE_BEST);
+        best_val = state
+            .floats
+            .get(FLT_BEST_VAL)
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY);
+        loss_history = state.history.clone();
+    }
     let mut history = Vec::new();
     let mut early_stopped = false;
-    for epoch in 0..config.max_epochs {
+    for epoch in start_epoch..config.max_epochs {
         if let Some(schedule) = config.schedule {
             runner.set_learning_rate(schedule.lr_at(config.base_lr, epoch));
         }
         log.set_epoch(epoch);
         let (stats, _k) = runner.train_epoch_auto_recovering(dataset, config.strategy, log)?;
+        loss_history.push(stats.loss);
         history.push(stats);
         let val = runner.evaluate(dataset, &dataset.val_idx);
         if val > best_val {
@@ -131,9 +172,25 @@ pub fn fit_with_log(
             if let Some(patience) = config.patience {
                 if since_best >= patience {
                     early_stopped = true;
-                    break;
                 }
             }
+        }
+        // Saved *after* evaluation, so the captured sampling-RNG state
+        // includes the evaluation's consumption and a resumed run
+        // replays the exact same stream an uninterrupted run sees.
+        if let Some(plan) = &config.checkpoint {
+            if plan.due_after(epoch, config.max_epochs) || early_stopped {
+                let mut state = runner.export_session();
+                state.counters.push((epoch + 1) as u64); // CTR_NEXT_EPOCH
+                state.counters.push(best_epoch as u64); // CTR_BEST_EPOCH
+                state.counters.push(since_best as u64); // CTR_SINCE_BEST
+                state.floats = vec![best_val]; // FLT_BEST_VAL
+                state.history = loss_history.clone();
+                plan.save(&state, epoch)?;
+            }
+        }
+        if early_stopped {
+            break;
         }
     }
     Ok(FitReport {
@@ -142,6 +199,7 @@ pub fn fit_with_log(
         best_epoch,
         early_stopped,
         history,
+        loss_history,
         recovery: RecoveryLog::new(),
     })
 }
@@ -211,6 +269,207 @@ mod tests {
         assert!(report.epochs_run < 50, "must stop early");
         assert!(report.early_stopped);
         assert!(report.best_epoch < report.epochs_run);
+    }
+
+    fn param_bits(runner: &Runner) -> Vec<u32> {
+        runner
+            .trainer()
+            .model()
+            .params()
+            .iter()
+            .flat_map(|p| p.value().data().iter().map(|v| v.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn interrupted_and_resumed_fit_is_bit_identical() {
+        use crate::durable::{latest_checkpoint, load_checkpoint_state, CheckpointPlan};
+        let ds = dataset();
+        // Dropout > 0 so the restored trainer RNG stream actually matters.
+        let cfg = ExperimentConfig {
+            dropout: 0.2,
+            ..config()
+        };
+        let dir = std::env::temp_dir().join(format!("betty-fit-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Uninterrupted baseline: 6 epochs straight through.
+        let mut base = Runner::new(&ds, &cfg, 0);
+        let baseline = fit(
+            &mut base,
+            &ds,
+            &FitConfig {
+                max_epochs: 6,
+                patience: None,
+                ..FitConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(baseline.loss_history.len(), 6);
+
+        // "Killed" run: 3 epochs with per-epoch checkpoints, then gone.
+        let mut first = Runner::new(&ds, &cfg, 0);
+        fit(
+            &mut first,
+            &ds,
+            &FitConfig {
+                max_epochs: 3,
+                patience: None,
+                checkpoint: Some(CheckpointPlan::new(&dir, 1)),
+                ..FitConfig::default()
+            },
+        )
+        .unwrap();
+
+        // Resume in a *fresh* runner — deliberately built with a different
+        // seed, as a new process would be free to do: every piece of state
+        // that matters must come from the checkpoint, not the constructor.
+        let (epoch, path) = latest_checkpoint(&dir).unwrap().expect("checkpoints written");
+        assert_eq!(epoch, 2);
+        let state = load_checkpoint_state(&path).unwrap();
+        let mut resumed = Runner::new(&ds, &cfg, 999);
+        let report = fit(
+            &mut resumed,
+            &ds,
+            &FitConfig {
+                max_epochs: 6,
+                patience: None,
+                resume: Some(state),
+                ..FitConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.epochs_run, 3, "resume trains only the remaining epochs");
+        assert_eq!(report.loss_history.len(), 6);
+        for (i, (a, b)) in baseline
+            .loss_history
+            .iter()
+            .zip(&report.loss_history)
+            .enumerate()
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "epoch {i}: resumed loss {b} != uninterrupted loss {a}"
+            );
+        }
+        assert_eq!(
+            param_bits(&base),
+            param_bits(&resumed),
+            "final parameters must be bit-identical"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_a_different_experiment() {
+        let ds = dataset();
+        let donor = Runner::new(&ds, &config(), 0);
+        let state = donor.export_session();
+        let other = ExperimentConfig {
+            hidden_dim: 24,
+            ..config()
+        };
+        let mut runner = Runner::new(&ds, &other, 0);
+        let err = fit(
+            &mut runner,
+            &ds,
+            &FitConfig {
+                max_epochs: 2,
+                resume: Some(state),
+                ..FitConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunError::Checkpoint(_)), "{err:?}");
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn injected_nan_rolls_back_and_the_run_completes_finite() {
+        use betty_device::FaultPlan;
+        let ds = dataset();
+        let clean_cfg = config();
+        let mut clean = Runner::new(&ds, &clean_cfg, 0);
+        let clean_report = fit(
+            &mut clean,
+            &ds,
+            &FitConfig {
+                max_epochs: 4,
+                patience: None,
+                ..FitConfig::default()
+            },
+        )
+        .unwrap();
+
+        let faulty_cfg = ExperimentConfig {
+            fault_plan: Some(FaultPlan {
+                // Auto planning picks K=1 here, so step == epoch: poison
+                // epoch 2's only micro-batch.
+                nan_loss_steps: vec![2],
+                ..FaultPlan::default()
+            }),
+            ..config()
+        };
+        let mut faulty = Runner::new(&ds, &faulty_cfg, 0);
+        let report = fit(
+            &mut faulty,
+            &ds,
+            &FitConfig {
+                max_epochs: 4,
+                patience: None,
+                ..FitConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.recovery.anomaly_rollbacks(), 1);
+        assert_eq!(report.recovery.injected_faults(), 1);
+        assert!(!report.recovery.anomaly_aborted());
+        assert!(report.loss_history.iter().all(|l| l.is_finite()));
+        assert_eq!(report.history[2].anomaly_rollbacks, 1);
+        // The injection fired once and was rolled back; every loss matches
+        // the never-faulted run bit for bit.
+        for (a, b) in clean_report.loss_history.iter().zip(&report.loss_history) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(param_bits(&clean), param_bits(&faulty));
+    }
+
+    #[test]
+    fn exhausted_anomaly_budget_aborts_the_run() {
+        use crate::recovery::RetryPolicy;
+        use betty_device::FaultPlan;
+        let ds = dataset();
+        let cfg = ExperimentConfig {
+            fault_plan: Some(FaultPlan {
+                nan_loss_steps: vec![1],
+                ..FaultPlan::default()
+            }),
+            retry: RetryPolicy {
+                max_anomaly_retries: 0,
+                ..RetryPolicy::default()
+            },
+            ..config()
+        };
+        let mut runner = Runner::new(&ds, &cfg, 0);
+        let mut log = RecoveryLog::new();
+        let err = fit_with_log(
+            &mut runner,
+            &ds,
+            &FitConfig {
+                max_epochs: 4,
+                patience: None,
+                ..FitConfig::default()
+            },
+            &mut log,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, RunError::Anomaly { rollbacks: 0, .. }),
+            "{err:?}"
+        );
+        assert!(log.anomaly_aborted());
+        assert_eq!(log.anomaly_rollbacks(), 0);
     }
 
     #[test]

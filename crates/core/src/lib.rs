@@ -46,6 +46,7 @@
 
 mod accounting;
 mod config;
+pub mod durable;
 mod eval;
 pub mod fit;
 pub mod multi;
@@ -57,6 +58,7 @@ mod strategy;
 mod trainer;
 
 pub use config::{ExperimentConfig, ModelKind};
+pub use durable::{latest_checkpoint, load_checkpoint_state, CheckpointPlan};
 pub use eval::{accuracy, accuracy_full_graph, predict, predict_full_graph};
 pub use fit::{fit, fit_with_log, FitConfig, FitReport};
 pub use multi::{DeviceGroup, MultiDeviceEpoch};
@@ -65,7 +67,7 @@ pub use recovery::{RecoveryEntry, RecoveryEvent, RecoveryLog, RetryPolicy};
 pub use runner::{RunError, Runner, LSTM_TAPE_CONSTANT};
 pub use stats::{EpochStats, StepStats};
 pub use strategy::{build_strategy, StrategyKind};
-pub use trainer::{StepPhase, TrainError, Trainer, TrainerSnapshot};
+pub use trainer::{AnomalyKind, StepPhase, TrainError, Trainer, TrainerSnapshot};
 
 // Re-exported observability types (crate `betty-trace`), so trace
 // consumers — CLI, benches, tests — need no direct dependency.

@@ -15,7 +15,7 @@ use std::fmt;
 
 use betty_device::{AllocFaultKind, FaultEvent};
 
-use crate::trainer::StepPhase;
+use crate::trainer::{AnomalyKind, StepPhase};
 
 /// Governs how a failed epoch is retried and how the plan escalates
 /// between attempts.
@@ -33,6 +33,12 @@ pub struct RetryPolicy {
     /// if the estimate said the failed plan fit, planning against the
     /// full capacity again could reproduce the same failure.
     pub headroom: f64,
+    /// Maximum numeric-anomaly rollbacks per epoch before the run
+    /// aborts. Unlike OOMs, a non-finite loss or gradient usually
+    /// reproduces deterministically, so the budget defaults low: roll
+    /// back once (the anomaly may have been injected or transient), then
+    /// abort rather than loop on poisoned arithmetic.
+    pub max_anomaly_retries: usize,
 }
 
 impl Default for RetryPolicy {
@@ -41,6 +47,7 @@ impl Default for RetryPolicy {
             max_retries: 3,
             growth: 2.0,
             headroom: 0.1,
+            max_anomaly_retries: 1,
         }
     }
 }
@@ -102,6 +109,28 @@ pub enum RecoveryEvent {
         /// backoff).
         planning_capacity: usize,
     },
+    /// A non-finite loss or gradient was caught by the sentinel and the
+    /// trainable state was rolled back to the epoch-start snapshot.
+    AnomalyRollback {
+        /// 1-based rollback attempt number within the epoch.
+        attempt: usize,
+        /// Global step index at which the anomaly was detected.
+        step: usize,
+        /// What went non-finite.
+        kind: AnomalyKind,
+        /// Whether the anomaly came from an injected fault plan.
+        injected: bool,
+    },
+    /// The anomaly-rollback budget ran out; the run aborts rather than
+    /// loop on deterministically poisoned arithmetic.
+    AnomalyAbort {
+        /// Rollbacks that were consumed before giving up.
+        rollbacks: usize,
+        /// Global step index of the final, fatal anomaly.
+        step: usize,
+        /// What went non-finite.
+        kind: AnomalyKind,
+    },
     /// A previously failed epoch completed after retrying.
     Recovered {
         /// Recovery attempts that were consumed.
@@ -140,6 +169,29 @@ impl fmt::Display for RecoveryEvent {
             }) => write!(
                 f,
                 "injected {stall_sec:.3}s stall on transfer {transfer_index}"
+            ),
+            RecoveryEvent::Fault(FaultEvent::NanLoss { step }) => {
+                write!(f, "injected NaN loss at step {step}")
+            }
+            RecoveryEvent::AnomalyRollback {
+                attempt,
+                step,
+                kind,
+                injected,
+            } => write!(
+                f,
+                "anomaly rollback {attempt}: {}{kind} at step {step}; \
+                 restored epoch-start snapshot",
+                if *injected { "injected " } else { "" }
+            ),
+            RecoveryEvent::AnomalyAbort {
+                rollbacks,
+                step,
+                kind,
+            } => write!(
+                f,
+                "anomaly budget exhausted after {rollbacks} rollbacks: \
+                 {kind} at step {step}"
             ),
             RecoveryEvent::OomRetry {
                 attempt,
@@ -231,6 +283,16 @@ impl RecoveryLog {
         self.count(|e| matches!(e, RecoveryEvent::Recovered { .. }))
     }
 
+    /// Number of numeric-anomaly rollbacks.
+    pub fn anomaly_rollbacks(&self) -> usize {
+        self.count(|e| matches!(e, RecoveryEvent::AnomalyRollback { .. }))
+    }
+
+    /// Whether the run aborted on an unrecoverable numeric anomaly.
+    pub fn anomaly_aborted(&self) -> bool {
+        self.count(|e| matches!(e, RecoveryEvent::AnomalyAbort { .. })) > 0
+    }
+
     /// Whether any epoch ran out of retries.
     pub fn exhausted(&self) -> bool {
         self.count(|e| matches!(e, RecoveryEvent::Exhausted { .. })) > 0
@@ -244,12 +306,19 @@ impl RecoveryLog {
     /// entry) — what the CLI prints when a run fails.
     pub fn summary(&self) -> String {
         let mut out = format!(
-            "recovery log: {} injected faults, {} OOM retries, {} recoveries{}",
+            "recovery log: {} injected faults, {} OOM retries, \
+             {} anomaly rollbacks, {} recoveries{}{}",
             self.injected_faults(),
             self.oom_retries(),
+            self.anomaly_rollbacks(),
             self.recoveries(),
             if self.exhausted() {
                 ", retries EXHAUSTED"
+            } else {
+                ""
+            },
+            if self.anomaly_aborted() {
+                ", anomaly ABORT"
             } else {
                 ""
             }
@@ -350,5 +419,33 @@ mod tests {
         log.record(RecoveryEvent::Exhausted { attempts: 3 });
         assert!(log.exhausted());
         assert!(log.summary().contains("EXHAUSTED"));
+    }
+
+    #[test]
+    fn anomaly_events_are_counted_and_summarized() {
+        let mut log = RecoveryLog::new();
+        log.record(RecoveryEvent::Fault(FaultEvent::NanLoss { step: 4 }));
+        log.record(RecoveryEvent::AnomalyRollback {
+            attempt: 1,
+            step: 4,
+            kind: AnomalyKind::NonFiniteLoss,
+            injected: true,
+        });
+        log.record(RecoveryEvent::AnomalyAbort {
+            rollbacks: 1,
+            step: 4,
+            kind: AnomalyKind::NonFiniteLoss,
+        });
+        assert_eq!(log.anomaly_rollbacks(), 1);
+        assert!(log.anomaly_aborted());
+        assert_eq!(log.injected_faults(), 1);
+        let summary = log.summary();
+        assert!(summary.contains("1 anomaly rollbacks"), "{summary}");
+        assert!(summary.contains("anomaly ABORT"), "{summary}");
+        assert!(summary.contains("injected NaN loss at step 4"), "{summary}");
+        assert!(
+            summary.contains("injected non-finite loss at step 4"),
+            "{summary}"
+        );
     }
 }

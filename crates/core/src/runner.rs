@@ -8,7 +8,7 @@ use rand_pcg::Pcg64Mcg;
 use betty_data::Dataset;
 use betty_device::{Device, MemoryEstimator, ModelShape};
 use betty_graph::{sample_batch_in, Batch, CsrGraph, NodeId};
-use betty_nn::{Gat, Gcn, Gin, GnnModel, GraphSage};
+use betty_nn::{Gat, Gcn, Gin, GnnModel, GraphSage, TrainState};
 
 use betty_trace::{SpanKind, TraceRecorder};
 
@@ -38,6 +38,21 @@ pub enum RunError {
         /// The first attempt's error (the original failure).
         source: TrainError,
     },
+    /// The numeric-anomaly rollback budget ran out: the sentinel kept
+    /// catching a NaN/Inf loss or gradient after restoring the
+    /// epoch-start snapshot. Unlike an OOM this is not a capacity
+    /// problem, so no amount of re-partitioning can fix it — the run
+    /// aborts (the CLI maps this to its own exit code).
+    Anomaly {
+        /// Rollbacks consumed before giving up.
+        rollbacks: usize,
+        /// The final, fatal anomaly
+        /// ([`TrainError::NumericAnomaly`]).
+        source: TrainError,
+    },
+    /// A durable checkpoint could not be written, read, or applied
+    /// (I/O failure, corruption, or a config-fingerprint mismatch).
+    Checkpoint(String),
 }
 
 impl fmt::Display for RunError {
@@ -49,6 +64,11 @@ impl fmt::Display for RunError {
                 f,
                 "training failed after {attempts} recovery attempts; original error: {source}"
             ),
+            RunError::Anomaly { rollbacks, source } => write!(
+                f,
+                "numeric anomaly persisted after {rollbacks} rollbacks: {source}"
+            ),
+            RunError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
         }
     }
 }
@@ -59,6 +79,8 @@ impl std::error::Error for RunError {
             RunError::Plan(e) => Some(e),
             RunError::Train(e) => Some(e),
             RunError::RetryExhausted { source, .. } => Some(source),
+            RunError::Anomaly { source, .. } => Some(source),
+            RunError::Checkpoint(_) => None,
         }
     }
 }
@@ -208,6 +230,7 @@ impl Runner {
             seed.wrapping_add(1),
         );
         trainer.set_pooling(config.pool);
+        trainer.set_sentinel(config.sentinel);
         if let Some(fault_plan) = &config.fault_plan {
             trainer.arm_faults(fault_plan);
         }
@@ -490,7 +513,8 @@ impl Runner {
         let snapshot = self.trainer.snapshot();
         let strategy_impl = build_strategy(strategy, self.seed);
         let mut injected_faults = 0usize;
-        let mut attempt = 0usize; // failed attempts so far
+        let mut attempt = 0usize; // failed OOM attempts so far
+        let mut anomaly_rollbacks = 0usize;
         let mut initial_k = 1usize;
         let mut original: Option<TrainError> = None;
         loop {
@@ -533,6 +557,7 @@ impl Runner {
                     stats.host_bytes = host_staging_bytes(dataset, &plan.micro_batches)
                         + batch.total_edges() * 3 * betty_device::BYTES_PER_VALUE;
                     stats.oom_retries = attempt;
+                    stats.anomaly_rollbacks = anomaly_rollbacks;
                     stats.injected_faults = injected_faults;
                     return Ok((stats, k));
                 }
@@ -542,36 +567,74 @@ impl Runner {
                         injected_faults += 1;
                         log.record(RecoveryEvent::Fault(event));
                     }
-                    if attempt >= policy.max_retries {
-                        if attempt == 0 {
-                            // Recovery disabled: the plain training error.
-                            return Err(RunError::Train(err));
+                    match err {
+                        // A numeric anomaly is not a capacity problem:
+                        // restore the snapshot and retry the *same* plan
+                        // under its own (small) budget. Injected NaNs
+                        // fire once — step indices are monotone — so the
+                        // retry replays clean and bit-identical to a
+                        // never-faulted epoch; a genuine divergence
+                        // reproduces deterministically and aborts once
+                        // the budget is spent.
+                        TrainError::NumericAnomaly {
+                            step,
+                            kind,
+                            injected,
+                        } => {
+                            if anomaly_rollbacks >= policy.max_anomaly_retries {
+                                log.record(RecoveryEvent::AnomalyAbort {
+                                    rollbacks: anomaly_rollbacks,
+                                    step,
+                                    kind,
+                                });
+                                return Err(RunError::Anomaly {
+                                    rollbacks: anomaly_rollbacks,
+                                    source: err,
+                                });
+                            }
+                            anomaly_rollbacks += 1;
+                            log.record(RecoveryEvent::AnomalyRollback {
+                                attempt: anomaly_rollbacks,
+                                step,
+                                kind,
+                                injected,
+                            });
+                            self.trainer.restore(&snapshot);
+                            initial_k = k.max(1);
                         }
-                        log.record(RecoveryEvent::Exhausted { attempts: attempt });
-                        return Err(RunError::RetryExhausted {
-                            attempts: attempt,
-                            source: original.unwrap_or(err),
-                        });
+                        TrainError::StepOom {
+                            step,
+                            phase,
+                            ref source,
+                        } => {
+                            if attempt >= policy.max_retries {
+                                if attempt == 0 {
+                                    // Recovery disabled: the plain
+                                    // training error.
+                                    return Err(RunError::Train(err));
+                                }
+                                log.record(RecoveryEvent::Exhausted { attempts: attempt });
+                                return Err(RunError::RetryExhausted {
+                                    attempts: attempt,
+                                    source: original.unwrap_or(err),
+                                });
+                            }
+                            attempt += 1;
+                            let next_k = policy.escalate_k(k).min(self.config.max_partitions);
+                            log.record(RecoveryEvent::OomRetry {
+                                attempt,
+                                step,
+                                phase,
+                                injected: source.injected,
+                                failed_k: k,
+                                next_k,
+                                planning_capacity: policy.planning_capacity(capacity, attempt),
+                            });
+                            original.get_or_insert(err);
+                            self.trainer.restore(&snapshot);
+                            initial_k = next_k;
+                        }
                     }
-                    attempt += 1;
-                    let next_k = policy.escalate_k(k).min(self.config.max_partitions);
-                    let TrainError::StepOom {
-                        step,
-                        phase,
-                        ref source,
-                    } = err;
-                    log.record(RecoveryEvent::OomRetry {
-                        attempt,
-                        step,
-                        phase,
-                        injected: source.injected,
-                        failed_k: k,
-                        next_k,
-                        planning_capacity: policy.planning_capacity(capacity, attempt),
-                    });
-                    original.get_or_insert(err);
-                    self.trainer.restore(&snapshot);
-                    initial_k = next_k;
                 }
             }
         }
@@ -739,6 +802,86 @@ impl Runner {
             .map(|c| self.sample_batch_for(c))
             .collect();
         self.trainer.mini_batch_epoch(dataset, &batches)
+    }
+
+    /// Epochs this runner has trained (monotone across every
+    /// `train_epoch_*` entry point).
+    pub fn epochs_run(&self) -> usize {
+        self.epochs_run
+    }
+
+    /// Captures everything a durable checkpoint needs to resume this
+    /// session bit-identically: parameters, Adam moments, both RNG
+    /// streams (dropout and neighbor sampling), the epoch/step counters,
+    /// and the config fingerprint. Slot meanings are the
+    /// [`crate::durable`] constants; fit-level state (loss history,
+    /// early-stopping counters) is appended by the caller.
+    pub fn export_session(&self) -> TrainState {
+        let mut state = TrainState::from_model(self.trainer.model());
+        state.adam = Some(self.trainer.export_optimizer_state());
+        state.rngs = vec![self.trainer.rng_state(), self.sample_rng.state()];
+        state.counters = vec![
+            self.epochs_run as u64,
+            self.trainer.global_step() as u64,
+            self.seed,
+        ];
+        state.fingerprint = Some(self.config.fingerprint());
+        state
+    }
+
+    /// Restores a session captured by [`Runner::export_session`] onto a
+    /// freshly built runner with the *same* config. Fingerprint, slot
+    /// and shape checks run before parameters are touched; each piece of
+    /// state is itself validated before it mutates anything.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Checkpoint`] if the checkpoint's config fingerprint
+    /// differs from this runner's, or any section's shape does not match
+    /// the model.
+    pub fn import_session(&mut self, state: &TrainState) -> Result<(), RunError> {
+        if let Some(fp) = state.fingerprint {
+            let own = self.config.fingerprint();
+            if fp != own {
+                return Err(RunError::Checkpoint(format!(
+                    "config fingerprint mismatch: checkpoint {fp:#018x} vs current {own:#018x} \
+                     (the checkpoint was produced by a different experiment)"
+                )));
+            }
+        }
+        if state.rngs.len() < crate::durable::RUNNER_RNGS {
+            return Err(RunError::Checkpoint(format!(
+                "checkpoint carries {} RNG states, need {}",
+                state.rngs.len(),
+                crate::durable::RUNNER_RNGS
+            )));
+        }
+        if state.counters.len() < crate::durable::RUNNER_COUNTERS {
+            return Err(RunError::Checkpoint(format!(
+                "checkpoint carries {} counters, need {}",
+                state.counters.len(),
+                crate::durable::RUNNER_COUNTERS
+            )));
+        }
+        let adam = state.adam.as_ref().ok_or_else(|| {
+            RunError::Checkpoint("checkpoint has no optimizer state".into())
+        })?;
+        state
+            .apply_params(self.trainer.model_mut())
+            .map_err(|e| RunError::Checkpoint(e.to_string()))?;
+        self.trainer
+            .import_optimizer_state(adam)
+            .map_err(RunError::Checkpoint)?;
+        self.trainer
+            .set_rng_state(state.rngs[crate::durable::RNG_TRAINER]);
+        self.sample_rng = Pcg64Mcg::new(state.rngs[crate::durable::RNG_SAMPLER]);
+        self.epochs_run = state.counters[crate::durable::CTR_EPOCHS_RUN] as usize;
+        self.trainer
+            .set_global_step(state.counters[crate::durable::CTR_GLOBAL_STEP] as usize);
+        self.seed = state.counters[crate::durable::CTR_SEED];
+        // A cached output grouping belongs to the pre-import session.
+        self.cached_parts = None;
+        Ok(())
     }
 
     /// Accuracy on `nodes` using the configured fanouts for inference.

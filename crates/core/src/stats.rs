@@ -47,6 +47,11 @@ pub struct EpochStats {
     /// Injected fault events observed during this epoch (0 without an
     /// armed [`betty_device::FaultPlan`]).
     pub injected_faults: usize,
+    /// Numeric-anomaly rollbacks consumed producing this epoch: a NaN/Inf
+    /// loss or gradient was caught by the trainer's sentinel and the
+    /// trainable state was restored from the epoch-start snapshot (only
+    /// [`crate::Runner::train_epoch_auto_recovering`] sets this).
+    pub anomaly_rollbacks: usize,
     /// Simulated transfer seconds hidden behind compute by the
     /// double-buffered prefetch executor (0 without prefetch). The epoch's
     /// `transfer_sec` already excludes this, so

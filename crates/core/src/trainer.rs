@@ -46,11 +46,29 @@ impl fmt::Display for StepPhase {
     }
 }
 
+/// What the numeric-anomaly sentinel detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// The micro-batch loss evaluated to NaN or ±Inf.
+    NonFiniteLoss,
+    /// A parameter gradient contained NaN or ±Inf after backward.
+    NonFiniteGradient,
+}
+
+impl fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AnomalyKind::NonFiniteLoss => "non-finite loss",
+            AnomalyKind::NonFiniteGradient => "non-finite gradient",
+        })
+    }
+}
+
 /// Training failure.
 ///
-/// Marked `#[non_exhaustive]`: variants may grow (e.g. numeric
-/// divergence). Downstream crates should prefer the [`TrainError::oom`]
-/// accessor or match with a wildcard arm.
+/// Marked `#[non_exhaustive]`: variants may grow. Downstream crates
+/// should prefer the [`TrainError::oom`] accessor or match with a
+/// wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum TrainError {
@@ -66,20 +84,40 @@ pub enum TrainError {
         /// The underlying device error.
         source: OomError,
     },
+    /// The numeric-anomaly sentinel caught a NaN/Inf loss or gradient.
+    /// Accumulating past it would silently corrupt every later step
+    /// (§4.2's gradient-sum equivalence assumes finite terms), so the
+    /// step is aborted before the optimizer can consume the poison.
+    NumericAnomaly {
+        /// Global step index at which the anomaly was detected.
+        step: usize,
+        /// What was non-finite.
+        kind: AnomalyKind,
+        /// Whether the anomaly came from an armed
+        /// [`FaultPlan::nan_loss_steps`] entry rather than genuine
+        /// numeric divergence.
+        injected: bool,
+    },
 }
 
 impl TrainError {
-    /// The underlying [`OomError`] for any OOM-class variant.
+    /// The underlying [`OomError`] for any OOM-class variant (`None` for
+    /// numeric anomalies).
     pub fn oom(&self) -> Option<&OomError> {
         match self {
             TrainError::StepOom { source, .. } => Some(source),
+            TrainError::NumericAnomaly { .. } => None,
         }
     }
 
     /// Whether the failure was injected by an armed
-    /// [`FaultPlan`] rather than a genuine capacity shortfall.
+    /// [`FaultPlan`] rather than a genuine capacity shortfall or
+    /// numeric divergence.
     pub fn is_injected(&self) -> bool {
-        self.oom().is_some_and(|e| e.injected)
+        match self {
+            TrainError::StepOom { source, .. } => source.injected,
+            TrainError::NumericAnomaly { injected, .. } => *injected,
+        }
     }
 }
 
@@ -91,6 +129,10 @@ impl fmt::Display for TrainError {
                 phase,
                 source,
             } => write!(f, "step {step} failed during {phase}: {source}"),
+            TrainError::NumericAnomaly { step, kind, injected } => {
+                let origin = if *injected { " (injected)" } else { "" };
+                write!(f, "step {step} aborted: {kind}{origin}")
+            }
         }
     }
 }
@@ -99,6 +141,7 @@ impl std::error::Error for TrainError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TrainError::StepOom { source, .. } => Some(source),
+            TrainError::NumericAnomaly { .. } => None,
         }
     }
 }
@@ -171,6 +214,14 @@ pub struct Trainer {
     /// reallocating the whole forward/backward state.
     session: Session,
     pooling: bool,
+    /// Numeric-anomaly sentinel: when on (the default), a NaN/Inf loss or
+    /// gradient aborts the step instead of corrupting the accumulation.
+    sentinel: bool,
+    /// Global steps whose loss is poisoned to NaN (armed from
+    /// [`FaultPlan::nan_loss_steps`]); each entry fires once.
+    nan_steps: std::collections::BTreeSet<usize>,
+    /// NaN-injection events not yet drained into the recovery log.
+    nan_events: Vec<FaultEvent>,
 }
 
 impl fmt::Debug for Trainer {
@@ -195,7 +246,24 @@ impl Trainer {
             trace: None,
             session: Session::new(),
             pooling: true,
+            sentinel: true,
+            nan_steps: std::collections::BTreeSet::new(),
+            nan_events: Vec::new(),
         }
+    }
+
+    /// Turns the numeric-anomaly sentinel on or off. With the sentinel
+    /// off, a NaN/Inf loss propagates into the accumulated gradients and
+    /// every subsequent update — the historical (silent-corruption)
+    /// behaviour, kept as an escape hatch and for demonstrating what the
+    /// sentinel prevents.
+    pub fn set_sentinel(&mut self, on: bool) {
+        self.sentinel = on;
+    }
+
+    /// Whether the numeric-anomaly sentinel is active.
+    pub fn sentinel(&self) -> bool {
+        self.sentinel
     }
 
     /// Turns the pooled tensor workspace on or off (`--no-pool` escape
@@ -284,6 +352,42 @@ impl Trainer {
         self.global_step
     }
 
+    /// Overwrites the global step counter — used when resuming a durable
+    /// checkpoint, so step-scheduled faults and trace step ids continue
+    /// from where the killed run left off.
+    pub fn set_global_step(&mut self, step: usize) {
+        self.global_step = step;
+    }
+
+    /// Raw dropout-RNG state, for durable checkpoints.
+    pub fn rng_state(&self) -> u128 {
+        self.rng.state()
+    }
+
+    /// Restores the dropout RNG to a state captured by
+    /// [`Trainer::rng_state`].
+    pub fn set_rng_state(&mut self, state: u128) {
+        self.rng = Pcg64Mcg::new(state);
+    }
+
+    /// Positional snapshot of the optimizer's moments and step counter,
+    /// for durable checkpoints (see [`betty_nn::AdamState`]).
+    pub fn export_optimizer_state(&self) -> betty_nn::AdamState {
+        self.optimizer.export_state(&self.model.params())
+    }
+
+    /// Restores optimizer state exported by
+    /// [`Trainer::export_optimizer_state`], re-keyed under this process's
+    /// parameter ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the entry count or any moment shape does not
+    /// match the model (the optimizer is left unchanged).
+    pub fn import_optimizer_state(&mut self, state: &betty_nn::AdamState) -> Result<(), String> {
+        self.optimizer.import_state(&self.model.params(), state)
+    }
+
     /// Captures an in-memory checkpoint of parameters, optimizer
     /// moments, and the dropout RNG (see [`TrainerSnapshot`]).
     pub fn snapshot(&self) -> TrainerSnapshot {
@@ -316,25 +420,30 @@ impl Trainer {
         self.rng = snapshot.rng.clone();
     }
 
-    /// Arms deterministic fault injection on both the device (allocation
-    /// faults) and the transfer link (stalls). Replaces any previously
-    /// armed plan.
+    /// Arms deterministic fault injection on the device (allocation
+    /// faults), the transfer link (stalls), and the trainer itself
+    /// (NaN-loss poisoning). Replaces any previously armed plan.
     pub fn arm_faults(&mut self, plan: &FaultPlan) {
         self.device.arm_faults(plan.alloc_injector());
         self.transfer.arm_faults(plan.transfer_injector());
+        self.nan_steps = plan.nan_loss_steps.iter().copied().collect();
     }
 
-    /// Disarms fault injection on the device and the transfer link.
+    /// Disarms fault injection on the device, the transfer link, and the
+    /// trainer's NaN-loss schedule.
     pub fn disarm_faults(&mut self) {
         self.device.disarm_faults();
         self.transfer.disarm_faults();
+        self.nan_steps.clear();
     }
 
-    /// Drains injected-fault events from the device and the transfer
-    /// link (allocation events first), for the recovery log.
+    /// Drains injected-fault events from the device, the transfer link,
+    /// and the trainer's NaN-loss poisoner (allocation events first), for
+    /// the recovery log.
     pub fn drain_fault_events(&mut self) -> Vec<FaultEvent> {
         let mut events = self.device.drain_fault_events();
         events.extend(self.transfer.drain_fault_events());
+        events.append(&mut self.nan_events);
         events
     }
 
@@ -660,6 +769,17 @@ impl Trainer {
             LossMode::MiniBatch => sess.graph.cross_entropy(logits, &targets, Reduction::Mean),
         };
         sess.graph.recycle_indices(targets);
+        // Injected NaN fault: poison the loss *before* backward, so the
+        // gradients genuinely carry the corruption the sentinel must
+        // catch (with the sentinel off, the poison reaches the optimizer
+        // — the silent-corruption failure mode this run demonstrates).
+        let injected_nan = self.nan_steps.remove(&step);
+        let loss_var = if injected_nan {
+            self.nan_events.push(FaultEvent::NanLoss { step });
+            sess.graph.scale(loss_var, f32::NAN)
+        } else {
+            loss_var
+        };
         // Forward/backward boundary, read only when tracing so the
         // untraced path does zero extra clock work.
         let forward_sec = self
@@ -705,6 +825,39 @@ impl Trainer {
         sess.backward(loss_var, self.model.as_mut());
         let compute_sec = started.elapsed().as_secs_f64();
         let loss = sess.graph.value(loss_var).item() as f64;
+
+        // Numeric-anomaly sentinel: a NaN/Inf loss or gradient must not
+        // reach the optimizer — one poisoned micro-batch would corrupt
+        // the whole accumulated gradient and every later update. The
+        // caller rolls back to its last good snapshot.
+        if self.sentinel {
+            let anomaly = if !loss.is_finite() {
+                Some(AnomalyKind::NonFiniteLoss)
+            } else if self
+                .model
+                .params()
+                .iter()
+                .any(|p| p.grad().data().iter().any(|g| !g.is_finite()))
+            {
+                Some(AnomalyKind::NonFiniteGradient)
+            } else {
+                None
+            };
+            if let Some(kind) = anomaly {
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.record_anomaly(step, kind.to_string(), injected_nan);
+                }
+                if let Some(s) = staged_out.take() {
+                    self.device.free(s.alloc);
+                }
+                charges.release(&mut self.device);
+                return Err(TrainError::NumericAnomaly {
+                    step,
+                    kind,
+                    injected: injected_nan,
+                });
+            }
+        }
 
         // Whatever part of the staged transfer this step's compute covered
         // is hidden; only the remainder reaches the next step's critical
@@ -1159,6 +1312,97 @@ mod tests {
         let stats = t.mini_batch_epoch(&ds, &batches).unwrap();
         assert_eq!(stats.num_steps, batches.len());
         assert!(stats.loss.is_finite());
+    }
+
+    #[test]
+    fn injected_nan_is_caught_rolled_back_and_replays_bit_identically() {
+        use betty_device::FaultPlan;
+        let ds = dataset();
+        let batch = full_batch(&ds, 2);
+        let micros = micros_of(&batch, 4);
+        assert!(micros.len() >= 2);
+        let mut clean = Trainer::new(model(&ds, 7), 0.01, Device::unbounded(), 3);
+        let mut faulty = Trainer::new(model(&ds, 7), 0.01, Device::unbounded(), 3);
+        assert!(faulty.sentinel(), "sentinel defaults on");
+        let a0 = clean.micro_batch_epoch(&ds, &micros).unwrap();
+        let b0 = faulty.micro_batch_epoch(&ds, &micros).unwrap();
+        assert_eq!(a0.loss.to_bits(), b0.loss.to_bits());
+
+        // Poison the second micro-batch of faulty's next epoch.
+        let poison_step = faulty.global_step() + 1;
+        faulty.arm_faults(&FaultPlan {
+            nan_loss_steps: vec![poison_step],
+            ..FaultPlan::default()
+        });
+        let snap = faulty.snapshot();
+        let err = faulty.micro_batch_epoch(&ds, &micros).unwrap_err();
+        assert!(err.is_injected());
+        assert!(err.oom().is_none());
+        match &err {
+            TrainError::NumericAnomaly { step, kind, injected } => {
+                assert_eq!(*step, poison_step);
+                assert_eq!(*kind, AnomalyKind::NonFiniteLoss);
+                assert!(*injected);
+            }
+            other => panic!("expected anomaly, got {other:?}"),
+        }
+        assert_eq!(faulty.device().current_bytes(), 0, "anomaly path drains charges");
+        let events = faulty.drain_fault_events();
+        assert_eq!(events, vec![FaultEvent::NanLoss { step: poison_step }]);
+
+        // Roll back and retry. The injection already fired (step indices
+        // are monotone), so the retried epoch is clean — and bit-identical
+        // to the trainer that never saw a fault.
+        faulty.restore(&snap);
+        let a1 = clean.micro_batch_epoch(&ds, &micros).unwrap();
+        let b1 = faulty.micro_batch_epoch(&ds, &micros).unwrap();
+        assert_eq!(
+            a1.loss.to_bits(),
+            b1.loss.to_bits(),
+            "rollback + retry must be bit-identical to a never-faulted run"
+        );
+        assert!(b1.loss.is_finite());
+    }
+
+    #[test]
+    fn sentinel_off_lets_the_poison_through() {
+        use betty_device::FaultPlan;
+        let ds = dataset();
+        let batch = full_batch(&ds, 2);
+        let mut t = Trainer::new(model(&ds, 0), 0.01, Device::unbounded(), 3);
+        t.set_sentinel(false);
+        assert!(!t.sentinel());
+        t.arm_faults(&FaultPlan {
+            nan_loss_steps: vec![0],
+            ..FaultPlan::default()
+        });
+        // Without the sentinel the epoch "succeeds" with a NaN loss — the
+        // silent corruption the sentinel exists to stop.
+        let stats = t.micro_batch_epoch(&ds, std::slice::from_ref(&batch)).unwrap();
+        assert!(stats.loss.is_nan());
+    }
+
+    #[test]
+    fn anomaly_mid_prefetch_frees_the_staged_buffer() {
+        use betty_device::FaultPlan;
+        let ds = dataset();
+        let batch = full_batch(&ds, 2);
+        let micros = micros_of(&batch, 4);
+        assert!(micros.len() >= 2);
+        let mut t = Trainer::new(model(&ds, 0), 0.01, Device::unbounded(), 3);
+        // Poison the first step: its successor's transfer is already
+        // staged when the sentinel fires, and must be freed with the rest.
+        t.arm_faults(&FaultPlan {
+            nan_loss_steps: vec![0],
+            ..FaultPlan::default()
+        });
+        let err = t.micro_batch_epoch_prefetched(&ds, &micros).unwrap_err();
+        assert!(matches!(err, TrainError::NumericAnomaly { step: 0, .. }), "{err:?}");
+        assert_eq!(
+            t.device().current_bytes(),
+            0,
+            "anomaly with a live staging buffer must free it"
+        );
     }
 
     #[test]

@@ -1,5 +1,58 @@
+use std::fmt;
+
 use betty_graph::{CsrGraph, NodeId};
 use betty_tensor::Tensor;
+
+/// A structural defect found in a dataset, naming the offending element
+/// so a bad export can be fixed at the source instead of surfacing later
+/// as a panic (out-of-range gather) or a silent NaN loss.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// An edge references a node outside `0..num_nodes`.
+    EdgeOutOfRange {
+        /// Index of the edge in the serialized edge list.
+        edge_index: usize,
+        /// Source endpoint.
+        src: NodeId,
+        /// Destination endpoint.
+        dst: NodeId,
+        /// Number of nodes in the dataset.
+        num_nodes: usize,
+    },
+    /// A feature value is NaN or ±Inf.
+    NonFiniteFeature {
+        /// Node (feature-matrix row) holding the value.
+        node: usize,
+        /// Feature dimension (column) holding the value.
+        dim: usize,
+        /// The offending value (as a debug string, since NaN ≠ NaN).
+        value: String,
+    },
+    /// Any other inconsistency (counts, label ranges, split overlap).
+    Inconsistent(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::EdgeOutOfRange {
+                edge_index,
+                src,
+                dst,
+                num_nodes,
+            } => write!(
+                f,
+                "edge {edge_index} ({src} -> {dst}) references a node outside 0..{num_nodes}"
+            ),
+            DataError::NonFiniteFeature { node, dim, value } => {
+                write!(f, "feature[{node}][{dim}] is non-finite ({value})")
+            }
+            DataError::Inconsistent(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
 
 /// A node-classification dataset: graph, features, labels, and splits.
 #[derive(Debug, Clone)]
@@ -38,38 +91,73 @@ impl Dataset {
         nodes.iter().map(|&v| self.labels[v as usize]).collect()
     }
 
-    /// Checks internal consistency.
+    /// Checks internal consistency, reporting the first defect as a
+    /// structured [`DataError`] naming the offending element.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first inconsistency found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// [`DataError`] describing the first inconsistency found.
+    pub fn check(&self) -> Result<(), DataError> {
         let n = self.num_nodes();
         if self.features.rows() != n {
-            return Err(format!(
+            return Err(DataError::Inconsistent(format!(
                 "{} feature rows for {n} nodes",
                 self.features.rows()
-            ));
+            )));
         }
         if self.labels.len() != n {
-            return Err(format!("{} labels for {n} nodes", self.labels.len()));
+            return Err(DataError::Inconsistent(format!(
+                "{} labels for {n} nodes",
+                self.labels.len()
+            )));
         }
         if let Some(&bad) = self.labels.iter().find(|&&l| l >= self.num_classes) {
-            return Err(format!("label {bad} >= {} classes", self.num_classes));
+            return Err(DataError::Inconsistent(format!(
+                "label {bad} >= {} classes",
+                self.num_classes
+            )));
         }
         let mut seen = vec![false; n];
         for idx in [&self.train_idx, &self.val_idx, &self.test_idx] {
             for &v in idx {
                 if v as usize >= n {
-                    return Err(format!("split node {v} out of bounds"));
+                    return Err(DataError::Inconsistent(format!(
+                        "split node {v} out of bounds"
+                    )));
                 }
                 if seen[v as usize] {
-                    return Err(format!("node {v} appears in two splits"));
+                    return Err(DataError::Inconsistent(format!(
+                        "node {v} appears in two splits"
+                    )));
                 }
                 seen[v as usize] = true;
             }
         }
+        let d = self.feature_dim();
+        if let Some((i, &value)) = self
+            .features
+            .data()
+            .iter()
+            .enumerate()
+            .find(|(_, v)| !v.is_finite())
+        {
+            return Err(DataError::NonFiniteFeature {
+                node: i.checked_div(d).unwrap_or(0),
+                dim: i.checked_rem(d).unwrap_or(0),
+                value: format!("{value}"),
+            });
+        }
         Ok(())
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found (see
+    /// [`Dataset::check`] for the structured form).
+    pub fn validate(&self) -> Result<(), String> {
+        self.check().map_err(|e| e.to_string())
     }
 }
 
@@ -116,5 +204,27 @@ mod tests {
         let mut d = tiny();
         d.features = Tensor::zeros(&[3, 2]);
         assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn non_finite_feature_names_node_and_dim() {
+        let mut d = tiny();
+        let mut vals = vec![0.0f32; 8];
+        vals[5] = f32::NAN; // node 2, dim 1
+        d.features = Tensor::from_vec(vals, &[4, 2]).unwrap();
+        match d.check().unwrap_err() {
+            DataError::NonFiniteFeature { node, dim, value } => {
+                assert_eq!(node, 2);
+                assert_eq!(dim, 1);
+                assert_eq!(value, "NaN");
+            }
+            other => panic!("expected NonFiniteFeature, got {other:?}"),
+        }
+        let mut d2 = tiny();
+        let mut vals = vec![0.0f32; 8];
+        vals[0] = f32::INFINITY;
+        d2.features = Tensor::from_vec(vals, &[4, 2]).unwrap();
+        let err = d2.check().unwrap_err();
+        assert!(err.to_string().contains("feature[0][0]"), "{err}");
     }
 }

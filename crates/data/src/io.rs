@@ -18,7 +18,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use betty_graph::{CsrGraph, NodeId};
 use betty_tensor::Tensor;
 
-use crate::Dataset;
+use crate::{DataError, Dataset};
 
 const MAGIC: &[u8; 8] = b"BTYDATA1";
 
@@ -30,6 +30,10 @@ pub enum LoadError {
     /// The file is not a valid dataset (bad magic, truncation, or
     /// inconsistent counts).
     Format(String),
+    /// The file parsed but its content is defective (out-of-range edge
+    /// endpoints, non-finite features, split overlap) — see
+    /// [`DataError`] for which element is at fault.
+    Data(DataError),
 }
 
 impl std::fmt::Display for LoadError {
@@ -37,6 +41,7 @@ impl std::fmt::Display for LoadError {
         match self {
             LoadError::Io(e) => write!(f, "dataset i/o error: {e}"),
             LoadError::Format(msg) => write!(f, "invalid dataset file: {msg}"),
+            LoadError::Data(e) => write!(f, "invalid dataset: {e}"),
         }
     }
 }
@@ -46,6 +51,7 @@ impl std::error::Error for LoadError {
         match self {
             LoadError::Io(e) => Some(e),
             LoadError::Format(_) => None,
+            LoadError::Data(e) => Some(e),
         }
     }
 }
@@ -56,13 +62,53 @@ impl From<io::Error> for LoadError {
     }
 }
 
+impl From<DataError> for LoadError {
+    fn from(e: DataError) -> Self {
+        LoadError::Data(e)
+    }
+}
+
+/// Writes `bytes` to `path` atomically: the data goes to a same-directory
+/// temp file, is fsynced, then renamed over the destination (with a
+/// best-effort directory fsync), so `path` either keeps its old content
+/// or holds the complete new image — never a torn write.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        use std::io::Write;
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    #[cfg(unix)]
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
 fn put_u32_slice(buf: &mut BytesMut, values: impl IntoIterator<Item = u32>) {
     for v in values {
         buf.put_u32_le(v);
     }
 }
 
-/// Serializes a dataset to `path`.
+/// Serializes a dataset to `path`, atomically: a crash (or SIGKILL)
+/// mid-save leaves either the previous file or the complete new one,
+/// never a truncated image.
 ///
 /// # Errors
 ///
@@ -90,7 +136,7 @@ pub fn save_dataset(dataset: &Dataset, path: impl AsRef<Path>) -> io::Result<()>
     for &f in dataset.features.data() {
         buf.put_f32_le(f);
     }
-    fs::write(path, &buf)
+    write_atomic(path.as_ref(), &buf)
 }
 
 fn need(buf: &Bytes, bytes: usize, what: &str) -> Result<(), LoadError> {
@@ -146,9 +192,14 @@ pub fn load_dataset(path: impl AsRef<Path>) -> Result<Dataset, LoadError> {
     need(&buf, n * d * 4, "features")?;
     let feats: Vec<f32> = (0..n * d).map(|_| buf.get_f32_le()).collect();
 
-    for &(u, v) in &edges {
+    for (i, &(u, v)) in edges.iter().enumerate() {
         if u as usize >= n || v as usize >= n {
-            return Err(LoadError::Format(format!("edge ({u},{v}) out of range")));
+            return Err(LoadError::Data(DataError::EdgeOutOfRange {
+                edge_index: i,
+                src: u,
+                dst: v,
+                num_nodes: n,
+            }));
         }
     }
     let dataset = Dataset {
@@ -162,7 +213,7 @@ pub fn load_dataset(path: impl AsRef<Path>) -> Result<Dataset, LoadError> {
         val_idx,
         test_idx,
     };
-    dataset.validate().map_err(LoadError::Format)?;
+    dataset.check()?;
     Ok(dataset)
 }
 
@@ -218,5 +269,78 @@ mod tests {
         let err = load_dataset(tmp("does-not-exist")).unwrap_err();
         assert!(matches!(err, LoadError::Io(_)));
         assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_tmp_file() {
+        let ds = DatasetSpec::cora().scaled(0.05).with_feature_dim(4).generate(5);
+        let path = tmp("atomic");
+        // Overwrite an existing file to exercise the rename-over path.
+        std::fs::write(&path, b"old content").unwrap();
+        save_dataset(&ds, &path).unwrap();
+        let mut tmp_name = path.file_name().unwrap().to_os_string();
+        tmp_name.push(".tmp");
+        assert!(
+            !path.with_file_name(tmp_name).exists(),
+            "temp file must be renamed away"
+        );
+        let loaded = load_dataset(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(loaded.graph, ds.graph);
+    }
+
+    /// Byte offset where the edge list starts in a serialized dataset.
+    fn edges_offset(ds: &Dataset) -> usize {
+        MAGIC.len() + 4 + ds.name.len() + 7 * 4
+    }
+
+    #[test]
+    fn out_of_range_edge_is_a_structured_data_error() {
+        let ds = DatasetSpec::cora().scaled(0.05).with_feature_dim(4).generate(6);
+        let path = tmp("bad-edge");
+        save_dataset(&ds, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Point the second edge's source at a nonexistent node.
+        let off = edges_offset(&ds) + 8;
+        let bad = (ds.num_nodes() as u32 + 41).to_le_bytes();
+        bytes[off..off + 4].copy_from_slice(&bad);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_dataset(&path).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        match err {
+            LoadError::Data(DataError::EdgeOutOfRange {
+                edge_index,
+                src,
+                num_nodes,
+                ..
+            }) => {
+                assert_eq!(edge_index, 1);
+                assert_eq!(src as usize, ds.num_nodes() + 41);
+                assert_eq!(num_nodes, ds.num_nodes());
+            }
+            other => panic!("expected EdgeOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_feature_is_a_structured_data_error() {
+        let ds = DatasetSpec::cora().scaled(0.05).with_feature_dim(4).generate(7);
+        let path = tmp("nan-feature");
+        save_dataset(&ds, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Features are the file's tail: poison the last value.
+        let off = bytes.len() - 4;
+        bytes[off..].copy_from_slice(&f32::NAN.to_bits().to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_dataset(&path).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(err.to_string().contains("non-finite"), "{err}");
+        match err {
+            LoadError::Data(DataError::NonFiniteFeature { node, dim, .. }) => {
+                assert_eq!(node, ds.num_nodes() - 1);
+                assert_eq!(dim, ds.feature_dim() - 1);
+            }
+            other => panic!("expected NonFiniteFeature, got {other:?}"),
+        }
     }
 }

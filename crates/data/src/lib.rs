@@ -37,7 +37,7 @@ mod generate;
 pub mod io;
 mod spec;
 
-pub use dataset::Dataset;
+pub use dataset::{DataError, Dataset};
 pub use generate::{planted_power_law, PlantedPowerLawConfig};
 pub use io::{load_dataset, save_dataset, LoadError};
 pub use spec::DatasetSpec;

@@ -56,6 +56,11 @@ pub struct FaultPlan {
     pub transfer_stall_rate: f64,
     /// Extra seconds a stalled transfer takes.
     pub transfer_stall_sec: f64,
+    /// Step indices whose loss is poisoned to NaN before backward
+    /// (exercises the trainer's numeric-anomaly sentinel). The poisoning
+    /// happens in the trainer, not the device, but lives here so one
+    /// `FaultPlan` describes the whole fault schedule.
+    pub nan_loss_steps: Vec<usize>,
 }
 
 impl Default for FaultPlan {
@@ -67,6 +72,7 @@ impl Default for FaultPlan {
             capacity_jitter: 0.0,
             transfer_stall_rate: 0.0,
             transfer_stall_sec: 0.0,
+            nan_loss_steps: Vec::new(),
         }
     }
 }
@@ -102,6 +108,7 @@ impl FaultPlan {
             && self.oom_steps.is_empty()
             && self.capacity_jitter == 0.0
             && self.transfer_stall_rate == 0.0
+            && self.nan_loss_steps.is_empty()
     }
 
     /// Builds the allocation-side injector for this plan.
@@ -160,6 +167,12 @@ pub enum FaultEvent {
         transfer_index: u64,
         /// Extra seconds added.
         stall_sec: f64,
+    },
+    /// A step's loss was poisoned to NaN (from
+    /// [`FaultPlan::nan_loss_steps`]).
+    NanLoss {
+        /// Global step index whose loss was poisoned.
+        step: usize,
     },
 }
 
@@ -283,6 +296,7 @@ mod tests {
             capacity_jitter: 0.5,
             transfer_stall_rate: 0.25,
             transfer_stall_sec: 1e-3,
+            nan_loss_steps: Vec::new(),
         }
     }
 
@@ -311,6 +325,11 @@ mod tests {
             ..FaultPlan::default()
         };
         assert!(!steps_only.is_noop());
+        let nan_only = FaultPlan {
+            nan_loss_steps: vec![3],
+            ..FaultPlan::default()
+        };
+        assert!(!nan_only.is_noop());
     }
 
     #[test]

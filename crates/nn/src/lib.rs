@@ -54,7 +54,10 @@ pub mod schedule;
 mod session;
 
 pub use aggregator::{Aggregator, AggregatorSpec};
-pub use checkpoint::{load_checkpoint, save_checkpoint, CheckpointError};
+pub use checkpoint::{
+    crc32, load_checkpoint, load_train_state, save_checkpoint, save_train_state, write_atomic,
+    CheckpointError, TrainState,
+};
 pub use gat::GatConv;
 pub use gcn::GcnConv;
 pub use gin::GinConv;
@@ -62,7 +65,7 @@ pub use linear::Linear;
 pub use lstm::LstmCell;
 pub use models::{Gat, Gcn, Gin, GnnModel, GraphSage};
 pub use gat::HeadMerge;
-pub use optim::{zero_grads, Adam, Optimizer, Sgd};
+pub use optim::{zero_grads, Adam, AdamState, Optimizer, Sgd};
 pub use param::{total_params, Param};
 pub use sage::SageConv;
 pub use schedule::{clip_grad_norm, ConstantLr, CosineAnnealing, LrSchedule, StepDecay, Warmup};

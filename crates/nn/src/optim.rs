@@ -81,6 +81,24 @@ pub struct Adam {
     moments: std::collections::HashMap<u64, (Tensor, Tensor)>,
 }
 
+/// A process-independent snapshot of Adam's mutable state.
+///
+/// [`Adam`] keys its moments by [`Param::id`], which is a process-global
+/// counter — ids differ between the run that saved a checkpoint and the
+/// run that loads it. `AdamState` therefore stores the moments
+/// *positionally*, in the parameter-list order the caller passed to
+/// [`Adam::export_state`]; [`Adam::import_state`] re-keys them under the
+/// loading process's ids. Entries are `None` for parameters the optimizer
+/// has never stepped. The learning rate is intentionally excluded: it is
+/// configuration (possibly schedule-driven), not progress.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// Number of optimizer steps taken (drives bias correction).
+    pub t: i32,
+    /// Per-parameter first and second moments in parameter-list order.
+    pub moments: Vec<Option<(Tensor, Tensor)>>,
+}
+
 impl Adam {
     /// Adam with learning rate `lr` and the standard β/ε defaults.
     ///
@@ -97,6 +115,54 @@ impl Adam {
             t: 0,
             moments: std::collections::HashMap::new(),
         }
+    }
+
+    /// Snapshots the step counter and the moments of `params`, positionally.
+    pub fn export_state(&self, params: &[&Param]) -> AdamState {
+        AdamState {
+            t: self.t,
+            moments: params
+                .iter()
+                .map(|p| self.moments.get(&p.id()).cloned())
+                .collect(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`Adam::export_state`], re-keying each
+    /// moment pair under the current process's [`Param::id`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the entry count or any moment shape does not
+    /// match `params` (the optimizer is left unchanged).
+    pub fn import_state(&mut self, params: &[&Param], state: &AdamState) -> Result<(), String> {
+        if state.moments.len() != params.len() {
+            return Err(format!(
+                "optimizer state has {} entries, model has {} parameters",
+                state.moments.len(),
+                params.len()
+            ));
+        }
+        for (i, (p, entry)) in params.iter().zip(&state.moments).enumerate() {
+            if let Some((m, v)) = entry {
+                if m.shape() != p.value().shape() || v.shape() != p.value().shape() {
+                    return Err(format!(
+                        "optimizer moment {i}: shape {:?}/{:?} != parameter shape {:?}",
+                        m.shape(),
+                        v.shape(),
+                        p.value().shape()
+                    ));
+                }
+            }
+        }
+        self.t = state.t;
+        self.moments.clear();
+        for (p, entry) in params.iter().zip(&state.moments) {
+            if let Some(pair) = entry {
+                self.moments.insert(p.id(), pair.clone());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -189,6 +255,45 @@ mod tests {
         zero_grads(&mut [&mut a, &mut b]);
         assert_eq!(a.grad().max_abs(), 0.0);
         assert_eq!(b.grad().max_abs(), 0.0);
+    }
+
+    #[test]
+    fn adam_state_roundtrips_across_fresh_params() {
+        // Train one Adam for a few steps, export, import into a fresh
+        // optimizer over *different* Param ids, and check the next update
+        // is bit-identical — the cross-process resume scenario.
+        let mut a = Param::new(Tensor::from_slice(&[5.0, -3.0]));
+        let mut opt = Adam::new(0.3);
+        for _ in 0..5 {
+            quadratic_step(&mut opt, &mut a);
+        }
+        let state = opt.export_state(&[&a]);
+        assert_eq!(state.t, 5);
+
+        // "Fresh process": a new Param (new id) holding the same values.
+        let mut b = Param::new(a.value().clone());
+        let mut opt2 = Adam::new(0.3);
+        opt2.import_state(&[&b], &state).unwrap();
+        quadratic_step(&mut opt, &mut a);
+        quadratic_step(&mut opt2, &mut b);
+        assert_eq!(a.value().data(), b.value().data());
+    }
+
+    #[test]
+    fn adam_import_rejects_mismatches() {
+        let p = Param::new(Tensor::from_slice(&[1.0, 2.0]));
+        let mut opt = Adam::new(0.1);
+        let too_few = AdamState { t: 1, moments: vec![] };
+        assert!(opt.import_state(&[&p], &too_few).is_err());
+        let bad_shape = AdamState {
+            t: 1,
+            moments: vec![Some((Tensor::zeros(&[3]), Tensor::zeros(&[3])))],
+        };
+        assert!(opt.import_state(&[&p], &bad_shape).is_err());
+        // Unstepped parameters export as None and import cleanly.
+        let none_state = AdamState { t: 0, moments: vec![None] };
+        opt.import_state(&[&p], &none_state).unwrap();
+        assert_eq!(opt.export_state(&[&p]), none_state);
     }
 
     #[test]

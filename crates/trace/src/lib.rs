@@ -250,8 +250,24 @@ impl AllocRecord {
     }
 }
 
-/// The trace of one training run: spans, memory events, peak snapshots
-/// and drift records, all stamped with monotonic epoch/step ids.
+/// One numeric anomaly caught by the trainer's sentinel: a NaN/Inf loss
+/// or gradient detected (and aborted) before it could reach the
+/// optimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnomalyRecord {
+    /// Epoch of the step.
+    pub epoch: usize,
+    /// Global step id at which the anomaly was detected.
+    pub step: usize,
+    /// What was non-finite (e.g. `"non-finite loss"`).
+    pub kind: String,
+    /// Whether a fault plan injected the anomaly (vs genuine divergence).
+    pub injected: bool,
+}
+
+/// The trace of one training run: spans, memory events, peak snapshots,
+/// drift records, and caught numeric anomalies, all stamped with
+/// monotonic epoch/step ids.
 #[derive(Debug, Clone)]
 pub struct TraceRecorder {
     origin: Instant,
@@ -261,6 +277,7 @@ pub struct TraceRecorder {
     peaks: Vec<PeakRecord>,
     drift: Vec<DriftRecord>,
     allocs: Vec<(usize, AllocRecord)>,
+    anomalies: Vec<AnomalyRecord>,
 }
 
 impl Default for TraceRecorder {
@@ -280,6 +297,7 @@ impl TraceRecorder {
             peaks: Vec::new(),
             drift: Vec::new(),
             allocs: Vec::new(),
+            anomalies: Vec::new(),
         }
     }
 
@@ -349,9 +367,24 @@ impl TraceRecorder {
         ));
     }
 
+    /// Records a numeric anomaly the sentinel caught at the current epoch.
+    pub fn record_anomaly(&mut self, step: usize, kind: String, injected: bool) {
+        self.anomalies.push(AnomalyRecord {
+            epoch: self.epoch,
+            step,
+            kind,
+            injected,
+        });
+    }
+
     /// All recorded spans, in record order.
     pub fn spans(&self) -> &[SpanRecord] {
         &self.spans
+    }
+
+    /// All caught numeric anomalies, in record order.
+    pub fn anomalies(&self) -> &[AnomalyRecord] {
+        &self.anomalies
     }
 
     /// All step-attributed memory events, in record order.
@@ -388,7 +421,12 @@ impl TraceRecorder {
 
     /// Total recorded events of every type.
     pub fn len(&self) -> usize {
-        self.spans.len() + self.mem.len() + self.peaks.len() + self.drift.len() + self.allocs.len()
+        self.spans.len()
+            + self.mem.len()
+            + self.peaks.len()
+            + self.drift.len()
+            + self.allocs.len()
+            + self.anomalies.len()
     }
 
     /// Whether nothing has been recorded.
@@ -455,6 +493,12 @@ impl TraceRecorder {
                 a.misses,
                 a.bytes_recycled,
                 jnum(a.hit_rate()),
+            ));
+        }
+        for a in &self.anomalies {
+            out.push_str(&format!(
+                "{{\"type\":\"anomaly\",\"epoch\":{},\"step\":{},\"kind\":\"{}\",\"injected\":{}}}\n",
+                a.epoch, a.step, a.kind, a.injected,
             ));
         }
         out
@@ -538,6 +582,16 @@ impl TraceRecorder {
                 "\n  alloc     {} epochs, pool {hits} hits / {misses} misses ({:.1}% hit rate), {bytes} bytes recycled",
                 self.allocs.len(),
                 rate * 100.0,
+            ));
+        }
+        if !self.anomalies.is_empty() {
+            let injected = self.anomalies.iter().filter(|a| a.injected).count();
+            out.push_str(&format!(
+                "\n  anomaly   {} caught ({injected} injected), first at epoch {} step {} ({})",
+                self.anomalies.len(),
+                self.anomalies[0].epoch,
+                self.anomalies[0].step,
+                self.anomalies[0].kind,
             ));
         }
         out
@@ -788,7 +842,10 @@ mod tests {
         t.record_peak(7, 128, vec![("blocks", 128), ("labels", 0)]);
         t.record_drift(7, 150, 128);
         t.record_alloc(7, 30, 10, 4096);
-        assert_eq!(t.len(), 6);
+        t.record_anomaly(8, "non-finite loss".to_string(), true);
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.anomalies().len(), 1);
+        assert_eq!(t.anomalies()[0].epoch, 2);
         assert_eq!(t.spans()[0].epoch, 2);
         assert_eq!(t.spans()[1].step, Some(7));
         assert!((t.max_drift_ratio() - 128.0 / 150.0).abs() < 1e-12);
@@ -796,7 +853,7 @@ mod tests {
 
         let jsonl = t.to_jsonl();
         let lines = validate_jsonl(&jsonl).expect("exported trace must be valid JSONL");
-        assert_eq!(lines, 6);
+        assert_eq!(lines, 7);
         assert!(jsonl.contains("\"type\":\"span\""));
         assert!(jsonl.contains("\"kind\":\"sample\""));
         assert!(jsonl.contains("\"step\":null"));
@@ -805,12 +862,15 @@ mod tests {
         assert!(jsonl.contains("\"type\":\"drift\""));
         assert!(jsonl.contains("\"type\":\"alloc\""));
         assert!(jsonl.contains("\"bytes_recycled\":4096"));
+        assert!(jsonl.contains("\"type\":\"anomaly\""));
+        assert!(jsonl.contains("\"injected\":true"));
 
         let summary = t.summary();
         assert!(summary.contains("sample"), "{summary}");
         assert!(summary.contains("drift"), "{summary}");
         assert!(summary.contains("all estimates admissible"), "{summary}");
         assert!(summary.contains("bytes recycled"), "{summary}");
+        assert!(summary.contains("1 caught (1 injected)"), "{summary}");
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Property tests of the v2 checkpoint format's corruption resistance:
+//! any truncation and any single-bit flip of a valid checkpoint file is
+//! rejected by the CRC/format validation with a structured error —
+//! never silently loaded, never a panic.
+
+use std::path::PathBuf;
+
+use betty_nn::{load_train_state, save_train_state, AdamState, CheckpointError, TrainState};
+use betty_tensor::Tensor;
+use proptest::prelude::*;
+
+/// A representative session checkpoint exercising every section type:
+/// params, Adam moments, RNG streams, counters, floats, loss history,
+/// and the config fingerprint.
+fn full_state() -> TrainState {
+    let params = vec![
+        Tensor::from_vec(vec![0.5, -1.25, 3.0, 0.0, 7.5, -0.125], &[2, 3]).unwrap(),
+        Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap(),
+    ];
+    let moments = params
+        .iter()
+        .map(|p| Some((Tensor::zeros(p.shape()), Tensor::ones(p.shape()))))
+        .collect();
+    TrainState {
+        adam: Some(AdamState { t: 42, moments }),
+        rngs: vec![0x1234_5678_9abc_def1, 0xfeed_beef_0000_0003],
+        counters: vec![7, 310, 99],
+        floats: vec![0.8125],
+        history: vec![2.0, 1.5, 1.25],
+        fingerprint: Some(0xdead_beef_cafe_f00d),
+        params,
+    }
+}
+
+/// The canonical serialized bytes of [`full_state`].
+fn checkpoint_bytes(dir: &str) -> Vec<u8> {
+    let path = tmp(dir, "canonical");
+    save_train_state(&full_state(), &path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+fn tmp(dir: &str, name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("betty-durability-{dir}-{name}-{}", std::process::id()))
+}
+
+/// Writes `bytes` and asserts loading fails with `Format` (not `Io`,
+/// which would mean we never got to validation, and certainly not `Ok`).
+fn assert_rejected(dir: &str, bytes: &[u8]) {
+    let path = tmp(dir, "mutated");
+    std::fs::write(&path, bytes).unwrap();
+    let result = load_train_state(&path);
+    let _ = std::fs::remove_file(&path);
+    match result {
+        Err(CheckpointError::Format(_)) => {}
+        Err(CheckpointError::Io(e)) => panic!("corruption surfaced as an I/O error: {e}"),
+        Ok(_) => panic!("corrupted checkpoint loaded successfully"),
+    }
+}
+
+#[test]
+fn pristine_checkpoint_roundtrips() {
+    let path = tmp("roundtrip", "ok");
+    let state = full_state();
+    save_train_state(&state, &path).unwrap();
+    assert_eq!(load_train_state(&path).unwrap(), state);
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Truncating a checkpoint at any point — mid-magic, mid-header,
+    /// mid-payload, mid-CRC — is always a Format error.
+    #[test]
+    fn any_truncation_is_rejected(frac in 0.0f64..1.0) {
+        let bytes = checkpoint_bytes("trunc");
+        let cut = (((bytes.len() as f64) * frac) as usize).min(bytes.len() - 1);
+        assert_rejected("trunc", &bytes[..cut]);
+    }
+
+    /// Flipping any single bit anywhere in the file is always a Format
+    /// error: either the magic/section structure breaks, or a section
+    /// CRC no longer matches.
+    #[test]
+    fn any_single_bit_flip_is_rejected(pos in 0usize..4096, bit in 0usize..8) {
+        let mut bytes = checkpoint_bytes("bitflip");
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        assert_rejected("bitflip", &bytes);
+    }
+}

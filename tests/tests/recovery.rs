@@ -183,6 +183,7 @@ fn fault_and_recovery_sequence_is_deterministic() {
             capacity_jitter: 0.2,
             transfer_stall_rate: 0.3,
             transfer_stall_sec: 0.01,
+            ..FaultPlan::default()
         }),
         retry: RetryPolicy {
             max_retries: 8,
