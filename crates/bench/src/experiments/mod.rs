@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod ext_alloc;
+pub mod ext_elastic;
 pub mod ext_multi_gpu;
 pub mod ext_overhead;
 pub mod ext_pipeline;
@@ -41,6 +42,7 @@ pub fn run_all(profile: Profile) {
     table7::run(profile);
     ablation::run(profile);
     ext_multi_gpu::run(profile);
+    ext_elastic::run(profile);
     ext_overhead::run(profile);
     ext_pipeline::run(profile);
     ext_recovery::run(profile);

@@ -108,6 +108,39 @@ impl Args {
             .map(Some)
     }
 
+    /// Comma-separated list of `device:value` pairs (e.g.
+    /// `--fault-device-fail 1:3,2:0` or `--fault-straggler 0:2.5`),
+    /// parsed into `(usize, T)` tuples.
+    ///
+    /// # Errors
+    ///
+    /// Errors when a pair is missing its `:` or a side does not parse.
+    pub fn get_pair_list<T: std::str::FromStr>(
+        &self,
+        key: &str,
+    ) -> Result<Option<Vec<(usize, T)>>, ArgError> {
+        let Some(raw) = self.get(key) else {
+            return Ok(None);
+        };
+        raw.split(',')
+            .map(|part| {
+                let part = part.trim();
+                let (device, value) = part.split_once(':').ok_or_else(|| {
+                    ArgError(format!("--{key}: '{part}' is not a device:value pair"))
+                })?;
+                let device = device
+                    .trim()
+                    .parse()
+                    .map_err(|_| ArgError(format!("--{key}: bad device index '{device}'")))?;
+                let value = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ArgError(format!("--{key}: bad value '{value}'")))?;
+                Ok((device, value))
+            })
+            .collect::<Result<Vec<(usize, T)>, _>>()
+            .map(Some)
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +173,25 @@ mod tests {
         assert_eq!(a.get_usize_list("absent").unwrap(), None);
         let bad = parse(&["--fanouts", "10,x"]).unwrap();
         assert!(bad.get_usize_list("fanouts").is_err());
+    }
+
+    #[test]
+    fn pair_lists_parse() {
+        let a = parse(&["--fault-device-fail", "1:3, 2:0"]).unwrap();
+        assert_eq!(
+            a.get_pair_list::<usize>("fault-device-fail").unwrap(),
+            Some(vec![(1, 3), (2, 0)])
+        );
+        let s = parse(&["--fault-straggler", "0:2.5"]).unwrap();
+        assert_eq!(
+            s.get_pair_list::<f64>("fault-straggler").unwrap(),
+            Some(vec![(0, 2.5)])
+        );
+        assert_eq!(a.get_pair_list::<usize>("absent").unwrap(), None);
+        let bad = parse(&["--fault-device-fail", "3"]).unwrap();
+        assert!(bad.get_pair_list::<usize>("fault-device-fail").is_err());
+        let bad = parse(&["--fault-device-fail", "x:1"]).unwrap();
+        assert!(bad.get_pair_list::<usize>("fault-device-fail").is_err());
     }
 
     #[test]

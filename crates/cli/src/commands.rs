@@ -99,6 +99,10 @@ fn fault_plan(args: &Args) -> Result<Option<FaultPlan>, Box<dyn Error>> {
         "fault-stall-rate",
         "fault-stall-sec",
         "fault-nan-steps",
+        "fault-device-fail",
+        "fault-straggler",
+        "fault-link-rate",
+        "fault-link-stall-sec",
     ]
     .iter()
     .any(|key| args.get(key).is_some());
@@ -114,7 +118,31 @@ fn fault_plan(args: &Args) -> Result<Option<FaultPlan>, Box<dyn Error>> {
         transfer_stall_rate: args.get_or("fault-stall-rate", defaults.transfer_stall_rate)?,
         transfer_stall_sec: args.get_or("fault-stall-sec", defaults.transfer_stall_sec)?,
         nan_loss_steps: args.get_usize_list("fault-nan-steps")?.unwrap_or_default(),
+        device_fail_steps: args
+            .get_pair_list::<usize>("fault-device-fail")?
+            .unwrap_or_default(),
+        straggler_factors: args
+            .get_pair_list::<f64>("fault-straggler")?
+            .unwrap_or_default(),
+        link_stall_rate: args.get_or("fault-link-rate", defaults.link_stall_rate)?,
+        link_stall_sec: args.get_or("fault-link-stall-sec", defaults.link_stall_sec)?,
     }))
+}
+
+/// Builds the elastic device group from `--devices` and its tuning
+/// flags, validating any device-level fault specs against the group
+/// size so a malformed spec is a usage error, not a panic mid-run.
+fn device_group(args: &Args, devices: usize, config: &ExperimentConfig) -> Result<DeviceGroup, Box<dyn Error>> {
+    let mut group = DeviceGroup::new(devices);
+    group.allreduce_timeout_sec =
+        args.get_or("allreduce-timeout-ms", group.allreduce_timeout_sec * 1e3)? / 1e3;
+    group.max_device_retries = args.get_or("max-device-retries", group.max_device_retries)?;
+    group.straggler_threshold =
+        args.get_or("straggler-threshold", group.straggler_threshold)?;
+    if let Some(plan) = &config.fault_plan {
+        plan.validate_for_devices(devices).map_err(ArgError)?;
+    }
+    Ok(group)
 }
 
 fn mib(bytes: usize) -> f64 {
@@ -241,6 +269,7 @@ pub fn train(args: &Args) -> CmdResult {
             "--devices requires an explicit --k (auto-K is single-device)".into(),
         )));
     }
+    let group = device_group(args, devices.max(1), &config)?;
     let trace_out = args.get("trace-out").map(str::to_string);
     let trace_summary = args.has_flag("trace-summary");
     let ckpt_plan = match args.get("checkpoint-dir") {
@@ -319,8 +348,15 @@ pub fn train(args: &Args) -> CmdResult {
                     .parse()
                     .map_err(|_| ArgError(format!("--k: expected 'auto' or a number, got '{k_arg}'")))?;
                 if devices > 1 {
-                    let group = DeviceGroup::new(devices);
-                    let multi = runner.train_epoch_multi_device(&ds, kind, k, &group)?;
+                    let multi = runner.train_epoch_elastic(&ds, kind, k, &group, recovery)?;
+                    if multi.live_ranks < devices {
+                        println!(
+                            "epoch {epoch}: {} of {devices} ranks survived \
+                             (+{:.3}s failover overhead)",
+                            multi.live_ranks,
+                            multi.failover_overhead_sec()
+                        );
+                    }
                     (multi.combined, k)
                 } else {
                     (runner.train_epoch_betty(&ds, kind, k).map_err(betty::RunError::Train)?, k)

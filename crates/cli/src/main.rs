@@ -44,6 +44,19 @@ COMMANDS:
               exercise the numeric-anomaly sentinel)]
              [--retries N] [--retry-growth F] [--retry-headroom F]
              [--fault-jitter F] [--fault-stall-rate F] [--fault-stall-sec F]
+             elastic multi-device (with --devices D > 1):
+             [--fault-device-fail d:s,...  (kill device d after it
+              completes s micro-batches; survivors absorb its queue)]
+             [--fault-straggler d:f,...  (slow device d by factor f ≥ 1;
+              flagged when it exceeds the straggler threshold)]
+             [--fault-link-rate F] [--fault-link-stall-sec F  (transient
+              all-reduce stalls; at/above the timeout they are retried
+              with seeded exponential backoff)]
+             [--allreduce-timeout-ms M  (sync round timeout; default 100)]
+             [--max-device-retries N  (timed-out rounds retried before a
+              rank is declared lost; default 3)]
+             [--straggler-threshold F  (multiple of the median time per
+              unit work that flags a device; default 1.5)]
              [--anomaly-retries N  (epoch rollbacks allowed on NaN/Inf
               loss or gradients before aborting; default 1)]
              [--no-sentinel  (disable NaN/Inf detection and rollback)]
@@ -73,7 +86,8 @@ Presets: cora, pubmed, reddit, ogbn-arxiv, ogbn-products.
 
 EXIT CODES: 0 success, 1 usage/IO error, 2 no partitioning fits the
 device, 3 OOM recovery retries exhausted, 4 unrecoverable OOM,
-5 numeric anomaly persisted past the rollback budget.
+5 numeric anomaly persisted past the rollback budget, 6 every device
+of the elastic group was lost with work outstanding.
 ";
 
 fn main() -> ExitCode {
@@ -131,7 +145,8 @@ fn main() -> ExitCode {
 /// 1 usage/IO errors (including unreadable/corrupt checkpoints),
 /// 2 planning failure (no K fits), 3 recovery attempted but the retry
 /// budget ran out, 4 unrecoverable OOM (no retry was possible),
-/// 5 a numeric anomaly survived its rollback budget.
+/// 5 a numeric anomaly survived its rollback budget, 6 the elastic
+/// device group ran out of survivors.
 fn exit_code_for(top: &(dyn std::error::Error + 'static)) -> ExitCode {
     let mut cursor = Some(top);
     while let Some(err) = cursor {
@@ -142,6 +157,7 @@ fn exit_code_for(top: &(dyn std::error::Error + 'static)) -> ExitCode {
                 betty::RunError::Train(_) => ExitCode::from(4),
                 betty::RunError::Anomaly { .. } => ExitCode::from(5),
                 betty::RunError::Checkpoint(_) => ExitCode::FAILURE,
+                betty::RunError::DevicesExhausted(_) => ExitCode::from(6),
             };
         }
         if err.downcast_ref::<betty::TrainError>().is_some() {

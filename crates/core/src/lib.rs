@@ -61,7 +61,10 @@ pub use config::{ExperimentConfig, ModelKind};
 pub use durable::{latest_checkpoint, load_checkpoint_state, CheckpointPlan};
 pub use eval::{accuracy, accuracy_full_graph, predict, predict_full_graph};
 pub use fit::{fit, fit_with_log, FitConfig, FitReport};
-pub use multi::{DeviceGroup, MultiDeviceEpoch};
+pub use multi::{
+    lpt_assignment, simulate_elastic_schedule, DeviceGroup, DeviceHealth, DevicesExhausted,
+    ElasticSchedule, Failover, MultiDeviceEpoch,
+};
 pub use planner::{MemoryAwarePlanner, Plan, PlanError};
 pub use recovery::{RecoveryEntry, RecoveryEvent, RecoveryLog, RetryPolicy};
 pub use runner::{RunError, Runner, LSTM_TAPE_CONSTANT};
@@ -72,8 +75,8 @@ pub use trainer::{AnomalyKind, StepPhase, TrainError, Trainer, TrainerSnapshot};
 // Re-exported observability types (crate `betty-trace`), so trace
 // consumers — CLI, benches, tests — need no direct dependency.
 pub use betty_trace::{
-    validate_jsonl, DriftRecord, MemEvent, MemTimeline, PeakRecord, SpanKind, SpanRecord,
-    TraceRecorder,
+    validate_jsonl, DriftRecord, FaultRecord, MemEvent, MemTimeline, PeakRecord, SpanKind,
+    SpanRecord, TraceRecorder,
 };
 
 use betty_device::AggregatorKind;

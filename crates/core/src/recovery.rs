@@ -143,6 +143,52 @@ pub enum RecoveryEvent {
         /// Recovery attempts that were consumed.
         attempts: usize,
     },
+    /// A device of the simulated group was declared lost — mid-epoch
+    /// (scheduled failure) or at the all-reduce (link retries
+    /// exhausted).
+    DeviceLost {
+        /// Which device was lost.
+        device: usize,
+        /// Micro-batches the device completed before it was lost.
+        completed_steps: usize,
+        /// Surviving ranks after the loss.
+        live_ranks: usize,
+    },
+    /// A lost device's unfinished micro-batches were re-packed onto
+    /// survivors with the same LPT heuristic.
+    WorkMigrated {
+        /// Device the work came from.
+        from_device: usize,
+        /// Micro-batches that moved.
+        micro_batches: usize,
+        /// Surviving devices that absorbed them.
+        survivors: usize,
+    },
+    /// The ring all-reduce was rebuilt over the surviving ranks.
+    RingRebuilt {
+        /// Ranks in the new ring.
+        live_ranks: usize,
+        /// Modelled synchronization seconds over the new ring.
+        allreduce_sec: f64,
+    },
+    /// A device's attributed time per unit of work exceeded the group's
+    /// straggler threshold over the median device.
+    StragglerDetected {
+        /// The slow device.
+        device: usize,
+        /// Its slowdown relative to the group median.
+        slowdown: f64,
+    },
+    /// An all-reduce round timed out and was retried after a
+    /// seeded-jitter exponential backoff.
+    LinkRetry {
+        /// 1-based retry attempt within this sync.
+        attempt: usize,
+        /// Injected stall seconds that tripped the timeout.
+        stall_sec: f64,
+        /// Backoff waited before the retry, in seconds.
+        backoff_sec: f64,
+    },
 }
 
 impl fmt::Display for RecoveryEvent {
@@ -173,6 +219,58 @@ impl fmt::Display for RecoveryEvent {
             RecoveryEvent::Fault(FaultEvent::NanLoss { step }) => {
                 write!(f, "injected NaN loss at step {step}")
             }
+            RecoveryEvent::Fault(FaultEvent::DeviceFail {
+                device,
+                completed_steps,
+            }) => write!(
+                f,
+                "injected failure of device {device} after {completed_steps} steps"
+            ),
+            RecoveryEvent::Fault(FaultEvent::LinkStall { round, stall_sec }) => write!(
+                f,
+                "injected {stall_sec:.3}s stall on all-reduce round {round}"
+            ),
+            RecoveryEvent::DeviceLost {
+                device,
+                completed_steps,
+                live_ranks,
+            } => write!(
+                f,
+                "device {device} lost after {completed_steps} completed steps; \
+                 {live_ranks} ranks remain"
+            ),
+            RecoveryEvent::WorkMigrated {
+                from_device,
+                micro_batches,
+                survivors,
+            } => write!(
+                f,
+                "migrated {micro_batches} unfinished micro-batches from device \
+                 {from_device} onto {survivors} survivors (LPT re-pack)"
+            ),
+            RecoveryEvent::RingRebuilt {
+                live_ranks,
+                allreduce_sec,
+            } => write!(
+                f,
+                "ring all-reduce rebuilt over {live_ranks} ranks \
+                 ({:.3} ms sync)",
+                allreduce_sec * 1e3
+            ),
+            RecoveryEvent::StragglerDetected { device, slowdown } => write!(
+                f,
+                "device {device} flagged as straggler ({slowdown:.2}x the \
+                 median time per unit work); degraded but still serving"
+            ),
+            RecoveryEvent::LinkRetry {
+                attempt,
+                stall_sec,
+                backoff_sec,
+            } => write!(
+                f,
+                "all-reduce retry {attempt}: round timed out ({stall_sec:.3}s \
+                 stall); backing off {backoff_sec:.3}s"
+            ),
             RecoveryEvent::AnomalyRollback {
                 attempt,
                 step,
@@ -298,6 +396,31 @@ impl RecoveryLog {
         self.count(|e| matches!(e, RecoveryEvent::Exhausted { .. })) > 0
     }
 
+    /// Number of devices declared lost.
+    pub fn devices_lost(&self) -> usize {
+        self.count(|e| matches!(e, RecoveryEvent::DeviceLost { .. }))
+    }
+
+    /// Number of LPT work migrations off lost devices.
+    pub fn work_migrations(&self) -> usize {
+        self.count(|e| matches!(e, RecoveryEvent::WorkMigrated { .. }))
+    }
+
+    /// Number of ring-all-reduce rebuilds over surviving ranks.
+    pub fn ring_rebuilds(&self) -> usize {
+        self.count(|e| matches!(e, RecoveryEvent::RingRebuilt { .. }))
+    }
+
+    /// Number of devices flagged as stragglers.
+    pub fn stragglers_detected(&self) -> usize {
+        self.count(|e| matches!(e, RecoveryEvent::StragglerDetected { .. }))
+    }
+
+    /// Number of timed-out all-reduce rounds retried with backoff.
+    pub fn link_retries(&self) -> usize {
+        self.count(|e| matches!(e, RecoveryEvent::LinkRetry { .. }))
+    }
+
     fn count(&self, pred: impl Fn(&RecoveryEvent) -> bool) -> usize {
         self.entries.iter().filter(|e| pred(&e.event)).count()
     }
@@ -323,6 +446,19 @@ impl RecoveryLog {
                 ""
             }
         );
+        let elastic = (
+            self.devices_lost(),
+            self.work_migrations(),
+            self.link_retries(),
+            self.stragglers_detected(),
+        );
+        if elastic != (0, 0, 0, 0) {
+            out.push_str(&format!(
+                "\nelastic: {} devices lost, {} work migrations, \
+                 {} link retries, {} stragglers",
+                elastic.0, elastic.1, elastic.2, elastic.3
+            ));
+        }
         for entry in &self.entries {
             out.push_str(&format!("\n  [epoch {}] {}", entry.epoch, entry.event));
         }
@@ -419,6 +555,54 @@ mod tests {
         log.record(RecoveryEvent::Exhausted { attempts: 3 });
         assert!(log.exhausted());
         assert!(log.summary().contains("EXHAUSTED"));
+    }
+
+    #[test]
+    fn elastic_events_are_counted_and_summarized() {
+        let mut log = RecoveryLog::new();
+        log.record(RecoveryEvent::Fault(FaultEvent::DeviceFail {
+            device: 1,
+            completed_steps: 2,
+        }));
+        log.record(RecoveryEvent::DeviceLost {
+            device: 1,
+            completed_steps: 2,
+            live_ranks: 3,
+        });
+        log.record(RecoveryEvent::WorkMigrated {
+            from_device: 1,
+            micro_batches: 4,
+            survivors: 3,
+        });
+        log.record(RecoveryEvent::RingRebuilt {
+            live_ranks: 3,
+            allreduce_sec: 0.0015,
+        });
+        log.record(RecoveryEvent::StragglerDetected {
+            device: 2,
+            slowdown: 2.5,
+        });
+        log.record(RecoveryEvent::LinkRetry {
+            attempt: 1,
+            stall_sec: 0.5,
+            backoff_sec: 0.05,
+        });
+        assert_eq!(log.devices_lost(), 1);
+        assert_eq!(log.work_migrations(), 1);
+        assert_eq!(log.ring_rebuilds(), 1);
+        assert_eq!(log.stragglers_detected(), 1);
+        assert_eq!(log.link_retries(), 1);
+        assert_eq!(log.injected_faults(), 1);
+        let summary = log.summary();
+        assert!(
+            summary.contains("1 devices lost, 1 work migrations, 1 link retries, 1 stragglers"),
+            "{summary}"
+        );
+        assert!(summary.contains("device 1 lost after 2 completed steps"), "{summary}");
+        assert!(summary.contains("migrated 4 unfinished micro-batches"), "{summary}");
+        assert!(summary.contains("rebuilt over 3 ranks"), "{summary}");
+        assert!(summary.contains("flagged as straggler"), "{summary}");
+        assert!(summary.contains("all-reduce retry 1"), "{summary}");
     }
 
     #[test]

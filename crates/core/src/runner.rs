@@ -53,6 +53,11 @@ pub enum RunError {
     /// A durable checkpoint could not be written, read, or applied
     /// (I/O failure, corruption, or a config-fingerprint mismatch).
     Checkpoint(String),
+    /// Every device of the elastic group was declared lost with
+    /// unfinished work outstanding — there is no survivor to migrate
+    /// onto, so the epoch cannot complete (the CLI maps this to its own
+    /// exit code).
+    DevicesExhausted(crate::multi::DevicesExhausted),
 }
 
 impl fmt::Display for RunError {
@@ -69,6 +74,7 @@ impl fmt::Display for RunError {
                 "numeric anomaly persisted after {rollbacks} rollbacks: {source}"
             ),
             RunError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
+            RunError::DevicesExhausted(e) => write!(f, "elastic group failed: {e}"),
         }
     }
 }
@@ -81,6 +87,7 @@ impl std::error::Error for RunError {
             RunError::RetryExhausted { source, .. } => Some(source),
             RunError::Anomaly { source, .. } => Some(source),
             RunError::Checkpoint(_) => None,
+            RunError::DevicesExhausted(e) => Some(e),
         }
     }
 }
@@ -111,6 +118,10 @@ pub struct Runner {
     seed: u64,
     cached_parts: Option<CachedParts>,
     epochs_run: usize,
+    /// All-reduce link-stall injector, armed once per run from the
+    /// config's fault plan so its seeded stream continues across epochs
+    /// (mirrors the alloc/transfer injectors owned by the trainer).
+    link_faults: Option<betty_device::LinkFaultInjector>,
 }
 
 /// A reusable output-node assignment from a previous epoch's plan.
@@ -231,8 +242,10 @@ impl Runner {
         );
         trainer.set_pooling(config.pool);
         trainer.set_sentinel(config.sentinel);
+        let mut link_faults = None;
         if let Some(fault_plan) = &config.fault_plan {
             trainer.arm_faults(fault_plan);
+            link_faults = Some(fault_plan.link_injector());
         }
         Self {
             config: config.clone(),
@@ -243,6 +256,7 @@ impl Runner {
             seed,
             cached_parts: None,
             epochs_run: 0,
+            link_faults,
         }
     }
 
@@ -756,18 +770,325 @@ impl Runner {
         let per_device = crate::multi::fold_by_device(&steps, &assignment, group.num_devices);
         let grad_bytes =
             self.trainer.model().total_param_count() * betty_device::BYTES_PER_VALUE;
-        let allreduce_sec = group.allreduce_sec(grad_bytes);
+        let allreduce_sec = group.allreduce_sec(grad_bytes, group.num_devices);
         if let Some(tr) = self.trainer.trace_mut() {
             // Simulated ring all-reduce: the span carries the modelled
             // synchronization seconds.
             let at = tr.now_sec();
             tr.record_span(SpanKind::Allreduce, None, at, allreduce_sec);
         }
+        let wall = per_device
+            .iter()
+            .map(EpochStats::total_sec)
+            .fold(0.0, f64::max)
+            + allreduce_sec;
         Ok(crate::multi::MultiDeviceEpoch {
             combined,
             per_device,
             assignment,
             allreduce_sec,
+            health: vec![crate::multi::DeviceHealth::Healthy; group.num_devices],
+            live_ranks: group.num_devices,
+            sync_overhead_sec: 0.0,
+            fault_free_wall_sec: wall,
+        })
+    }
+
+    /// One epoch of *elastic* data-parallel training: like
+    /// [`Runner::train_epoch_multi_device`], but the group survives the
+    /// device-level faults of the armed
+    /// [`betty_device::FaultPlan`] — scheduled device failures,
+    /// per-device straggler slowdowns, and transient all-reduce link
+    /// stalls.
+    ///
+    /// The epoch runs in three phases:
+    ///
+    /// 1. **Schedule** (pre-numeric): the fault plan's
+    ///    `device_fail_steps` are replayed against the LPT schedule;
+    ///    each lost device's unfinished micro-batches are LPT re-packed
+    ///    onto survivors. If the migrated load no longer fits the
+    ///    survivors' headroom budget (Eq. 5 estimate vs.
+    ///    [`RetryPolicy`](crate::RetryPolicy) planning capacity), `K`
+    ///    is escalated through the same recovery loop as OOM retries
+    ///    until it fits or the budget runs out.
+    /// 2. **Numerics**: every micro-batch executes once on the shared
+    ///    model in plan order — identical to the fault-free path, which
+    ///    is why losses and parameters are bit-identical with and
+    ///    without injected device faults (proven by test).
+    /// 3. **Attribution**: per-device timing is folded under straggler
+    ///    slowdowns, stragglers are flagged against the group median,
+    ///    and the ring all-reduce is simulated over the surviving ranks
+    ///    with timeout/backoff retries; exhausted retries shed the
+    ///    highest surviving rank and rebuild the ring.
+    ///
+    /// Every failover decision is appended to `log` and, when tracing,
+    /// recorded as `failover`/`link_retry` spans and fault records.
+    ///
+    /// # Errors
+    ///
+    /// * [`RunError::DevicesExhausted`] if every device is lost with
+    ///   unfinished work outstanding;
+    /// * [`RunError::Plan`] if the migrated load cannot be made to fit
+    ///   survivors within the retry budget;
+    /// * [`RunError::Train`] if a micro-batch fails to execute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the armed fault plan fails
+    /// [`betty_device::FaultPlan::validate_for_devices`] for this
+    /// group's size (the CLI validates before construction).
+    pub fn train_epoch_elastic(
+        &mut self,
+        dataset: &Dataset,
+        strategy: StrategyKind,
+        k: usize,
+        group: &crate::multi::DeviceGroup,
+        log: &mut RecoveryLog,
+    ) -> Result<crate::multi::MultiDeviceEpoch, RunError> {
+        self.begin_traced_epoch();
+        let fault = self.config.fault_plan.clone().unwrap_or_default();
+        fault
+            .validate_for_devices(group.num_devices)
+            .unwrap_or_else(|e| panic!("invalid fault plan for elastic group: {e}"));
+        let policy = self.config.retry.clone();
+        let capacity = self.config.capacity_bytes;
+        let batch = self.traced_sample_full_batch(dataset);
+        let strategy_impl = build_strategy(strategy, self.seed);
+
+        // Phase 1: schedule under scheduled device failures, escalating
+        // K until the migrated load fits the survivors' headroom budget.
+        let mut attempt = 0usize;
+        let mut k_now = k;
+        let (plan, schedule) = loop {
+            let plan = self
+                .planner
+                .plan_with_capacity(
+                    &batch,
+                    strategy_impl.as_ref(),
+                    k_now,
+                    policy.planning_capacity(capacity, attempt),
+                )
+                .map_err(RunError::Plan)?;
+            let work: Vec<f64> = plan
+                .micro_batches
+                .iter()
+                .map(|mb| mb.total_edges() as f64)
+                .collect();
+            let schedule = crate::multi::simulate_elastic_schedule(
+                &work,
+                group.num_devices,
+                &fault.device_fail_steps,
+            )
+            .map_err(|e| {
+                log.record(RecoveryEvent::Exhausted { attempts: attempt });
+                RunError::DevicesExhausted(e)
+            })?;
+            // Eq. 5 feasibility re-check on the survivors: every
+            // migrated micro-batch must fit a survivor's budget with
+            // one extra headroom step (migration never changes a
+            // micro-batch's own peak, only who pays it).
+            let survivor_capacity = policy.planning_capacity(capacity, attempt + 1);
+            let worst_migrated = schedule
+                .failovers
+                .iter()
+                .flat_map(|fo| fo.migrated.iter())
+                .map(|&job| plan.estimates[job].peak_bytes())
+                .max()
+                .unwrap_or(0);
+            if worst_migrated <= survivor_capacity {
+                break (plan, schedule);
+            }
+            if attempt >= policy.max_retries {
+                log.record(RecoveryEvent::Exhausted { attempts: attempt });
+                return Err(RunError::Plan(PlanError::CapacityUnreachable {
+                    max_partitions: self.config.max_partitions,
+                    best_peak: worst_migrated,
+                    capacity: survivor_capacity,
+                }));
+            }
+            attempt += 1;
+            k_now = policy
+                .escalate_k(plan.micro_batches.len())
+                .min(self.config.max_partitions);
+        };
+        self.record_plan_spans(&plan);
+
+        // Phase 2: numerics — identical to the fault-free path.
+        let (mut combined, steps) = self
+            .trainer
+            .micro_batch_epoch_with_steps(dataset, &plan.micro_batches)
+            .map_err(RunError::Train)?;
+        self.annotate_drift(&mut combined, &steps, &plan);
+        combined.host_bytes = host_staging_bytes(dataset, &plan.micro_batches)
+            + batch.total_edges() * 3 * betty_device::BYTES_PER_VALUE;
+        combined.oom_retries = attempt;
+
+        // Phase 3: timing attribution, straggler detection, and the
+        // elastic all-reduce.
+        let d = group.num_devices;
+        let grad_bytes =
+            self.trainer.model().total_param_count() * betty_device::BYTES_PER_VALUE;
+        let per_device = crate::multi::fold_by_device_scaled(
+            &steps,
+            &schedule.assignment,
+            d,
+            &fault.straggler_factors,
+        );
+        let baseline = crate::multi::fold_by_device(&steps, &schedule.initial_assignment, d);
+        let fault_free_wall_sec = baseline
+            .iter()
+            .map(EpochStats::total_sec)
+            .fold(0.0, f64::max)
+            + group.allreduce_sec(grad_bytes, d);
+        let mut health = schedule.health.clone();
+        let mut injected_faults = 0usize;
+
+        for fo in &schedule.failovers {
+            injected_faults += 1;
+            log.record(RecoveryEvent::Fault(
+                betty_device::FaultEvent::DeviceFail {
+                    device: fo.device,
+                    completed_steps: fo.completed_steps,
+                },
+            ));
+            log.record(RecoveryEvent::DeviceLost {
+                device: fo.device,
+                completed_steps: fo.completed_steps,
+                live_ranks: fo.live_ranks,
+            });
+            log.record(RecoveryEvent::WorkMigrated {
+                from_device: fo.device,
+                micro_batches: fo.migrated.len(),
+                survivors: fo.live_ranks,
+            });
+            log.record(RecoveryEvent::RingRebuilt {
+                live_ranks: fo.live_ranks,
+                allreduce_sec: group.allreduce_sec(grad_bytes, fo.live_ranks),
+            });
+            if let Some(tr) = self.trainer.trace_mut() {
+                let at = tr.now_sec();
+                tr.record_span(SpanKind::Failover, Some(fo.device), at, 0.0);
+                tr.record_fault(
+                    "device_fail",
+                    format!(
+                        "device {} lost after {} steps; {} micro-batches migrated",
+                        fo.device,
+                        fo.completed_steps,
+                        fo.migrated.len()
+                    ),
+                );
+            }
+        }
+
+        // Straggler detection on the attributed (post-failover,
+        // slowdown-scaled) timings.
+        let mut work_per_device = vec![0.0f64; d];
+        for (job, &device) in schedule.assignment.iter().enumerate() {
+            work_per_device[device] += plan.micro_batches[job].total_edges() as f64;
+        }
+        let stragglers = crate::multi::detect_stragglers(
+            &per_device,
+            &work_per_device,
+            group.straggler_threshold,
+        );
+        for &(device, slowdown) in &stragglers {
+            if health[device] == crate::multi::DeviceHealth::Healthy {
+                health[device] = crate::multi::DeviceHealth::Degraded;
+            }
+            log.record(RecoveryEvent::StragglerDetected { device, slowdown });
+            if let Some(tr) = self.trainer.trace_mut() {
+                tr.record_fault(
+                    "straggler",
+                    format!("device {device} at {slowdown:.2}x the median time per work"),
+                );
+            }
+        }
+
+        // Elastic all-reduce over the surviving ranks.
+        let mut live: Vec<usize> = (0..d)
+            .filter(|&dev| health[dev] != crate::multi::DeviceHealth::Failed)
+            .collect();
+        let sync = crate::multi::simulate_allreduce(
+            group,
+            grad_bytes,
+            &mut live,
+            self.link_faults.as_mut(),
+        );
+        for retry in &sync.retries {
+            log.record(RecoveryEvent::LinkRetry {
+                attempt: retry.attempt,
+                stall_sec: retry.stall_sec,
+                backoff_sec: retry.backoff_sec,
+            });
+            if let Some(tr) = self.trainer.trace_mut() {
+                let at = tr.now_sec();
+                tr.record_span(
+                    SpanKind::LinkRetry,
+                    Some(retry.attempt),
+                    at,
+                    group.allreduce_timeout_sec + retry.backoff_sec,
+                );
+            }
+        }
+        for (&lost, &(ranks, sec)) in sync.lost_ranks.iter().zip(&sync.rebuilt) {
+            health[lost] = crate::multi::DeviceHealth::Failed;
+            let completed = steps
+                .iter()
+                .zip(&schedule.assignment)
+                .filter(|(_, &dev)| dev == lost)
+                .count();
+            log.record(RecoveryEvent::DeviceLost {
+                device: lost,
+                completed_steps: completed,
+                live_ranks: ranks,
+            });
+            log.record(RecoveryEvent::RingRebuilt {
+                live_ranks: ranks,
+                allreduce_sec: sec,
+            });
+            if let Some(tr) = self.trainer.trace_mut() {
+                let at = tr.now_sec();
+                tr.record_span(SpanKind::Failover, Some(lost), at, 0.0);
+                tr.record_fault(
+                    "link_exhausted",
+                    format!("rank {lost} shed after sync retries ran out; ring now {ranks}"),
+                );
+            }
+        }
+        if let Some(tr) = self.trainer.trace_mut() {
+            let at = tr.now_sec();
+            tr.record_span(SpanKind::Allreduce, None, at, sync.total_sec);
+        }
+        for event in self.trainer.drain_fault_events() {
+            injected_faults += 1;
+            log.record(RecoveryEvent::Fault(event));
+        }
+        if let Some(link) = self.link_faults.as_mut() {
+            for event in betty_device::FaultEvents::drain_events(link) {
+                injected_faults += 1;
+                log.record(RecoveryEvent::Fault(event));
+            }
+        }
+
+        combined.devices_lost = schedule.failovers.len() + sync.lost_ranks.len();
+        combined.migrated_steps = schedule
+            .failovers
+            .iter()
+            .map(|fo| fo.migrated.len())
+            .sum();
+        combined.link_retries = sync.retries.len();
+        combined.stragglers_detected = stragglers.len();
+        combined.injected_faults = injected_faults;
+        let live_ranks = live.len();
+        Ok(crate::multi::MultiDeviceEpoch {
+            combined,
+            per_device,
+            assignment: schedule.assignment,
+            allreduce_sec: sync.final_ring_sec,
+            health,
+            live_ranks,
+            sync_overhead_sec: sync.total_sec - sync.final_ring_sec,
+            fault_free_wall_sec,
         })
     }
 

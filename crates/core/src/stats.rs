@@ -80,6 +80,17 @@ pub struct EpochStats {
     /// Bytes handed back out from recycled buffers instead of the heap
     /// (`4 * elements` summed over every pool hit).
     pub pool_bytes_recycled: u64,
+    /// Devices of the simulated group declared lost during this epoch
+    /// (mid-epoch failures plus all-reduce exhaustion; only the elastic
+    /// multi-device path sets this).
+    pub devices_lost: usize,
+    /// Micro-batches migrated off lost devices onto survivors.
+    pub migrated_steps: usize,
+    /// Timed-out all-reduce rounds that were retried with backoff.
+    pub link_retries: usize,
+    /// Devices flagged as stragglers (attributed time per unit work
+    /// exceeded the group's threshold over the median device).
+    pub stragglers_detected: usize,
 }
 
 impl EpochStats {

@@ -439,11 +439,46 @@ impl Trainer {
 
     /// Drains injected-fault events from the device, the transfer link,
     /// and the trainer's NaN-loss poisoner (allocation events first), for
-    /// the recovery log.
+    /// the recovery log. When tracing, each drained event is also
+    /// forwarded into the trace stream as a fault record, so the JSONL
+    /// export carries the injected faults alongside spans and timelines.
     pub fn drain_fault_events(&mut self) -> Vec<FaultEvent> {
         let mut events = self.device.drain_fault_events();
         events.extend(self.transfer.drain_fault_events());
         events.append(&mut self.nan_events);
+        if let Some(tr) = self.trace.as_mut() {
+            for event in &events {
+                let (kind, detail) = match event {
+                    FaultEvent::AllocFailure {
+                        step, requested, ..
+                    } => (
+                        "alloc_failure",
+                        format!("step {step}: {requested} bytes denied"),
+                    ),
+                    FaultEvent::TransferStall {
+                        transfer_index,
+                        stall_sec,
+                    } => (
+                        "transfer_stall",
+                        format!("transfer {transfer_index}: +{stall_sec:.3}s"),
+                    ),
+                    FaultEvent::NanLoss { step } => {
+                        ("nan_loss", format!("step {step}: loss poisoned"))
+                    }
+                    FaultEvent::DeviceFail {
+                        device,
+                        completed_steps,
+                    } => (
+                        "device_fail",
+                        format!("device {device} after {completed_steps} steps"),
+                    ),
+                    FaultEvent::LinkStall { round, stall_sec } => {
+                        ("link_stall", format!("round {round}: +{stall_sec:.3}s"))
+                    }
+                };
+                tr.record_fault(kind, detail);
+            }
+        }
         events
     }
 

@@ -26,10 +26,11 @@ use rand_pcg::Pcg64Mcg;
 
 use std::collections::BTreeSet;
 
-/// Seed-domain separators so the alloc and transfer streams are
+/// Seed-domain separators so the alloc, transfer, and link streams are
 /// independent even though they come from one user-facing seed.
 const ALLOC_STREAM_SALT: u64 = 0xA110_C8ED_FA17_0001;
 const TRANSFER_STREAM_SALT: u64 = 0x7247_5FE2_FA17_0002;
+const LINK_STREAM_SALT: u64 = 0x1141_C057_FA17_0003;
 
 /// A declarative, seedable schedule of injected faults.
 ///
@@ -61,6 +62,25 @@ pub struct FaultPlan {
     /// happens in the trainer, not the device, but lives here so one
     /// `FaultPlan` describes the whole fault schedule.
     pub nan_loss_steps: Vec<usize>,
+    /// Device-level failures for elastic multi-device training:
+    /// `(device, step)` means device `device` fails after completing
+    /// `step` micro-batches from its own queue within an epoch (`0` =
+    /// it dies before running anything). Scheduling-layer only — the
+    /// interpretation lives in the elastic device group; per-epoch and
+    /// deterministic, so chaos runs are replayable.
+    pub device_fail_steps: Vec<(usize, usize)>,
+    /// Per-device straggler slowdowns: `(device, factor)` multiplies
+    /// that device's attributed compute and transfer seconds by
+    /// `factor` (must be ≥ 1). Timing-layer only — numerics are
+    /// untouched.
+    pub straggler_factors: Vec<(usize, f64)>,
+    /// Probability in `[0, 1]` that one all-reduce attempt stalls on
+    /// the interconnect.
+    pub link_stall_rate: f64,
+    /// Extra seconds a stalled all-reduce attempt takes. Stalls at or
+    /// above the device group's timeout count as a timed-out round and
+    /// trigger a backoff retry.
+    pub link_stall_sec: f64,
 }
 
 impl Default for FaultPlan {
@@ -73,6 +93,10 @@ impl Default for FaultPlan {
             transfer_stall_rate: 0.0,
             transfer_stall_sec: 0.0,
             nan_loss_steps: Vec::new(),
+            device_fail_steps: Vec::new(),
+            straggler_factors: Vec::new(),
+            link_stall_rate: 0.0,
+            link_stall_sec: 0.0,
         }
     }
 }
@@ -88,16 +112,70 @@ impl FaultPlan {
             ("alloc_failure_rate", self.alloc_failure_rate),
             ("capacity_jitter", self.capacity_jitter),
             ("transfer_stall_rate", self.transfer_stall_rate),
+            ("link_stall_rate", self.link_stall_rate),
         ] {
             if !(0.0..=1.0).contains(&rate) {
                 return Err(format!("{name} must be in [0, 1], got {rate}"));
             }
         }
-        if !self.transfer_stall_sec.is_finite() || self.transfer_stall_sec < 0.0 {
-            return Err(format!(
-                "transfer_stall_sec must be finite and non-negative, got {}",
-                self.transfer_stall_sec
-            ));
+        for (name, sec) in [
+            ("transfer_stall_sec", self.transfer_stall_sec),
+            ("link_stall_sec", self.link_stall_sec),
+        ] {
+            if !sec.is_finite() || sec < 0.0 {
+                return Err(format!("{name} must be finite and non-negative, got {sec}"));
+            }
+        }
+        let mut seen_fails = BTreeSet::new();
+        for &(device, step) in &self.device_fail_steps {
+            if !seen_fails.insert((device, step)) {
+                return Err(format!(
+                    "device_fail_steps entry (device {device}, step {step}) is duplicated"
+                ));
+            }
+        }
+        let mut seen_stragglers = BTreeSet::new();
+        for &(device, factor) in &self.straggler_factors {
+            if !factor.is_finite() || factor < 1.0 {
+                return Err(format!(
+                    "straggler_factors entry (device {device}, factor {factor}): \
+                     slowdown factor must be finite and ≥ 1"
+                ));
+            }
+            if !seen_stragglers.insert(device) {
+                return Err(format!(
+                    "straggler_factors entry (device {device}, factor {factor}): \
+                     device {device} listed twice"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`FaultPlan::validate`] plus device-index range checks against a
+    /// concrete group size — the plan itself does not know how many
+    /// devices exist, so callers with a device group re-validate here.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description naming the first out-of-range entry.
+    pub fn validate_for_devices(&self, num_devices: usize) -> Result<(), String> {
+        self.validate()?;
+        for &(device, step) in &self.device_fail_steps {
+            if device >= num_devices {
+                return Err(format!(
+                    "device_fail_steps entry (device {device}, step {step}): \
+                     device index out of range for {num_devices} devices"
+                ));
+            }
+        }
+        for &(device, factor) in &self.straggler_factors {
+            if device >= num_devices {
+                return Err(format!(
+                    "straggler_factors entry (device {device}, factor {factor}): \
+                     device index out of range for {num_devices} devices"
+                ));
+            }
         }
         Ok(())
     }
@@ -109,6 +187,9 @@ impl FaultPlan {
             && self.capacity_jitter == 0.0
             && self.transfer_stall_rate == 0.0
             && self.nan_loss_steps.is_empty()
+            && self.device_fail_steps.is_empty()
+            && self.straggler_factors.is_empty()
+            && self.link_stall_rate == 0.0
     }
 
     /// Builds the allocation-side injector for this plan.
@@ -132,6 +213,19 @@ impl FaultPlan {
             stall_sec: self.transfer_stall_sec,
             rng: Pcg64Mcg::seed_from_u64(self.seed ^ TRANSFER_STREAM_SALT),
             transfers_seen: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Builds the all-reduce-link injector for this plan. One injector
+    /// should live for a whole run so its stream continues across
+    /// epochs, mirroring the other injectors.
+    pub fn link_injector(&self) -> LinkFaultInjector {
+        LinkFaultInjector {
+            stall_rate: self.link_stall_rate,
+            stall_sec: self.link_stall_sec,
+            rng: Pcg64Mcg::seed_from_u64(self.seed ^ LINK_STREAM_SALT),
+            rounds_seen: 0,
             events: Vec::new(),
         }
     }
@@ -174,6 +268,35 @@ pub enum FaultEvent {
         /// Global step index whose loss was poisoned.
         step: usize,
     },
+    /// A device of a simulated group failed mid-epoch (from
+    /// [`FaultPlan::device_fail_steps`]).
+    DeviceFail {
+        /// Which device failed.
+        device: usize,
+        /// Micro-batches the device completed from its queue before
+        /// failing.
+        completed_steps: usize,
+    },
+    /// An all-reduce attempt stalled on the interconnect.
+    LinkStall {
+        /// Zero-based index of the all-reduce attempt within this
+        /// injector's life.
+        round: u64,
+        /// Extra seconds added (or lost to the timeout).
+        stall_sec: f64,
+    },
+}
+
+/// Common surface of every fault injector: recorded events can be
+/// removed for the recovery log / trace, or counted in place. Inherent
+/// methods of the same names exist on each injector; this trait lets
+/// generic plumbing (event forwarding into `betty-trace`) treat the
+/// alloc, transfer, and link injectors uniformly.
+pub trait FaultEvents {
+    /// Removes and returns every event recorded since the last drain.
+    fn drain_events(&mut self) -> Vec<FaultEvent>;
+    /// Number of events currently recorded (not yet drained).
+    fn pending_events(&self) -> usize;
 }
 
 /// Runtime state injecting allocation faults into a
@@ -245,6 +368,16 @@ impl AllocFaultInjector {
     }
 }
 
+impl FaultEvents for AllocFaultInjector {
+    fn drain_events(&mut self) -> Vec<FaultEvent> {
+        AllocFaultInjector::drain_events(self)
+    }
+
+    fn pending_events(&self) -> usize {
+        AllocFaultInjector::pending_events(self)
+    }
+}
+
 /// Runtime state injecting stalls into a
 /// [`TransferModel`](crate::TransferModel).
 #[derive(Debug, Clone, PartialEq)]
@@ -284,6 +417,75 @@ impl TransferFaultInjector {
     }
 }
 
+impl FaultEvents for TransferFaultInjector {
+    fn drain_events(&mut self) -> Vec<FaultEvent> {
+        TransferFaultInjector::drain_events(self)
+    }
+
+    fn pending_events(&self) -> usize {
+        TransferFaultInjector::pending_events(self)
+    }
+}
+
+/// Runtime state injecting stalls into simulated all-reduce rounds.
+///
+/// Unlike the other injectors this one is consulted by the elastic
+/// device-group layer (crate `betty`), so its check method is public.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFaultInjector {
+    stall_rate: f64,
+    stall_sec: f64,
+    rng: Pcg64Mcg,
+    rounds_seen: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl LinkFaultInjector {
+    /// Decides whether this all-reduce attempt stalls; returns the
+    /// extra seconds and records the event if so. Draws nothing when
+    /// the stall rate is zero, so a no-fault plan leaves the generator
+    /// untouched.
+    pub fn check_round(&mut self) -> Option<f64> {
+        let round = self.rounds_seen;
+        self.rounds_seen += 1;
+        if self.stall_rate > 0.0 && self.rng.gen_bool(self.stall_rate) {
+            self.events.push(FaultEvent::LinkStall {
+                round,
+                stall_sec: self.stall_sec,
+            });
+            Some(self.stall_sec)
+        } else {
+            None
+        }
+    }
+
+    /// Seeded jitter in `[0, 1)` for exponential-backoff delays, drawn
+    /// from this injector's own stream so backoff timing is replayable.
+    pub fn backoff_jitter(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Removes and returns every event recorded since the last drain.
+    pub fn drain_events(&mut self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Number of events currently recorded (not yet drained).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+impl FaultEvents for LinkFaultInjector {
+    fn drain_events(&mut self) -> Vec<FaultEvent> {
+        LinkFaultInjector::drain_events(self)
+    }
+
+    fn pending_events(&self) -> usize {
+        LinkFaultInjector::pending_events(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,7 +498,7 @@ mod tests {
             capacity_jitter: 0.5,
             transfer_stall_rate: 0.25,
             transfer_stall_sec: 1e-3,
-            nan_loss_steps: Vec::new(),
+            ..FaultPlan::default()
         }
     }
 
@@ -428,6 +630,140 @@ mod tests {
                     ..
                 }
             )));
+    }
+
+    #[test]
+    fn validate_names_the_offending_device_fault_entry() {
+        let dup = FaultPlan {
+            device_fail_steps: vec![(1, 3), (0, 2), (1, 3)],
+            ..FaultPlan::default()
+        };
+        let msg = dup.validate().unwrap_err();
+        assert!(msg.contains("(device 1, step 3)"), "{msg}");
+        assert!(msg.contains("duplicated"), "{msg}");
+
+        let negative = FaultPlan {
+            straggler_factors: vec![(0, 2.0), (2, -0.5)],
+            ..FaultPlan::default()
+        };
+        let msg = negative.validate().unwrap_err();
+        assert!(msg.contains("(device 2, factor -0.5)"), "{msg}");
+
+        let twice = FaultPlan {
+            straggler_factors: vec![(0, 2.0), (0, 3.0)],
+            ..FaultPlan::default()
+        };
+        assert!(twice.validate().unwrap_err().contains("listed twice"));
+
+        let bad_rate = FaultPlan {
+            link_stall_rate: 2.0,
+            ..FaultPlan::default()
+        };
+        assert!(bad_rate.validate().unwrap_err().contains("link_stall_rate"));
+    }
+
+    #[test]
+    fn validate_for_devices_checks_ranges() {
+        let plan = FaultPlan {
+            device_fail_steps: vec![(3, 0)],
+            straggler_factors: vec![(1, 2.0)],
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_ok(), "plan alone cannot know the group");
+        assert!(plan.validate_for_devices(4).is_ok());
+        let msg = plan.validate_for_devices(3).unwrap_err();
+        assert!(msg.contains("(device 3, step 0)"), "{msg}");
+        assert!(msg.contains("out of range for 3 devices"), "{msg}");
+        let straggler_oob = FaultPlan {
+            straggler_factors: vec![(5, 1.5)],
+            ..FaultPlan::default()
+        };
+        let msg = straggler_oob.validate_for_devices(2).unwrap_err();
+        assert!(msg.contains("(device 5, factor 1.5)"), "{msg}");
+    }
+
+    #[test]
+    fn device_faults_make_the_plan_non_noop() {
+        for plan in [
+            FaultPlan {
+                device_fail_steps: vec![(0, 1)],
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                straggler_factors: vec![(0, 2.0)],
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                link_stall_rate: 0.5,
+                ..FaultPlan::default()
+            },
+        ] {
+            assert!(!plan.is_noop(), "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn link_stalls_are_seeded_and_recorded() {
+        let run = |seed: u64| {
+            let mut inj = FaultPlan {
+                seed,
+                link_stall_rate: 0.5,
+                link_stall_sec: 0.25,
+                ..FaultPlan::default()
+            }
+            .link_injector();
+            let stalls: Vec<Option<f64>> = (0..32).map(|_| inj.check_round()).collect();
+            (stalls, inj.drain_events())
+        };
+        let (a, a_ev) = run(11);
+        let (b, b_ev) = run(11);
+        assert_eq!(a, b);
+        assert_eq!(a_ev, b_ev);
+        let stalled = a.iter().flatten().count();
+        assert!(stalled > 0 && stalled < 32, "rate 0.5 over 32 rounds");
+        assert_eq!(a_ev.len(), stalled);
+        assert!(a_ev.iter().all(|e| matches!(
+            e,
+            FaultEvent::LinkStall {
+                stall_sec,
+                ..
+            } if *stall_sec == 0.25
+        )));
+    }
+
+    #[test]
+    fn zero_rate_link_injector_never_draws() {
+        let mut inj = FaultPlan::default().link_injector();
+        let pristine = inj.clone();
+        for _ in 0..16 {
+            assert_eq!(inj.check_round(), None);
+        }
+        assert_eq!(inj.rng, pristine.rng, "no randomness consumed");
+    }
+
+    #[test]
+    fn fault_events_trait_unifies_the_injectors() {
+        let plan = FaultPlan {
+            oom_steps: vec![0],
+            transfer_stall_rate: 1.0,
+            transfer_stall_sec: 0.1,
+            link_stall_rate: 1.0,
+            link_stall_sec: 0.2,
+            ..FaultPlan::default()
+        };
+        let mut alloc = plan.alloc_injector();
+        alloc.begin_step(0, 1000);
+        alloc.check_alloc(10, 0, 1000);
+        let mut transfer = plan.transfer_injector();
+        transfer.check_transfer();
+        let mut link = plan.link_injector();
+        link.check_round();
+        let injectors: Vec<&mut dyn FaultEvents> = vec![&mut alloc, &mut transfer, &mut link];
+        for inj in injectors {
+            assert_eq!(inj.pending_events(), 1);
+            assert_eq!(inj.drain_events().len(), 1);
+            assert_eq!(inj.pending_events(), 0);
+        }
     }
 
     #[test]

@@ -40,7 +40,8 @@ mod transfer;
 pub use device::{AllocationId, Device, MemoryCategory, OomError};
 pub use estimator::{AggregatorKind, MemoryEstimate, MemoryEstimator, ModelShape};
 pub use fault::{
-    AllocFaultInjector, AllocFaultKind, FaultEvent, FaultPlan, TransferFaultInjector,
+    AllocFaultInjector, AllocFaultKind, FaultEvent, FaultEvents, FaultPlan, LinkFaultInjector,
+    TransferFaultInjector,
 };
 pub use transfer::TransferModel;
 

@@ -47,11 +47,17 @@ pub enum SpanKind {
     Backward,
     /// Gradient all-reduce across a simulated device group.
     Allreduce,
+    /// An all-reduce retry window: a timed-out sync round plus its
+    /// seeded-jitter exponential backoff before the next attempt.
+    LinkRetry,
+    /// Elastic failover: migrating a lost device's unfinished
+    /// micro-batches onto survivors and rebuilding the ring.
+    Failover,
 }
 
 impl SpanKind {
     /// Every kind, in pipeline order.
-    pub const ALL: [SpanKind; 7] = [
+    pub const ALL: [SpanKind; 9] = [
         SpanKind::Sample,
         SpanKind::Partition,
         SpanKind::Plan,
@@ -59,6 +65,8 @@ impl SpanKind {
         SpanKind::Forward,
         SpanKind::Backward,
         SpanKind::Allreduce,
+        SpanKind::LinkRetry,
+        SpanKind::Failover,
     ];
 
     /// Stable lowercase name used in the JSONL `kind` field.
@@ -71,6 +79,8 @@ impl SpanKind {
             SpanKind::Forward => "forward",
             SpanKind::Backward => "backward",
             SpanKind::Allreduce => "allreduce",
+            SpanKind::LinkRetry => "link_retry",
+            SpanKind::Failover => "failover",
         }
     }
 }
@@ -265,9 +275,22 @@ pub struct AnomalyRecord {
     pub injected: bool,
 }
 
+/// One injected fault forwarded from a drained fault injector, as a
+/// pair of stable strings (the trace crate is below the device crate in
+/// the dependency order, so it cannot name `FaultEvent` directly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Epoch the fault was drained in.
+    pub epoch: usize,
+    /// Stable kind slug (e.g. `"alloc_failure"`, `"link_stall"`).
+    pub kind: String,
+    /// Human-readable detail of the event.
+    pub detail: String,
+}
+
 /// The trace of one training run: spans, memory events, peak snapshots,
-/// drift records, and caught numeric anomalies, all stamped with
-/// monotonic epoch/step ids.
+/// drift records, caught numeric anomalies, and injected faults, all
+/// stamped with monotonic epoch/step ids.
 #[derive(Debug, Clone)]
 pub struct TraceRecorder {
     origin: Instant,
@@ -278,6 +301,7 @@ pub struct TraceRecorder {
     drift: Vec<DriftRecord>,
     allocs: Vec<(usize, AllocRecord)>,
     anomalies: Vec<AnomalyRecord>,
+    faults: Vec<FaultRecord>,
 }
 
 impl Default for TraceRecorder {
@@ -298,6 +322,7 @@ impl TraceRecorder {
             drift: Vec::new(),
             allocs: Vec::new(),
             anomalies: Vec::new(),
+            faults: Vec::new(),
         }
     }
 
@@ -377,6 +402,21 @@ impl TraceRecorder {
         });
     }
 
+    /// Records one drained fault-injector event at the current epoch, as
+    /// a stable kind slug plus a human-readable detail line.
+    pub fn record_fault(&mut self, kind: impl Into<String>, detail: impl Into<String>) {
+        self.faults.push(FaultRecord {
+            epoch: self.epoch,
+            kind: kind.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// All forwarded fault events, in record order.
+    pub fn fault_records(&self) -> &[FaultRecord] {
+        &self.faults
+    }
+
     /// All recorded spans, in record order.
     pub fn spans(&self) -> &[SpanRecord] {
         &self.spans
@@ -427,6 +467,7 @@ impl TraceRecorder {
             + self.drift.len()
             + self.allocs.len()
             + self.anomalies.len()
+            + self.faults.len()
     }
 
     /// Whether nothing has been recorded.
@@ -499,6 +540,14 @@ impl TraceRecorder {
             out.push_str(&format!(
                 "{{\"type\":\"anomaly\",\"epoch\":{},\"step\":{},\"kind\":\"{}\",\"injected\":{}}}\n",
                 a.epoch, a.step, a.kind, a.injected,
+            ));
+        }
+        for fault in &self.faults {
+            out.push_str(&format!(
+                "{{\"type\":\"fault\",\"epoch\":{},\"kind\":\"{}\",\"detail\":\"{}\"}}\n",
+                fault.epoch,
+                jstr(&fault.kind),
+                jstr(&fault.detail),
             ));
         }
         out
@@ -594,6 +643,14 @@ impl TraceRecorder {
                 self.anomalies[0].kind,
             ));
         }
+        if !self.faults.is_empty() {
+            out.push_str(&format!(
+                "\n  fault     {} injected events forwarded, first at epoch {} ({})",
+                self.faults.len(),
+                self.faults[0].epoch,
+                self.faults[0].kind,
+            ));
+        }
         out
     }
 }
@@ -604,6 +661,21 @@ fn opt_usize(v: Option<usize>) -> String {
         Some(v) => v.to_string(),
         None => "null".to_string(),
     }
+}
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters).
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Formats a float as a JSON number (non-finite values become `0`,
@@ -950,10 +1022,27 @@ mod tests {
 
     #[test]
     fn span_kind_names_are_stable() {
-        assert_eq!(SpanKind::ALL.len(), 7);
+        assert_eq!(SpanKind::ALL.len(), 9);
         for kind in SpanKind::ALL {
             assert!(!kind.name().is_empty());
             assert_eq!(kind.to_string(), kind.name());
         }
+    }
+
+    #[test]
+    fn fault_records_round_trip_through_jsonl_and_summary() {
+        let mut tr = TraceRecorder::new();
+        tr.set_epoch(2);
+        tr.record_fault("link_stall", "0.250s stall on all-reduce round 3");
+        tr.record_fault("device_fail", "device 1 failed after 2 \"steps\"");
+        assert_eq!(tr.fault_records().len(), 2);
+        assert_eq!(tr.len(), 2);
+        let jsonl = tr.to_jsonl();
+        assert_eq!(validate_jsonl(&jsonl).unwrap(), 2, "{jsonl}");
+        assert!(jsonl.contains("\"type\":\"fault\""), "{jsonl}");
+        assert!(jsonl.contains("\\\"steps\\\""), "quotes must be escaped: {jsonl}");
+        let summary = tr.summary();
+        assert!(summary.contains("2 injected events forwarded"), "{summary}");
+        assert!(summary.contains("epoch 2"), "{summary}");
     }
 }

@@ -101,8 +101,11 @@ fn jsonl_export_is_valid_and_covers_every_event_type() {
             SpanKind::Transfer | SpanKind::Forward | SpanKind::Backward => {
                 assert_eq!(count, trace.drift_records().len(), "{} spans", kind.name());
             }
-            // Single-device epochs never all-reduce.
-            SpanKind::Allreduce => assert_eq!(count, 0),
+            // Single-device epochs never all-reduce, fail over, or
+            // retry a sync link.
+            SpanKind::Allreduce | SpanKind::Failover | SpanKind::LinkRetry => {
+                assert_eq!(count, 0, "{} spans", kind.name());
+            }
         }
     }
 }
