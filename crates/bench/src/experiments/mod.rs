@@ -7,6 +7,7 @@ pub mod ext_elastic;
 pub mod ext_multi_gpu;
 pub mod ext_overhead;
 pub mod ext_pipeline;
+pub mod ext_plan_ahead;
 pub mod ext_recovery;
 pub mod ext_trace;
 pub mod fig02;
@@ -45,6 +46,7 @@ pub fn run_all(profile: Profile) {
     ext_elastic::run(profile);
     ext_overhead::run(profile);
     ext_pipeline::run(profile);
+    ext_plan_ahead::run(profile);
     ext_recovery::run(profile);
     ext_trace::run(profile);
     ext_alloc::run(profile);

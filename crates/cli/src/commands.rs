@@ -82,6 +82,7 @@ fn experiment_config(args: &Args) -> Result<ExperimentConfig, Box<dyn Error>> {
         prefetch: !args.has_flag("no-prefetch"),
         pool: !args.has_flag("no-pool"),
         sentinel: !args.has_flag("no-sentinel"),
+        plan_ahead: args.get_or("plan-ahead", 0usize)?,
         ..ExperimentConfig::default()
     };
     config.validate().map_err(ArgError)?;

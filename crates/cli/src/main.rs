@@ -81,6 +81,15 @@ GLOBAL FLAGS (accepted by every command, after the command name):
                  (pooling is on by default; losses and parameters are
                  bit-identical either way — this is an escape hatch for
                  allocator-level debugging and the alloc benchmarks)
+  --plan-ahead N stage up to N future epochs' sampling + REG partitioning
+                 on spare worker threads while the current epoch trains
+                 (default 0 = synchronous). Losses, parameters, and every
+                 deterministic stat are bit-identical at any depth; only
+                 where the planning time is spent changes. Degrades to
+                 the synchronous path under --threads 1, and composes
+                 with --no-prefetch (prefetch overlaps transfers *within*
+                 an epoch; plan-ahead overlaps planning *across* epochs —
+                 they hide different costs and can be toggled freely)
 
 Presets: cora, pubmed, reddit, ogbn-arxiv, ogbn-products.
 

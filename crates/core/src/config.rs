@@ -68,6 +68,14 @@ pub struct ExperimentConfig {
     /// fails the step before the optimizer can consume poisoned values.
     /// The CLI exposes this as `--no-sentinel`.
     pub sentinel: bool,
+    /// Partition-ahead pipeline depth: how many future epochs' batches may
+    /// be sampled and REG-partitioned on background workers while the
+    /// current epoch trains. `0` (the default) is the classic synchronous
+    /// path; any depth degrades to it when only one worker thread is
+    /// configured. Losses, parameters, and deterministic epoch stats are
+    /// bit-identical at every depth. The CLI exposes this as
+    /// `--plan-ahead`.
+    pub plan_ahead: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -87,6 +95,7 @@ impl Default for ExperimentConfig {
             prefetch: true,
             pool: true,
             sentinel: true,
+            plan_ahead: 0,
         }
     }
 }
@@ -251,6 +260,7 @@ mod tests {
             prefetch: false,
             pool: false,
             sentinel: false,
+            plan_ahead: 3,
             ..ExperimentConfig::default()
         };
         assert_eq!(base.fingerprint(), perturbed.fingerprint());

@@ -102,6 +102,15 @@ pub struct FitReport {
 /// the final one (checkpoint the best epoch externally via
 /// [`betty_nn::save_checkpoint`] if needed).
 ///
+/// Note on [`ExperimentConfig::plan_ahead`](crate::ExperimentConfig):
+/// `fit` evaluates on the validation split after *every* epoch, and
+/// evaluation sampling resets the partition-ahead pipeline (it draws
+/// from the same RNG stream the staged batches were sampled ahead of).
+/// Under `fit`, each epoch's pipeline therefore restarts cold and the
+/// overlap is effectively zero — results remain bit-identical, but the
+/// speedup only materializes with sparser evaluation cadences (the CLI
+/// evaluates every 5th epoch).
+///
 /// # Errors
 ///
 /// Propagates planning/training failures ([`RunError`]), including

@@ -50,6 +50,7 @@ pub mod durable;
 mod eval;
 pub mod fit;
 pub mod multi;
+mod pipeline;
 mod planner;
 mod recovery;
 mod runner;

@@ -189,6 +189,15 @@ pub enum RecoveryEvent {
         /// Backoff waited before the retry, in seconds.
         backoff_sec: f64,
     },
+    /// The partition-ahead pipeline was torn down because a rollback made
+    /// its staged plans stale: they were computed at the pre-escalation
+    /// `K` (and from a sampling-RNG cursor the retry no longer follows).
+    /// The retry replans synchronously; the pipeline restarts from the
+    /// canonical post-epoch state on the next epoch.
+    PlanAheadInvalidated {
+        /// Staged bundles that were discarded (requested but unconsumed).
+        staged: usize,
+    },
 }
 
 impl fmt::Display for RecoveryEvent {
@@ -311,6 +320,11 @@ impl fmt::Display for RecoveryEvent {
             RecoveryEvent::Exhausted { attempts } => {
                 write!(f, "retry budget exhausted after {attempts} attempts")
             }
+            RecoveryEvent::PlanAheadInvalidated { staged } => write!(
+                f,
+                "partition-ahead pipeline invalidated ({staged} staged plans \
+                 discarded); replanning synchronously at the escalated K"
+            ),
         }
     }
 }
@@ -419,6 +433,12 @@ impl RecoveryLog {
     /// Number of timed-out all-reduce rounds retried with backoff.
     pub fn link_retries(&self) -> usize {
         self.count(|e| matches!(e, RecoveryEvent::LinkRetry { .. }))
+    }
+
+    /// Number of partition-ahead pipeline invalidations forced by
+    /// recovery rollbacks.
+    pub fn plan_ahead_invalidations(&self) -> usize {
+        self.count(|e| matches!(e, RecoveryEvent::PlanAheadInvalidated { .. }))
     }
 
     fn count(&self, pred: impl Fn(&RecoveryEvent) -> bool) -> usize {

@@ -1,6 +1,7 @@
 //! High-level experiment facade: dataset + config → epochs.
 
 use std::fmt;
+use std::sync::Arc;
 
 use rand::SeedableRng;
 use rand_pcg::Pcg64Mcg;
@@ -13,6 +14,7 @@ use betty_nn::{Gat, Gcn, Gin, GnnModel, GraphSage, TrainState};
 use betty_trace::{SpanKind, TraceRecorder};
 
 use crate::config::{ExperimentConfig, ModelKind};
+use crate::pipeline::{dataset_key, PipelineSpec, PlanMode, PlanPipeline, StagedBundle};
 use crate::planner::{MemoryAwarePlanner, Plan, PlanError};
 use crate::recovery::{RecoveryEvent, RecoveryLog};
 use crate::stats::{EpochStats, StepStats};
@@ -113,10 +115,15 @@ pub struct Runner {
     config: ExperimentConfig,
     trainer: Trainer,
     planner: MemoryAwarePlanner,
-    in_graph: CsrGraph,
+    in_graph: Arc<CsrGraph>,
     sample_rng: Pcg64Mcg,
     seed: u64,
     cached_parts: Option<CachedParts>,
+    /// Partition-ahead pipeline staging future epochs' plans on
+    /// background workers (`config.plan_ahead > 0` only). `None` means
+    /// the next epoch plans synchronously; anything that perturbs the
+    /// sampler RNG stream or the staged work's assumptions resets it.
+    pipeline: Option<PlanPipeline>,
     epochs_run: usize,
     /// All-reduce link-stall injector, armed once per run from the
     /// config's fault plan so its seeded stream continues across epochs
@@ -135,6 +142,20 @@ struct CachedParts {
     k: usize,
     parts: Vec<Vec<NodeId>>,
     epochs_used: usize,
+}
+
+/// One epoch's batch + plan, as produced by [`Runner::acquire_plan`] —
+/// either consumed from the partition-ahead pipeline or planned
+/// synchronously (in which case the two timing/accounting extras are 0).
+struct EpochPlanSource {
+    batch: Batch,
+    plan: Result<Plan, PlanError>,
+    /// Planning seconds hidden off the critical path
+    /// ([`EpochStats::plan_ahead_overlap_sec`]).
+    overlap_sec: f64,
+    /// Bytes charged to the `plan ahead` ledger category
+    /// ([`EpochStats::plan_ahead_staged_bytes`]).
+    staged_bytes: usize,
 }
 
 impl fmt::Debug for Runner {
@@ -251,10 +272,11 @@ impl Runner {
             config: config.clone(),
             trainer,
             planner,
-            in_graph: dataset.graph.reverse(),
+            in_graph: Arc::new(dataset.graph.reverse()),
             sample_rng: Pcg64Mcg::seed_from_u64(seed.wrapping_add(2)),
             seed,
             cached_parts: None,
+            pipeline: None,
             epochs_run: 0,
             link_faults,
         }
@@ -384,6 +406,9 @@ impl Runner {
 
     /// Samples the full training batch with the configured fanouts.
     pub fn sample_full_batch(&mut self, dataset: &Dataset) -> Batch {
+        // Direct sampling advances the RNG cursor the pipeline's staged
+        // batches were drawn ahead of — they are now the wrong stream.
+        self.pipeline = None;
         sample_batch_in(
             &self.in_graph,
             &dataset.train_idx,
@@ -394,12 +419,189 @@ impl Runner {
 
     /// Samples a batch for an arbitrary seed set (e.g. mini-batch chunks).
     pub fn sample_batch_for(&mut self, seeds: &[NodeId]) -> Batch {
+        self.pipeline = None; // same cursor argument as sample_full_batch
         sample_batch_in(
             &self.in_graph,
             seeds,
             &self.config.fanouts,
             &mut self.sample_rng,
         )
+    }
+
+    /// Whether a partition-ahead pipeline is currently alive (staged
+    /// work exists or will be requested next epoch). False at
+    /// `plan_ahead: 0`, after any invalidation (recovery retry, direct
+    /// sampling, evaluation, session import), and under a single worker
+    /// thread.
+    pub fn plan_ahead_active(&self) -> bool {
+        self.pipeline.is_some()
+    }
+
+    /// Hands out this epoch's staged bundle from the partition-ahead
+    /// pipeline, spawning or replacing the pipeline as needed. `None`
+    /// means "plan synchronously": depth 0, a single worker thread, or a
+    /// dead driver (a panicked worker); the last case also resets the
+    /// pipeline so the synchronous path resumes from the unconsumed RNG
+    /// cursor.
+    fn pipelined_bundle(
+        &mut self,
+        dataset: &Dataset,
+        strategy: StrategyKind,
+        mode: PlanMode,
+    ) -> Option<(StagedBundle, f64, std::time::Instant)> {
+        let depth = self.config.plan_ahead;
+        if depth == 0 || betty_runtime::configured_threads() <= 1 {
+            self.pipeline = None;
+            return None;
+        }
+        let key = dataset_key(dataset);
+        if self
+            .pipeline
+            .as_ref()
+            .is_some_and(|p| !p.matches(strategy, mode, key, depth))
+        {
+            // Strategy/mode/dataset changed between epochs: every staged
+            // bundle answers the wrong question. The RNG cursor is safe —
+            // it only advances at consumption.
+            self.pipeline = None;
+        }
+        if self.pipeline.is_none() {
+            self.pipeline = Some(PlanPipeline::spawn(PipelineSpec {
+                graph: Arc::clone(&self.in_graph),
+                seeds: Arc::new(dataset.train_idx.clone()),
+                fanouts: self.config.fanouts.clone(),
+                planner: self.planner.clone(),
+                strategy,
+                seed: self.seed,
+                mode,
+                depth,
+                rng_state: self.sample_rng.state(),
+                dataset_key: key,
+                threads: betty_runtime::configured_threads(),
+            }));
+        }
+        let pipeline = self.pipeline.as_mut().expect("just ensured");
+        match pipeline.next_bundle() {
+            Some((bundle, wait_sec, requested_at)) => {
+                // Keep up to `depth` future epochs staged, unless the
+                // staged bytes already exceed the device budget (Eq. 5
+                // feasibility: shrink pipeline depth before memory
+                // pressure can escalate K).
+                pipeline.top_up(self.config.capacity_bytes);
+                Some((bundle, wait_sec, requested_at))
+            }
+            None => {
+                self.pipeline = None;
+                None
+            }
+        }
+    }
+
+    /// Records the trace spans for a consumed staged bundle — back-dated
+    /// onto the recorder clock at the instants the background work
+    /// actually ran — and returns the planning seconds this epoch hid
+    /// off its critical path (`prep time − handoff wait`, clamped at 0).
+    ///
+    /// The `plan_ahead` span runs from the instant the bundle's request
+    /// was issued (on *this* thread, before the overlapped epoch began
+    /// training) to the consumption instant, so by construction it
+    /// contains every forward/backward span of the epoch that trained
+    /// while this bundle was being staged.
+    fn consume_bundle_spans(
+        &mut self,
+        bundle: &StagedBundle,
+        wait_sec: f64,
+        requested_at: std::time::Instant,
+    ) -> f64 {
+        let plan_sec = bundle
+            .plan
+            .as_ref()
+            .map_or(0.0, |p| p.partition_sec + p.extraction_sec);
+        if let Some(tr) = self.trainer.trace_mut() {
+            let window_start = tr.sec_at(requested_at);
+            let sample_start = tr.sec_at(bundle.sample_started);
+            tr.record_span(SpanKind::Sample, None, sample_start, bundle.sample_sec);
+            if let Ok(plan) = &bundle.plan {
+                let finished = tr.sec_at(bundle.plan_finished);
+                let start = (finished - plan.extraction_sec - plan.partition_sec).max(0.0);
+                tr.record_span(SpanKind::Partition, None, start, plan.partition_sec);
+                tr.record_span(
+                    SpanKind::Plan,
+                    None,
+                    start + plan.partition_sec,
+                    plan.extraction_sec,
+                );
+            }
+            let now = tr.now_sec();
+            tr.record_span(
+                SpanKind::PlanAhead,
+                None,
+                window_start,
+                (now - window_start).max(0.0),
+            );
+        }
+        (bundle.sample_sec + plan_sec - wait_sec).max(0.0)
+    }
+
+    /// Drops the partition-ahead pipeline because a recovery retry is
+    /// about to replan at an escalated `K` / shrunk capacity: the staged
+    /// bundles were planned under pre-failure assumptions that just
+    /// OOM'd (or preceded a numeric rollback), so they are discarded and
+    /// the event is logged. The sampler cursor is unaffected — it only
+    /// advances when a bundle is consumed — so the retry (and the
+    /// pipeline restart next epoch) continues the exact synchronous
+    /// stream.
+    fn invalidate_pipeline_for_retry(&mut self, log: &mut RecoveryLog) {
+        if let Some(p) = self.pipeline.take() {
+            log.record(RecoveryEvent::PlanAheadInvalidated {
+                staged: p.in_flight(),
+            });
+        }
+    }
+
+    /// Produces this epoch's batch and plan — from the partition-ahead
+    /// pipeline when one is running, synchronously otherwise. Both paths
+    /// draw the same batch from the same RNG cursor and plan it with the
+    /// same strategy/capacity, so the result is bit-identical; only
+    /// where the wall-clock time was spent differs. The staged path also
+    /// charges the bundle's transfer bytes to the `plan ahead` ledger
+    /// category (released immediately — the charge is an epoch-boundary
+    /// feasibility probe, not a persistent residency).
+    fn acquire_plan(
+        &mut self,
+        dataset: &Dataset,
+        strategy: StrategyKind,
+        mode: PlanMode,
+    ) -> EpochPlanSource {
+        if let Some((bundle, wait_sec, requested_at)) =
+            self.pipelined_bundle(dataset, strategy, mode)
+        {
+            let overlap_sec = self.consume_bundle_spans(&bundle, wait_sec, requested_at);
+            let staged_bytes = self.trainer.charge_plan_ahead(bundle.staged_bytes);
+            // Adopt the post-sample cursor: synchronous sampling (or a
+            // restarted pipeline) continues the exact same stream.
+            self.sample_rng = Pcg64Mcg::new(bundle.rng_after);
+            return EpochPlanSource {
+                batch: bundle.batch,
+                plan: bundle.plan,
+                overlap_sec,
+                staged_bytes,
+            };
+        }
+        let batch = self.traced_sample_full_batch(dataset);
+        let plan = match mode {
+            PlanMode::Fixed(k) => Ok(self.plan_fixed(&batch, strategy, k)),
+            PlanMode::Auto => self.plan_auto(&batch, strategy),
+        };
+        if let Ok(plan) = &plan {
+            self.record_plan_spans(plan);
+        }
+        EpochPlanSource {
+            batch,
+            plan,
+            overlap_sec: 0.0,
+            staged_bytes: 0,
+        }
     }
 
     /// Splits a batch into exactly `k` micro-batches using `strategy`.
@@ -450,6 +652,11 @@ impl Runner {
 
     /// One epoch of micro-batch training with a fixed partition count.
     ///
+    /// With [`ExperimentConfig::plan_ahead`] `> 0` (and more than one
+    /// worker thread) the batch and plan come pre-staged from the
+    /// partition-ahead pipeline; results are bit-identical to the
+    /// synchronous path.
+    ///
     /// # Errors
     ///
     /// [`TrainError::StepOom`] if a micro-batch exceeds capacity.
@@ -460,12 +667,13 @@ impl Runner {
         k: usize,
     ) -> Result<EpochStats, TrainError> {
         self.begin_traced_epoch();
-        let batch = self.traced_sample_full_batch(dataset);
-        let plan = self.plan_fixed(&batch, strategy, k);
-        self.record_plan_spans(&plan);
+        let source = self.acquire_plan(dataset, strategy, PlanMode::Fixed(k));
+        let plan = source.plan.expect("fixed-K planning is infallible");
         let mut stats = self.run_planned(dataset, &plan)?;
         stats.host_bytes = host_staging_bytes(dataset, &plan.micro_batches)
-            + batch.total_edges() * 3 * betty_device::BYTES_PER_VALUE;
+            + source.batch.total_edges() * 3 * betty_device::BYTES_PER_VALUE;
+        stats.plan_ahead_overlap_sec = source.overlap_sec;
+        stats.plan_ahead_staged_bytes = source.staged_bytes;
         Ok(stats)
     }
 
@@ -481,12 +689,13 @@ impl Runner {
         strategy: StrategyKind,
     ) -> Result<(EpochStats, usize), RunError> {
         self.begin_traced_epoch();
-        let batch = self.traced_sample_full_batch(dataset);
-        let plan = self.plan_auto(&batch, strategy)?;
-        self.record_plan_spans(&plan);
+        let source = self.acquire_plan(dataset, strategy, PlanMode::Auto);
+        let plan = source.plan?;
         let mut stats = self.run_planned(dataset, &plan)?;
         stats.host_bytes = host_staging_bytes(dataset, &plan.micro_batches)
-            + batch.total_edges() * 3 * betty_device::BYTES_PER_VALUE;
+            + source.batch.total_edges() * 3 * betty_device::BYTES_PER_VALUE;
+        stats.plan_ahead_overlap_sec = source.overlap_sec;
+        stats.plan_ahead_staged_bytes = source.staged_bytes;
         Ok((stats, plan.micro_batches.len()))
     }
 
@@ -523,7 +732,14 @@ impl Runner {
         self.begin_traced_epoch();
         let policy = self.config.retry.clone();
         let capacity = self.config.capacity_bytes;
-        let batch = self.traced_sample_full_batch(dataset);
+        // The first attempt's batch + plan come from `acquire_plan` —
+        // staged by the partition-ahead pipeline when one is running,
+        // synchronous otherwise, bit-identical either way (attempt 0
+        // plans from K = 1 against the full capacity, exactly what the
+        // pipeline's auto mode stages). Retries replan inside the loop.
+        let source = self.acquire_plan(dataset, strategy, PlanMode::Auto);
+        let batch = source.batch;
+        let mut pending = Some(source.plan);
         let snapshot = self.trainer.snapshot();
         let strategy_impl = build_strategy(strategy, self.seed);
         let mut injected_faults = 0usize;
@@ -533,28 +749,36 @@ impl Runner {
         let mut original: Option<TrainError> = None;
         loop {
             let planning_capacity = policy.planning_capacity(capacity, attempt);
-            let plan = match self.planner.plan_with_capacity(
-                &batch,
-                strategy_impl.as_ref(),
-                initial_k,
-                planning_capacity,
-            ) {
-                Ok(plan) => plan,
-                // Escalation planned itself into a corner (headroom or
-                // K growth exceeded what max_partitions can satisfy):
-                // surface the original OOM, not the planning artifact.
-                Err(e) => match original {
-                    Some(source) => {
-                        log.record(RecoveryEvent::Exhausted { attempts: attempt });
-                        return Err(RunError::RetryExhausted {
-                            attempts: attempt,
-                            source,
-                        });
+            let plan = match pending.take() {
+                // Attempt 0: spans were already recorded at acquisition.
+                Some(Ok(plan)) => plan,
+                // The *first* plan failed (nothing to recover from).
+                Some(Err(e)) => return Err(RunError::Plan(e)),
+                None => match self.planner.plan_with_capacity(
+                    &batch,
+                    strategy_impl.as_ref(),
+                    initial_k,
+                    planning_capacity,
+                ) {
+                    Ok(plan) => {
+                        self.record_plan_spans(&plan);
+                        plan
                     }
-                    None => return Err(RunError::Plan(e)),
+                    // Escalation planned itself into a corner (headroom or
+                    // K growth exceeded what max_partitions can satisfy):
+                    // surface the original OOM, not the planning artifact.
+                    Err(e) => match original {
+                        Some(source) => {
+                            log.record(RecoveryEvent::Exhausted { attempts: attempt });
+                            return Err(RunError::RetryExhausted {
+                                attempts: attempt,
+                                source,
+                            });
+                        }
+                        None => return Err(RunError::Plan(e)),
+                    },
                 },
             };
-            self.record_plan_spans(&plan);
             let k = plan.micro_batches.len();
             match self.run_planned(dataset, &plan) {
                 Ok(mut stats) => {
@@ -573,6 +797,8 @@ impl Runner {
                     stats.oom_retries = attempt;
                     stats.anomaly_rollbacks = anomaly_rollbacks;
                     stats.injected_faults = injected_faults;
+                    stats.plan_ahead_overlap_sec = source.overlap_sec;
+                    stats.plan_ahead_staged_bytes = source.staged_bytes;
                     return Ok((stats, k));
                 }
                 Err(err) => {
@@ -613,6 +839,7 @@ impl Runner {
                                 kind,
                                 injected,
                             });
+                            self.invalidate_pipeline_for_retry(log);
                             self.trainer.restore(&snapshot);
                             initial_k = k.max(1);
                         }
@@ -645,6 +872,7 @@ impl Runner {
                                 planning_capacity: policy.planning_capacity(capacity, attempt),
                             });
                             original.get_or_insert(err);
+                            self.invalidate_pipeline_for_retry(log);
                             self.trainer.restore(&snapshot);
                             initial_k = next_k;
                         }
@@ -678,6 +906,14 @@ impl Runner {
     /// is valid because the output set (the training split) is identical
     /// across epochs. Returns the epoch stats and whether this epoch paid
     /// for a fresh partitioning.
+    ///
+    /// This is the degenerate point of the partition-ahead design space:
+    /// where [`ExperimentConfig::plan_ahead`] hides each epoch's *own*
+    /// partitioning under the previous epoch's compute (exact plans,
+    /// overlapped), caching is "depth ∞ with reuse" — it skips the
+    /// partitioning entirely and accepts a slightly stale cut. The two
+    /// compose trivially: a cached epoch samples synchronously, so it
+    /// simply resets any running pipeline.
     ///
     /// # Errors
     ///
@@ -1200,13 +1436,23 @@ impl Runner {
         self.trainer
             .set_global_step(state.counters[crate::durable::CTR_GLOBAL_STEP] as usize);
         self.seed = state.counters[crate::durable::CTR_SEED];
-        // A cached output grouping belongs to the pre-import session.
+        // A cached output grouping belongs to the pre-import session —
+        // and so does every staged pipeline bundle: its batches were
+        // drawn from the pre-import RNG cursor, which the line above
+        // just replaced. The pipeline restarts from the imported cursor
+        // on the next pipelined epoch.
         self.cached_parts = None;
+        self.pipeline = None;
         Ok(())
     }
 
     /// Accuracy on `nodes` using the configured fanouts for inference.
     pub fn evaluate(&mut self, dataset: &Dataset, nodes: &[NodeId]) -> f64 {
+        // Evaluation sampling draws from the same RNG stream the
+        // pipeline staged future batches ahead of; keeping those bundles
+        // would diverge from a synchronous run, so they are discarded
+        // and the pipeline restarts from the post-evaluation cursor.
+        self.pipeline = None;
         let fanouts = self.config.fanouts.clone();
         eval::accuracy(
             self.trainer.model(),

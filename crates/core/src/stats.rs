@@ -58,6 +58,21 @@ pub struct EpochStats {
     /// `transfer_sec + prefetch_overlap_sec` is what a prefetch-less run
     /// would have paid on the link.
     pub prefetch_overlap_sec: f64,
+    /// Wall-clock planning seconds (sampling + REG partitioning +
+    /// micro-batch extraction) hidden off the critical path by the
+    /// partition-ahead pipeline: the staged bundle's total preparation
+    /// time minus whatever wait the consuming epoch still paid at the
+    /// handoff. 0 at `--plan-ahead 0` (or one worker thread), and for the
+    /// first epoch after a pipeline (re)start, which is effectively
+    /// synchronous. Wall-clock: excluded from bit-identity comparisons,
+    /// like every other timing field.
+    pub plan_ahead_overlap_sec: f64,
+    /// Transfer bytes of the staged plan this epoch consumed from the
+    /// partition-ahead pipeline, as charged to the device ledger's
+    /// `plan ahead` category at the epoch boundary (0 when the epoch
+    /// planned synchronously, or when the charge was skipped because it
+    /// alone exceeded device capacity).
+    pub plan_ahead_staged_bytes: usize,
     /// Largest analytical peak estimate (Eq. 5) over the epoch's
     /// micro-batches, in bytes — the planner's prediction of
     /// `max_peak_bytes`. 0 when the epoch ran without a plan (e.g.

@@ -489,6 +489,35 @@ impl Trainer {
         self.device.free_all();
     }
 
+    /// Charges a partition-ahead staging residency to the device ledger
+    /// at the epoch boundary and immediately releases it, returning the
+    /// bytes actually charged.
+    ///
+    /// The charge is a feasibility probe plus timeline bookkeeping: it
+    /// makes the pipeline's in-flight plan bytes visible to Eq. 5-style
+    /// accounting (and to the memory timeline as the `plan ahead`
+    /// category) without persisting into step execution — the first
+    /// step's `free_all → reset_peak` boundary wipes it before any step
+    /// peak is measured, so `max_peak_bytes` stays bit-identical to a
+    /// non-pipelined run. Fault injection is bypassed
+    /// ([`betty_device::Device::alloc_unfaulted`]) so an armed
+    /// `alloc_failure_rate` stream stays aligned with `--plan-ahead 0`.
+    /// A charge that alone exceeds capacity is skipped (returns 0)
+    /// rather than failing the epoch — the pipeline's depth governor,
+    /// not the trainer, is the backpressure mechanism.
+    pub fn charge_plan_ahead(&mut self, bytes: usize) -> usize {
+        if bytes == 0 {
+            return 0;
+        }
+        match self.device.alloc_unfaulted(bytes, MemoryCategory::PlanAhead) {
+            Ok(id) => {
+                self.device.free(id);
+                bytes
+            }
+            Err(_) => 0,
+        }
+    }
+
     /// Folds this epoch's workspace-pool activity (counter delta since
     /// `before`) into the epoch stats and, when tracing, the trace stream.
     fn finish_epoch_pool_stats(&mut self, epoch: &mut EpochStats, before: PoolStats) {

@@ -30,11 +30,17 @@ pub enum MemoryCategory {
     /// computes. Held across the step boundary, then re-charged as the
     /// static categories of the step that consumes it.
     PrefetchStaging,
+    /// Partition-ahead staging: transfer data of a *future epoch's*
+    /// micro-batches whose plan was computed by the pipelined scheduler
+    /// while the current epoch trained. Charged at the epoch boundary
+    /// (and released before the first step runs), so Eq. 5 feasibility
+    /// accounting sees in-flight plans without perturbing step peaks.
+    PlanAhead,
 }
 
 impl MemoryCategory {
     /// All categories, in breakdown-report order.
-    pub const ALL: [MemoryCategory; 9] = [
+    pub const ALL: [MemoryCategory; 10] = [
         MemoryCategory::Parameters,
         MemoryCategory::InputFeatures,
         MemoryCategory::Labels,
@@ -44,6 +50,7 @@ impl MemoryCategory {
         MemoryCategory::Gradients,
         MemoryCategory::OptimizerStates,
         MemoryCategory::PrefetchStaging,
+        MemoryCategory::PlanAhead,
     ];
 
     /// Stable lowercase name, also used as the `category` field of
@@ -59,6 +66,7 @@ impl MemoryCategory {
             MemoryCategory::Gradients => "gradients",
             MemoryCategory::OptimizerStates => "optimizer states",
             MemoryCategory::PrefetchStaging => "prefetch staging",
+            MemoryCategory::PlanAhead => "plan ahead",
         }
     }
 }
@@ -167,6 +175,26 @@ impl Device {
                 });
             }
         }
+        self.alloc_unfaulted(bytes, category)
+    }
+
+    /// Like [`Device::alloc`], but bypassing any armed fault injector:
+    /// only the genuine capacity check applies and the injector's seeded
+    /// decision stream is not consumed. Used for bookkeeping charges that
+    /// must not perturb fault schedules aligned with an uninstrumented
+    /// run (e.g. the partition-ahead pipeline's staging charge, which
+    /// must keep `--fault-alloc-rate` draws bit-identical to a run at
+    /// `--plan-ahead 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] if the allocation would exceed capacity; the
+    /// ledger is unchanged in that case.
+    pub fn alloc_unfaulted(
+        &mut self,
+        bytes: usize,
+        category: MemoryCategory,
+    ) -> Result<AllocationId, OomError> {
         if self.current.saturating_add(bytes) > self.capacity {
             return Err(OomError {
                 requested: bytes,
@@ -524,6 +552,29 @@ mod tests {
         let injector = d.disarm_faults();
         assert!(injector.is_some());
         assert!(!d.faults_armed());
+    }
+
+    #[test]
+    fn unfaulted_alloc_bypasses_injection_but_not_capacity() {
+        use crate::fault::FaultPlan;
+        let mut d = Device::new(100);
+        let plan = FaultPlan {
+            oom_steps: vec![0],
+            ..FaultPlan::default()
+        };
+        d.arm_faults(plan.alloc_injector());
+        d.begin_step(0);
+        // The armed step fault does not fire: the charge lands and the
+        // injector still holds its shot for the next faultable alloc.
+        let id = d.alloc_unfaulted(60, MemoryCategory::PlanAhead).unwrap();
+        assert_eq!(d.current_in(MemoryCategory::PlanAhead), 60);
+        assert!(d.alloc(10, MemoryCategory::Blocks).unwrap_err().injected);
+        d.free(id);
+        // The genuine capacity check still applies.
+        let err = d.alloc_unfaulted(200, MemoryCategory::PlanAhead).unwrap_err();
+        assert!(!err.injected);
+        let events = d.drain_fault_events();
+        assert_eq!(events.len(), 1, "only the faultable alloc recorded an event");
     }
 
     #[test]

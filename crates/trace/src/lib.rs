@@ -53,11 +53,17 @@ pub enum SpanKind {
     /// Elastic failover: migrating a lost device's unfinished
     /// micro-batches onto survivors and rebuilding the ring.
     Failover,
+    /// Partition-ahead staging window: from the moment a future epoch's
+    /// sampling + planning began on a background worker until the epoch
+    /// consumed the staged bundle. By construction this window contains
+    /// the previous epoch's forward/backward spans — the visible proof
+    /// that partition work left the critical path.
+    PlanAhead,
 }
 
 impl SpanKind {
     /// Every kind, in pipeline order.
-    pub const ALL: [SpanKind; 9] = [
+    pub const ALL: [SpanKind; 10] = [
         SpanKind::Sample,
         SpanKind::Partition,
         SpanKind::Plan,
@@ -67,6 +73,7 @@ impl SpanKind {
         SpanKind::Allreduce,
         SpanKind::LinkRetry,
         SpanKind::Failover,
+        SpanKind::PlanAhead,
     ];
 
     /// Stable lowercase name used in the JSONL `kind` field.
@@ -81,6 +88,7 @@ impl SpanKind {
             SpanKind::Allreduce => "allreduce",
             SpanKind::LinkRetry => "link_retry",
             SpanKind::Failover => "failover",
+            SpanKind::PlanAhead => "plan_ahead",
         }
     }
 }
@@ -342,6 +350,14 @@ impl TraceRecorder {
         self.origin.elapsed().as_secs_f64()
     }
 
+    /// Converts an [`Instant`] captured elsewhere (e.g. on a background
+    /// pipeline worker) into seconds on this recorder's clock. Instants
+    /// predating the recorder clamp to `0.0`.
+    pub fn sec_at(&self, at: Instant) -> f64 {
+        at.checked_duration_since(self.origin)
+            .map_or(0.0, |d| d.as_secs_f64())
+    }
+
     /// Records a span at the current epoch.
     pub fn record_span(&mut self, kind: SpanKind, step: Option<usize>, start_sec: f64, dur_sec: f64) {
         self.spans.push(SpanRecord {
@@ -575,12 +591,12 @@ impl TraceRecorder {
                 .fold((0, 0.0), |(c, t), s| (c + 1, t + s.dur_sec));
             if count > 0 {
                 out.push_str(&format!(
-                    "\n  {:<9} {count:>6} spans  {total:>10.4}s total",
+                    "\n  {:<10} {count:>6} spans  {total:>10.4}s total",
                     kind.name()
                 ));
             }
         }
-        out.push_str(&format!("\n  memory    {:>6} ledger events", self.mem.len()));
+        out.push_str(&format!("\n  memory     {:>6} ledger events", self.mem.len()));
         if let Some(worst) = self.peaks.iter().max_by_key(|p| p.peak_bytes) {
             out.push_str(&format!(
                 "\n  peak      {} bytes at epoch {} step {} (",
@@ -1022,11 +1038,21 @@ mod tests {
 
     #[test]
     fn span_kind_names_are_stable() {
-        assert_eq!(SpanKind::ALL.len(), 9);
+        assert_eq!(SpanKind::ALL.len(), 10);
         for kind in SpanKind::ALL {
             assert!(!kind.name().is_empty());
             assert_eq!(kind.to_string(), kind.name());
         }
+    }
+
+    #[test]
+    fn sec_at_maps_instants_onto_the_recorder_clock() {
+        let tr = TraceRecorder::new();
+        let before = Instant::now() - std::time::Duration::from_secs(60);
+        assert_eq!(tr.sec_at(before), 0.0, "pre-origin instants clamp to zero");
+        let later = Instant::now() + std::time::Duration::from_millis(50);
+        let sec = tr.sec_at(later);
+        assert!(sec > 0.0 && sec < 60.0, "{sec}");
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! must produce byte-identical results regardless of thread count or
 //! transfer overlap.
 
-use betty::{ExperimentConfig, Runner, StrategyKind};
+use betty::{EpochStats, ExperimentConfig, RecoveryLog, Runner, StrategyKind};
 use betty_data::{Dataset, DatasetSpec};
-use betty_device::gib;
+use betty_device::{gib, FaultPlan};
 use betty_graph::{
     dependency_reg_with_threads, sample_batch, shared_neighbor_graph_with_threads, CsrGraph,
     NodeId,
@@ -99,12 +99,125 @@ proptest! {
     }
 }
 
+/// Tests that mutate the process-global thread override serialize on
+/// this lock, so one test's override can't leak into another's
+/// pipeline-liveness assertions mid-run.
+static THREAD_OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// The deterministic subset of [`EpochStats`]: everything except
+/// wall-clock timings and the plan-ahead accounting extras (staged bytes
+/// and overlap are *defined* to differ between a pipelined and a
+/// synchronous epoch; they describe where time/memory went, not what was
+/// computed).
+fn deterministic_stats(stats: &EpochStats) -> Vec<u64> {
+    vec![
+        stats.loss.to_bits(),
+        stats.num_steps as u64,
+        stats.max_peak_bytes as u64,
+        stats.total_input_nodes as u64,
+        stats.total_src_nodes as u64,
+        stats.host_bytes as u64,
+        stats.oom_retries as u64,
+        stats.anomaly_rollbacks as u64,
+        stats.injected_faults as u64,
+        stats.estimated_peak_bytes as u64,
+        stats.estimator_drift.to_bits(),
+    ]
+}
+
+/// Final parameter bits, for trajectory-equality comparisons.
+fn param_bits(runner: &Runner) -> Vec<u32> {
+    runner
+        .trainer()
+        .model()
+        .params()
+        .iter()
+        .flat_map(|p| p.value().data().iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The partition-ahead pipeline must be invisible to the math: for
+    /// any depth × thread-count combination — including mid-run
+    /// evaluation (which resets the pipeline) and injected OOMs (whose
+    /// recovery invalidates staged plans and replans synchronously) —
+    /// the per-epoch deterministic stats, the validation accuracy, and
+    /// every final parameter bit must match the `plan_ahead: 0` run.
+    #[test]
+    fn plan_ahead_reproduces_synchronous_runs_bitwise(
+        seed in 0u64..500,
+        inject_oom in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let ds = dataset();
+        let fault_plan = inject_oom.then(|| FaultPlan {
+            // Global step 1 lands mid-run: its epoch OOMs, rolls back,
+            // and recovery escalates K — staged plans must be discarded
+            // without perturbing the trajectory.
+            oom_steps: vec![1],
+            ..FaultPlan::default()
+        });
+        let run = |depth: usize, threads: usize| {
+            betty_runtime::set_thread_override(Some(threads));
+            let cfg = ExperimentConfig {
+                plan_ahead: depth,
+                fault_plan: fault_plan.clone(),
+                ..config(true)
+            };
+            let mut runner = Runner::new(&ds, &cfg, seed);
+            let mut log = RecoveryLog::new();
+            let mut epochs = Vec::new();
+            for _ in 0..3 {
+                let (stats, _k) = runner
+                    .train_epoch_auto_recovering(&ds, StrategyKind::Betty, &mut log)
+                    .expect("retry budget covers the single injected OOM");
+                epochs.push(deterministic_stats(&stats));
+            }
+            assert_eq!(
+                runner.plan_ahead_active(),
+                depth > 0 && threads > 1,
+                "pipeline liveness must track depth and thread count"
+            );
+            // Evaluation draws from the sampler stream: it must reset
+            // the pipeline and still see identical batches.
+            let accuracy = runner.evaluate(&ds, &ds.val_idx).to_bits();
+            assert!(!runner.plan_ahead_active(), "evaluation must reset the pipeline");
+            for _ in 0..2 {
+                let (stats, _k) = runner
+                    .train_epoch_auto_recovering(&ds, StrategyKind::Betty, &mut log)
+                    .expect("post-evaluation epochs are fault-free");
+                epochs.push(deterministic_stats(&stats));
+            }
+            let params = param_bits(&runner);
+            betty_runtime::set_thread_override(None);
+            (epochs, accuracy, params)
+        };
+        let reference = run(0, 1);
+        for depth in [0usize, 1, 3] {
+            for threads in [1usize, 4] {
+                if depth == 0 && threads == 1 {
+                    continue;
+                }
+                let other = run(depth, threads);
+                prop_assert_eq!(
+                    &reference, &other,
+                    "depth {} × {} threads diverged (oom: {})",
+                    depth, threads, inject_oom
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn epoch_losses_invariant_under_thread_override() {
     // End-to-end determinism across the thread-count axis: planning
     // (parallel restrict), REG construction, and the kernels all route
     // through the shared pool, so overriding its width must not move a
     // single bit of the training trajectory.
+    let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let ds = dataset();
     let run = |threads: usize| {
         betty_runtime::set_thread_override(Some(threads));

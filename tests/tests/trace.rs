@@ -102,12 +102,93 @@ fn jsonl_export_is_valid_and_covers_every_event_type() {
                 assert_eq!(count, trace.drift_records().len(), "{} spans", kind.name());
             }
             // Single-device epochs never all-reduce, fail over, or
-            // retry a sync link.
-            SpanKind::Allreduce | SpanKind::Failover | SpanKind::LinkRetry => {
+            // retry a sync link — and this run plans synchronously
+            // (`plan_ahead: 0`), so no staging windows exist.
+            SpanKind::Allreduce
+            | SpanKind::Failover
+            | SpanKind::LinkRetry
+            | SpanKind::PlanAhead => {
                 assert_eq!(count, 0, "{} spans", kind.name());
             }
         }
     }
+}
+
+#[test]
+fn pipelined_partition_work_overlaps_training_spans() {
+    // Partition-ahead in action: epoch e's staging window (the
+    // `plan_ahead` span, from sampling start to bundle consumption)
+    // must contain epoch e−1's forward/backward spans — the partition
+    // work literally ran while the previous epoch trained. And the
+    // losses must still match the synchronous run bit for bit.
+    betty_runtime::set_thread_override(Some(4));
+    let ds = dataset();
+    let pipelined_cfg = ExperimentConfig {
+        plan_ahead: 2,
+        ..config(AggregatorSpec::Mean)
+    };
+    let mut runner = Runner::new(&ds, &pipelined_cfg, 0);
+    runner.enable_tracing();
+    let losses: Vec<u64> = (0..EPOCHS)
+        .map(|_| {
+            runner
+                .train_epoch_betty(&ds, StrategyKind::Betty, K)
+                .expect("default capacity fits the test batch")
+                .loss
+                .to_bits()
+        })
+        .collect();
+    assert!(runner.plan_ahead_active(), "pipeline must be live at depth 2");
+    let trace = runner.take_trace().expect("tracing was enabled");
+    betty_runtime::set_thread_override(None);
+
+    let spans = trace.spans();
+    let staging: Vec<_> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::PlanAhead)
+        .collect();
+    // Epoch 0 spawns the pipeline and consumes its first bundle without
+    // overlap; epochs 1.. consume bundles staged during the previous
+    // epoch.
+    assert_eq!(staging.len(), EPOCHS, "one staging window per epoch");
+    for window in staging.iter().filter(|s| s.epoch > 0) {
+        let trained_before: Vec<_> = spans
+            .iter()
+            .filter(|s| {
+                s.epoch == window.epoch - 1
+                    && matches!(s.kind, SpanKind::Forward | SpanKind::Backward)
+            })
+            .collect();
+        assert!(!trained_before.is_empty(), "epoch {} trained", window.epoch - 1);
+        for span in trained_before {
+            assert!(
+                window.start_sec <= span.start_sec
+                    && span.start_sec + span.dur_sec
+                        <= window.start_sec + window.dur_sec,
+                "epoch {}'s staging window [{:.6}, {:.6}] must contain epoch {}'s \
+                 {} span [{:.6}, {:.6}]",
+                window.epoch,
+                window.start_sec,
+                window.start_sec + window.dur_sec,
+                span.epoch,
+                span.kind.name(),
+                span.start_sec,
+                span.start_sec + span.dur_sec,
+            );
+        }
+    }
+
+    // The staged run's losses are bit-identical to the synchronous one.
+    let mut sync = Runner::new(&ds, &config(AggregatorSpec::Mean), 0);
+    let sync_losses: Vec<u64> = (0..EPOCHS)
+        .map(|_| {
+            sync.train_epoch_betty(&ds, StrategyKind::Betty, K)
+                .expect("default capacity fits the test batch")
+                .loss
+                .to_bits()
+        })
+        .collect();
+    assert_eq!(losses, sync_losses, "pipelining changed the math");
 }
 
 #[test]
