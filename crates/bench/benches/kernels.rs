@@ -10,7 +10,6 @@ use betty_data::DatasetSpec;
 use betty_graph::{dependency_reg, sample_batch, shared_neighbor_graph, Batch};
 use betty_nn::{Aggregator, AggregatorSpec, Session};
 use betty_partition::{MultilevelPartitioner, OutputPartitioner, Partitioner, RegPartitioner};
-use betty_tensor::segment;
 
 fn bench_batch() -> (betty_data::Dataset, Batch) {
     let ds = DatasetSpec::ogbn_arxiv()
@@ -56,7 +55,7 @@ fn aggregators(c: &mut Criterion) {
     let (ds, batch) = bench_batch();
     let block = batch.blocks().last().unwrap().clone();
     let idx: Vec<usize> = block.src_globals().iter().map(|&v| v as usize).collect();
-    let feats = segment::gather_rows(&ds.features, &idx);
+    let feats = ds.features.gather_rows(&idx);
     let mut rng = Pcg64Mcg::seed_from_u64(3);
     for spec in [
         AggregatorSpec::Mean,

@@ -1,0 +1,5 @@
+//! Extension exhibit: ext_featurestore. `BETTY_PROFILE=quick` shrinks it.
+fn main() {
+    let profile = betty_bench::Profile::from_env();
+    betty_bench::experiments::ext_featurestore::run(profile);
+}

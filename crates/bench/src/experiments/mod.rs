@@ -4,6 +4,7 @@
 pub mod ablation;
 pub mod ext_alloc;
 pub mod ext_elastic;
+pub mod ext_featurestore;
 pub mod ext_multi_gpu;
 pub mod ext_overhead;
 pub mod ext_pipeline;
@@ -50,4 +51,5 @@ pub fn run_all(profile: Profile) {
     ext_recovery::run(profile);
     ext_trace::run(profile);
     ext_alloc::run(profile);
+    ext_featurestore::run(profile);
 }

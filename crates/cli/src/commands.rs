@@ -24,17 +24,67 @@ fn preset_by_name(name: &str) -> Result<DatasetSpec, ArgError> {
 }
 
 fn load(args: &Args) -> Result<Dataset, Box<dyn Error>> {
-    if let Some(path) = args.get("data") {
-        return Ok(load_dataset(path)?);
-    }
-    // Allow generating on the fly: --preset without --data.
-    if let Some(preset) = args.get("preset") {
+    let ds = if let Some(path) = args.get("data") {
+        load_dataset(path)?
+    } else if let Some(preset) = args.get("preset") {
+        // Allow generating on the fly: --preset without --data.
         let spec = preset_by_name(preset)?
             .scaled(args.get_or("scale", 0.01f64)?)
             .with_feature_dim(args.get_or("feature-dim", 32usize)?);
-        return Ok(spec.generate(args.get_or("seed", 0u64)?));
+        spec.generate(args.get_or("seed", 0u64)?)
+    } else {
+        return Err(Box::new(ArgError(
+            "provide --data <file> or --preset <name>".into(),
+        )));
+    };
+    apply_feature_store(ds, args)
+}
+
+/// Applies the `--feature-store` flag family to a freshly loaded dataset.
+///
+/// `--feature-store paged` spills the feature matrix into row-range
+/// shards on disk and serves every gather through a pinned hot-set cache
+/// bounded by `--feature-cache-bytes`; training losses are bit-identical
+/// to the dense in-memory default, only where the features live (and the
+/// paging counters in `--trace-out`) change.
+fn apply_feature_store(mut ds: Dataset, args: &Args) -> Result<Dataset, Box<dyn Error>> {
+    let backend = args.get("feature-store").unwrap_or("dense");
+    match backend {
+        "dense" => {
+            for flag in ["feature-cache-bytes", "feature-page-rows", "feature-dir"] {
+                if args.get(flag).is_some() {
+                    return Err(Box::new(ArgError(format!(
+                        "--{flag} requires --feature-store paged"
+                    ))));
+                }
+            }
+            Ok(ds)
+        }
+        "paged" => {
+            // An unbounded cache is still charged honestly: the
+            // reservation is min(budget, total feature bytes).
+            let cache = args.get_or("feature-cache-bytes", usize::MAX)?;
+            let page_rows = args.get_or("feature-page-rows", 1024usize)?;
+            if page_rows == 0 {
+                return Err(Box::new(ArgError(
+                    "--feature-page-rows must be positive".into(),
+                )));
+            }
+            let dir = match args.get("feature-dir") {
+                Some(d) => std::path::PathBuf::from(d),
+                None => std::env::temp_dir().join(format!(
+                    "betty-features-{}-{}",
+                    ds.name,
+                    std::process::id()
+                )),
+            };
+            ds.features = ds.features.to_paged(&dir, page_rows, cache)?;
+            Ok(ds)
+        }
+        other => Err(Box::new(ArgError(format!(
+            "unknown feature store '{other}' (try: dense, paged)"
+        )))),
     }
-    Err(Box::new(ArgError("provide --data <file> or --preset <name>".into())))
 }
 
 fn strategy(args: &Args) -> Result<StrategyKind, ArgError> {
@@ -177,7 +227,11 @@ pub fn info(args: &Args) -> CmdResult {
     println!("dataset    {}", ds.name);
     println!("nodes      {}", ds.graph.num_nodes());
     println!("edges      {}", ds.graph.num_edges());
-    println!("features   {}", ds.feature_dim());
+    println!(
+        "features   {} ({} store)",
+        ds.feature_dim(),
+        ds.features.backend_name()
+    );
     println!("classes    {}", ds.num_classes);
     println!(
         "splits     train {} / val {} / test {}",
@@ -327,6 +381,13 @@ pub fn train(args: &Args) -> CmdResult {
         ds.train_idx.len(),
         mib(config.capacity_bytes)
     );
+    if ds.features.is_paged() {
+        println!(
+            "feature store: paged ({:.1} MiB of features on disk, {:.1} MiB pinned cache)",
+            mib(ds.features.size_bytes()),
+            mib(ds.features.cache_reservation_bytes())
+        );
+    }
     if config.fault_plan.is_some() {
         println!(
             "fault injection armed (seed {}), recovery budget {} retries",

@@ -69,6 +69,25 @@ COMMANDS:
              <file> [--model ...same shape flags as train]
 
 GLOBAL FLAGS (accepted by every command, after the command name):
+  --feature-store dense|paged
+                 where node features live (default dense, fully in memory).
+                 'paged' spills the feature matrix into row-range shards on
+                 disk and serves gathers through a pinned hot-set cache, so
+                 graphs whose features exceed host memory still train.
+                 Losses and parameters are bit-identical to dense; only the
+                 timing and the paging counters differ.
+  --feature-cache-bytes N
+                 hot-set cache budget for --feature-store paged (default
+                 unbounded). The reservation actually charged to the device
+                 ledger is min(N, total feature bytes) under the dedicated
+                 'feature cache' category, and the planner charges exactly
+                 the same constant, so estimator drift stays exact.
+  --feature-page-rows N
+                 rows per on-disk shard for --feature-store paged (default
+                 1024) — the paging granularity and the unit of eviction.
+  --feature-dir <dir>
+                 where --feature-store paged writes its shards (default: a
+                 per-process directory under the system temp dir)
   --threads N    worker threads for parallel stages (REG build, micro-batch
                  extraction, large matmuls); 1 is exactly serial. Defaults
                  to the BETTY_THREADS env var, then the core count. Every

@@ -19,6 +19,7 @@ pub(crate) struct StepSizes {
     pub blocks: usize,
     pub input_features: usize,
     pub labels: usize,
+    pub feature_cache: usize,
 }
 
 impl StepSizes {
@@ -38,7 +39,17 @@ impl StepSizes {
                 .sum(),
             input_features: batch.input_nodes().len() * in_dim * BYTES_PER_VALUE,
             labels: batch.output_nodes().len() * BYTES_PER_VALUE,
+            feature_cache: 0,
         }
+    }
+
+    /// Adds the out-of-core feature store's pinned hot-set reservation
+    /// (`Features::cache_reservation_bytes`) to the step's static charges.
+    /// Zero (the dense backend) is a no-op, keeping dense runs
+    /// bit-identical to the pre-FeatureStore ledger.
+    pub(crate) fn with_feature_cache(mut self, bytes: usize) -> Self {
+        self.feature_cache = bytes;
+        self
     }
 
     /// Bytes that must cross the host→device link for this step (model
@@ -63,14 +74,22 @@ impl StepCharges {
     /// rolled back — the ledger is left exactly as found, so recovery
     /// can re-plan against a clean device.
     pub(crate) fn charge_static(device: &mut Device, sizes: &StepSizes) -> Result<Self, OomError> {
-        let mut statics = Vec::with_capacity(5);
+        let mut statics = Vec::with_capacity(6);
         for (bytes, cat) in [
             (sizes.params, MemoryCategory::Parameters),
             (sizes.optimizer_states, MemoryCategory::OptimizerStates),
             (sizes.blocks, MemoryCategory::Blocks),
             (sizes.input_features, MemoryCategory::InputFeatures),
             (sizes.labels, MemoryCategory::Labels),
+            (sizes.feature_cache, MemoryCategory::FeatureCache),
         ] {
+            // The dense backend reserves no cache; skipping the alloc
+            // outright (rather than charging 0 bytes) keeps the armed
+            // fault injector's per-alloc decision stream identical to
+            // the pre-FeatureStore ledger.
+            if cat == MemoryCategory::FeatureCache && bytes == 0 {
+                continue;
+            }
             match device.alloc(bytes, cat) {
                 Ok(id) => statics.push(id),
                 Err(e) => {

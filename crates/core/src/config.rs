@@ -176,6 +176,34 @@ impl ExperimentConfig {
         eat(&(self.max_partitions as u64).to_le_bytes());
         h
     }
+
+    /// Fingerprint of the config *and* the dataset shape it was trained
+    /// against. [`ExperimentConfig::fingerprint`] alone covers only
+    /// model-shape knobs, so a checkpoint from Cora would happily resume
+    /// onto Pubmed as long as the config matched — the optimizer moments
+    /// and parameters would then be silently misapplied (or crash on a
+    /// shape mismatch deep inside the model). Folding in `feature_dim`,
+    /// `num_classes`, and `num_nodes` makes `--resume` reject a
+    /// checkpoint produced against a different dataset up front.
+    pub fn fingerprint_for_dataset(
+        &self,
+        feature_dim: usize,
+        num_classes: usize,
+        num_nodes: usize,
+    ) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = self.fingerprint();
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&(feature_dim as u64).to_le_bytes());
+        eat(&(num_classes as u64).to_le_bytes());
+        eat(&(num_nodes as u64).to_le_bytes());
+        h
+    }
 }
 
 #[cfg(test)]
@@ -264,5 +292,22 @@ mod tests {
             ..ExperimentConfig::default()
         };
         assert_eq!(base.fingerprint(), perturbed.fingerprint());
+    }
+
+    #[test]
+    fn dataset_fingerprint_tracks_dataset_shape() {
+        let cfg = ExperimentConfig::default();
+        let base = cfg.fingerprint_for_dataset(128, 40, 1000);
+        assert_eq!(base, cfg.fingerprint_for_dataset(128, 40, 1000));
+        // Same config, different dataset shape → different fingerprint.
+        assert_ne!(base, cfg.fingerprint_for_dataset(500, 40, 1000));
+        assert_ne!(base, cfg.fingerprint_for_dataset(128, 3, 1000));
+        assert_ne!(base, cfg.fingerprint_for_dataset(128, 40, 999));
+        // Config knobs still matter under the combined fingerprint.
+        let wider = ExperimentConfig {
+            hidden_dim: 128,
+            ..ExperimentConfig::default()
+        };
+        assert_ne!(base, wider.fingerprint_for_dataset(128, 40, 1000));
     }
 }

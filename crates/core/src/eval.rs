@@ -47,7 +47,7 @@ pub fn predict(
         // RngCore` rather than the unsized `dyn RngCore`.
         let batch = sample_batch_in(&in_graph, chunk, fanouts, &mut rng);
         let input_idx: Vec<usize> = batch.input_nodes().iter().map(|&v| v as usize).collect();
-        let feats = segment::gather_rows(&dataset.features, &input_idx);
+        let feats = dataset.features.gather_rows(&input_idx);
         let mut sess = Session::new();
         let x = sess.graph.leaf(feats);
         let logits = model.forward(&mut sess, batch.blocks(), x, false, rng);
@@ -78,7 +78,9 @@ pub fn predict_full_graph(
     assert!(chunk_size > 0, "chunk_size must be positive");
     let n = dataset.num_nodes();
     let in_graph = dataset.graph.reverse();
-    let mut h = dataset.features.clone();
+    // Layer 0 reads the raw features; densifying once keeps the layer
+    // loop backend-agnostic (inference is out of the training hot path).
+    let mut h = dataset.features.to_dense();
     for layer in 0..model.num_layers() {
         let out_dim = if layer + 1 == model.num_layers() {
             model.num_classes()

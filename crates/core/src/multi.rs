@@ -553,6 +553,7 @@ mod tests {
                 peak_bytes: 100,
                 input_nodes: 1,
                 total_src_nodes: 1,
+                ..StepStats::default()
             });
             e
         };
@@ -622,6 +623,7 @@ mod tests {
                 peak_bytes: 1,
                 input_nodes: 1,
                 total_src_nodes: 1,
+                ..StepStats::default()
             });
             e
         };
@@ -683,6 +685,7 @@ mod tests {
             peak_bytes: 10,
             input_nodes: 1,
             total_src_nodes: 1,
+            ..StepStats::default()
         };
         let steps = vec![step, step];
         let folded = fold_by_device_scaled(&steps, &[0, 1], 2, &[(1, 3.0)]);

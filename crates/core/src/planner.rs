@@ -89,6 +89,7 @@ pub struct MemoryAwarePlanner {
     capacity_bytes: usize,
     max_partitions: usize,
     prefetch_staging: bool,
+    feature_cache_bytes: usize,
 }
 
 impl MemoryAwarePlanner {
@@ -100,6 +101,7 @@ impl MemoryAwarePlanner {
             capacity_bytes,
             max_partitions,
             prefetch_staging: false,
+            feature_cache_bytes: 0,
         }
     }
 
@@ -113,6 +115,17 @@ impl MemoryAwarePlanner {
     /// unaffected.
     pub fn with_prefetch_staging(mut self, enabled: bool) -> Self {
         self.prefetch_staging = enabled;
+        self
+    }
+
+    /// Makes the planner charge the out-of-core feature store's pinned
+    /// hot-set reservation against every micro-batch: each estimate's
+    /// [`feature_cache`](MemoryEstimate::feature_cache) term is set to
+    /// `bytes` (the trainer charges the same constant per step, so the
+    /// estimator stays drift-free). Pass the store's
+    /// `cache_reservation_bytes()`; zero (the dense backend) is a no-op.
+    pub fn with_feature_cache(mut self, bytes: usize) -> Self {
+        self.feature_cache_bytes = bytes;
         self
     }
 
@@ -153,6 +166,11 @@ impl MemoryAwarePlanner {
         if self.prefetch_staging {
             for i in 0..estimates.len().saturating_sub(1) {
                 estimates[i].prefetch_staging = estimates[i + 1].transfer_bytes();
+            }
+        }
+        if self.feature_cache_bytes > 0 {
+            for est in &mut estimates {
+                est.feature_cache = self.feature_cache_bytes;
             }
         }
         Plan {
@@ -384,6 +402,27 @@ mod tests {
         assert_eq!(plan.estimates[k - 1].prefetch_staging, 0);
         let single = staged.plan_fixed(&batch(), &strategy, 1);
         assert_eq!(single.estimates[0].prefetch_staging, 0);
+    }
+
+    #[test]
+    fn feature_cache_charges_every_micro_batch_constantly() {
+        let plain = MemoryAwarePlanner::new(estimator(), usize::MAX, 64);
+        let cached = plain.clone().with_feature_cache(4096);
+        let strategy = RegPartitioner::new(0);
+        let base = plain.plan_fixed(&batch(), &strategy, 4);
+        let plan = cached.plan_fixed(&batch(), &strategy, 4);
+        assert!(plan.estimates.len() >= 2);
+        for (i, (est, b)) in plan.estimates.iter().zip(&base.estimates).enumerate() {
+            assert_eq!(est.feature_cache, 4096, "micro-batch {i}");
+            assert_eq!(
+                est.peak_bytes(),
+                b.peak_bytes() + 4096,
+                "the reservation must raise micro-batch {i}'s peak by exactly the budget"
+            );
+        }
+        // Zero budget (the dense backend) leaves estimates untouched.
+        let zero = plain.clone().with_feature_cache(0).plan_fixed(&batch(), &strategy, 4);
+        assert_eq!(zero.estimates, base.estimates);
     }
 
     #[test]

@@ -119,6 +119,11 @@ pub struct Runner {
     sample_rng: Pcg64Mcg,
     seed: u64,
     cached_parts: Option<CachedParts>,
+    /// Combined config + dataset-shape fingerprint captured at
+    /// construction, stored into checkpoints so `--resume` rejects a
+    /// checkpoint produced against a different dataset (same-config,
+    /// different-data used to slip through the config-only fingerprint).
+    dataset_fingerprint: u64,
     /// Partition-ahead pipeline staging future epochs' plans on
     /// background workers (`config.plan_ahead > 0` only). `None` means
     /// the next epoch plans synchronously; anything that perturbs the
@@ -254,7 +259,8 @@ impl Runner {
         let estimator = MemoryEstimator::new(shape).with_lstm_constant(LSTM_TAPE_CONSTANT);
         let planner =
             MemoryAwarePlanner::new(estimator, config.capacity_bytes, config.max_partitions)
-                .with_prefetch_staging(config.prefetch);
+                .with_prefetch_staging(config.prefetch)
+                .with_feature_cache(dataset.features.cache_reservation_bytes());
         let mut trainer = Trainer::new(
             model,
             config.learning_rate,
@@ -276,6 +282,11 @@ impl Runner {
             sample_rng: Pcg64Mcg::seed_from_u64(seed.wrapping_add(2)),
             seed,
             cached_parts: None,
+            dataset_fingerprint: config.fingerprint_for_dataset(
+                dataset.feature_dim(),
+                dataset.num_classes,
+                dataset.num_nodes(),
+            ),
             pipeline: None,
             epochs_run: 0,
             link_faults,
@@ -1382,7 +1393,7 @@ impl Runner {
             self.trainer.global_step() as u64,
             self.seed,
         ];
-        state.fingerprint = Some(self.config.fingerprint());
+        state.fingerprint = Some(self.dataset_fingerprint);
         state
     }
 
@@ -1398,11 +1409,12 @@ impl Runner {
     /// the model.
     pub fn import_session(&mut self, state: &TrainState) -> Result<(), RunError> {
         if let Some(fp) = state.fingerprint {
-            let own = self.config.fingerprint();
+            let own = self.dataset_fingerprint;
             if fp != own {
                 return Err(RunError::Checkpoint(format!(
-                    "config fingerprint mismatch: checkpoint {fp:#018x} vs current {own:#018x} \
-                     (the checkpoint was produced by a different experiment)"
+                    "config/dataset fingerprint mismatch: checkpoint {fp:#018x} vs current \
+                     {own:#018x} (the checkpoint was produced by a different experiment or \
+                     against a different dataset)"
                 )));
             }
         }

@@ -1,7 +1,7 @@
 //! Training statistics collected by the trainer.
 
 /// Measurements from executing one (micro-)batch step.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StepStats {
     /// Loss contribution (already scaled to the effective batch).
     pub loss: f64,
@@ -15,6 +15,18 @@ pub struct StepStats {
     pub input_nodes: usize,
     /// Source nodes summed over every layer (compute volume).
     pub total_src_nodes: usize,
+    /// Feature rows served from resident shards (dense backend: every row).
+    pub feature_hits: u64,
+    /// Feature rows whose shard had to be paged in from disk first.
+    pub feature_misses: u64,
+    /// Feature shards read from disk for this step.
+    pub feature_pages_in: u64,
+    /// Bytes of shard payload read from disk for this step.
+    pub feature_page_in_bytes: u64,
+    /// Simulated seconds spent paging feature shards over the store's
+    /// NVMe-like link, for the portion *not* hidden behind compute (the
+    /// prefetcher folds hidden page-in time into its overlap instead).
+    pub page_in_sec: f64,
 }
 
 /// Aggregated measurements for one epoch (all micro-batches of all batches).
@@ -106,6 +118,21 @@ pub struct EpochStats {
     /// Devices flagged as stragglers (attributed time per unit work
     /// exceeded the group's threshold over the median device).
     pub stragglers_detected: usize,
+    /// Feature rows served from the store's resident set over the epoch.
+    /// The dense in-memory backend scores every row as a hit, so
+    /// `feature_misses == 0` is the out-of-core story's baseline.
+    pub feature_hits: u64,
+    /// Feature rows that required paging their shard in from disk.
+    pub feature_misses: u64,
+    /// Feature shards paged in from disk over the epoch.
+    pub feature_pages_in: u64,
+    /// Shard payload bytes read from disk over the epoch.
+    pub feature_page_in_bytes: u64,
+    /// Simulated page-in seconds paid on the critical path (excludes
+    /// page-ins hidden behind compute by the prefetcher, which land in
+    /// `prefetch_overlap_sec`). Wall-clock-like timing: excluded from
+    /// bit-identity comparisons.
+    pub page_in_sec: f64,
 }
 
 impl EpochStats {
@@ -118,11 +145,28 @@ impl EpochStats {
         self.max_peak_bytes = self.max_peak_bytes.max(step.peak_bytes);
         self.total_input_nodes += step.input_nodes;
         self.total_src_nodes += step.total_src_nodes;
+        self.feature_hits += step.feature_hits;
+        self.feature_misses += step.feature_misses;
+        self.feature_pages_in += step.feature_pages_in;
+        self.feature_page_in_bytes += step.feature_page_in_bytes;
+        self.page_in_sec += step.page_in_sec;
     }
 
-    /// Epoch wall time: compute plus simulated transfer.
+    /// Fraction of feature-row requests served without touching disk
+    /// (1.0 when nothing was requested — an idle store never misses).
+    pub fn feature_hit_rate(&self) -> f64 {
+        let total = self.feature_hits + self.feature_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.feature_hits as f64 / total as f64
+        }
+    }
+
+    /// Epoch wall time: compute plus simulated transfer plus exposed
+    /// feature page-in time (zero for the dense in-memory backend).
     pub fn total_sec(&self) -> f64 {
-        self.compute_sec + self.transfer_sec
+        self.compute_sec + self.transfer_sec + self.page_in_sec
     }
 
     /// The paper's computation-efficiency metric (§6.4): total nodes in all
@@ -148,6 +192,11 @@ mod tests {
             peak_bytes: peak,
             input_nodes: 10,
             total_src_nodes: 30,
+            feature_hits: 8,
+            feature_misses: 2,
+            feature_pages_in: 1,
+            feature_page_in_bytes: 256,
+            page_in_sec: 0.01,
         }
     }
 
@@ -159,9 +208,15 @@ mod tests {
         assert_eq!(e.num_steps, 2);
         assert_eq!(e.max_peak_bytes, 100);
         assert_eq!(e.total_input_nodes, 20);
+        assert_eq!(e.feature_hits, 16);
+        assert_eq!(e.feature_misses, 4);
+        assert_eq!(e.feature_pages_in, 2);
+        assert_eq!(e.feature_page_in_bytes, 512);
+        assert!((e.feature_hit_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(EpochStats::default().feature_hit_rate(), 1.0);
         assert!((e.loss - 1.0).abs() < 1e-12);
-        assert!((e.total_sec() - 3.0).abs() < 1e-12);
-        assert!((e.computation_efficiency() - 20.0).abs() < 1e-9);
+        assert!((e.total_sec() - 3.02).abs() < 1e-12, "page-in time counts");
+        assert!((e.computation_efficiency() - 60.0 / 3.02).abs() < 1e-9);
     }
 
     #[test]

@@ -6,14 +6,14 @@ use std::time::Instant;
 use rand::SeedableRng;
 use rand_pcg::Pcg64Mcg;
 
-use betty_data::Dataset;
+use betty_data::{Dataset, GatherStats};
 use betty_device::{
     AllocationId, Device, FaultEvent, FaultPlan, MemoryCategory, OomError, TransferModel,
     BYTES_PER_VALUE,
 };
 use betty_graph::Batch;
 use betty_nn::{Adam, GnnModel, Optimizer, Param, Session};
-use betty_tensor::{segment, PoolStats, Reduction};
+use betty_tensor::{PoolStats, Reduction};
 use betty_trace::{SpanKind, TraceRecorder};
 
 use crate::accounting::{StepCharges, StepSizes};
@@ -206,6 +206,11 @@ pub struct Trainer {
     optimizer: Adam,
     device: Device,
     transfer: TransferModel,
+    /// Simulated NVMe-like link feature shards page in over. Separate
+    /// from `transfer` so paged feature stores never perturb the PCIe
+    /// link's counters or its armed fault-injector stream — dense and
+    /// paged runs draw identical stall sequences on `transfer`.
+    feature_link: TransferModel,
     rng: Pcg64Mcg,
     global_step: usize,
     trace: Option<TraceRecorder>,
@@ -241,6 +246,7 @@ impl Trainer {
             optimizer: Adam::new(learning_rate),
             device,
             transfer: TransferModel::pcie3(),
+            feature_link: TransferModel::nvme(),
             rng: Pcg64Mcg::seed_from_u64(seed),
             global_step: 0,
             trace: None,
@@ -332,6 +338,11 @@ impl Trainer {
     /// The transfer model, for bandwidth/latency inspection.
     pub fn transfer(&self) -> &TransferModel {
         &self.transfer
+    }
+
+    /// The feature page-in link model (NVMe-like), for inspection.
+    pub fn feature_link(&self) -> &TransferModel {
+        &self.feature_link
     }
 
     /// Updates the optimizer's learning rate (for
@@ -527,6 +538,15 @@ impl Trainer {
         epoch.pool_bytes_recycled = delta.bytes_recycled;
         if let Some(tr) = self.trace.as_mut() {
             tr.record_alloc(self.global_step, delta.hits, delta.misses, delta.bytes_recycled);
+            if epoch.feature_hits + epoch.feature_misses > 0 {
+                tr.record_featurestore(
+                    self.global_step,
+                    epoch.feature_hits,
+                    epoch.feature_misses,
+                    epoch.feature_pages_in,
+                    epoch.feature_page_in_bytes,
+                );
+            }
         }
     }
 
@@ -739,7 +759,8 @@ impl Trainer {
         let in_dim = dataset.feature_dim();
         let param_values = self.model.total_param_count();
         let opt_values = param_values * self.optimizer.state_values_per_param();
-        let sizes = StepSizes::for_batch(batch, in_dim, param_values, opt_values);
+        let sizes = StepSizes::for_batch(batch, in_dim, param_values, opt_values)
+            .with_feature_cache(dataset.features.cache_reservation_bytes());
 
         // This batch's staged copy is re-charged below under the regular
         // static categories, so the staging buffer is dropped first.
@@ -768,6 +789,7 @@ impl Trainer {
         // whole step, so the charge lands before the forward pass —
         // matching the planner's `prefetch_staging` term in the peak
         // estimate (Eq. 5).
+        let mut feature_stats = GatherStats::default();
         let mut staged_out = match stage_next {
             Some(next) => {
                 let next_sizes = StepSizes::for_batch(next, in_dim, param_values, opt_values);
@@ -782,7 +804,17 @@ impl Trainer {
                         return Err(oom(StepPhase::Prefetch)(e));
                     }
                 };
-                let raw_sec = self.transfer.transfer(staged_bytes);
+                // Page the next micro-batch's feature shards in alongside
+                // the staged PCIe bytes: their NVMe seconds join `raw_sec`
+                // and are hidden behind this step's compute like the rest
+                // of the staged transfer, so the consuming step's gather
+                // hits the warm cache.
+                let next_idx: Vec<usize> =
+                    next.input_nodes().iter().map(|&v| v as usize).collect();
+                let warm = dataset.features.prewarm(&next_idx);
+                feature_stats.absorb(&warm);
+                let raw_sec = self.transfer.transfer(staged_bytes)
+                    + self.feature_link.transfer(warm.bytes_in as usize);
                 Some(StagedTransfer {
                     alloc,
                     raw_sec,
@@ -807,7 +839,13 @@ impl Trainer {
             .session
             .graph
             .take_scratch(&[input_idx.len(), dataset.features.cols()]);
-        segment::gather_rows_into(&dataset.features, &input_idx, input_feats.data_mut());
+        let gather_stats = dataset.features.gather_into(&input_idx, input_feats.data_mut());
+        // Shards the prefetcher did not (or could not) keep warm page in
+        // on the critical path, over the NVMe-like feature link. Dense
+        // stores and warm caches read zero bytes, which the link models
+        // as free.
+        let page_in_sec = self.feature_link.transfer(gather_stats.bytes_in as usize);
+        feature_stats.absorb(&gather_stats);
         self.session.graph.recycle_indices(input_idx);
         let input_bytes = input_feats.size_bytes();
         let mut targets = self.session.graph.take_indices();
@@ -962,6 +1000,11 @@ impl Trainer {
                 peak_bytes,
                 input_nodes: batch.input_nodes().len(),
                 total_src_nodes: batch.total_src_nodes(),
+                feature_hits: feature_stats.hits,
+                feature_misses: feature_stats.misses,
+                feature_pages_in: feature_stats.pages_in,
+                feature_page_in_bytes: feature_stats.bytes_in,
+                page_in_sec,
             },
             staged_out,
         ))

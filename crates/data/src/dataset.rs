@@ -1,7 +1,8 @@
 use std::fmt;
 
 use betty_graph::{CsrGraph, NodeId};
-use betty_tensor::Tensor;
+
+use crate::Features;
 
 /// A structural defect found in a dataset, naming the offending element
 /// so a bad export can be fixed at the source instead of surfacing later
@@ -61,8 +62,10 @@ pub struct Dataset {
     pub name: String,
     /// The input graph; edges `u → v` mean `v` aggregates from `u`.
     pub graph: CsrGraph,
-    /// Node features, `[num_nodes, feature_dim]`.
-    pub features: Tensor,
+    /// Node features, `[num_nodes, feature_dim]`, behind a storage
+    /// backend (in-memory dense by default; disk-resident paged via
+    /// [`Features::to_paged`]).
+    pub features: Features,
     /// Class label per node.
     pub labels: Vec<usize>,
     /// Number of classes.
@@ -134,16 +137,11 @@ impl Dataset {
             }
         }
         let d = self.feature_dim();
-        if let Some((i, &value)) = self
-            .features
-            .data()
-            .iter()
-            .enumerate()
-            .find(|(_, v)| !v.is_finite())
-        {
+        if let Some((i, value)) = self.features.find_non_finite() {
+            let (node, dim) = locate_flat(i, d);
             return Err(DataError::NonFiniteFeature {
-                node: i.checked_div(d).unwrap_or(0),
-                dim: i.checked_rem(d).unwrap_or(0),
+                node,
+                dim,
                 value: format!("{value}"),
             });
         }
@@ -161,15 +159,27 @@ impl Dataset {
     }
 }
 
+/// Maps a flat feature index onto `(node, dim)`. With `feature_dim == 0`
+/// no row can own the value, so the flat index itself is reported as the
+/// node (previously both collapsed to `(0, 0)`, silently misattributing
+/// the defect to node 0).
+fn locate_flat(i: usize, d: usize) -> (usize, usize) {
+    match (i.checked_div(d), i.checked_rem(d)) {
+        (Some(node), Some(dim)) => (node, dim),
+        _ => (i, 0),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use betty_tensor::Tensor;
 
     fn tiny() -> Dataset {
         Dataset {
             name: "tiny".into(),
             graph: CsrGraph::from_edges(4, &[(0, 1), (2, 3)]),
-            features: Tensor::zeros(&[4, 2]),
+            features: Features::dense(Tensor::zeros(&[4, 2])),
             labels: vec![0, 1, 0, 1],
             num_classes: 2,
             train_idx: vec![0, 1],
@@ -202,7 +212,7 @@ mod tests {
     #[test]
     fn feature_rows_checked() {
         let mut d = tiny();
-        d.features = Tensor::zeros(&[3, 2]);
+        d.features = Tensor::zeros(&[3, 2]).into();
         assert!(d.validate().is_err());
     }
 
@@ -211,7 +221,7 @@ mod tests {
         let mut d = tiny();
         let mut vals = vec![0.0f32; 8];
         vals[5] = f32::NAN; // node 2, dim 1
-        d.features = Tensor::from_vec(vals, &[4, 2]).unwrap();
+        d.features = Tensor::from_vec(vals, &[4, 2]).unwrap().into();
         match d.check().unwrap_err() {
             DataError::NonFiniteFeature { node, dim, value } => {
                 assert_eq!(node, 2);
@@ -223,8 +233,28 @@ mod tests {
         let mut d2 = tiny();
         let mut vals = vec![0.0f32; 8];
         vals[0] = f32::INFINITY;
-        d2.features = Tensor::from_vec(vals, &[4, 2]).unwrap();
+        d2.features = Tensor::from_vec(vals, &[4, 2]).unwrap().into();
         let err = d2.check().unwrap_err();
         assert!(err.to_string().contains("feature[0][0]"), "{err}");
+    }
+
+    #[test]
+    fn zero_dim_features_pass_check() {
+        // Regression: with feature_dim == 0 the old node/dim arithmetic
+        // (`i.checked_div(0).unwrap_or(0)`) collapsed any index to
+        // (0, 0); a zero-width matrix must simply validate (it holds no
+        // values that could be non-finite).
+        let mut d = tiny();
+        d.features = Tensor::zeros(&[4, 0]).into();
+        d.check().expect("zero-dim features are consistent");
+        assert_eq!(d.feature_dim(), 0);
+    }
+
+    #[test]
+    fn locate_flat_reports_true_flat_index_for_zero_dim() {
+        assert_eq!(locate_flat(5, 2), (2, 1));
+        assert_eq!(locate_flat(0, 3), (0, 0));
+        // d == 0: the flat index itself is the only truthful coordinate.
+        assert_eq!(locate_flat(7, 0), (7, 0));
     }
 }

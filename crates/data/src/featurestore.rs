@@ -1,0 +1,1013 @@
+//! Node-feature storage backends.
+//!
+//! Betty's Eq. 5 planner bounds *activation* memory, but the node-feature
+//! matrix itself was a single dense in-memory [`Tensor`] — capping
+//! reachable graph scale at whatever the host can hold. This module puts
+//! features behind the [`FeatureStore`] trait with two implementations:
+//!
+//! * [`DenseFeatures`] — the original in-memory matrix. Zero overhead;
+//!   every gather is a hit.
+//! * [`PagedFeatures`] — features live on disk as fixed-row shards
+//!   (`shard-NNNNN.bfs`, CRC-32-checked like the v2 checkpoint format),
+//!   and a byte-budgeted pinned hot-set cache holds the shards the
+//!   sampler is actually touching, evicting in least-recently-used order
+//!   of the *gather access pattern*.
+//!
+//! The two backends are **value-identical**: a gather returns the exact
+//! same `f32` bits either way, so training through a paged store is
+//! bit-identical to training in memory (this is property-tested). Only
+//! the accounting differs: the paged store reports cache hits/misses and
+//! page-in traffic, which the trainer feeds through its transfer cost
+//! model and charges to the `FeatureCache` ledger category.
+//!
+//! ## Shard layout
+//!
+//! ```text
+//! meta file "features.meta":
+//!   magic "BTYFMET1" | rows u32 | cols u32 | page_rows u32 | crc32
+//! shard file "shard-NNNNN.bfs" (one per `page_rows` rows):
+//!   magic "BTYFSHD1" | shard u32 | start_row u32 | num_rows u32
+//!   | cols u32 | payload (num_rows × cols f32 LE) | crc32
+//! ```
+//!
+//! Every file's CRC covers everything after its magic. [`PagedFeatures::open`]
+//! verifies every shard (existence, header consistency, full CRC) up
+//! front, so gathers during training are infallible — a truncated or
+//! bit-flipped shard is rejected at open with a structured
+//! [`FeatureStoreError::Format`], never silently trained on.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use betty_tensor::Tensor;
+
+const META_MAGIC: &[u8; 8] = b"BTYFMET1";
+const SHARD_MAGIC: &[u8; 8] = b"BTYFSHD1";
+const META_FILE: &str = "features.meta";
+
+/// Bytes per feature value (`f32`).
+const BYTES_PER_VALUE: usize = 4;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE, reflected) — the same polynomial the checkpoint format
+// uses; betty-nn sits *above* betty-data in the dependency order, so the
+// table is re-derived here rather than imported.
+
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            k += 1;
+        }
+        table[i as usize] = crc;
+        i += 1;
+    }
+    table
+};
+
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Errors.
+
+/// Failure opening, writing, or validating a paged feature store.
+#[derive(Debug)]
+pub enum FeatureStoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A meta or shard file is structurally invalid: bad magic,
+    /// truncation, a header inconsistent with the meta file, or a CRC
+    /// mismatch.
+    Format(String),
+}
+
+impl fmt::Display for FeatureStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureStoreError::Io(e) => write!(f, "feature store i/o error: {e}"),
+            FeatureStoreError::Format(msg) => write!(f, "invalid feature store: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FeatureStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FeatureStoreError::Io(e) => Some(e),
+            FeatureStoreError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for FeatureStoreError {
+    fn from(e: io::Error) -> Self {
+        FeatureStoreError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gather accounting.
+
+/// Cache accounting for one gather (or prewarm) against a feature store.
+///
+/// Dense stores report every row as a hit and never page. All counts are
+/// deterministic functions of the access sequence, so they are safe to
+/// compare across thread counts (they are *not* comparable across
+/// backends — that is the point of having them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatherStats {
+    /// Rows served from memory (dense) or from an already-resident shard.
+    pub hits: u64,
+    /// Rows whose shard had to be paged in first.
+    pub misses: u64,
+    /// Shard loads performed.
+    pub pages_in: u64,
+    /// Bytes read from disk by those shard loads.
+    pub bytes_in: u64,
+}
+
+impl GatherStats {
+    /// Accumulates another gather's counters into this one.
+    pub fn absorb(&mut self, other: &GatherStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.pages_in += other.pages_in;
+        self.bytes_in += other.bytes_in;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The trait.
+
+/// A source of node-feature rows.
+///
+/// Implementations must be value-identical for the same logical matrix:
+/// `gather_into` writes the exact same `f32` bits regardless of backend,
+/// so the storage choice can never move a training trajectory. Shared
+/// references must be usable from multiple threads (`Sync`); paged
+/// backends guard their cache internally.
+pub trait FeatureStore: fmt::Debug + Send + Sync {
+    /// Number of feature rows (nodes).
+    fn rows(&self) -> usize;
+
+    /// Feature dimensionality (columns).
+    fn cols(&self) -> usize;
+
+    /// Copies the given rows into `out` (row-major, `indices.len() × cols`)
+    /// and reports the cache accounting of the access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != indices.len() * cols`, if an index is out
+    /// of range, or (paged stores) if a shard read fails at runtime —
+    /// shards are fully validated at open, so this only fires if the
+    /// backing files are deleted or the device dies mid-training.
+    fn gather_into(&self, indices: &[usize], out: &mut [f32]) -> GatherStats;
+
+    /// Pages in (and pins, subject to the cache budget) every shard the
+    /// given rows live on, without copying any row out. Dense stores do
+    /// nothing. Prefetchers call this so a later `gather_into` for the
+    /// same rows hits memory.
+    fn prewarm(&self, indices: &[usize]) -> GatherStats {
+        let _ = indices;
+        GatherStats::default()
+    }
+
+    /// Materializes the full matrix as a dense tensor.
+    fn to_dense(&self) -> Tensor;
+
+    /// Bytes of host/device memory the store pins for its hot-set cache:
+    /// 0 for dense stores, `min(cache budget, total feature bytes)` for
+    /// paged ones. The trainer charges exactly this many bytes to the
+    /// `FeatureCache` ledger category every step, and the planner adds
+    /// the same constant to every estimate — so estimator drift stays
+    /// exact.
+    fn cache_reservation_bytes(&self) -> usize {
+        0
+    }
+
+    /// Flat index and value of the first non-finite feature, if any.
+    fn find_non_finite(&self) -> Option<(usize, f32)>;
+}
+
+// ---------------------------------------------------------------------------
+// Dense backend.
+
+/// The original in-memory backend: a dense `[rows, cols]` tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseFeatures(pub Tensor);
+
+impl FeatureStore for DenseFeatures {
+    fn rows(&self) -> usize {
+        self.0.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.0.cols()
+    }
+
+    fn gather_into(&self, indices: &[usize], out: &mut [f32]) -> GatherStats {
+        betty_tensor::segment::gather_rows_into(&self.0, indices, out);
+        GatherStats {
+            hits: indices.len() as u64,
+            ..GatherStats::default()
+        }
+    }
+
+    fn to_dense(&self) -> Tensor {
+        self.0.clone()
+    }
+
+    fn find_non_finite(&self) -> Option<(usize, f32)> {
+        self.0
+            .data()
+            .iter()
+            .enumerate()
+            .find(|(_, v)| !v.is_finite())
+            .map(|(i, &v)| (i, v))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Paged backend.
+
+/// One shard's location on disk plus its payload geometry.
+#[derive(Debug, Clone)]
+struct ShardInfo {
+    path: PathBuf,
+    start_row: usize,
+    num_rows: usize,
+}
+
+/// The mutable hot-set cache: resident shard payloads plus LRU bookkeeping.
+#[derive(Debug, Default)]
+struct CacheState {
+    /// Shard index → (payload, last-touch tick).
+    resident: HashMap<usize, (Vec<f32>, u64)>,
+    /// Bytes currently held by `resident` payloads.
+    held_bytes: usize,
+    /// Monotonic access counter driving LRU order.
+    tick: u64,
+}
+
+/// Disk-resident features: fixed-row shards plus a byte-budgeted pinned
+/// hot-set cache with LRU eviction in gather access order.
+///
+/// The cache is guarded by a mutex; access order (and therefore every
+/// hit/miss/eviction decision) is the sequential order of `gather_into`
+/// and `prewarm` calls, which the trainer issues from a single thread —
+/// so paged accounting is as deterministic as the training loop itself.
+#[derive(Debug)]
+pub struct PagedFeatures {
+    dir: PathBuf,
+    rows: usize,
+    cols: usize,
+    page_rows: usize,
+    shards: Vec<ShardInfo>,
+    cache_budget_bytes: usize,
+    cache: Mutex<CacheState>,
+}
+
+impl PagedFeatures {
+    /// Writes `features` to `dir` as a paged store (meta file + shards of
+    /// `page_rows` rows each, all CRC-checksummed and atomically written)
+    /// and opens it with the given cache budget.
+    ///
+    /// # Errors
+    ///
+    /// [`FeatureStoreError::Io`] if the directory or a file cannot be
+    /// written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_rows == 0`.
+    pub fn spill(
+        features: &Tensor,
+        dir: impl AsRef<Path>,
+        page_rows: usize,
+        cache_budget_bytes: usize,
+    ) -> Result<Arc<Self>, FeatureStoreError> {
+        assert!(page_rows > 0, "page_rows must be positive");
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let (rows, cols) = (features.rows(), features.cols());
+
+        let mut meta = BytesMut::new();
+        meta.put_u32_le(rows as u32);
+        meta.put_u32_le(cols as u32);
+        meta.put_u32_le(page_rows as u32);
+        let crc = crc32(&meta);
+        let mut meta_file = BytesMut::new();
+        meta_file.put_slice(META_MAGIC);
+        meta_file.put_slice(&meta);
+        meta_file.put_u32_le(crc);
+        write_atomic(&dir.join(META_FILE), &meta_file)?;
+
+        let num_shards = shard_count(rows, page_rows);
+        for shard in 0..num_shards {
+            let start_row = shard * page_rows;
+            let num_rows = page_rows.min(rows - start_row);
+            let mut body = BytesMut::new();
+            body.put_u32_le(shard as u32);
+            body.put_u32_le(start_row as u32);
+            body.put_u32_le(num_rows as u32);
+            body.put_u32_le(cols as u32);
+            for r in start_row..start_row + num_rows {
+                for &v in features.row(r) {
+                    body.put_f32_le(v);
+                }
+            }
+            let crc = crc32(&body);
+            let mut file = BytesMut::new();
+            file.put_slice(SHARD_MAGIC);
+            file.put_slice(&body);
+            file.put_u32_le(crc);
+            write_atomic(&dir.join(shard_name(shard)), &file)?;
+        }
+        Self::open(dir, cache_budget_bytes)
+    }
+
+    /// Opens a paged store written by [`PagedFeatures::spill`], fully
+    /// validating the meta file and **every** shard (magic, header
+    /// consistency, CRC over the whole body) so later gathers are
+    /// infallible.
+    ///
+    /// # Errors
+    ///
+    /// [`FeatureStoreError::Io`] on filesystem problems;
+    /// [`FeatureStoreError::Format`] for a missing, truncated,
+    /// inconsistent, or bit-flipped file.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        cache_budget_bytes: usize,
+    ) -> Result<Arc<Self>, FeatureStoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        let meta_bytes = Bytes::from(std::fs::read(dir.join(META_FILE))?);
+        let mut buf = meta_bytes.clone();
+        if buf.remaining() < META_MAGIC.len() + 3 * 4 + 4 {
+            return Err(FeatureStoreError::Format("meta file truncated".into()));
+        }
+        if &buf.split_to(META_MAGIC.len())[..] != META_MAGIC {
+            return Err(FeatureStoreError::Format("bad meta magic".into()));
+        }
+        let body = buf.split_to(3 * 4);
+        let stored_crc = buf.get_u32_le();
+        if buf.remaining() > 0 {
+            return Err(FeatureStoreError::Format("trailing bytes in meta file".into()));
+        }
+        if crc32(&body) != stored_crc {
+            return Err(FeatureStoreError::Format("meta CRC mismatch".into()));
+        }
+        let mut body = body;
+        let rows = body.get_u32_le() as usize;
+        let cols = body.get_u32_le() as usize;
+        let page_rows = body.get_u32_le() as usize;
+        if page_rows == 0 {
+            return Err(FeatureStoreError::Format("page_rows is zero".into()));
+        }
+
+        let num_shards = shard_count(rows, page_rows);
+        let mut shards = Vec::with_capacity(num_shards);
+        for shard in 0..num_shards {
+            let path = dir.join(shard_name(shard));
+            let start_row = shard * page_rows;
+            let num_rows = page_rows.min(rows - start_row);
+            let (got_start, got_rows) =
+                validate_shard(&path, shard, cols).map_err(|e| match e {
+                    FeatureStoreError::Format(msg) => {
+                        FeatureStoreError::Format(format!("shard {shard}: {msg}"))
+                    }
+                    other => other,
+                })?;
+            if got_start != start_row || got_rows != num_rows {
+                return Err(FeatureStoreError::Format(format!(
+                    "shard {shard}: header says rows {got_start}..{} but meta expects {start_row}..{}",
+                    got_start + got_rows,
+                    start_row + num_rows
+                )));
+            }
+            shards.push(ShardInfo {
+                path,
+                start_row,
+                num_rows,
+            });
+        }
+        Ok(Arc::new(Self {
+            dir,
+            rows,
+            cols,
+            page_rows,
+            shards,
+            cache_budget_bytes,
+            cache: Mutex::new(CacheState::default()),
+        }))
+    }
+
+    /// The directory the shards live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Rows per shard (the page size).
+    pub fn page_rows(&self) -> usize {
+        self.page_rows
+    }
+
+    /// Number of shard files.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configured cache budget, in bytes (not clamped to the total).
+    pub fn cache_budget_bytes(&self) -> usize {
+        self.cache_budget_bytes
+    }
+
+    /// Bytes of shard payload currently resident in the cache.
+    pub fn cache_held_bytes(&self) -> usize {
+        self.cache.lock().expect("feature cache poisoned").held_bytes
+    }
+
+    /// Reads one shard's payload from disk (header re-skipped, CRC *not*
+    /// re-verified — `open` already proved it).
+    fn read_shard_payload(&self, shard: usize) -> Vec<f32> {
+        let info = &self.shards[shard];
+        let bytes = std::fs::read(&info.path).unwrap_or_else(|e| {
+            panic!(
+                "feature shard {} vanished or became unreadable mid-run: {e}",
+                info.path.display()
+            )
+        });
+        let header = SHARD_MAGIC.len() + 4 * 4;
+        let payload_len = info.num_rows * self.cols;
+        let expected = header + payload_len * BYTES_PER_VALUE + 4;
+        assert_eq!(
+            bytes.len(),
+            expected,
+            "feature shard {} changed size mid-run",
+            info.path.display()
+        );
+        let mut buf = Bytes::from(bytes);
+        buf.advance(header);
+        (0..payload_len).map(|_| buf.get_f32_le()).collect()
+    }
+
+    /// Ensures `shard` is resident, updating its LRU tick; returns whether
+    /// a disk load happened. The just-touched shard is never its own
+    /// eviction victim, so a single over-budget shard still serves the
+    /// whole gather.
+    fn touch_shard(&self, state: &mut CacheState, shard: usize) -> bool {
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some((_, last)) = state.resident.get_mut(&shard) {
+            *last = tick;
+            return false;
+        }
+        let payload = self.read_shard_payload(shard);
+        let payload_bytes = payload.len() * BYTES_PER_VALUE;
+        state.held_bytes += payload_bytes;
+        state.resident.insert(shard, (payload, tick));
+        // Evict least-recently-used shards (never the one just loaded)
+        // until the pinned set fits the budget again. Ties cannot occur:
+        // ticks are unique.
+        while state.held_bytes > self.cache_budget_bytes && state.resident.len() > 1 {
+            let victim = state
+                .resident
+                .iter()
+                .filter(|(&s, _)| s != shard)
+                .min_by_key(|(&s, &(_, last))| (last, s))
+                .map(|(&s, _)| s);
+            match victim {
+                Some(v) => {
+                    if let Some((payload, _)) = state.resident.remove(&v) {
+                        state.held_bytes -= payload.len() * BYTES_PER_VALUE;
+                    }
+                }
+                None => break,
+            }
+        }
+        true
+    }
+}
+
+impl FeatureStore for PagedFeatures {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn gather_into(&self, indices: &[usize], out: &mut [f32]) -> GatherStats {
+        assert_eq!(
+            out.len(),
+            indices.len() * self.cols,
+            "output buffer must be indices.len() × cols"
+        );
+        let mut stats = GatherStats::default();
+        if self.cols == 0 {
+            stats.hits = indices.len() as u64;
+            return stats;
+        }
+        let mut state = self.cache.lock().expect("feature cache poisoned");
+        for (slot, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.rows, "row {idx} out of range ({} rows)", self.rows);
+            let shard = idx / self.page_rows;
+            if self.touch_shard(&mut state, shard) {
+                stats.misses += 1;
+                stats.pages_in += 1;
+                stats.bytes_in += (self.shards[shard].num_rows * self.cols * BYTES_PER_VALUE) as u64;
+            } else {
+                stats.hits += 1;
+            }
+            let (payload, _) = &state.resident[&shard];
+            let local = idx - self.shards[shard].start_row;
+            out[slot * self.cols..(slot + 1) * self.cols]
+                .copy_from_slice(&payload[local * self.cols..(local + 1) * self.cols]);
+        }
+        stats
+    }
+
+    fn prewarm(&self, indices: &[usize]) -> GatherStats {
+        let mut stats = GatherStats::default();
+        if self.cols == 0 {
+            return stats;
+        }
+        let mut state = self.cache.lock().expect("feature cache poisoned");
+        // Deduplicated in first-appearance order so the page-in sequence
+        // (and therefore eviction order) tracks the access pattern.
+        let mut seen = Vec::new();
+        for &idx in indices {
+            assert!(idx < self.rows, "row {idx} out of range ({} rows)", self.rows);
+            let shard = idx / self.page_rows;
+            if seen.contains(&shard) {
+                continue;
+            }
+            seen.push(shard);
+            if self.touch_shard(&mut state, shard) {
+                stats.pages_in += 1;
+                stats.bytes_in += (self.shards[shard].num_rows * self.cols * BYTES_PER_VALUE) as u64;
+            }
+        }
+        stats
+    }
+
+    fn to_dense(&self) -> Tensor {
+        let mut data = vec![0.0f32; self.rows * self.cols];
+        for (shard, info) in self.shards.iter().enumerate() {
+            let payload = self.read_shard_payload(shard);
+            let start = info.start_row * self.cols;
+            data[start..start + payload.len()].copy_from_slice(&payload);
+        }
+        Tensor::from_vec(data, &[self.rows, self.cols]).expect("shard geometry is validated")
+    }
+
+    fn cache_reservation_bytes(&self) -> usize {
+        self.cache_budget_bytes
+            .min(self.rows * self.cols * BYTES_PER_VALUE)
+    }
+
+    fn find_non_finite(&self) -> Option<(usize, f32)> {
+        for (shard, info) in self.shards.iter().enumerate() {
+            let payload = self.read_shard_payload(shard);
+            if let Some((i, &v)) = payload.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+                return Some((info.start_row * self.cols + i, v));
+            }
+        }
+        None
+    }
+}
+
+fn shard_count(rows: usize, page_rows: usize) -> usize {
+    rows.div_ceil(page_rows).max(1)
+}
+
+fn shard_name(shard: usize) -> String {
+    format!("shard-{shard:05}.bfs")
+}
+
+/// Validates one shard file end to end; returns `(start_row, num_rows)`
+/// from its header.
+fn validate_shard(
+    path: &Path,
+    expect_shard: usize,
+    expect_cols: usize,
+) -> Result<(usize, usize), FeatureStoreError> {
+    let bytes = Bytes::from(std::fs::read(path).map_err(|e| {
+        if e.kind() == io::ErrorKind::NotFound {
+            FeatureStoreError::Format(format!("missing shard file {}", path.display()))
+        } else {
+            FeatureStoreError::Io(e)
+        }
+    })?);
+    let header = SHARD_MAGIC.len() + 4 * 4;
+    if bytes.len() < header + 4 {
+        return Err(FeatureStoreError::Format("truncated shard file".into()));
+    }
+    let mut buf = bytes.clone();
+    if &buf.split_to(SHARD_MAGIC.len())[..] != SHARD_MAGIC {
+        return Err(FeatureStoreError::Format("bad shard magic".into()));
+    }
+    let body = buf.split_to(buf.remaining() - 4);
+    let stored_crc = buf.get_u32_le();
+    if crc32(&body) != stored_crc {
+        return Err(FeatureStoreError::Format("shard CRC mismatch".into()));
+    }
+    let mut body = body;
+    let shard = body.get_u32_le() as usize;
+    let start_row = body.get_u32_le() as usize;
+    let num_rows = body.get_u32_le() as usize;
+    let cols = body.get_u32_le() as usize;
+    if shard != expect_shard {
+        return Err(FeatureStoreError::Format(format!(
+            "header names shard {shard}, expected {expect_shard}"
+        )));
+    }
+    if cols != expect_cols {
+        return Err(FeatureStoreError::Format(format!(
+            "shard has {cols} cols, meta says {expect_cols}"
+        )));
+    }
+    if body.remaining() != num_rows * cols * BYTES_PER_VALUE {
+        return Err(FeatureStoreError::Format(format!(
+            "payload is {} bytes, header implies {}",
+            body.remaining(),
+            num_rows * cols * BYTES_PER_VALUE
+        )));
+    }
+    Ok((start_row, num_rows))
+}
+
+/// Same-directory atomic write (tmp + fsync + rename), mirroring the
+/// dataset and checkpoint writers.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        use std::io::Write;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The Dataset-facing wrapper.
+
+/// Node features behind a storage backend.
+///
+/// This is the concrete type `Dataset` holds: a cheaply cloneable handle
+/// over either backend (paged stores are shared through an [`Arc`], so a
+/// cloned dataset shares one cache and one set of shard files). All the
+/// read paths in the workspace go through this type, so swapping the
+/// backend never touches a call site.
+#[derive(Debug, Clone)]
+pub enum Features {
+    /// In-memory dense matrix (the default; zero overhead).
+    Dense(DenseFeatures),
+    /// Disk-resident shards with a pinned hot-set cache.
+    Paged(Arc<PagedFeatures>),
+}
+
+impl Features {
+    /// Wraps a dense tensor.
+    pub fn dense(tensor: Tensor) -> Self {
+        Features::Dense(DenseFeatures(tensor))
+    }
+
+    /// Wraps an opened paged store.
+    pub fn paged(store: Arc<PagedFeatures>) -> Self {
+        Features::Paged(store)
+    }
+
+    /// Spills this matrix to `dir` as a paged store and returns a paged
+    /// handle over it (the dense copy is dropped by the caller).
+    ///
+    /// # Errors
+    ///
+    /// [`FeatureStoreError`] if the shards cannot be written (or, when
+    /// called on an already-paged store, re-sharded).
+    pub fn to_paged(
+        &self,
+        dir: impl AsRef<Path>,
+        page_rows: usize,
+        cache_budget_bytes: usize,
+    ) -> Result<Self, FeatureStoreError> {
+        let dense = self.to_dense();
+        Ok(Features::Paged(PagedFeatures::spill(
+            &dense,
+            dir,
+            page_rows,
+            cache_budget_bytes,
+        )?))
+    }
+
+    /// The backend as a trait object.
+    pub fn store(&self) -> &dyn FeatureStore {
+        match self {
+            Features::Dense(d) => d,
+            Features::Paged(p) => p.as_ref(),
+        }
+    }
+
+    /// Whether this is the paged backend.
+    pub fn is_paged(&self) -> bool {
+        matches!(self, Features::Paged(_))
+    }
+
+    /// Stable backend name (`"dense"` / `"paged"`).
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            Features::Dense(_) => "dense",
+            Features::Paged(_) => "paged",
+        }
+    }
+
+    /// Number of feature rows (nodes).
+    pub fn rows(&self) -> usize {
+        self.store().rows()
+    }
+
+    /// Feature dimensionality.
+    pub fn cols(&self) -> usize {
+        self.store().cols()
+    }
+
+    /// Logical size of the feature matrix in bytes (independent of where
+    /// it is stored — host-side staging accounting uses this).
+    pub fn size_bytes(&self) -> usize {
+        self.rows() * self.cols() * BYTES_PER_VALUE
+    }
+
+    /// See [`FeatureStore::gather_into`].
+    pub fn gather_into(&self, indices: &[usize], out: &mut [f32]) -> GatherStats {
+        self.store().gather_into(indices, out)
+    }
+
+    /// Gathers rows into a freshly allocated `[indices.len(), cols]`
+    /// tensor, discarding the cache accounting.
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        let mut out = Tensor::zeros(&[indices.len(), self.cols()]);
+        self.store().gather_into(indices, out.data_mut());
+        out
+    }
+
+    /// See [`FeatureStore::prewarm`].
+    pub fn prewarm(&self, indices: &[usize]) -> GatherStats {
+        self.store().prewarm(indices)
+    }
+
+    /// See [`FeatureStore::to_dense`].
+    pub fn to_dense(&self) -> Tensor {
+        self.store().to_dense()
+    }
+
+    /// See [`FeatureStore::cache_reservation_bytes`].
+    pub fn cache_reservation_bytes(&self) -> usize {
+        self.store().cache_reservation_bytes()
+    }
+
+    /// See [`FeatureStore::find_non_finite`].
+    pub fn find_non_finite(&self) -> Option<(usize, f32)> {
+        self.store().find_non_finite()
+    }
+
+    /// One feature value (row-major). Test/diagnostic convenience; paged
+    /// stores pay a single-row gather.
+    pub fn at2(&self, row: usize, col: usize) -> f32 {
+        match self {
+            Features::Dense(d) => d.0.at2(row, col),
+            Features::Paged(_) => {
+                let mut out = vec![0.0f32; self.cols()];
+                self.gather_into(&[row], &mut out);
+                out[col]
+            }
+        }
+    }
+}
+
+impl From<Tensor> for Features {
+    fn from(tensor: Tensor) -> Self {
+        Features::dense(tensor)
+    }
+}
+
+impl PartialEq for Features {
+    /// Logical equality: same shape and the same `f32` bits, regardless
+    /// of backend (a paged store equals the dense matrix it was spilled
+    /// from).
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Features::Dense(a), Features::Dense(b)) => a == b,
+            (a, b) => {
+                a.rows() == b.rows() && a.cols() == b.cols() && a.to_dense() == b.to_dense()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_pcg::Pcg64Mcg;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("betty-fstore-{name}-{}", std::process::id()))
+    }
+
+    fn matrix(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut rng = Pcg64Mcg::seed_from_u64(seed);
+        betty_tensor::randn(&[rows, cols], &mut rng)
+    }
+
+    #[test]
+    fn paged_gathers_match_dense_bit_for_bit() {
+        let t = matrix(23, 5, 1);
+        let dir = tmp_dir("bits");
+        let paged = Features::dense(t.clone()).to_paged(&dir, 4, usize::MAX).unwrap();
+        let dense = Features::dense(t);
+        let indices: Vec<usize> = vec![0, 22, 7, 7, 13, 1, 20];
+        let a = dense.gather_rows(&indices);
+        let b = paged.gather_rows(&indices);
+        assert_eq!(a, b);
+        assert_eq!(dense, paged, "logical equality across backends");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiny_cache_still_returns_exact_values() {
+        let t = matrix(40, 3, 2);
+        let dir = tmp_dir("tiny-cache");
+        // Budget of one shard: every shard switch evicts.
+        let paged = Features::dense(t.clone())
+            .to_paged(&dir, 8, 8 * 3 * BYTES_PER_VALUE)
+            .unwrap();
+        let indices: Vec<usize> = (0..40).rev().chain(0..40).collect();
+        let mut out = vec![0.0f32; indices.len() * 3];
+        let stats = paged.gather_into(&indices, &mut out);
+        assert_eq!(stats.hits + stats.misses, indices.len() as u64);
+        assert!(stats.pages_in > 5, "tiny budget must thrash: {stats:?}");
+        for (slot, &idx) in indices.iter().enumerate() {
+            assert_eq!(&out[slot * 3..(slot + 1) * 3], t.row(idx));
+        }
+        if let Features::Paged(p) = &paged {
+            assert!(p.cache_held_bytes() <= 8 * 3 * BYTES_PER_VALUE);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unbounded_cache_pages_each_shard_once() {
+        let t = matrix(30, 4, 3);
+        let dir = tmp_dir("unbounded");
+        let paged = Features::dense(t).to_paged(&dir, 7, usize::MAX).unwrap();
+        let indices: Vec<usize> = (0..30).chain(0..30).collect();
+        let mut out = vec![0.0f32; indices.len() * 4];
+        let stats = paged.gather_into(&indices, &mut out);
+        assert_eq!(stats.pages_in, 5, "30 rows / 7 per page = 5 shards");
+        let second = paged.gather_into(&indices, &mut out);
+        assert_eq!(second.pages_in, 0, "warm cache must not re-page");
+        assert_eq!(second.hits, indices.len() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prewarm_turns_gather_misses_into_hits() {
+        let t = matrix(20, 2, 4);
+        let dir = tmp_dir("prewarm");
+        let paged = Features::dense(t).to_paged(&dir, 5, usize::MAX).unwrap();
+        let indices: Vec<usize> = vec![19, 3, 11];
+        let warm = paged.prewarm(&indices);
+        assert_eq!(warm.pages_in, 3);
+        assert!(warm.bytes_in > 0);
+        let mut out = vec![0.0f32; indices.len() * 2];
+        let stats = paged.gather_into(&indices, &mut out);
+        assert_eq!(stats.misses, 0, "prewarmed rows must all hit");
+        assert_eq!(stats.hits, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_reservation_clamps_to_total_bytes() {
+        let t = matrix(10, 4, 5);
+        let total = 10 * 4 * BYTES_PER_VALUE;
+        let dir = tmp_dir("reservation");
+        let paged = Features::dense(t).to_paged(&dir, 4, usize::MAX).unwrap();
+        assert_eq!(paged.cache_reservation_bytes(), total);
+        let small = Features::Paged(PagedFeatures::open(&dir, 64).unwrap());
+        assert_eq!(small.cache_reservation_bytes(), 64);
+        assert_eq!(Features::dense(matrix(4, 4, 0)).cache_reservation_bytes(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_shard_is_rejected_at_open() {
+        let t = matrix(12, 3, 6);
+        let dir = tmp_dir("trunc");
+        Features::dense(t).to_paged(&dir, 4, usize::MAX).unwrap();
+        let shard = dir.join(shard_name(1));
+        let full = std::fs::read(&shard).unwrap();
+        std::fs::write(&shard, &full[..full.len() - 5]).unwrap();
+        let err = PagedFeatures::open(&dir, usize::MAX).unwrap_err();
+        assert!(matches!(err, FeatureStoreError::Format(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flipped_shard_fails_crc_at_open() {
+        let t = matrix(12, 3, 7);
+        let dir = tmp_dir("bitflip");
+        Features::dense(t).to_paged(&dir, 4, usize::MAX).unwrap();
+        let shard = dir.join(shard_name(2));
+        let mut bytes = std::fs::read(&shard).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&shard, &bytes).unwrap();
+        let err = PagedFeatures::open(&dir, usize::MAX).unwrap_err();
+        match err {
+            FeatureStoreError::Format(msg) => assert!(msg.contains("CRC"), "{msg}"),
+            other => panic!("expected Format, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_shard_is_a_format_error() {
+        let t = matrix(12, 3, 8);
+        let dir = tmp_dir("missing");
+        Features::dense(t).to_paged(&dir, 4, usize::MAX).unwrap();
+        std::fs::remove_file(dir.join(shard_name(0))).unwrap();
+        let err = PagedFeatures::open(&dir, usize::MAX).unwrap_err();
+        assert!(matches!(err, FeatureStoreError::Format(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_finite_scan_reports_flat_index_on_both_backends() {
+        let mut t = matrix(9, 4, 9);
+        t.data_mut()[4 * 4 + 2] = f32::NEG_INFINITY;
+        let dense = Features::dense(t.clone());
+        assert_eq!(dense.find_non_finite().map(|(i, _)| i), Some(18));
+        let dir = tmp_dir("nonfinite");
+        let paged = dense.to_paged(&dir, 2, usize::MAX).unwrap();
+        assert_eq!(paged.find_non_finite().map(|(i, _)| i), Some(18));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_gathered_shard() {
+        let t = matrix(12, 2, 10);
+        let dir = tmp_dir("lru");
+        // 3 shards of 4 rows; budget fits exactly 2 shards.
+        let budget = 2 * 4 * 2 * BYTES_PER_VALUE;
+        let paged = Features::dense(t).to_paged(&dir, 4, budget).unwrap();
+        let mut out = vec![0.0f32; 2];
+        paged.gather_into(&[0], &mut out); // shard 0 in
+        paged.gather_into(&[4], &mut out); // shard 1 in
+        paged.gather_into(&[0], &mut out); // shard 0 freshened
+        let stats = paged.gather_into(&[8], &mut out); // shard 2 evicts shard 1
+        assert_eq!(stats.pages_in, 1);
+        let again = paged.gather_into(&[0], &mut out);
+        assert_eq!(again.hits, 1, "shard 0 must have survived");
+        let reload = paged.gather_into(&[4], &mut out);
+        assert_eq!(reload.pages_in, 1, "shard 1 must have been the victim");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_cols_gather_is_all_hits() {
+        let dir = tmp_dir("zerocols");
+        let paged = Features::dense(Tensor::zeros(&[6, 0]))
+            .to_paged(&dir, 2, usize::MAX)
+            .unwrap();
+        let mut out = vec![];
+        let stats = paged.gather_into(&[1, 5], &mut out);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.pages_in, 0);
+        assert_eq!(paged.cache_reservation_bytes(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

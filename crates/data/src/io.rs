@@ -133,7 +133,9 @@ pub fn save_dataset(dataset: &Dataset, path: impl AsRef<Path>) -> io::Result<()>
     put_u32_slice(&mut buf, dataset.train_idx.iter().copied());
     put_u32_slice(&mut buf, dataset.val_idx.iter().copied());
     put_u32_slice(&mut buf, dataset.test_idx.iter().copied());
-    for &f in dataset.features.data() {
+    // Features always serialize densely, whatever backend the in-memory
+    // dataset uses — the file format is backend-agnostic.
+    for &f in dataset.features.to_dense().data() {
         buf.put_f32_le(f);
     }
     write_atomic(path.as_ref(), &buf)
@@ -206,7 +208,8 @@ pub fn load_dataset(path: impl AsRef<Path>) -> Result<Dataset, LoadError> {
         name,
         graph: CsrGraph::from_edges(n, &edges),
         features: Tensor::from_vec(feats, &[n, d])
-            .map_err(|e| LoadError::Format(e.to_string()))?,
+            .map_err(|e| LoadError::Format(e.to_string()))?
+            .into(),
         labels,
         num_classes: classes,
         train_idx,

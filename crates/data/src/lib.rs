@@ -33,11 +33,15 @@
 #![deny(missing_docs)]
 
 mod dataset;
+pub mod featurestore;
 mod generate;
 pub mod io;
 mod spec;
 
 pub use dataset::{DataError, Dataset};
+pub use featurestore::{
+    DenseFeatures, FeatureStore, FeatureStoreError, Features, GatherStats, PagedFeatures,
+};
 pub use generate::{planted_power_law, PlantedPowerLawConfig};
 pub use io::{load_dataset, save_dataset, LoadError};
 pub use spec::DatasetSpec;

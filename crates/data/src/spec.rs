@@ -219,7 +219,7 @@ impl DatasetSpec {
         let dataset = Dataset {
             name: format!("{}[n={}]", self.name, n),
             graph,
-            features,
+            features: features.into(),
             labels,
             num_classes: self.num_classes,
             train_idx,

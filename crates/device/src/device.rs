@@ -36,11 +36,16 @@ pub enum MemoryCategory {
     /// (and released before the first step runs), so Eq. 5 feasibility
     /// accounting sees in-flight plans without perturbing step peaks.
     PlanAhead,
+    /// Pinned hot-set cache of an out-of-core feature store: the byte
+    /// budget the paged backend may keep resident, charged as a constant
+    /// reservation every step (`min(cache budget, total feature bytes)`)
+    /// so the planner's estimate and the ledger agree exactly.
+    FeatureCache,
 }
 
 impl MemoryCategory {
     /// All categories, in breakdown-report order.
-    pub const ALL: [MemoryCategory; 10] = [
+    pub const ALL: [MemoryCategory; 11] = [
         MemoryCategory::Parameters,
         MemoryCategory::InputFeatures,
         MemoryCategory::Labels,
@@ -51,6 +56,7 @@ impl MemoryCategory {
         MemoryCategory::OptimizerStates,
         MemoryCategory::PrefetchStaging,
         MemoryCategory::PlanAhead,
+        MemoryCategory::FeatureCache,
     ];
 
     /// Stable lowercase name, also used as the `category` field of
@@ -67,6 +73,7 @@ impl MemoryCategory {
             MemoryCategory::OptimizerStates => "optimizer states",
             MemoryCategory::PrefetchStaging => "prefetch staging",
             MemoryCategory::PlanAhead => "plan ahead",
+            MemoryCategory::FeatureCache => "feature cache",
         }
     }
 }

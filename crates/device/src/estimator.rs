@@ -116,6 +116,12 @@ pub struct MemoryEstimate {
     /// planner with prefetch accounting fills it in
     /// ([`MemoryEstimator::estimate`] itself cannot know the neighbor).
     pub prefetch_staging: usize,
+    /// (10) pinned hot-set reservation of an out-of-core feature store:
+    /// `min(cache budget, total feature bytes)`, constant across steps.
+    /// Zero for dense in-memory features; filled in by a planner built
+    /// with feature-cache accounting (the estimator itself cannot know
+    /// which backend serves the features).
+    pub feature_cache: usize,
 }
 
 impl MemoryEstimate {
@@ -128,6 +134,7 @@ impl MemoryEstimate {
             + self.hidden_outputs
             + self.optimizer_states
             + self.prefetch_staging
+            + self.feature_cache
     }
 
     /// Bytes that cross the host→device link for the estimated batch —
@@ -243,6 +250,7 @@ impl MemoryEstimator {
             gradients: params * BYTES_PER_VALUE,
             optimizer_states: 2 * params * BYTES_PER_VALUE,
             prefetch_staging: 0,
+            feature_cache: 0,
         }
     }
 

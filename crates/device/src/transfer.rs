@@ -44,14 +44,35 @@ impl TransferModel {
         Self::new(12.0e9, 10.0e-6)
     }
 
+    /// NVMe-SSD-like defaults for feature page-ins: ~3 GB/s sustained,
+    /// 100 µs per request.
+    pub fn nvme() -> Self {
+        Self::new(3.0e9, 100.0e-6)
+    }
+
     /// Time a single transfer of `bytes` would take, without recording it.
+    ///
+    /// A zero-byte transfer is free: no data crosses the link, so no
+    /// latency is charged. (Empty micro-batch prefetches and zero-byte
+    /// feature page-ins used to pay full link latency here, inflating
+    /// `prefetch_overlap_sec` with time no hardware would spend.)
     pub fn time_for(&self, bytes: usize) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
         self.latency_sec + bytes as f64 / self.bandwidth_bytes_per_sec
     }
 
     /// Records a transfer and returns its simulated duration in seconds,
     /// including any injected stall.
+    ///
+    /// Zero-byte transfers are free and unrecorded: they neither bump the
+    /// counters nor consult the fault injector (so skipping an empty
+    /// transfer cannot shift the injected-stall RNG stream).
     pub fn transfer(&mut self, bytes: usize) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
         let mut t = self.time_for(bytes);
         if let Some(stall) = self.faults.as_mut().and_then(TransferFaultInjector::check_transfer) {
             t += stall;
@@ -141,6 +162,32 @@ mod tests {
         assert!((m.total_time_sec() - 1.0).abs() < 1e-9);
         m.reset();
         assert_eq!(m.total_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_byte_transfers_are_free_and_unrecorded() {
+        let mut m = TransferModel::new(1e6, 0.25);
+        assert_eq!(m.time_for(0), 0.0, "no bytes, no latency");
+        assert!(m.time_for(1) >= 0.25, "non-empty transfers still pay latency");
+        assert_eq!(m.transfer(0), 0.0);
+        assert_eq!(m.num_transfers(), 0, "empty transfer must not be counted");
+        assert_eq!(m.total_bytes(), 0);
+        assert_eq!(m.total_time_sec(), 0.0);
+        // An armed injector must not be consulted either — otherwise an
+        // empty prefetch would consume a stall draw and shift every
+        // later stall onto a different transfer.
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan {
+            seed: 9,
+            transfer_stall_rate: 1.0,
+            transfer_stall_sec: 0.5,
+            ..FaultPlan::default()
+        };
+        m.arm_faults(plan.transfer_injector());
+        assert_eq!(m.transfer(0), 0.0);
+        assert_eq!(m.total_stall_sec(), 0.0);
+        assert!(m.drain_fault_events().is_empty());
+        assert!(m.transfer(1_000) >= 0.5, "the stall lands on the first real transfer");
     }
 
     #[test]

@@ -268,6 +268,37 @@ impl AllocRecord {
     }
 }
 
+/// One epoch's feature-store access counters: how many gathered rows hit
+/// the resident set, how many had to page their shard in from disk, and
+/// the disk traffic that caused. The dense in-memory backend scores every
+/// row as a hit, so misses/pages are the out-of-core signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureStoreRecord {
+    /// Global step id current when the epoch finished.
+    pub step: usize,
+    /// Rows served from memory this epoch.
+    pub hits: u64,
+    /// Rows whose shard had to be read from disk first.
+    pub misses: u64,
+    /// Shard loads performed this epoch.
+    pub pages_in: u64,
+    /// Shard payload bytes read from disk this epoch.
+    pub page_in_bytes: u64,
+}
+
+impl FeatureStoreRecord {
+    /// Fraction of row requests served without touching disk; `1.0` when
+    /// nothing was requested (an idle store never misses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// One numeric anomaly caught by the trainer's sentinel: a NaN/Inf loss
 /// or gradient detected (and aborted) before it could reach the
 /// optimizer.
@@ -308,6 +339,7 @@ pub struct TraceRecorder {
     peaks: Vec<PeakRecord>,
     drift: Vec<DriftRecord>,
     allocs: Vec<(usize, AllocRecord)>,
+    features: Vec<(usize, FeatureStoreRecord)>,
     anomalies: Vec<AnomalyRecord>,
     faults: Vec<FaultRecord>,
 }
@@ -329,6 +361,7 @@ impl TraceRecorder {
             peaks: Vec::new(),
             drift: Vec::new(),
             allocs: Vec::new(),
+            features: Vec::new(),
             anomalies: Vec::new(),
             faults: Vec::new(),
         }
@@ -408,6 +441,28 @@ impl TraceRecorder {
         ));
     }
 
+    /// Records one epoch's feature-store counters at the current epoch,
+    /// keyed by the global step id the epoch ended on.
+    pub fn record_featurestore(
+        &mut self,
+        step: usize,
+        hits: u64,
+        misses: u64,
+        pages_in: u64,
+        page_in_bytes: u64,
+    ) {
+        self.features.push((
+            self.epoch,
+            FeatureStoreRecord {
+                step,
+                hits,
+                misses,
+                pages_in,
+                page_in_bytes,
+            },
+        ));
+    }
+
     /// Records a numeric anomaly the sentinel caught at the current epoch.
     pub fn record_anomaly(&mut self, step: usize, kind: String, injected: bool) {
         self.anomalies.push(AnomalyRecord {
@@ -464,6 +519,12 @@ impl TraceRecorder {
         &self.allocs
     }
 
+    /// All per-epoch feature-store records as `(epoch, record)` pairs, in
+    /// record order.
+    pub fn featurestore_records(&self) -> &[(usize, FeatureStoreRecord)] {
+        &self.features
+    }
+
     /// Worst (largest) measured/estimated ratio over every drift record;
     /// `0.0` when nothing was recorded.
     pub fn max_drift_ratio(&self) -> f64 {
@@ -482,6 +543,7 @@ impl TraceRecorder {
             + self.peaks.len()
             + self.drift.len()
             + self.allocs.len()
+            + self.features.len()
             + self.anomalies.len()
             + self.faults.len()
     }
@@ -550,6 +612,17 @@ impl TraceRecorder {
                 a.misses,
                 a.bytes_recycled,
                 jnum(a.hit_rate()),
+            ));
+        }
+        for (epoch, r) in &self.features {
+            out.push_str(&format!(
+                "{{\"type\":\"featurestore\",\"epoch\":{epoch},\"step\":{},\"hits\":{},\"misses\":{},\"pages_in\":{},\"page_in_bytes\":{},\"hit_rate\":{}}}\n",
+                r.step,
+                r.hits,
+                r.misses,
+                r.pages_in,
+                r.page_in_bytes,
+                jnum(r.hit_rate()),
             ));
         }
         for a in &self.anomalies {
@@ -646,6 +719,23 @@ impl TraceRecorder {
             out.push_str(&format!(
                 "\n  alloc     {} epochs, pool {hits} hits / {misses} misses ({:.1}% hit rate), {bytes} bytes recycled",
                 self.allocs.len(),
+                rate * 100.0,
+            ));
+        }
+        if !self.features.is_empty() {
+            let (hits, misses, pages, bytes): (u64, u64, u64, u64) =
+                self.features.iter().fold((0, 0, 0, 0), |(h, m, p, b), (_, r)| {
+                    (h + r.hits, m + r.misses, p + r.pages_in, b + r.page_in_bytes)
+                });
+            let total = hits + misses;
+            let rate = if total == 0 {
+                1.0
+            } else {
+                hits as f64 / total as f64
+            };
+            out.push_str(&format!(
+                "\n  features  {} epochs, {hits} hits / {misses} misses ({:.1}% hit rate), {pages} pages in, {bytes} bytes read",
+                self.features.len(),
                 rate * 100.0,
             ));
         }
@@ -977,6 +1067,34 @@ mod tests {
             bytes_recycled: 0,
         };
         assert_eq!(empty.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn featurestore_records_export_and_summarize() {
+        let mut t = TraceRecorder::new();
+        t.set_epoch(2);
+        t.record_featurestore(11, 75, 25, 5, 10_240);
+        let (epoch, rec) = t.featurestore_records()[0];
+        assert_eq!(epoch, 2);
+        assert_eq!(rec.step, 11);
+        assert!((rec.hit_rate() - 0.75).abs() < 1e-12);
+        let idle = FeatureStoreRecord {
+            step: 0,
+            hits: 0,
+            misses: 0,
+            pages_in: 0,
+            page_in_bytes: 0,
+        };
+        assert_eq!(idle.hit_rate(), 1.0, "an idle store never misses");
+        assert_eq!(t.len(), 1);
+        let jsonl = t.to_jsonl();
+        validate_jsonl(&jsonl).expect("featurestore lines must be valid JSONL");
+        assert!(jsonl.contains("\"type\":\"featurestore\""));
+        assert!(jsonl.contains("\"pages_in\":5"));
+        assert!(jsonl.contains("\"page_in_bytes\":10240"));
+        let summary = t.summary();
+        assert!(summary.contains("features"), "{summary}");
+        assert!(summary.contains("75.0% hit rate"), "{summary}");
     }
 
     #[test]

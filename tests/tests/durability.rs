@@ -120,6 +120,153 @@ fn session_import_resets_a_hot_plan_ahead_pipeline() {
 }
 
 #[test]
+fn resume_rejects_a_checkpoint_from_a_different_dataset() {
+    use betty::{ExperimentConfig, Runner, RunError, StrategyKind};
+    use betty_data::DatasetSpec;
+
+    // The historical bug: `ExperimentConfig::fingerprint` covers only
+    // model-shape knobs, so a checkpoint trained on one dataset resumed
+    // cleanly onto a *different* dataset as long as the config matched —
+    // silently misapplying the optimizer state. The session fingerprint
+    // now folds in the dataset shape, so this must be rejected up front.
+    let cfg = ExperimentConfig {
+        fanouts: vec![3, 5],
+        hidden_dim: 8,
+        ..ExperimentConfig::default()
+    };
+    let cora = DatasetSpec::cora()
+        .scaled(0.08)
+        .with_feature_dim(12)
+        .generate(3);
+    let mut trained = Runner::new(&cora, &cfg, 7);
+    trained
+        .train_epoch_betty(&cora, StrategyKind::Betty, 2)
+        .expect("default capacity is ample");
+    let saved = trained.export_session();
+
+    // Same config, same dataset: loads.
+    Runner::new(&cora, &cfg, 7)
+        .import_session(&saved)
+        .expect("same dataset must resume");
+
+    // Same config, different dataset: rejected with a checkpoint error,
+    // not a crash deep inside the model.
+    let pubmed = DatasetSpec::pubmed()
+        .scaled(0.02)
+        .with_feature_dim(12)
+        .generate(3);
+    match Runner::new(&pubmed, &cfg, 7).import_session(&saved) {
+        Err(RunError::Checkpoint(msg)) => {
+            assert!(
+                msg.contains("fingerprint mismatch"),
+                "unexpected rejection: {msg}"
+            );
+        }
+        Err(other) => panic!("wrong error kind: {other}"),
+        Ok(()) => panic!("a cross-dataset checkpoint was accepted"),
+    }
+
+    // Even the same graph with a different feature width is a different
+    // dataset as far as a checkpoint is concerned.
+    let wider = DatasetSpec::cora()
+        .scaled(0.08)
+        .with_feature_dim(24)
+        .generate(3);
+    assert!(
+        matches!(
+            Runner::new(&wider, &cfg, 7).import_session(&saved),
+            Err(RunError::Checkpoint(_))
+        ),
+        "a checkpoint from a narrower feature matrix was accepted"
+    );
+}
+
+#[test]
+fn dataset_roundtrips_through_both_feature_backends() {
+    use betty_data::{load_dataset, save_dataset, DatasetSpec};
+
+    let ds = DatasetSpec::cora()
+        .scaled(0.08)
+        .with_feature_dim(12)
+        .generate(3);
+
+    // Dense backend: straight save/load.
+    let dense_path = tmp("fs-roundtrip", "dense.btd");
+    save_dataset(&ds, &dense_path).unwrap();
+    let dense_back = load_dataset(&dense_path).unwrap();
+    let _ = std::fs::remove_file(&dense_path);
+    assert_eq!(dense_back.features, ds.features, "dense features diverged");
+    assert_eq!(dense_back.labels, ds.labels);
+
+    // Paged backend: spill to shards, then save the *paged* dataset.
+    // The on-disk dataset format stores features densely, so the loaded
+    // copy must be logically equal to the original matrix even though
+    // the saved dataset served its rows from disk shards.
+    let shard_dir = tmp("fs-roundtrip", "shards");
+    let mut paged_ds = ds.clone();
+    paged_ds.features = paged_ds.features.to_paged(&shard_dir, 16, 4096).unwrap();
+    assert!(paged_ds.features.is_paged());
+    let paged_path = tmp("fs-roundtrip", "paged.btd");
+    save_dataset(&paged_ds, &paged_path).unwrap();
+    let paged_back = load_dataset(&paged_path).unwrap();
+    let _ = std::fs::remove_file(&paged_path);
+    let _ = std::fs::remove_dir_all(&shard_dir);
+    assert_eq!(
+        paged_back.features, ds.features,
+        "features did not survive the spill → save → load round trip"
+    );
+    assert_eq!(paged_back.labels, ds.labels);
+}
+
+#[test]
+fn corrupted_feature_shard_is_rejected_on_open() {
+    use betty_data::{DatasetSpec, FeatureStoreError, PagedFeatures};
+
+    let ds = DatasetSpec::cora()
+        .scaled(0.08)
+        .with_feature_dim(12)
+        .generate(3);
+    let dir = tmp("fs-corrupt", "shards");
+    let _ = ds.features.to_paged(&dir, 16, usize::MAX).unwrap();
+    let shard = dir.join("shard-00000.bfs");
+    let pristine = std::fs::read(&shard).unwrap();
+    assert!(
+        PagedFeatures::open(&dir, usize::MAX).is_ok(),
+        "the untouched store must open"
+    );
+
+    let expect_format = |what: &str| {
+        match PagedFeatures::open(&dir, usize::MAX) {
+            Err(FeatureStoreError::Format(_)) => {}
+            Err(FeatureStoreError::Io(e)) => {
+                panic!("{what}: corruption surfaced as an I/O error: {e}")
+            }
+            Ok(_) => panic!("{what}: corrupted shard opened successfully"),
+        }
+    };
+
+    // Truncation anywhere — mid-magic, mid-header, mid-payload, mid-CRC —
+    // must be caught by the open-time validation.
+    for cut in [0, 4, pristine.len() / 2, pristine.len() - 1] {
+        std::fs::write(&shard, &pristine[..cut]).unwrap();
+        expect_format("truncation");
+    }
+    // A single flipped payload bit must fail the shard CRC.
+    let mut flipped = pristine.clone();
+    let pos = flipped.len() - 5; // inside the payload/CRC tail
+    flipped[pos] ^= 1;
+    std::fs::write(&shard, &flipped).unwrap();
+    expect_format("bit flip");
+
+    std::fs::write(&shard, &pristine).unwrap();
+    assert!(
+        PagedFeatures::open(&dir, usize::MAX).is_ok(),
+        "restoring the pristine bytes must make the store open again"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn pristine_checkpoint_roundtrips() {
     let path = tmp("roundtrip", "ok");
     let state = full_state();

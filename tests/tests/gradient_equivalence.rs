@@ -7,7 +7,7 @@ use betty_graph::{sample_batch, Batch};
 use betty_nn::{AggregatorSpec, GnnModel, GraphSage, Param, Session};
 
 use betty_partition::{OutputPartitioner, RegPartitioner};
-use betty_tensor::{segment, Reduction, Tensor};
+use betty_tensor::{Reduction, Tensor};
 use rand::SeedableRng;
 use rand_pcg::Pcg64Mcg;
 
@@ -38,7 +38,7 @@ fn accumulate(
     for batch in batches {
         let mut sess = Session::new();
         let idx: Vec<usize> = batch.input_nodes().iter().map(|&v| v as usize).collect();
-        let x = sess.graph.leaf(segment::gather_rows(&ds.features, &idx));
+        let x = sess.graph.leaf(ds.features.gather_rows(&idx));
         let mut rng = Pcg64Mcg::seed_from_u64(0);
         let logits = model.forward(&mut sess, batch.blocks(), x, false, &mut rng);
         let targets = ds.labels_of(batch.output_nodes());
@@ -193,7 +193,7 @@ fn losses_match_too() {
     let loss_of = |b: &Batch| -> f32 {
         let mut sess = Session::new();
         let idx: Vec<usize> = b.input_nodes().iter().map(|&v| v as usize).collect();
-        let x = sess.graph.leaf(segment::gather_rows(&ds.features, &idx));
+        let x = sess.graph.leaf(ds.features.gather_rows(&idx));
         let mut rng = Pcg64Mcg::seed_from_u64(0);
         let logits = model.forward(&mut sess, b.blocks(), x, false, &mut rng);
         let targets = ds.labels_of(b.output_nodes());
