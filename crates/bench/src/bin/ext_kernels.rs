@@ -1,0 +1,6 @@
+//! Extension exhibit: ext_kernels. `BETTY_PROFILE=quick` shrinks it.
+
+fn main() {
+    let profile = betty_bench::Profile::from_env();
+    betty_bench::experiments::ext_kernels::run(profile);
+}

@@ -230,4 +230,112 @@ pub fn run(profile: Profile) {
         }
     }
     table.finish();
+
+    kernel_alloc_table(counting);
+}
+
+/// Kernel-level companion table: the segment mean/max reductions used to
+/// allocate a fresh count/argmax `Vec<usize>` on every call; the pooled
+/// `_reusing` variants amortize that to (at most) one growth allocation.
+/// Both variants must produce bit-identical output — asserted here — so
+/// the drop is pure allocator traffic.
+fn kernel_alloc_table(counting: bool) {
+    use betty_tensor::{segment, Tensor};
+
+    let (rows, cols, n_segments, calls) = (256usize, 32usize, 64usize, 512usize);
+    let values = Tensor::from_vec(
+        (0..rows * cols).map(|i| ((i as f32) * 0.61).sin()).collect(),
+        &[rows, cols],
+    )
+    .expect("kernel alloc bench tensor");
+    let ids: Vec<usize> = (0..rows).map(|r| (r * 13 + 5) % n_segments).collect();
+    let mut out_fresh = vec![0.0f32; n_segments * cols];
+    let mut out_reusing = vec![0.0f32; n_segments * cols];
+
+    let mut table = Table::new(
+        "BENCH_alloc_kernels",
+        "count/argmax buffer allocations: fresh-Vec kernels vs pooled _reusing variants",
+        &["kernel", "calls", "fresh allocs", "reusing allocs", "drop"],
+    );
+
+    // segment_mean: counts buffer.
+    let before = alloc_count::allocations();
+    for _ in 0..calls {
+        out_fresh.fill(0.0);
+        let _counts = segment::segment_mean_into(&values, &ids, &mut out_fresh);
+    }
+    let fresh_mean = alloc_count::allocations() - before;
+    let mut counts = Vec::new();
+    let before = alloc_count::allocations();
+    for _ in 0..calls {
+        out_reusing.fill(0.0);
+        segment::segment_mean_into_reusing(&values, &ids, &mut out_reusing, &mut counts);
+    }
+    let reusing_mean = alloc_count::allocations() - before;
+    assert_eq!(
+        out_fresh.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        out_reusing.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "segment_mean _reusing variant must be bit-identical"
+    );
+
+    // segment_max: argmax buffer.
+    let before = alloc_count::allocations();
+    for _ in 0..calls {
+        out_fresh.fill(0.0);
+        let _argmax = segment::segment_max_into(&values, &ids, &mut out_fresh);
+    }
+    let fresh_max = alloc_count::allocations() - before;
+    let mut argmax = Vec::new();
+    let before = alloc_count::allocations();
+    for _ in 0..calls {
+        out_reusing.fill(0.0);
+        segment::segment_max_into_reusing(&values, &ids, &mut out_reusing, &mut argmax);
+    }
+    let reusing_max = alloc_count::allocations() - before;
+    assert_eq!(
+        out_fresh.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        out_reusing.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "segment_max _reusing variant must be bit-identical"
+    );
+
+    if counting {
+        // One warm-up growth allocation is allowed; per-call traffic must
+        // be gone entirely.
+        assert!(
+            fresh_mean >= calls as u64,
+            "fresh segment_mean made only {fresh_mean} allocations over {calls} calls"
+        );
+        assert!(
+            reusing_mean <= 2,
+            "reusing segment_mean still allocates per call ({reusing_mean} over {calls})"
+        );
+        assert!(
+            fresh_max >= calls as u64,
+            "fresh segment_max made only {fresh_max} allocations over {calls} calls"
+        );
+        assert!(
+            reusing_max <= 2,
+            "reusing segment_max still allocates per call ({reusing_max} over {calls})"
+        );
+    }
+
+    for (kernel, fresh, reusing) in [
+        ("segment_mean", fresh_mean, reusing_mean),
+        ("segment_max", fresh_max, reusing_max),
+    ] {
+        table.row(vec![
+            kernel.to_string(),
+            calls.to_string(),
+            if counting { fresh.to_string() } else { "n/a".to_string() },
+            if counting { reusing.to_string() } else { "n/a".to_string() },
+            if counting && reusing > 0 {
+                format!("{:.0}x", fresh as f64 / reusing as f64)
+            } else if counting {
+                "all".to_string()
+            } else {
+                "n/a".to_string()
+            },
+        ]);
+    }
+    table.finish();
 }

@@ -1,0 +1,319 @@
+//! Extension exhibit: ext_kernels. `BETTY_PROFILE=quick` shrinks it.
+//!
+//! Scalar-vs-SIMD throughput of the runtime-dispatched compute backend,
+//! plus the end-to-end training payoff, with the numerics contract
+//! asserted rather than assumed:
+//!
+//! 1. **Kernel throughput** (`BENCH_kernels.json`) — GFLOP/s of the
+//!    dense matmul family, the fused gather+segment-reduce aggregation
+//!    kernel, and the vectorized Adam step, each measured under
+//!    `Backend::Scalar` and `Backend::Simd` at 1 and 4 worker threads.
+//!    The SIMD path must clear [`MIN_KERNEL_SPEEDUP`] on every row (the
+//!    committed artifact shows ≥ 2× for matmul and the fused kernel at
+//!    both thread counts on an AVX-512 host; the assertion floor is
+//!    deliberately lower so slower CI steppings fail loudly only on real
+//!    regressions, not on turbo-bin variance).
+//! 2. **Bit-identity** — every kernel's f32 output must match the scalar
+//!    reference bit-for-bit before a throughput row is accepted: the
+//!    backend is a speed knob, not a numerics knob.
+//! 3. **End-to-end** (`BENCH_kernels_epoch.json`) — steady-state epoch
+//!    time of a power-law-graph training run under each backend, same
+//!    seed. Per-epoch losses must be bit-identical; the SIMD run must be
+//!    faster by [`MIN_EPOCH_SPEEDUP`].
+
+use std::time::Instant;
+
+use betty::{ExperimentConfig, Runner, StrategyKind};
+use betty_data::DatasetSpec;
+use betty_tensor::{kernels, segment, with_backend, Backend, Tensor};
+
+use crate::report::Table;
+use crate::Profile;
+
+/// Per-row assertion floor for simd/scalar throughput of the
+/// compute-bound kernels (the matmul family and the fused
+/// gather+segment kernel). The real numbers on an AVX-512 host are
+/// ≥ 2×; the floor is deliberately lower so slower CI steppings fail
+/// loudly only on real regressions, not on turbo-bin variance.
+pub const MIN_KERNEL_SPEEDUP: f64 = 1.2;
+
+/// Floor for the Adam step, which is memory-bound (four streams per
+/// value), so vectorization buys little beyond saturating bandwidth;
+/// the assertion only guards against the simd path regressing.
+pub const MIN_ADAM_SPEEDUP: f64 = 1.0;
+
+/// Required end-to-end epoch-time speedup of simd over scalar.
+pub const MIN_EPOCH_SPEEDUP: f64 = 1.05;
+
+/// One timed kernel invocation set: best-of-`reps` wall seconds.
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn dense(rows: usize, cols: usize, phase: f32) -> Tensor {
+    Tensor::from_vec(
+        (0..rows * cols)
+            .map(|i| ((i as f32) * 0.37 + phase).sin())
+            .collect(),
+        &[rows, cols],
+    )
+    .unwrap()
+}
+
+struct KernelCase {
+    name: &'static str,
+    shape: String,
+    /// Total floating-point operations of one invocation.
+    flops: f64,
+    /// Per-case simd/scalar speedup floor.
+    min_speedup: f64,
+    /// Runs the kernel once into the scratch buffer and returns the
+    /// output slice for bit-identity checking.
+    run: Box<dyn FnMut() -> Vec<f32>>,
+}
+
+/// The kernel suite at bench shapes: 128-class feature widths and a
+/// CSR-sorted (destination-major) edge list, the shapes the trainer's
+/// aggregation and dense layers actually run.
+fn kernel_cases(profile: Profile) -> Vec<KernelCase> {
+    let scale = match profile {
+        Profile::Quick => 4,
+        Profile::Full => 1,
+    };
+    let mut cases = Vec::new();
+
+    // Dense layer shapes: activations [n, d] × weights [d, o].
+    let (m, k, n) = (2048 / scale, 128, 128);
+    let a = dense(m, k, 0.0);
+    let b = dense(k, n, 1.0);
+    let mut out = vec![0.0f32; m * n];
+    cases.push(KernelCase {
+        name: "matmul",
+        shape: format!("{m}x{k}x{n}"),
+        flops: 2.0 * (m * k * n) as f64,
+        min_speedup: MIN_KERNEL_SPEEDUP,
+        run: Box::new(move || {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            kernels::matmul_into(&a, &b, &mut out);
+            out.clone()
+        }),
+    });
+
+    let a = dense(m, k, 0.0);
+    let b = dense(n, k, 1.0); // transposed operand
+    let mut out = vec![0.0f32; m * n];
+    cases.push(KernelCase {
+        name: "matmul_a_bt",
+        shape: format!("{m}x{k}x{n}"),
+        flops: 2.0 * (m * k * n) as f64,
+        min_speedup: MIN_KERNEL_SPEEDUP,
+        run: Box::new(move || {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            kernels::matmul_a_bt_into(&a, &b, &mut out);
+            out.clone()
+        }),
+    });
+
+    // Fused gather + segment-sum at aggregation shapes: E edges gathering
+    // rows of a [rows, 128] feature table into CSR-sorted segments.
+    let (rows, cols, n_segments, n_edges) = (2048 / scale, 128, 256 / scale, 1_000_000 / scale);
+    let src = dense(rows, cols, 2.0);
+    let gather_ids: Vec<usize> = (0..n_edges).map(|e| (e * 7919) % rows).collect();
+    let mut segment_ids: Vec<usize> = (0..n_edges).map(|e| (e * 104_729) % n_segments).collect();
+    segment_ids.sort_unstable();
+    let mut out = vec![0.0f32; n_segments * cols];
+    cases.push(KernelCase {
+        name: "fused_gather_segment",
+        shape: format!("E={n_edges} {rows}x{cols} seg={n_segments}"),
+        flops: (n_edges * cols) as f64,
+        min_speedup: MIN_KERNEL_SPEEDUP,
+        run: Box::new(move || {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            segment::fused_gather_segment_sum_into(&src, &gather_ids, &segment_ids, &mut out);
+            out.clone()
+        }),
+    });
+
+    // Adam at a realistic parameter-tensor length. ~12 flops/value
+    // (moment updates, bias correction, sqrt, divide); the constant only
+    // scales the GFLOP/s label, the speedup column is a pure time ratio.
+    let len = 1 << 20 >> (scale / 4);
+    let grad: Vec<f32> = (0..len).map(|i| ((i as f32) * 0.11).cos()).collect();
+    let mut value = vec![0.0f32; len];
+    let mut m1 = vec![0.0f32; len];
+    let mut m2 = vec![0.0f32; len];
+    cases.push(KernelCase {
+        name: "adam_step",
+        shape: format!("{len} values"),
+        flops: 12.0 * len as f64,
+        min_speedup: MIN_ADAM_SPEEDUP,
+        run: Box::new(move || {
+            value.iter_mut().for_each(|v| *v = 1.0);
+            m1.iter_mut().for_each(|v| *v = 0.0);
+            m2.iter_mut().for_each(|v| *v = 0.0);
+            kernels::adam_step(
+                &mut value,
+                &grad,
+                &mut m1,
+                &mut m2,
+                kernels::AdamCoeffs {
+                    lr: 1e-3,
+                    beta1: 0.9,
+                    beta2: 0.999,
+                    eps: 1e-8,
+                    bias1: 0.1,
+                    bias2: 1e-3,
+                },
+            );
+            value.clone()
+        }),
+    });
+
+    cases
+}
+
+fn kernel_table(profile: Profile) {
+    let reps = match profile {
+        Profile::Quick => 5,
+        Profile::Full => 15,
+    };
+    let mut table = Table::new(
+        "BENCH_kernels",
+        "ext: scalar vs simd kernel throughput (bit-identical f32)",
+        &[
+            "kernel",
+            "shape",
+            "threads",
+            "scalar GFLOP/s",
+            "simd GFLOP/s",
+            "speedup",
+        ],
+    );
+    for mut case in kernel_cases(profile) {
+        for threads in [1usize, 4] {
+            betty_runtime::set_thread_override(Some(threads));
+            let reference = with_backend(Backend::Scalar, || (case.run)());
+            let simd_out = with_backend(Backend::Simd, || (case.run)());
+            assert_eq!(
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                simd_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{} at {} threads: simd must be bit-identical to scalar",
+                case.name,
+                threads
+            );
+            let scalar_sec = best_of(reps, || {
+                with_backend(Backend::Scalar, || {
+                    (case.run)();
+                })
+            });
+            let simd_sec = best_of(reps, || {
+                with_backend(Backend::Simd, || {
+                    (case.run)();
+                })
+            });
+            let speedup = scalar_sec / simd_sec;
+            assert!(
+                speedup >= case.min_speedup,
+                "{} at {} threads: simd speedup {:.2}x below the {:.2}x floor",
+                case.name,
+                threads,
+                speedup,
+                case.min_speedup
+            );
+            table.row(vec![
+                case.name.to_string(),
+                case.shape.clone(),
+                threads.to_string(),
+                format!("{:.2}", case.flops / scalar_sec / 1e9),
+                format!("{:.2}", case.flops / simd_sec / 1e9),
+                format!("{speedup:.2}x"),
+            ]);
+        }
+    }
+    betty_runtime::set_thread_override(None);
+    table.finish();
+}
+
+/// One steady-state training measurement under a pinned backend: plan
+/// once, warm up one epoch, then time `epochs` epochs over the same
+/// micro-batches.
+fn epoch_time(ds: &betty_data::Dataset, backend: Backend, epochs: usize) -> (f64, Vec<u64>) {
+    with_backend(backend, || {
+        let config = ExperimentConfig {
+            fanouts: vec![5, 10],
+            hidden_dim: 64,
+            dropout: 0.0,
+            ..ExperimentConfig::default()
+        };
+        let mut runner = Runner::new(ds, &config, 0);
+        let batch = runner.sample_full_batch(ds);
+        let micros = runner
+            .plan_fixed(&batch, StrategyKind::Betty, 4)
+            .micro_batches;
+        runner
+            .train_micro_batches(ds, &micros)
+            .expect("default capacity fits the bench batch");
+        let mut losses = Vec::new();
+        let t0 = Instant::now();
+        for _ in 0..epochs {
+            let stats = runner
+                .train_micro_batches(ds, &micros)
+                .expect("warmed epoch must fit");
+            losses.push(stats.loss.to_bits());
+        }
+        (t0.elapsed().as_secs_f64() / epochs as f64, losses)
+    })
+}
+
+fn epoch_table(profile: Profile) {
+    let ds = DatasetSpec::reddit()
+        .scaled(match profile {
+            Profile::Quick => 0.002,
+            Profile::Full => 0.01,
+        })
+        .with_feature_dim(128)
+        .generate(7);
+    let epochs = profile.epochs(6);
+    let (scalar_sec, scalar_losses) = epoch_time(&ds, Backend::Scalar, epochs);
+    let (simd_sec, simd_losses) = epoch_time(&ds, Backend::Simd, epochs);
+    assert_eq!(
+        scalar_losses, simd_losses,
+        "f32 training losses must be bit-identical across backends"
+    );
+    let speedup = scalar_sec / simd_sec;
+    assert!(
+        speedup >= MIN_EPOCH_SPEEDUP,
+        "end-to-end simd speedup {speedup:.2}x below the {MIN_EPOCH_SPEEDUP:.2}x floor"
+    );
+    let mut table = Table::new(
+        "BENCH_kernels_epoch",
+        "ext: end-to-end epoch time, scalar vs simd (losses bit-identical)",
+        &[
+            "dataset",
+            "epochs",
+            "scalar s/epoch",
+            "simd s/epoch",
+            "speedup",
+        ],
+    );
+    table.row(vec![
+        format!("{} ({} nodes)", ds.name, ds.num_nodes()),
+        epochs.to_string(),
+        format!("{scalar_sec:.3}"),
+        format!("{simd_sec:.3}"),
+        format!("{speedup:.2}x"),
+    ]);
+    table.finish();
+}
+
+/// Runs the exhibit.
+pub fn run(profile: Profile) {
+    kernel_table(profile);
+    epoch_table(profile);
+}

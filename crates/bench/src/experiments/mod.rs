@@ -5,6 +5,7 @@ pub mod ablation;
 pub mod ext_alloc;
 pub mod ext_elastic;
 pub mod ext_featurestore;
+pub mod ext_kernels;
 pub mod ext_multi_gpu;
 pub mod ext_overhead;
 pub mod ext_pipeline;
@@ -52,4 +53,5 @@ pub fn run_all(profile: Profile) {
     ext_trace::run(profile);
     ext_alloc::run(profile);
     ext_featurestore::run(profile);
+    ext_kernels::run(profile);
 }

@@ -11,10 +11,18 @@ use betty_device::FaultPlan;
 use betty_graph::degree;
 use betty_nn::AggregatorSpec;
 use betty_partition::input_redundancy;
+use betty_tensor::DType;
 
 use crate::args::{ArgError, Args};
 
 type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Parses the `--precision` storage dtype (default f32).
+fn precision(args: &Args) -> Result<DType, ArgError> {
+    let raw = args.get("precision").unwrap_or("f32");
+    DType::parse(raw)
+        .ok_or_else(|| ArgError(format!("--precision: unknown dtype '{raw}' (try: f32, bf16, f16)")))
+}
 
 fn preset_by_name(name: &str) -> Result<DatasetSpec, ArgError> {
     DatasetSpec::all()
@@ -48,6 +56,13 @@ fn load(args: &Args) -> Result<Dataset, Box<dyn Error>> {
 /// to the dense in-memory default, only where the features live (and the
 /// paging counters in `--trace-out`) change.
 fn apply_feature_store(mut ds: Dataset, args: &Args) -> Result<Dataset, Box<dyn Error>> {
+    // Re-encode features at the requested storage width *before* any
+    // paged spill, so on-disk shards carry 16-bit payloads and the hot-set
+    // cache holds half the bytes (a paged store cannot be re-encoded).
+    let dtype = precision(args)?;
+    if dtype != DType::F32 {
+        ds.features = ds.features.with_dtype(dtype);
+    }
     let backend = args.get("feature-store").unwrap_or("dense");
     match backend {
         "dense" => {
@@ -133,6 +148,7 @@ fn experiment_config(args: &Args) -> Result<ExperimentConfig, Box<dyn Error>> {
         pool: !args.has_flag("no-pool"),
         sentinel: !args.has_flag("no-sentinel"),
         plan_ahead: args.get_or("plan-ahead", 0usize)?,
+        precision: precision(args)?,
         ..ExperimentConfig::default()
     };
     config.validate().map_err(ArgError)?;

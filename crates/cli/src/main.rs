@@ -92,6 +92,22 @@ GLOBAL FLAGS (accepted by every command, after the command name):
                  extraction, large matmuls); 1 is exactly serial. Defaults
                  to the BETTY_THREADS env var, then the core count. Every
                  thread count produces bit-identical results.
+  --backend scalar|simd
+                 compute backend for the tensor kernels (default simd, or
+                 the BETTY_BACKEND env var). 'scalar' is the portable
+                 reference; 'simd' dispatches AVX-512/AVX2 kernels at
+                 runtime. f32 results are bit-identical across backends
+                 and thread counts — this is a speed knob, not a numerics
+                 knob.
+  --precision f32|bf16|f16
+                 storage dtype for node features and forward activations
+                 (default f32, the paper's configuration). 16-bit storage
+                 halves the feature and activation byte terms the memory
+                 estimator sees, so auto-planning picks fewer partitions
+                 on the same budget; compute still accumulates in f32.
+                 Changes the trained function (values round through a
+                 16-bit grid), so checkpoints are precision-specific and
+                 --resume rejects a checkpoint from another precision.
   --no-prefetch  disable double-buffered transfer prefetch during training
                  (prefetch is on by default; losses are identical either
                  way, only timing and the device-memory schedule change)
@@ -142,6 +158,19 @@ fn main() -> ExitCode {
             eprintln!("error: {e}\n");
             eprint!("{USAGE}");
             return ExitCode::FAILURE;
+        }
+    }
+    // --backend pins the compute backend for every kernel before any
+    // command runs; the default resolution (BETTY_BACKEND env, then simd)
+    // applies when the flag is absent.
+    if let Some(raw) = parsed.get("backend") {
+        match betty_tensor::Backend::parse(raw) {
+            Some(b) => betty_tensor::set_backend_override(Some(b)),
+            None => {
+                eprintln!("error: --backend: unknown backend '{raw}' (try: scalar, simd)\n");
+                eprint!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     let result = match command.as_str() {

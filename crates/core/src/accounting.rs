@@ -10,6 +10,7 @@
 
 use betty_device::{AllocationId, Device, MemoryCategory, OomError, BYTES_PER_VALUE};
 use betty_graph::Batch;
+use betty_tensor::DType;
 
 /// Per-step sizes, all in bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,11 +24,17 @@ pub(crate) struct StepSizes {
 }
 
 impl StepSizes {
+    /// Sizes for one micro-batch. `feature_dtype` is the storage width of
+    /// node features: the device holds (and transfers) them at that width,
+    /// so the `input_features` charge — and therefore
+    /// [`StepSizes::transfer_bytes`] — shrinks under a 16-bit store,
+    /// matching the estimator's item (2). Everything else stays f32.
     pub(crate) fn for_batch(
         batch: &Batch,
         in_dim: usize,
         param_values: usize,
         opt_state_values: usize,
+        feature_dtype: DType,
     ) -> Self {
         StepSizes {
             params: param_values * BYTES_PER_VALUE,
@@ -37,7 +44,7 @@ impl StepSizes {
                 .iter()
                 .map(|b| b.storage_values() * BYTES_PER_VALUE)
                 .sum(),
-            input_features: batch.input_nodes().len() * in_dim * BYTES_PER_VALUE,
+            input_features: batch.input_nodes().len() * in_dim * feature_dtype.bytes_per_value(),
             labels: batch.output_nodes().len() * BYTES_PER_VALUE,
             feature_cache: 0,
         }
@@ -161,7 +168,7 @@ mod tests {
 
     #[test]
     fn sizes_match_hand_count() {
-        let s = StepSizes::for_batch(&batch(), 8, 100, 200);
+        let s = StepSizes::for_batch(&batch(), 8, 100, 200, DType::F32);
         assert_eq!(s.params, 400);
         assert_eq!(s.optimizer_states, 800);
         assert_eq!(s.blocks, 3 * 3 * 4);
@@ -171,9 +178,22 @@ mod tests {
     }
 
     #[test]
+    fn half_width_features_shrink_input_and_transfer_only() {
+        let f32_sizes = StepSizes::for_batch(&batch(), 8, 100, 200, DType::F32);
+        let bf16 = StepSizes::for_batch(&batch(), 8, 100, 200, DType::Bf16);
+        assert_eq!(bf16.input_features, 5 * 8 * 2);
+        assert_eq!(bf16.transfer_bytes(), f32_sizes.transfer_bytes() - 5 * 8 * 2);
+        // Only the feature term is dtype-sensitive.
+        assert_eq!(bf16.params, f32_sizes.params);
+        assert_eq!(bf16.optimizer_states, f32_sizes.optimizer_states);
+        assert_eq!(bf16.blocks, f32_sizes.blocks);
+        assert_eq!(bf16.labels, f32_sizes.labels);
+    }
+
+    #[test]
     fn lifecycle_peak_is_static_plus_hidden_plus_max_transient() {
         let mut dev = Device::unbounded();
-        let sizes = StepSizes::for_batch(&batch(), 8, 100, 200);
+        let sizes = StepSizes::for_batch(&batch(), 8, 100, 200, DType::F32);
         let static_total = sizes.params
             + sizes.optimizer_states
             + sizes.blocks
@@ -190,7 +210,7 @@ mod tests {
 
     #[test]
     fn failed_static_charge_rolls_back_partial_allocations() {
-        let sizes = StepSizes::for_batch(&batch(), 8, 100, 200);
+        let sizes = StepSizes::for_batch(&batch(), 8, 100, 200, DType::F32);
         // Params + optimizer states fit; the blocks charge pushes past
         // capacity mid-sequence.
         let mut dev = Device::new(sizes.params + sizes.optimizer_states + 1);
@@ -210,7 +230,7 @@ mod tests {
 
     #[test]
     fn oom_during_forward_propagates() {
-        let sizes = StepSizes::for_batch(&batch(), 8, 100, 200);
+        let sizes = StepSizes::for_batch(&batch(), 8, 100, 200, DType::F32);
         let mut dev = Device::new(sizes.transfer_bytes() + sizes.params + sizes.optimizer_states + 10);
         let mut charges = StepCharges::charge_static(&mut dev, &sizes).unwrap();
         assert!(charges.charge_forward(&mut dev, 50, 300).is_err());

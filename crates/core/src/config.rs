@@ -1,5 +1,6 @@
 use betty_device::{gib, FaultPlan};
 use betty_nn::AggregatorSpec;
+use betty_tensor::DType;
 
 use crate::recovery::RetryPolicy;
 
@@ -76,6 +77,15 @@ pub struct ExperimentConfig {
     /// bit-identical at every depth. The CLI exposes this as
     /// `--plan-ahead`.
     pub plan_ahead: usize,
+    /// Storage dtype for node features and forward activations. `F32` is
+    /// the paper's configuration; `Bf16`/`F16` store features and
+    /// activations at half width (compute still accumulates in f32), which
+    /// the memory estimator sees as smaller per-micro-batch footprints and
+    /// the REG planner turns into fewer partitions on the same budget.
+    /// Changes the trained function (values round through a 16-bit grid),
+    /// so it is folded into [`ExperimentConfig::fingerprint`]. The CLI
+    /// exposes this as `--precision`.
+    pub precision: DType,
 }
 
 impl Default for ExperimentConfig {
@@ -96,6 +106,7 @@ impl Default for ExperimentConfig {
             pool: true,
             sentinel: true,
             plan_ahead: 0,
+            precision: DType::F32,
         }
     }
 }
@@ -174,6 +185,15 @@ impl ExperimentConfig {
         eat(&self.learning_rate.to_bits().to_le_bytes());
         eat(&(self.capacity_bytes as u64).to_le_bytes());
         eat(&(self.max_partitions as u64).to_le_bytes());
+        // Storage precision changes the trained function (activations and
+        // features round through a 16-bit grid), so a bf16 resume must
+        // reject an f32 checkpoint and vice versa. Folded only when
+        // non-default so every f32 checkpoint written before the knob
+        // existed keeps its fingerprint.
+        if self.precision != DType::F32 {
+            eat(b"precision:");
+            eat(self.precision.name().as_bytes());
+        }
         h
     }
 
@@ -292,6 +312,32 @@ mod tests {
             ..ExperimentConfig::default()
         };
         assert_eq!(base.fingerprint(), perturbed.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_tracks_storage_precision() {
+        let base = ExperimentConfig::default();
+        let bf16 = ExperimentConfig {
+            precision: DType::Bf16,
+            ..ExperimentConfig::default()
+        };
+        let f16 = ExperimentConfig {
+            precision: DType::F16,
+            ..ExperimentConfig::default()
+        };
+        // Each precision trains a different function: all three must be
+        // mutually distinguishable so --resume rejects cross-precision
+        // checkpoints.
+        assert_ne!(base.fingerprint(), bf16.fingerprint());
+        assert_ne!(base.fingerprint(), f16.fingerprint());
+        assert_ne!(bf16.fingerprint(), f16.fingerprint());
+        // The explicit-f32 config hashes as before the knob existed, so
+        // pre-existing f32 checkpoints still resume.
+        let explicit_f32 = ExperimentConfig {
+            precision: DType::F32,
+            ..ExperimentConfig::default()
+        };
+        assert_eq!(base.fingerprint(), explicit_f32.fingerprint());
     }
 
     #[test]

@@ -395,6 +395,34 @@ mod tests {
     }
 
     #[test]
+    fn resume_rejects_a_checkpoint_from_another_precision() {
+        // A bf16 run trains a different function than an f32 run (values
+        // round through the 16-bit grid), so resuming across precisions
+        // must fail the fingerprint check up front.
+        use betty_tensor::DType;
+        let ds = dataset();
+        let donor = Runner::new(&ds, &config(), 0);
+        let f32_state = donor.export_session();
+        let bf16_cfg = ExperimentConfig {
+            precision: DType::Bf16,
+            ..config()
+        };
+        let mut runner = Runner::new(&ds, &bf16_cfg, 0);
+        let err = fit(
+            &mut runner,
+            &ds,
+            &FitConfig {
+                max_epochs: 2,
+                resume: Some(f32_state),
+                ..FitConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunError::Checkpoint(_)), "{err:?}");
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+    }
+
+    #[test]
     fn injected_nan_rolls_back_and_the_run_completes_finite() {
         use betty_device::FaultPlan;
         let ds = dataset();

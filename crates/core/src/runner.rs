@@ -256,7 +256,10 @@ impl Runner {
             params_gnn: model.gnn_param_count(),
             params_agg: model.agg_param_count(),
         };
-        let estimator = MemoryEstimator::new(shape).with_lstm_constant(LSTM_TAPE_CONSTANT);
+        let estimator = MemoryEstimator::new(shape)
+            .with_lstm_constant(LSTM_TAPE_CONSTANT)
+            .with_feature_dtype(config.precision)
+            .with_activation_dtype(config.precision);
         let planner =
             MemoryAwarePlanner::new(estimator, config.capacity_bytes, config.max_partitions)
                 .with_prefetch_staging(config.prefetch)
@@ -269,6 +272,7 @@ impl Runner {
         );
         trainer.set_pooling(config.pool);
         trainer.set_sentinel(config.sentinel);
+        trainer.set_precision(config.precision);
         let mut link_faults = None;
         if let Some(fault_plan) = &config.fault_plan {
             trainer.arm_faults(fault_plan);
@@ -1559,6 +1563,112 @@ mod tests {
             .train_epoch_betty(&ds, StrategyKind::Betty, 2)
             .unwrap();
         assert!(stats.loss.is_finite());
+    }
+
+    #[test]
+    fn estimator_drift_is_exact_at_every_precision() {
+        // Eq. 5 exactness is the planner's contract: the measured step
+        // peak must equal the estimate bit-for-bit (drift ratio 1.0), and
+        // the half-width byte terms must keep it that way.
+        use betty_tensor::DType;
+        let ds = dataset();
+        for precision in [DType::F32, DType::Bf16, DType::F16] {
+            let cfg = ExperimentConfig {
+                precision,
+                ..config()
+            };
+            let mut runner = Runner::new(&ds, &cfg, 0);
+            let stats = runner
+                .train_epoch_betty(&ds, StrategyKind::Betty, 3)
+                .unwrap();
+            assert!(stats.loss.is_finite());
+            assert_eq!(
+                stats.estimator_drift, 1.0,
+                "estimate must match the measured peak exactly under {precision:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn half_precision_training_loss_stays_close_to_f32() {
+        // 16-bit storage perturbs activations by ≤ half a ulp per value;
+        // over a short run the loss must stay finite and track the f32
+        // trajectory within a loose relative tolerance (not bit-exact:
+        // that would defeat the point of the quantization).
+        use betty_tensor::DType;
+        let ds = dataset();
+        let loss_at = |precision: DType| {
+            let cfg = ExperimentConfig {
+                precision,
+                ..config()
+            };
+            let mut runner = Runner::new(&ds, &cfg, 0);
+            let mut last = f64::NAN;
+            for _ in 0..3 {
+                last = runner
+                    .train_epoch_betty(&ds, StrategyKind::Betty, 2)
+                    .unwrap()
+                    .loss;
+            }
+            last
+        };
+        let f32_loss = loss_at(DType::F32);
+        for precision in [DType::Bf16, DType::F16] {
+            let half_loss = loss_at(precision);
+            assert!(half_loss.is_finite(), "{precision:?} loss diverged");
+            let rel = (half_loss - f32_loss).abs() / f32_loss.abs().max(1e-6);
+            assert!(
+                rel < 0.05,
+                "{precision:?} loss {half_loss} strayed {rel:.3} from f32 loss {f32_loss}"
+            );
+        }
+    }
+
+    #[test]
+    fn half_precision_needs_fewer_partitions_on_fixed_budget() {
+        // The planner-visible payoff of 16-bit storage: on a power-law
+        // graph with a budget that forces the f32 run to split, the bf16
+        // run's smaller per-micro-batch footprint admits a strictly
+        // smaller K.
+        use betty_tensor::DType;
+        let ds = DatasetSpec::reddit()
+            .scaled(0.002)
+            .with_feature_dim(32)
+            .generate(11);
+        let f32_cfg = ExperimentConfig {
+            fanouts: vec![4, 8],
+            hidden_dim: 32,
+            dropout: 0.0,
+            capacity_bytes: gib(4),
+            ..ExperimentConfig::default()
+        };
+        // Budget: below the full-batch f32 peak so K must grow.
+        let mut probe = Runner::new(&ds, &f32_cfg, 0);
+        let batch = probe.sample_full_batch(&ds);
+        let full_peak = probe
+            .plan_fixed(&batch, StrategyKind::Betty, 1)
+            .max_estimated_peak();
+        let budget = full_peak * 3 / 4;
+        let tight_f32 = ExperimentConfig {
+            capacity_bytes: budget,
+            ..f32_cfg.clone()
+        };
+        let tight_bf16 = ExperimentConfig {
+            capacity_bytes: budget,
+            precision: DType::Bf16,
+            ..f32_cfg
+        };
+        let (_, k_f32) = Runner::new(&ds, &tight_f32, 0)
+            .train_epoch_auto(&ds, StrategyKind::Betty)
+            .unwrap();
+        let (_, k_bf16) = Runner::new(&ds, &tight_bf16, 0)
+            .train_epoch_auto(&ds, StrategyKind::Betty)
+            .unwrap();
+        assert!(k_f32 > 1, "budget must force the f32 run to split");
+        assert!(
+            k_bf16 < k_f32,
+            "bf16 must need strictly fewer partitions: f32 K={k_f32}, bf16 K={k_bf16}"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use betty_device::{
 };
 use betty_graph::Batch;
 use betty_nn::{Adam, GnnModel, Optimizer, Param, Session};
-use betty_tensor::{PoolStats, Reduction};
+use betty_tensor::{DType, PoolStats, Reduction};
 use betty_trace::{SpanKind, TraceRecorder};
 
 use crate::accounting::{StepCharges, StepSizes};
@@ -227,6 +227,11 @@ pub struct Trainer {
     nan_steps: std::collections::BTreeSet<usize>,
     /// NaN-injection events not yet drained into the recovery log.
     nan_events: Vec<FaultEvent>,
+    /// Storage dtype for node features and forward activations
+    /// ([`ExperimentConfig::precision`](crate::ExperimentConfig)): the
+    /// tape quantizes non-leaf activations to this width and the device
+    /// ledger charges features/hidden tensors at it.
+    precision: DType,
 }
 
 impl fmt::Debug for Trainer {
@@ -255,7 +260,24 @@ impl Trainer {
             sentinel: true,
             nan_steps: std::collections::BTreeSet::new(),
             nan_events: Vec::new(),
+            precision: DType::F32,
         }
+    }
+
+    /// Sets the storage precision for features and activations. Non-leaf
+    /// tape values round through the 16-bit grid on every step from here
+    /// on (compute still accumulates in f32), and the device ledger
+    /// charges input features and per-layer tensors at the narrow width —
+    /// exactly what a [`betty_device::MemoryEstimator`] configured with
+    /// the same dtypes predicts.
+    pub fn set_precision(&mut self, dtype: DType) {
+        self.precision = dtype;
+        self.session.graph.set_activation_dtype(dtype);
+    }
+
+    /// The active storage precision.
+    pub fn precision(&self) -> DType {
+        self.precision
     }
 
     /// Turns the numeric-anomaly sentinel on or off. With the sentinel
@@ -299,7 +321,12 @@ impl Trainer {
     /// and none at all while disabled).
     pub fn enable_tracing(&mut self) {
         self.device.enable_timeline();
-        self.trace = Some(TraceRecorder::new());
+        let mut recorder = TraceRecorder::new();
+        recorder.set_run_context(
+            betty_tensor::Backend::current().name(),
+            self.precision.name(),
+        );
+        self.trace = Some(recorder);
     }
 
     /// Stops trace recording, returning the recorder (with everything it
@@ -561,6 +588,7 @@ impl Trainer {
         } else {
             self.session = Session::new();
             self.session.graph.set_pool_enabled(false);
+            self.session.graph.set_activation_dtype(self.precision);
         }
     }
 
@@ -759,7 +787,7 @@ impl Trainer {
         let in_dim = dataset.feature_dim();
         let param_values = self.model.total_param_count();
         let opt_values = param_values * self.optimizer.state_values_per_param();
-        let sizes = StepSizes::for_batch(batch, in_dim, param_values, opt_values)
+        let sizes = StepSizes::for_batch(batch, in_dim, param_values, opt_values, self.precision)
             .with_feature_cache(dataset.features.cache_reservation_bytes());
 
         // This batch's staged copy is re-charged below under the regular
@@ -792,7 +820,8 @@ impl Trainer {
         let mut feature_stats = GatherStats::default();
         let mut staged_out = match stage_next {
             Some(next) => {
-                let next_sizes = StepSizes::for_batch(next, in_dim, param_values, opt_values);
+                let next_sizes =
+                    StepSizes::for_batch(next, in_dim, param_values, opt_values, self.precision);
                 let staged_bytes = next_sizes.transfer_bytes();
                 let alloc = match self
                     .device
@@ -901,7 +930,7 @@ impl Trainer {
                 } else {
                     self.model.hidden_dim()
                 };
-                b.num_dst() * out_dim * BYTES_PER_VALUE
+                b.num_dst() * out_dim * self.precision.bytes_per_value()
             })
             .sum();
         let tape_bytes = sess.activation_bytes();
@@ -1268,7 +1297,7 @@ mod tests {
         for i in 0..micros.len() - 1 {
             let param_values = pre.model.total_param_count();
             let opt_values = param_values * pre.optimizer.state_values_per_param();
-            let staged = StepSizes::for_batch(&micros[i + 1], ds.feature_dim(), param_values, opt_values)
+            let staged = StepSizes::for_batch(&micros[i + 1], ds.feature_dim(), param_values, opt_values, DType::F32)
                 .transfer_bytes();
             assert_eq!(
                 pre_steps[i].peak_bytes,
@@ -1293,13 +1322,13 @@ mod tests {
         let probe = Trainer::new(model(&ds, 0), 0.01, Device::unbounded(), 3);
         let param_values = probe.model.total_param_count();
         let opt_values = param_values * probe.optimizer.state_values_per_param();
-        let sizes0 = StepSizes::for_batch(&micros[0], ds.feature_dim(), param_values, opt_values);
+        let sizes0 = StepSizes::for_batch(&micros[0], ds.feature_dim(), param_values, opt_values, DType::F32);
         let statics0 = sizes0.params
             + sizes0.optimizer_states
             + sizes0.blocks
             + sizes0.input_features
             + sizes0.labels;
-        let staged1 = StepSizes::for_batch(&micros[1], ds.feature_dim(), param_values, opt_values)
+        let staged1 = StepSizes::for_batch(&micros[1], ds.feature_dim(), param_values, opt_values, DType::F32)
             .transfer_bytes();
         let mut t = Trainer::new(model(&ds, 0), 0.01, Device::new(statics0 + staged1 - 1), 3);
         match t.micro_batch_epoch_prefetched(&ds, &micros) {

@@ -20,14 +20,29 @@
 //! page-in traffic, which the trainer feeds through its transfer cost
 //! model and charges to the `FeatureCache` ledger category.
 //!
+//! ## Storage dtype
+//!
+//! Both backends can hold features at a 16-bit storage width
+//! ([`DType::Bf16`] / [`DType::F16`]): values are encoded once with
+//! round-to-nearest-even and decoded back to f32 on every gather, so the
+//! bytes held in memory, in the paged cache, and on disk all halve while
+//! compute stays f32. Quantization is idempotent — spilling an
+//! already-quantized dense store re-encodes to the identical bits.
+//!
 //! ## Shard layout
 //!
 //! ```text
-//! meta file "features.meta":
+//! meta file "features.meta" (v1 — f32 stores, unchanged on disk):
 //!   magic "BTYFMET1" | rows u32 | cols u32 | page_rows u32 | crc32
+//! meta file (v2 — written for 16-bit dtypes):
+//!   magic "BTYFMET2" | rows u32 | cols u32 | page_rows u32
+//!   | dtype tag u32 | crc32
 //! shard file "shard-NNNNN.bfs" (one per `page_rows` rows):
-//!   magic "BTYFSHD1" | shard u32 | start_row u32 | num_rows u32
-//!   | cols u32 | payload (num_rows × cols f32 LE) | crc32
+//!   v1: magic "BTYFSHD1" | shard u32 | start_row u32 | num_rows u32
+//!       | cols u32 | payload (num_rows × cols f32 LE) | crc32
+//!   v2: magic "BTYFSHD2" | shard u32 | start_row u32 | num_rows u32
+//!       | cols u32 | dtype tag u32 | payload (num_rows × cols u16 LE)
+//!       | crc32
 //! ```
 //!
 //! Every file's CRC covers everything after its magic. [`PagedFeatures::open`]
@@ -44,14 +59,13 @@ use std::sync::{Arc, Mutex};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use betty_tensor::Tensor;
+use betty_tensor::{DType, Tensor};
 
 const META_MAGIC: &[u8; 8] = b"BTYFMET1";
+const META_MAGIC_V2: &[u8; 8] = b"BTYFMET2";
 const SHARD_MAGIC: &[u8; 8] = b"BTYFSHD1";
+const SHARD_MAGIC_V2: &[u8; 8] = b"BTYFSHD2";
 const META_FILE: &str = "features.meta";
-
-/// Bytes per feature value (`f32`).
-const BYTES_PER_VALUE: usize = 4;
 
 // ---------------------------------------------------------------------------
 // CRC-32 (IEEE, reflected) — the same polynomial the checkpoint format
@@ -208,21 +222,86 @@ pub trait FeatureStore: fmt::Debug + Send + Sync {
 // ---------------------------------------------------------------------------
 // Dense backend.
 
-/// The original in-memory backend: a dense `[rows, cols]` tensor.
+/// The original in-memory backend: a dense `[rows, cols]` matrix, held
+/// either as an f32 tensor (the default) or as 16-bit encoded values at a
+/// half-width storage dtype.
 #[derive(Debug, Clone, PartialEq)]
-pub struct DenseFeatures(pub Tensor);
+pub struct DenseFeatures {
+    storage: DenseStorage,
+    cols: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum DenseStorage {
+    F32(Tensor),
+    Half {
+        dtype: DType,
+        rows: usize,
+        bits: Vec<u16>,
+    },
+}
+
+impl DenseFeatures {
+    /// Wraps a dense f32 tensor (no quantization).
+    pub fn new(tensor: Tensor) -> Self {
+        let cols = tensor.cols();
+        DenseFeatures {
+            storage: DenseStorage::F32(tensor),
+            cols,
+        }
+    }
+
+    /// Encodes `tensor` at `dtype` width. `F32` stores the tensor as-is.
+    pub fn with_dtype(tensor: Tensor, dtype: DType) -> Self {
+        if dtype == DType::F32 {
+            return Self::new(tensor);
+        }
+        let (rows, cols) = (tensor.rows(), tensor.cols());
+        let bits = tensor.data().iter().map(|&v| dtype.encode16(v)).collect();
+        DenseFeatures {
+            storage: DenseStorage::Half { dtype, rows, bits },
+            cols,
+        }
+    }
+
+    /// The storage width of this store.
+    pub fn dtype(&self) -> DType {
+        match &self.storage {
+            DenseStorage::F32(_) => DType::F32,
+            DenseStorage::Half { dtype, .. } => *dtype,
+        }
+    }
+}
 
 impl FeatureStore for DenseFeatures {
     fn rows(&self) -> usize {
-        self.0.rows()
+        match &self.storage {
+            DenseStorage::F32(t) => t.rows(),
+            DenseStorage::Half { rows, .. } => *rows,
+        }
     }
 
     fn cols(&self) -> usize {
-        self.0.cols()
+        self.cols
     }
 
     fn gather_into(&self, indices: &[usize], out: &mut [f32]) -> GatherStats {
-        betty_tensor::segment::gather_rows_into(&self.0, indices, out);
+        match &self.storage {
+            DenseStorage::F32(t) => {
+                betty_tensor::segment::gather_rows_into(t, indices, out);
+            }
+            DenseStorage::Half { dtype, rows, bits } => {
+                let cols = self.cols;
+                assert_eq!(out.len(), indices.len() * cols, "gather output length mismatch");
+                for (slot, &idx) in indices.iter().enumerate() {
+                    assert!(idx < *rows, "gather index {idx} out of bounds for {rows} rows");
+                    let src = &bits[idx * cols..(idx + 1) * cols];
+                    for (o, &b) in out[slot * cols..(slot + 1) * cols].iter_mut().zip(src) {
+                        *o = dtype.decode16(b);
+                    }
+                }
+            }
+        }
         GatherStats {
             hits: indices.len() as u64,
             ..GatherStats::default()
@@ -230,16 +309,29 @@ impl FeatureStore for DenseFeatures {
     }
 
     fn to_dense(&self) -> Tensor {
-        self.0.clone()
+        match &self.storage {
+            DenseStorage::F32(t) => t.clone(),
+            DenseStorage::Half { dtype, rows, bits } => {
+                let data = bits.iter().map(|&b| dtype.decode16(b)).collect();
+                Tensor::from_vec(data, &[*rows, self.cols]).expect("encoded geometry is consistent")
+            }
+        }
     }
 
     fn find_non_finite(&self) -> Option<(usize, f32)> {
-        self.0
-            .data()
-            .iter()
-            .enumerate()
-            .find(|(_, v)| !v.is_finite())
-            .map(|(i, &v)| (i, v))
+        match &self.storage {
+            DenseStorage::F32(t) => t
+                .data()
+                .iter()
+                .enumerate()
+                .find(|(_, v)| !v.is_finite())
+                .map(|(i, &v)| (i, v)),
+            DenseStorage::Half { dtype, bits, .. } => bits
+                .iter()
+                .map(|&b| dtype.decode16(b))
+                .enumerate()
+                .find(|(_, v)| !v.is_finite()),
+        }
     }
 }
 
@@ -254,11 +346,50 @@ struct ShardInfo {
     num_rows: usize,
 }
 
+/// One resident shard's payload at its storage width. Half-width shards
+/// stay encoded in the cache — the byte savings the planner budgets for
+/// are real in the hot set, not just on disk — and decode per gathered
+/// row on the way out.
+#[derive(Debug)]
+enum ShardPayload {
+    F32(Vec<f32>),
+    Half(Vec<u16>),
+}
+
+impl ShardPayload {
+    fn byte_len(&self) -> usize {
+        match self {
+            ShardPayload::F32(v) => v.len() * 4,
+            ShardPayload::Half(v) => v.len() * 2,
+        }
+    }
+
+    /// Decodes one `cols`-wide row into `out`.
+    fn copy_row(&self, dtype: DType, local: usize, cols: usize, out: &mut [f32]) {
+        match self {
+            ShardPayload::F32(v) => out.copy_from_slice(&v[local * cols..(local + 1) * cols]),
+            ShardPayload::Half(v) => {
+                for (o, &b) in out.iter_mut().zip(&v[local * cols..(local + 1) * cols]) {
+                    *o = dtype.decode16(b);
+                }
+            }
+        }
+    }
+
+    /// Decodes the full payload to f32.
+    fn to_f32(&self, dtype: DType) -> Vec<f32> {
+        match self {
+            ShardPayload::F32(v) => v.clone(),
+            ShardPayload::Half(v) => v.iter().map(|&b| dtype.decode16(b)).collect(),
+        }
+    }
+}
+
 /// The mutable hot-set cache: resident shard payloads plus LRU bookkeeping.
 #[derive(Debug, Default)]
 struct CacheState {
     /// Shard index → (payload, last-touch tick).
-    resident: HashMap<usize, (Vec<f32>, u64)>,
+    resident: HashMap<usize, (ShardPayload, u64)>,
     /// Bytes currently held by `resident` payloads.
     held_bytes: usize,
     /// Monotonic access counter driving LRU order.
@@ -278,6 +409,7 @@ pub struct PagedFeatures {
     rows: usize,
     cols: usize,
     page_rows: usize,
+    dtype: DType,
     shards: Vec<ShardInfo>,
     cache_budget_bytes: usize,
     cache: Mutex<CacheState>,
@@ -302,6 +434,29 @@ impl PagedFeatures {
         page_rows: usize,
         cache_budget_bytes: usize,
     ) -> Result<Arc<Self>, FeatureStoreError> {
+        Self::spill_with_dtype(features, dir, page_rows, cache_budget_bytes, DType::F32)
+    }
+
+    /// [`PagedFeatures::spill`] encoding the payloads at `dtype` width.
+    ///
+    /// `F32` writes the v1 format byte-for-byte; 16-bit dtypes write the
+    /// v2 format (u16 payloads, dtype tag in meta and every shard header).
+    ///
+    /// # Errors
+    ///
+    /// [`FeatureStoreError::Io`] if the directory or a file cannot be
+    /// written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_rows == 0`.
+    pub fn spill_with_dtype(
+        features: &Tensor,
+        dir: impl AsRef<Path>,
+        page_rows: usize,
+        cache_budget_bytes: usize,
+        dtype: DType,
+    ) -> Result<Arc<Self>, FeatureStoreError> {
         assert!(page_rows > 0, "page_rows must be positive");
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
@@ -311,9 +466,12 @@ impl PagedFeatures {
         meta.put_u32_le(rows as u32);
         meta.put_u32_le(cols as u32);
         meta.put_u32_le(page_rows as u32);
+        if dtype != DType::F32 {
+            meta.put_u32_le(dtype.tag());
+        }
         let crc = crc32(&meta);
         let mut meta_file = BytesMut::new();
-        meta_file.put_slice(META_MAGIC);
+        meta_file.put_slice(if dtype == DType::F32 { META_MAGIC } else { META_MAGIC_V2 });
         meta_file.put_slice(&meta);
         meta_file.put_u32_le(crc);
         write_atomic(&dir.join(META_FILE), &meta_file)?;
@@ -327,14 +485,20 @@ impl PagedFeatures {
             body.put_u32_le(start_row as u32);
             body.put_u32_le(num_rows as u32);
             body.put_u32_le(cols as u32);
+            if dtype != DType::F32 {
+                body.put_u32_le(dtype.tag());
+            }
             for r in start_row..start_row + num_rows {
                 for &v in features.row(r) {
-                    body.put_f32_le(v);
+                    match dtype {
+                        DType::F32 => body.put_f32_le(v),
+                        _ => body.put_u16_le(dtype.encode16(v)),
+                    }
                 }
             }
             let crc = crc32(&body);
             let mut file = BytesMut::new();
-            file.put_slice(SHARD_MAGIC);
+            file.put_slice(if dtype == DType::F32 { SHARD_MAGIC } else { SHARD_MAGIC_V2 });
             file.put_slice(&body);
             file.put_u32_le(crc);
             write_atomic(&dir.join(shard_name(shard)), &file)?;
@@ -362,10 +526,17 @@ impl PagedFeatures {
         if buf.remaining() < META_MAGIC.len() + 3 * 4 + 4 {
             return Err(FeatureStoreError::Format("meta file truncated".into()));
         }
-        if &buf.split_to(META_MAGIC.len())[..] != META_MAGIC {
-            return Err(FeatureStoreError::Format("bad meta magic".into()));
+        let magic = buf.split_to(META_MAGIC.len());
+        let v2 = match &magic[..] {
+            m if m == META_MAGIC => false,
+            m if m == META_MAGIC_V2 => true,
+            _ => return Err(FeatureStoreError::Format("bad meta magic".into())),
+        };
+        let body_len = if v2 { 4 * 4 } else { 3 * 4 };
+        if buf.remaining() < body_len + 4 {
+            return Err(FeatureStoreError::Format("meta file truncated".into()));
         }
-        let body = buf.split_to(3 * 4);
+        let body = buf.split_to(body_len);
         let stored_crc = buf.get_u32_le();
         if buf.remaining() > 0 {
             return Err(FeatureStoreError::Format("trailing bytes in meta file".into()));
@@ -377,6 +548,19 @@ impl PagedFeatures {
         let rows = body.get_u32_le() as usize;
         let cols = body.get_u32_le() as usize;
         let page_rows = body.get_u32_le() as usize;
+        let dtype = if v2 {
+            let tag = body.get_u32_le();
+            match DType::from_tag(tag) {
+                Some(DType::F32) | None => {
+                    return Err(FeatureStoreError::Format(format!(
+                        "meta names invalid 16-bit dtype tag {tag}"
+                    )))
+                }
+                Some(d) => d,
+            }
+        } else {
+            DType::F32
+        };
         if page_rows == 0 {
             return Err(FeatureStoreError::Format("page_rows is zero".into()));
         }
@@ -388,7 +572,7 @@ impl PagedFeatures {
             let start_row = shard * page_rows;
             let num_rows = page_rows.min(rows - start_row);
             let (got_start, got_rows) =
-                validate_shard(&path, shard, cols).map_err(|e| match e {
+                validate_shard(&path, shard, cols, dtype).map_err(|e| match e {
                     FeatureStoreError::Format(msg) => {
                         FeatureStoreError::Format(format!("shard {shard}: {msg}"))
                     }
@@ -412,10 +596,16 @@ impl PagedFeatures {
             rows,
             cols,
             page_rows,
+            dtype,
             shards,
             cache_budget_bytes,
             cache: Mutex::new(CacheState::default()),
         }))
+    }
+
+    /// The storage width of the shard payloads.
+    pub fn dtype(&self) -> DType {
+        self.dtype
     }
 
     /// The directory the shards live in.
@@ -443,9 +633,9 @@ impl PagedFeatures {
         self.cache.lock().expect("feature cache poisoned").held_bytes
     }
 
-    /// Reads one shard's payload from disk (header re-skipped, CRC *not*
-    /// re-verified — `open` already proved it).
-    fn read_shard_payload(&self, shard: usize) -> Vec<f32> {
+    /// Reads one shard's payload from disk at its storage width (header
+    /// re-skipped, CRC *not* re-verified — `open` already proved it).
+    fn read_shard_payload(&self, shard: usize) -> ShardPayload {
         let info = &self.shards[shard];
         let bytes = std::fs::read(&info.path).unwrap_or_else(|e| {
             panic!(
@@ -453,9 +643,10 @@ impl PagedFeatures {
                 info.path.display()
             )
         });
-        let header = SHARD_MAGIC.len() + 4 * 4;
+        let header_words = if self.dtype == DType::F32 { 4 } else { 5 };
+        let header = SHARD_MAGIC.len() + header_words * 4;
         let payload_len = info.num_rows * self.cols;
-        let expected = header + payload_len * BYTES_PER_VALUE + 4;
+        let expected = header + payload_len * self.dtype.bytes_per_value() + 4;
         assert_eq!(
             bytes.len(),
             expected,
@@ -464,7 +655,15 @@ impl PagedFeatures {
         );
         let mut buf = Bytes::from(bytes);
         buf.advance(header);
-        (0..payload_len).map(|_| buf.get_f32_le()).collect()
+        match self.dtype {
+            DType::F32 => ShardPayload::F32((0..payload_len).map(|_| buf.get_f32_le()).collect()),
+            _ => ShardPayload::Half((0..payload_len).map(|_| buf.get_u16_le()).collect()),
+        }
+    }
+
+    /// Bytes one shard's payload occupies at the storage width.
+    fn shard_payload_bytes(&self, shard: usize) -> usize {
+        self.shards[shard].num_rows * self.cols * self.dtype.bytes_per_value()
     }
 
     /// Ensures `shard` is resident, updating its LRU tick; returns whether
@@ -479,8 +678,7 @@ impl PagedFeatures {
             return false;
         }
         let payload = self.read_shard_payload(shard);
-        let payload_bytes = payload.len() * BYTES_PER_VALUE;
-        state.held_bytes += payload_bytes;
+        state.held_bytes += payload.byte_len();
         state.resident.insert(shard, (payload, tick));
         // Evict least-recently-used shards (never the one just loaded)
         // until the pinned set fits the budget again. Ties cannot occur:
@@ -495,7 +693,7 @@ impl PagedFeatures {
             match victim {
                 Some(v) => {
                     if let Some((payload, _)) = state.resident.remove(&v) {
-                        state.held_bytes -= payload.len() * BYTES_PER_VALUE;
+                        state.held_bytes -= payload.byte_len();
                     }
                 }
                 None => break,
@@ -532,14 +730,18 @@ impl FeatureStore for PagedFeatures {
             if self.touch_shard(&mut state, shard) {
                 stats.misses += 1;
                 stats.pages_in += 1;
-                stats.bytes_in += (self.shards[shard].num_rows * self.cols * BYTES_PER_VALUE) as u64;
+                stats.bytes_in += self.shard_payload_bytes(shard) as u64;
             } else {
                 stats.hits += 1;
             }
             let (payload, _) = &state.resident[&shard];
             let local = idx - self.shards[shard].start_row;
-            out[slot * self.cols..(slot + 1) * self.cols]
-                .copy_from_slice(&payload[local * self.cols..(local + 1) * self.cols]);
+            payload.copy_row(
+                self.dtype,
+                local,
+                self.cols,
+                &mut out[slot * self.cols..(slot + 1) * self.cols],
+            );
         }
         stats
     }
@@ -562,7 +764,7 @@ impl FeatureStore for PagedFeatures {
             seen.push(shard);
             if self.touch_shard(&mut state, shard) {
                 stats.pages_in += 1;
-                stats.bytes_in += (self.shards[shard].num_rows * self.cols * BYTES_PER_VALUE) as u64;
+                stats.bytes_in += self.shard_payload_bytes(shard) as u64;
             }
         }
         stats
@@ -571,7 +773,7 @@ impl FeatureStore for PagedFeatures {
     fn to_dense(&self) -> Tensor {
         let mut data = vec![0.0f32; self.rows * self.cols];
         for (shard, info) in self.shards.iter().enumerate() {
-            let payload = self.read_shard_payload(shard);
+            let payload = self.read_shard_payload(shard).to_f32(self.dtype);
             let start = info.start_row * self.cols;
             data[start..start + payload.len()].copy_from_slice(&payload);
         }
@@ -580,12 +782,12 @@ impl FeatureStore for PagedFeatures {
 
     fn cache_reservation_bytes(&self) -> usize {
         self.cache_budget_bytes
-            .min(self.rows * self.cols * BYTES_PER_VALUE)
+            .min(self.rows * self.cols * self.dtype.bytes_per_value())
     }
 
     fn find_non_finite(&self) -> Option<(usize, f32)> {
         for (shard, info) in self.shards.iter().enumerate() {
-            let payload = self.read_shard_payload(shard);
+            let payload = self.read_shard_payload(shard).to_f32(self.dtype);
             if let Some((i, &v)) = payload.iter().enumerate().find(|(_, v)| !v.is_finite()) {
                 return Some((info.start_row * self.cols + i, v));
             }
@@ -602,12 +804,13 @@ fn shard_name(shard: usize) -> String {
     format!("shard-{shard:05}.bfs")
 }
 
-/// Validates one shard file end to end; returns `(start_row, num_rows)`
-/// from its header.
+/// Validates one shard file end to end (version and dtype must match the
+/// meta file); returns `(start_row, num_rows)` from its header.
 fn validate_shard(
     path: &Path,
     expect_shard: usize,
     expect_cols: usize,
+    expect_dtype: DType,
 ) -> Result<(usize, usize), FeatureStoreError> {
     let bytes = Bytes::from(std::fs::read(path).map_err(|e| {
         if e.kind() == io::ErrorKind::NotFound {
@@ -616,13 +819,22 @@ fn validate_shard(
             FeatureStoreError::Io(e)
         }
     })?);
-    let header = SHARD_MAGIC.len() + 4 * 4;
+    let header_words = if expect_dtype == DType::F32 { 4 } else { 5 };
+    let header = SHARD_MAGIC.len() + header_words * 4;
     if bytes.len() < header + 4 {
         return Err(FeatureStoreError::Format("truncated shard file".into()));
     }
     let mut buf = bytes.clone();
-    if &buf.split_to(SHARD_MAGIC.len())[..] != SHARD_MAGIC {
-        return Err(FeatureStoreError::Format("bad shard magic".into()));
+    let magic = buf.split_to(SHARD_MAGIC.len());
+    let expect_magic: &[u8] = if expect_dtype == DType::F32 {
+        SHARD_MAGIC
+    } else {
+        SHARD_MAGIC_V2
+    };
+    if &magic[..] != expect_magic {
+        return Err(FeatureStoreError::Format(
+            "shard magic does not match meta version".into(),
+        ));
     }
     let body = buf.split_to(buf.remaining() - 4);
     let stored_crc = buf.get_u32_le();
@@ -634,6 +846,14 @@ fn validate_shard(
     let start_row = body.get_u32_le() as usize;
     let num_rows = body.get_u32_le() as usize;
     let cols = body.get_u32_le() as usize;
+    if expect_dtype != DType::F32 {
+        let tag = body.get_u32_le();
+        if DType::from_tag(tag) != Some(expect_dtype) {
+            return Err(FeatureStoreError::Format(format!(
+                "shard dtype tag {tag} does not match meta dtype {expect_dtype}"
+            )));
+        }
+    }
     if shard != expect_shard {
         return Err(FeatureStoreError::Format(format!(
             "header names shard {shard}, expected {expect_shard}"
@@ -644,11 +864,11 @@ fn validate_shard(
             "shard has {cols} cols, meta says {expect_cols}"
         )));
     }
-    if body.remaining() != num_rows * cols * BYTES_PER_VALUE {
+    if body.remaining() != num_rows * cols * expect_dtype.bytes_per_value() {
         return Err(FeatureStoreError::Format(format!(
             "payload is {} bytes, header implies {}",
             body.remaining(),
-            num_rows * cols * BYTES_PER_VALUE
+            num_rows * cols * expect_dtype.bytes_per_value()
         )));
     }
     Ok((start_row, num_rows))
@@ -694,7 +914,37 @@ pub enum Features {
 impl Features {
     /// Wraps a dense tensor.
     pub fn dense(tensor: Tensor) -> Self {
-        Features::Dense(DenseFeatures(tensor))
+        Features::Dense(DenseFeatures::new(tensor))
+    }
+
+    /// Wraps a dense tensor encoded at `dtype` storage width.
+    pub fn dense_with_dtype(tensor: Tensor, dtype: DType) -> Self {
+        Features::Dense(DenseFeatures::with_dtype(tensor, dtype))
+    }
+
+    /// The storage width of this store's values.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Features::Dense(d) => d.dtype(),
+            Features::Paged(p) => p.dtype(),
+        }
+    }
+
+    /// Re-encodes a dense store at `dtype` width (decode → re-encode, so
+    /// converting an already-quantized store is lossless for values the
+    /// target dtype represents exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a paged store: the shard files' width is fixed at spill
+    /// time — choose the dtype *before* calling [`Features::to_paged`].
+    pub fn with_dtype(&self, dtype: DType) -> Self {
+        match self {
+            Features::Dense(d) => Features::dense_with_dtype(d.to_dense(), dtype),
+            Features::Paged(_) => {
+                panic!("cannot re-encode a paged store; set the dtype before spilling")
+            }
+        }
     }
 
     /// Wraps an opened paged store.
@@ -716,11 +966,12 @@ impl Features {
         cache_budget_bytes: usize,
     ) -> Result<Self, FeatureStoreError> {
         let dense = self.to_dense();
-        Ok(Features::Paged(PagedFeatures::spill(
+        Ok(Features::Paged(PagedFeatures::spill_with_dtype(
             &dense,
             dir,
             page_rows,
             cache_budget_bytes,
+            self.dtype(),
         )?))
     }
 
@@ -755,10 +1006,11 @@ impl Features {
         self.store().cols()
     }
 
-    /// Logical size of the feature matrix in bytes (independent of where
-    /// it is stored — host-side staging accounting uses this).
+    /// Logical size of the feature matrix in bytes at its storage width
+    /// (independent of where it is stored — host-side staging accounting
+    /// uses this, which is how a 16-bit dtype becomes planner-visible).
     pub fn size_bytes(&self) -> usize {
-        self.rows() * self.cols() * BYTES_PER_VALUE
+        self.rows() * self.cols() * self.dtype().bytes_per_value()
     }
 
     /// See [`FeatureStore::gather_into`].
@@ -797,14 +1049,9 @@ impl Features {
     /// One feature value (row-major). Test/diagnostic convenience; paged
     /// stores pay a single-row gather.
     pub fn at2(&self, row: usize, col: usize) -> f32 {
-        match self {
-            Features::Dense(d) => d.0.at2(row, col),
-            Features::Paged(_) => {
-                let mut out = vec![0.0f32; self.cols()];
-                self.gather_into(&[row], &mut out);
-                out[col]
-            }
-        }
+        let mut out = vec![0.0f32; self.cols()];
+        self.gather_into(&[row], &mut out);
+        out[col]
     }
 }
 
@@ -830,6 +1077,9 @@ impl PartialEq for Features {
 
 #[cfg(test)]
 mod tests {
+    /// Bytes per `f32` feature value (tests hand-compute f32 budgets).
+    const BYTES_PER_VALUE: usize = 4;
+
     use super::*;
     use rand::SeedableRng;
     use rand_pcg::Pcg64Mcg;
@@ -994,6 +1244,90 @@ mod tests {
         assert_eq!(again.hits, 1, "shard 0 must have survived");
         let reload = paged.gather_into(&[4], &mut out);
         assert_eq!(reload.pages_in, 1, "shard 1 must have been the victim");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A bf16 store gathers the dtype-quantized values — identically from
+    /// the dense backend, the paged backend, and a fresh re-open of the
+    /// shard files — while every byte figure halves.
+    #[test]
+    fn half_width_store_round_trips_across_backends() {
+        for dtype in [DType::Bf16, DType::F16] {
+            let t = matrix(23, 6, 42);
+            let dense = Features::dense_with_dtype(t.clone(), dtype);
+            assert_eq!(dense.dtype(), dtype);
+            assert_eq!(dense.size_bytes(), 23 * 6 * 2);
+
+            // Dense gathers return the quantized grid values.
+            let indices: Vec<usize> = vec![0, 22, 7, 7, 13, 1, 20];
+            let a = dense.gather_rows(&indices);
+            for (slot, &idx) in indices.iter().enumerate() {
+                for c in 0..6 {
+                    assert_eq!(
+                        a.at2(slot, c).to_bits(),
+                        dtype.quantize(t.at2(idx, c)).to_bits()
+                    );
+                }
+            }
+
+            let dir = tmp_dir(&format!("half-{dtype}"));
+            let paged = dense.to_paged(&dir, 4, usize::MAX).unwrap();
+            assert_eq!(paged.dtype(), dtype);
+            assert_eq!(paged.size_bytes(), 23 * 6 * 2);
+            let b = paged.gather_rows(&indices);
+            assert_eq!(a, b, "paged {dtype} gather must match dense bit-for-bit");
+
+            // Re-open from disk (v2 meta + shards validate end to end).
+            let reopened = Features::Paged(PagedFeatures::open(&dir, usize::MAX).unwrap());
+            assert_eq!(reopened.dtype(), dtype);
+            assert_eq!(reopened.gather_rows(&indices), a);
+            assert_eq!(dense, reopened, "logical equality across backends");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    /// Cache accounting (held bytes, bytes paged in, reservation) tracks
+    /// the 16-bit payload width, not f32.
+    #[test]
+    fn half_width_cache_accounting_uses_two_byte_values() {
+        let t = matrix(16, 4, 43);
+        let dir = tmp_dir("half-cache");
+        let paged = Features::dense_with_dtype(t, DType::Bf16)
+            .to_paged(&dir, 4, usize::MAX)
+            .unwrap();
+        let mut out = vec![0.0f32; 4];
+        let stats = paged.gather_into(&[0], &mut out);
+        assert_eq!(stats.bytes_in, 4 * 4 * 2, "one 4×4 shard at 2 B/value");
+        if let Features::Paged(p) = &paged {
+            assert_eq!(p.cache_held_bytes(), 4 * 4 * 2);
+        }
+        assert_eq!(paged.cache_reservation_bytes(), 16 * 4 * 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Quantization is idempotent, so spilling an already-quantized store
+    /// and re-encoding its decoded values is lossless.
+    #[test]
+    fn requantizing_a_quantized_store_is_identity() {
+        let t = matrix(9, 5, 44);
+        let once = Features::dense_with_dtype(t, DType::Bf16);
+        let twice = once.with_dtype(DType::Bf16);
+        assert_eq!(once, twice);
+    }
+
+    /// A v1 (f32) store written before the dtype field existed still opens
+    /// and reports F32 — and f32 spills still write the v1 format.
+    #[test]
+    fn f32_spill_remains_v1_format() {
+        let t = matrix(8, 3, 45);
+        let dir = tmp_dir("v1-compat");
+        Features::dense(t).to_paged(&dir, 4, usize::MAX).unwrap();
+        let meta = std::fs::read(dir.join(META_FILE)).unwrap();
+        assert_eq!(&meta[..8], META_MAGIC);
+        let shard = std::fs::read(dir.join(shard_name(0))).unwrap();
+        assert_eq!(&shard[..8], SHARD_MAGIC);
+        let opened = PagedFeatures::open(&dir, usize::MAX).unwrap();
+        assert_eq!(opened.dtype(), DType::F32);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -12,6 +12,7 @@
 //! ```
 
 use betty_graph::Batch;
+use betty_tensor::DType;
 
 use crate::BYTES_PER_VALUE;
 
@@ -161,6 +162,8 @@ pub struct MemoryEstimator {
     shape: ModelShape,
     lstm_values_per_node: usize,
     pool_expansion: usize,
+    feature_dtype: DType,
+    activation_dtype: DType,
 }
 
 impl MemoryEstimator {
@@ -169,12 +172,15 @@ impl MemoryEstimator {
     /// The LSTM constant defaults to the paper's 18 intermediate values per
     /// sequence element (Eq. 5); it is implementation-dependent — use
     /// [`MemoryEstimator::with_lstm_constant`] to calibrate to a different
-    /// backend.
+    /// backend. Both storage dtypes default to f32, which reproduces the
+    /// paper's byte counts exactly.
     pub fn new(shape: ModelShape) -> Self {
         Self {
             shape,
             lstm_values_per_node: 18,
             pool_expansion: 2,
+            feature_dtype: DType::F32,
+            activation_dtype: DType::F32,
         }
     }
 
@@ -182,6 +188,33 @@ impl MemoryEstimator {
     pub fn with_lstm_constant(mut self, values_per_node: usize) -> Self {
         self.lstm_values_per_node = values_per_node;
         self
+    }
+
+    /// Sets the storage width of input node features: item (2) is charged
+    /// at this width (the trainer stages gathered features at the feature
+    /// store's dtype).
+    pub fn with_feature_dtype(mut self, dtype: DType) -> Self {
+        self.feature_dtype = dtype;
+        self
+    }
+
+    /// Sets the storage width of forward activations: items (5) and the
+    /// per-layer share of (6) are charged at this width. Parameter copies
+    /// and the loss head stay f32, mirroring the tape (leaves and scalars
+    /// are never quantized).
+    pub fn with_activation_dtype(mut self, dtype: DType) -> Self {
+        self.activation_dtype = dtype;
+        self
+    }
+
+    /// The feature storage width this estimator charges for item (2).
+    pub fn feature_dtype(&self) -> DType {
+        self.feature_dtype
+    }
+
+    /// The activation storage width this estimator charges items (5)/(6) at.
+    pub fn activation_dtype(&self) -> DType {
+        self.activation_dtype
     }
 
     /// The model shape this estimator was built for.
@@ -225,7 +258,7 @@ impl MemoryEstimator {
         // as a leaf (so the tape holds params *in addition to* the
         // resident copy of item (1)), and the loss head tapes the
         // cross-entropy output and micro-batch rescale.
-        let agg_values: usize = batch
+        let layer_agg_values: usize = batch
             .blocks()
             .iter()
             .enumerate()
@@ -237,16 +270,23 @@ impl MemoryEstimator {
                     i + 1 == s.num_layers,
                 )
             })
-            .sum::<usize>()
-            + params
-            + LOSS_TAPE_VALUES;
+            .sum();
+
+        // Storage widths. Per-layer tensors (hidden outputs and aggregator
+        // workspace) are stored at the activation width; input features at
+        // the feature store's width. The taped parameter copies and the
+        // loss head's two scalars stay f32 — the tape never quantizes
+        // leaves or scalars — as do items (1), (3), (4), (7), and (8).
+        let feat_w = self.feature_dtype.bytes_per_value();
+        let act_w = self.activation_dtype.bytes_per_value();
         MemoryEstimate {
             parameters: params * BYTES_PER_VALUE,
-            input_features: n_in * s.in_dim * BYTES_PER_VALUE,
+            input_features: n_in * s.in_dim * feat_w,
             labels: n_out * BYTES_PER_VALUE,
             blocks: block_values * BYTES_PER_VALUE,
-            hidden_outputs: hidden_values * BYTES_PER_VALUE,
-            aggregator_intermediate: agg_values * BYTES_PER_VALUE,
+            hidden_outputs: hidden_values * act_w,
+            aggregator_intermediate: layer_agg_values * act_w
+                + (params + LOSS_TAPE_VALUES) * BYTES_PER_VALUE,
             gradients: params * BYTES_PER_VALUE,
             optimizer_states: 2 * params * BYTES_PER_VALUE,
             prefetch_staging: 0,
@@ -405,6 +445,44 @@ mod tests {
             ..shape(AggregatorKind::Mean)
         });
         est.estimate(&one_layer_batch());
+    }
+
+    #[test]
+    fn half_width_dtypes_shrink_only_their_terms() {
+        let b = one_layer_batch();
+        let f32_est = MemoryEstimator::new(shape(AggregatorKind::Mean)).estimate(&b);
+        let bf16 = MemoryEstimator::new(shape(AggregatorKind::Mean))
+            .with_feature_dtype(DType::Bf16)
+            .with_activation_dtype(DType::Bf16)
+            .estimate(&b);
+        // Item (2) halves at the feature width.
+        assert_eq!(bf16.input_features, 5 * 8 * 2);
+        // Item (5) halves at the activation width.
+        assert_eq!(bf16.hidden_outputs, 2 * 3 * 2);
+        // Item (6): the 56 per-layer workspace values halve; the taped
+        // parameter copies (120) and loss head (2) stay f32.
+        assert_eq!(bf16.aggregator_intermediate, 56 * 2 + 122 * 4);
+        // Everything else is unchanged — f32 storage throughout.
+        assert_eq!(bf16.parameters, f32_est.parameters);
+        assert_eq!(bf16.labels, f32_est.labels);
+        assert_eq!(bf16.blocks, f32_est.blocks);
+        assert_eq!(bf16.gradients, f32_est.gradients);
+        assert_eq!(bf16.optimizer_states, f32_est.optimizer_states);
+        assert!(bf16.peak_bytes() < f32_est.peak_bytes());
+
+        // f16 charges the same widths as bf16 (both 2-byte storage).
+        let f16 = MemoryEstimator::new(shape(AggregatorKind::Mean))
+            .with_feature_dtype(DType::F16)
+            .with_activation_dtype(DType::F16)
+            .estimate(&b);
+        assert_eq!(f16, bf16);
+    }
+
+    #[test]
+    fn dtype_defaults_are_f32() {
+        let est = MemoryEstimator::new(shape(AggregatorKind::Mean));
+        assert_eq!(est.feature_dtype(), DType::F32);
+        assert_eq!(est.activation_dtype(), DType::F32);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use betty_tensor::Tensor;
+use betty_tensor::{kernels, Tensor};
 
 use crate::Param;
 
@@ -169,25 +169,27 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [&mut Param]) {
         self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t);
-        let bc2 = 1.0 - self.beta2.powi(self.t);
+        let coeffs = kernels::AdamCoeffs {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            bias1: 1.0 - self.beta1.powi(self.t),
+            bias2: 1.0 - self.beta2.powi(self.t),
+        };
         for p in params.iter_mut() {
             let (m, v) = self
                 .moments
                 .entry(p.id())
                 .or_insert_with(|| (Tensor::zeros(p.value().shape()), Tensor::zeros(p.value().shape())));
             let grad = p.grad().clone();
-            let md = m.data_mut();
-            let vd = v.data_mut();
-            let value = p.value_mut().data_mut();
-            for i in 0..grad.len() {
-                let g = grad.at(i);
-                md[i] = self.beta1 * md[i] + (1.0 - self.beta1) * g;
-                vd[i] = self.beta2 * vd[i] + (1.0 - self.beta2) * g * g;
-                let m_hat = md[i] / bc1;
-                let v_hat = vd[i] / bc2;
-                value[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-            }
+            kernels::adam_step(
+                p.value_mut().data_mut(),
+                grad.data(),
+                m.data_mut(),
+                v.data_mut(),
+                coeffs,
+            );
         }
     }
 

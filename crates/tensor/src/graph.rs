@@ -19,6 +19,7 @@
 //! same bytes — every pooled buffer is fully written before it is read — so
 //! results are bit-identical either way.
 
+use crate::dtype::DType;
 use crate::kernels;
 use crate::pool::{BufferPool, PoolStats};
 use crate::segment;
@@ -546,6 +547,12 @@ struct Node {
     op: Option<Op>,
 }
 
+impl Node {
+    fn is_leaf(&self) -> bool {
+        self.op.is_none() && matches!(self.parents, Parents::None)
+    }
+}
+
 /// Loss reduction mode for [`Graph::cross_entropy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Reduction {
@@ -568,6 +575,22 @@ pub struct Graph {
     backward_scratch: Vec<Tensor>,
     /// Incrementally maintained: bumped in `push`, zeroed in `reset`.
     activation_bytes: usize,
+    /// Storage width simulated for non-leaf, non-scalar tape values. At
+    /// bf16/f16, every such value is rounded onto the 16-bit grid as it is
+    /// recorded (so numerics match a device that truly stores halves) and
+    /// [`Graph::activation_bytes`] counts it at 2 bytes per element.
+    /// Leaves (parameters, gathered inputs) and loss scalars stay f32.
+    activation_dtype: DType,
+}
+
+/// Bytes a node's value would occupy on a device storing activations at
+/// `dtype`. Leaves and scalars are always held at f32 width.
+fn stored_activation_bytes(dtype: DType, is_leaf: bool, value: &Tensor) -> usize {
+    if is_leaf || value.len() <= 1 {
+        value.size_bytes()
+    } else {
+        value.len() * dtype.bytes_per_value()
+    }
 }
 
 impl std::fmt::Debug for Graph {
@@ -612,10 +635,34 @@ impl Graph {
     pub fn activation_bytes(&self) -> usize {
         debug_assert_eq!(
             self.activation_bytes,
-            self.nodes.iter().map(|n| n.value.size_bytes()).sum::<usize>(),
+            self.nodes
+                .iter()
+                .map(|n| stored_activation_bytes(self.activation_dtype, n.is_leaf(), &n.value))
+                .sum::<usize>(),
             "incremental activation byte counter drifted from full recount"
         );
         self.activation_bytes
+    }
+
+    /// Sets the storage width simulated for forward activations.
+    ///
+    /// Non-leaf, non-scalar values recorded after this call are rounded
+    /// onto the dtype's grid (round-to-nearest-even) and accounted at its
+    /// width; already-recorded values keep their bits but the byte counter
+    /// is recomputed under the new width. Call this on a fresh (or reset)
+    /// tape — typically once, when the trainer is built.
+    pub fn set_activation_dtype(&mut self, dtype: DType) {
+        self.activation_dtype = dtype;
+        self.activation_bytes = self
+            .nodes
+            .iter()
+            .map(|n| stored_activation_bytes(dtype, n.is_leaf(), &n.value))
+            .sum();
+    }
+
+    /// The storage width simulated for forward activations.
+    pub fn activation_dtype(&self) -> DType {
+        self.activation_dtype
     }
 
     /// Clears the tape for reuse, retaining buffer capacity.
@@ -682,8 +729,12 @@ impl Graph {
         self.pool.give_indices(v);
     }
 
-    fn push(&mut self, value: Tensor, parents: Parents, op: Option<Op>) -> VarId {
-        self.activation_bytes += value.size_bytes();
+    fn push(&mut self, mut value: Tensor, parents: Parents, op: Option<Op>) -> VarId {
+        let is_leaf = op.is_none() && matches!(parents, Parents::None);
+        if self.activation_dtype != DType::F32 && !is_leaf && value.len() > 1 {
+            self.activation_dtype.quantize_slice(value.data_mut());
+        }
+        self.activation_bytes += stored_activation_bytes(self.activation_dtype, is_leaf, &value);
         let id = VarId(self.nodes.len());
         self.nodes.push(Node { value, parents, op });
         id
@@ -1628,6 +1679,70 @@ mod tests {
         assert_eq!(g.activation_bytes(), 36);
         g.reset();
         assert_eq!(g.activation_bytes(), 0);
+    }
+
+    /// At bf16 width, non-leaf multi-element values are quantized onto the
+    /// bf16 grid and counted at 2 bytes/element; leaves and scalars stay
+    /// f32 at 4 bytes.
+    #[test]
+    fn activation_dtype_quantizes_and_halves_byte_accounting() {
+        let mut g = Graph::new();
+        g.set_activation_dtype(DType::Bf16);
+        assert_eq!(g.activation_dtype(), DType::Bf16);
+
+        let a = g.leaf(t(&[1.0, 2.5000123, -3.0, 0.4999], &[2, 2]));
+        // Leaf stays exact and full-width.
+        assert_eq!(g.value(a).data(), &[1.0, 2.5000123, -3.0, 0.4999]);
+        assert_eq!(g.activation_bytes(), 16);
+
+        let b = g.scale(a, 1.0);
+        for (&q, &v) in g.value(b).data().iter().zip(g.value(a).data()) {
+            assert_eq!(q.to_bits(), DType::Bf16.quantize(v).to_bits());
+        }
+        // Non-leaf counted at bf16 width: 4 × 2 bytes.
+        assert_eq!(g.activation_bytes(), 16 + 8);
+
+        // Loss scalar stays f32 width (4 bytes) and unquantized.
+        let s = g.sum(b);
+        assert_eq!(g.value(s).len(), 1);
+        assert_eq!(g.activation_bytes(), 16 + 8 + 4);
+
+        // Re-widening recomputes the counter over recorded nodes.
+        g.set_activation_dtype(DType::F32);
+        assert_eq!(g.activation_bytes(), 16 + 16 + 4);
+        g.reset();
+        assert_eq!(g.activation_bytes(), 0);
+    }
+
+    /// A bf16 run is deterministic: identical bits across repeats, and the
+    /// backward sweep still produces finite, usable gradients.
+    #[test]
+    fn activation_dtype_run_is_deterministic_with_gradients() {
+        let run = |dtype: DType| {
+            let mut g = Graph::new();
+            g.set_activation_dtype(dtype);
+            let x = g.leaf(t(&[0.3, -1.2, 2.7, 0.01, 5.5, -0.625], &[2, 3]));
+            let w = g.leaf(t(&[0.5, -1.0, 0.25, 2.0, 0.125, -0.75], &[3, 2]));
+            let y = g.matmul(x, w);
+            let r = g.relu(y);
+            let loss = g.sum(r);
+            g.backward(loss);
+            let lb = g.value(loss).data()[0].to_bits();
+            let wb: Vec<u32> = g.grad(w).unwrap().data().iter().map(|v| v.to_bits()).collect();
+            (lb, wb)
+        };
+        for dtype in [DType::Bf16, DType::F16] {
+            let (l1, g1) = run(dtype);
+            let (l2, g2) = run(dtype);
+            assert_eq!(l1, l2, "{dtype} loss must be bit-stable across runs");
+            assert_eq!(g1, g2, "{dtype} grads must be bit-stable across runs");
+            assert!(f32::from_bits(l1).is_finite());
+        }
+        // And bf16 genuinely differs from f32 on this input (quantization
+        // is active, not a no-op).
+        let (lf, _) = run(DType::F32);
+        let (lb, _) = run(DType::Bf16);
+        assert_ne!(lf, lb);
     }
 
     #[test]

@@ -9,10 +9,19 @@
 //! identical. Shape validation is by `assert!` with descriptive messages
 //! since a shape error is always a programming bug.
 
+use crate::backend::Backend;
 use crate::Tensor;
 
 /// Elements-per-thread threshold above which matmul parallelizes.
 const PAR_FLOP_THRESHOLD: usize = 1 << 22;
+
+/// Output-row count per register tile in the simd matmul blocks.
+const MR: usize = 6;
+/// Output-column count per register tile in the simd matmul blocks
+/// (256-bit lanes: two ymm registers per row).
+const NR: usize = 16;
+/// Wider column tile for the AVX-512 path (two zmm registers per row).
+const NR512: usize = 32;
 
 fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     // Row-major ikj loop order: streams through `b` rows, vectorizes well.
@@ -28,6 +37,148 @@ fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: us
                 *o += av * bv;
             }
         }
+    }
+}
+
+/// Register-tiled `out += a @ b` with the **same per-element accumulation
+/// order** as [`matmul_block`]: for each output element, `p` ascends and a
+/// zero `a[i][p]` is skipped exactly like the scalar loop, so the result is
+/// bit-identical. The speedup comes from holding an `MR`×`NR` output tile
+/// in registers across the whole `p` loop (the scalar path reloads and
+/// restores the output row on every `p`), reusing each `b` row for `MR`
+/// output rows, and — where the CPU supports it — compiling the tile with
+/// AVX2 enabled (rustc never contracts `a*b + c` into a fused
+/// multiply-add, so wider lanes change throughput, not rounding).
+fn matmul_block_simd(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: identical safe tile code; the feature check above
+            // guarantees the instructions are supported.
+            unsafe { matmul_block_simd_avx512(a, b, out, m, k, n) };
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: as above.
+            unsafe { matmul_block_simd_avx2(a, b, out, m, k, n) };
+            return;
+        }
+    }
+    matmul_block_simd_inner::<NR>(a, b, out, m, k, n);
+}
+
+/// [`matmul_block_simd_inner`] compiled with AVX-512 codegen enabled and a
+/// double-width column tile (`NR512`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+fn matmul_block_simd_avx512(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_block_simd_inner::<NR512>(a, b, out, m, k, n);
+}
+
+/// [`matmul_block_simd_inner`] compiled with AVX2 codegen enabled so the
+/// auto-vectorizer emits 256-bit lanes for the tile loops.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn matmul_block_simd_avx2(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_block_simd_inner::<NR>(a, b, out, m, k, n);
+}
+
+#[inline(always)]
+fn matmul_block_simd_inner<const NRT: usize>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut i = 0;
+    while i < m {
+        let ir = MR.min(m - i);
+        let mut j = 0;
+        while j < n {
+            let jr = NRT.min(n - j);
+            if ir == MR && jr == NRT {
+                mm_tile_full::<NRT>(a, b, out, i, j, k, n);
+            } else {
+                mm_tile_partial::<NRT>(a, b, out, i, j, k, n, ir, jr);
+            }
+            j += jr;
+        }
+        i += ir;
+    }
+}
+
+/// Full `MR`×`NR` tile of the simd matmul: constant loop bounds so the
+/// accumulators live in vector registers. `inline(always)` so the body
+/// inherits the caller's enabled target features (AVX2 wrapper).
+#[inline(always)]
+fn mm_tile_full<const NRT: usize>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i: usize,
+    j: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f32; NRT]; MR];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        accr.copy_from_slice(&out[(i + r) * n + j..(i + r) * n + j + NRT]);
+    }
+    // Row slices of exact length `k` so `arow[p]` with `p in 0..k` needs no
+    // bounds check inside the hot loop.
+    let mut arows: [&[f32]; MR] = [&[]; MR];
+    for (r, arow) in arows.iter_mut().enumerate() {
+        *arow = &a[(i + r) * k..(i + r) * k + k];
+    }
+    for p in 0..k {
+        let brow: &[f32; NRT] = b[p * n + j..p * n + j + NRT].try_into().expect("full tile cols");
+        for (accr, arow) in acc.iter_mut().zip(arows.iter()) {
+            let av = arow[p];
+            if av != 0.0 {
+                for (o, &bv) in accr.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        out[(i + r) * n + j..(i + r) * n + j + NRT].copy_from_slice(accr);
+    }
+}
+
+/// Edge tile of the simd matmul (fewer than `MR` rows and/or `NRT` cols).
+#[allow(clippy::too_many_arguments)] // mirrors the full-tile kernel signature
+#[inline(always)]
+fn mm_tile_partial<const NRT: usize>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i: usize,
+    j: usize,
+    k: usize,
+    n: usize,
+    ir: usize,
+    jr: usize,
+) {
+    let mut acc = [[0.0f32; NRT]; MR];
+    for (r, accr) in acc.iter_mut().enumerate().take(ir) {
+        accr[..jr].copy_from_slice(&out[(i + r) * n + j..(i + r) * n + j + jr]);
+    }
+    for p in 0..k {
+        let brow = &b[p * n + j..p * n + j + jr];
+        for (r, accr) in acc.iter_mut().enumerate().take(ir) {
+            let av = a[(i + r) * k + p];
+            if av != 0.0 {
+                for (o, &bv) in accr[..jr].iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate().take(ir) {
+        out[(i + r) * n + j..(i + r) * n + j + jr].copy_from_slice(&accr[..jr]);
     }
 }
 
@@ -72,6 +223,13 @@ pub fn matmul_into_with_threads(a: &Tensor, b: &Tensor, out: &mut [f32], threads
     let (k2, n) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
     assert_eq!(out.len(), m * n, "matmul output length mismatch");
+    if out.is_empty() {
+        return; // m == 0 or n == 0: nothing to accumulate into
+    }
+    let block = match Backend::current() {
+        Backend::Scalar => matmul_block,
+        Backend::Simd => matmul_block_simd,
+    };
     let flops = m * k * n;
     if flops >= PAR_FLOP_THRESHOLD && threads > 1 && m > 1 {
         let chunk = m.div_ceil(threads);
@@ -82,12 +240,12 @@ pub fn matmul_into_with_threads(a: &Tensor, b: &Tensor, out: &mut [f32], threads
                 let rows = out_chunk.len() / n;
                 let a_chunk = &adata[t * chunk * k..t * chunk * k + rows * k];
                 scope.spawn(move || {
-                    matmul_block(a_chunk, bdata, out_chunk, rows, k, n);
+                    block(a_chunk, bdata, out_chunk, rows, k, n);
                 });
             }
         });
     } else {
-        matmul_block(a.data(), b.data(), out, m, k, n);
+        block(a.data(), b.data(), out, m, k, n);
     }
 }
 
@@ -97,6 +255,96 @@ pub fn matmul_into_with_threads(a: &Tensor, b: &Tensor, out: &mut [f32], threads
 /// each output element sees additions in exactly the serial order no matter
 /// how the `i` range is sharded.
 fn matmul_at_b_block(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    ka: usize,
+    n: usize,
+    i_range: std::ops::Range<usize>,
+) {
+    for r in 0..m {
+        let arow = &a[r * ka..(r + 1) * ka];
+        let brow = &b[r * n..(r + 1) * n];
+        for (ii, o_chunk) in out.chunks_mut(n).enumerate().take(i_range.len()) {
+            let av = arow[i_range.start + ii];
+            if av == 0.0 {
+                continue;
+            }
+            for (o, &bv) in o_chunk.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// [`matmul_at_b_block`] for the simd backend: the loop structure (and
+/// therefore every accumulation order and zero-skip decision) is identical
+/// to the scalar block — the win comes purely from compiling the inner row
+/// update with AVX2 enabled, which doubles the autovectorized lane width.
+/// Tiling experiments lost here: the scalar structure already streams `b`
+/// and the output linearly, and `r`-ascending order per element forbids
+/// the transformations that would beat it.
+fn matmul_at_b_block_simd(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    ka: usize,
+    n: usize,
+    i_range: std::ops::Range<usize>,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: identical safe code; the feature check guarantees
+            // the instructions are supported.
+            unsafe { matmul_at_b_block_avx512(a, b, out, m, ka, n, i_range) };
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: as above.
+            unsafe { matmul_at_b_block_avx2(a, b, out, m, ka, n, i_range) };
+            return;
+        }
+    }
+    matmul_at_b_block(a, b, out, m, ka, n, i_range);
+}
+
+/// [`matmul_at_b_block`] compiled with AVX-512 codegen enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+fn matmul_at_b_block_avx512(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    ka: usize,
+    n: usize,
+    i_range: std::ops::Range<usize>,
+) {
+    matmul_at_b_block_body(a, b, out, m, ka, n, i_range);
+}
+
+/// [`matmul_at_b_block`] compiled with AVX2 codegen enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn matmul_at_b_block_avx2(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    ka: usize,
+    n: usize,
+    i_range: std::ops::Range<usize>,
+) {
+    matmul_at_b_block_body(a, b, out, m, ka, n, i_range);
+}
+
+/// Shared loop body for the scalar and feature-gated aᵀb blocks; inlined
+/// into its wrappers so it inherits their enabled lane width.
+#[inline(always)]
+fn matmul_at_b_block_body(
     a: &[f32],
     b: &[f32],
     out: &mut [f32],
@@ -158,8 +406,15 @@ pub fn matmul_at_b_into_with_threads(a: &Tensor, b: &Tensor, out: &mut [f32], th
     let (m2, n) = (b.rows(), b.cols());
     assert_eq!(m, m2, "matmul_at_b outer dimension mismatch: {m} vs {m2}");
     assert_eq!(out.len(), ka * n, "matmul_at_b output length mismatch");
+    if out.is_empty() {
+        return; // ka == 0 or n == 0: nothing to accumulate into
+    }
     let adata = a.data();
     let bdata = b.data();
+    let block = match Backend::current() {
+        Backend::Scalar => matmul_at_b_block,
+        Backend::Simd => matmul_at_b_block_simd,
+    };
     let flops = m * ka * n;
     if flops >= PAR_FLOP_THRESHOLD && threads > 1 && ka > 1 {
         let chunk = ka.div_ceil(threads);
@@ -167,12 +422,12 @@ pub fn matmul_at_b_into_with_threads(a: &Tensor, b: &Tensor, out: &mut [f32], th
             for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
                 let cols = out_chunk.len() / n;
                 scope.spawn(move || {
-                    matmul_at_b_block(adata, bdata, out_chunk, m, ka, n, t * chunk..t * chunk + cols);
+                    block(adata, bdata, out_chunk, m, ka, n, t * chunk..t * chunk + cols);
                 });
             }
         });
     } else {
-        matmul_at_b_block(adata, bdata, out, m, ka, n, 0..ka);
+        block(adata, bdata, out, m, ka, n, 0..ka);
     }
 }
 
@@ -190,6 +445,106 @@ fn matmul_a_bt_block(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize, 
             }
             *o = acc;
         }
+    }
+}
+
+/// Row/column count per dot-product tile in [`matmul_a_bt_block_simd`].
+const BTR: usize = 4;
+
+/// Register-tiled version of [`matmul_a_bt_block`]. Each output element is
+/// still the plain `k`-ascending dot product the scalar loop computes (no
+/// reassociation, no zero-skip — exactly the scalar semantics), but a
+/// `BTR`×`BTR` tile runs 16 independent accumulation chains at once, so
+/// the floating-point latency chain that serializes the scalar loop
+/// overlaps 16 ways.
+fn matmul_a_bt_block_simd(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize, i0: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: identical safe code; the feature check guarantees
+            // the instructions are supported.
+            unsafe { matmul_a_bt_block_simd_avx512(a, b, out, k, n, i0) };
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: as above.
+            unsafe { matmul_a_bt_block_simd_avx2(a, b, out, k, n, i0) };
+            return;
+        }
+    }
+    matmul_a_bt_block_simd_inner(a, b, out, k, n, i0);
+}
+
+/// [`matmul_a_bt_block_simd_inner`] compiled with AVX-512 codegen enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+fn matmul_a_bt_block_simd_avx512(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize, i0: usize) {
+    matmul_a_bt_block_simd_inner(a, b, out, k, n, i0);
+}
+
+/// [`matmul_a_bt_block_simd_inner`] compiled with AVX2 codegen enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn matmul_a_bt_block_simd_avx2(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize, i0: usize) {
+    matmul_a_bt_block_simd_inner(a, b, out, k, n, i0);
+}
+
+#[inline(always)]
+fn matmul_a_bt_block_simd_inner(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+    i0: usize,
+) {
+    if n == 0 || out.is_empty() {
+        return;
+    }
+    let rows = out.len() / n;
+    let mut ii = 0;
+    while ii < rows {
+        let ir = BTR.min(rows - ii);
+        let mut j = 0;
+        while j < n {
+            let jr = BTR.min(n - j);
+            // Row slices of exact length `k`: `arows[r][kk]` with
+            // `kk in 0..k` compiles without bounds checks, leaving 16
+            // independent mul-add chains per `kk` step.
+            let mut arows: [&[f32]; BTR] = [&[]; BTR];
+            for (r, arow) in arows.iter_mut().enumerate().take(ir) {
+                *arow = &a[(i0 + ii + r) * k..(i0 + ii + r) * k + k];
+            }
+            let mut brows: [&[f32]; BTR] = [&[]; BTR];
+            for (c, brow) in brows.iter_mut().enumerate().take(jr) {
+                *brow = &b[(j + c) * k..(j + c) * k + k];
+            }
+            let mut acc = [[0.0f32; BTR]; BTR];
+            if ir == BTR && jr == BTR {
+                for kk in 0..k {
+                    for (accr, arow) in acc.iter_mut().zip(arows.iter()) {
+                        let av = arow[kk];
+                        for (o, brow) in accr.iter_mut().zip(brows.iter()) {
+                            *o += av * brow[kk];
+                        }
+                    }
+                }
+            } else {
+                for kk in 0..k {
+                    for (accr, arow) in acc.iter_mut().zip(arows.iter()).take(ir) {
+                        let av = arow[kk];
+                        for (o, brow) in accr.iter_mut().zip(brows.iter()).take(jr) {
+                            *o += av * brow[kk];
+                        }
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate().take(ir) {
+                out[(ii + r) * n + j..(ii + r) * n + j + jr].copy_from_slice(&accr[..jr]);
+            }
+            j += jr;
+        }
+        ii += ir;
     }
 }
 
@@ -231,20 +586,27 @@ pub fn matmul_a_bt_into_with_threads(a: &Tensor, b: &Tensor, out: &mut [f32], th
     let (n, k2) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul_a_bt inner dimension mismatch: {k} vs {k2}");
     assert_eq!(out.len(), m * n, "matmul_a_bt output length mismatch");
+    if out.is_empty() {
+        return; // m == 0 or n == 0: nothing to overwrite
+    }
     let adata = a.data();
     let bdata = b.data();
+    let block = match Backend::current() {
+        Backend::Scalar => matmul_a_bt_block,
+        Backend::Simd => matmul_a_bt_block_simd,
+    };
     let flops = m * k * n;
     if flops >= PAR_FLOP_THRESHOLD && threads > 1 && m > 1 {
         let chunk = m.div_ceil(threads);
         std::thread::scope(|scope| {
             for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
                 scope.spawn(move || {
-                    matmul_a_bt_block(adata, bdata, out_chunk, k, n, t * chunk);
+                    block(adata, bdata, out_chunk, k, n, t * chunk);
                 });
             }
         });
     } else {
-        matmul_a_bt_block(adata, bdata, out, k, n, 0);
+        block(adata, bdata, out, k, n, 0);
     }
 }
 
@@ -530,12 +892,159 @@ pub fn slice_cols_into(a: &Tensor, start: usize, len: usize, out: &mut [f32]) {
     }
 }
 
+/// One Adam update's coefficients: the hyper-parameters plus the step's
+/// precomputed bias corrections `1 - βᵗ` (computed once per step, outside
+/// the per-element loop).
+#[derive(Debug, Clone, Copy)]
+pub struct AdamCoeffs {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Denominator stabilizer ε.
+    pub eps: f32,
+    /// `1 - β₁ᵗ` for the current step `t`.
+    pub bias1: f32,
+    /// `1 - β₂ᵗ` for the current step `t`.
+    pub bias2: f32,
+}
+
+/// One elementwise Adam update over a parameter slab:
+/// `m ← β₁m + (1-β₁)g`, `v ← β₂v + (1-β₂)g²`,
+/// `value -= lr·(m/bias1) / (√(v/bias2) + ε)`.
+///
+/// Every element is independent and every f32 operation (including the
+/// hardware-rounded `sqrt` and divide) is identically rounded at any lane
+/// width, so the backends are bit-identical by construction; the simd path
+/// only widens codegen (AVX-512/AVX2 `vsqrtps`/`vdivps` retire 16/8 lanes
+/// where the baseline retires 4).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn adam_step(value: &mut [f32], grad: &[f32], m: &mut [f32], v: &mut [f32], c: AdamCoeffs) {
+    assert_eq!(value.len(), grad.len(), "adam_step grad length mismatch");
+    assert_eq!(value.len(), m.len(), "adam_step m length mismatch");
+    assert_eq!(value.len(), v.len(), "adam_step v length mismatch");
+    match Backend::current() {
+        Backend::Scalar => adam_step_inner(value, grad, m, v, c),
+        Backend::Simd => adam_step_simd(value, grad, m, v, c),
+    }
+}
+
+fn adam_step_simd(value: &mut [f32], grad: &[f32], m: &mut [f32], v: &mut [f32], c: AdamCoeffs) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: identical safe loop; the feature check above
+            // guarantees the instructions are supported.
+            unsafe { adam_step_avx512(value, grad, m, v, c) };
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: as above.
+            unsafe { adam_step_avx2(value, grad, m, v, c) };
+            return;
+        }
+    }
+    adam_step_inner(value, grad, m, v, c);
+}
+
+/// [`adam_step_inner`] compiled with AVX-512 codegen enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+fn adam_step_avx512(value: &mut [f32], grad: &[f32], m: &mut [f32], v: &mut [f32], c: AdamCoeffs) {
+    adam_step_inner(value, grad, m, v, c);
+}
+
+/// [`adam_step_inner`] compiled with AVX2 codegen enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn adam_step_avx2(value: &mut [f32], grad: &[f32], m: &mut [f32], v: &mut [f32], c: AdamCoeffs) {
+    adam_step_inner(value, grad, m, v, c);
+}
+
+#[inline(always)]
+fn adam_step_inner(value: &mut [f32], grad: &[f32], m: &mut [f32], v: &mut [f32], c: AdamCoeffs) {
+    for (((val, &g), mi), vi) in value
+        .iter_mut()
+        .zip(grad)
+        .zip(m.iter_mut())
+        .zip(v.iter_mut())
+    {
+        *mi = c.beta1 * *mi + (1.0 - c.beta1) * g;
+        *vi = c.beta2 * *vi + (1.0 - c.beta2) * g * g;
+        let m_hat = *mi / c.bias1;
+        let v_hat = *vi / c.bias2;
+        *val -= c.lr * m_hat / (v_hat.sqrt() + c.eps);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::with_backend;
 
     fn t(data: &[f32], shape: &[usize]) -> Tensor {
         Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    /// The simd tiles preserve the scalar per-element accumulation order
+    /// (including the zero-skip semantics of each kernel), so every f32
+    /// result bit must match across backends — for edge shapes, partial
+    /// tiles, and every thread count.
+    #[test]
+    fn simd_matmuls_bit_identical_to_scalar_across_shapes_and_threads() {
+        let shapes = [
+            (1usize, 1usize, 1usize),
+            (1, 7, 5),      // single row
+            (4, 16, 16),    // exact full tiles
+            (5, 3, 17),     // partial tiles both dims
+            (257, 130, 129) // crosses PAR_FLOP_THRESHOLD
+        ];
+        for (m, k, n) in shapes {
+            let a = big(m, k, 41);
+            let b = big(k, n, 42);
+            let bt = big(n, k, 43);
+            for threads in [1usize, 4] {
+                let (s1, s2, s3) = with_backend(Backend::Scalar, || {
+                    (
+                        matmul_with_threads(&a, &b, threads),
+                        matmul_at_b_with_threads(&a, &big(m, n, 44), threads),
+                        matmul_a_bt_with_threads(&a, &bt, threads),
+                    )
+                });
+                let (v1, v2, v3) = with_backend(Backend::Simd, || {
+                    (
+                        matmul_with_threads(&a, &b, threads),
+                        matmul_at_b_with_threads(&a, &big(m, n, 44), threads),
+                        matmul_a_bt_with_threads(&a, &bt, threads),
+                    )
+                });
+                assert_eq!(bits(&s1), bits(&v1), "matmul {m}x{k}x{n} threads={threads}");
+                assert_eq!(bits(&s2), bits(&v2), "at_b {m}x{k}x{n} threads={threads}");
+                assert_eq!(bits(&s3), bits(&v3), "a_bt {m}x{k}x{n} threads={threads}");
+            }
+        }
+    }
+
+    /// Degenerate shapes: an empty inner dimension leaves accumulating
+    /// kernels at zero and makes every a_bt dot product 0.0.
+    #[test]
+    fn simd_matmuls_handle_k_zero() {
+        let a = Tensor::zeros(&[3, 0]);
+        let b = Tensor::zeros(&[0, 5]);
+        let bt = Tensor::zeros(&[5, 0]);
+        for backend in [Backend::Scalar, Backend::Simd] {
+            with_backend(backend, || {
+                assert_eq!(matmul(&a, &b).data(), &[0.0f32; 15], "{backend}");
+                assert_eq!(matmul_a_bt(&a, &bt).data(), &[0.0f32; 15], "{backend}");
+                let atb = matmul_at_b(&Tensor::zeros(&[0, 3]), &Tensor::zeros(&[0, 5]));
+                assert_eq!(atb.data(), &[0.0f32; 15], "{backend}");
+            });
+        }
     }
 
     #[test]
@@ -785,5 +1294,49 @@ mod tests {
             bits(&sum_rows(&a)),
             out.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    /// Adam updates are elementwise with identically-rounded ops at every
+    /// lane width, so value/m/v must match scalar bit-for-bit — across
+    /// lengths that exercise full vectors, tails, and the empty slab.
+    #[test]
+    fn adam_step_bit_identical_across_backends() {
+        for len in [0usize, 1, 7, 16, 33, 1000] {
+            let grad: Vec<f32> = (0..len).map(|i| ((i as f32) * 0.37).sin() * 3.0).collect();
+            let run = |backend| {
+                with_backend(backend, || {
+                    let mut value: Vec<f32> =
+                        (0..len).map(|i| ((i as f32) * 0.11).cos()).collect();
+                    let mut m = vec![0.01f32; len];
+                    let mut v = vec![0.02f32; len];
+                    for t in 1..=3i32 {
+                        adam_step(
+                            &mut value,
+                            &grad,
+                            &mut m,
+                            &mut v,
+                            AdamCoeffs {
+                                lr: 0.01,
+                                beta1: 0.9,
+                                beta2: 0.999,
+                                eps: 1e-8,
+                                bias1: 1.0 - 0.9f32.powi(t),
+                                bias2: 1.0 - 0.999f32.powi(t),
+                            },
+                        );
+                    }
+                    (bits2(&value), bits2(&m), bits2(&v))
+                })
+            };
+            assert_eq!(
+                run(crate::Backend::Scalar),
+                run(crate::Backend::Simd),
+                "adam_step diverged at len {len}"
+            );
+        }
+    }
+
+    fn bits2(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
     }
 }

@@ -34,11 +34,15 @@ mod graph;
 mod pool;
 mod tensor;
 
+pub mod backend;
 pub mod check;
+pub mod dtype;
 pub mod init;
 pub mod kernels;
 pub mod segment;
 
+pub use backend::{set_backend_override, with_backend, Backend};
+pub use dtype::DType;
 pub use error::TensorError;
 pub use graph::{Graph, Reduction, VarId};
 pub use pool::{BufferPool, PoolStats};

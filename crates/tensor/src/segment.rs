@@ -5,7 +5,93 @@
 //! followed by a segment reduction keyed by destination id. Each kernel here
 //! has a well-defined adjoint used by the autograd layer.
 
+use crate::backend::Backend;
 use crate::Tensor;
+
+/// Work threshold (edges × cols) above which the simd fused kernels shard
+/// output ownership across [`betty_runtime::configured_threads`] workers.
+const FUSED_PAR_WORK_THRESHOLD: usize = 1 << 20;
+
+/// Pre-pass bounds check: panics on the first out-of-range index with the
+/// same message the per-row asserts used to produce, so the copy/accumulate
+/// loops that follow can run branch-light.
+#[inline]
+fn check_gather_ids(indices: &[usize], rows: usize) {
+    if let Some(&bad) = indices.iter().find(|&&i| i >= rows) {
+        panic!("gather index {bad} out of bounds for {rows} rows");
+    }
+}
+
+/// Pre-pass bounds check for scatter destinations (same message as the old
+/// in-loop assert).
+#[inline]
+fn check_scatter_ids(indices: &[usize], rows: usize) {
+    if let Some(&bad) = indices.iter().find(|&&i| i >= rows) {
+        panic!("scatter index {bad} out of bounds for {rows} rows");
+    }
+}
+
+/// Pre-pass bounds check for segment ids (same message as the in-loop
+/// asserts).
+#[inline]
+/// Validates gather and segment ids in one fused pass (a running max per
+/// slice) and reports whether `segment_ids` is non-decreasing — the CSR
+/// destination-major layout the sharded loops exploit. The cold failure
+/// paths re-scan to name the offending index. The scan itself runs under
+/// [`lane_dispatch`]: the x86-64 baseline has no unsigned-64 max
+/// instruction, so wide lanes turn a branchy loop into `vpmaxuq` streams.
+fn check_edge_ids(
+    gather_ids: &[usize],
+    segment_ids: &[usize],
+    rows: usize,
+    n_segments: usize,
+) -> bool {
+    let mut scan = EdgeIdScan::default();
+    edge_id_scan_dispatch(gather_ids, segment_ids, &mut scan);
+    if scan.max_g >= rows && !gather_ids.is_empty() {
+        check_gather_ids(gather_ids, rows);
+    }
+    if scan.max_s >= n_segments && !segment_ids.is_empty() {
+        check_segment_ids(segment_ids, n_segments);
+    }
+    scan.sorted
+}
+
+/// Result of the fused id scan: running maxima plus segment-id sortedness.
+struct EdgeIdScan {
+    max_g: usize,
+    max_s: usize,
+    sorted: bool,
+}
+
+impl Default for EdgeIdScan {
+    fn default() -> Self {
+        EdgeIdScan { max_g: 0, max_s: 0, sorted: true }
+    }
+}
+
+/// Hot loop of [`check_edge_ids`].
+#[inline(always)]
+fn edge_id_scan(gather_ids: &[usize], segment_ids: &[usize], scan: &mut EdgeIdScan) {
+    let (mut max_g, mut max_s) = (0usize, 0usize);
+    let mut sorted = true;
+    let mut prev = 0usize;
+    for (&g, &s) in gather_ids.iter().zip(segment_ids) {
+        max_g = max_g.max(g);
+        max_s = max_s.max(s);
+        sorted &= prev <= s;
+        prev = s;
+    }
+    scan.max_g = max_g;
+    scan.max_s = max_s;
+    scan.sorted = sorted;
+}
+
+fn check_segment_ids(segment_ids: &[usize], n_segments: usize) {
+    if let Some(&bad) = segment_ids.iter().find(|&&s| s >= n_segments) {
+        panic!("segment id {bad} >= {n_segments}");
+    }
+}
 
 /// Gathers rows of `src` at `indices` into a new `[indices.len(), D]` tensor.
 ///
@@ -31,9 +117,12 @@ pub fn gather_rows_into(src: &Tensor, indices: &[usize], out: &mut [f32]) {
     if cols == 0 {
         return;
     }
+    // One pre-pass over the (cache-resident) index slice instead of a
+    // bounds assert per copied row.
+    check_gather_ids(indices, rows);
+    let sdata = src.data();
     for (orow, &i) in out.chunks_mut(cols).zip(indices) {
-        assert!(i < rows, "gather index {i} out of bounds for {rows} rows");
-        orow.copy_from_slice(src.row(i));
+        orow.copy_from_slice(&sdata[i * cols..(i + 1) * cols]);
     }
 }
 
@@ -53,10 +142,12 @@ pub fn scatter_add_rows(out: &mut Tensor, values: &Tensor, indices: &[usize]) {
     if cols == 0 {
         return;
     }
+    // Hoisted pre-pass (see `gather_rows_into`): the accumulate loop adds
+    // in exactly the same row order, so output bits are unchanged.
+    check_scatter_ids(indices, n);
     let vdata = values.data();
     let odata = out.data_mut();
     for (vrow, &i) in vdata.chunks(cols).zip(indices) {
-        assert!(i < n, "scatter index {i} out of bounds for {n} rows");
         for (o, &v) in odata[i * cols..(i + 1) * cols].iter_mut().zip(vrow) {
             *o += v;
         }
@@ -150,9 +241,29 @@ pub fn segment_mean(
 ///
 /// Panics if a segment id is out of bounds or lengths disagree.
 pub fn segment_mean_into(values: &Tensor, segment_ids: &[usize], out: &mut [f32]) -> Vec<usize> {
+    let mut counts = Vec::new();
+    segment_mean_into_reusing(values, segment_ids, out, &mut counts);
+    counts
+}
+
+/// [`segment_mean_into`] writing the per-segment counts into a
+/// caller-provided buffer (cleared and refilled), so a recycled buffer
+/// makes the op allocation-free — same pattern as
+/// [`segment_max_into_reusing`].
+///
+/// # Panics
+///
+/// Panics if a segment id is out of bounds or lengths disagree.
+pub fn segment_mean_into_reusing(
+    values: &Tensor,
+    segment_ids: &[usize],
+    out: &mut [f32],
+    counts: &mut Vec<usize>,
+) {
     let cols = values.cols();
     let n_segments = out.len().checked_div(cols).unwrap_or(0);
-    let mut counts = vec![0usize; n_segments];
+    counts.clear();
+    counts.resize(n_segments, 0);
     for &s in segment_ids {
         assert!(s < n_segments, "segment id {s} >= {n_segments}");
         counts[s] += 1;
@@ -166,7 +277,6 @@ pub fn segment_mean_into(values: &Tensor, segment_ids: &[usize], out: &mut [f32]
             }
         }
     }
-    counts
 }
 
 /// Per-segment elementwise max.
@@ -233,6 +343,392 @@ pub fn segment_max_into_reusing(
     }
 }
 
+/// Runs `body(out_chunk, owned_range)` for the simd fused kernels: either
+/// inline over the whole output, or — when the work crosses
+/// [`FUSED_PAR_WORK_THRESHOLD`] and more than one worker is configured —
+/// once per contiguous output-row shard on scoped threads. Every worker
+/// scans the full edge list but touches only rows it owns, so per-element
+/// additions happen in edge order no matter the thread count:
+/// bit-identical output, no atomics.
+fn fused_forward_sharded(
+    out: &mut [f32],
+    n_rows: usize,
+    cols: usize,
+    edges: usize,
+    body: &(dyn Fn(&mut [f32], std::ops::Range<usize>) + Sync),
+) {
+    let threads = betty_runtime::configured_threads();
+    if threads > 1 && n_rows > 1 && edges * cols >= FUSED_PAR_WORK_THRESHOLD {
+        let ranges = betty_runtime::shard_ranges(n_rows, threads);
+        std::thread::scope(|scope| {
+            let mut rest = out;
+            for range in ranges {
+                let (chunk, tail) = rest.split_at_mut(range.len() * cols);
+                rest = tail;
+                scope.spawn(move || body(chunk, range));
+            }
+        });
+    } else {
+        body(out, 0..n_rows);
+    }
+}
+
+/// Generates `<name>_dispatch`, which runs `<name>` recompiled for the
+/// widest SIMD lane set the CPU offers. The body is the identical safe
+/// loop in every case — rustc does not contract `a*b + c` into fused
+/// multiply-adds, so lane width changes throughput, never rounding —
+/// which keeps simd output bit-identical to scalar. Each kernel gets its
+/// own named `#[target_feature]` wrapper (not a generic closure
+/// trampoline: closure environments block the optimizer from fully
+/// vectorizing inside the feature context, measured ~1.5× slower).
+macro_rules! lane_dispatch {
+    ($dispatch:ident, $avx512:ident, $avx2:ident, $body:ident($($arg:ident: $ty:ty),* $(,)?)) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx512f")]
+        #[allow(clippy::too_many_arguments)] // inherits the kernel signature
+        fn $avx512($($arg: $ty),*) {
+            $body($($arg),*);
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        #[allow(clippy::too_many_arguments)] // inherits the kernel signature
+        fn $avx2($($arg: $ty),*) {
+            $body($($arg),*);
+        }
+
+        #[allow(clippy::too_many_arguments)] // inherits the kernel signature
+        fn $dispatch($($arg: $ty),*) {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if std::arch::is_x86_feature_detected!("avx512f") {
+                    // SAFETY: the feature check guarantees the
+                    // instructions exist; the wrapper runs ordinary safe
+                    // code.
+                    unsafe { $avx512($($arg),*) };
+                    return;
+                }
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    // SAFETY: as above.
+                    unsafe { $avx2($($arg),*) };
+                    return;
+                }
+            }
+            $body($($arg),*);
+        }
+    };
+}
+
+lane_dispatch!(
+    edge_id_scan_dispatch,
+    edge_id_scan_avx512,
+    edge_id_scan_avx2,
+    edge_id_scan(gather_ids: &[usize], segment_ids: &[usize], scan: &mut EdgeIdScan)
+);
+
+/// Chunk widths (in floats) the run-length fused loops hold in registers:
+/// 8 zmm under AVX-512 for wide rows, stepping down to 4 zmm so rows of at
+/// least 64 columns still get register accumulation.
+const RUN_ACC_WIDE: usize = 128;
+/// Narrow chunk width; see [`RUN_ACC_WIDE`].
+const RUN_ACC_NARROW: usize = 64;
+
+/// Source-matrix size (bytes) up to which the column-chunked run loop is
+/// used even for wide rows. Chunking re-walks each run once per chunk;
+/// when the source no longer fits the fast cache levels those strided
+/// re-walks cost more than they save, so wider large sources switch to
+/// the streaming full-row loop.
+const RUN_CHUNK_SRC_BYTES: usize = 2 << 20;
+
+/// How many edges ahead the fused loops prefetch the gathered source row.
+/// Gathers are random-access; a short prefetch pipeline hides most of the
+/// cache/DRAM latency without flooding the fill buffers.
+const PREFETCH_EDGE_DIST: usize = 12;
+
+/// Prefetches `floats` floats (whole cache lines, at most 8) starting
+/// `offset` floats into `data`. Uses `wrapping_add` so a tail row shorter
+/// than the prefetch window stays sound: prefetch never faults and stray
+/// lines are harmless.
+#[inline(always)]
+fn prefetch_row(data: &[f32], offset: usize, floats: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        let lines = floats.div_ceil(16).min(8);
+        for l in 0..lines {
+            // SAFETY: prefetch is a hint; it cannot fault, and
+            // `wrapping_add` keeps the pointer arithmetic defined even
+            // when the window runs past the slice.
+            unsafe {
+                _mm_prefetch(data.as_ptr().wrapping_add(offset + l * 16).cast(), _MM_HINT_T0);
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (data, offset, floats);
+    }
+}
+
+/// One register-accumulated column chunk of a run: loads `out_row[c..c+W]`
+/// once, adds every gathered row slice in edge order, stores once.
+/// `weights` scales each edge's contribution (`None` for the plain sum);
+/// the multiply happens before the add in both backends, so rounding
+/// matches scalar exactly.
+#[inline(always)]
+fn run_chunk_accum<const W: usize>(
+    sdata: &[f32],
+    run: &[usize],
+    run_weights: Option<&[f32]>,
+    out_row: &mut [f32],
+    c: usize,
+    cols: usize,
+) {
+    let mut acc = [0.0f32; W];
+    acc.copy_from_slice(&out_row[c..c + W]);
+    for (j, &g) in run.iter().enumerate() {
+        if j + PREFETCH_EDGE_DIST < run.len() {
+            prefetch_row(sdata, run[j + PREFETCH_EDGE_DIST] * cols + c, W);
+        }
+        let src: &[f32; W] =
+            sdata[g * cols + c..g * cols + c + W].try_into().expect("chunk width");
+        match run_weights {
+            None => {
+                for i in 0..W {
+                    acc[i] += src[i];
+                }
+            }
+            Some(ws) => {
+                let w = ws[j];
+                for i in 0..W {
+                    acc[i] += w * src[i];
+                }
+            }
+        }
+    }
+    out_row[c..c + W].copy_from_slice(&acc);
+}
+
+/// Shared body of the simd fused (weighted) sum over one owned segment
+/// range.
+///
+/// Blocks sampled from CSR adjacency emit `segment_ids` in non-decreasing
+/// destination order (see `edge_dst_locals_non_decreasing` in
+/// `betty-graph`), so equal ids arrive in runs. Two strategies, chosen by
+/// source size:
+///
+/// * **run-chunked** (narrow rows, or source within
+///   [`RUN_CHUNK_SRC_BYTES`]): the output row is held in registers across
+///   each run, [`RUN_ACC_WIDE`]/[`RUN_ACC_NARROW`] columns at a time —
+///   memory traffic per element drops from load+load+store to one
+///   streaming load.
+/// * **full-row** (large wide sources): per-edge sequential row adds so
+///   the hardware prefetcher sees whole-row streams, with software
+///   prefetch of upcoming gather rows hiding the random-access latency.
+///
+/// Additions per output element follow edge order in both — the scalar
+/// order — so output is bit-identical to the scalar backend.
+#[allow(clippy::too_many_arguments)] // flat slices: one arg per kernel operand
+#[inline(always)]
+fn fused_accum_range(
+    sdata: &[f32],
+    gather_ids: &[usize],
+    segment_ids: &[usize],
+    weights: Option<&[f32]>,
+    sorted: bool,
+    out: &mut [f32],
+    seg_range: std::ops::Range<usize>,
+    cols: usize,
+) {
+    // CSR-sorted segment ids let each worker binary-search the edge span
+    // covering its owned rows instead of scanning the full edge list —
+    // total sharded work stays at one pass over the edges.
+    let (gather_ids, segment_ids, weights) = if sorted {
+        let lo = segment_ids.partition_point(|&s| s < seg_range.start);
+        let hi = segment_ids.partition_point(|&s| s < seg_range.end);
+        (
+            &gather_ids[lo..hi],
+            &segment_ids[lo..hi],
+            weights.map(|ws| &ws[lo..hi]),
+        )
+    } else {
+        (gather_ids, segment_ids, weights)
+    };
+    let n_edges = gather_ids.len();
+    if cols > RUN_ACC_WIDE && sdata.len() * 4 > RUN_CHUNK_SRC_BYTES {
+        for e in 0..n_edges {
+            let s = segment_ids[e];
+            if s < seg_range.start || s >= seg_range.end {
+                continue;
+            }
+            if e + PREFETCH_EDGE_DIST < n_edges {
+                let f = e + PREFETCH_EDGE_DIST;
+                let fs = segment_ids[f];
+                if fs >= seg_range.start && fs < seg_range.end {
+                    prefetch_row(sdata, gather_ids[f] * cols, cols);
+                }
+            }
+            let local = s - seg_range.start;
+            let g = gather_ids[e];
+            let src_row = &sdata[g * cols..(g + 1) * cols];
+            let out_row = &mut out[local * cols..(local + 1) * cols];
+            match weights {
+                None => {
+                    for (o, &v) in out_row.iter_mut().zip(src_row) {
+                        *o += v;
+                    }
+                }
+                Some(ws) => {
+                    let w = ws[e];
+                    for (o, &v) in out_row.iter_mut().zip(src_row) {
+                        *o += w * v;
+                    }
+                }
+            }
+        }
+        return;
+    }
+    let mut e = 0;
+    while e < n_edges {
+        let s = segment_ids[e];
+        let mut end = e + 1;
+        while end < n_edges && segment_ids[end] == s {
+            end += 1;
+        }
+        if s < seg_range.start || s >= seg_range.end {
+            e = end;
+            continue;
+        }
+        let local = s - seg_range.start;
+        let out_row = &mut out[local * cols..(local + 1) * cols];
+        let run = &gather_ids[e..end];
+        let run_weights = weights.map(|ws| &ws[e..end]);
+        let mut c = 0;
+        while c + RUN_ACC_WIDE <= cols {
+            run_chunk_accum::<RUN_ACC_WIDE>(sdata, run, run_weights, out_row, c, cols);
+            c += RUN_ACC_WIDE;
+        }
+        while c + RUN_ACC_NARROW <= cols {
+            run_chunk_accum::<RUN_ACC_NARROW>(sdata, run, run_weights, out_row, c, cols);
+            c += RUN_ACC_NARROW;
+        }
+        if c < cols {
+            for (j, &g) in run.iter().enumerate() {
+                let src_row = &sdata[g * cols + c..(g + 1) * cols];
+                match run_weights {
+                    None => {
+                        for (o, &v) in out_row[c..].iter_mut().zip(src_row) {
+                            *o += v;
+                        }
+                    }
+                    Some(ws) => {
+                        let w = ws[j];
+                        for (o, &v) in out_row[c..].iter_mut().zip(src_row) {
+                            *o += w * v;
+                        }
+                    }
+                }
+            }
+        }
+        e = end;
+    }
+}
+
+lane_dispatch!(
+    fused_accum_dispatch,
+    fused_accum_range_avx512,
+    fused_accum_range_avx2,
+    fused_accum_range(
+        sdata: &[f32],
+        gather_ids: &[usize],
+        segment_ids: &[usize],
+        weights: Option<&[f32]>,
+        sorted: bool,
+        out: &mut [f32],
+        seg_range: std::ops::Range<usize>,
+        cols: usize,
+    )
+);
+
+/// Edge loop of the simd fused-sum backward over one owned source-row
+/// range (ownership keyed by gather id: the row being accumulated into).
+#[inline(always)]
+fn fused_sum_backward_range(
+    gdata: &[f32],
+    gather_ids: &[usize],
+    segment_ids: &[usize],
+    segment_scale: Option<&[f32]>,
+    out: &mut [f32],
+    src_range: std::ops::Range<usize>,
+    cols: usize,
+) {
+    for (&g, &s) in gather_ids.iter().zip(segment_ids) {
+        if g < src_range.start || g >= src_range.end {
+            continue;
+        }
+        let local = g - src_range.start;
+        let scale = segment_scale.map_or(1.0, |sc| sc[s]);
+        let grad_row = &gdata[s * cols..(s + 1) * cols];
+        for (o, &v) in out[local * cols..(local + 1) * cols].iter_mut().zip(grad_row) {
+            *o += v * scale;
+        }
+    }
+}
+
+/// Edge loop of the simd weighted fused-sum backward over one owned
+/// source-row range.
+#[inline(always)]
+fn fused_weighted_sum_backward_range(
+    gdata: &[f32],
+    gather_ids: &[usize],
+    segment_ids: &[usize],
+    weights: &[f32],
+    out: &mut [f32],
+    src_range: std::ops::Range<usize>,
+    cols: usize,
+) {
+    for ((&g, &s), &w) in gather_ids.iter().zip(segment_ids).zip(weights) {
+        if g < src_range.start || g >= src_range.end {
+            continue;
+        }
+        let local = g - src_range.start;
+        let grad_row = &gdata[s * cols..(s + 1) * cols];
+        for (o, &v) in out[local * cols..(local + 1) * cols].iter_mut().zip(grad_row) {
+            *o += w * v;
+        }
+    }
+}
+
+lane_dispatch!(
+    fused_sum_backward_dispatch,
+    fused_sum_backward_range_avx512,
+    fused_sum_backward_range_avx2,
+    fused_sum_backward_range(
+        gdata: &[f32],
+        gather_ids: &[usize],
+        segment_ids: &[usize],
+        segment_scale: Option<&[f32]>,
+        out: &mut [f32],
+        src_range: std::ops::Range<usize>,
+        cols: usize,
+    )
+);
+
+lane_dispatch!(
+    fused_weighted_sum_backward_dispatch,
+    fused_weighted_sum_backward_range_avx512,
+    fused_weighted_sum_backward_range_avx2,
+    fused_weighted_sum_backward_range(
+        gdata: &[f32],
+        gather_ids: &[usize],
+        segment_ids: &[usize],
+        weights: &[f32],
+        out: &mut [f32],
+        src_range: std::ops::Range<usize>,
+        cols: usize,
+    )
+);
+
 /// Fused gather + segment-sum: `out[seg_ids[e]] += src[gather_ids[e]]`
 /// without materializing the `[E, D]` message tensor (the moral equivalent
 /// of DGL's fused message-passing kernels).
@@ -271,6 +767,22 @@ pub fn fused_gather_segment_sum_into(
     let n_segments = out.len() / cols;
     assert_eq!(out.len(), n_segments * cols, "fused sum output length mismatch");
     let sdata = src.data();
+    if Backend::current() == Backend::Simd {
+        let sorted = check_edge_ids(gather_ids, segment_ids, rows, n_segments);
+        fused_forward_sharded(out, n_segments, cols, gather_ids.len(), &|out_chunk, range| {
+            fused_accum_dispatch(
+                sdata,
+                gather_ids,
+                segment_ids,
+                None,
+                sorted,
+                out_chunk,
+                range,
+                cols,
+            );
+        });
+        return;
+    }
     for (&g, &s) in gather_ids.iter().zip(segment_ids) {
         assert!(g < rows, "gather index {g} out of bounds for {rows} rows");
         assert!(s < n_segments, "segment id {s} >= {n_segments}");
@@ -321,6 +833,23 @@ pub fn fused_gather_segment_sum_backward_into(
     let n_src_rows = out.len() / cols;
     assert_eq!(out.len(), n_src_rows * cols, "fused backward output length mismatch");
     let gdata = grad.data();
+    if Backend::current() == Backend::Simd {
+        if let Some(&bad) = gather_ids.iter().find(|&&g| g >= n_src_rows) {
+            panic!("gather index {bad} out of bounds");
+        }
+        fused_forward_sharded(out, n_src_rows, cols, gather_ids.len(), &|out_chunk, range| {
+            fused_sum_backward_dispatch(
+                gdata,
+                gather_ids,
+                segment_ids,
+                segment_scale,
+                out_chunk,
+                range,
+                cols,
+            );
+        });
+        return;
+    }
     for (&g, &s) in gather_ids.iter().zip(segment_ids) {
         assert!(g < n_src_rows, "gather index {g} out of bounds");
         let scale = segment_scale.map_or(1.0, |sc| sc[s]);
@@ -372,6 +901,22 @@ pub fn fused_gather_segment_weighted_sum_into(
     let n_segments = out.len() / cols;
     assert_eq!(out.len(), n_segments * cols, "weighted sum output length mismatch");
     let sdata = src.data();
+    if Backend::current() == Backend::Simd {
+        let sorted = check_edge_ids(gather_ids, segment_ids, rows, n_segments);
+        fused_forward_sharded(out, n_segments, cols, gather_ids.len(), &|out_chunk, range| {
+            fused_accum_dispatch(
+                sdata,
+                gather_ids,
+                segment_ids,
+                Some(weights),
+                sorted,
+                out_chunk,
+                range,
+                cols,
+            );
+        });
+        return;
+    }
     for ((&g, &s), &w) in gather_ids.iter().zip(segment_ids).zip(weights) {
         assert!(g < rows, "gather index {g} out of bounds for {rows} rows");
         assert!(s < n_segments, "segment id {s} >= {n_segments}");
@@ -422,6 +967,23 @@ pub fn fused_gather_segment_weighted_sum_backward_into(
     let n_src_rows = out.len() / cols;
     assert_eq!(out.len(), n_src_rows * cols, "weighted backward output length mismatch");
     let gdata = grad.data();
+    if Backend::current() == Backend::Simd {
+        if let Some(&bad) = gather_ids.iter().find(|&&g| g >= n_src_rows) {
+            panic!("gather index {bad} out of bounds");
+        }
+        fused_forward_sharded(out, n_src_rows, cols, gather_ids.len(), &|out_chunk, range| {
+            fused_weighted_sum_backward_dispatch(
+                gdata,
+                gather_ids,
+                segment_ids,
+                weights,
+                out_chunk,
+                range,
+                cols,
+            );
+        });
+        return;
+    }
     for ((&g, &s), &w) in gather_ids.iter().zip(segment_ids).zip(weights) {
         assert!(g < n_src_rows, "gather index {g} out of bounds");
         let grad_row = &gdata[s * cols..(s + 1) * cols];
@@ -564,6 +1126,86 @@ mod tests {
     fn gather_bounds_checked() {
         let src = t(&[1.0, 2.0], &[1, 2]);
         gather_rows(&src, &[1]);
+    }
+
+    /// The fused simd path (segment-ownership sharding + wide-lane row
+    /// adds) must reproduce the scalar edge-order accumulation bit for bit
+    /// at every thread count: each output row still sees its additions in
+    /// edge order, only the scan is restructured.
+    #[test]
+    fn fused_kernels_bit_identical_across_backends_and_threads() {
+        let shapes = [
+            (1usize, 1usize, 1usize, 0usize), // single row, no edges
+            (5, 3, 4, 11),
+            (17, 8, 9, 64),
+            (33, 20, 7, 257),
+            (65, 70, 9, 513),  // sorted: wide rows, chunk + tail columns
+            (40, 130, 11, 400), // unsorted: crosses RUN_ACC_WIDE
+        ];
+        for &(rows, cols, n_segments, n_edges) in &shapes {
+            let src = salted(rows, cols, 0.41);
+            let grad = salted(n_segments, cols, 2.3);
+            let gather_ids: Vec<usize> = (0..n_edges).map(|e| (e * 7 + 3) % rows).collect();
+            let mut segment_ids: Vec<usize> =
+                (0..n_edges).map(|e| (e * 5 + 1) % n_segments).collect();
+            if rows % 2 == 1 {
+                // Exercise both the CSR-sorted span-narrowed path (runs of
+                // equal ids, binary-searched shards) and the unsorted
+                // full-scan path across the shape table.
+                segment_ids.sort_unstable();
+            }
+            let weights: Vec<f32> = (0..n_edges).map(|e| (e as f32 * 0.37).cos()).collect();
+            let scale: Vec<f32> = (0..n_segments).map(|s| 1.0 / (s + 1) as f32).collect();
+            for threads in [1usize, 4] {
+                betty_runtime::set_thread_override(Some(threads));
+                let fwd_ref = crate::with_backend(crate::Backend::Scalar, || {
+                    fused_gather_segment_sum(&src, &gather_ids, &segment_ids, n_segments)
+                });
+                let fwd = crate::with_backend(crate::Backend::Simd, || {
+                    fused_gather_segment_sum(&src, &gather_ids, &segment_ids, n_segments)
+                });
+                assert_eq!(bits(&fwd_ref), bits(&fwd), "fused sum {rows}x{cols} t={threads}");
+
+                let wfwd_ref = crate::with_backend(crate::Backend::Scalar, || {
+                    fused_gather_segment_weighted_sum(
+                        &src, &gather_ids, &segment_ids, &weights, n_segments,
+                    )
+                });
+                let wfwd = crate::with_backend(crate::Backend::Simd, || {
+                    fused_gather_segment_weighted_sum(
+                        &src, &gather_ids, &segment_ids, &weights, n_segments,
+                    )
+                });
+                assert_eq!(bits(&wfwd_ref), bits(&wfwd), "weighted {rows}x{cols} t={threads}");
+
+                for sc in [None, Some(scale.as_slice())] {
+                    let bwd_ref = crate::with_backend(crate::Backend::Scalar, || {
+                        fused_gather_segment_sum_backward(
+                            &grad, &gather_ids, &segment_ids, sc, rows,
+                        )
+                    });
+                    let bwd = crate::with_backend(crate::Backend::Simd, || {
+                        fused_gather_segment_sum_backward(
+                            &grad, &gather_ids, &segment_ids, sc, rows,
+                        )
+                    });
+                    assert_eq!(bits(&bwd_ref), bits(&bwd), "backward {rows}x{cols} t={threads}");
+                }
+
+                let wbwd_ref = crate::with_backend(crate::Backend::Scalar, || {
+                    fused_gather_segment_weighted_sum_backward(
+                        &grad, &gather_ids, &segment_ids, &weights, rows,
+                    )
+                });
+                let wbwd = crate::with_backend(crate::Backend::Simd, || {
+                    fused_gather_segment_weighted_sum_backward(
+                        &grad, &gather_ids, &segment_ids, &weights, rows,
+                    )
+                });
+                assert_eq!(bits(&wbwd_ref), bits(&wbwd), "wbackward {rows}x{cols} t={threads}");
+            }
+            betty_runtime::set_thread_override(None);
+        }
     }
 
     /// Irrational-ish values so any reordering or rounding difference

@@ -1,0 +1,171 @@
+//! Property tests pinning the backend contract: `Backend::Simd` is a
+//! speed knob, never a numerics knob. Every dispatched kernel must be
+//! bit-identical to the scalar reference across arbitrary shapes —
+//! including the degenerate ones (`k = 0`, `cols = 0`, single-row) —
+//! and across worker-thread counts, and the 16-bit storage dtypes must
+//! round-trip exactly once quantized.
+
+use betty_tensor::dtype::{f16_bits_to_f32, f32_to_bf16_bits, f32_to_f16_bits, bf16_bits_to_f32};
+use betty_tensor::{kernels, segment, with_backend, Backend, DType, Tensor};
+use proptest::prelude::*;
+
+/// Strategy: a tensor with the given shape, values in [-4, 4]. Handles
+/// zero-sized shapes (an empty data vector is a valid 0-element strategy).
+fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-4.0f32..4.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(data, &[rows, cols]).expect("sized data"))
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Runs `f` under both backends at the given thread count and asserts
+/// bit-identical output.
+fn assert_backends_agree(threads: usize, f: impl Fn() -> Tensor) {
+    betty_runtime::set_thread_override(Some(threads));
+    let scalar = with_backend(Backend::Scalar, &f);
+    let simd = with_backend(Backend::Simd, &f);
+    betty_runtime::set_thread_override(None);
+    assert_eq!(
+        bits(&scalar),
+        bits(&simd),
+        "backends diverged at {threads} threads"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The whole matmul family, over shapes that include `m = 1`
+    /// (single row), `k = 0` (empty reduction: output must be exact
+    /// zeros), and `n = 0` (empty output).
+    #[test]
+    fn matmul_family_is_bit_identical_across_backends_and_threads(
+        m in 1usize..24,
+        k in 0usize..24,
+        n in 0usize..24,
+        seed in 0u64..u64::MAX,
+    ) {
+        let fill = |rows: usize, cols: usize, phase: u64| {
+            Tensor::from_vec(
+                (0..rows * cols)
+                    .map(|i| (((i as u64 ^ seed ^ phase) % 1000) as f32 / 250.0) - 2.0)
+                    .collect(),
+                &[rows, cols],
+            )
+            .expect("sized data")
+        };
+        let a = fill(m, k, 0);
+        let b = fill(k, n, 1);
+        let bt = fill(n, k, 2);
+        let at = fill(k, m, 3);
+        for threads in [1usize, 4] {
+            assert_backends_agree(threads, || kernels::matmul(&a, &b));
+            assert_backends_agree(threads, || kernels::matmul_a_bt(&a, &bt));
+            assert_backends_agree(threads, || kernels::matmul_at_b(&at, &b));
+        }
+    }
+
+    /// Fused gather+segment-sum over arbitrary (unsorted) edge lists,
+    /// plus the `cols = 0` and empty-edge-list degenerate shapes.
+    #[test]
+    fn fused_gather_segment_is_bit_identical_across_backends_and_threads(
+        src in arb_tensor(9, 5),
+        edges in proptest::collection::vec((0usize..9, 0usize..6), 0..64),
+    ) {
+        let gather_ids: Vec<usize> = edges.iter().map(|e| e.0).collect();
+        let segment_ids: Vec<usize> = edges.iter().map(|e| e.1).collect();
+        for threads in [1usize, 4] {
+            assert_backends_agree(threads, || {
+                segment::fused_gather_segment_sum(&src, &gather_ids, &segment_ids, 6)
+            });
+        }
+        // cols = 0: both backends must return an all-zero [6, 0] tensor.
+        let empty = arb_narrow(&src);
+        assert_backends_agree(1, || {
+            segment::fused_gather_segment_sum(&empty, &gather_ids, &segment_ids, 6)
+        });
+    }
+
+    /// The vectorized Adam step: hardware sqrt/divide round identically
+    /// at every lane width, so the update is bit-identical too.
+    #[test]
+    fn adam_step_is_bit_identical_across_backends(
+        grad in proptest::collection::vec(-2.0f32..2.0, 0..96),
+        step in 1u32..50,
+    ) {
+        let coeffs = kernels::AdamCoeffs {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            bias1: 1.0 - 0.9f32.powi(step as i32),
+            bias2: 1.0 - 0.999f32.powi(step as i32),
+        };
+        let run = |backend: Backend| {
+            with_backend(backend, || {
+                let mut value = vec![1.0f32; grad.len()];
+                let mut m1 = vec![0.1f32; grad.len()];
+                let mut m2 = vec![0.2f32; grad.len()];
+                kernels::adam_step(&mut value, &grad, &mut m1, &mut m2, coeffs);
+                (value, m1, m2)
+            })
+        };
+        let scalar = run(Backend::Scalar);
+        let simd = run(Backend::Simd);
+        prop_assert_eq!(as_bits(&scalar.0), as_bits(&simd.0));
+        prop_assert_eq!(as_bits(&scalar.1), as_bits(&simd.1));
+        prop_assert_eq!(as_bits(&scalar.2), as_bits(&simd.2));
+    }
+
+    /// Quantization is idempotent: once a value has been rounded into a
+    /// 16-bit storage dtype, encoding and decoding it again is exact.
+    #[test]
+    fn storage_dtypes_round_trip_exactly_once_quantized(v in -1e4f32..1e4) {
+        for dtype in [DType::Bf16, DType::F16] {
+            let q = dtype.quantize(v);
+            prop_assert_eq!(
+                dtype.quantize(q).to_bits(),
+                q.to_bits(),
+                "{} quantize must be idempotent",
+                dtype.name()
+            );
+            prop_assert_eq!(
+                dtype.decode16(dtype.encode16(q)).to_bits(),
+                q.to_bits(),
+                "{} encode/decode must round-trip quantized values",
+                dtype.name()
+            );
+        }
+        // The raw bit converters agree with the DType methods.
+        prop_assert_eq!(
+            bf16_bits_to_f32(f32_to_bf16_bits(v)).to_bits(),
+            DType::Bf16.quantize(v).to_bits()
+        );
+        prop_assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(v)).to_bits(),
+            DType::F16.quantize(v).to_bits()
+        );
+    }
+
+    /// Round-to-nearest-even keeps the relative quantization error within
+    /// half a ulp of the storage format: 2⁻⁸ for bf16 (8 mantissa bits
+    /// incl. the hidden one), 2⁻¹¹ for f16, over f16's normal range.
+    #[test]
+    fn quantization_error_is_bounded_by_half_ulp(v in -6e4f32..6e4) {
+        let bf = DType::Bf16.quantize(v);
+        prop_assert!((bf - v).abs() <= v.abs() / 256.0, "bf16({v}) = {bf}");
+        let hf = DType::F16.quantize(v);
+        prop_assert!((hf - v).abs() <= v.abs() / 2048.0, "f16({v}) = {hf}");
+    }
+}
+
+fn as_bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// A `[rows, 0]` tensor matching `src`'s row count.
+fn arb_narrow(src: &Tensor) -> Tensor {
+    Tensor::from_vec(Vec::new(), &[src.rows(), 0]).expect("empty tensor")
+}

@@ -342,6 +342,9 @@ pub struct TraceRecorder {
     features: Vec<(usize, FeatureStoreRecord)>,
     anomalies: Vec<AnomalyRecord>,
     faults: Vec<FaultRecord>,
+    /// Compute backend and storage precision of the run, when the trainer
+    /// stamped them (`("simd", "bf16")`-style pairs).
+    run_context: Option<(String, String)>,
 }
 
 impl Default for TraceRecorder {
@@ -364,7 +367,22 @@ impl TraceRecorder {
             features: Vec::new(),
             anomalies: Vec::new(),
             faults: Vec::new(),
+            run_context: None,
         }
+    }
+
+    /// Stamps the run's compute backend and storage precision; emitted as
+    /// the leading `run` JSON line and echoed in the summary so traces
+    /// from different backend/dtype configurations are distinguishable.
+    pub fn set_run_context(&mut self, backend: impl Into<String>, precision: impl Into<String>) {
+        self.run_context = Some((backend.into(), precision.into()));
+    }
+
+    /// The stamped `(backend, precision)` pair, if any.
+    pub fn run_context(&self) -> Option<(&str, &str)> {
+        self.run_context
+            .as_ref()
+            .map(|(b, p)| (b.as_str(), p.as_str()))
     }
 
     /// Sets the epoch stamped onto subsequently recorded events.
@@ -560,6 +578,13 @@ impl TraceRecorder {
     /// for the schema).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
+        if let Some((backend, precision)) = &self.run_context {
+            out.push_str(&format!(
+                "{{\"type\":\"run\",\"backend\":\"{}\",\"precision\":\"{}\"}}\n",
+                jstr(backend),
+                jstr(precision),
+            ));
+        }
         for s in &self.spans {
             out.push_str(&format!(
                 "{{\"type\":\"span\",\"kind\":\"{}\",\"epoch\":{},\"step\":{},\"start_sec\":{},\"dur_sec\":{}}}\n",
@@ -656,6 +681,9 @@ impl TraceRecorder {
     /// estimator-drift envelope.
     pub fn summary(&self) -> String {
         let mut out = String::from("trace summary:");
+        if let Some((backend, precision)) = &self.run_context {
+            out.push_str(&format!("\n  run        backend {backend}, precision {precision}"));
+        }
         for kind in SpanKind::ALL {
             let (count, total): (usize, f64) = self
                 .spans
@@ -999,6 +1027,23 @@ impl JsonParser<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_context_is_stamped_into_jsonl_and_summary() {
+        let mut t = TraceRecorder::new();
+        assert_eq!(t.run_context(), None);
+        t.set_run_context("simd", "bf16");
+        assert_eq!(t.run_context(), Some(("simd", "bf16")));
+        let jsonl = t.to_jsonl();
+        assert!(
+            jsonl.starts_with("{\"type\":\"run\",\"backend\":\"simd\",\"precision\":\"bf16\"}\n"),
+            "{jsonl}"
+        );
+        validate_jsonl(&jsonl).expect("run line must be valid JSON");
+        assert!(t.summary().contains("backend simd, precision bf16"));
+        // The context is metadata, not an event.
+        assert!(t.is_empty());
+    }
 
     #[test]
     fn recorder_round_trip_and_jsonl_schema() {

@@ -35,6 +35,18 @@ pub trait Buf {
         u32::from_le_bytes(b)
     }
 
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 bytes remain.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(b)
+    }
+
     /// Reads a little-endian `u64`.
     ///
     /// # Panics
@@ -75,6 +87,11 @@ pub trait BufMut {
 
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
         self.put_slice(&v.to_le_bytes());
     }
 
@@ -225,11 +242,13 @@ mod tests {
         let mut w = BytesMut::new();
         w.put_u32_le(0xDEADBEEF);
         w.put_f32_le(1.5);
+        w.put_u16_le(0xBEAD);
         w.put_slice(b"xy");
         let mut r = Bytes::from(w.as_ref().to_vec());
-        assert_eq!(r.remaining(), 10);
+        assert_eq!(r.remaining(), 12);
         assert_eq!(r.get_u32_le(), 0xDEADBEEF);
         assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_u16_le(), 0xBEAD);
         assert_eq!(&r[..], b"xy");
     }
 
