@@ -1,0 +1,5 @@
+//! Extension exhibit: ext_storage_chaos. `BETTY_PROFILE=quick` shrinks it.
+fn main() {
+    let profile = betty_bench::Profile::from_env();
+    betty_bench::experiments::ext_storage_chaos::run(profile);
+}

@@ -11,6 +11,7 @@ pub mod ext_overhead;
 pub mod ext_pipeline;
 pub mod ext_plan_ahead;
 pub mod ext_recovery;
+pub mod ext_storage_chaos;
 pub mod ext_trace;
 pub mod fig02;
 pub mod fig03;
@@ -53,5 +54,6 @@ pub fn run_all(profile: Profile) {
     ext_trace::run(profile);
     ext_alloc::run(profile);
     ext_featurestore::run(profile);
+    ext_storage_chaos::run(profile);
     ext_kernels::run(profile);
 }

@@ -2,9 +2,11 @@
 
 use std::error::Error;
 
+use std::fmt;
+
 use betty::{
-    latest_checkpoint, load_checkpoint_state, CheckpointPlan, DeviceGroup, ExperimentConfig,
-    ModelKind, RecoveryLog, RetryPolicy, Runner, StrategyKind,
+    latest_valid_checkpoint, load_checkpoint_state, CheckpointPlan, DeviceGroup, ExperimentConfig,
+    ModelKind, RecoveryEvent, RecoveryLog, RetryPolicy, Runner, StrategyKind,
 };
 use betty_data::{load_dataset, save_dataset, Dataset, DatasetSpec};
 use betty_device::FaultPlan;
@@ -66,7 +68,12 @@ fn apply_feature_store(mut ds: Dataset, args: &Args) -> Result<Dataset, Box<dyn 
     let backend = args.get("feature-store").unwrap_or("dense");
     match backend {
         "dense" => {
-            for flag in ["feature-cache-bytes", "feature-page-rows", "feature-dir"] {
+            for flag in [
+                "feature-cache-bytes",
+                "feature-page-rows",
+                "feature-dir",
+                "feature-parity",
+            ] {
                 if args.get(flag).is_some() {
                     return Err(Box::new(ArgError(format!(
                         "--{flag} requires --feature-store paged"
@@ -93,7 +100,12 @@ fn apply_feature_store(mut ds: Dataset, args: &Args) -> Result<Dataset, Box<dyn 
                     std::process::id()
                 )),
             };
-            ds.features = ds.features.to_paged(&dir, page_rows, cache)?;
+            // --feature-parity P interleaves one XOR parity shard per P
+            // data shards, so a single corrupt shard per group can be
+            // reconstructed bit-identically mid-run (0 = no parity; the
+            // store bytes are then identical to a parity-free spill).
+            let parity = args.get_or("feature-parity", 0usize)?;
+            ds.features = ds.features.to_paged_with_parity(&dir, page_rows, cache, parity)?;
             Ok(ds)
         }
         other => Err(Box::new(ArgError(format!(
@@ -143,6 +155,7 @@ fn experiment_config(args: &Args) -> Result<ExperimentConfig, Box<dyn Error>> {
             headroom: args.get_or("retry-headroom", RetryPolicy::default().headroom)?,
             max_anomaly_retries: args
                 .get_or("anomaly-retries", RetryPolicy::default().max_anomaly_retries)?,
+            max_io_retries: args.get_or("io-retries", RetryPolicy::default().max_io_retries)?,
         },
         prefetch: !args.has_flag("no-prefetch"),
         pool: !args.has_flag("no-pool"),
@@ -170,6 +183,10 @@ fn fault_plan(args: &Args) -> Result<Option<FaultPlan>, Box<dyn Error>> {
         "fault-straggler",
         "fault-link-rate",
         "fault-link-stall-sec",
+        "fault-io-rate",
+        "fault-io-stall-rate",
+        "fault-io-stall-sec",
+        "fault-shard-corrupt",
     ]
     .iter()
     .any(|key| args.get(key).is_some());
@@ -193,6 +210,12 @@ fn fault_plan(args: &Args) -> Result<Option<FaultPlan>, Box<dyn Error>> {
             .unwrap_or_default(),
         link_stall_rate: args.get_or("fault-link-rate", defaults.link_stall_rate)?,
         link_stall_sec: args.get_or("fault-link-stall-sec", defaults.link_stall_sec)?,
+        io_failure_rate: args.get_or("fault-io-rate", defaults.io_failure_rate)?,
+        io_stall_rate: args.get_or("fault-io-stall-rate", defaults.io_stall_rate)?,
+        io_stall_sec: args.get_or("fault-io-stall-sec", defaults.io_stall_sec)?,
+        shard_corrupt: args
+            .get_pair_list::<usize>("fault-shard-corrupt")?
+            .unwrap_or_default(),
     }))
 }
 
@@ -330,6 +353,18 @@ pub fn partition(args: &Args) -> CmdResult {
 pub fn train(args: &Args) -> CmdResult {
     let ds = load(args)?;
     let config = experiment_config(args)?;
+    if config
+        .fault_plan
+        .as_ref()
+        .is_some_and(FaultPlan::has_storage_faults)
+        && !ds.features.is_paged()
+    {
+        return Err(Box::new(ArgError(
+            "--fault-io-rate / --fault-io-stall-rate / --fault-shard-corrupt \
+             target the paged feature store; add --feature-store paged"
+                .into(),
+        )));
+    }
     let kind = strategy(args)?;
     let epochs = args.get_or("epochs", 20usize)?;
     let devices = args.get_or("devices", 1usize)?;
@@ -366,17 +401,32 @@ pub fn train(args: &Args) -> CmdResult {
     // Resume replaces every piece of the freshly built session — params,
     // Adam moments, both RNG streams, counters, even the base seed — so
     // the continued run is bit-identical to one that was never killed.
+    // The log is created before the resume so a checkpoint-slot fallback
+    // (newest slot fails CRC, an older one loads) is recorded in it.
+    let mut recovery = RecoveryLog::new();
     let mut start_epoch = 0usize;
     if args.has_flag("resume") {
         let plan = ckpt_plan.as_ref().expect("checked above");
-        let Some((_, path)) = latest_checkpoint(&plan.dir)? else {
+        let Some(found) = latest_valid_checkpoint(&plan.dir)? else {
             return Err(Box::new(ArgError(format!(
                 "--resume: no checkpoint found in {}",
                 plan.dir.display()
             ))));
         };
-        let state = load_checkpoint_state(&path)?;
-        runner.import_session(&state)?;
+        if !found.skipped.is_empty() {
+            for skipped in &found.skipped {
+                println!(
+                    "skipping corrupt checkpoint {} (failed CRC/format validation)",
+                    skipped.display()
+                );
+            }
+            recovery.record(RecoveryEvent::CheckpointFallback {
+                skipped: found.skipped.clone(),
+                used: found.path.clone(),
+            });
+        }
+        let path = found.path;
+        runner.import_session(&found.state)?;
         start_epoch = runner.epochs_run();
         if start_epoch >= epochs {
             println!(
@@ -415,7 +465,6 @@ pub fn train(args: &Args) -> CmdResult {
         "{:>6} {:>10} {:>5} {:>12} {:>10}",
         "epoch", "loss", "K", "peak MiB", "val acc"
     );
-    let mut recovery = RecoveryLog::new();
     let run = |runner: &mut Runner, recovery: &mut RecoveryLog| -> CmdResult {
         for epoch in start_epoch..epochs {
             recovery.set_epoch(epoch);
@@ -489,6 +538,115 @@ pub fn train(args: &Args) -> CmdResult {
         println!("checkpoint written to {path}");
     }
     Ok(())
+}
+
+/// Damage survived a [`scrub`] pass: `main` maps this marker error onto
+/// its own distinct exit code (7) so scripts can tell "the store needs
+/// to be re-generated" apart from usage errors and training failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubFailed {
+    /// What is still damaged, one clause per item.
+    pub detail: String,
+}
+
+impl fmt::Display for ScrubFailed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scrub: unrepairable damage remains: {}", self.detail)
+    }
+}
+
+impl Error for ScrubFailed {}
+
+/// `betty scrub <dir>` — offline integrity pass over a store directory.
+///
+/// Verifies every feature shard and parity shard CRC (repairing what the
+/// XOR parity sidecar allows, exactly like the mid-run repair path:
+/// single damaged data shard per group reconstructed bit-identically and
+/// re-persisted, damaged parity shard rebuilt from intact data) and every
+/// `ckpt-NNNNNN.btc` checkpoint slot in the directory. Corrupt checkpoint
+/// slots with a valid older sibling are reported but non-fatal — resume
+/// falls back past them. Unrepairable damage (a feature-shard group with
+/// two bad members, no parity sidecar, or *every* checkpoint slot
+/// corrupt) returns [`ScrubFailed`], which exits with code 7.
+pub fn scrub(dir: &str) -> CmdResult {
+    let root = std::path::Path::new(dir);
+    if !root.is_dir() {
+        return Err(Box::new(ArgError(format!(
+            "scrub: '{dir}' is not a directory"
+        ))));
+    }
+    let mut fatal: Vec<String> = Vec::new();
+    let mut scrubbed_anything = false;
+
+    if root.join(betty_data::META_FILE).exists() {
+        scrubbed_anything = true;
+        let report = betty_data::scrub(root)?;
+        println!(
+            "feature store: {} data shards, {} parity groups (width {})",
+            report.shards_checked, report.parity_checked, report.parity_width
+        );
+        for shard in &report.shards_repaired {
+            println!("  repaired shard {shard} from parity (bit-identical, re-persisted)");
+        }
+        for group in &report.parity_rebuilt {
+            println!("  rebuilt parity shard of group {group} from its intact data shards");
+        }
+        for shard in &report.unrepairable {
+            println!("  UNREPAIRABLE: shard {shard}");
+            fatal.push(format!("feature shard {shard}"));
+        }
+        if report.is_clean() && report.shards_repaired.is_empty() && report.parity_rebuilt.is_empty()
+        {
+            println!("  all shards verify clean");
+        }
+    }
+
+    let mut slots: Vec<std::path::PathBuf> = std::fs::read_dir(root)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("ckpt-") && n.ends_with(".btc"))
+        })
+        .collect();
+    if !slots.is_empty() {
+        scrubbed_anything = true;
+        slots.sort();
+        let mut valid = 0usize;
+        let mut corrupt = 0usize;
+        for path in &slots {
+            match load_checkpoint_state(path) {
+                Ok(_) => valid += 1,
+                Err(err) => {
+                    corrupt += 1;
+                    println!("  corrupt checkpoint {}: {err}", path.display());
+                }
+            }
+        }
+        println!(
+            "checkpoints: {} slots, {valid} valid, {corrupt} corrupt",
+            slots.len()
+        );
+        if valid == 0 {
+            fatal.push(format!("every checkpoint slot ({corrupt}) is corrupt"));
+        } else if corrupt > 0 {
+            println!("  --resume will fall back past the corrupt slot(s) to a valid one");
+        }
+    }
+
+    if !scrubbed_anything {
+        return Err(Box::new(ArgError(format!(
+            "scrub: '{dir}' holds neither a paged feature store nor checkpoints"
+        ))));
+    }
+    if fatal.is_empty() {
+        println!("scrub: clean");
+        Ok(())
+    } else {
+        Err(Box::new(ScrubFailed {
+            detail: fatal.join("; "),
+        }))
+    }
 }
 
 /// `betty eval`.

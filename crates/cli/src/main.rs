@@ -52,6 +52,18 @@ COMMANDS:
              [--fault-link-rate F] [--fault-link-stall-sec F  (transient
               all-reduce stalls; at/above the timeout they are retried
               with seeded exponential backoff)]
+             storage chaos (with --feature-store paged):
+             [--fault-io-rate F  (probability a shard read fails with a
+              transient I/O error; retried with seeded jittered backoff)]
+             [--fault-io-stall-rate F] [--fault-io-stall-sec F  (seeded
+              NVMe-style read-stall jitter, accounted — never slept)]
+             [--fault-shard-corrupt s:e,...  (flip one payload byte of
+              shard s before epoch e; repaired bit-identically from the
+              XOR parity sidecar when --feature-parity is on)]
+             [--io-retries N  (transient-read retry budget per shard
+              read; default 3. Exhaustion is a structured storage error)]
+             Losses and parameters are bit-identical with and without
+             injected storage faults; only the I/O counters differ.
              [--allreduce-timeout-ms M  (sync round timeout; default 100)]
              [--max-device-retries N  (timed-out rounds retried before a
               rank is declared lost; default 3)]
@@ -67,6 +79,13 @@ COMMANDS:
               category breakdown, and the estimator-drift envelope)]
   eval       exact full-graph accuracy       --data <file> --checkpoint
              <file> [--model ...same shape flags as train]
+  scrub      offline integrity pass          betty scrub <dir>
+             verifies every feature shard, parity shard, and checkpoint
+             slot CRC in <dir>; repairs single-shard damage from the XOR
+             parity sidecar (bit-identical, re-persisted) and rebuilds
+             damaged parity shards. Exits 7 when unrepairable damage
+             remains (two bad shards in one parity group, no parity
+             sidecar, or every checkpoint slot corrupt).
 
 GLOBAL FLAGS (accepted by every command, after the command name):
   --feature-store dense|paged
@@ -88,6 +107,13 @@ GLOBAL FLAGS (accepted by every command, after the command name):
   --feature-dir <dir>
                  where --feature-store paged writes its shards (default: a
                  per-process directory under the system temp dir)
+  --feature-parity N
+                 interleave one XOR parity shard per N data shards of the
+                 paged store (default 0 = none). A mid-run CRC mismatch on
+                 one shard of a group is then reconstructed bit-identically
+                 in place and re-persisted; two bad shards in one group are
+                 a structured storage error. Parity shards ride the same
+                 CRC-checksummed atomic-write container as data shards.
   --threads N    worker threads for parallel stages (REG build, micro-batch
                  extraction, large matmuls); 1 is exactly serial. Defaults
                  to the BETTY_THREADS env var, then the core count. Every
@@ -129,9 +155,11 @@ GLOBAL FLAGS (accepted by every command, after the command name):
 Presets: cora, pubmed, reddit, ogbn-arxiv, ogbn-products.
 
 EXIT CODES: 0 success, 1 usage/IO error, 2 no partitioning fits the
-device, 3 OOM recovery retries exhausted, 4 unrecoverable OOM,
-5 numeric anomaly persisted past the rollback budget, 6 every device
-of the elastic group was lost with work outstanding.
+device, 3 OOM recovery retries exhausted, 4 unrecoverable OOM or
+storage damage beyond what parity can repair, 5 numeric anomaly
+persisted past the rollback budget, 6 every device of the elastic
+group was lost with work outstanding, 7 scrub found unrepairable
+damage in the store.
 ";
 
 fn main() -> ExitCode {
@@ -140,6 +168,23 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `scrub` takes a positional directory, which the flag parser
+    // (correctly) rejects — peel it off before parsing the rest.
+    if command == "scrub" {
+        let rest: Vec<String> = argv.collect();
+        let (Some(dir), true) = (rest.first(), rest.len() == 1) else {
+            eprintln!("error: usage: betty scrub <dir>\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        return match commands::scrub(dir) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                exit_code_for(e.as_ref())
+            }
+        };
+    }
     let parsed = match args::Args::parse(argv) {
         Ok(parsed) => parsed,
         Err(e) => {
@@ -201,12 +246,16 @@ fn main() -> ExitCode {
 /// Maps failures onto distinct exit codes so scripts can tell apart:
 /// 1 usage/IO errors (including unreadable/corrupt checkpoints),
 /// 2 planning failure (no K fits), 3 recovery attempted but the retry
-/// budget ran out, 4 unrecoverable OOM (no retry was possible),
-/// 5 a numeric anomaly survived its rollback budget, 6 the elastic
-/// device group ran out of survivors.
+/// budget ran out, 4 unrecoverable OOM or storage damage (no retry was
+/// possible), 5 a numeric anomaly survived its rollback budget, 6 the
+/// elastic device group ran out of survivors, 7 `scrub` left
+/// unrepairable damage behind.
 fn exit_code_for(top: &(dyn std::error::Error + 'static)) -> ExitCode {
     let mut cursor = Some(top);
     while let Some(err) = cursor {
+        if err.downcast_ref::<commands::ScrubFailed>().is_some() {
+            return ExitCode::from(7);
+        }
         if let Some(run) = err.downcast_ref::<betty::RunError>() {
             return match run {
                 betty::RunError::Plan(_) => ExitCode::from(2),

@@ -263,6 +263,213 @@ fn exhausted_anomaly_budget_exits_5() {
     );
 }
 
+/// Flips one byte well past the header of `path`, simulating silent
+/// media corruption that only a CRC check can see.
+fn flip_byte(path: &std::path::Path, offset: usize) {
+    let mut bytes = std::fs::read(path).unwrap();
+    assert!(bytes.len() > offset, "{} too short", path.display());
+    bytes[offset] ^= 0x40;
+    std::fs::write(path, bytes).unwrap();
+}
+
+/// Spills a small paged feature store (with parity) into `dir` and
+/// returns the flags that produced it.
+fn spill_store(dir: &std::path::Path, parity: &str) {
+    let _ = std::fs::remove_dir_all(dir);
+    let out = betty()
+        .args([
+            "info", "--preset", "cora", "--scale", "0.1", "--feature-dim", "12",
+            "--feature-store", "paged", "--feature-page-rows", "64", "--feature-parity", parity,
+        ])
+        .arg("--feature-dir")
+        .arg(dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn storage_faults_with_dense_store_are_a_usage_error() {
+    let out = betty()
+        .arg("train")
+        .args(SHAPE)
+        .args(["--epochs", "1", "--fault-io-rate", "0.5"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--feature-store paged"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn storage_chaos_run_is_bit_identical_to_fault_free_run() {
+    let quiet_dir = tmp("chaos-quiet-store");
+    let chaos_dir = tmp("chaos-noisy-store");
+    let model_quiet = tmp("chaos-quiet.ckpt");
+    let model_chaos = tmp("chaos-noisy.ckpt");
+    let paged: &[&str] = &[
+        "--feature-store", "paged", "--feature-page-rows", "64", "--feature-parity", "2",
+    ];
+    let run = |dir: &PathBuf, model: &PathBuf, chaos: bool| {
+        let _ = std::fs::remove_dir_all(dir);
+        let mut cmd = betty();
+        cmd.arg("train")
+            .args(SHAPE)
+            .args(["--epochs", "4"])
+            .args(paged)
+            .arg("--feature-dir")
+            .arg(dir)
+            .arg("--checkpoint")
+            .arg(model);
+        if chaos {
+            cmd.args([
+                "--fault-io-rate", "0.3", "--fault-io-stall-rate", "0.2",
+                "--fault-io-stall-sec", "0.002", "--fault-shard-corrupt", "1:1",
+                "--io-retries", "4",
+            ]);
+        }
+        let out = cmd.output().unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let quiet = run(&quiet_dir, &model_quiet, false);
+    let chaos = run(&chaos_dir, &model_chaos, true);
+
+    // Losses are bit-identical under injected storage chaos: every
+    // reported per-epoch line (loss digits included) must agree.
+    let epoch_lines = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| l.split_whitespace().next().is_some_and(|w| w.parse::<usize>().is_ok()))
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(epoch_lines(&quiet), epoch_lines(&chaos), "\n{quiet}\nvs\n{chaos}");
+    assert!(!epoch_lines(&quiet).is_empty(), "{quiet}");
+
+    // And the exported parameters are byte-for-byte identical.
+    let a = std::fs::read(&model_quiet).unwrap();
+    let b = std::fs::read(&model_chaos).unwrap();
+    assert_eq!(a, b, "storage chaos perturbed the trained parameters");
+
+    let _ = std::fs::remove_dir_all(&quiet_dir);
+    let _ = std::fs::remove_dir_all(&chaos_dir);
+    let _ = std::fs::remove_file(&model_quiet);
+    let _ = std::fs::remove_file(&model_chaos);
+}
+
+#[test]
+fn scrub_repairs_single_shard_damage_and_exits_clean() {
+    let dir = tmp("scrub-repair-store");
+    spill_store(&dir, "2");
+    flip_byte(&dir.join("shard-00001.bfs"), 40);
+
+    let out = betty().arg("scrub").arg(&dir).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("repaired shard 1"), "{stdout}");
+    assert!(stdout.contains("scrub: clean"), "{stdout}");
+
+    // A second pass finds nothing left to repair.
+    let out = betty().arg("scrub").arg(&dir).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout.contains("all shards verify clean"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scrub_unrepairable_store_exits_7() {
+    let dir = tmp("scrub-unrepairable-store");
+    spill_store(&dir, "2");
+    // Two damaged shards in the same parity group exceed what one XOR
+    // parity shard can reconstruct.
+    flip_byte(&dir.join("shard-00000.bfs"), 40);
+    flip_byte(&dir.join("shard-00001.bfs"), 40);
+
+    let out = betty().arg("scrub").arg(&dir).output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(7),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unrepairable"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scrub_of_missing_dir_is_a_usage_error() {
+    let out = betty().arg("scrub").arg(tmp("scrub-no-such-dir")).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let out = betty().arg("scrub").output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("betty scrub <dir>"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn resume_falls_back_past_corrupt_newest_slot_bit_identically() {
+    let dir_a = tmp("fallback-baseline");
+    let dir_b = tmp("fallback-corrupt");
+    let model_a = tmp("fallback-a.ckpt");
+    let model_b = tmp("fallback-b.ckpt");
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let epochs = ["--epochs", "8"];
+
+    let run = |dir: &PathBuf, model: &PathBuf, resume: bool| {
+        let mut cmd = betty();
+        cmd.arg("train")
+            .args(SHAPE)
+            .args(epochs)
+            .arg("--checkpoint-dir")
+            .arg(dir)
+            .arg("--checkpoint")
+            .arg(model);
+        if resume {
+            cmd.arg("--resume");
+        }
+        let out = cmd.output().unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+
+    run(&dir_a, &model_a, false);
+    run(&dir_b, &model_b, false);
+
+    // Silently corrupt the newest slot of run B, then resume: the CLI
+    // must fall back to the next-older valid slot, retrain the lost
+    // epoch, and land on exactly the baseline parameters.
+    flip_byte(&dir_b.join("ckpt-000007.btc"), 64);
+    let resumed = run(&dir_b, &model_b, true);
+    assert!(resumed.contains("skipping corrupt checkpoint"), "{resumed}");
+    assert!(resumed.contains("ckpt-000007.btc"), "{resumed}");
+    assert!(resumed.contains("resumed from"), "{resumed}");
+    assert!(resumed.contains("checkpoint fallback"), "{resumed}");
+
+    let a = std::fs::read(&model_a).unwrap();
+    let b = std::fs::read(&model_b).unwrap();
+    assert_eq!(a, b, "fallback resume diverged from the uninterrupted run");
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let _ = std::fs::remove_file(&model_a);
+    let _ = std::fs::remove_file(&model_b);
+}
+
 #[test]
 fn train_from_preset_without_file() {
     let out = betty()

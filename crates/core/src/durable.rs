@@ -168,6 +168,87 @@ pub fn latest_checkpoint(dir: impl AsRef<Path>) -> Result<Option<(usize, PathBuf
     Ok(best)
 }
 
+/// The newest *loadable* checkpoint in a directory, plus every newer
+/// slot that had to be skipped because it failed CRC/format validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointResolution {
+    /// Epoch index of the slot that loaded cleanly.
+    pub epoch: usize,
+    /// Path of the slot that loaded cleanly.
+    pub path: PathBuf,
+    /// The loaded state, ready for [`Runner::import_session`](crate::Runner::import_session).
+    pub state: TrainState,
+    /// Newer slots skipped because they were unreadable or corrupt,
+    /// newest first. Empty when the newest slot was healthy.
+    pub skipped: Vec<PathBuf>,
+}
+
+/// Finds the newest checkpoint that actually *loads*: walks the slots
+/// newest-first, skipping any that are unreadable or fail CRC/format
+/// validation, and returns the first healthy one together with the
+/// skipped paths (so callers can log a `CheckpointFallback`).
+///
+/// Returns `Ok(None)` when the directory is missing or holds no
+/// `ckpt-NNNNNN.btc` files at all.
+///
+/// # Errors
+///
+/// [`RunError::Checkpoint`] if the directory cannot be read, or if slots
+/// exist but *every* one of them is corrupt (the error lists each slot
+/// and why it was rejected).
+pub fn latest_valid_checkpoint(
+    dir: impl AsRef<Path>,
+) -> Result<Option<CheckpointResolution>, RunError> {
+    let dir = dir.as_ref();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            return Err(RunError::Checkpoint(format!(
+                "cannot read checkpoint dir {}: {e}",
+                dir.display()
+            )))
+        }
+    };
+    let mut slots: Vec<(usize, PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| {
+            RunError::Checkpoint(format!("cannot read checkpoint dir {}: {e}", dir.display()))
+        })?;
+        let path = entry.path();
+        if let Some(epoch) = epoch_of(&path) {
+            slots.push((epoch, path));
+        }
+    }
+    if slots.is_empty() {
+        return Ok(None);
+    }
+    slots.sort_by_key(|&(epoch, _)| std::cmp::Reverse(epoch));
+    let mut skipped = Vec::new();
+    let mut reasons = Vec::new();
+    for (epoch, path) in slots {
+        match load_checkpoint_state(&path) {
+            Ok(state) => {
+                return Ok(Some(CheckpointResolution {
+                    epoch,
+                    path,
+                    state,
+                    skipped,
+                }))
+            }
+            Err(err) => {
+                reasons.push(format!("{}: {err}", path.display()));
+                skipped.push(path);
+            }
+        }
+    }
+    Err(RunError::Checkpoint(format!(
+        "no loadable checkpoint in {}: every slot is corrupt ({})",
+        dir.display(),
+        reasons.join("; ")
+    )))
+}
+
 /// Loads a checkpoint file, mapping format/I-O failures onto
 /// [`RunError::Checkpoint`].
 ///
@@ -216,6 +297,66 @@ mod tests {
         assert_eq!(epoch, 11);
         let state = load_checkpoint_state(&path).unwrap();
         assert_eq!(state.counters, vec![11]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn save_slot(dir: &Path, epoch: usize) -> PathBuf {
+        let state = TrainState {
+            params: vec![betty_tensor::Tensor::ones(&[2, 2])],
+            counters: vec![epoch as u64],
+            ..TrainState::default()
+        };
+        CheckpointPlan::new(dir, 1).save(&state, epoch).unwrap()
+    }
+
+    fn corrupt_file(path: &Path) {
+        let mut bytes = std::fs::read(path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(path, &bytes).unwrap();
+    }
+
+    #[test]
+    fn latest_valid_checkpoint_falls_back_past_corrupt_slots() {
+        let dir =
+            std::env::temp_dir().join(format!("betty-durable-fb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(latest_valid_checkpoint(&dir).unwrap(), None);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(latest_valid_checkpoint(&dir).unwrap(), None);
+
+        for epoch in [3usize, 7, 9] {
+            save_slot(&dir, epoch);
+        }
+        let healthy = latest_valid_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(healthy.epoch, 9);
+        assert!(healthy.skipped.is_empty());
+
+        // Corrupt the newest slot: resolution falls back to epoch 7 and
+        // names the skipped path.
+        let newest = CheckpointPlan::new(&dir, 1).path_for(9);
+        corrupt_file(&newest);
+        let fell_back = latest_valid_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(fell_back.epoch, 7);
+        assert_eq!(fell_back.state.counters, vec![7]);
+        assert_eq!(fell_back.skipped, vec![newest.clone()]);
+
+        // `latest_checkpoint` (the raw filename scan) still names the
+        // corrupt slot — the fallback is a loader-level concern.
+        assert_eq!(latest_checkpoint(&dir).unwrap().unwrap().0, 9);
+
+        // All slots corrupt → a Checkpoint error listing each slot.
+        corrupt_file(&CheckpointPlan::new(&dir, 1).path_for(7));
+        corrupt_file(&CheckpointPlan::new(&dir, 1).path_for(3));
+        let err = latest_valid_checkpoint(&dir).unwrap_err();
+        match err {
+            RunError::Checkpoint(msg) => {
+                assert!(msg.contains("every slot is corrupt"), "{msg}");
+                assert!(msg.contains("ckpt-000009.btc"), "{msg}");
+                assert!(msg.contains("ckpt-000003.btc"), "{msg}");
+            }
+            other => panic!("expected Checkpoint, got {other:?}"),
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

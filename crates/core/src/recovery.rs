@@ -39,6 +39,12 @@ pub struct RetryPolicy {
     /// back once (the anomaly may have been injected or transient), then
     /// abort rather than loop on poisoned arithmetic.
     pub max_anomaly_retries: usize,
+    /// Maximum retries per *shard read* when the out-of-core feature
+    /// store hits a transient I/O error. Each retry backs off with
+    /// seeded jitter (modelled, never slept); exhausting the budget
+    /// surfaces a structured [`TrainError::Storage`](crate::TrainError)
+    /// instead of looping forever on a dead disk.
+    pub max_io_retries: usize,
 }
 
 impl Default for RetryPolicy {
@@ -48,6 +54,7 @@ impl Default for RetryPolicy {
             growth: 2.0,
             headroom: 0.1,
             max_anomaly_retries: 1,
+            max_io_retries: betty_data::DEFAULT_MAX_IO_RETRIES,
         }
     }
 }
@@ -189,6 +196,32 @@ pub enum RecoveryEvent {
         /// Backoff waited before the retry, in seconds.
         backoff_sec: f64,
     },
+    /// A transient shard-read failure was absorbed by the retry/backoff
+    /// page-in path.
+    IoRetry {
+        /// Index of the shard whose read failed.
+        shard: usize,
+        /// 1-based retry attempt for this read.
+        attempt: usize,
+        /// Modelled backoff before the retry, in seconds (never slept).
+        backoff_sec: f64,
+    },
+    /// A shard failed its payload CRC mid-run and was reconstructed
+    /// bit-identically from its XOR parity group, then re-persisted.
+    ShardRepaired {
+        /// Index of the repaired data shard.
+        shard: usize,
+        /// Parity group the reconstruction read.
+        group: usize,
+    },
+    /// The newest checkpoint slot failed CRC/format validation on resume
+    /// and the session restored from the next-older valid slot instead.
+    CheckpointFallback {
+        /// Corrupt/unreadable slots that were skipped, newest first.
+        skipped: Vec<std::path::PathBuf>,
+        /// The slot that loaded cleanly.
+        used: std::path::PathBuf,
+    },
     /// The partition-ahead pipeline was torn down because a rollback made
     /// its staged plans stale: they were computed at the pre-escalation
     /// `K` (and from a sampling-RNG cursor the retry no longer follows).
@@ -238,6 +271,44 @@ impl fmt::Display for RecoveryEvent {
             RecoveryEvent::Fault(FaultEvent::LinkStall { round, stall_sec }) => write!(
                 f,
                 "injected {stall_sec:.3}s stall on all-reduce round {round}"
+            ),
+            RecoveryEvent::Fault(FaultEvent::StorageIoError { shard, attempt }) => write!(
+                f,
+                "injected transient read error on shard {shard} (attempt {attempt})"
+            ),
+            RecoveryEvent::Fault(FaultEvent::StorageStall { shard, stall_sec }) => write!(
+                f,
+                "injected {stall_sec:.3}s read stall on shard {shard}"
+            ),
+            RecoveryEvent::Fault(FaultEvent::ShardCorrupted { shard, epoch }) => write!(
+                f,
+                "injected payload corruption of shard {shard} before epoch {epoch}"
+            ),
+            RecoveryEvent::IoRetry {
+                shard,
+                attempt,
+                backoff_sec,
+            } => write!(
+                f,
+                "shard {shard} read retry {attempt}: transient I/O error; \
+                 backing off {backoff_sec:.3}s"
+            ),
+            RecoveryEvent::ShardRepaired { shard, group } => write!(
+                f,
+                "shard {shard} failed CRC mid-run; reconstructed bit-identically \
+                 from XOR parity group {group} and re-persisted"
+            ),
+            RecoveryEvent::CheckpointFallback { skipped, used } => write!(
+                f,
+                "checkpoint fallback: skipped {} corrupt slot(s) ({}); \
+                 restored from {}",
+                skipped.len(),
+                skipped
+                    .iter()
+                    .map(|p| p.display().to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                used.display()
             ),
             RecoveryEvent::DeviceLost {
                 device,
@@ -441,6 +512,21 @@ impl RecoveryLog {
         self.count(|e| matches!(e, RecoveryEvent::PlanAheadInvalidated { .. }))
     }
 
+    /// Number of transient shard-read failures absorbed by retry/backoff.
+    pub fn io_retries(&self) -> usize {
+        self.count(|e| matches!(e, RecoveryEvent::IoRetry { .. }))
+    }
+
+    /// Number of shards reconstructed from XOR parity mid-run.
+    pub fn shards_repaired(&self) -> usize {
+        self.count(|e| matches!(e, RecoveryEvent::ShardRepaired { .. }))
+    }
+
+    /// Number of resume-time checkpoint fallbacks past corrupt slots.
+    pub fn checkpoint_fallbacks(&self) -> usize {
+        self.count(|e| matches!(e, RecoveryEvent::CheckpointFallback { .. }))
+    }
+
     fn count(&self, pred: impl Fn(&RecoveryEvent) -> bool) -> usize {
         self.entries.iter().filter(|e| pred(&e.event)).count()
     }
@@ -477,6 +563,18 @@ impl RecoveryLog {
                 "\nelastic: {} devices lost, {} work migrations, \
                  {} link retries, {} stragglers",
                 elastic.0, elastic.1, elastic.2, elastic.3
+            ));
+        }
+        let storage = (
+            self.io_retries(),
+            self.shards_repaired(),
+            self.checkpoint_fallbacks(),
+        );
+        if storage != (0, 0, 0) {
+            out.push_str(&format!(
+                "\nstorage: {} I/O retries, {} shards repaired, \
+                 {} checkpoint fallbacks",
+                storage.0, storage.1, storage.2
             ));
         }
         for entry in &self.entries {
@@ -623,6 +721,44 @@ mod tests {
         assert!(summary.contains("rebuilt over 3 ranks"), "{summary}");
         assert!(summary.contains("flagged as straggler"), "{summary}");
         assert!(summary.contains("all-reduce retry 1"), "{summary}");
+    }
+
+    #[test]
+    fn storage_events_are_counted_and_summarized() {
+        let mut log = RecoveryLog::new();
+        log.record(RecoveryEvent::Fault(FaultEvent::StorageIoError {
+            shard: 3,
+            attempt: 1,
+        }));
+        log.record(RecoveryEvent::IoRetry {
+            shard: 3,
+            attempt: 1,
+            backoff_sec: 0.005,
+        });
+        log.record(RecoveryEvent::Fault(FaultEvent::ShardCorrupted {
+            shard: 2,
+            epoch: 1,
+        }));
+        log.record(RecoveryEvent::ShardRepaired { shard: 2, group: 1 });
+        log.record(RecoveryEvent::CheckpointFallback {
+            skipped: vec!["/ck/ckpt-000009.btc".into()],
+            used: "/ck/ckpt-000007.btc".into(),
+        });
+        assert_eq!(log.io_retries(), 1);
+        assert_eq!(log.shards_repaired(), 1);
+        assert_eq!(log.checkpoint_fallbacks(), 1);
+        assert_eq!(log.injected_faults(), 2);
+        let summary = log.summary();
+        assert!(
+            summary.contains("storage: 1 I/O retries, 1 shards repaired, 1 checkpoint fallbacks"),
+            "{summary}"
+        );
+        assert!(summary.contains("shard 3 read retry 1"), "{summary}");
+        assert!(
+            summary.contains("reconstructed bit-identically from XOR parity group 1"),
+            "{summary}"
+        );
+        assert!(summary.contains("restored from /ck/ckpt-000007.btc"), "{summary}");
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! High-level experiment facade: dataset + config → epochs.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use rand::SeedableRng;
 use rand_pcg::Pcg64Mcg;
 
-use betty_data::Dataset;
+use betty_data::{Dataset, StorageIncident};
 use betty_device::{Device, MemoryEstimator, ModelShape};
 use betty_graph::{sample_batch_in, Batch, CsrGraph, NodeId};
 use betty_nn::{Gat, Gcn, Gin, GnnModel, GraphSage, TrainState};
@@ -134,6 +134,42 @@ pub struct Runner {
     /// config's fault plan so its seeded stream continues across epochs
     /// (mirrors the alloc/transfer injectors owned by the trainer).
     link_faults: Option<betty_device::LinkFaultInjector>,
+    /// Storage fault injector shared with the paged feature store's
+    /// chaos hook (`None` without storage faults in the plan). The store
+    /// calls into it on every shard read; the runner drains its events
+    /// into the recovery log at epoch boundaries.
+    storage_faults: Option<Arc<Mutex<betty_device::StorageFaultInjector>>>,
+    /// Scheduled `(shard, epoch)` payload corruptions from the fault
+    /// plan, applied to the on-disk store at the start of the named
+    /// epoch (entries are consumed as they fire).
+    shard_corrupt: Vec<(usize, usize)>,
+}
+
+/// Adapts the device crate's seedable [`betty_device::StorageFaultInjector`]
+/// onto the data crate's [`betty_data::StorageFaultHook`] (betty-data
+/// cannot depend on betty-device, so the trait lives downstream and this
+/// shim lives here).
+struct StorageHookAdapter(Arc<Mutex<betty_device::StorageFaultInjector>>);
+
+impl betty_data::StorageFaultHook for StorageHookAdapter {
+    fn check_read(&mut self, shard: usize, attempt: usize) -> betty_data::ReadFault {
+        let verdict = self
+            .0
+            .lock()
+            .expect("storage fault injector lock poisoned")
+            .check_read(shard, attempt);
+        betty_data::ReadFault {
+            fail: verdict.fail,
+            stall_sec: verdict.stall_sec,
+        }
+    }
+
+    fn backoff_jitter(&mut self) -> f64 {
+        self.0
+            .lock()
+            .expect("storage fault injector lock poisoned")
+            .backoff_jitter()
+    }
 }
 
 /// A reusable output-node assignment from a previous epoch's plan.
@@ -274,10 +310,28 @@ impl Runner {
         trainer.set_sentinel(config.sentinel);
         trainer.set_precision(config.precision);
         let mut link_faults = None;
+        let mut storage_faults = None;
+        let mut shard_corrupt = Vec::new();
         if let Some(fault_plan) = &config.fault_plan {
             trainer.arm_faults(fault_plan);
             link_faults = Some(fault_plan.link_injector());
+            if fault_plan.has_storage_faults() {
+                let injector = Arc::new(Mutex::new(fault_plan.storage_injector()));
+                dataset
+                    .features
+                    .arm_storage_faults(Box::new(StorageHookAdapter(Arc::clone(&injector))));
+                storage_faults = Some(injector);
+                shard_corrupt = fault_plan.shard_corrupt.clone();
+            } else {
+                // The store outlives any one runner (datasets are shared);
+                // a storage-quiet plan must clear a predecessor's hook so
+                // an armed-but-inert run stays byte-identical to no plan.
+                dataset.features.disarm_storage_faults();
+            }
+        } else {
+            dataset.features.disarm_storage_faults();
         }
+        dataset.features.set_max_io_retries(config.retry.max_io_retries);
         Self {
             config: config.clone(),
             trainer,
@@ -294,6 +348,8 @@ impl Runner {
             pipeline: None,
             epochs_run: 0,
             link_faults,
+            storage_faults,
+            shard_corrupt,
         }
     }
 
@@ -319,6 +375,116 @@ impl Runner {
         if let Some(tr) = self.trainer.trace_mut() {
             tr.set_epoch(epoch);
         }
+    }
+
+    /// Epoch preamble shared by every `train_epoch_*` entry point:
+    /// stamps the trace epoch, then applies any scheduled shard
+    /// corruption due this epoch to the on-disk feature store.
+    fn begin_epoch(&mut self, dataset: &Dataset) {
+        self.begin_traced_epoch();
+        self.apply_scheduled_corruption(dataset);
+    }
+
+    /// Fires the fault plan's `(shard, epoch)` corruption schedule for
+    /// the epoch that just began: flips one payload byte of each named
+    /// shard on disk (and evicts it from the page cache), so the next
+    /// read genuinely fails its CRC and must repair from parity. A noop
+    /// for dense stores (the CLI validates the flag against the backend).
+    fn apply_scheduled_corruption(&mut self, dataset: &Dataset) {
+        if self.shard_corrupt.is_empty() {
+            return;
+        }
+        let epoch = self.epochs_run - 1; // begin_traced_epoch just bumped it
+        let mut remaining = Vec::with_capacity(self.shard_corrupt.len());
+        for &(shard, at_epoch) in &self.shard_corrupt {
+            if at_epoch != epoch {
+                remaining.push((shard, at_epoch));
+                continue;
+            }
+            if dataset.features.corrupt_shard_byte(shard).is_ok() {
+                if let Some(inj) = &self.storage_faults {
+                    inj.lock()
+                        .expect("storage fault injector lock poisoned")
+                        .note_corruption(shard, epoch);
+                }
+            }
+        }
+        self.shard_corrupt = remaining;
+    }
+
+    /// Drains storage-fault events (from the seeded injector) and
+    /// repair/retry incidents (from the feature store) accumulated since
+    /// the last call — into `log` when recovering, and into the trace
+    /// stream when tracing. Returns how many *injected* fault events
+    /// were drained (for [`EpochStats::injected_faults`]).
+    fn drain_storage_events(&mut self, dataset: &Dataset, mut log: Option<&mut RecoveryLog>) -> usize {
+        let mut injected = 0usize;
+        if let Some(inj) = &self.storage_faults {
+            let events = betty_device::FaultEvents::drain_events(
+                &mut *inj.lock().expect("storage fault injector lock poisoned"),
+            );
+            for event in events {
+                injected += 1;
+                if let Some(tr) = self.trainer.trace_mut() {
+                    let (kind, detail) = match &event {
+                        betty_device::FaultEvent::StorageIoError { shard, attempt } => (
+                            "storage_io",
+                            format!("shard {shard}: transient read error on attempt {attempt}"),
+                        ),
+                        betty_device::FaultEvent::StorageStall { shard, stall_sec } => (
+                            "storage_stall",
+                            format!("shard {shard}: +{stall_sec:.3}s read stall"),
+                        ),
+                        betty_device::FaultEvent::ShardCorrupted { shard, epoch } => (
+                            "shard_corrupt",
+                            format!("shard {shard}: payload byte flipped before epoch {epoch}"),
+                        ),
+                        _ => ("storage_fault", format!("{event:?}")),
+                    };
+                    tr.record_fault(kind, detail);
+                }
+                if let Some(log) = log.as_deref_mut() {
+                    log.record(RecoveryEvent::Fault(event));
+                }
+            }
+        }
+        for incident in dataset.features.drain_storage_incidents() {
+            match incident {
+                StorageIncident::IoRetry {
+                    shard,
+                    attempt,
+                    backoff_sec,
+                } => {
+                    if let Some(log) = log.as_deref_mut() {
+                        log.record(RecoveryEvent::IoRetry {
+                            shard,
+                            attempt,
+                            backoff_sec,
+                        });
+                    }
+                }
+                StorageIncident::ShardRepaired {
+                    shard,
+                    group,
+                    repair_bytes,
+                } => {
+                    if self.trainer.tracing_enabled() {
+                        let sec = self
+                            .trainer
+                            .feature_link()
+                            .time_for(repair_bytes as usize);
+                        if let Some(tr) = self.trainer.trace_mut() {
+                            let at = tr.now_sec();
+                            tr.record_span(SpanKind::StorageRepair, Some(shard), at, sec);
+                        }
+                    }
+                    if let Some(log) = log.as_deref_mut() {
+                        log.record(RecoveryEvent::ShardRepaired { shard, group });
+                    }
+                }
+            }
+        }
+        injected
     }
 
     /// [`Runner::sample_full_batch`] wrapped in a `sample` span when
@@ -681,7 +847,7 @@ impl Runner {
         strategy: StrategyKind,
         k: usize,
     ) -> Result<EpochStats, TrainError> {
-        self.begin_traced_epoch();
+        self.begin_epoch(dataset);
         let source = self.acquire_plan(dataset, strategy, PlanMode::Fixed(k));
         let plan = source.plan.expect("fixed-K planning is infallible");
         let mut stats = self.run_planned(dataset, &plan)?;
@@ -703,7 +869,7 @@ impl Runner {
         dataset: &Dataset,
         strategy: StrategyKind,
     ) -> Result<(EpochStats, usize), RunError> {
-        self.begin_traced_epoch();
+        self.begin_epoch(dataset);
         let source = self.acquire_plan(dataset, strategy, PlanMode::Auto);
         let plan = source.plan?;
         let mut stats = self.run_planned(dataset, &plan)?;
@@ -744,7 +910,7 @@ impl Runner {
         strategy: StrategyKind,
         log: &mut RecoveryLog,
     ) -> Result<(EpochStats, usize), RunError> {
-        self.begin_traced_epoch();
+        self.begin_epoch(dataset);
         let policy = self.config.retry.clone();
         let capacity = self.config.capacity_bytes;
         // The first attempt's batch + plan come from `acquire_plan` —
@@ -801,6 +967,7 @@ impl Runner {
                         injected_faults += 1;
                         log.record(RecoveryEvent::Fault(event));
                     }
+                    injected_faults += self.drain_storage_events(dataset, Some(log));
                     if attempt > 0 {
                         log.record(RecoveryEvent::Recovered {
                             attempts: attempt,
@@ -822,6 +989,7 @@ impl Runner {
                         injected_faults += 1;
                         log.record(RecoveryEvent::Fault(event));
                     }
+                    injected_faults += self.drain_storage_events(dataset, Some(log));
                     match err {
                         // A numeric anomaly is not a capacity problem:
                         // restore the snapshot and retry the *same* plan
@@ -891,6 +1059,12 @@ impl Runner {
                             self.trainer.restore(&snapshot);
                             initial_k = next_k;
                         }
+                        // Storage damage is not a capacity problem:
+                        // re-partitioning cannot resurrect a dead shard
+                        // (retry/backoff and parity repair already ran
+                        // *inside* the store). Abort with the structured
+                        // error so the CLI names the shard and offset.
+                        TrainError::Storage { .. } => return Err(RunError::Train(err)),
                     }
                 }
             }
@@ -909,7 +1083,7 @@ impl Runner {
         dataset: &Dataset,
         micro_batches: &[Batch],
     ) -> Result<EpochStats, TrainError> {
-        self.begin_traced_epoch();
+        self.begin_epoch(dataset);
         let mut stats = self.run_micro_batches(dataset, micro_batches)?;
         stats.host_bytes = host_staging_bytes(dataset, micro_batches);
         Ok(stats)
@@ -945,7 +1119,7 @@ impl Runner {
         refresh_every: usize,
     ) -> Result<(EpochStats, bool), TrainError> {
         assert!(refresh_every > 0, "refresh_every must be positive");
-        self.begin_traced_epoch();
+        self.begin_epoch(dataset);
         let batch = self.traced_sample_full_batch(dataset);
         let reusable = self.cached_parts.as_ref().is_some_and(|c| {
             c.strategy == strategy && c.k == k && c.epochs_used < refresh_every
@@ -1003,7 +1177,7 @@ impl Runner {
         k: usize,
         group: &crate::multi::DeviceGroup,
     ) -> Result<crate::multi::MultiDeviceEpoch, TrainError> {
-        self.begin_traced_epoch();
+        self.begin_epoch(dataset);
         let batch = self.traced_sample_full_batch(dataset);
         let plan = self.plan_fixed(&batch, strategy, k);
         self.record_plan_spans(&plan);
@@ -1096,7 +1270,7 @@ impl Runner {
         group: &crate::multi::DeviceGroup,
         log: &mut RecoveryLog,
     ) -> Result<crate::multi::MultiDeviceEpoch, RunError> {
-        self.begin_traced_epoch();
+        self.begin_epoch(dataset);
         let fault = self.config.fault_plan.clone().unwrap_or_default();
         fault
             .validate_for_devices(group.num_devices)
@@ -1354,7 +1528,7 @@ impl Runner {
         dataset: &Dataset,
         num_batches: usize,
     ) -> Result<EpochStats, TrainError> {
-        self.begin_traced_epoch();
+        self.begin_epoch(dataset);
         // Split as evenly as possible into *exactly* num_batches chunks
         // (plain `chunks(ceil(n/k))` can come up short, e.g. 9 nodes into
         // 4 batches of 3 yields only 3 batches).

@@ -27,6 +27,16 @@ pub struct StepStats {
     /// NVMe-like link, for the portion *not* hidden behind compute (the
     /// prefetcher folds hidden page-in time into its overlap instead).
     pub page_in_sec: f64,
+    /// Transient shard-read failures absorbed by the retry/backoff path
+    /// during this step (0 without injected storage faults).
+    pub io_retries: u64,
+    /// Shards whose payload failed CRC mid-run and were reconstructed
+    /// bit-identically from their XOR parity group.
+    pub shards_repaired: u64,
+    /// Simulated seconds spent on storage recovery: retry backoff plus
+    /// the link time of parity/peer reads feeding shard reconstruction.
+    /// Wall-clock-like, excluded from bit-identity comparisons.
+    pub repair_sec: f64,
 }
 
 /// Aggregated measurements for one epoch (all micro-batches of all batches).
@@ -133,6 +143,18 @@ pub struct EpochStats {
     /// `prefetch_overlap_sec`). Wall-clock-like timing: excluded from
     /// bit-identity comparisons.
     pub page_in_sec: f64,
+    /// Transient shard-read failures absorbed by retry/backoff over the
+    /// epoch (0 without injected storage faults). Fault-injection
+    /// bookkeeping: excluded from bit-identity comparisons.
+    pub io_retries: u64,
+    /// Shards reconstructed from XOR parity after a mid-run CRC mismatch.
+    /// Fault-injection bookkeeping: excluded from bit-identity
+    /// comparisons.
+    pub shards_repaired: u64,
+    /// Simulated storage-recovery seconds (retry backoff + parity/peer
+    /// read link time). Wall-clock-like: excluded from bit-identity
+    /// comparisons.
+    pub repair_sec: f64,
 }
 
 impl EpochStats {
@@ -150,6 +172,9 @@ impl EpochStats {
         self.feature_pages_in += step.feature_pages_in;
         self.feature_page_in_bytes += step.feature_page_in_bytes;
         self.page_in_sec += step.page_in_sec;
+        self.io_retries += step.io_retries;
+        self.shards_repaired += step.shards_repaired;
+        self.repair_sec += step.repair_sec;
     }
 
     /// Fraction of feature-row requests served without touching disk
@@ -164,9 +189,10 @@ impl EpochStats {
     }
 
     /// Epoch wall time: compute plus simulated transfer plus exposed
-    /// feature page-in time (zero for the dense in-memory backend).
+    /// feature page-in time (zero for the dense in-memory backend) plus
+    /// storage-recovery time (zero without faults or corruption).
     pub fn total_sec(&self) -> f64 {
-        self.compute_sec + self.transfer_sec + self.page_in_sec
+        self.compute_sec + self.transfer_sec + self.page_in_sec + self.repair_sec
     }
 
     /// The paper's computation-efficiency metric (§6.4): total nodes in all
@@ -197,6 +223,9 @@ mod tests {
             feature_pages_in: 1,
             feature_page_in_bytes: 256,
             page_in_sec: 0.01,
+            io_retries: 2,
+            shards_repaired: 1,
+            repair_sec: 0.005,
         }
     }
 
@@ -214,9 +243,15 @@ mod tests {
         assert_eq!(e.feature_page_in_bytes, 512);
         assert!((e.feature_hit_rate() - 0.8).abs() < 1e-12);
         assert_eq!(EpochStats::default().feature_hit_rate(), 1.0);
+        assert_eq!(e.io_retries, 4);
+        assert_eq!(e.shards_repaired, 2);
+        assert!((e.repair_sec - 0.01).abs() < 1e-12);
         assert!((e.loss - 1.0).abs() < 1e-12);
-        assert!((e.total_sec() - 3.02).abs() < 1e-12, "page-in time counts");
-        assert!((e.computation_efficiency() - 60.0 / 3.02).abs() < 1e-9);
+        assert!(
+            (e.total_sec() - 3.03).abs() < 1e-12,
+            "page-in and repair time count"
+        );
+        assert!((e.computation_efficiency() - 60.0 / 3.03).abs() < 1e-9);
     }
 
     #[test]

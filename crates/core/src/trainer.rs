@@ -98,6 +98,25 @@ pub enum TrainError {
         /// numeric divergence.
         injected: bool,
     },
+    /// The out-of-core feature store failed mid-step in a way retry and
+    /// parity repair could not absorb: transient I/O errors exhausted the
+    /// retry budget, or more shards in a parity group are damaged than
+    /// XOR parity can reconstruct. Carries the failing shard and byte
+    /// offset end to end so the CLI message names the damaged file
+    /// position. Not a capacity problem — the recovery loop aborts
+    /// instead of shrinking micro-batches.
+    Storage {
+        /// Global step index at which the storage failure surfaced.
+        step: usize,
+        /// Index of the failing feature shard (0 when the failure is not
+        /// shard-specific, e.g. a meta-file problem).
+        shard: usize,
+        /// Byte offset within the shard file where validation failed
+        /// (0 when the failure has no meaningful position).
+        offset: u64,
+        /// Human-readable failure chain from the feature store.
+        detail: String,
+    },
 }
 
 impl TrainError {
@@ -106,7 +125,7 @@ impl TrainError {
     pub fn oom(&self) -> Option<&OomError> {
         match self {
             TrainError::StepOom { source, .. } => Some(source),
-            TrainError::NumericAnomaly { .. } => None,
+            TrainError::NumericAnomaly { .. } | TrainError::Storage { .. } => None,
         }
     }
 
@@ -117,6 +136,9 @@ impl TrainError {
         match self {
             TrainError::StepOom { source, .. } => source.injected,
             TrainError::NumericAnomaly { injected, .. } => *injected,
+            // A storage failure is terminal damage (or an exhausted retry
+            // budget) regardless of whether chaos injection produced it.
+            TrainError::Storage { .. } => false,
         }
     }
 }
@@ -133,6 +155,15 @@ impl fmt::Display for TrainError {
                 let origin = if *injected { " (injected)" } else { "" };
                 write!(f, "step {step} aborted: {kind}{origin}")
             }
+            TrainError::Storage {
+                step,
+                shard,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "step {step}: feature shard {shard} failed at byte offset {offset}: {detail}"
+            ),
         }
     }
 }
@@ -141,7 +172,7 @@ impl std::error::Error for TrainError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TrainError::StepOom { source, .. } => Some(source),
-            TrainError::NumericAnomaly { .. } => None,
+            TrainError::NumericAnomaly { .. } | TrainError::Storage { .. } => None,
         }
     }
 }
@@ -513,6 +544,18 @@ impl Trainer {
                     FaultEvent::LinkStall { round, stall_sec } => {
                         ("link_stall", format!("round {round}: +{stall_sec:.3}s"))
                     }
+                    FaultEvent::StorageIoError { shard, attempt } => (
+                        "storage_io",
+                        format!("shard {shard}: transient read error on attempt {attempt}"),
+                    ),
+                    FaultEvent::StorageStall { shard, stall_sec } => (
+                        "storage_stall",
+                        format!("shard {shard}: +{stall_sec:.3}s read stall"),
+                    ),
+                    FaultEvent::ShardCorrupted { shard, epoch } => (
+                        "shard_corrupt",
+                        format!("shard {shard}: payload byte flipped before epoch {epoch}"),
+                    ),
                 };
                 tr.record_fault(kind, detail);
             }
@@ -783,6 +826,24 @@ impl Trainer {
         let step = self.global_step;
         self.global_step += 1;
         let oom = |phase: StepPhase| move |source: OomError| TrainError::StepOom { step, phase, source };
+        let storage = |e: betty_data::FeatureStoreError| match e {
+            betty_data::FeatureStoreError::Shard {
+                shard,
+                offset,
+                detail,
+            } => TrainError::Storage {
+                step,
+                shard,
+                offset,
+                detail,
+            },
+            other => TrainError::Storage {
+                step,
+                shard: 0,
+                offset: 0,
+                detail: other.to_string(),
+            },
+        };
 
         let in_dim = dataset.feature_dim();
         let param_values = self.model.total_param_count();
@@ -840,7 +901,14 @@ impl Trainer {
                 // hits the warm cache.
                 let next_idx: Vec<usize> =
                     next.input_nodes().iter().map(|&v| v as usize).collect();
-                let warm = dataset.features.prewarm(&next_idx);
+                let warm = match dataset.features.try_prewarm(&next_idx) {
+                    Ok(warm) => warm,
+                    Err(e) => {
+                        self.device.free(alloc);
+                        charges.release(&mut self.device);
+                        return Err(storage(e));
+                    }
+                };
                 feature_stats.absorb(&warm);
                 let raw_sec = self.transfer.transfer(staged_bytes)
                     + self.feature_link.transfer(warm.bytes_in as usize);
@@ -868,7 +936,20 @@ impl Trainer {
             .session
             .graph
             .take_scratch(&[input_idx.len(), dataset.features.cols()]);
-        let gather_stats = dataset.features.gather_into(&input_idx, input_feats.data_mut());
+        let gather_stats = match dataset
+            .features
+            .try_gather_into(&input_idx, input_feats.data_mut())
+        {
+            Ok(stats) => stats,
+            Err(e) => {
+                self.session.graph.recycle_indices(input_idx);
+                if let Some(s) = staged_out.take() {
+                    self.device.free(s.alloc);
+                }
+                charges.release(&mut self.device);
+                return Err(storage(e));
+            }
+        };
         // Shards the prefetcher did not (or could not) keep warm page in
         // on the critical path, over the NVMe-like feature link. Dense
         // stores and warm caches read zero bytes, which the link models
@@ -1034,6 +1115,17 @@ impl Trainer {
                 feature_pages_in: feature_stats.pages_in,
                 feature_page_in_bytes: feature_stats.bytes_in,
                 page_in_sec,
+                io_retries: feature_stats.io_retries,
+                shards_repaired: feature_stats.shards_repaired,
+                // Repair cost is modelled, never slept: backoff seconds
+                // accumulated by the retry path plus the link time of the
+                // parity/peer reads that fed reconstruction. Charged via
+                // the *pure* `time_for` so repairs can never perturb the
+                // feature link's counters or its fault-injector stream.
+                repair_sec: feature_stats.backoff_sec
+                    + self
+                        .feature_link
+                        .time_for(feature_stats.repair_bytes as usize),
             },
             staged_out,
         ))

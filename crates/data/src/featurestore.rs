@@ -47,9 +47,44 @@
 //!
 //! Every file's CRC covers everything after its magic. [`PagedFeatures::open`]
 //! verifies every shard (existence, header consistency, full CRC) up
-//! front, so gathers during training are infallible — a truncated or
-//! bit-flipped shard is rejected at open with a structured
-//! [`FeatureStoreError::Format`], never silently trained on.
+//! front — a truncated or bit-flipped shard is rejected at open with a
+//! structured [`FeatureStoreError::Format`], never silently trained on.
+//!
+//! ## Storage fault tolerance
+//!
+//! Mid-run, every physical shard read re-validates the full container
+//! (magic, header, CRC) instead of trusting the open-time check:
+//!
+//! * **Transient I/O errors** (real, or injected through an armed
+//!   [`StorageFaultHook`]) are retried with seeded-jitter exponential
+//!   backoff, bounded by a configurable retry budget. Backoff and stall
+//!   seconds are *accounted, never slept* — numerics are untouched.
+//! * **On-disk corruption** (CRC mismatch, truncation, even a deleted
+//!   shard file) is repaired in place from an **XOR parity group** when
+//!   the store was spilled with `parity > 0`: every `parity` consecutive
+//!   data shards share one parity shard, so any single damaged member is
+//!   reconstructed bit-identically (verified against per-shard payload
+//!   CRCs recorded in the parity sidecar) and atomically re-persisted.
+//! * Two damaged members in one group — or damage without parity — is a
+//!   structured [`FeatureStoreError::Shard`] carrying the shard index
+//!   and byte offset, surfaced through the fallible gather path instead
+//!   of a panic.
+//!
+//! Parity sidecar layout (absent unless spilled with `parity > 0`, so
+//! plain stores stay byte-identical to the v1/v2 formats):
+//!
+//! ```text
+//! parity meta "parity.meta":
+//!   magic "BTYFPMT1" | parity_width u32 | shard_count u32
+//!   | payload crc32 per data shard (u32 × shard_count) | crc32
+//! parity shard "parity-NNNNN.bfp" (one per group):
+//!   magic "BTYFPAR1" | group u32 | first_shard u32 | num_shards u32
+//!   | payload_len u32 | XOR of member payloads (zero-padded) | crc32
+//! ```
+//!
+//! [`scrub`] performs the same validation + repair pass offline over a
+//! store directory, rebuilding damaged parity shards from intact data
+//! shards as well.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -65,7 +100,21 @@ const META_MAGIC: &[u8; 8] = b"BTYFMET1";
 const META_MAGIC_V2: &[u8; 8] = b"BTYFMET2";
 const SHARD_MAGIC: &[u8; 8] = b"BTYFSHD1";
 const SHARD_MAGIC_V2: &[u8; 8] = b"BTYFSHD2";
-const META_FILE: &str = "features.meta";
+const PARITY_META_MAGIC: &[u8; 8] = b"BTYFPMT1";
+const PARITY_MAGIC: &[u8; 8] = b"BTYFPAR1";
+/// File name of the paged-store metadata header inside a store dir
+/// (public so offline tools can probe "is this a paged store?").
+pub const META_FILE: &str = "features.meta";
+/// File name of the optional XOR-parity sidecar metadata.
+pub const PARITY_META_FILE: &str = "parity.meta";
+
+/// Default transient-I/O retry budget per logical shard read (the
+/// training layer overrides this from `RetryPolicy::max_io_retries`).
+pub const DEFAULT_MAX_IO_RETRIES: usize = 3;
+
+/// Base of the simulated exponential retry backoff:
+/// `base · 2^attempt · (0.5 + jitter)` seconds, jitter in `[0, 1)`.
+const IO_BACKOFF_BASE_SEC: f64 = 5e-3;
 
 // ---------------------------------------------------------------------------
 // CRC-32 (IEEE, reflected) — the same polynomial the checkpoint format
@@ -108,6 +157,19 @@ pub enum FeatureStoreError {
     /// truncation, a header inconsistent with the meta file, or a CRC
     /// mismatch.
     Format(String),
+    /// A specific shard failed mid-run and could not be brought back:
+    /// transient errors exhausted the retry budget, or on-disk damage
+    /// could not be repaired from parity.
+    Shard {
+        /// Index of the failing data shard.
+        shard: usize,
+        /// Byte offset within the shard file where validation failed
+        /// (0 when the failure has no meaningful position, e.g. a
+        /// missing file or an exhausted retry budget).
+        offset: u64,
+        /// What went wrong, including the repair outcome.
+        detail: String,
+    },
 }
 
 impl fmt::Display for FeatureStoreError {
@@ -115,6 +177,14 @@ impl fmt::Display for FeatureStoreError {
         match self {
             FeatureStoreError::Io(e) => write!(f, "feature store i/o error: {e}"),
             FeatureStoreError::Format(msg) => write!(f, "invalid feature store: {msg}"),
+            FeatureStoreError::Shard {
+                shard,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "feature shard {shard} failed at byte offset {offset}: {detail}"
+            ),
         }
     }
 }
@@ -123,7 +193,7 @@ impl std::error::Error for FeatureStoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FeatureStoreError::Io(e) => Some(e),
-            FeatureStoreError::Format(_) => None,
+            FeatureStoreError::Format(_) | FeatureStoreError::Shard { .. } => None,
         }
     }
 }
@@ -143,7 +213,7 @@ impl From<io::Error> for FeatureStoreError {
 /// deterministic functions of the access sequence, so they are safe to
 /// compare across thread counts (they are *not* comparable across
 /// backends — that is the point of having them).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct GatherStats {
     /// Rows served from memory (dense) or from an already-resident shard.
     pub hits: u64,
@@ -153,6 +223,15 @@ pub struct GatherStats {
     pub pages_in: u64,
     /// Bytes read from disk by those shard loads.
     pub bytes_in: u64,
+    /// Transient-I/O retries performed during shard loads.
+    pub io_retries: u64,
+    /// Shards reconstructed from XOR parity during shard loads.
+    pub shards_repaired: u64,
+    /// Bytes re-read from disk (group peers + parity) by reconstructions.
+    pub repair_bytes: u64,
+    /// Simulated seconds of injected read stalls and retry backoff
+    /// (accounted, never slept — numerics are untouched).
+    pub backoff_sec: f64,
 }
 
 impl GatherStats {
@@ -162,7 +241,63 @@ impl GatherStats {
         self.misses += other.misses;
         self.pages_in += other.pages_in;
         self.bytes_in += other.bytes_in;
+        self.io_retries += other.io_retries;
+        self.shards_repaired += other.shards_repaired;
+        self.repair_bytes += other.repair_bytes;
+        self.backoff_sec += other.backoff_sec;
     }
+}
+
+// ---------------------------------------------------------------------------
+// Storage chaos hook.
+
+/// Verdict for one physical shard-read attempt from an armed
+/// [`StorageFaultHook`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReadFault {
+    /// The attempt should fail with a transient I/O error.
+    pub fail: bool,
+    /// Simulated NVMe stall seconds charged to the attempt.
+    pub stall_sec: f64,
+}
+
+/// Seedable storage-chaos source consulted before every physical shard
+/// read. `betty-data` sits below the fault-injection crate in the
+/// dependency order, so the concrete injector (seeded PCG stream in
+/// `betty-device`) is adapted onto this trait by the training layer.
+pub trait StorageFaultHook: Send {
+    /// Verdict for attempt `attempt` (zero-based) of reading `shard`.
+    fn check_read(&mut self, shard: usize, attempt: usize) -> ReadFault;
+
+    /// Jitter in `[0, 1)` for the retry backoff, drawn from the hook's
+    /// own seeded stream so backoff timing is replayable.
+    fn backoff_jitter(&mut self) -> f64;
+}
+
+/// One storage-recovery action the store performed, drained by the
+/// training layer into its recovery log and trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageIncident {
+    /// A transient shard-read failure was retried after a simulated
+    /// backoff.
+    IoRetry {
+        /// Shard whose read failed.
+        shard: usize,
+        /// Zero-based attempt index that failed.
+        attempt: usize,
+        /// Simulated seconds of backoff before the next attempt.
+        backoff_sec: f64,
+    },
+    /// A damaged shard was reconstructed from its XOR parity group and
+    /// re-persisted.
+    ShardRepaired {
+        /// Shard that was reconstructed.
+        shard: usize,
+        /// Parity group it belongs to.
+        group: usize,
+        /// Bytes re-read from disk (peers + parity) to rebuild it.
+        repair_bytes: u64,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -193,6 +328,22 @@ pub trait FeatureStore: fmt::Debug + Send + Sync {
     /// backing files are deleted or the device dies mid-training.
     fn gather_into(&self, indices: &[usize], out: &mut [f32]) -> GatherStats;
 
+    /// Fallible [`FeatureStore::gather_into`]: paged stores surface an
+    /// unrecoverable shard failure (retry budget exhausted, unrepairable
+    /// corruption) as a structured error instead of panicking. Dense
+    /// stores never fail.
+    ///
+    /// # Errors
+    ///
+    /// [`FeatureStoreError::Shard`] naming the shard and byte offset.
+    fn try_gather_into(
+        &self,
+        indices: &[usize],
+        out: &mut [f32],
+    ) -> Result<GatherStats, FeatureStoreError> {
+        Ok(self.gather_into(indices, out))
+    }
+
     /// Pages in (and pins, subject to the cache budget) every shard the
     /// given rows live on, without copying any row out. Dense stores do
     /// nothing. Prefetchers call this so a later `gather_into` for the
@@ -200,6 +351,16 @@ pub trait FeatureStore: fmt::Debug + Send + Sync {
     fn prewarm(&self, indices: &[usize]) -> GatherStats {
         let _ = indices;
         GatherStats::default()
+    }
+
+    /// Fallible [`FeatureStore::prewarm`], mirroring
+    /// [`FeatureStore::try_gather_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`FeatureStoreError::Shard`] naming the shard and byte offset.
+    fn try_prewarm(&self, indices: &[usize]) -> Result<GatherStats, FeatureStoreError> {
+        Ok(self.prewarm(indices))
     }
 
     /// Materializes the full matrix as a dense tensor.
@@ -396,6 +557,50 @@ struct CacheState {
     tick: u64,
 }
 
+/// XOR parity sidecar contents: group width plus the payload CRC of
+/// every data shard (what a reconstruction is verified against).
+#[derive(Debug, Clone, PartialEq)]
+struct ParityMeta {
+    width: usize,
+    payload_crcs: Vec<u32>,
+}
+
+/// Mutable storage-chaos state: the armed fault hook, the retry budget,
+/// and recovery incidents awaiting a drain by the training layer.
+struct StorageChaos {
+    hook: Option<Box<dyn StorageFaultHook>>,
+    max_io_retries: usize,
+    incidents: Vec<StorageIncident>,
+}
+
+impl Default for StorageChaos {
+    fn default() -> Self {
+        StorageChaos {
+            hook: None,
+            max_io_retries: DEFAULT_MAX_IO_RETRIES,
+            incidents: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Debug for StorageChaos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StorageChaos")
+            .field("armed", &self.hook.is_some())
+            .field("max_io_retries", &self.max_io_retries)
+            .field("pending_incidents", &self.incidents.len())
+            .finish()
+    }
+}
+
+/// How one validated shard read failed.
+enum ShardFailure {
+    /// Transient-looking I/O error (worth retrying).
+    Io(io::Error),
+    /// Structural damage at a byte offset (worth repairing, not retrying).
+    Corrupt { offset: u64, detail: String },
+}
+
 /// Disk-resident features: fixed-row shards plus a byte-budgeted pinned
 /// hot-set cache with LRU eviction in gather access order.
 ///
@@ -413,6 +618,8 @@ pub struct PagedFeatures {
     shards: Vec<ShardInfo>,
     cache_budget_bytes: usize,
     cache: Mutex<CacheState>,
+    parity: Option<ParityMeta>,
+    chaos: Mutex<StorageChaos>,
 }
 
 impl PagedFeatures {
@@ -457,6 +664,34 @@ impl PagedFeatures {
         cache_budget_bytes: usize,
         dtype: DType,
     ) -> Result<Arc<Self>, FeatureStoreError> {
+        Self::spill_with_parity(features, dir, page_rows, cache_budget_bytes, dtype, 0)
+    }
+
+    /// [`PagedFeatures::spill_with_dtype`] additionally writing an XOR
+    /// parity sidecar: every `parity` consecutive data shards get one
+    /// parity shard, so any single damaged member of a group can be
+    /// reconstructed bit-identically mid-run (or by [`scrub`]).
+    ///
+    /// `parity == 0` writes no sidecar — the on-disk bytes are exactly
+    /// the plain v1/v2 format. `parity == 1` duplicates each shard's
+    /// payload (mirroring); larger widths trade redundancy for space.
+    ///
+    /// # Errors
+    ///
+    /// [`FeatureStoreError::Io`] if the directory or a file cannot be
+    /// written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_rows == 0`.
+    pub fn spill_with_parity(
+        features: &Tensor,
+        dir: impl AsRef<Path>,
+        page_rows: usize,
+        cache_budget_bytes: usize,
+        dtype: DType,
+        parity: usize,
+    ) -> Result<Arc<Self>, FeatureStoreError> {
         assert!(page_rows > 0, "page_rows must be positive");
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
@@ -477,31 +712,59 @@ impl PagedFeatures {
         write_atomic(&dir.join(META_FILE), &meta_file)?;
 
         let num_shards = shard_count(rows, page_rows);
+        let mut payload_crcs = Vec::with_capacity(num_shards);
+        // Current parity group's running XOR (zero-padded to the widest
+        // member payload) and its first member, flushed at group
+        // boundaries — shards are written in order, so each group's
+        // members are consecutive.
+        let mut group_xor: Vec<u8> = Vec::new();
         for shard in 0..num_shards {
             let start_row = shard * page_rows;
             let num_rows = page_rows.min(rows - start_row);
-            let mut body = BytesMut::new();
-            body.put_u32_le(shard as u32);
-            body.put_u32_le(start_row as u32);
-            body.put_u32_le(num_rows as u32);
-            body.put_u32_le(cols as u32);
-            if dtype != DType::F32 {
-                body.put_u32_le(dtype.tag());
-            }
+            let mut payload = BytesMut::new();
             for r in start_row..start_row + num_rows {
                 for &v in features.row(r) {
                     match dtype {
-                        DType::F32 => body.put_f32_le(v),
-                        _ => body.put_u16_le(dtype.encode16(v)),
+                        DType::F32 => payload.put_f32_le(v),
+                        _ => payload.put_u16_le(dtype.encode16(v)),
                     }
                 }
             }
+            payload_crcs.push(crc32(&payload));
+            let file = encode_shard_file(shard, start_row, num_rows, cols, dtype, &payload);
+            write_atomic(&dir.join(shard_name(shard)), &file)?;
+            if parity > 0 {
+                if shard % parity == 0 {
+                    group_xor.clear();
+                }
+                if payload.len() > group_xor.len() {
+                    group_xor.resize(payload.len(), 0);
+                }
+                for (acc, &b) in group_xor.iter_mut().zip(payload.iter()) {
+                    *acc ^= b;
+                }
+                let last_in_group = shard % parity == parity - 1 || shard == num_shards - 1;
+                if last_in_group {
+                    let group = shard / parity;
+                    let first = group * parity;
+                    let file = encode_parity_file(group, first, shard - first + 1, &group_xor);
+                    write_atomic(&dir.join(parity_name(group)), &file)?;
+                }
+            }
+        }
+        if parity > 0 {
+            let mut body = BytesMut::new();
+            body.put_u32_le(parity as u32);
+            body.put_u32_le(num_shards as u32);
+            for &crc in &payload_crcs {
+                body.put_u32_le(crc);
+            }
             let crc = crc32(&body);
             let mut file = BytesMut::new();
-            file.put_slice(if dtype == DType::F32 { SHARD_MAGIC } else { SHARD_MAGIC_V2 });
+            file.put_slice(PARITY_META_MAGIC);
             file.put_slice(&body);
             file.put_u32_le(crc);
-            write_atomic(&dir.join(shard_name(shard)), &file)?;
+            write_atomic(&dir.join(PARITY_META_FILE), &file)?;
         }
         Self::open(dir, cache_budget_bytes)
     }
@@ -521,49 +784,7 @@ impl PagedFeatures {
         cache_budget_bytes: usize,
     ) -> Result<Arc<Self>, FeatureStoreError> {
         let dir = dir.as_ref().to_path_buf();
-        let meta_bytes = Bytes::from(std::fs::read(dir.join(META_FILE))?);
-        let mut buf = meta_bytes.clone();
-        if buf.remaining() < META_MAGIC.len() + 3 * 4 + 4 {
-            return Err(FeatureStoreError::Format("meta file truncated".into()));
-        }
-        let magic = buf.split_to(META_MAGIC.len());
-        let v2 = match &magic[..] {
-            m if m == META_MAGIC => false,
-            m if m == META_MAGIC_V2 => true,
-            _ => return Err(FeatureStoreError::Format("bad meta magic".into())),
-        };
-        let body_len = if v2 { 4 * 4 } else { 3 * 4 };
-        if buf.remaining() < body_len + 4 {
-            return Err(FeatureStoreError::Format("meta file truncated".into()));
-        }
-        let body = buf.split_to(body_len);
-        let stored_crc = buf.get_u32_le();
-        if buf.remaining() > 0 {
-            return Err(FeatureStoreError::Format("trailing bytes in meta file".into()));
-        }
-        if crc32(&body) != stored_crc {
-            return Err(FeatureStoreError::Format("meta CRC mismatch".into()));
-        }
-        let mut body = body;
-        let rows = body.get_u32_le() as usize;
-        let cols = body.get_u32_le() as usize;
-        let page_rows = body.get_u32_le() as usize;
-        let dtype = if v2 {
-            let tag = body.get_u32_le();
-            match DType::from_tag(tag) {
-                Some(DType::F32) | None => {
-                    return Err(FeatureStoreError::Format(format!(
-                        "meta names invalid 16-bit dtype tag {tag}"
-                    )))
-                }
-                Some(d) => d,
-            }
-        } else {
-            DType::F32
-        };
-        if page_rows == 0 {
-            return Err(FeatureStoreError::Format("page_rows is zero".into()));
-        }
+        let (rows, cols, page_rows, dtype) = read_meta(&dir)?;
 
         let num_shards = shard_count(rows, page_rows);
         let mut shards = Vec::with_capacity(num_shards);
@@ -591,6 +812,17 @@ impl PagedFeatures {
                 num_rows,
             });
         }
+        let parity = if dir.join(PARITY_META_FILE).exists() {
+            let meta = load_parity_meta(&dir, num_shards)?;
+            for group in 0..num_shards.div_ceil(meta.width) {
+                read_parity_payload(&dir, group, meta.width, num_shards).map_err(|msg| {
+                    FeatureStoreError::Format(format!("parity shard {group}: {msg}"))
+                })?;
+            }
+            Some(meta)
+        } else {
+            None
+        };
         Ok(Arc::new(Self {
             dir,
             rows,
@@ -600,7 +832,86 @@ impl PagedFeatures {
             shards,
             cache_budget_bytes,
             cache: Mutex::new(CacheState::default()),
+            parity,
+            chaos: Mutex::new(StorageChaos::default()),
         }))
+    }
+
+    /// Width of the XOR parity groups (data shards per parity shard),
+    /// or 0 when the store was spilled without parity.
+    pub fn parity_width(&self) -> usize {
+        self.parity.as_ref().map_or(0, |p| p.width)
+    }
+
+    /// Arms a storage-chaos hook: every subsequent physical shard read
+    /// consults it for injected transient failures and stalls. Replaces
+    /// any previously armed hook and clears pending incidents, so each
+    /// training run starts from a clean chaos stream.
+    pub fn arm_storage_faults(&self, hook: Box<dyn StorageFaultHook>) {
+        let mut chaos = self.chaos.lock().expect("storage chaos state poisoned");
+        chaos.hook = Some(hook);
+        chaos.incidents.clear();
+    }
+
+    /// Removes any armed storage-chaos hook and clears pending incidents.
+    pub fn disarm_storage_faults(&self) {
+        let mut chaos = self.chaos.lock().expect("storage chaos state poisoned");
+        chaos.hook = None;
+        chaos.incidents.clear();
+    }
+
+    /// Sets the transient-I/O retry budget per logical shard read.
+    pub fn set_max_io_retries(&self, max_io_retries: usize) {
+        self.chaos
+            .lock()
+            .expect("storage chaos state poisoned")
+            .max_io_retries = max_io_retries;
+    }
+
+    /// Removes and returns every storage-recovery incident recorded
+    /// since the last drain.
+    pub fn drain_storage_incidents(&self) -> Vec<StorageIncident> {
+        std::mem::take(
+            &mut self
+                .chaos
+                .lock()
+                .expect("storage chaos state poisoned")
+                .incidents,
+        )
+    }
+
+    /// Flips one payload byte of `shard`'s file on disk (plain
+    /// overwrite, simulating bit rot) and evicts the shard from the
+    /// hot-set cache so the next access re-reads the damaged bytes.
+    /// Returns the absolute byte offset that was flipped.
+    ///
+    /// Chaos/test helper — this is how scheduled `shard_corrupt` faults
+    /// and the scrub exhibits damage a live store deterministically.
+    ///
+    /// # Errors
+    ///
+    /// [`FeatureStoreError::Io`] if the file cannot be rewritten;
+    /// [`FeatureStoreError::Format`] if the shard has no payload bytes
+    /// to flip.
+    pub fn corrupt_shard_byte(&self, shard: usize) -> Result<u64, FeatureStoreError> {
+        assert!(shard < self.shards.len(), "shard {shard} out of range");
+        let info = &self.shards[shard];
+        let mut bytes = std::fs::read(&info.path)?;
+        let header = shard_header_len(self.dtype);
+        let payload_len = info.num_rows * self.cols * self.dtype.bytes_per_value();
+        if payload_len == 0 {
+            return Err(FeatureStoreError::Format(format!(
+                "shard {shard} has an empty payload; nothing to corrupt"
+            )));
+        }
+        let offset = header + payload_len / 2;
+        bytes[offset] ^= 0x40;
+        std::fs::write(&info.path, &bytes)?;
+        let mut state = self.cache.lock().expect("feature cache poisoned");
+        if let Some((payload, _)) = state.resident.remove(&shard) {
+            state.held_bytes -= payload.byte_len();
+        }
+        Ok(offset as u64)
     }
 
     /// The storage width of the shard payloads.
@@ -633,32 +944,198 @@ impl PagedFeatures {
         self.cache.lock().expect("feature cache poisoned").held_bytes
     }
 
-    /// Reads one shard's payload from disk at its storage width (header
-    /// re-skipped, CRC *not* re-verified — `open` already proved it).
+    /// Reads one shard's payload, panicking on unrecoverable failure —
+    /// the historical infallible path, kept for direct callers
+    /// (`to_dense`, `find_non_finite`). Transient errors are still
+    /// retried and corruption still repaired from parity before the
+    /// panic fires.
     fn read_shard_payload(&self, shard: usize) -> ShardPayload {
-        let info = &self.shards[shard];
-        let bytes = std::fs::read(&info.path).unwrap_or_else(|e| {
-            panic!(
-                "feature shard {} vanished or became unreadable mid-run: {e}",
-                info.path.display()
-            )
-        });
-        let header_words = if self.dtype == DType::F32 { 4 } else { 5 };
-        let header = SHARD_MAGIC.len() + header_words * 4;
-        let payload_len = info.num_rows * self.cols;
-        let expected = header + payload_len * self.dtype.bytes_per_value() + 4;
-        assert_eq!(
-            bytes.len(),
-            expected,
-            "feature shard {} changed size mid-run",
-            info.path.display()
-        );
-        let mut buf = Bytes::from(bytes);
-        buf.advance(header);
-        match self.dtype {
-            DType::F32 => ShardPayload::F32((0..payload_len).map(|_| buf.get_f32_le()).collect()),
-            _ => ShardPayload::Half((0..payload_len).map(|_| buf.get_u16_le()).collect()),
+        let mut stats = GatherStats::default();
+        self.try_read_shard_payload(shard, &mut stats)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Reads one shard's payload with full re-validation (magic, header,
+    /// CRC), transient-error retry with seeded-jitter backoff, and XOR
+    /// parity repair; accumulates retry/repair accounting into `stats`.
+    fn try_read_shard_payload(
+        &self,
+        shard: usize,
+        stats: &mut GatherStats,
+    ) -> Result<ShardPayload, FeatureStoreError> {
+        let mut chaos = self.chaos.lock().expect("storage chaos state poisoned");
+        let max_io_retries = chaos.max_io_retries;
+        let mut attempt = 0usize;
+        loop {
+            let verdict = match chaos.hook.as_mut() {
+                Some(hook) => hook.check_read(shard, attempt),
+                None => ReadFault::default(),
+            };
+            stats.backoff_sec += verdict.stall_sec;
+            let outcome = if verdict.fail {
+                Err(ShardFailure::Io(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    format!("injected transient read error (attempt {attempt})"),
+                )))
+            } else {
+                self.read_shard_validated(shard)
+            };
+            match outcome {
+                Ok(payload) => return Ok(payload),
+                Err(ShardFailure::Io(e)) => {
+                    if attempt >= max_io_retries {
+                        return Err(FeatureStoreError::Shard {
+                            shard,
+                            offset: 0,
+                            detail: format!(
+                                "transient I/O error persisted through {} attempts \
+                                 (retry budget {max_io_retries}): {e}",
+                                attempt + 1
+                            ),
+                        });
+                    }
+                    let jitter = chaos.hook.as_mut().map_or(0.5, |h| h.backoff_jitter());
+                    let backoff_sec =
+                        IO_BACKOFF_BASE_SEC * (1u64 << attempt.min(32)) as f64 * (0.5 + jitter);
+                    stats.io_retries += 1;
+                    stats.backoff_sec += backoff_sec;
+                    chaos.incidents.push(StorageIncident::IoRetry {
+                        shard,
+                        attempt,
+                        backoff_sec,
+                    });
+                    attempt += 1;
+                }
+                Err(ShardFailure::Corrupt { offset, detail }) => {
+                    // On-disk damage is not transient: repair from
+                    // parity (bit-identical, verified, re-persisted)
+                    // or fail structurally.
+                    let (payload, repair_bytes) = self.repair_shard(shard, offset, &detail)?;
+                    let group = shard / self.parity.as_ref().map_or(1, |p| p.width);
+                    stats.shards_repaired += 1;
+                    stats.repair_bytes += repair_bytes;
+                    chaos.incidents.push(StorageIncident::ShardRepaired {
+                        shard,
+                        group,
+                        repair_bytes,
+                    });
+                    return Ok(payload);
+                }
+            }
         }
+    }
+
+    /// One physical read of `shard` with full container validation.
+    fn read_shard_validated(&self, shard: usize) -> Result<ShardPayload, ShardFailure> {
+        let info = &self.shards[shard];
+        let bytes = match std::fs::read(&info.path) {
+            Ok(b) => Bytes::from(b),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(ShardFailure::Corrupt {
+                    offset: 0,
+                    detail: "shard file missing".into(),
+                })
+            }
+            Err(e) => return Err(ShardFailure::Io(e)),
+        };
+        match parse_shard(&bytes, shard, self.cols, self.dtype) {
+            Ok((start_row, num_rows, payload)) => {
+                if start_row != info.start_row || num_rows != info.num_rows {
+                    return Err(ShardFailure::Corrupt {
+                        offset: SHARD_MAGIC.len() as u64,
+                        detail: format!(
+                            "header says rows {start_row}..{} but meta expects {}..{}",
+                            start_row + num_rows,
+                            info.start_row,
+                            info.start_row + info.num_rows
+                        ),
+                    });
+                }
+                Ok(decode_payload(&payload, self.dtype))
+            }
+            Err((offset, detail)) => Err(ShardFailure::Corrupt { offset, detail }),
+        }
+    }
+
+    /// Reconstructs `shard`'s payload from its XOR parity group, verifies
+    /// it against the recorded payload CRC, re-persists the full shard
+    /// container atomically, and returns the payload plus the bytes
+    /// re-read from disk to rebuild it.
+    fn repair_shard(
+        &self,
+        shard: usize,
+        offset: u64,
+        why: &str,
+    ) -> Result<(ShardPayload, u64), FeatureStoreError> {
+        let fail = |detail: String| FeatureStoreError::Shard {
+            shard,
+            offset,
+            detail,
+        };
+        let Some(parity) = &self.parity else {
+            return Err(fail(format!(
+                "{why}; store has no parity sidecar to repair from"
+            )));
+        };
+        let width = parity.width;
+        let group = shard / width;
+        let first = group * width;
+        let members = first..(first + width).min(self.shards.len());
+        let (_, _, mut acc) = read_parity_payload(&self.dir, group, width, self.shards.len())
+            .map_err(|msg| {
+                fail(format!(
+                    "{why}; parity shard for group {group} is unusable ({msg})"
+                ))
+            })?;
+        let mut repair_bytes = acc.len() as u64;
+        for peer in members {
+            if peer == shard {
+                continue;
+            }
+            let path = self.dir.join(shard_name(peer));
+            let bytes = Bytes::from(std::fs::read(&path).map_err(|e| {
+                fail(format!(
+                    "{why}; peer shard {peer} in group {group} is also unreadable ({e}) — \
+                     XOR parity can repair exactly one shard per group"
+                ))
+            })?);
+            let (_, _, payload) =
+                parse_shard(&bytes, peer, self.cols, self.dtype).map_err(|(_, msg)| {
+                    fail(format!(
+                        "{why}; peer shard {peer} in group {group} is also damaged ({msg}) — \
+                         XOR parity can repair exactly one shard per group"
+                    ))
+                })?;
+            repair_bytes += payload.len() as u64;
+            for (acc_byte, &b) in acc.iter_mut().zip(payload.iter()) {
+                *acc_byte ^= b;
+            }
+        }
+        let info = &self.shards[shard];
+        let my_len = info.num_rows * self.cols * self.dtype.bytes_per_value();
+        if acc.len() < my_len {
+            return Err(fail(format!(
+                "{why}; parity payload is {} bytes but shard needs {my_len}",
+                acc.len()
+            )));
+        }
+        acc.truncate(my_len);
+        if crc32(&acc) != parity.payload_crcs[shard] {
+            return Err(fail(format!(
+                "{why}; parity reconstruction failed its recorded CRC — \
+                 more than one shard in group {group} is damaged"
+            )));
+        }
+        let file = encode_shard_file(
+            shard,
+            info.start_row,
+            info.num_rows,
+            self.cols,
+            self.dtype,
+            &acc,
+        );
+        write_atomic(&info.path, &file)?;
+        Ok((decode_payload(&acc, self.dtype), repair_bytes))
     }
 
     /// Bytes one shard's payload occupies at the storage width.
@@ -670,14 +1147,19 @@ impl PagedFeatures {
     /// a disk load happened. The just-touched shard is never its own
     /// eviction victim, so a single over-budget shard still serves the
     /// whole gather.
-    fn touch_shard(&self, state: &mut CacheState, shard: usize) -> bool {
+    fn touch_shard(
+        &self,
+        state: &mut CacheState,
+        shard: usize,
+        stats: &mut GatherStats,
+    ) -> Result<bool, FeatureStoreError> {
         state.tick += 1;
         let tick = state.tick;
         if let Some((_, last)) = state.resident.get_mut(&shard) {
             *last = tick;
-            return false;
+            return Ok(false);
         }
-        let payload = self.read_shard_payload(shard);
+        let payload = self.try_read_shard_payload(shard, stats)?;
         state.held_bytes += payload.byte_len();
         state.resident.insert(shard, (payload, tick));
         // Evict least-recently-used shards (never the one just loaded)
@@ -699,7 +1181,7 @@ impl PagedFeatures {
                 None => break,
             }
         }
-        true
+        Ok(true)
     }
 }
 
@@ -713,6 +1195,15 @@ impl FeatureStore for PagedFeatures {
     }
 
     fn gather_into(&self, indices: &[usize], out: &mut [f32]) -> GatherStats {
+        self.try_gather_into(indices, out)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_gather_into(
+        &self,
+        indices: &[usize],
+        out: &mut [f32],
+    ) -> Result<GatherStats, FeatureStoreError> {
         assert_eq!(
             out.len(),
             indices.len() * self.cols,
@@ -721,13 +1212,13 @@ impl FeatureStore for PagedFeatures {
         let mut stats = GatherStats::default();
         if self.cols == 0 {
             stats.hits = indices.len() as u64;
-            return stats;
+            return Ok(stats);
         }
         let mut state = self.cache.lock().expect("feature cache poisoned");
         for (slot, &idx) in indices.iter().enumerate() {
             assert!(idx < self.rows, "row {idx} out of range ({} rows)", self.rows);
             let shard = idx / self.page_rows;
-            if self.touch_shard(&mut state, shard) {
+            if self.touch_shard(&mut state, shard, &mut stats)? {
                 stats.misses += 1;
                 stats.pages_in += 1;
                 stats.bytes_in += self.shard_payload_bytes(shard) as u64;
@@ -743,13 +1234,17 @@ impl FeatureStore for PagedFeatures {
                 &mut out[slot * self.cols..(slot + 1) * self.cols],
             );
         }
-        stats
+        Ok(stats)
     }
 
     fn prewarm(&self, indices: &[usize]) -> GatherStats {
+        self.try_prewarm(indices).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_prewarm(&self, indices: &[usize]) -> Result<GatherStats, FeatureStoreError> {
         let mut stats = GatherStats::default();
         if self.cols == 0 {
-            return stats;
+            return Ok(stats);
         }
         let mut state = self.cache.lock().expect("feature cache poisoned");
         // Deduplicated in first-appearance order so the page-in sequence
@@ -762,12 +1257,12 @@ impl FeatureStore for PagedFeatures {
                 continue;
             }
             seen.push(shard);
-            if self.touch_shard(&mut state, shard) {
+            if self.touch_shard(&mut state, shard, &mut stats)? {
                 stats.pages_in += 1;
                 stats.bytes_in += self.shard_payload_bytes(shard) as u64;
             }
         }
-        stats
+        Ok(stats)
     }
 
     fn to_dense(&self) -> Tensor {
@@ -804,6 +1299,147 @@ fn shard_name(shard: usize) -> String {
     format!("shard-{shard:05}.bfs")
 }
 
+fn parity_name(group: usize) -> String {
+    format!("parity-{group:05}.bfp")
+}
+
+/// Bytes of magic + header fields before a shard file's payload.
+fn shard_header_len(dtype: DType) -> usize {
+    let header_words = if dtype == DType::F32 { 4 } else { 5 };
+    SHARD_MAGIC.len() + header_words * 4
+}
+
+/// Encodes a full shard container (magic, header, payload, CRC) — the
+/// single source of the on-disk bytes, used by both the spiller and the
+/// parity repairer so reconstruction is byte-identical to the original.
+fn encode_shard_file(
+    shard: usize,
+    start_row: usize,
+    num_rows: usize,
+    cols: usize,
+    dtype: DType,
+    payload: &[u8],
+) -> BytesMut {
+    let mut body = BytesMut::new();
+    body.put_u32_le(shard as u32);
+    body.put_u32_le(start_row as u32);
+    body.put_u32_le(num_rows as u32);
+    body.put_u32_le(cols as u32);
+    if dtype != DType::F32 {
+        body.put_u32_le(dtype.tag());
+    }
+    body.put_slice(payload);
+    let crc = crc32(&body);
+    let mut file = BytesMut::new();
+    file.put_slice(if dtype == DType::F32 { SHARD_MAGIC } else { SHARD_MAGIC_V2 });
+    file.put_slice(&body);
+    file.put_u32_le(crc);
+    file
+}
+
+/// Encodes a parity shard container for `group`.
+fn encode_parity_file(group: usize, first_shard: usize, num_shards: usize, xor: &[u8]) -> BytesMut {
+    let mut body = BytesMut::new();
+    body.put_u32_le(group as u32);
+    body.put_u32_le(first_shard as u32);
+    body.put_u32_le(num_shards as u32);
+    body.put_u32_le(xor.len() as u32);
+    body.put_slice(xor);
+    let crc = crc32(&body);
+    let mut file = BytesMut::new();
+    file.put_slice(PARITY_MAGIC);
+    file.put_slice(&body);
+    file.put_u32_le(crc);
+    file
+}
+
+/// Decodes raw payload bytes to a cache-resident payload at `dtype`.
+fn decode_payload(bytes: &[u8], dtype: DType) -> ShardPayload {
+    match dtype {
+        DType::F32 => ShardPayload::F32(
+            bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("chunk is 4 bytes")))
+                .collect(),
+        ),
+        _ => ShardPayload::Half(
+            bytes
+                .chunks_exact(2)
+                .map(|c| u16::from_le_bytes(c.try_into().expect("chunk is 2 bytes")))
+                .collect(),
+        ),
+    }
+}
+
+/// Parses and fully validates one shard file's bytes (magic, header
+/// consistency, CRC over the whole body); returns
+/// `(start_row, num_rows, payload)` or `(byte offset, detail)` locating
+/// the first structural failure.
+fn parse_shard(
+    bytes: &Bytes,
+    expect_shard: usize,
+    expect_cols: usize,
+    expect_dtype: DType,
+) -> Result<(usize, usize, Bytes), (u64, String)> {
+    let header = shard_header_len(expect_dtype);
+    if bytes.len() < header + 4 {
+        return Err((bytes.len() as u64, "truncated shard file".into()));
+    }
+    let mut buf = bytes.clone();
+    let magic = buf.split_to(SHARD_MAGIC.len());
+    let expect_magic: &[u8] = if expect_dtype == DType::F32 {
+        SHARD_MAGIC
+    } else {
+        SHARD_MAGIC_V2
+    };
+    if &magic[..] != expect_magic {
+        return Err((0, "shard magic does not match meta version".into()));
+    }
+    let body = buf.split_to(buf.remaining() - 4);
+    let stored_crc = buf.get_u32_le();
+    if crc32(&body) != stored_crc {
+        return Err(((bytes.len() - 4) as u64, "shard CRC mismatch".into()));
+    }
+    let mut hdr = body.clone();
+    let shard = hdr.get_u32_le() as usize;
+    let start_row = hdr.get_u32_le() as usize;
+    let num_rows = hdr.get_u32_le() as usize;
+    let cols = hdr.get_u32_le() as usize;
+    if expect_dtype != DType::F32 {
+        let tag = hdr.get_u32_le();
+        if DType::from_tag(tag) != Some(expect_dtype) {
+            return Err((
+                (SHARD_MAGIC.len() + 4 * 4) as u64,
+                format!("shard dtype tag {tag} does not match meta dtype {expect_dtype}"),
+            ));
+        }
+    }
+    if shard != expect_shard {
+        return Err((
+            SHARD_MAGIC.len() as u64,
+            format!("header names shard {shard}, expected {expect_shard}"),
+        ));
+    }
+    if cols != expect_cols {
+        return Err((
+            (SHARD_MAGIC.len() + 3 * 4) as u64,
+            format!("shard has {cols} cols, meta says {expect_cols}"),
+        ));
+    }
+    if hdr.remaining() != num_rows * cols * expect_dtype.bytes_per_value() {
+        return Err((
+            header as u64,
+            format!(
+                "payload is {} bytes, header implies {}",
+                hdr.remaining(),
+                num_rows * cols * expect_dtype.bytes_per_value()
+            ),
+        ));
+    }
+    let payload_len = hdr.remaining();
+    Ok((start_row, num_rows, hdr.split_to(payload_len)))
+}
+
 /// Validates one shard file end to end (version and dtype must match the
 /// meta file); returns `(start_row, num_rows)` from its header.
 fn validate_shard(
@@ -819,59 +1455,290 @@ fn validate_shard(
             FeatureStoreError::Io(e)
         }
     })?);
-    let header_words = if expect_dtype == DType::F32 { 4 } else { 5 };
-    let header = SHARD_MAGIC.len() + header_words * 4;
-    if bytes.len() < header + 4 {
-        return Err(FeatureStoreError::Format("truncated shard file".into()));
+    match parse_shard(&bytes, expect_shard, expect_cols, expect_dtype) {
+        Ok((start_row, num_rows, _)) => Ok((start_row, num_rows)),
+        Err((_, detail)) => Err(FeatureStoreError::Format(detail)),
+    }
+}
+
+/// Reads and validates the store's meta file; returns
+/// `(rows, cols, page_rows, dtype)`.
+fn read_meta(dir: &Path) -> Result<(usize, usize, usize, DType), FeatureStoreError> {
+    let meta_bytes = Bytes::from(std::fs::read(dir.join(META_FILE))?);
+    let mut buf = meta_bytes.clone();
+    if buf.remaining() < META_MAGIC.len() + 3 * 4 + 4 {
+        return Err(FeatureStoreError::Format("meta file truncated".into()));
+    }
+    let magic = buf.split_to(META_MAGIC.len());
+    let v2 = match &magic[..] {
+        m if m == META_MAGIC => false,
+        m if m == META_MAGIC_V2 => true,
+        _ => return Err(FeatureStoreError::Format("bad meta magic".into())),
+    };
+    let body_len = if v2 { 4 * 4 } else { 3 * 4 };
+    if buf.remaining() < body_len + 4 {
+        return Err(FeatureStoreError::Format("meta file truncated".into()));
+    }
+    let body = buf.split_to(body_len);
+    let stored_crc = buf.get_u32_le();
+    if buf.remaining() > 0 {
+        return Err(FeatureStoreError::Format("trailing bytes in meta file".into()));
+    }
+    if crc32(&body) != stored_crc {
+        return Err(FeatureStoreError::Format("meta CRC mismatch".into()));
+    }
+    let mut body = body;
+    let rows = body.get_u32_le() as usize;
+    let cols = body.get_u32_le() as usize;
+    let page_rows = body.get_u32_le() as usize;
+    let dtype = if v2 {
+        let tag = body.get_u32_le();
+        match DType::from_tag(tag) {
+            Some(DType::F32) | None => {
+                return Err(FeatureStoreError::Format(format!(
+                    "meta names invalid 16-bit dtype tag {tag}"
+                )))
+            }
+            Some(d) => d,
+        }
+    } else {
+        DType::F32
+    };
+    if page_rows == 0 {
+        return Err(FeatureStoreError::Format("page_rows is zero".into()));
+    }
+    Ok((rows, cols, page_rows, dtype))
+}
+
+/// Loads and validates the parity sidecar meta for a store with
+/// `num_shards` data shards.
+fn load_parity_meta(dir: &Path, num_shards: usize) -> Result<ParityMeta, FeatureStoreError> {
+    let bytes = Bytes::from(std::fs::read(dir.join(PARITY_META_FILE))?);
+    if bytes.len() < PARITY_META_MAGIC.len() + 2 * 4 + 4 {
+        return Err(FeatureStoreError::Format("parity meta truncated".into()));
     }
     let mut buf = bytes.clone();
-    let magic = buf.split_to(SHARD_MAGIC.len());
-    let expect_magic: &[u8] = if expect_dtype == DType::F32 {
-        SHARD_MAGIC
-    } else {
-        SHARD_MAGIC_V2
-    };
-    if &magic[..] != expect_magic {
-        return Err(FeatureStoreError::Format(
-            "shard magic does not match meta version".into(),
-        ));
+    let magic = buf.split_to(PARITY_META_MAGIC.len());
+    if &magic[..] != PARITY_META_MAGIC {
+        return Err(FeatureStoreError::Format("bad parity meta magic".into()));
     }
     let body = buf.split_to(buf.remaining() - 4);
     let stored_crc = buf.get_u32_le();
     if crc32(&body) != stored_crc {
-        return Err(FeatureStoreError::Format("shard CRC mismatch".into()));
+        return Err(FeatureStoreError::Format("parity meta CRC mismatch".into()));
     }
     let mut body = body;
-    let shard = body.get_u32_le() as usize;
-    let start_row = body.get_u32_le() as usize;
-    let num_rows = body.get_u32_le() as usize;
-    let cols = body.get_u32_le() as usize;
-    if expect_dtype != DType::F32 {
-        let tag = body.get_u32_le();
-        if DType::from_tag(tag) != Some(expect_dtype) {
-            return Err(FeatureStoreError::Format(format!(
-                "shard dtype tag {tag} does not match meta dtype {expect_dtype}"
-            )));
+    let width = body.get_u32_le() as usize;
+    let count = body.get_u32_le() as usize;
+    if width == 0 {
+        return Err(FeatureStoreError::Format("parity width is zero".into()));
+    }
+    if count != num_shards || body.remaining() != count * 4 {
+        return Err(FeatureStoreError::Format(format!(
+            "parity meta covers {count} shards, store has {num_shards}"
+        )));
+    }
+    let payload_crcs = (0..count).map(|_| body.get_u32_le()).collect();
+    Ok(ParityMeta {
+        width,
+        payload_crcs,
+    })
+}
+
+/// Reads and validates one parity shard; returns
+/// `(first_shard, num_shards, xor payload)` or a failure description.
+fn read_parity_payload(
+    dir: &Path,
+    group: usize,
+    width: usize,
+    total_shards: usize,
+) -> Result<(usize, usize, Vec<u8>), String> {
+    let path = dir.join(parity_name(group));
+    let bytes = std::fs::read(&path).map_err(|e| format!("unreadable: {e}"))?;
+    let header = PARITY_MAGIC.len() + 4 * 4;
+    if bytes.len() < header + 4 {
+        return Err("truncated parity file".into());
+    }
+    let mut buf = Bytes::from(bytes);
+    let magic = buf.split_to(PARITY_MAGIC.len());
+    if &magic[..] != PARITY_MAGIC {
+        return Err("bad parity magic".into());
+    }
+    let body = buf.split_to(buf.remaining() - 4);
+    let stored_crc = buf.get_u32_le();
+    if crc32(&body) != stored_crc {
+        return Err("parity CRC mismatch".into());
+    }
+    let mut body = body;
+    let got_group = body.get_u32_le() as usize;
+    let first_shard = body.get_u32_le() as usize;
+    let num_shards = body.get_u32_le() as usize;
+    let payload_len = body.get_u32_le() as usize;
+    let expect_first = group * width;
+    let expect_count = width.min(total_shards - expect_first);
+    if got_group != group || first_shard != expect_first || num_shards != expect_count {
+        return Err(format!(
+            "header names group {got_group} (shards {first_shard}..{}), \
+             expected group {group} (shards {expect_first}..{})",
+            first_shard + num_shards,
+            expect_first + expect_count
+        ));
+    }
+    if body.remaining() != payload_len {
+        return Err(format!(
+            "payload is {} bytes, header implies {payload_len}",
+            body.remaining()
+        ));
+    }
+    Ok((first_shard, num_shards, body.to_vec()))
+}
+
+// ---------------------------------------------------------------------------
+// Offline scrub.
+
+/// Outcome of a [`scrub`] pass over a paged store directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Data shards examined (all of them).
+    pub shards_checked: usize,
+    /// Data shards reconstructed from parity and re-persisted.
+    pub shards_repaired: Vec<usize>,
+    /// Parity groups examined (0 for stores without a parity sidecar).
+    pub parity_checked: usize,
+    /// Parity shards rebuilt from intact data shards and re-persisted.
+    pub parity_rebuilt: Vec<usize>,
+    /// Data shards that remain damaged: no parity sidecar, a damaged
+    /// parity shard, or more than one damaged member in their group.
+    pub unrepairable: Vec<usize>,
+    /// Width of the parity groups (0 when there is no sidecar).
+    pub parity_width: usize,
+}
+
+impl ScrubReport {
+    /// Whether every shard is now valid (repairs count as clean).
+    pub fn is_clean(&self) -> bool {
+        self.unrepairable.is_empty()
+    }
+}
+
+/// Verifies every shard and parity file of the paged store in `dir`
+/// end to end (magic, header, CRC, parity-sidecar payload CRCs) and
+/// repairs what parity allows: a single damaged data shard per group is
+/// reconstructed bit-identically and re-persisted, and a damaged parity
+/// shard is rebuilt from its intact data shards. Anything else is
+/// reported as unrepairable and left untouched.
+///
+/// # Errors
+///
+/// [`FeatureStoreError::Io`] / [`FeatureStoreError::Format`] if the
+/// meta or parity-meta files themselves are unreadable or invalid —
+/// without them nothing can be verified.
+pub fn scrub(dir: impl AsRef<Path>) -> Result<ScrubReport, FeatureStoreError> {
+    let dir = dir.as_ref();
+    let (rows, cols, page_rows, dtype) = read_meta(dir)?;
+    let num_shards = shard_count(rows, page_rows);
+    let parity = if dir.join(PARITY_META_FILE).exists() {
+        Some(load_parity_meta(dir, num_shards)?)
+    } else {
+        None
+    };
+    let mut report = ScrubReport {
+        shards_checked: num_shards,
+        parity_width: parity.as_ref().map_or(0, |p| p.width),
+        ..ScrubReport::default()
+    };
+
+    let shard_status: Vec<Result<Bytes, String>> = (0..num_shards)
+        .map(|shard| {
+            let bytes = Bytes::from(
+                std::fs::read(dir.join(shard_name(shard)))
+                    .map_err(|e| format!("unreadable: {e}"))?,
+            );
+            let start_row = shard * page_rows;
+            let num_rows = page_rows.min(rows - start_row);
+            let (got_start, got_rows, payload) =
+                parse_shard(&bytes, shard, cols, dtype).map_err(|(_, detail)| detail)?;
+            if got_start != start_row || got_rows != num_rows {
+                return Err("header rows disagree with meta".into());
+            }
+            if let Some(p) = &parity {
+                if crc32(&payload) != p.payload_crcs[shard] {
+                    return Err("payload CRC does not match parity sidecar".into());
+                }
+            }
+            Ok(payload)
+        })
+        .collect();
+
+    let Some(parity) = parity else {
+        for (shard, status) in shard_status.iter().enumerate() {
+            if status.is_err() {
+                report.unrepairable.push(shard);
+            }
+        }
+        return Ok(report);
+    };
+
+    let width = parity.width;
+    let num_groups = num_shards.div_ceil(width);
+    report.parity_checked = num_groups;
+    for group in 0..num_groups {
+        let first = group * width;
+        let members: Vec<usize> = (first..(first + width).min(num_shards)).collect();
+        let bad: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&s| shard_status[s].is_err())
+            .collect();
+        let parity_payload = read_parity_payload(dir, group, width, num_shards);
+        match (bad.len(), parity_payload) {
+            (0, Ok(_)) => {}
+            (0, Err(_)) => {
+                // Every data shard is intact: the parity shard itself
+                // is the damaged one — rebuild it.
+                let mut xor: Vec<u8> = Vec::new();
+                for &member in &members {
+                    let payload = shard_status[member].as_ref().expect("member is intact");
+                    if payload.len() > xor.len() {
+                        xor.resize(payload.len(), 0);
+                    }
+                    for (acc, &b) in xor.iter_mut().zip(payload.iter()) {
+                        *acc ^= b;
+                    }
+                }
+                let file = encode_parity_file(group, first, members.len(), &xor);
+                write_atomic(&dir.join(parity_name(group)), &file)?;
+                report.parity_rebuilt.push(group);
+            }
+            (1, Ok((_, _, mut acc))) => {
+                let shard = bad[0];
+                for &member in &members {
+                    if member == shard {
+                        continue;
+                    }
+                    let payload = shard_status[member].as_ref().expect("member is intact");
+                    for (acc_byte, &b) in acc.iter_mut().zip(payload.iter()) {
+                        *acc_byte ^= b;
+                    }
+                }
+                let start_row = shard * page_rows;
+                let num_rows = page_rows.min(rows - start_row);
+                let my_len = num_rows * cols * dtype.bytes_per_value();
+                if acc.len() < my_len || crc32(&acc[..my_len]) != parity.payload_crcs[shard] {
+                    report.unrepairable.push(shard);
+                    continue;
+                }
+                acc.truncate(my_len);
+                let file = encode_shard_file(shard, start_row, num_rows, cols, dtype, &acc);
+                write_atomic(&dir.join(shard_name(shard)), &file)?;
+                report.shards_repaired.push(shard);
+            }
+            // ≥2 damaged members, or one damaged member plus a damaged
+            // parity shard: XOR cannot recover — leave everything as-is.
+            (_, _) => report.unrepairable.extend(bad.iter().copied()),
         }
     }
-    if shard != expect_shard {
-        return Err(FeatureStoreError::Format(format!(
-            "header names shard {shard}, expected {expect_shard}"
-        )));
-    }
-    if cols != expect_cols {
-        return Err(FeatureStoreError::Format(format!(
-            "shard has {cols} cols, meta says {expect_cols}"
-        )));
-    }
-    if body.remaining() != num_rows * cols * expect_dtype.bytes_per_value() {
-        return Err(FeatureStoreError::Format(format!(
-            "payload is {} bytes, header implies {}",
-            body.remaining(),
-            num_rows * cols * expect_dtype.bytes_per_value()
-        )));
-    }
-    Ok((start_row, num_rows))
+    Ok(report)
 }
 
 /// Same-directory atomic write (tmp + fsync + rename), mirroring the
@@ -965,13 +1832,30 @@ impl Features {
         page_rows: usize,
         cache_budget_bytes: usize,
     ) -> Result<Self, FeatureStoreError> {
+        self.to_paged_with_parity(dir, page_rows, cache_budget_bytes, 0)
+    }
+
+    /// [`Features::to_paged`] additionally writing an XOR parity sidecar
+    /// of the given group width (`0` = no parity, the plain format).
+    ///
+    /// # Errors
+    ///
+    /// [`FeatureStoreError`] if the shards cannot be written.
+    pub fn to_paged_with_parity(
+        &self,
+        dir: impl AsRef<Path>,
+        page_rows: usize,
+        cache_budget_bytes: usize,
+        parity: usize,
+    ) -> Result<Self, FeatureStoreError> {
         let dense = self.to_dense();
-        Ok(Features::Paged(PagedFeatures::spill_with_dtype(
+        Ok(Features::Paged(PagedFeatures::spill_with_parity(
             &dense,
             dir,
             page_rows,
             cache_budget_bytes,
             self.dtype(),
+            parity,
         )?))
     }
 
@@ -1016,6 +1900,81 @@ impl Features {
     /// See [`FeatureStore::gather_into`].
     pub fn gather_into(&self, indices: &[usize], out: &mut [f32]) -> GatherStats {
         self.store().gather_into(indices, out)
+    }
+
+    /// See [`FeatureStore::try_gather_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`FeatureStoreError::Shard`] on an unrecoverable shard failure.
+    pub fn try_gather_into(
+        &self,
+        indices: &[usize],
+        out: &mut [f32],
+    ) -> Result<GatherStats, FeatureStoreError> {
+        self.store().try_gather_into(indices, out)
+    }
+
+    /// See [`FeatureStore::try_prewarm`].
+    ///
+    /// # Errors
+    ///
+    /// [`FeatureStoreError::Shard`] on an unrecoverable shard failure.
+    pub fn try_prewarm(&self, indices: &[usize]) -> Result<GatherStats, FeatureStoreError> {
+        self.store().try_prewarm(indices)
+    }
+
+    /// Arms a storage-chaos hook on a paged store (no-op for dense —
+    /// there are no physical reads to fault).
+    pub fn arm_storage_faults(&self, hook: Box<dyn StorageFaultHook>) {
+        if let Features::Paged(p) = self {
+            p.arm_storage_faults(hook);
+        }
+    }
+
+    /// Removes any armed storage-chaos hook (no-op for dense).
+    pub fn disarm_storage_faults(&self) {
+        if let Features::Paged(p) = self {
+            p.disarm_storage_faults();
+        }
+    }
+
+    /// Sets the transient-I/O retry budget (no-op for dense).
+    pub fn set_max_io_retries(&self, max_io_retries: usize) {
+        if let Features::Paged(p) = self {
+            p.set_max_io_retries(max_io_retries);
+        }
+    }
+
+    /// Drains recorded storage-recovery incidents (always empty for
+    /// dense stores).
+    pub fn drain_storage_incidents(&self) -> Vec<StorageIncident> {
+        match self {
+            Features::Dense(_) => Vec::new(),
+            Features::Paged(p) => p.drain_storage_incidents(),
+        }
+    }
+
+    /// Parity group width of a paged store (0 for dense or no sidecar).
+    pub fn parity_width(&self) -> usize {
+        match self {
+            Features::Dense(_) => 0,
+            Features::Paged(p) => p.parity_width(),
+        }
+    }
+
+    /// See [`PagedFeatures::corrupt_shard_byte`].
+    ///
+    /// # Errors
+    ///
+    /// [`FeatureStoreError::Format`] for dense stores (no shard files).
+    pub fn corrupt_shard_byte(&self, shard: usize) -> Result<u64, FeatureStoreError> {
+        match self {
+            Features::Dense(_) => Err(FeatureStoreError::Format(
+                "dense stores have no shard files to corrupt".into(),
+            )),
+            Features::Paged(p) => p.corrupt_shard_byte(shard),
+        }
     }
 
     /// Gathers rows into a freshly allocated `[indices.len(), cols]`
@@ -1328,6 +2287,244 @@ mod tests {
         assert_eq!(&shard[..8], SHARD_MAGIC);
         let opened = PagedFeatures::open(&dir, usize::MAX).unwrap();
         assert_eq!(opened.dtype(), DType::F32);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Deterministic test hook: fails the next `fail_next` read attempts.
+    struct FlakyHook {
+        fail_next: usize,
+    }
+
+    impl StorageFaultHook for FlakyHook {
+        fn check_read(&mut self, _shard: usize, _attempt: usize) -> ReadFault {
+            if self.fail_next > 0 {
+                self.fail_next -= 1;
+                ReadFault {
+                    fail: true,
+                    stall_sec: 1e-3,
+                }
+            } else {
+                ReadFault::default()
+            }
+        }
+
+        fn backoff_jitter(&mut self) -> f64 {
+            0.25
+        }
+    }
+
+    #[test]
+    fn parity_spill_round_trips_and_reports_width() {
+        let t = matrix(22, 3, 50);
+        let dir = tmp_dir("parity-rt");
+        let paged = Features::dense(t.clone())
+            .to_paged_with_parity(&dir, 4, usize::MAX, 2)
+            .unwrap();
+        assert_eq!(paged.parity_width(), 2);
+        // 6 shards → parity groups {0,1}, {2,3}, {4,5}.
+        for group in 0..3 {
+            assert!(dir.join(parity_name(group)).exists(), "group {group}");
+        }
+        assert!(dir.join(PARITY_META_FILE).exists());
+        let indices: Vec<usize> = (0..22).rev().collect();
+        assert_eq!(paged.gather_rows(&indices), Features::dense(t).gather_rows(&indices));
+        // Re-open validates the sidecar too.
+        let reopened = Features::Paged(PagedFeatures::open(&dir, usize::MAX).unwrap());
+        assert_eq!(reopened.parity_width(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn single_corruption_is_repaired_bit_identically_and_re_persisted() {
+        let t = matrix(20, 4, 51);
+        let dir = tmp_dir("repair-one");
+        let paged = Features::dense(t.clone())
+            .to_paged_with_parity(&dir, 4, usize::MAX, 2)
+            .unwrap();
+        let pristine = std::fs::read(dir.join(shard_name(1))).unwrap();
+        let offset = paged.corrupt_shard_byte(1).unwrap();
+        assert_ne!(std::fs::read(dir.join(shard_name(1))).unwrap(), pristine);
+        assert!(offset >= shard_header_len(DType::F32) as u64);
+
+        // Gathering rows of shard 1 repairs it mid-flight.
+        let indices: Vec<usize> = (4..8).collect();
+        let mut out = vec![0.0f32; indices.len() * 4];
+        let stats = paged.try_gather_into(&indices, &mut out).unwrap();
+        assert_eq!(stats.shards_repaired, 1);
+        assert!(stats.repair_bytes > 0);
+        for (slot, &idx) in indices.iter().enumerate() {
+            assert_eq!(&out[slot * 4..(slot + 1) * 4], t.row(idx), "row {idx}");
+        }
+        // Re-persisted bit-identically, and the incident was recorded.
+        assert_eq!(std::fs::read(dir.join(shard_name(1))).unwrap(), pristine);
+        let incidents = paged.drain_storage_incidents();
+        assert!(
+            incidents.iter().any(|i| matches!(
+                i,
+                StorageIncident::ShardRepaired { shard: 1, group: 0, .. }
+            )),
+            "{incidents:?}"
+        );
+        assert!(PagedFeatures::open(&dir, usize::MAX).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deleted_shard_is_repaired_from_parity() {
+        let t = matrix(12, 3, 52);
+        let dir = tmp_dir("repair-missing");
+        let paged = Features::dense(t.clone())
+            .to_paged_with_parity(&dir, 4, usize::MAX, 3)
+            .unwrap();
+        let pristine = std::fs::read(dir.join(shard_name(0))).unwrap();
+        std::fs::remove_file(dir.join(shard_name(0))).unwrap();
+        let got = paged.gather_rows(&[0, 1, 2, 3]);
+        assert_eq!(got, Features::dense(t).gather_rows(&[0, 1, 2, 3]));
+        assert_eq!(std::fs::read(dir.join(shard_name(0))).unwrap(), pristine);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn double_corruption_in_one_group_is_a_structured_error() {
+        let t = matrix(20, 4, 53);
+        let dir = tmp_dir("repair-two");
+        let paged = Features::dense(t)
+            .to_paged_with_parity(&dir, 4, usize::MAX, 2)
+            .unwrap();
+        paged.corrupt_shard_byte(0).unwrap();
+        paged.corrupt_shard_byte(1).unwrap();
+        let mut out = vec![0.0f32; 4];
+        let err = paged.try_gather_into(&[0], &mut out).unwrap_err();
+        match err {
+            FeatureStoreError::Shard {
+                shard,
+                offset,
+                detail,
+            } => {
+                assert_eq!(shard, 0);
+                assert!(offset > 0, "CRC mismatch carries the CRC field offset");
+                assert!(detail.contains("group"), "{detail}");
+            }
+            other => panic!("expected Shard, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_without_parity_is_a_structured_error() {
+        let t = matrix(12, 3, 54);
+        let dir = tmp_dir("no-parity");
+        let paged = Features::dense(t).to_paged(&dir, 4, usize::MAX).unwrap();
+        assert_eq!(paged.parity_width(), 0);
+        paged.corrupt_shard_byte(2).unwrap();
+        let mut out = vec![0.0f32; 3];
+        let err = paged.try_gather_into(&[8], &mut out).unwrap_err();
+        match err {
+            FeatureStoreError::Shard { shard, detail, .. } => {
+                assert_eq!(shard, 2);
+                assert!(detail.contains("no parity"), "{detail}");
+            }
+            other => panic!("expected Shard, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_failures_retry_with_accounted_backoff() {
+        let t = matrix(12, 3, 55);
+        let dir = tmp_dir("transient");
+        let paged = Features::dense(t.clone()).to_paged(&dir, 4, usize::MAX).unwrap();
+        paged.arm_storage_faults(Box::new(FlakyHook { fail_next: 2 }));
+        let indices = [0, 5, 10];
+        let mut out = vec![0.0f32; 9];
+        let stats = paged.try_gather_into(&indices, &mut out).unwrap();
+        assert_eq!(stats.io_retries, 2);
+        assert!(stats.backoff_sec > 0.0, "stalls + backoff are accounted");
+        assert_eq!(paged.gather_rows(&indices), Features::dense(t).gather_rows(&indices));
+        let incidents = paged.drain_storage_incidents();
+        let retries = incidents
+            .iter()
+            .filter(|i| matches!(i, StorageIncident::IoRetry { .. }))
+            .count();
+        assert_eq!(retries, 2, "{incidents:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_a_structured_error() {
+        let t = matrix(12, 3, 56);
+        let dir = tmp_dir("exhausted");
+        let paged = Features::dense(t).to_paged(&dir, 4, usize::MAX).unwrap();
+        paged.set_max_io_retries(1);
+        paged.arm_storage_faults(Box::new(FlakyHook { fail_next: 99 }));
+        let mut out = vec![0.0f32; 3];
+        let err = paged.try_gather_into(&[0], &mut out).unwrap_err();
+        match err {
+            FeatureStoreError::Shard { shard, detail, .. } => {
+                assert_eq!(shard, 0);
+                assert!(detail.contains("retry budget 1"), "{detail}");
+            }
+            other => panic!("expected Shard, got {other:?}"),
+        }
+        // Disarming clears the chaos stream; the store works again.
+        paged.disarm_storage_faults();
+        assert!(paged.try_gather_into(&[0], &mut out).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_repairs_shards_and_rebuilds_parity() {
+        let t = matrix(24, 3, 57);
+        let dir = tmp_dir("scrub-fix");
+        let paged = Features::dense(t.clone())
+            .to_paged_with_parity(&dir, 4, usize::MAX, 2)
+            .unwrap();
+        drop(paged);
+        // Damage shard 0 (group 0) and the parity shard of group 1.
+        let shard0 = dir.join(shard_name(0));
+        let mut bytes = std::fs::read(&shard0).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&shard0, &bytes).unwrap();
+        let parity1 = dir.join(parity_name(1));
+        let mut bytes = std::fs::read(&parity1).unwrap();
+        bytes[10] ^= 0x01;
+        std::fs::write(&parity1, &bytes).unwrap();
+
+        let report = scrub(&dir).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.shards_checked, 6);
+        assert_eq!(report.shards_repaired, vec![0]);
+        assert_eq!(report.parity_rebuilt, vec![1]);
+        assert_eq!(report.parity_width, 2);
+
+        // Everything validates again, values intact.
+        let reopened = Features::Paged(PagedFeatures::open(&dir, usize::MAX).unwrap());
+        assert_eq!(reopened.to_dense(), t);
+        // A second scrub finds nothing to do.
+        let again = scrub(&dir).unwrap();
+        assert!(again.shards_repaired.is_empty() && again.parity_rebuilt.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_reports_unrepairable_damage() {
+        let t = matrix(24, 3, 58);
+        let dir = tmp_dir("scrub-dead");
+        Features::dense(t)
+            .to_paged_with_parity(&dir, 4, usize::MAX, 2)
+            .unwrap();
+        for shard in [2, 3] {
+            let path = dir.join(shard_name(shard));
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x20;
+            std::fs::write(&path, &bytes).unwrap();
+        }
+        let report = scrub(&dir).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.unrepairable, vec![2, 3]);
+        assert!(report.shards_repaired.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -31,6 +31,7 @@ use std::collections::BTreeSet;
 const ALLOC_STREAM_SALT: u64 = 0xA110_C8ED_FA17_0001;
 const TRANSFER_STREAM_SALT: u64 = 0x7247_5FE2_FA17_0002;
 const LINK_STREAM_SALT: u64 = 0x1141_C057_FA17_0003;
+const STORAGE_STREAM_SALT: u64 = 0x5704_A6E1_FA17_0004;
 
 /// A declarative, seedable schedule of injected faults.
 ///
@@ -81,6 +82,22 @@ pub struct FaultPlan {
     /// above the device group's timeout count as a timed-out round and
     /// trigger a backoff retry.
     pub link_stall_sec: f64,
+    /// Probability in `[0, 1]` that one physical shard-read attempt in
+    /// the paged feature store fails with a transient I/O error. The
+    /// store retries with seeded-jitter backoff, so numerics are
+    /// untouched unless the retry budget is exhausted.
+    pub io_failure_rate: f64,
+    /// Probability in `[0, 1]` that a shard read stalls (NVMe hiccup).
+    pub io_stall_rate: f64,
+    /// Extra simulated seconds a stalled shard read takes. Timing-layer
+    /// only — the stall is accounted, never slept.
+    pub io_stall_sec: f64,
+    /// Scheduled on-disk shard corruption: `(shard, epoch)` flips one
+    /// payload byte of feature shard `shard` at the start of epoch
+    /// `epoch` (epoch ordinal within the run, starting at 0). The flip
+    /// happens in the training layer, which owns the store; it lives
+    /// here so one `FaultPlan` describes the whole fault schedule.
+    pub shard_corrupt: Vec<(usize, usize)>,
 }
 
 impl Default for FaultPlan {
@@ -97,6 +114,10 @@ impl Default for FaultPlan {
             straggler_factors: Vec::new(),
             link_stall_rate: 0.0,
             link_stall_sec: 0.0,
+            io_failure_rate: 0.0,
+            io_stall_rate: 0.0,
+            io_stall_sec: 0.0,
+            shard_corrupt: Vec::new(),
         }
     }
 }
@@ -113,6 +134,8 @@ impl FaultPlan {
             ("capacity_jitter", self.capacity_jitter),
             ("transfer_stall_rate", self.transfer_stall_rate),
             ("link_stall_rate", self.link_stall_rate),
+            ("io_failure_rate", self.io_failure_rate),
+            ("io_stall_rate", self.io_stall_rate),
         ] {
             if !(0.0..=1.0).contains(&rate) {
                 return Err(format!("{name} must be in [0, 1], got {rate}"));
@@ -121,9 +144,18 @@ impl FaultPlan {
         for (name, sec) in [
             ("transfer_stall_sec", self.transfer_stall_sec),
             ("link_stall_sec", self.link_stall_sec),
+            ("io_stall_sec", self.io_stall_sec),
         ] {
             if !sec.is_finite() || sec < 0.0 {
                 return Err(format!("{name} must be finite and non-negative, got {sec}"));
+            }
+        }
+        let mut seen_corrupt = BTreeSet::new();
+        for &(shard, epoch) in &self.shard_corrupt {
+            if !seen_corrupt.insert((shard, epoch)) {
+                return Err(format!(
+                    "shard_corrupt entry (shard {shard}, epoch {epoch}) is duplicated"
+                ));
             }
         }
         let mut seen_fails = BTreeSet::new();
@@ -190,6 +222,9 @@ impl FaultPlan {
             && self.device_fail_steps.is_empty()
             && self.straggler_factors.is_empty()
             && self.link_stall_rate == 0.0
+            && self.io_failure_rate == 0.0
+            && self.io_stall_rate == 0.0
+            && self.shard_corrupt.is_empty()
     }
 
     /// Builds the allocation-side injector for this plan.
@@ -228,6 +263,25 @@ impl FaultPlan {
             rounds_seen: 0,
             events: Vec::new(),
         }
+    }
+
+    /// Builds the storage-side injector for this plan. One injector
+    /// should live for a whole run so its stream continues across
+    /// epochs, mirroring the other injectors.
+    pub fn storage_injector(&self) -> StorageFaultInjector {
+        StorageFaultInjector {
+            failure_rate: self.io_failure_rate,
+            stall_rate: self.io_stall_rate,
+            stall_sec: self.io_stall_sec,
+            rng: Pcg64Mcg::seed_from_u64(self.seed ^ STORAGE_STREAM_SALT),
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether the storage side of the plan can inject anything: shard
+    /// reads failing or stalling, or scheduled on-disk corruption.
+    pub fn has_storage_faults(&self) -> bool {
+        self.io_failure_rate > 0.0 || self.io_stall_rate > 0.0 || !self.shard_corrupt.is_empty()
     }
 }
 
@@ -284,6 +338,29 @@ pub enum FaultEvent {
         round: u64,
         /// Extra seconds added (or lost to the timeout).
         stall_sec: f64,
+    },
+    /// A physical shard-read attempt was made to fail with a transient
+    /// I/O error (from [`FaultPlan::io_failure_rate`]).
+    StorageIoError {
+        /// Feature shard whose read failed.
+        shard: usize,
+        /// Zero-based attempt index for this logical read.
+        attempt: usize,
+    },
+    /// A shard read stalled (from [`FaultPlan::io_stall_rate`]).
+    StorageStall {
+        /// Feature shard whose read stalled.
+        shard: usize,
+        /// Extra simulated seconds added.
+        stall_sec: f64,
+    },
+    /// A shard payload byte was flipped on disk (from
+    /// [`FaultPlan::shard_corrupt`]).
+    ShardCorrupted {
+        /// Feature shard that was corrupted.
+        shard: usize,
+        /// Epoch ordinal at which the flip was applied.
+        epoch: usize,
     },
 }
 
@@ -483,6 +560,83 @@ impl FaultEvents for LinkFaultInjector {
 
     fn pending_events(&self) -> usize {
         LinkFaultInjector::pending_events(self)
+    }
+}
+
+/// Verdict for one physical shard-read attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StorageReadFault {
+    /// The attempt should fail with a transient I/O error.
+    pub fail: bool,
+    /// Simulated NVMe stall seconds charged to the attempt.
+    pub stall_sec: f64,
+}
+
+/// Runtime state injecting storage faults into the paged feature
+/// store's shard reads.
+///
+/// Like [`LinkFaultInjector`] this is consulted from outside the
+/// device crate (the training layer adapts it onto the store), so its
+/// check methods are public.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageFaultInjector {
+    failure_rate: f64,
+    stall_rate: f64,
+    stall_sec: f64,
+    rng: Pcg64Mcg,
+    events: Vec<FaultEvent>,
+}
+
+impl StorageFaultInjector {
+    /// Decides whether this shard-read attempt fails and/or stalls;
+    /// records the event(s) if so. Draws nothing when both rates are
+    /// zero, so a no-fault plan leaves the generator untouched.
+    pub fn check_read(&mut self, shard: usize, attempt: usize) -> StorageReadFault {
+        let mut verdict = StorageReadFault::default();
+        if self.failure_rate > 0.0 && self.rng.gen_bool(self.failure_rate) {
+            verdict.fail = true;
+            self.events.push(FaultEvent::StorageIoError { shard, attempt });
+        }
+        if self.stall_rate > 0.0 && self.rng.gen_bool(self.stall_rate) {
+            verdict.stall_sec = self.stall_sec;
+            self.events.push(FaultEvent::StorageStall {
+                shard,
+                stall_sec: self.stall_sec,
+            });
+        }
+        verdict
+    }
+
+    /// Seeded jitter in `[0, 1)` for retry-backoff delays, drawn from
+    /// this injector's own stream so backoff timing is replayable.
+    pub fn backoff_jitter(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Records a scheduled on-disk corruption applied by the training
+    /// layer. Consumes no randomness.
+    pub fn note_corruption(&mut self, shard: usize, epoch: usize) {
+        self.events.push(FaultEvent::ShardCorrupted { shard, epoch });
+    }
+
+    /// Removes and returns every event recorded since the last drain.
+    pub fn drain_events(&mut self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Number of events currently recorded (not yet drained).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+impl FaultEvents for StorageFaultInjector {
+    fn drain_events(&mut self) -> Vec<FaultEvent> {
+        StorageFaultInjector::drain_events(self)
+    }
+
+    fn pending_events(&self) -> usize {
+        StorageFaultInjector::pending_events(self)
     }
 }
 
@@ -764,6 +918,113 @@ mod tests {
             assert_eq!(inj.drain_events().len(), 1);
             assert_eq!(inj.pending_events(), 0);
         }
+    }
+
+    #[test]
+    fn storage_faults_are_seeded_and_recorded() {
+        let run = |seed: u64| {
+            let mut inj = FaultPlan {
+                seed,
+                io_failure_rate: 0.4,
+                io_stall_rate: 0.25,
+                io_stall_sec: 2e-3,
+                ..FaultPlan::default()
+            }
+            .storage_injector();
+            let verdicts: Vec<StorageReadFault> =
+                (0..40).map(|i| inj.check_read(i % 7, 0)).collect();
+            let jitter: Vec<u64> = (0..4).map(|_| inj.backoff_jitter().to_bits()).collect();
+            (verdicts, jitter, inj.drain_events())
+        };
+        let (a, a_j, a_ev) = run(13);
+        let (b, b_j, b_ev) = run(13);
+        assert_eq!(a, b);
+        assert_eq!(a_j, b_j);
+        assert_eq!(a_ev, b_ev);
+        let failed = a.iter().filter(|v| v.fail).count();
+        let stalled = a.iter().filter(|v| v.stall_sec > 0.0).count();
+        assert!(failed > 0, "rate 0.4 over 40 reads should fail some");
+        assert!(stalled > 0, "rate 0.25 over 40 reads should stall some");
+        assert_eq!(a_ev.len(), failed + stalled);
+        let (c, _, _) = run(14);
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn zero_rate_storage_injector_never_draws() {
+        let mut inj = FaultPlan::default().storage_injector();
+        let pristine = inj.clone();
+        for shard in 0..16 {
+            assert_eq!(inj.check_read(shard, 0), StorageReadFault::default());
+        }
+        inj.note_corruption(3, 1);
+        assert_eq!(inj.rng, pristine.rng, "no randomness consumed");
+        assert_eq!(
+            inj.drain_events(),
+            vec![FaultEvent::ShardCorrupted { shard: 3, epoch: 1 }]
+        );
+    }
+
+    #[test]
+    fn storage_faults_make_the_plan_non_noop() {
+        for plan in [
+            FaultPlan {
+                io_failure_rate: 0.1,
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                io_stall_rate: 0.1,
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                shard_corrupt: vec![(0, 1)],
+                ..FaultPlan::default()
+            },
+        ] {
+            assert!(!plan.is_noop(), "{plan:?}");
+            assert!(plan.has_storage_faults(), "{plan:?}");
+        }
+        assert!(!FaultPlan::default().has_storage_faults());
+        assert!(!plan(0).has_storage_faults());
+    }
+
+    #[test]
+    fn validate_names_the_offending_storage_entry() {
+        let dup = FaultPlan {
+            shard_corrupt: vec![(2, 1), (0, 0), (2, 1)],
+            ..FaultPlan::default()
+        };
+        let msg = dup.validate().unwrap_err();
+        assert!(msg.contains("(shard 2, epoch 1)"), "{msg}");
+        assert!(msg.contains("duplicated"), "{msg}");
+
+        let bad_rate = FaultPlan {
+            io_failure_rate: -0.5,
+            ..FaultPlan::default()
+        };
+        assert!(bad_rate.validate().unwrap_err().contains("io_failure_rate"));
+        let bad_sec = FaultPlan {
+            io_stall_sec: f64::INFINITY,
+            ..FaultPlan::default()
+        };
+        assert!(bad_sec.validate().unwrap_err().contains("io_stall_sec"));
+    }
+
+    #[test]
+    fn storage_injector_joins_the_fault_events_trait() {
+        let mut inj = FaultPlan {
+            io_failure_rate: 1.0,
+            ..FaultPlan::default()
+        }
+        .storage_injector();
+        assert!(inj.check_read(0, 0).fail);
+        let dyn_inj: &mut dyn FaultEvents = &mut inj;
+        assert_eq!(dyn_inj.pending_events(), 1);
+        assert_eq!(
+            dyn_inj.drain_events(),
+            vec![FaultEvent::StorageIoError { shard: 0, attempt: 0 }]
+        );
+        assert_eq!(dyn_inj.pending_events(), 0);
     }
 
     #[test]

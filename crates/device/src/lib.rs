@@ -41,7 +41,7 @@ pub use device::{AllocationId, Device, MemoryCategory, OomError};
 pub use estimator::{AggregatorKind, MemoryEstimate, MemoryEstimator, ModelShape};
 pub use fault::{
     AllocFaultInjector, AllocFaultKind, FaultEvent, FaultEvents, FaultPlan, LinkFaultInjector,
-    TransferFaultInjector,
+    StorageFaultInjector, StorageReadFault, TransferFaultInjector,
 };
 pub use transfer::TransferModel;
 

@@ -59,11 +59,15 @@ pub enum SpanKind {
     /// the previous epoch's forward/backward spans — the visible proof
     /// that partition work left the critical path.
     PlanAhead,
+    /// Mid-run storage repair: a feature shard failed its payload CRC
+    /// and was reconstructed bit-identically from its XOR parity group
+    /// (the span's modelled seconds cover the parity/peer reads).
+    StorageRepair,
 }
 
 impl SpanKind {
     /// Every kind, in pipeline order.
-    pub const ALL: [SpanKind; 10] = [
+    pub const ALL: [SpanKind; 11] = [
         SpanKind::Sample,
         SpanKind::Partition,
         SpanKind::Plan,
@@ -74,6 +78,7 @@ impl SpanKind {
         SpanKind::LinkRetry,
         SpanKind::Failover,
         SpanKind::PlanAhead,
+        SpanKind::StorageRepair,
     ];
 
     /// Stable lowercase name used in the JSONL `kind` field.
@@ -89,6 +94,7 @@ impl SpanKind {
             SpanKind::LinkRetry => "link_retry",
             SpanKind::Failover => "failover",
             SpanKind::PlanAhead => "plan_ahead",
+            SpanKind::StorageRepair => "storage_repair",
         }
     }
 }
@@ -1201,7 +1207,7 @@ mod tests {
 
     #[test]
     fn span_kind_names_are_stable() {
-        assert_eq!(SpanKind::ALL.len(), 10);
+        assert_eq!(SpanKind::ALL.len(), 11);
         for kind in SpanKind::ALL {
             assert!(!kind.name().is_empty());
             assert_eq!(kind.to_string(), kind.name());

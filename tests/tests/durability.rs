@@ -120,6 +120,86 @@ fn session_import_resets_a_hot_plan_ahead_pipeline() {
 }
 
 #[test]
+fn resume_falls_back_past_a_corrupt_newest_slot_bit_identically() {
+    use betty::{latest_valid_checkpoint, CheckpointPlan, ExperimentConfig, Runner, StrategyKind};
+    use betty_data::DatasetSpec;
+
+    // Three valid slots, newest corrupted on disk: resume must skip it,
+    // restore from the next-older slot, and retrain the lost epoch to
+    // exactly the uninterrupted run's parameters.
+    let ds = DatasetSpec::cora()
+        .scaled(0.1)
+        .with_feature_dim(12)
+        .generate(6);
+    let cfg = ExperimentConfig {
+        fanouts: vec![4, 6],
+        hidden_dim: 16,
+        dropout: 0.2,
+        ..ExperimentConfig::default()
+    };
+    let param_bits = |runner: &Runner| -> Vec<u32> {
+        runner
+            .trainer()
+            .model()
+            .params()
+            .iter()
+            .flat_map(|p| p.value().data().iter().map(|v| v.to_bits()))
+            .collect()
+    };
+    let train = |runner: &mut Runner| {
+        runner
+            .train_epoch_betty(&ds, StrategyKind::Betty, 3)
+            .expect("default capacity is ample")
+    };
+
+    // Uninterrupted reference: four epochs straight through.
+    let mut reference = Runner::new(&ds, &cfg, 11);
+    for _ in 0..4 {
+        train(&mut reference);
+    }
+
+    // Checkpointed run: a slot after each of the four epochs.
+    let dir = tmp("fallback", "slots");
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = CheckpointPlan::new(&dir, 1);
+    let mut live = Runner::new(&ds, &cfg, 11);
+    for epoch in 0..4 {
+        train(&mut live);
+        plan.save(&live.export_session(), epoch).expect("slot saved");
+    }
+    assert_eq!(param_bits(&reference), param_bits(&live));
+
+    // Silently corrupt the newest slot (epoch 3).
+    let newest = dir.join("ckpt-000003.btc");
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x04;
+    std::fs::write(&newest, bytes).unwrap();
+
+    // Resolution falls back to the epoch-2 slot and names the skipped one.
+    let found = latest_valid_checkpoint(&dir)
+        .expect("older valid slots remain")
+        .expect("the directory holds slots");
+    assert_eq!(found.epoch, 2, "fallback lands on the next-older slot");
+    assert_eq!(found.skipped, vec![newest], "the corrupt slot is reported");
+
+    // Restoring it and retraining the lost epoch reproduces the
+    // uninterrupted parameters bit for bit.
+    let mut resumed = Runner::new(&ds, &cfg, 11);
+    resumed
+        .import_session(&found.state)
+        .expect("same config, same shapes");
+    assert_eq!(resumed.epochs_run(), 3, "the epoch-2 slot holds three trained epochs");
+    train(&mut resumed);
+    assert_eq!(
+        param_bits(&reference),
+        param_bits(&resumed),
+        "fallback resume diverged from the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn resume_rejects_a_checkpoint_from_a_different_dataset() {
     use betty::{ExperimentConfig, Runner, RunError, StrategyKind};
     use betty_data::DatasetSpec;
@@ -241,6 +321,7 @@ fn corrupted_feature_shard_is_rejected_on_open() {
             Err(FeatureStoreError::Io(e)) => {
                 panic!("{what}: corruption surfaced as an I/O error: {e}")
             }
+            Err(other) => panic!("{what}: wrong error kind: {other}"),
             Ok(_) => panic!("{what}: corrupted shard opened successfully"),
         }
     };

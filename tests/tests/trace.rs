@@ -102,12 +102,14 @@ fn jsonl_export_is_valid_and_covers_every_event_type() {
                 assert_eq!(count, trace.drift_records().len(), "{} spans", kind.name());
             }
             // Single-device epochs never all-reduce, fail over, or
-            // retry a sync link — and this run plans synchronously
-            // (`plan_ahead: 0`), so no staging windows exist.
+            // retry a sync link — this run plans synchronously
+            // (`plan_ahead: 0`), and with no storage faults armed
+            // nothing is ever repaired from parity.
             SpanKind::Allreduce
             | SpanKind::Failover
             | SpanKind::LinkRetry
-            | SpanKind::PlanAhead => {
+            | SpanKind::PlanAhead
+            | SpanKind::StorageRepair => {
                 assert_eq!(count, 0, "{} spans", kind.name());
             }
         }
